@@ -1,0 +1,55 @@
+//! E10 — LM1: serialization cost of the default mechanism.
+//!
+//! Encoding/decoding obvents, prefix (supertype) decoding, and dynamic-view
+//! construction — the per-message CPU the dissemination layer pays.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use psc_bench::{quote_obvents, BenchQuote};
+use psc_obvent::{Obvent, WireObvent};
+
+fn bench_codec(c: &mut Criterion) {
+    let quotes = quote_obvents(3, 64);
+    let wires: Vec<WireObvent> = quotes.iter().map(|q| WireObvent::encode(q).unwrap()).collect();
+    let avg_len: usize = wires.iter().map(WireObvent::wire_len).sum::<usize>() / wires.len();
+    println!("average wire size: {avg_len} bytes");
+
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("encode_obvent", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &quotes[i % quotes.len()];
+            i += 1;
+            std::hint::black_box(WireObvent::encode(q).unwrap())
+        });
+    });
+    group.bench_function("decode_exact", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let w = &wires[i % wires.len()];
+            i += 1;
+            std::hint::black_box(w.decode_exact::<BenchQuote>().unwrap())
+        });
+    });
+    group.bench_function("decode_view", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let w = &wires[i % wires.len()];
+            i += 1;
+            std::hint::black_box(w.view().unwrap())
+        });
+    });
+    group.bench_function("properties_record", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &quotes[i % quotes.len()];
+            i += 1;
+            std::hint::black_box(q.properties())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

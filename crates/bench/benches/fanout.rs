@@ -1,0 +1,97 @@
+//! E6 — §5.4: pub/sub "scales easily to many brokers" for 1→N
+//! dissemination, versus N sequential remote invocations.
+//!
+//! One publisher notifies N receivers of a quote: once through the pub/sub
+//! bus (single publish, fabric fans out), once by invoking a remote
+//! `notify` on each receiver in turn (the RPC shape of the same
+//! interaction).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use psc_bench::{quote_obvents, BenchQuote};
+use psc_dace::inproc::Bus;
+use psc_rmi::{remote_iface, DgcMode, RmiError, RmiNetwork};
+use pubsub_core::{Domain, FilterSpec};
+
+remote_iface! {
+    pub trait QuoteSink {
+        fn notify(&self, company: String, price: f64, amount: u32) -> ();
+    }
+}
+
+struct Sink {
+    count: Arc<AtomicU64>,
+}
+
+impl QuoteSink for Sink {
+    fn notify(&self, _company: String, _price: f64, _amount: u32) -> Result<(), RmiError> {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let quotes = quote_obvents(5, 32);
+    let mut group = c.benchmark_group("fanout_1_to_n");
+    group.sample_size(20);
+
+    for &n in &[1usize, 8, 32, 128] {
+        // --- pub/sub: one publish, the fabric fans out ---
+        let bus = Bus::new();
+        let publisher = bus.domain_inline();
+        let received = Arc::new(AtomicU64::new(0));
+        let _domains: Vec<Domain> = (0..n)
+            .map(|_| {
+                let d = bus.domain_inline();
+                let r = received.clone();
+                let sub = d.subscribe(FilterSpec::accept_all(), move |_q: BenchQuote| {
+                    r.fetch_add(1, Ordering::Relaxed);
+                });
+                sub.activate().unwrap();
+                sub.detach();
+                d
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("pubsub", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                publisher.publish(quotes[i % quotes.len()].clone()).unwrap();
+                i += 1;
+            });
+        });
+
+        // --- RMI: N sequential invocations ---
+        let net = RmiNetwork::new(n + 1, DgcMode::Strong);
+        let rts = net.runtimes();
+        let count = Arc::new(AtomicU64::new(0));
+        let stubs: Vec<QuoteSinkStub> = (1..=n)
+            .map(|i| {
+                let r = QuoteSinkStub::export(
+                    &rts[i],
+                    Arc::new(Sink {
+                        count: count.clone(),
+                    }),
+                );
+                QuoteSinkStub::attach(&rts[0], r).unwrap()
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("rmi_sequential", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &quotes[i % quotes.len()];
+                i += 1;
+                for stub in &stubs {
+                    stub.notify(q.company().clone(), *q.price(), *q.amount())
+                        .unwrap();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fanout);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E1 — the §2.3.2/[ASS+99] claim: factoring redundancies between the
+//! filters of many subscribers significantly improves matching performance.
+//!
+//! Compares `FilterIndex::matching` (compound, factored) against
+//! `FilterIndex::naive_matching` (every filter evaluated independently)
+//! over overlapping and disjoint subscription populations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use psc_bench::{disjoint_filters, overlapping_filters, quote_values};
+use psc_filter::FilterIndex;
+
+fn bench_factoring(c: &mut Criterion) {
+    let events = quote_values(7, 256);
+    for (pop_name, make) in [
+        (
+            "overlapping",
+            overlapping_filters as fn(u64, usize) -> Vec<psc_filter::RemoteFilter>,
+        ),
+        ("disjoint", disjoint_filters),
+    ] {
+        let mut group = c.benchmark_group(format!("filter_matching/{pop_name}"));
+        for &n in &[100usize, 1_000, 5_000] {
+            let mut index = FilterIndex::new();
+            for f in make(1, n) {
+                index.insert(f);
+            }
+            group.throughput(Throughput::Elements(events.len() as u64));
+            group.bench_with_input(BenchmarkId::new("factored", n), &n, |b, _| {
+                let mut i = 0;
+                b.iter(|| {
+                    let event = &events[i % events.len()];
+                    i += 1;
+                    std::hint::black_box(index.matching(event))
+                });
+            });
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+                let mut i = 0;
+                b.iter(|| {
+                    let event = &events[i % events.len()];
+                    i += 1;
+                    std::hint::black_box(index.naive_matching(event))
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_factoring);
+criterion_main!(benches);

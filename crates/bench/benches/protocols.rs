@@ -1,0 +1,78 @@
+//! E3 (timing face) — CPU cost of the delivery-semantics ladder: how much
+//! compute one broadcast round costs per protocol, driving the simulated
+//! cluster to quiescence. (Message counts and delivery ratios — the other
+//! face of E3 — come from `exp_delivery_semantics`.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use psc_group::{
+    sim_host::GroupNode, BestEffort, Causal, Certified, Fifo, Multicast, Reliable, Total,
+};
+use psc_simnet::{NodeId, SimConfig, SimNet, SimTime};
+
+fn run_round(make: &dyn Fn() -> Box<dyn Multicast>, n: usize, msgs: usize) -> u64 {
+    struct Boxed(Box<dyn Multicast>);
+    impl Multicast for Boxed {
+        fn broadcast(&mut self, io: &mut dyn psc_group::GroupIo, payload: Vec<u8>) {
+            self.0.broadcast(io, payload);
+        }
+        fn on_message(&mut self, io: &mut dyn psc_group::GroupIo, from: NodeId, bytes: &[u8]) {
+            self.0.on_message(io, from, bytes);
+        }
+        fn on_timer(&mut self, io: &mut dyn psc_group::GroupIo, token: psc_group::TimerToken) {
+            self.0.on_timer(io, token);
+        }
+        fn on_start(&mut self, io: &mut dyn psc_group::GroupIo) {
+            self.0.on_start(io);
+        }
+        fn on_recover(&mut self, io: &mut dyn psc_group::GroupIo) {
+            self.0.on_recover(io);
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self.0.as_any_mut()
+        }
+    }
+
+    let mut sim = SimNet::new(SimConfig::with_seed(17));
+    let ids: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
+    for i in 0..n {
+        let proto = make();
+        let _ = i;
+        sim.add_node(format!("n{i}"), {
+            let cell = std::cell::RefCell::new(Some(proto));
+            move || GroupNode::boxed(Boxed(cell.borrow_mut().take().expect("single build")))
+        });
+    }
+    for &id in &ids {
+        GroupNode::set_members(&mut sim, id, ids.clone());
+    }
+    for m in 0..msgs {
+        GroupNode::broadcast(&mut sim, ids[m % n], vec![m as u8; 64]);
+    }
+    sim.run_until(SimTime::from_secs(2));
+    sim.stats().sent
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_round");
+    group.sample_size(10);
+    let n = 8;
+    let msgs = 16;
+    let protos: Vec<(&str, Box<dyn Fn() -> Box<dyn Multicast>>)> = vec![
+        ("besteffort", Box::new(|| Box::new(BestEffort::new()))),
+        ("reliable", Box::new(|| Box::new(Reliable::new()))),
+        ("fifo", Box::new(|| Box::new(Fifo::new()))),
+        ("causal", Box::new(|| Box::new(Causal::new()))),
+        ("total", Box::new(|| Box::new(Total::new()))),
+        ("certified", Box::new(|| Box::new(Certified::new()))),
+    ];
+    for (name, make) in &protos {
+        group.bench_with_input(BenchmarkId::new(*name, n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(run_round(make.as_ref(), n, msgs)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E5 — §3.3.5 thread policies: multi-threaded handlers exploit the worker
+//! pool for CPU-bound work; single-threading serializes (the price of the
+//! one-obvent-at-a-time guarantee).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use psc_bench::{quote_obvents, BenchQuote};
+use pubsub_core::{Domain, FilterSpec, ThreadPolicy};
+
+/// A small CPU-bound handler body (checksum loop).
+fn burn(seed: u64) -> u64 {
+    let mut x = seed.wrapping_add(0x9e3779b97f4a7c15);
+    for _ in 0..20_000 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    x
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let quotes = quote_obvents(11, 64);
+    let mut group = c.benchmark_group("thread_policy");
+    group.sample_size(10);
+
+    for (name, policy) in [
+        ("multi", ThreadPolicy::Multi),
+        ("bounded2", ThreadPolicy::Bounded(2)),
+        ("single", ThreadPolicy::Single),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, 16), &policy, |b, &policy| {
+            b.iter_batched(
+                || {
+                    let domain = Domain::in_process_pooled(8);
+                    let sub = domain.subscribe(FilterSpec::accept_all(), |q: BenchQuote| {
+                        std::hint::black_box(burn(*q.amount() as u64));
+                    });
+                    sub.set_policy(policy);
+                    sub.activate().unwrap();
+                    sub.detach();
+                    domain
+                },
+                |domain| {
+                    for q in &quotes[..16] {
+                        domain.publish(q.clone()).unwrap();
+                    }
+                    domain.drain();
+                },
+                criterion::BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! E9 — §6.3: pub/sub versus tuple space for event dissemination.
+//!
+//! The same notify-N-consumers workload expressed three ways: pub/sub
+//! (asynchronous push, one copy per subscriber), tuple-space reactions
+//! (JavaSpaces-style callbacks), and tuple-space polling (`rd`-loop — the
+//! flow-coupled original).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use psc_bench::{quote_obvents, BenchQuote};
+use psc_dace::inproc::Bus;
+use psc_tuplespace::{template, tuple, TupleSpace};
+use pubsub_core::FilterSpec;
+
+fn bench_paradigms(c: &mut Criterion) {
+    let quotes = quote_obvents(13, 64);
+    let mut group = c.benchmark_group("event_dissemination");
+    group.sample_size(20);
+    let n_consumers = 8usize;
+
+    // --- pub/sub bus ---
+    let bus = Bus::new();
+    let publisher = bus.domain_inline();
+    let received = Arc::new(AtomicU64::new(0));
+    let _domains: Vec<_> = (0..n_consumers)
+        .map(|_| {
+            let d = bus.domain_inline();
+            let r = received.clone();
+            let sub = d.subscribe(FilterSpec::accept_all(), move |_q: BenchQuote| {
+                r.fetch_add(1, Ordering::Relaxed);
+            });
+            sub.activate().unwrap();
+            sub.detach();
+            d
+        })
+        .collect();
+    group.bench_with_input(BenchmarkId::new("pubsub_publish", n_consumers), &0, |b, _| {
+        let mut i = 0;
+        b.iter(|| {
+            publisher.publish(quotes[i % quotes.len()].clone()).unwrap();
+            i += 1;
+        });
+    });
+
+    // --- tuple space with reactions ---
+    let space = TupleSpace::new();
+    let reacted = Arc::new(AtomicU64::new(0));
+    let _reactions: Vec<_> = (0..n_consumers)
+        .map(|_| {
+            let r = reacted.clone();
+            space.react(template![= "quote", str, float, int], move |_t| {
+                r.fetch_add(1, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    group.bench_with_input(BenchmarkId::new("space_out_react", n_consumers), &0, |b, _| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &quotes[i % quotes.len()];
+            i += 1;
+            space.out(tuple!["quote", q.company().as_str(), *q.price(), *q.amount() as i64]);
+        });
+    });
+
+    // --- tuple space, poll-based consumption (out + n × rd) ---
+    let space2 = TupleSpace::new();
+    group.bench_with_input(BenchmarkId::new("space_out_rd_poll", n_consumers), &0, |b, _| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &quotes[i % quotes.len()];
+            i += 1;
+            space2.out(tuple!["quote", q.company().as_str(), *q.price(), *q.amount() as i64]);
+            for _ in 0..n_consumers {
+                std::hint::black_box(space2.rd(&template![= "quote", str, float, int]));
+            }
+            space2.take(&template![= "quote", str, float, int]);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_paradigms);
+criterion_main!(benches);

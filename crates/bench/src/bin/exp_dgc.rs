@@ -1,0 +1,88 @@
+//! E7 report — §5.4.2: the distributed-GC caveat and the [CNH99] fix.
+//!
+//! A remote object's reference is published to S subscribers (each creates
+//! a proxy). A fraction of subscribers crash without releasing. Strong DGC
+//! keeps the object alive forever; lease DGC collects once leases lapse.
+//!
+//! Run with `cargo run --release -p psc-bench --bin exp_dgc`.
+
+use std::sync::Arc;
+
+use psc_bench::Table;
+use psc_rmi::{remote_iface, DgcMode, ObjectId, RmiError, RmiNetwork};
+
+remote_iface! {
+    pub trait Token {
+        fn ping(&self) -> u64;
+    }
+}
+
+struct TokenImpl;
+
+impl Token for TokenImpl {
+    fn ping(&self) -> Result<u64, RmiError> {
+        Ok(1)
+    }
+}
+
+fn run(dgc: DgcMode, subscribers: usize, crashers: usize) -> (bool, bool) {
+    let net = RmiNetwork::new(subscribers + 1, dgc);
+    let rts = net.runtimes();
+    let obj = TokenStub::export(&rts[0], Arc::new(TokenImpl));
+
+    let mut healthy = Vec::new();
+    for i in 1..=subscribers {
+        let stub = TokenStub::attach(&rts[i], obj).expect("attach");
+        if i <= crashers {
+            stub.leak(); // crashed: never cleans, never renews
+        } else {
+            healthy.push(stub);
+        }
+    }
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    let alive_with_holders = {
+        rts[0].tick(50); // within lease TTL
+        rts[0].collect_expired();
+        rts[0].is_exported(ObjectId(obj.object))
+    };
+    // All healthy subscribers release; leases run out.
+    drop(healthy);
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    rts[0].tick(500);
+    rts[0].collect_expired();
+    let alive_after_release = rts[0].is_exported(ObjectId(obj.object));
+    (alive_with_holders, alive_after_release)
+}
+
+fn main() {
+    println!("E7: distributed GC — published references vs crashed subscribers");
+    println!("S subscribers hold proxies from a published obvent; C of them crash\n");
+    let mut table = Table::new(&[
+        "dgc mode",
+        "S",
+        "crashed",
+        "alive (holders active)",
+        "alive (all released/expired)",
+    ]);
+    for (name, dgc) in [
+        ("strong", DgcMode::Strong),
+        ("leases(100ms)", DgcMode::Leases { ttl_ms: 100 }),
+    ] {
+        for (s, c) in [(8usize, 0usize), (8, 1), (64, 1), (64, 16)] {
+            let (with_holders, after) = run(dgc, s, c);
+            table.row(&[
+                name.to_string(),
+                s.to_string(),
+                c.to_string(),
+                with_holders.to_string(),
+                after.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "\nexpected shape: with any crashed subscriber, strong mode never collects\n\
+         (alive=true forever — the paper's caveat); lease mode always collects after\n\
+         expiry (alive=false), even when every subscriber crashed."
+    );
+}

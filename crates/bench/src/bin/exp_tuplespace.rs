@@ -1,0 +1,114 @@
+//! E9 report — §6.3: pub/sub vs tuple space.
+//!
+//! The same 1→N event-notification workload on three mechanisms, plus the
+//! semantic comparison the paper draws (copies vs consumption, push vs
+//! pull). Run with `cargo run --release -p psc-bench --bin exp_tuplespace`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use psc_bench::{fmt_f, quote_obvents, BenchQuote, Table};
+use psc_dace::inproc::Bus;
+use psc_tuplespace::{template, tuple, TupleSpace};
+use pubsub_core::FilterSpec;
+
+fn main() {
+    println!("E9: pub/sub vs tuple space — 1 producer, N consumers, 500 events\n");
+    let quotes = quote_obvents(13, 64);
+    let rounds = 500usize;
+    let mut table = Table::new(&[
+        "consumers",
+        "pubsub us/event",
+        "space react us/event",
+        "space rd-poll us/event",
+    ]);
+
+    for &n in &[1usize, 4, 16] {
+        // pub/sub push
+        let bus = Bus::new();
+        let publisher = bus.domain_inline();
+        let received = Arc::new(AtomicU64::new(0));
+        let _domains: Vec<_> = (0..n)
+            .map(|_| {
+                let d = bus.domain_inline();
+                let r = received.clone();
+                let sub = d.subscribe(FilterSpec::accept_all(), move |_q: BenchQuote| {
+                    r.fetch_add(1, Ordering::Relaxed);
+                });
+                sub.activate().unwrap();
+                sub.detach();
+                d
+            })
+            .collect();
+        let start = Instant::now();
+        for i in 0..rounds {
+            publisher.publish(quotes[i % quotes.len()].clone()).unwrap();
+        }
+        let pubsub_us = start.elapsed().as_secs_f64() * 1e6 / rounds as f64;
+
+        // space with reactions (push-like)
+        let space = TupleSpace::new();
+        let reacted = Arc::new(AtomicU64::new(0));
+        let _reactions: Vec<_> = (0..n)
+            .map(|_| {
+                let r = reacted.clone();
+                space.react(template![= "quote", str, float, int], move |_t| {
+                    r.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        let start = Instant::now();
+        for i in 0..rounds {
+            let q = &quotes[i % quotes.len()];
+            space.out(tuple![
+                "quote",
+                q.company().as_str(),
+                *q.price(),
+                *q.amount() as i64
+            ]);
+        }
+        let react_us = start.elapsed().as_secs_f64() * 1e6 / rounds as f64;
+
+        // space with polling readers (the original pull)
+        let space2 = TupleSpace::new();
+        let start = Instant::now();
+        for i in 0..rounds {
+            let q = &quotes[i % quotes.len()];
+            space2.out(tuple![
+                "quote",
+                q.company().as_str(),
+                *q.price(),
+                *q.amount() as i64
+            ]);
+            for _ in 0..n {
+                std::hint::black_box(space2.rd(&template![= "quote", str, float, int]));
+            }
+            space2.take(&template![= "quote", str, float, int]);
+        }
+        let poll_us = start.elapsed().as_secs_f64() * 1e6 / rounds as f64;
+
+        table.row(&[
+            n.to_string(),
+            fmt_f(pubsub_us),
+            fmt_f(react_us),
+            fmt_f(poll_us),
+        ]);
+    }
+    table.print();
+
+    println!("\nsemantic comparison (paper §6.3.3):");
+    let space = TupleSpace::new();
+    space.out(tuple!["job", 1]);
+    let a = space.take(&template![= "job", int]);
+    let b = space.take(&template![= "job", int]);
+    println!(
+        "  tuple space `in`: first taker gets the tuple ({}), second gets nothing ({}) — consumption",
+        a.is_some(),
+        b.is_none()
+    );
+    println!("  pub/sub publish: every subscriber gets its own clone — multicast semantics");
+    println!(
+        "  flow: rd/in block or poll (coupled); handlers are invoked asynchronously (decoupled)"
+    );
+}

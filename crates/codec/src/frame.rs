@@ -1,0 +1,176 @@
+//! Length-delimited framing for stream transports.
+//!
+//! The simulated network delivers whole datagrams, but the in-process
+//! threaded transport and the RMI substrate move byte streams around; frames
+//! give them message boundaries. A frame is a `u32` little-endian length
+//! followed by that many payload bytes.
+
+use crate::CodecError;
+
+/// Hard upper bound on a single frame's payload, guarding against corrupt
+/// length prefixes (16 MiB).
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Appends a frame containing `payload` to `out`.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_FRAME_LEN`]; obvents are small by
+/// design (paper §2.1.1: "small unbound objects").
+pub fn encode(payload: &[u8], out: &mut Vec<u8>) {
+    assert!(
+        payload.len() <= MAX_FRAME_LEN,
+        "frame payload of {} bytes exceeds MAX_FRAME_LEN",
+        payload.len()
+    );
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Attempts to split one frame off the front of `input`.
+///
+/// Returns `Ok(None)` when the buffer does not yet hold a complete frame
+/// (the caller should read more bytes), or `Ok(Some((payload, consumed)))`
+/// when a frame is available.
+///
+/// # Errors
+///
+/// Returns [`CodecError::LengthOverflow`] if the length prefix exceeds
+/// [`MAX_FRAME_LEN`].
+pub fn decode(input: &[u8]) -> Result<Option<(&[u8], usize)>, CodecError> {
+    if input.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(input[..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(CodecError::LengthOverflow {
+            claimed: len as u64,
+            remaining: MAX_FRAME_LEN,
+        });
+    }
+    if input.len() < 4 + len {
+        return Ok(None);
+    }
+    Ok(Some((&input[4..4 + len], 4 + len)))
+}
+
+/// Incremental frame reassembler for byte-stream inputs.
+///
+/// Feed arbitrary chunks with [`FrameBuffer::extend`] and drain complete
+/// frames with [`FrameBuffer::next_frame`].
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    cursor: usize,
+}
+
+impl FrameBuffer {
+    /// Creates an empty reassembly buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw stream bytes to the buffer.
+    pub fn extend(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Removes and returns the next complete frame payload, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CodecError::LengthOverflow`] for corrupt prefixes.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, CodecError> {
+        let result = match decode(&self.buf[self.cursor..])? {
+            None => None,
+            Some((payload, consumed)) => {
+                let owned = payload.to_vec();
+                self.cursor += consumed;
+                Some(owned)
+            }
+        };
+        // Compact once the consumed prefix dominates the buffer.
+        if self.cursor > 4096 && self.cursor * 2 > self.buf.len() {
+            self.buf.drain(..self.cursor);
+            self.cursor = 0;
+        }
+        Ok(result)
+    }
+
+    /// Number of buffered bytes not yet returned as frames.
+    pub fn pending_len(&self) -> usize {
+        self.buf.len() - self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let mut out = Vec::new();
+        encode(b"hello", &mut out);
+        let (payload, consumed) = decode(&out).unwrap().unwrap();
+        assert_eq!(payload, b"hello");
+        assert_eq!(consumed, out.len());
+    }
+
+    #[test]
+    fn empty_payload_is_a_valid_frame() {
+        let mut out = Vec::new();
+        encode(b"", &mut out);
+        let (payload, consumed) = decode(&out).unwrap().unwrap();
+        assert!(payload.is_empty());
+        assert_eq!(consumed, 4);
+    }
+
+    #[test]
+    fn incomplete_frames_return_none() {
+        let mut out = Vec::new();
+        encode(b"hello", &mut out);
+        assert!(decode(&out[..3]).unwrap().is_none());
+        assert!(decode(&out[..6]).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let bad = (MAX_FRAME_LEN as u32 + 1).to_le_bytes();
+        assert!(matches!(
+            decode(&bad),
+            Err(CodecError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_across_chunks() {
+        let mut stream = Vec::new();
+        encode(b"one", &mut stream);
+        encode(b"two", &mut stream);
+        encode(b"three", &mut stream);
+
+        let mut fb = FrameBuffer::new();
+        let mut frames = Vec::new();
+        // Feed the stream two bytes at a time.
+        for chunk in stream.chunks(2) {
+            fb.extend(chunk);
+            while let Some(frame) = fb.next_frame().unwrap() {
+                frames.push(frame);
+            }
+        }
+        assert_eq!(frames, vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()]);
+        assert_eq!(fb.pending_len(), 0);
+    }
+
+    #[test]
+    fn frame_buffer_compacts_consumed_prefix() {
+        let mut fb = FrameBuffer::new();
+        let mut stream = Vec::new();
+        encode(&vec![7u8; 2048], &mut stream);
+        for _ in 0..8 {
+            fb.extend(&stream);
+            assert!(fb.next_frame().unwrap().is_some());
+        }
+        assert_eq!(fb.pending_len(), 0);
+    }
+}

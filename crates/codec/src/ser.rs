@@ -1,0 +1,366 @@
+//! The serializer half of the format; see the crate docs for the wire layout.
+
+use serde::ser::{self, Serialize};
+
+use crate::{varint, CodecError};
+
+/// Serializes `value` into a freshly allocated byte vector.
+///
+/// # Errors
+///
+/// Returns an error only if the value's `Serialize` implementation raises a
+/// custom error or uses an unsupported feature (there are none for the
+/// standard derive).
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, CodecError> {
+    let mut ser = Serializer::new();
+    value.serialize(&mut ser)?;
+    Ok(ser.into_bytes())
+}
+
+/// Serializes `value` and writes the bytes to `writer`.
+///
+/// A `&mut W` can be passed wherever `W: Write` is expected.
+///
+/// # Errors
+///
+/// Propagates serialization errors and writer I/O errors.
+pub fn to_writer<T: Serialize + ?Sized, W: std::io::Write>(
+    value: &T,
+    mut writer: W,
+) -> Result<(), CodecError> {
+    let bytes = to_bytes(value)?;
+    writer.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Streaming serializer producing the psc-codec wire format.
+///
+/// Most callers should use [`to_bytes`]; the type is public so that higher
+/// layers can reuse one output buffer across many messages.
+#[derive(Debug, Default)]
+pub struct Serializer {
+    out: Vec<u8>,
+}
+
+impl Serializer {
+    /// Creates a serializer with an empty output buffer.
+    pub fn new() -> Self {
+        Serializer { out: Vec::new() }
+    }
+
+    /// Creates a serializer that appends to `buf`, reusing its capacity.
+    pub fn with_buffer(buf: Vec<u8>) -> Self {
+        Serializer { out: buf }
+    }
+
+    /// Consumes the serializer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.out
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        varint::encode_u64(v, &mut self.out);
+    }
+
+    fn put_i64(&mut self, v: i64) {
+        varint::encode_i64(v, &mut self.out);
+    }
+}
+
+impl<'a> ser::Serializer for &'a mut Serializer {
+    type Ok = ();
+    type Error = CodecError;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+    type SerializeTupleVariant = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), CodecError> {
+        self.out.push(v as u8);
+        Ok(())
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<(), CodecError> {
+        self.put_i64(v as i64);
+        Ok(())
+    }
+
+    fn serialize_i16(self, v: i16) -> Result<(), CodecError> {
+        self.put_i64(v as i64);
+        Ok(())
+    }
+
+    fn serialize_i32(self, v: i32) -> Result<(), CodecError> {
+        self.put_i64(v as i64);
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), CodecError> {
+        self.put_i64(v);
+        Ok(())
+    }
+
+    fn serialize_u8(self, v: u8) -> Result<(), CodecError> {
+        self.put_u64(v as u64);
+        Ok(())
+    }
+
+    fn serialize_u16(self, v: u16) -> Result<(), CodecError> {
+        self.put_u64(v as u64);
+        Ok(())
+    }
+
+    fn serialize_u32(self, v: u32) -> Result<(), CodecError> {
+        self.put_u64(v as u64);
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), CodecError> {
+        self.put_u64(v);
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), CodecError> {
+        self.put_u64(v as u64);
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), CodecError> {
+        self.put_u64(v.len() as u64);
+        self.out.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), CodecError> {
+        self.put_u64(v.len() as u64);
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), CodecError> {
+        self.out.push(0);
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), CodecError> {
+        self.out.push(1);
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), CodecError> {
+        self.put_u64(variant_index as u64);
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        self.put_u64(variant_index as u64);
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Compound<'a>, CodecError> {
+        let len = len.ok_or(CodecError::Unsupported("sequences of unknown length"))?;
+        self.put_u64(len as u64);
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Compound<'a>, CodecError> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, CodecError> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, CodecError> {
+        self.put_u64(variant_index as u64);
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<Compound<'a>, CodecError> {
+        let len = len.ok_or(CodecError::Unsupported("maps of unknown length"))?;
+        self.put_u64(len as u64);
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, CodecError> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, CodecError> {
+        self.put_u64(variant_index as u64);
+        Ok(Compound { ser: self })
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+/// In-progress compound value (seq, map, tuple, struct, or variant).
+#[derive(Debug)]
+pub struct Compound<'a> {
+    ser: &'a mut Serializer,
+}
+
+impl ser::SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for Compound<'_> {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleStruct for Compound<'_> {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleVariant for Compound<'_> {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), CodecError> {
+        key.serialize(&mut *self.ser)
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for Compound<'_> {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}

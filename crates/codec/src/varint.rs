@@ -1,0 +1,181 @@
+//! LEB128 variable-length integers and zigzag mapping.
+//!
+//! Unsigned integers are encoded 7 bits at a time, least-significant group
+//! first, with the high bit of each byte signalling continuation. Signed
+//! integers are first zigzag-mapped so that small-magnitude values (positive
+//! or negative) encode to few bytes.
+
+use crate::CodecError;
+
+/// Maximum number of bytes a `u64` LEB128 varint can occupy.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends the LEB128 encoding of `value` to `out`.
+///
+/// ```
+/// let mut buf = Vec::new();
+/// psc_codec::varint::encode_u64(300, &mut buf);
+/// assert_eq!(buf, [0xac, 0x02]);
+/// ```
+pub fn encode_u64(mut value: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes a LEB128 varint from `input` starting at `offset`.
+///
+/// Returns the decoded value and the number of bytes consumed.
+///
+/// # Errors
+///
+/// Returns [`CodecError::UnexpectedEof`] if the input ends mid-varint and
+/// [`CodecError::InvalidVarint`] if the encoding overflows 64 bits.
+pub fn decode_u64(input: &[u8], offset: usize) -> Result<(u64, usize), CodecError> {
+    let mut value: u64 = 0;
+    let mut shift: u32 = 0;
+    for (i, &byte) in input.iter().skip(offset).take(MAX_VARINT_LEN).enumerate() {
+        let group = u64::from(byte & 0x7f);
+        if shift == 63 && group > 1 {
+            return Err(CodecError::InvalidVarint { offset });
+        }
+        value |= group << shift;
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+        shift += 7;
+    }
+    if input.len().saturating_sub(offset) >= MAX_VARINT_LEN {
+        Err(CodecError::InvalidVarint { offset })
+    } else {
+        Err(CodecError::UnexpectedEof {
+            offset: input.len(),
+        })
+    }
+}
+
+/// Maps a signed integer to an unsigned one such that values of small
+/// magnitude map to small codes: `0 → 0, -1 → 1, 1 → 2, -2 → 3, …`.
+#[inline]
+pub fn zigzag_encode(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+#[inline]
+pub fn zigzag_decode(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Appends the zigzag + LEB128 encoding of `value` to `out`.
+pub fn encode_i64(value: i64, out: &mut Vec<u8>) {
+    encode_u64(zigzag_encode(value), out);
+}
+
+/// Decodes a zigzag + LEB128 signed varint; see [`decode_u64`] for errors.
+pub fn decode_i64(input: &[u8], offset: usize) -> Result<(i64, usize), CodecError> {
+    let (raw, len) = decode_u64(input, offset)?;
+    Ok((zigzag_decode(raw), len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_single_bytes() {
+        for v in 0..128u64 {
+            let mut buf = Vec::new();
+            encode_u64(v, &mut buf);
+            assert_eq!(buf.len(), 1);
+            assert_eq!(decode_u64(&buf, 0).unwrap(), (v, 1));
+        }
+    }
+
+    #[test]
+    fn boundary_values_roundtrip() {
+        for v in [
+            0u64,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            encode_u64(v, &mut buf);
+            let (back, len) = decode_u64(&buf, 0).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(len, buf.len());
+        }
+    }
+
+    #[test]
+    fn zigzag_maps_small_magnitudes_to_small_codes() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+        assert_eq!(zigzag_decode(zigzag_encode(i64::MIN)), i64::MIN);
+        assert_eq!(zigzag_decode(zigzag_encode(i64::MAX)), i64::MAX);
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        for v in [i64::MIN, -1_000_000, -1, 0, 1, 1_000_000, i64::MAX] {
+            let mut buf = Vec::new();
+            encode_i64(v, &mut buf);
+            let (back, len) = decode_i64(&buf, 0).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(len, buf.len());
+        }
+    }
+
+    #[test]
+    fn truncated_varint_reports_eof() {
+        let mut buf = Vec::new();
+        encode_u64(u64::MAX, &mut buf);
+        buf.pop();
+        assert!(matches!(
+            decode_u64(&buf, 0),
+            Err(CodecError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        // Eleven continuation bytes can never be a valid u64 varint.
+        let buf = [0xffu8; 11];
+        assert!(matches!(
+            decode_u64(&buf, 0),
+            Err(CodecError::InvalidVarint { .. })
+        ));
+    }
+
+    #[test]
+    fn overflowing_final_group_is_rejected() {
+        // 10 bytes whose last group contributes more than the 1 remaining bit.
+        let buf = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        assert!(matches!(
+            decode_u64(&buf, 0),
+            Err(CodecError::InvalidVarint { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_respects_offset() {
+        let mut buf = vec![0xde, 0xad];
+        encode_u64(300, &mut buf);
+        let (v, len) = decode_u64(&buf, 2).unwrap();
+        assert_eq!(v, 300);
+        assert_eq!(len, 2);
+    }
+}

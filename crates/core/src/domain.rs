@@ -1,0 +1,424 @@
+//! The [`Domain`]: one address space's publish/subscribe endpoint.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::RwLock;
+
+use psc_filter::RemoteFilter;
+use psc_obvent::{KindId, Obvent, ObventKind, ObventView, WireObvent};
+
+use crate::error::{PublishError, SubscribeError, UnsubscribeError};
+use crate::executor::{ExecMode, Executor, ThreadPolicy};
+use crate::spec::FilterSpec;
+use crate::subscription::Subscription;
+
+/// Identifier of a subscription within its domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubId(pub u64);
+
+/// What the dissemination fabric needs to know about an activated
+/// subscription: its id, subscribed kind, the migratable filter part, and a
+/// durable id for certified re-attachment (paper §3.4.1's
+/// `activate(long id)`).
+#[derive(Debug, Clone)]
+pub struct SubscriptionRecord {
+    /// Domain-local subscription id.
+    pub id: SubId,
+    /// Subscribed obvent kind (instances of subtypes match).
+    pub kind: KindId,
+    /// The migratable filter part, if any (may be factored/migrated by the
+    /// fabric); the local closure part always runs subscriber-side.
+    pub remote_filter: Option<RemoteFilter>,
+    /// Durable identity for subscriptions outliving the process.
+    pub durable_id: Option<u64>,
+}
+
+/// A pluggable distribution fabric behind a [`Domain`].
+///
+/// `pubsub-core` ships [`Loopback`]; `psc-dace` provides the networked
+/// class-based dissemination. Implementations receive the domain's
+/// [`DeliverySink`] at construction time and call
+/// [`DeliverySink::deliver`] for every obvent that reaches this address
+/// space.
+pub trait Dissemination: Send + Sync {
+    /// Disseminates a published obvent.
+    ///
+    /// # Errors
+    ///
+    /// Fabric-specific failures, surfaced as `CannotPublish`.
+    fn publish(&self, wire: WireObvent) -> Result<(), PublishError>;
+
+    /// Registers an activated subscription.
+    ///
+    /// # Errors
+    ///
+    /// Fabric-specific failures, surfaced as `CannotSubscribe`.
+    fn subscribe(&self, record: SubscriptionRecord) -> Result<(), SubscribeError>;
+
+    /// Withdraws a subscription.
+    ///
+    /// # Errors
+    ///
+    /// Fabric-specific failures, surfaced as `CannotUnsubscribe`.
+    fn unsubscribe(&self, id: SubId) -> Result<(), UnsubscribeError>;
+}
+
+struct SubEntry {
+    kind: KindId,
+    remote_filter: Option<RemoteFilter>,
+    /// Erased decode + local-filter + handler pipeline.
+    dispatch: Arc<dyn Fn(&WireObvent) + Send + Sync>,
+    active: bool,
+    durable_id: Option<u64>,
+}
+
+pub(crate) struct DomainInner {
+    subs: RwLock<HashMap<SubId, SubEntry>>,
+    next_id: AtomicU64,
+    backend: RwLock<Option<Box<dyn Dissemination>>>,
+    executor: Executor,
+    delivered_count: AtomicU64,
+}
+
+/// One address space's pub/sub endpoint: create with
+/// [`Domain::in_process`] (loopback fabric) or [`Domain::with_backend`]
+/// (custom fabric, e.g. DACE). Cloning is cheap and shares the endpoint.
+#[derive(Clone)]
+pub struct Domain {
+    inner: Arc<DomainInner>,
+}
+
+/// Handle the fabric uses to deliver obvents into a domain; holds the
+/// domain weakly so fabrics don't keep dead domains alive.
+#[derive(Clone)]
+pub struct DeliverySink {
+    inner: Weak<DomainInner>,
+}
+
+impl DeliverySink {
+    /// Delivers an obvent to every matching active subscription of the
+    /// domain. Returns the number of subscriptions that accepted it (0 when
+    /// the domain is gone).
+    pub fn deliver(&self, wire: &WireObvent) -> usize {
+        match self.inner.upgrade() {
+            Some(inner) => inner.deliver(wire),
+            None => 0,
+        }
+    }
+
+    /// True while the domain behind this sink is alive.
+    pub fn is_alive(&self) -> bool {
+        self.inner.strong_count() > 0
+    }
+}
+
+impl std::fmt::Debug for DeliverySink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeliverySink")
+            .field("alive", &self.is_alive())
+            .finish()
+    }
+}
+
+/// The in-process fabric: publishing delivers straight back into the same
+/// domain. This is the degenerate single-address-space deployment the paper
+/// uses to introduce the primitives before distribution enters the picture.
+pub struct Loopback {
+    sink: DeliverySink,
+}
+
+impl Dissemination for Loopback {
+    fn publish(&self, wire: WireObvent) -> Result<(), PublishError> {
+        self.sink.deliver(&wire);
+        Ok(())
+    }
+
+    fn subscribe(&self, _record: SubscriptionRecord) -> Result<(), SubscribeError> {
+        Ok(())
+    }
+
+    fn unsubscribe(&self, _id: SubId) -> Result<(), UnsubscribeError> {
+        Ok(())
+    }
+}
+
+impl Domain {
+    /// Creates a domain over the in-process [`Loopback`] fabric with inline
+    /// handler execution.
+    pub fn in_process() -> Domain {
+        Domain::with_backend(ExecMode::Inline, |sink| Box::new(Loopback { sink }))
+    }
+
+    /// Creates a domain over the in-process [`Loopback`] fabric with a
+    /// worker pool of `threads` (for thread-policy semantics).
+    pub fn in_process_pooled(threads: usize) -> Domain {
+        Domain::with_backend(ExecMode::Pool { threads }, |sink| {
+            Box::new(Loopback { sink })
+        })
+    }
+
+    /// Creates a domain whose fabric is built by `make_backend`, which
+    /// receives the domain's [`DeliverySink`].
+    pub fn with_backend(
+        mode: ExecMode,
+        make_backend: impl FnOnce(DeliverySink) -> Box<dyn Dissemination>,
+    ) -> Domain {
+        let inner = Arc::new(DomainInner {
+            subs: RwLock::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            backend: RwLock::new(None),
+            executor: Executor::new(mode),
+            delivered_count: AtomicU64::new(0),
+        });
+        let sink = DeliverySink {
+            inner: Arc::downgrade(&inner),
+        };
+        let backend = make_backend(sink);
+        *inner.backend.write() = Some(backend);
+        Domain { inner }
+    }
+
+    /// A sink for delivering obvents into this domain (used by fabrics and
+    /// tests).
+    pub fn sink(&self) -> DeliverySink {
+        DeliverySink {
+            inner: Arc::downgrade(&self.inner),
+        }
+    }
+
+    /// Publishes an obvent — the `publish o;` primitive (§3.2). The obvent
+    /// is serialized once; every matching subscriber (local and, with a
+    /// networked fabric, remote) receives a fresh clone.
+    ///
+    /// # Errors
+    ///
+    /// [`PublishError`] when encoding fails or the fabric rejects the
+    /// obvent.
+    pub fn publish<O: Obvent>(&self, obvent: O) -> Result<(), PublishError> {
+        // Ensure the kind (and its decoder) is registered before the wire
+        // obvent circulates.
+        let _ = O::kind();
+        let wire = WireObvent::encode(&obvent)?;
+        self.publish_wire(wire)
+    }
+
+    /// Publishes an already-encoded obvent (relay paths).
+    ///
+    /// # Errors
+    ///
+    /// [`PublishError`] when the fabric rejects the obvent.
+    pub fn publish_wire(&self, wire: WireObvent) -> Result<(), PublishError> {
+        let backend = self.inner.backend.read();
+        match backend.as_ref() {
+            Some(backend) => backend.publish(wire),
+            None => Err(PublishError::DomainClosed),
+        }
+    }
+
+    /// Creates a subscription to obvent class `O` — the
+    /// `subscribe (T t) {filter} {handler}` primitive (§3.3). The returned
+    /// handle is **inactive**; call [`Subscription::activate`].
+    ///
+    /// The handler receives an owned, fresh clone per delivery (§2.1.2).
+    pub fn subscribe<O: Obvent>(
+        &self,
+        filter: FilterSpec<O>,
+        handler: impl Fn(O) + Send + Sync + 'static,
+    ) -> Subscription {
+        let kind = O::kind();
+        let local = filter.local.clone();
+        let dispatch: Arc<dyn Fn(&WireObvent) + Send + Sync> = Arc::new(move |wire| {
+            if let Ok(obvent) = wire.decode_as::<O>() {
+                if local.as_ref().map_or(true, |f| f.eval(&obvent)) {
+                    handler(obvent);
+                }
+            }
+        });
+        self.subscribe_erased(kind, filter.remote, dispatch)
+    }
+
+    /// Creates a subscription to an obvent **kind** (typically an
+    /// interface, including the QoS markers), delivering dynamic
+    /// [`ObventView`]s — the §5.5.1 reflection-style variant.
+    pub fn subscribe_view(
+        &self,
+        kind: &'static ObventKind,
+        filter: FilterSpec<ObventView>,
+        handler: impl Fn(ObventView) + Send + Sync + 'static,
+    ) -> Subscription {
+        let local = filter.local.clone();
+        let dispatch: Arc<dyn Fn(&WireObvent) + Send + Sync> = Arc::new(move |wire| {
+            if let Ok(view) = wire.view() {
+                if local.as_ref().map_or(true, |f| f.eval(&view)) {
+                    handler(view);
+                }
+            }
+        });
+        self.subscribe_erased(kind, filter.remote, dispatch)
+    }
+
+    fn subscribe_erased(
+        &self,
+        kind: &'static ObventKind,
+        remote_filter: Option<RemoteFilter>,
+        dispatch: Arc<dyn Fn(&WireObvent) + Send + Sync>,
+    ) -> Subscription {
+        let id = SubId(self.inner.next_id.fetch_add(1, Ordering::SeqCst));
+        let entry = SubEntry {
+            kind: kind.id(),
+            remote_filter,
+            dispatch,
+            active: false,
+            durable_id: None,
+        };
+        self.inner.subs.write().insert(id, entry);
+        Subscription::new(Arc::downgrade(&self.inner), id)
+    }
+
+    /// Blocks until all in-flight handler executions finish (pool mode);
+    /// immediate with inline execution. Deterministic tests call this after
+    /// publishing.
+    pub fn drain(&self) {
+        self.inner.executor.drain();
+    }
+
+    /// Total obvents delivered to handlers of this domain.
+    pub fn delivered_count(&self) -> u64 {
+        self.inner.delivered_count.load(Ordering::SeqCst)
+    }
+
+    /// Number of currently active subscriptions.
+    pub fn active_subscriptions(&self) -> usize {
+        self.inner.subs.read().values().filter(|e| e.active).count()
+    }
+
+    /// Shuts the domain down: deactivates everything and detaches the
+    /// fabric. Publishing afterwards fails with
+    /// [`PublishError::DomainClosed`].
+    pub fn close(&self) {
+        self.inner.subs.write().clear();
+        *self.inner.backend.write() = None;
+    }
+}
+
+impl std::fmt::Debug for Domain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Domain")
+            .field("subscriptions", &self.inner.subs.read().len())
+            .field("delivered", &self.delivered_count())
+            .finish()
+    }
+}
+
+impl DomainInner {
+    /// Core dispatch: kind conformance → remote filter → handler (which
+    /// applies the local filter after decoding). Returns how many
+    /// subscriptions matched.
+    fn deliver(&self, wire: &WireObvent) -> usize {
+        let mut matched = 0;
+        // Lazily computed dynamic view shared by all remote filters.
+        let mut view: Option<Option<ObventView>> = None;
+        let subs = self.subs.read();
+        let mut jobs: Vec<(SubId, Arc<dyn Fn(&WireObvent) + Send + Sync>)> = Vec::new();
+        for (&id, entry) in subs.iter() {
+            if !entry.active {
+                continue;
+            }
+            if !psc_obvent::registry::is_subtype(wire.kind_id(), entry.kind) {
+                continue;
+            }
+            if let Some(filter) = &entry.remote_filter {
+                let view = view.get_or_insert_with(|| wire.view().ok());
+                match view {
+                    Some(view) => {
+                        if !filter.matches(view) {
+                            continue;
+                        }
+                    }
+                    // No decoder for this kind here: cannot evaluate the
+                    // content filter, so the conservative choice is to
+                    // deliver nothing.
+                    None => continue,
+                }
+            }
+            matched += 1;
+            jobs.push((id, Arc::clone(&entry.dispatch)));
+        }
+        drop(subs);
+        for (id, dispatch) in jobs {
+            self.delivered_count.fetch_add(1, Ordering::SeqCst);
+            let wire = wire.clone();
+            self.executor.submit(id, move || dispatch(&wire));
+        }
+        matched
+    }
+
+    // ---- subscription handle operations ----
+
+    pub(crate) fn activate(&self, id: SubId, durable_id: Option<u64>) -> Result<(), SubscribeError> {
+        let record = {
+            let mut subs = self.subs.write();
+            if let Some(durable) = durable_id {
+                let clash = subs
+                    .iter()
+                    .any(|(&other, e)| other != id && e.active && e.durable_id == Some(durable));
+                if clash {
+                    return Err(SubscribeError::DurableIdInUse(durable));
+                }
+            }
+            let entry = subs.get_mut(&id).ok_or(SubscribeError::DomainClosed)?;
+            if entry.active {
+                return Err(SubscribeError::AlreadyActive);
+            }
+            entry.active = true;
+            entry.durable_id = durable_id;
+            SubscriptionRecord {
+                id,
+                kind: entry.kind,
+                remote_filter: entry.remote_filter.clone(),
+                durable_id,
+            }
+        };
+        let backend = self.backend.read();
+        let backend = backend.as_ref().ok_or(SubscribeError::DomainClosed)?;
+        match backend.subscribe(record) {
+            Ok(()) => Ok(()),
+            Err(err) => {
+                // Roll back the activation.
+                if let Some(entry) = self.subs.write().get_mut(&id) {
+                    entry.active = false;
+                }
+                Err(err)
+            }
+        }
+    }
+
+    pub(crate) fn deactivate(&self, id: SubId) -> Result<(), UnsubscribeError> {
+        {
+            let mut subs = self.subs.write();
+            let entry = subs.get_mut(&id).ok_or(UnsubscribeError::DomainClosed)?;
+            if !entry.active {
+                return Err(UnsubscribeError::NotActive);
+            }
+            entry.active = false;
+        }
+        let backend = self.backend.read();
+        let backend = backend.as_ref().ok_or(UnsubscribeError::DomainClosed)?;
+        backend.unsubscribe(id)
+    }
+
+    pub(crate) fn is_active(&self, id: SubId) -> bool {
+        self.subs.read().get(&id).is_some_and(|e| e.active)
+    }
+
+    pub(crate) fn set_policy(&self, id: SubId, policy: ThreadPolicy) {
+        self.executor.set_policy(id, policy);
+    }
+
+    pub(crate) fn drop_subscription(&self, id: SubId) {
+        self.subs.write().remove(&id);
+        self.executor.remove_sub(id);
+    }
+}

@@ -1,0 +1,97 @@
+//! The pub/sub error types (paper Fig. 3's `NotificationException`s).
+
+use std::fmt;
+
+use psc_obvent::ObventError;
+
+/// Raised by `publish` — the paper's `CannotPublishException`.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PublishError {
+    /// The obvent could not be serialized.
+    Encode(ObventError),
+    /// The dissemination fabric rejected the obvent.
+    Backend(String),
+    /// The domain has been shut down.
+    DomainClosed,
+}
+
+impl fmt::Display for PublishError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PublishError::Encode(err) => write!(f, "cannot publish: {err}"),
+            PublishError::Backend(msg) => write!(f, "cannot publish: {msg}"),
+            PublishError::DomainClosed => write!(f, "cannot publish: domain closed"),
+        }
+    }
+}
+
+impl std::error::Error for PublishError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PublishError::Encode(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ObventError> for PublishError {
+    fn from(err: ObventError) -> Self {
+        PublishError::Encode(err)
+    }
+}
+
+/// Raised by `Subscription::activate` — the paper's
+/// `CannotSubscribeException`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SubscribeError {
+    /// "…if the subscription is already activated" (§3.4.1).
+    AlreadyActive,
+    /// The requested durable id is already bound to an active subscription.
+    DurableIdInUse(u64),
+    /// The dissemination fabric rejected the subscription.
+    Backend(String),
+    /// The domain has been shut down.
+    DomainClosed,
+}
+
+impl fmt::Display for SubscribeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubscribeError::AlreadyActive => write!(f, "cannot subscribe: already active"),
+            SubscribeError::DurableIdInUse(id) => {
+                write!(f, "cannot subscribe: durable id {id} already in use")
+            }
+            SubscribeError::Backend(msg) => write!(f, "cannot subscribe: {msg}"),
+            SubscribeError::DomainClosed => write!(f, "cannot subscribe: domain closed"),
+        }
+    }
+}
+
+impl std::error::Error for SubscribeError {}
+
+/// Raised by `Subscription::deactivate` — the paper's
+/// `CannotUnsubscribeException`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum UnsubscribeError {
+    /// The subscription is not currently active.
+    NotActive,
+    /// The dissemination fabric rejected the unsubscription.
+    Backend(String),
+    /// The domain has been shut down.
+    DomainClosed,
+}
+
+impl fmt::Display for UnsubscribeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnsubscribeError::NotActive => write!(f, "cannot unsubscribe: not active"),
+            UnsubscribeError::Backend(msg) => write!(f, "cannot unsubscribe: {msg}"),
+            UnsubscribeError::DomainClosed => write!(f, "cannot unsubscribe: domain closed"),
+        }
+    }
+}
+
+impl std::error::Error for UnsubscribeError {}

@@ -1,0 +1,242 @@
+//! Handler execution and thread policies (paper §3.3.5).
+//!
+//! "Multi-threading: a handler can be executed concurrently for any number
+//! of obvents. These semantics are assumed by default … Single-threading: a
+//! handler never processes more than one obvent at a time." Policies attach
+//! to the subscription handle (`setSingleThreading` / `setMultiThreading`,
+//! Fig. 3) and are enforced here: each subscription owns a queue with a
+//! concurrency bound; a shared worker pool drains the queues.
+//!
+//! Two execution modes exist because the workspace has two runtimes: the
+//! deterministic simulator needs inline (same-thread) execution, while live
+//! examples use the pool.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::domain::SubId;
+
+/// Concurrency policy of one subscription's handler (paper §3.3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadPolicy {
+    /// Any number of concurrent handler executions (the default).
+    Multi,
+    /// At most `max` concurrent executions.
+    Bounded(usize),
+    /// At most one execution at a time.
+    Single,
+}
+
+impl ThreadPolicy {
+    fn limit(self) -> usize {
+        match self {
+            ThreadPolicy::Multi => usize::MAX,
+            ThreadPolicy::Bounded(max) => max.max(1),
+            ThreadPolicy::Single => 1,
+        }
+    }
+}
+
+/// How a domain runs handlers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Run handlers synchronously on the delivering thread (used inside the
+    /// deterministic simulator; thread policies are trivially satisfied).
+    Inline,
+    /// Run handlers on a pool of `threads` workers, honouring per-
+    /// subscription thread policies.
+    Pool {
+        /// Number of worker threads.
+        threads: usize,
+    },
+}
+
+type Job = Box<dyn FnOnce() + Send>;
+
+#[derive(Default)]
+struct SubQueue {
+    running: usize,
+    pending: VecDeque<Job>,
+    policy_limit: usize,
+}
+
+pub(crate) struct Executor {
+    mode: ExecMode,
+    queues: Arc<Mutex<HashMap<SubId, SubQueue>>>,
+    injector: Option<Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    in_flight: Arc<AtomicUsize>,
+}
+
+impl Executor {
+    pub(crate) fn new(mode: ExecMode) -> Self {
+        let queues = Arc::new(Mutex::new(HashMap::new()));
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let (injector, workers) = match mode {
+            ExecMode::Inline => (None, Vec::new()),
+            ExecMode::Pool { threads } => {
+                let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+                let workers = (0..threads.max(1))
+                    .map(|i| {
+                        let rx = rx.clone();
+                        std::thread::Builder::new()
+                            .name(format!("pubsub-worker-{i}"))
+                            .spawn(move || {
+                                while let Ok(job) = rx.recv() {
+                                    job();
+                                }
+                            })
+                            .expect("spawn pubsub worker")
+                    })
+                    .collect();
+                (Some(tx), workers)
+            }
+        };
+        Executor {
+            mode,
+            queues,
+            injector,
+            workers,
+            in_flight,
+        }
+    }
+
+    pub(crate) fn set_policy(&self, sub: SubId, policy: ThreadPolicy) {
+        let mut queues = self.queues.lock();
+        queues.entry(sub).or_insert_with(|| SubQueue {
+            policy_limit: ThreadPolicy::Multi.limit(),
+            ..SubQueue::default()
+        });
+        queues.get_mut(&sub).expect("just inserted").policy_limit = policy.limit();
+    }
+
+    pub(crate) fn remove_sub(&self, sub: SubId) {
+        self.queues.lock().remove(&sub);
+    }
+
+    /// Submits one handler execution for `sub`.
+    pub(crate) fn submit(&self, sub: SubId, job: impl FnOnce() + Send + 'static) {
+        match self.mode {
+            ExecMode::Inline => job(),
+            ExecMode::Pool { .. } => {
+                let injector = self.injector.as_ref().expect("pool mode has injector");
+                let mut queues = self.queues.lock();
+                let queue = queues.entry(sub).or_insert_with(|| SubQueue {
+                    policy_limit: ThreadPolicy::Multi.limit(),
+                    ..SubQueue::default()
+                });
+                if queue.running < queue.policy_limit {
+                    queue.running += 1;
+                    drop(queues);
+                    self.in_flight.fetch_add(1, Ordering::SeqCst);
+                    let wrapped = self.wrap(sub, Box::new(job));
+                    let _ = injector.send(wrapped);
+                } else {
+                    queue.pending.push_back(Box::new(job));
+                    // Account queued-but-not-running work so `drain` waits
+                    // for it too.
+                    self.in_flight.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+
+    /// Wraps a job so that, on completion, the subscription's queue is
+    /// re-examined (continuation scheduling).
+    fn wrap(&self, sub: SubId, job: Job) -> Job {
+        let queues = Arc::clone(&self.queues);
+        let injector = self.injector.clone().expect("pool mode has injector");
+        let in_flight = Arc::clone(&self.in_flight);
+        Box::new(move || {
+            job();
+            in_flight.fetch_sub(1, Ordering::SeqCst);
+            // Pull the next pending job for this subscription, if allowed.
+            let next = {
+                let mut queues = queues.lock();
+                match queues.get_mut(&sub) {
+                    Some(queue) => match queue.pending.pop_front() {
+                        Some(next) => Some(next),
+                        None => {
+                            queue.running = queue.running.saturating_sub(1);
+                            None
+                        }
+                    },
+                    None => None,
+                }
+            };
+            if let Some(next) = next {
+                // Re-wrap so the chain continues.
+                let rewrapped = rewrap(sub, next, queues, injector.clone(), in_flight);
+                let _ = injector.send(rewrapped);
+            }
+        })
+    }
+
+    /// Number of submitted-but-not-finished handler executions.
+    pub(crate) fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until all submitted handlers have run (pool mode); immediate
+    /// in inline mode.
+    pub(crate) fn drain(&self) {
+        while self.in_flight() > 0 {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Free-function twin of [`Executor::wrap`] used from inside worker
+/// continuations (no `&Executor` available there).
+fn rewrap(
+    sub: SubId,
+    job: Job,
+    queues: Arc<Mutex<HashMap<SubId, SubQueue>>>,
+    injector: Sender<Job>,
+    in_flight: Arc<AtomicUsize>,
+) -> Job {
+    Box::new(move || {
+        job();
+        in_flight.fetch_sub(1, Ordering::SeqCst);
+        let next = {
+            let mut guard = queues.lock();
+            match guard.get_mut(&sub) {
+                Some(queue) => match queue.pending.pop_front() {
+                    Some(next) => Some(next),
+                    None => {
+                        queue.running = queue.running.saturating_sub(1);
+                        None
+                    }
+                },
+                None => None,
+            }
+        };
+        if let Some(next) = next {
+            let rewrapped = rewrap(sub, next, queues, injector.clone(), in_flight);
+            let _ = injector.send(rewrapped);
+        }
+    })
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        // Disconnect the channel so workers exit, then join them.
+        self.injector = None;
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("mode", &self.mode)
+            .field("in_flight", &self.in_flight())
+            .finish()
+    }
+}

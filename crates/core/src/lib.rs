@@ -1,0 +1,91 @@
+#![warn(missing_docs)]
+
+//! # pubsub-core — the `publish` / `subscribe` primitives (the paper's
+//! contribution)
+//!
+//! This crate is the Rust rendition of **Java_ps** (paper §3): type-based
+//! publish/subscribe as language-level primitives, implemented by generated
+//! typed adapters instead of virtual-machine changes (§4).
+//!
+//! | paper construct | here |
+//! |---|---|
+//! | `publish o;` (§3.2) | [`publish!`] / [`Domain::publish`] |
+//! | `subscribe (T t) {filter} {handler}` (§3.3, Fig. 5) | [`subscribe!`] / [`Domain::subscribe`] |
+//! | `Subscription` handle (Fig. 3) | [`Subscription`]: `activate`, `activate_with_id`, `deactivate`, `set_single_threading`, `set_multi_threading` |
+//! | `CannotPublishException` etc. (Fig. 3) | [`PublishError`], [`SubscribeError`], [`UnsubscribeError`] |
+//! | generated `TAdapter` (§4.3, Fig. 6) | `TAdapter` emitted by [`obvent!`] |
+//! | filters: migratable vs local (§3.3.4, §4.4.3) | [`FilterSpec`]: `Remote(RemoteFilter)` or `Local(closure)` |
+//! | thread policies (§3.3.5) | [`ThreadPolicy`]: multi-threading by default, single-threading / bounded on request |
+//!
+//! A [`Domain`] is one address space's pub/sub endpoint. It dispatches
+//! obvents to the subscriptions whose **type** they conform to (dynamic kind
+//! is a subtype of the subscribed kind) and whose **filter** they pass; each
+//! matching handler receives its own fresh clone (§2.1.2 uniqueness). The
+//! distribution fabric behind a domain is pluggable through
+//! [`Dissemination`]: this crate ships the in-process [`loopback`] fabric,
+//! and `psc-dace` provides the networked class-based dissemination.
+//!
+//! ```
+//! use pubsub_core::{obvent, publish, subscribe, Domain};
+//!
+//! obvent! {
+//!     /// Paper Fig. 2.
+//!     pub class StockQuote {
+//!         company: String,
+//!         price: f64,
+//!         amount: u32,
+//!     }
+//! }
+//!
+//! let domain = Domain::in_process();
+//! let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+//! let sink = seen.clone();
+//!
+//! // The paper's §2.3.3 subscription, almost verbatim:
+//! let s = subscribe!(domain, (q: StockQuote)
+//!     where { price < 100.0 && company contains "Telco" }
+//!     => {
+//!         sink.lock().unwrap().push(q.price().to_owned());
+//!     });
+//! s.activate().unwrap();
+//!
+//! publish!(domain, StockQuote::new("Telco Mobiles".into(), 80.0, 10)).unwrap();
+//! publish!(domain, StockQuote::new("Banco".into(), 80.0, 10)).unwrap();
+//! domain.drain();
+//! assert_eq!(*seen.lock().unwrap(), vec![80.0]);
+//! s.deactivate().unwrap();
+//! ```
+
+mod domain;
+mod error;
+mod executor;
+mod macros;
+mod spec;
+mod stream;
+mod subscription;
+
+pub use domain::{DeliverySink, Dissemination, Domain, SubId, SubscriptionRecord};
+pub use error::{PublishError, SubscribeError, UnsubscribeError};
+pub use executor::{ExecMode, ThreadPolicy};
+pub use spec::FilterSpec;
+pub use stream::ObventStream;
+pub use subscription::Subscription;
+
+/// The in-process dissemination fabric (single address space).
+pub mod loopback {
+    pub use crate::domain::Loopback;
+}
+
+// Re-exported so a single `pubsub-core` dependency suffices for users of
+// the macros.
+pub use psc_filter;
+pub use psc_obvent;
+
+// Macro internals.
+#[doc(hidden)]
+pub mod __private {
+    pub use psc_paste;
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,114 @@
+//! Filter specifications attached to subscriptions.
+
+use std::fmt;
+
+use psc_filter::typed::Expr;
+use psc_filter::{LocalFilter, RemoteFilter};
+
+/// The filter half of a subscription (paper §3.3.3–§3.3.4).
+///
+/// A `Remote` filter is reified data: the dissemination layer can migrate it
+/// to filtering hosts and factor it with other subscriptions. A `Local`
+/// filter is an opaque closure, applied at the subscriber only — the paper's
+/// fallback for filter code that violates the mobility restrictions. A
+/// subscription may carry both (the conforming part migrated, the rest
+/// local).
+pub struct FilterSpec<O: ?Sized> {
+    pub(crate) remote: Option<RemoteFilter>,
+    pub(crate) local: Option<LocalFilter<O>>,
+}
+
+impl<O: ?Sized> FilterSpec<O> {
+    /// Accept every obvent of the subscribed type (`return true;`).
+    pub fn accept_all() -> Self {
+        FilterSpec {
+            remote: None,
+            local: None,
+        }
+    }
+
+    /// A migratable, factorable content filter.
+    pub fn remote(filter: impl Into<RemoteFilter>) -> Self {
+        FilterSpec {
+            remote: Some(filter.into()),
+            local: None,
+        }
+    }
+
+    /// An opaque subscriber-side filter closure.
+    pub fn local(filter: impl Fn(&O) -> bool + Send + Sync + 'static) -> Self
+    where
+        O: 'static,
+    {
+        FilterSpec {
+            remote: None,
+            local: Some(LocalFilter::new(filter)),
+        }
+    }
+
+    /// Adds a local closure on top of an existing spec (both must pass).
+    pub fn and_local(mut self, filter: impl Fn(&O) -> bool + Send + Sync + 'static) -> Self
+    where
+        O: 'static,
+    {
+        match self.local.take() {
+            None => self.local = Some(LocalFilter::new(filter)),
+            Some(existing) => {
+                self.local = Some(LocalFilter::new(move |o: &O| {
+                    existing.eval(o) && filter(o)
+                }));
+            }
+        }
+        self
+    }
+
+    /// The migratable part, if any.
+    pub fn remote_part(&self) -> Option<&RemoteFilter> {
+        self.remote.as_ref()
+    }
+
+    /// True when no filtering is requested at all.
+    pub fn is_accept_all(&self) -> bool {
+        self.local.is_none()
+            && self
+                .remote
+                .as_ref()
+                .map_or(true, RemoteFilter::is_pass_all)
+    }
+}
+
+impl<O: ?Sized> Clone for FilterSpec<O> {
+    fn clone(&self) -> Self {
+        FilterSpec {
+            remote: self.remote.clone(),
+            local: self.local.clone(),
+        }
+    }
+}
+
+impl<O: ?Sized> Default for FilterSpec<O> {
+    fn default() -> Self {
+        FilterSpec::accept_all()
+    }
+}
+
+impl<O: ?Sized> fmt::Debug for FilterSpec<O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FilterSpec")
+            .field("remote", &self.remote)
+            .field("local", &self.local.as_ref().map(|_| "<closure>"))
+            .finish()
+    }
+}
+
+impl<O: ?Sized> From<RemoteFilter> for FilterSpec<O> {
+    fn from(filter: RemoteFilter) -> Self {
+        FilterSpec::remote(filter)
+    }
+}
+
+impl<O: ?Sized> From<Expr> for FilterSpec<O> {
+    fn from(expr: Expr) -> Self {
+        FilterSpec::remote(expr.into_filter())
+    }
+}

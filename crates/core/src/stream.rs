@@ -1,0 +1,175 @@
+//! The paper's first design alternative, made workable (§5.1).
+//!
+//! §5.1 explores binding notifications to an *obvent variable* —
+//! `t = subscribe {...} {...};` — a coroutine/fork-flavoured pull model.
+//! The paper rejects the syntax because "by the absence of a subscription
+//! handle, a subscription can not be referred to from outside of its
+//! expression", leaving only awkward in-handler unsubscription.
+//!
+//! [`Domain::subscribe_stream`] reproduces the *interaction style* (pulling
+//! successive obvents from a variable) while keeping the handle — each call
+//! returns the ordinary [`Subscription`] alongside the [`ObventStream`], so
+//! activation, deactivation and thread policies work exactly as in the
+//! primary design. This is the "what if" of §5.1 with its stated defect
+//! repaired.
+
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, TryRecvError};
+
+use psc_obvent::Obvent;
+
+use crate::domain::Domain;
+use crate::spec::FilterSpec;
+use crate::subscription::Subscription;
+
+/// A pull-style stream of obvents produced by a subscription.
+///
+/// Iterating blocks until the next obvent arrives or every producer is gone
+/// (domain closed / subscription dropped).
+#[derive(Debug)]
+pub struct ObventStream<O> {
+    rx: Receiver<O>,
+}
+
+impl<O: Obvent> ObventStream<O> {
+    /// Blocks for the next obvent; `None` once the subscription's domain is
+    /// gone.
+    pub fn recv(&self) -> Option<O> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking poll.
+    pub fn try_recv(&self) -> Option<O> {
+        match self.rx.try_recv() {
+            Ok(obvent) => Some(obvent),
+            Err(TryRecvError::Empty | TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Blocks up to `timeout` for the next obvent.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<O> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Number of obvents buffered and not yet pulled.
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Drains everything currently buffered.
+    pub fn drain(&self) -> Vec<O> {
+        let mut out = Vec::new();
+        while let Some(obvent) = self.try_recv() {
+            out.push(obvent);
+        }
+        out
+    }
+}
+
+impl<O: Obvent> Iterator for &ObventStream<O> {
+    type Item = O;
+
+    fn next(&mut self) -> Option<O> {
+        self.recv()
+    }
+}
+
+impl Domain {
+    /// Subscribes in the pull style of §5.1: matching obvents are buffered
+    /// and consumed from the returned [`ObventStream`] instead of running a
+    /// handler.
+    ///
+    /// The returned [`Subscription`] handle is inactive, exactly like
+    /// [`Domain::subscribe`] — activate it to start the flow, deactivate to
+    /// pause, drop to cancel. This restores the control the paper found
+    /// missing in the obvent-variable syntax.
+    ///
+    /// ```
+    /// use pubsub_core::{obvent, publish, Domain, FilterSpec};
+    ///
+    /// obvent! { pub class Tick { n: u64 } }
+    ///
+    /// let domain = Domain::in_process();
+    /// let (sub, stream) = domain.subscribe_stream::<Tick>(FilterSpec::accept_all());
+    /// sub.activate().unwrap();
+    /// publish!(domain, Tick::new(7)).unwrap();
+    /// domain.drain();
+    /// assert_eq!(*stream.recv().unwrap().n(), 7);
+    /// ```
+    pub fn subscribe_stream<O: Obvent>(
+        &self,
+        filter: FilterSpec<O>,
+    ) -> (Subscription, ObventStream<O>) {
+        let (tx, rx) = unbounded();
+        let subscription = self.subscribe(filter, move |obvent: O| {
+            let _ = tx.send(obvent);
+        });
+        (subscription, ObventStream { rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{obvent, publish};
+
+    obvent! {
+        pub class StreamTick { n: u64 }
+    }
+
+    #[test]
+    fn pull_style_consumption() {
+        let domain = Domain::in_process();
+        let (sub, stream) =
+            domain.subscribe_stream::<StreamTick>(FilterSpec::remote(psc_filter::rfilter!(n < 10)));
+        sub.activate().unwrap();
+        for n in [1u64, 50, 2, 3] {
+            publish!(domain, StreamTick::new(n)).unwrap();
+        }
+        domain.drain();
+        assert_eq!(stream.pending(), 3);
+        let got: Vec<u64> = stream.drain().iter().map(|t| *t.n()).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+        assert!(stream.try_recv().is_none());
+    }
+
+    #[test]
+    fn the_handle_solves_the_papers_critique() {
+        // §5.1: "a subscription can not be referred to from outside of its
+        // expression" — here it can: pause and resume from outside.
+        let domain = Domain::in_process();
+        let (sub, stream) = domain.subscribe_stream::<StreamTick>(FilterSpec::accept_all());
+        sub.activate().unwrap();
+        publish!(domain, StreamTick::new(1)).unwrap();
+        domain.drain();
+        sub.deactivate().unwrap();
+        publish!(domain, StreamTick::new(2)).unwrap();
+        domain.drain();
+        sub.activate().unwrap();
+        publish!(domain, StreamTick::new(3)).unwrap();
+        domain.drain();
+        let got: Vec<u64> = stream.drain().iter().map(|t| *t.n()).collect();
+        assert_eq!(got, vec![1, 3], "the deactivated window must be skipped");
+    }
+
+    #[test]
+    fn iteration_ends_when_the_subscription_dies() {
+        let domain = Domain::in_process();
+        let (sub, stream) = domain.subscribe_stream::<StreamTick>(FilterSpec::accept_all());
+        sub.activate().unwrap();
+        publish!(domain, StreamTick::new(1)).unwrap();
+        domain.drain();
+        drop(sub); // cancels the subscription, dropping the sender
+        let collected: Vec<StreamTick> = (&stream).collect();
+        assert_eq!(collected.len(), 1);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let domain = Domain::in_process();
+        let (sub, stream) = domain.subscribe_stream::<StreamTick>(FilterSpec::accept_all());
+        sub.activate().unwrap();
+        assert!(stream.recv_timeout(Duration::from_millis(20)).is_none());
+    }
+}

@@ -1,0 +1,125 @@
+//! The [`Subscription`] handle (paper Fig. 3).
+//!
+//! "A subscription handle is returned by a subscription expression. It gives
+//! the possibility to identify a subscription, activate and deactivate it"
+//! (§2.3.2). Activation and deactivation can be interleaved any number of
+//! times; double activation/deactivation raises the corresponding error
+//! (§3.4.2); the `activate(long)` variant attaches a durable identity for
+//! certified subscriptions whose lifetime exceeds the hosting process
+//! (§3.4.1).
+
+use std::sync::Weak;
+
+use crate::domain::{DomainInner, SubId};
+use crate::error::{SubscribeError, UnsubscribeError};
+use crate::executor::ThreadPolicy;
+
+/// Handle to one subscription. Dropping the handle removes the
+/// subscription entirely (deactivating it if needed) — the Rust analogue of
+/// the handle going unreachable.
+#[derive(Debug)]
+pub struct Subscription {
+    domain: Weak<DomainInner>,
+    id: SubId,
+    /// Keep the subscription alive in the domain after this handle drops.
+    detached: bool,
+}
+
+impl Subscription {
+    pub(crate) fn new(domain: Weak<DomainInner>, id: SubId) -> Self {
+        Subscription {
+            domain,
+            id,
+            detached: false,
+        }
+    }
+
+    /// The subscription's id within its domain.
+    pub fn id(&self) -> SubId {
+        self.id
+    }
+
+    /// Activates the subscription: the effective action of subscribing.
+    ///
+    /// # Errors
+    ///
+    /// [`SubscribeError::AlreadyActive`] on double activation; fabric
+    /// errors; [`SubscribeError::DomainClosed`] when the domain is gone.
+    pub fn activate(&self) -> Result<(), SubscribeError> {
+        let domain = self.domain.upgrade().ok_or(SubscribeError::DomainClosed)?;
+        domain.activate(self.id, None)
+    }
+
+    /// Activates with a durable identity — the paper's `activate(long id)`,
+    /// "used in combination with certified events" (§3.4.1): after a crash,
+    /// re-subscribing with the same id resumes the old subscription.
+    ///
+    /// # Errors
+    ///
+    /// As [`Subscription::activate`], plus
+    /// [`SubscribeError::DurableIdInUse`] if another active subscription
+    /// holds the id.
+    pub fn activate_with_id(&self, durable_id: u64) -> Result<(), SubscribeError> {
+        let domain = self.domain.upgrade().ok_or(SubscribeError::DomainClosed)?;
+        domain.activate(self.id, Some(durable_id))
+    }
+
+    /// Deactivates the subscription: the action of unsubscribing. The
+    /// handle can be activated again later.
+    ///
+    /// # Errors
+    ///
+    /// [`UnsubscribeError::NotActive`] on double deactivation; fabric
+    /// errors; [`UnsubscribeError::DomainClosed`] when the domain is gone.
+    pub fn deactivate(&self) -> Result<(), UnsubscribeError> {
+        let domain = self.domain.upgrade().ok_or(UnsubscribeError::DomainClosed)?;
+        domain.deactivate(self.id)
+    }
+
+    /// True while the subscription is active.
+    pub fn is_active(&self) -> bool {
+        self.domain
+            .upgrade()
+            .is_some_and(|domain| domain.is_active(self.id))
+    }
+
+    /// Requests single-threaded handler execution: "a handler never
+    /// processes more than one obvent at a time" (§3.3.5).
+    pub fn set_single_threading(&self) {
+        self.set_policy(ThreadPolicy::Single);
+    }
+
+    /// Requests multi-threaded handler execution bounded by `max_nb`
+    /// concurrent invocations (Fig. 3's `setMultiThreading(int maxNb)`).
+    pub fn set_multi_threading(&self, max_nb: usize) {
+        self.set_policy(ThreadPolicy::Bounded(max_nb));
+    }
+
+    /// Sets the thread policy directly.
+    pub fn set_policy(&self, policy: ThreadPolicy) {
+        if let Some(domain) = self.domain.upgrade() {
+            domain.set_policy(self.id, policy);
+        }
+    }
+
+    /// Detaches the handle: the subscription stays in the domain for the
+    /// domain's lifetime even after this handle is dropped (for
+    /// subscriptions installed at startup and never managed again).
+    pub fn detach(mut self) {
+        self.detached = true;
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        if self.detached {
+            return;
+        }
+        if let Some(domain) = self.domain.upgrade() {
+            if domain.is_active(self.id) {
+                let _ = domain.deactivate(self.id);
+            }
+            domain.drop_subscription(self.id);
+        }
+    }
+}

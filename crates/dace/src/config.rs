@@ -1,0 +1,50 @@
+//! DACE deployment configuration.
+
+use psc_group::LpbcastConfig;
+use psc_simnet::{Duration, NodeId};
+
+/// Where remote (migratable) filters are evaluated (paper §3.3.3: "it is
+/// interesting to apply filters on foreign hosts, which are possibly
+/// entirely dedicated to filtering").
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Placement {
+    /// Filters are factored at each publisher: obvents are sent only to
+    /// nodes with at least one matching subscription (default).
+    #[default]
+    Publisher,
+    /// Publishers send once to a dedicated filtering host, whose compound
+    /// index fans out to matching subscribers.
+    Broker(NodeId),
+    /// No upstream filtering: obvents go to every type-interested node and
+    /// filters run subscriber-side only (the baseline E2 compares against).
+    Subscriber,
+}
+
+/// Configuration of a DACE node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DaceConfig {
+    /// Remote-filter placement for best-effort channels.
+    pub placement: Placement,
+    /// When set, best-effort channels use gossip (lpbcast) instead of
+    /// direct per-subscriber sends — the scalable substrate of §4.2.
+    pub gossip: Option<LpbcastConfig>,
+    /// Serialization interval of the bandwidth-limited transmit queue
+    /// (one direct obvent leaves the node per interval; this is what makes
+    /// priorities observable).
+    pub transmit_interval: Duration,
+    /// Period of the reflexive control re-announcements (subscriptions and
+    /// published kinds), providing anti-entropy under loss and for late
+    /// joiners.
+    pub announce_interval: Duration,
+}
+
+impl Default for DaceConfig {
+    fn default() -> Self {
+        DaceConfig {
+            placement: Placement::Publisher,
+            gossip: None,
+            transmit_interval: Duration::from_micros(100),
+            announce_interval: Duration::from_millis(200),
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Reflexive control obvents (paper §4.2).
+//!
+//! "Such messages are obvents themselves, and allow distributed processes
+//! to learn about other, possibly new, multicast classes." Subscription,
+//! unsubscription and class advertisements are ordinary obvent classes
+//! declared with the same macro applications use, serialized with the same
+//! codec, and flooded on the control channel.
+
+use psc_obvent::declare_obvent_model;
+
+declare_obvent_model! {
+    /// A node announces one subscription's interest in one multicast class.
+    pub class SubscribeCtl {
+        /// Subscriber node.
+        node: u64,
+        /// Domain-local subscription id at the subscriber.
+        sub: u64,
+        /// The multicast class (concrete kind) being joined.
+        channel: u64,
+        /// The declared subscription kind (may be a supertype/interface).
+        declared: u64,
+        /// Encoded `RemoteFilter`, empty when the subscription has no
+        /// migratable filter part.
+        filter: Vec<u8>,
+    }
+}
+
+declare_obvent_model! {
+    /// A node withdraws one subscription from one multicast class.
+    pub class UnsubscribeCtl {
+        /// Subscriber node.
+        node: u64,
+        /// Domain-local subscription id at the subscriber.
+        sub: u64,
+        /// The multicast class being left.
+        channel: u64,
+    }
+}
+
+declare_obvent_model! {
+    /// A publisher advertises a (possibly new) multicast class, carrying
+    /// enough of the type hierarchy for peers to join it on behalf of
+    /// supertype subscriptions.
+    pub class AdvertiseCtl {
+        /// The concrete kind published on this class.
+        adv_kind: u64,
+        /// Fully qualified kind name (diagnostics).
+        name: String,
+        /// Transitive supertype closure of `kind` (kind ids).
+        ancestry: Vec<u64>,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_obvent::{builtin, Obvent, WireObvent};
+
+    #[test]
+    fn control_messages_are_obvents() {
+        // The reflexive property: control traffic subtypes the root Obvent
+        // interface and round-trips through the ordinary wire path.
+        assert!(SubscribeCtl::kind().is_subtype_of(builtin::obvent_kind().id()));
+        let ctl = SubscribeCtl::new(3, 7, 0xdead, 0xbeef, vec![1, 2, 3]);
+        let wire = WireObvent::encode(&ctl).unwrap();
+        let back: SubscribeCtl = wire.decode_exact().unwrap();
+        assert_eq!(back, ctl);
+    }
+
+    #[test]
+    fn advertisements_carry_the_ancestry() {
+        let adv = AdvertiseCtl::new(1, "x.Y".into(), vec![1, 42]);
+        assert_eq!(adv.ancestry(), &vec![1, 42]);
+        let wire = WireObvent::encode(&adv).unwrap();
+        assert_eq!(wire.kind_id(), AdvertiseCtl::kind_id());
+    }
+}

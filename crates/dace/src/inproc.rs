@@ -1,0 +1,129 @@
+//! The live (threaded) deployment: an in-process bus.
+//!
+//! The deterministic simulator hosts the full DACE engine; the runnable
+//! examples want real threads and blocking handlers instead. [`Bus`] wires
+//! any number of [`Domain`]s together inside one OS process: a publish on
+//! any member domain reaches every member's matching subscriptions (kind
+//! conformance, remote and local filters, thread policies all apply — they
+//! are implemented by `pubsub-core`'s dispatch). Delivery between domains
+//! is a reliable in-memory hop, i.e. the bus behaves like a loss-free LAN.
+
+use std::sync::{Arc, RwLock, Weak};
+
+use psc_obvent::WireObvent;
+use pubsub_core::{
+    DeliverySink, Dissemination, Domain, ExecMode, PublishError, SubId, SubscribeError,
+    SubscriptionRecord, UnsubscribeError,
+};
+
+#[derive(Default)]
+struct BusInner {
+    sinks: RwLock<Vec<DeliverySink>>,
+}
+
+/// An in-process pub/sub bus connecting several domains.
+///
+/// ```
+/// use psc_dace::inproc::Bus;
+/// use pubsub_core::{obvent, publish, FilterSpec};
+///
+/// obvent! { pub class Ping { n: u32 } }
+///
+/// let bus = Bus::new();
+/// let publisher = bus.domain(2);
+/// let subscriber = bus.domain(2);
+/// let sub = subscriber.subscribe(FilterSpec::accept_all(), |p: Ping| {
+///     assert_eq!(*p.n(), 1);
+/// });
+/// sub.activate().unwrap();
+/// publish!(publisher, Ping::new(1)).unwrap();
+/// publisher.drain();
+/// subscriber.drain();
+/// ```
+#[derive(Clone, Default)]
+pub struct Bus {
+    inner: Arc<BusInner>,
+}
+
+struct BusBackend {
+    bus: Weak<BusInner>,
+}
+
+impl Dissemination for BusBackend {
+    fn publish(&self, wire: WireObvent) -> Result<(), PublishError> {
+        let Some(bus) = self.bus.upgrade() else {
+            return Err(PublishError::Backend("bus is gone".into()));
+        };
+        let sinks = bus.sinks.read().expect("bus sinks poisoned");
+        for sink in sinks.iter() {
+            sink.deliver(&wire);
+        }
+        Ok(())
+    }
+
+    fn subscribe(&self, _record: SubscriptionRecord) -> Result<(), SubscribeError> {
+        Ok(())
+    }
+
+    fn unsubscribe(&self, _id: SubId) -> Result<(), UnsubscribeError> {
+        Ok(())
+    }
+}
+
+impl Bus {
+    /// Creates an empty bus.
+    pub fn new() -> Bus {
+        Bus::default()
+    }
+
+    /// Creates a new member domain whose handlers run on a pool of
+    /// `threads` workers (so thread policies are observable). Use
+    /// [`Bus::domain_inline`] for synchronous dispatch.
+    pub fn domain(&self, threads: usize) -> Domain {
+        self.make_domain(ExecMode::Pool { threads })
+    }
+
+    /// Creates a new member domain with inline (synchronous) dispatch.
+    pub fn domain_inline(&self) -> Domain {
+        self.make_domain(ExecMode::Inline)
+    }
+
+    fn make_domain(&self, mode: ExecMode) -> Domain {
+        let bus = Arc::downgrade(&self.inner);
+        let domain = Domain::with_backend(mode, move |_sink| Box::new(BusBackend { bus }));
+        self.inner
+            .sinks
+            .write()
+            .expect("bus sinks poisoned")
+            .push(domain.sink());
+        domain
+    }
+
+    /// Number of member domains still alive.
+    pub fn member_count(&self) -> usize {
+        self.inner
+            .sinks
+            .read()
+            .expect("bus sinks poisoned")
+            .iter()
+            .filter(|s| s.is_alive())
+            .count()
+    }
+
+    /// Drops sinks of domains that no longer exist.
+    pub fn prune(&self) {
+        self.inner
+            .sinks
+            .write()
+            .expect("bus sinks poisoned")
+            .retain(|s| s.is_alive());
+    }
+}
+
+impl std::fmt::Debug for Bus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bus")
+            .field("members", &self.member_count())
+            .finish()
+    }
+}

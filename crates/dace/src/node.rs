@@ -1,0 +1,968 @@
+//! The DACE engine as a simulated node.
+//!
+//! A [`DaceNode`] is one address space: it hosts a
+//! [`Domain`](pubsub_core::Domain) (the application-facing pub/sub
+//! endpoint) and implements the paper's class-based dissemination beneath
+//! it — multicast classes, reflexive control traffic, QoS-driven protocol
+//! selection, filter placement and transmission semantics. See the crate
+//! docs for the architecture.
+
+use std::any::Any;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use psc_filter::{FilterId, FilterIndex, RemoteFilter};
+use psc_group::{
+    Causal, Certified, Fifo, GroupIo, Lpbcast, Multicast, Reliable, TimerToken, Total,
+};
+use psc_obvent::qos::{Delivery, Ordering, QosSpec};
+use psc_obvent::{builtin, KindId, KindRole, Obvent, WireObvent};
+use psc_simnet::{Ctx, Node, NodeId, ScopedStorage, SimNet, SimTime, TimerId};
+use pubsub_core::{
+    DeliverySink, Dissemination, Domain, ExecMode, PublishError, SubId, SubscribeError,
+    SubscriptionRecord, UnsubscribeError,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{DaceConfig, Placement};
+use crate::control::{AdvertiseCtl, SubscribeCtl, UnsubscribeCtl};
+
+/// Per-node traffic and delivery counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DaceStats {
+    /// Obvents published from this node's domain.
+    pub published: u64,
+    /// Handler deliveries performed at this node.
+    pub delivered: u64,
+    /// Direct data messages sent (after publisher-side filtering).
+    pub direct_sent: u64,
+    /// Obvents dropped in the transmit queue or on arrival because their
+    /// time-to-live expired.
+    pub expired: u64,
+    /// Control obvents flooded.
+    pub control_sent: u64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+enum NodeMsg {
+    /// A reflexive control obvent.
+    Control(WireObvent),
+    /// Protocol-internal bytes of one multicast class.
+    Data { channel: KindId, bytes: Vec<u8> },
+    /// A content-routed obvent on the direct (best-effort) path, with an
+    /// optional expiry deadline (virtual µs).
+    Direct {
+        wire: WireObvent,
+        deadline: Option<u64>,
+    },
+    /// An obvent sent to a filtering host for fan-out.
+    Brokered(WireObvent),
+}
+
+enum BackendOp {
+    Publish(WireObvent),
+    Subscribe(SubscriptionRecord),
+    Unsubscribe(SubId),
+}
+
+/// The domain's fabric: queues operations for the node to execute with
+/// network access (the node flushes the queue after every callback).
+struct DaceBackend {
+    ops: Arc<Mutex<VecDeque<BackendOp>>>,
+}
+
+impl Dissemination for DaceBackend {
+    fn publish(&self, wire: WireObvent) -> Result<(), PublishError> {
+        self.ops
+            .lock()
+            .expect("ops queue poisoned")
+            .push_back(BackendOp::Publish(wire));
+        Ok(())
+    }
+
+    fn subscribe(&self, record: SubscriptionRecord) -> Result<(), SubscribeError> {
+        self.ops
+            .lock()
+            .expect("ops queue poisoned")
+            .push_back(BackendOp::Subscribe(record));
+        Ok(())
+    }
+
+    fn unsubscribe(&self, id: SubId) -> Result<(), UnsubscribeError> {
+        self.ops
+            .lock()
+            .expect("ops queue poisoned")
+            .push_back(BackendOp::Unsubscribe(id));
+        Ok(())
+    }
+}
+
+/// Persisted image of a durable subscription (paper §3.4.1: subscriptions
+/// whose lifetime exceeds the hosting process). Stored in stable storage
+/// under `dursub/<durable_id>`; on recovery, matching obvents are parked
+/// until the application re-attaches with `activate_with_id`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DurableRecord {
+    durable_id: u64,
+    kind: u64,
+    /// Encoded `RemoteFilter`, empty when unfiltered.
+    filter: Vec<u8>,
+}
+
+impl DurableRecord {
+    fn matches(&self, wire: &WireObvent) -> bool {
+        if !psc_obvent::registry::is_subtype(wire.kind_id(), KindId::from_raw(self.kind)) {
+            return false;
+        }
+        if self.filter.is_empty() {
+            return true;
+        }
+        let Ok(filter) = psc_codec::from_bytes::<RemoteFilter>(&self.filter) else {
+            return true; // corrupt filter: err on delivery
+        };
+        match wire.view() {
+            Ok(view) => filter.matches(&view),
+            Err(_) => true,
+        }
+    }
+}
+
+/// Upper bound on obvents parked for not-yet-re-attached durable
+/// subscriptions (oldest dropped beyond this).
+const MAX_PARKED: usize = 1024;
+
+enum DaceTimer {
+    Announce,
+    Transmit,
+    Channel(KindId, TimerToken),
+}
+
+struct TransmitItem {
+    priority: i64,
+    seq: u64,
+    to: NodeId,
+    wire: WireObvent,
+    deadline: Option<SimTime>,
+}
+
+impl PartialEq for TransmitItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for TransmitItem {}
+impl PartialOrd for TransmitItem {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TransmitItem {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Max-heap: higher priority first; FIFO (lower seq) among equals.
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct Channel {
+    proto: Option<Box<dyn Multicast>>,
+    /// Subscriber nodes, sorted (gives every node the same sequencer).
+    members: Vec<NodeId>,
+    /// Compound filter over all remote-filtered subscriptions.
+    index: FilterIndex,
+    filter_owner: HashMap<FilterId, (u64, u64)>,
+    /// (node, sub) → the filter it registered, or `None` if unfiltered.
+    sub_entries: HashMap<(u64, u64), Option<FilterId>>,
+    /// Count of unfiltered subscriptions per node.
+    unfiltered: HashMap<u64, u32>,
+}
+
+impl Channel {
+    fn new(proto: Option<Box<dyn Multicast>>) -> Channel {
+        Channel {
+            proto,
+            members: Vec::new(),
+            index: FilterIndex::new(),
+            filter_owner: HashMap::new(),
+            sub_entries: HashMap::new(),
+            unfiltered: HashMap::new(),
+        }
+    }
+
+    fn add_member(&mut self, node: NodeId) {
+        if let Err(pos) = self.members.binary_search(&node) {
+            self.members.insert(pos, node);
+        }
+    }
+
+    fn node_has_subs(&self, node: u64) -> bool {
+        self.sub_entries.keys().any(|&(n, _)| n == node)
+    }
+
+    fn subscribe(&mut self, node: u64, sub: u64, filter: Option<RemoteFilter>) {
+        if self.sub_entries.contains_key(&(node, sub)) {
+            return; // idempotent (periodic re-announcements)
+        }
+        let entry = match filter {
+            Some(filter) => {
+                let id = self.index.insert(filter);
+                self.filter_owner.insert(id, (node, sub));
+                Some(id)
+            }
+            None => {
+                *self.unfiltered.entry(node).or_insert(0) += 1;
+                None
+            }
+        };
+        self.sub_entries.insert((node, sub), entry);
+        self.add_member(NodeId(node));
+    }
+
+    fn unsubscribe(&mut self, node: u64, sub: u64) {
+        let Some(entry) = self.sub_entries.remove(&(node, sub)) else {
+            return;
+        };
+        match entry {
+            Some(filter_id) => {
+                self.index.remove(filter_id);
+                self.filter_owner.remove(&filter_id);
+            }
+            None => {
+                if let Some(count) = self.unfiltered.get_mut(&node) {
+                    *count = count.saturating_sub(1);
+                    if *count == 0 {
+                        self.unfiltered.remove(&node);
+                    }
+                }
+            }
+        }
+        if !self.node_has_subs(node) {
+            self.members.retain(|m| m.0 != node);
+        }
+    }
+
+    /// Destination nodes for `wire` with publisher/broker-side filtering.
+    fn filtered_destinations(&mut self, wire: &WireObvent) -> Vec<NodeId> {
+        let mut nodes: HashSet<u64> = self.unfiltered.keys().copied().collect();
+        if !self.filter_owner.is_empty() {
+            match wire.view() {
+                Ok(view) => {
+                    for filter_id in self.index.matching(&view) {
+                        if let Some(&(node, _sub)) = self.filter_owner.get(&filter_id) {
+                            nodes.insert(node);
+                        }
+                    }
+                }
+                // Cannot evaluate content here: fall back to sending to
+                // every filtered subscriber (they re-filter locally).
+                Err(_) => {
+                    nodes.extend(self.filter_owner.values().map(|&(node, _)| node));
+                }
+            }
+        }
+        let mut out: Vec<NodeId> = nodes.into_iter().map(NodeId).collect();
+        out.sort();
+        out
+    }
+}
+
+struct LocalSub {
+    record: SubscriptionRecord,
+    joined: HashSet<KindId>,
+}
+
+/// One DACE address space, deployable as a `psc-simnet` node.
+pub struct DaceNode {
+    id: Option<NodeId>,
+    cluster: Vec<NodeId>,
+    config: DaceConfig,
+    domain: Domain,
+    sink: DeliverySink,
+    ops: Arc<Mutex<VecDeque<BackendOp>>>,
+    local_subs: HashMap<u64, LocalSub>,
+    published_kinds: HashSet<KindId>,
+    known_kinds: HashSet<KindId>,
+    channels: HashMap<KindId, Channel>,
+    timer_map: HashMap<TimerId, DaceTimer>,
+    transmit: BinaryHeap<TransmitItem>,
+    transmit_seq: u64,
+    transmit_armed: bool,
+    /// Durable subscriptions persisted but not yet re-attached (loaded on
+    /// recovery), by durable id.
+    durable_pending: HashMap<u64, DurableRecord>,
+    /// Obvents held for pending durable subscriptions.
+    parked: VecDeque<WireObvent>,
+    stats: DaceStats,
+}
+
+impl DaceNode {
+    /// Creates a DACE node for a statically known cluster.
+    pub fn new(cluster: Vec<NodeId>, config: DaceConfig) -> DaceNode {
+        let ops: Arc<Mutex<VecDeque<BackendOp>>> = Arc::new(Mutex::new(VecDeque::new()));
+        let backend_ops = Arc::clone(&ops);
+        let domain = Domain::with_backend(ExecMode::Inline, move |_sink| {
+            Box::new(DaceBackend { ops: backend_ops })
+        });
+        let sink = domain.sink();
+        DaceNode {
+            id: None,
+            cluster,
+            config,
+            domain,
+            sink,
+            ops,
+            local_subs: HashMap::new(),
+            published_kinds: HashSet::new(),
+            known_kinds: HashSet::new(),
+            channels: HashMap::new(),
+            timer_map: HashMap::new(),
+            transmit: BinaryHeap::new(),
+            transmit_seq: 0,
+            transmit_armed: false,
+            durable_pending: HashMap::new(),
+            parked: VecDeque::new(),
+            stats: DaceStats::default(),
+        }
+    }
+
+    /// A boxed-node factory for [`SimNet::add_node`]; each (re)build gets a
+    /// fresh volatile state, as a crashed process would.
+    pub fn factory(
+        cluster: Vec<NodeId>,
+        config: DaceConfig,
+    ) -> impl FnMut() -> Box<dyn Node> + 'static {
+        move || Box::new(DaceNode::new(cluster.clone(), config.clone()))
+    }
+
+    /// The node's application-facing domain (cloneable handle).
+    pub fn domain(&self) -> Domain {
+        self.domain.clone()
+    }
+
+    /// This node's counters.
+    pub fn stats(&self) -> DaceStats {
+        self.stats
+    }
+
+    // ---- static driver helpers for tests and experiments ----
+
+    /// Runs `f` against the node's domain at the current virtual time and
+    /// immediately flushes the resulting fabric operations.
+    pub fn drive(sim: &mut SimNet, node: NodeId, f: impl FnOnce(&Domain) + 'static) {
+        sim.act_now(node, move |n, ctx| {
+            let this = n
+                .as_any_mut()
+                .downcast_mut::<DaceNode>()
+                .expect("node is a DaceNode");
+            f(&this.domain);
+            this.flush(ctx);
+        });
+    }
+
+    /// Publishes an obvent from the node's domain.
+    pub fn publish_from<O: Obvent>(sim: &mut SimNet, node: NodeId, obvent: O) {
+        DaceNode::drive(sim, node, move |domain| {
+            domain.publish(obvent).expect("publish through DACE");
+        });
+    }
+
+    /// Reads the node's counters (zero if the node is down).
+    pub fn stats_of(sim: &mut SimNet, node: NodeId) -> DaceStats {
+        sim.node_mut::<DaceNode>(node)
+            .map(|n| n.stats)
+            .unwrap_or_default()
+    }
+
+    /// A cloneable handle to the node's domain for out-of-band subscription
+    /// setup (operations queue until the node's next activity; prefer
+    /// [`DaceNode::drive`] in deterministic tests).
+    pub fn domain_of(sim: &mut SimNet, node: NodeId) -> Option<Domain> {
+        sim.node_mut::<DaceNode>(node).map(|n| n.domain.clone())
+    }
+
+    // ---- internals ----
+
+    fn me(&self) -> NodeId {
+        self.id.expect("node id assigned on first callback")
+    }
+
+    fn ensure_id(&mut self, ctx: &Ctx<'_>) {
+        if self.id.is_none() {
+            self.id = Some(ctx.id());
+        }
+    }
+
+    fn flood_control<O: Obvent>(&mut self, ctx: &mut Ctx<'_>, ctl: &O) {
+        let wire = WireObvent::encode(ctl).expect("control obvents encode");
+        let bytes = encode_node_msg(&NodeMsg::Control(wire));
+        let me = self.me();
+        for &node in &self.cluster {
+            if node != me {
+                ctx.send(node, bytes.clone());
+                self.stats.control_sent += 1;
+            }
+        }
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx<'_>) {
+        self.ensure_id(ctx);
+        loop {
+            let op = self.ops.lock().expect("ops queue poisoned").pop_front();
+            match op {
+                None => break,
+                Some(BackendOp::Publish(wire)) => self.publish_flow(ctx, wire),
+                Some(BackendOp::Subscribe(record)) => self.subscribe_flow(ctx, record),
+                Some(BackendOp::Unsubscribe(id)) => self.unsubscribe_flow(ctx, id),
+            }
+        }
+    }
+
+    fn subscribe_flow(&mut self, ctx: &mut Ctx<'_>, record: SubscriptionRecord) {
+        let sub_raw = record.id.0;
+        if let Some(durable_id) = record.durable_id {
+            // Persist the subscription so it outlives the process
+            // (§3.4.1); a matching pending record means this is a
+            // re-attachment after recovery.
+            let durable = DurableRecord {
+                durable_id,
+                kind: record.kind.as_u64(),
+                filter: record
+                    .remote_filter
+                    .as_ref()
+                    .map(|f| psc_codec::to_bytes(f).expect("filters encode"))
+                    .unwrap_or_default(),
+            };
+            ctx.storage()
+                .put(&format!("dursub/{durable_id:020}"), &durable)
+                .expect("durable record serialization cannot fail");
+            self.durable_pending.remove(&durable_id);
+        }
+        self.local_subs.insert(
+            sub_raw,
+            LocalSub {
+                record: record.clone(),
+                joined: HashSet::new(),
+            },
+        );
+        // Join the channel of every known concrete subtype of the declared
+        // kind; future subtypes join on advertisement.
+        let mut targets: HashSet<KindId> = self
+            .known_kinds
+            .iter()
+            .copied()
+            .filter(|&k| psc_obvent::registry::is_subtype(k, record.kind))
+            .collect();
+        for kind in psc_obvent::registry::subtypes_of(record.kind) {
+            if kind.role() == KindRole::Class {
+                targets.insert(kind.id());
+            }
+        }
+        let mut sorted: Vec<KindId> = targets.into_iter().collect();
+        sorted.sort();
+        for channel in sorted {
+            self.join_channel(ctx, sub_raw, channel);
+        }
+        // Re-offer obvents parked while a durable subscription was
+        // detached; anything still unmatched (other pending records) stays.
+        if !self.parked.is_empty() {
+            let parked: Vec<WireObvent> = self.parked.drain(..).collect();
+            for wire in parked {
+                self.local_deliver(ctx, &wire);
+            }
+        }
+    }
+
+    fn join_channel(&mut self, ctx: &mut Ctx<'_>, sub_raw: u64, channel: KindId) {
+        let me = self.me();
+        let Some(local) = self.local_subs.get_mut(&sub_raw) else {
+            return;
+        };
+        if !local.joined.insert(channel) {
+            return;
+        }
+        let filter_bytes = local
+            .record
+            .remote_filter
+            .as_ref()
+            .map(|f| psc_codec::to_bytes(f).expect("filters encode"))
+            .unwrap_or_default();
+        let ctl = SubscribeCtl::new(
+            me.0,
+            sub_raw,
+            channel.as_u64(),
+            local.record.kind.as_u64(),
+            filter_bytes,
+        );
+        let filter = local.record.remote_filter.clone();
+        self.flood_control(ctx, &ctl);
+        // Apply locally so self-publishing routes to local subscribers.
+        self.ensure_channel(ctx, channel);
+        let ch = self.channels.get_mut(&channel).expect("just ensured");
+        ch.subscribe(me.0, sub_raw, filter);
+    }
+
+    fn unsubscribe_flow(&mut self, ctx: &mut Ctx<'_>, id: SubId) {
+        let me = self.me();
+        let Some(local) = self.local_subs.remove(&id.0) else {
+            return;
+        };
+        if let Some(durable_id) = local.record.durable_id {
+            // Explicit deactivation ends the durable lifetime.
+            ctx.storage().remove(&format!("dursub/{durable_id:020}"));
+            self.durable_pending.remove(&durable_id);
+        }
+        let mut joined: Vec<KindId> = local.joined.into_iter().collect();
+        joined.sort();
+        for channel in joined {
+            let ctl = UnsubscribeCtl::new(me.0, id.0, channel.as_u64());
+            self.flood_control(ctx, &ctl);
+            if let Some(ch) = self.channels.get_mut(&channel) {
+                ch.unsubscribe(me.0, id.0);
+            }
+        }
+    }
+
+    fn advertise(&mut self, ctx: &mut Ctx<'_>, kind: KindId) {
+        let (name, ancestry) = match psc_obvent::registry::lookup(kind) {
+            Some(k) => (
+                k.name().to_string(),
+                k.ancestry().iter().map(|id| id.as_u64()).collect(),
+            ),
+            None => (kind.to_string(), vec![kind.as_u64()]),
+        };
+        let ctl = AdvertiseCtl::new(kind.as_u64(), name, ancestry);
+        self.flood_control(ctx, &ctl);
+        self.apply_advertise(ctx, kind);
+    }
+
+    fn apply_advertise(&mut self, ctx: &mut Ctx<'_>, kind: KindId) {
+        if !self.known_kinds.insert(kind) {
+            return;
+        }
+        // Join the new class on behalf of matching local subscriptions.
+        let matching: Vec<u64> = self
+            .local_subs
+            .iter()
+            .filter(|(_, local)| psc_obvent::registry::is_subtype(kind, local.record.kind))
+            .map(|(&sub, _)| sub)
+            .collect();
+        for sub in matching {
+            self.join_channel(ctx, sub, kind);
+        }
+    }
+
+    fn publish_flow(&mut self, ctx: &mut Ctx<'_>, wire: WireObvent) {
+        let kind = wire.kind_id();
+        self.stats.published += 1;
+        if self.published_kinds.insert(kind) {
+            self.advertise(ctx, kind);
+        }
+        let qos = wire.qos();
+        self.ensure_channel(ctx, kind);
+        if self.channels.get(&kind).expect("ensured").proto.is_some() {
+            let bytes = psc_codec::to_bytes(&wire).expect("wire obvents encode");
+            self.with_channel_proto(ctx, kind, |proto, io| proto.broadcast(io, bytes));
+        } else {
+            self.direct_publish(ctx, kind, wire, &qos);
+        }
+    }
+
+    fn direct_publish(&mut self, ctx: &mut Ctx<'_>, kind: KindId, wire: WireObvent, qos: &QosSpec) {
+        let me = self.me();
+        let (priority, deadline) = transmission_params(&wire, qos, ctx.now());
+        if let Placement::Broker(broker) = self.config.placement {
+            if broker != me {
+                self.enqueue_transmit(ctx, broker, wire, priority, deadline, true);
+                return;
+            }
+        }
+        let destinations = {
+            let ch = self.channels.get_mut(&kind).expect("ensured");
+            match self.config.placement {
+                Placement::Subscriber => ch.members.clone(),
+                Placement::Publisher | Placement::Broker(_) => ch.filtered_destinations(&wire),
+            }
+        };
+        for dest in destinations {
+            if dest == me {
+                self.local_deliver(ctx, &wire);
+            } else {
+                self.stats.direct_sent += 1;
+                self.enqueue_transmit(ctx, dest, wire.clone(), priority, deadline, false);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue_transmit(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        to: NodeId,
+        wire: WireObvent,
+        priority: i64,
+        deadline: Option<SimTime>,
+        brokered: bool,
+    ) {
+        self.transmit_seq += 1;
+        // Brokered forwards reuse the same queue; mark via priority carrier.
+        let item = TransmitItem {
+            priority,
+            seq: self.transmit_seq,
+            to,
+            wire,
+            deadline,
+        };
+        if brokered {
+            // Send brokered envelopes immediately (single upstream message).
+            let msg = NodeMsg::Brokered(item.wire);
+            ctx.send(to, encode_node_msg(&msg));
+            return;
+        }
+        self.transmit.push(item);
+        if !self.transmit_armed {
+            self.transmit_armed = true;
+            let id = ctx.set_timer(self.config.transmit_interval);
+            self.timer_map.insert(id, DaceTimer::Transmit);
+        }
+    }
+
+    fn drain_one_transmit(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        while let Some(item) = self.transmit.pop() {
+            if let Some(deadline) = item.deadline {
+                if now > deadline {
+                    self.stats.expired += 1;
+                    continue; // expired in the queue
+                }
+            }
+            let msg = NodeMsg::Direct {
+                wire: item.wire,
+                deadline: item.deadline.map(|d| d.as_micros()),
+            };
+            ctx.send(item.to, encode_node_msg(&msg));
+            break;
+        }
+        if self.transmit.is_empty() {
+            self.transmit_armed = false;
+        } else {
+            let id = ctx.set_timer(self.config.transmit_interval);
+            self.timer_map.insert(id, DaceTimer::Transmit);
+        }
+    }
+
+    fn local_deliver(&mut self, _ctx: &mut Ctx<'_>, wire: &WireObvent) {
+        let matched = self.sink.deliver(wire);
+        self.stats.delivered += matched as u64;
+        if matched == 0
+            && self
+                .durable_pending
+                .values()
+                .any(|record| record.matches(wire))
+        {
+            // A durable subscription exists but its handler has not
+            // re-attached yet (§3.4.1 recovery window): hold the obvent.
+            if self.parked.len() >= MAX_PARKED {
+                self.parked.pop_front();
+            }
+            self.parked.push_back(wire.clone());
+        }
+    }
+
+    fn ensure_channel(&mut self, ctx: &mut Ctx<'_>, kind: KindId) {
+        if self.channels.contains_key(&kind) {
+            return;
+        }
+        let qos = psc_obvent::registry::lookup(kind)
+            .map(|k| k.qos().clone())
+            .unwrap_or_default();
+        let proto = make_proto(&qos, &self.config);
+        let has_proto = proto.is_some();
+        self.channels.insert(kind, Channel::new(proto));
+        if has_proto {
+            self.with_channel_proto(ctx, kind, |proto, io| proto.on_start(io));
+        }
+    }
+
+    /// Runs a closure over a channel's protocol with a [`GroupIo`] wired to
+    /// this node, then routes the resulting deliveries and timers.
+    fn with_channel_proto(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        kind: KindId,
+        f: impl FnOnce(&mut dyn Multicast, &mut dyn GroupIo),
+    ) {
+        let Some(mut channel) = self.channels.remove(&kind) else {
+            return;
+        };
+        let mut delivered: Vec<(NodeId, Vec<u8>)> = Vec::new();
+        let mut new_timers: Vec<(psc_simnet::Duration, TimerToken)> = Vec::new();
+        if let Some(proto) = channel.proto.as_mut() {
+            let mut io = ChannelIo {
+                ctx,
+                kind,
+                members: &channel.members,
+                delivered: &mut delivered,
+                new_timers: &mut new_timers,
+            };
+            f(proto.as_mut(), &mut io);
+        }
+        self.channels.insert(kind, channel);
+        for (after, token) in new_timers {
+            let id = ctx.set_timer(after);
+            self.timer_map.insert(id, DaceTimer::Channel(kind, token));
+        }
+        for (_origin, payload) in delivered {
+            if let Ok(wire) = psc_codec::from_bytes::<WireObvent>(&payload) {
+                self.local_deliver(ctx, &wire);
+            }
+        }
+    }
+
+    fn handle_control(&mut self, ctx: &mut Ctx<'_>, wire: &WireObvent) {
+        if wire.kind_id() == SubscribeCtl::kind_id() {
+            if let Ok(ctl) = wire.decode_exact::<SubscribeCtl>() {
+                let channel = KindId::from_raw(*ctl.channel());
+                let filter = if ctl.filter().is_empty() {
+                    None
+                } else {
+                    psc_codec::from_bytes::<RemoteFilter>(ctl.filter()).ok()
+                };
+                self.ensure_channel(ctx, channel);
+                let ch = self.channels.get_mut(&channel).expect("just ensured");
+                ch.subscribe(*ctl.node(), *ctl.sub(), filter);
+            }
+        } else if wire.kind_id() == UnsubscribeCtl::kind_id() {
+            if let Ok(ctl) = wire.decode_exact::<UnsubscribeCtl>() {
+                let channel = KindId::from_raw(*ctl.channel());
+                if let Some(ch) = self.channels.get_mut(&channel) {
+                    ch.unsubscribe(*ctl.node(), *ctl.sub());
+                }
+            }
+        } else if wire.kind_id() == AdvertiseCtl::kind_id() {
+            if let Ok(ctl) = wire.decode_exact::<AdvertiseCtl>() {
+                let kind = KindId::from_raw(*ctl.adv_kind());
+                self.apply_advertise(ctx, kind);
+            }
+        }
+    }
+
+    fn announce(&mut self, ctx: &mut Ctx<'_>) {
+        // Re-flood subscriptions (anti-entropy under loss / for restarts).
+        let me = self.me();
+        let subs: Vec<(u64, KindId, KindId, Vec<u8>)> = self
+            .local_subs
+            .iter()
+            .flat_map(|(&sub, local)| {
+                let filter_bytes = local
+                    .record
+                    .remote_filter
+                    .as_ref()
+                    .map(|f| psc_codec::to_bytes(f).expect("filters encode"))
+                    .unwrap_or_default();
+                local
+                    .joined
+                    .iter()
+                    .map(move |&channel| (sub, channel, local.record.kind, filter_bytes.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for (sub, channel, declared, filter) in subs {
+            let ctl = SubscribeCtl::new(me.0, sub, channel.as_u64(), declared.as_u64(), filter);
+            self.flood_control(ctx, &ctl);
+        }
+        let published: Vec<KindId> = self.published_kinds.iter().copied().collect();
+        for kind in published {
+            self.advertise_known(ctx, kind);
+        }
+        let id = ctx.set_timer(self.config.announce_interval);
+        self.timer_map.insert(id, DaceTimer::Announce);
+    }
+
+    fn advertise_known(&mut self, ctx: &mut Ctx<'_>, kind: KindId) {
+        let (name, ancestry) = match psc_obvent::registry::lookup(kind) {
+            Some(k) => (
+                k.name().to_string(),
+                k.ancestry().iter().map(|id| id.as_u64()).collect(),
+            ),
+            None => (kind.to_string(), vec![kind.as_u64()]),
+        };
+        let ctl = AdvertiseCtl::new(kind.as_u64(), name, ancestry);
+        self.flood_control(ctx, &ctl);
+    }
+}
+
+struct ChannelIo<'a, 'b> {
+    ctx: &'a mut Ctx<'b>,
+    kind: KindId,
+    members: &'a [NodeId],
+    delivered: &'a mut Vec<(NodeId, Vec<u8>)>,
+    new_timers: &'a mut Vec<(psc_simnet::Duration, TimerToken)>,
+}
+
+impl GroupIo for ChannelIo<'_, '_> {
+    fn self_id(&self) -> NodeId {
+        self.ctx.id()
+    }
+
+    fn members(&self) -> &[NodeId] {
+        self.members
+    }
+
+    fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    fn send(&mut self, to: NodeId, bytes: Vec<u8>) {
+        let msg = NodeMsg::Data {
+            channel: self.kind,
+            bytes,
+        };
+        self.ctx.send(to, encode_node_msg(&msg));
+    }
+
+    fn deliver(&mut self, origin: NodeId, payload: Vec<u8>) {
+        self.delivered.push((origin, payload));
+    }
+
+    fn set_timer(&mut self, after: psc_simnet::Duration, token: TimerToken) {
+        self.new_timers.push((after, token));
+    }
+
+    fn storage(&mut self) -> ScopedStorage<'_> {
+        self.ctx.storage().scoped(format!("ch/{}/", self.kind))
+    }
+
+    fn rng(&mut self) -> &mut dyn rand::RngCore {
+        self.ctx.rng()
+    }
+}
+
+impl Node for DaceNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.ensure_id(ctx);
+        let id = ctx.set_timer(self.config.announce_interval);
+        self.timer_map.insert(id, DaceTimer::Announce);
+        self.flush(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, payload: &[u8]) {
+        self.ensure_id(ctx);
+        let Ok(msg) = psc_codec::from_bytes::<NodeMsg>(payload) else {
+            return;
+        };
+        match msg {
+            NodeMsg::Control(wire) => self.handle_control(ctx, &wire),
+            NodeMsg::Data { channel, bytes } => {
+                self.ensure_channel(ctx, channel);
+                self.with_channel_proto(ctx, channel, |proto, io| {
+                    proto.on_message(io, from, &bytes)
+                });
+            }
+            NodeMsg::Direct { wire, deadline } => {
+                let expired =
+                    deadline.is_some_and(|d| ctx.now() > SimTime::from_micros(d));
+                if expired {
+                    self.stats.expired += 1;
+                } else {
+                    self.local_deliver(ctx, &wire);
+                }
+            }
+            NodeMsg::Brokered(wire) => {
+                let kind = wire.kind_id();
+                let qos = wire.qos();
+                self.ensure_channel(ctx, kind);
+                self.direct_publish(ctx, kind, wire, &qos);
+            }
+        }
+        self.flush(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: TimerId) {
+        self.ensure_id(ctx);
+        match self.timer_map.remove(&timer) {
+            Some(DaceTimer::Announce) => self.announce(ctx),
+            Some(DaceTimer::Transmit) => self.drain_one_transmit(ctx),
+            Some(DaceTimer::Channel(kind, token)) => {
+                self.with_channel_proto(ctx, kind, |proto, io| proto.on_timer(io, token));
+            }
+            None => {}
+        }
+        self.flush(ctx);
+    }
+
+    fn on_recover(&mut self, ctx: &mut Ctx<'_>) {
+        self.ensure_id(ctx);
+        // Reload durable subscriptions: they outlived the crash (§3.4.1);
+        // matching obvents are parked until the application re-attaches
+        // with `activate_with_id`.
+        let keys: Vec<String> = ctx
+            .storage()
+            .keys_with_prefix("dursub/")
+            .map(str::to_string)
+            .collect();
+        for key in keys {
+            if let Ok(Some(record)) = ctx.storage().get::<DurableRecord>(&key) {
+                self.durable_pending.insert(record.durable_id, record);
+            }
+        }
+        let id = ctx.set_timer(self.config.announce_interval);
+        self.timer_map.insert(id, DaceTimer::Announce);
+        self.flush(ctx);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Reads the transmission parameters (priority, expiry deadline) from a
+/// wire obvent according to its resolved QoS (paper §3.1.2: `Prioritary`
+/// exposes a priority, `Timely` a time-to-live).
+fn transmission_params(
+    wire: &WireObvent,
+    qos: &QosSpec,
+    now: SimTime,
+) -> (i64, Option<SimTime>) {
+    let mut priority = 0i64;
+    let mut deadline = None;
+    if qos.transmission.prioritary || qos.transmission.timely {
+        if let Ok(view) = wire.view() {
+            if qos.transmission.prioritary {
+                priority = view
+                    .number_at(builtin::PRIORITY_PROPERTY)
+                    .map(|p| p as i64)
+                    .unwrap_or(0);
+            }
+            if qos.transmission.timely {
+                if let Some(ttl_ms) = view.number_at(builtin::TTL_PROPERTY) {
+                    deadline =
+                        Some(now + psc_simnet::Duration::from_millis(ttl_ms.max(0.0) as u64));
+                }
+            }
+        }
+    }
+    (priority, deadline)
+}
+
+/// Chooses the multicast protocol a channel's QoS demands; `None` selects
+/// the direct best-effort path.
+fn make_proto(qos: &QosSpec, config: &DaceConfig) -> Option<Box<dyn Multicast>> {
+    match qos.ordering {
+        Ordering::Total => Some(Box::new(Total::new())),
+        Ordering::Causal => Some(Box::new(Causal::new())),
+        Ordering::Fifo => Some(Box::new(Fifo::new())),
+        Ordering::None => match qos.delivery {
+            Delivery::Certified => Some(Box::new(Certified::new())),
+            Delivery::Reliable => Some(Box::new(Reliable::new())),
+            Delivery::Unreliable => config
+                .gossip
+                .map(|g| Box::new(Lpbcast::new(g)) as Box<dyn Multicast>),
+        },
+    }
+}
+
+fn encode_node_msg(msg: &NodeMsg) -> Vec<u8> {
+    psc_codec::to_bytes(msg).expect("node messages encode")
+}

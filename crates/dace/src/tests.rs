@@ -1,0 +1,648 @@
+use std::sync::{Arc, Mutex};
+
+use psc_group::LpbcastConfig;
+use psc_obvent::builtin::{Certified, FifoOrder, Prioritary, Reliable, Timely, TotalOrder};
+use psc_obvent::declare_obvent_model;
+use psc_simnet::{Duration, NodeId, SimConfig, SimNet, SimTime};
+use pubsub_core::FilterSpec;
+
+use crate::{DaceConfig, DaceNode, Placement};
+
+declare_obvent_model! {
+    pub class PlainTick { tag: String, n: u64 }
+}
+declare_obvent_model! {
+    pub class FancyTick extends PlainTick { extra: String }
+}
+declare_obvent_model! {
+    pub class ReliableTick implements [Reliable] { n: u64 }
+}
+declare_obvent_model! {
+    pub class FifoTick implements [FifoOrder] { n: u64 }
+}
+declare_obvent_model! {
+    pub class TotalTick implements [TotalOrder] { n: u64 }
+}
+declare_obvent_model! {
+    pub class CertifiedTick implements [Certified] { n: u64 }
+}
+declare_obvent_model! {
+    pub class UrgentTick implements [Prioritary] { n: u64, priority: i32 }
+}
+declare_obvent_model! {
+    pub class FreshTick implements [Timely] { n: u64, ttl_ms: u64, birth_ms: u64 }
+}
+
+type Seen<T> = Arc<Mutex<Vec<T>>>;
+
+fn cluster(n: usize, sim_config: SimConfig, dace_config: DaceConfig) -> (SimNet, Vec<NodeId>) {
+    let mut sim = SimNet::new(sim_config);
+    // Ids are assigned sequentially from 0; precompute the cluster list.
+    let ids: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
+    for i in 0..n {
+        let factory = DaceNode::factory(ids.clone(), dace_config.clone());
+        let id = sim.add_node(format!("dace{i}"), factory);
+        assert_eq!(id, ids[i]);
+    }
+    (sim, ids)
+}
+
+/// Subscribes `node` to `PlainTick`s (and subtypes) recording tags.
+fn subscribe_plain(sim: &mut SimNet, node: NodeId, filter: FilterSpec<PlainTick>) -> Seen<String> {
+    let seen: Seen<String> = Arc::new(Mutex::new(Vec::new()));
+    let sink = seen.clone();
+    DaceNode::drive(sim, node, move |domain| {
+        let sub = domain.subscribe(filter, move |t: PlainTick| {
+            sink.lock().unwrap().push(t.tag().clone());
+        });
+        sub.activate().unwrap();
+        sub.detach();
+    });
+    seen
+}
+
+fn settle(sim: &mut SimNet, ms: u64) {
+    let deadline = sim.now() + Duration::from_millis(ms);
+    sim.run_until(deadline);
+}
+
+#[test]
+fn cross_node_delivery_with_publisher_side_filtering() {
+    let (mut sim, ids) = cluster(3, SimConfig::default(), DaceConfig::default());
+    let cheap = subscribe_plain(
+        &mut sim,
+        ids[1],
+        FilterSpec::remote(psc_filter::rfilter!(n < 10)),
+    );
+    let expensive = subscribe_plain(
+        &mut sim,
+        ids[2],
+        FilterSpec::remote(psc_filter::rfilter!(n >= 10)),
+    );
+    settle(&mut sim, 10);
+    sim.reset_stats();
+
+    DaceNode::publish_from(&mut sim, ids[0], PlainTick::new("low".into(), 5));
+    DaceNode::publish_from(&mut sim, ids[0], PlainTick::new("high".into(), 50));
+    settle(&mut sim, 50);
+
+    assert_eq!(*cheap.lock().unwrap(), vec!["low".to_string()]);
+    assert_eq!(*expensive.lock().unwrap(), vec!["high".to_string()]);
+}
+
+#[test]
+fn publisher_side_filtering_saves_messages_vs_subscriber_side() {
+    let run = |placement: Placement| {
+        let config = DaceConfig {
+            placement,
+            ..DaceConfig::default()
+        };
+        let (mut sim, ids) = cluster(6, SimConfig::default(), config);
+        // Five subscribers, all with highly selective filters (match none).
+        for &id in &ids[1..] {
+            subscribe_plain(
+                &mut sim,
+                id,
+                FilterSpec::remote(psc_filter::rfilter!(n > 1000)),
+            );
+        }
+        settle(&mut sim, 10);
+        sim.reset_stats();
+        for i in 0..20u64 {
+            DaceNode::publish_from(&mut sim, ids[0], PlainTick::new("x".into(), i));
+        }
+        settle(&mut sim, 100);
+        sim.stats().sent
+    };
+    let publisher_side = run(Placement::Publisher);
+    let subscriber_side = run(Placement::Subscriber);
+    assert!(
+        publisher_side < subscriber_side / 2,
+        "publisher-side filtering ({publisher_side} msgs) should send far less \
+         than subscriber-side ({subscriber_side} msgs)"
+    );
+}
+
+#[test]
+fn local_delivery_reaches_collocated_subscribers() {
+    let (mut sim, ids) = cluster(2, SimConfig::default(), DaceConfig::default());
+    let local = subscribe_plain(&mut sim, ids[0], FilterSpec::accept_all());
+    let remote = subscribe_plain(&mut sim, ids[1], FilterSpec::accept_all());
+    settle(&mut sim, 10);
+    DaceNode::publish_from(&mut sim, ids[0], PlainTick::new("t".into(), 1));
+    settle(&mut sim, 50);
+    assert_eq!(local.lock().unwrap().len(), 1, "publisher-local subscriber");
+    assert_eq!(remote.lock().unwrap().len(), 1, "remote subscriber");
+}
+
+#[test]
+fn supertype_subscription_catches_later_advertised_subtype() {
+    let (mut sim, ids) = cluster(2, SimConfig::default(), DaceConfig::default());
+    // Subscribe to the base class before FancyTick was ever published.
+    let seen = subscribe_plain(&mut sim, ids[1], FilterSpec::accept_all());
+    settle(&mut sim, 10);
+    // First publish triggers the advertisement; a subsequent one must be
+    // routed (space/time decoupling, not retroactive delivery).
+    DaceNode::publish_from(
+        &mut sim,
+        ids[0],
+        FancyTick::new(PlainTick::new("first".into(), 1), "e".into()),
+    );
+    settle(&mut sim, 300);
+    DaceNode::publish_from(
+        &mut sim,
+        ids[0],
+        FancyTick::new(PlainTick::new("second".into(), 2), "e".into()),
+    );
+    settle(&mut sim, 300);
+    let got = seen.lock().unwrap().clone();
+    assert!(
+        got.contains(&"second".to_string()),
+        "subscriber must have joined the subtype channel, got {got:?}"
+    );
+}
+
+#[test]
+fn unsubscribe_stops_cross_node_delivery() {
+    let (mut sim, ids) = cluster(2, SimConfig::default(), DaceConfig::default());
+    let seen: Seen<String> = Arc::new(Mutex::new(Vec::new()));
+    let sink = seen.clone();
+    let handle: Arc<Mutex<Option<pubsub_core::Subscription>>> = Arc::new(Mutex::new(None));
+    let slot = handle.clone();
+    DaceNode::drive(&mut sim, ids[1], move |domain| {
+        let sub = domain.subscribe(FilterSpec::accept_all(), move |t: PlainTick| {
+            sink.lock().unwrap().push(t.tag().clone());
+        });
+        sub.activate().unwrap();
+        *slot.lock().unwrap() = Some(sub);
+    });
+    settle(&mut sim, 10);
+    DaceNode::publish_from(&mut sim, ids[0], PlainTick::new("before".into(), 1));
+    settle(&mut sim, 50);
+    DaceNode::drive(&mut sim, ids[1], move |_domain| {
+        let guard = handle.lock().unwrap();
+        guard.as_ref().unwrap().deactivate().unwrap();
+    });
+    settle(&mut sim, 50);
+    DaceNode::publish_from(&mut sim, ids[0], PlainTick::new("after".into(), 2));
+    settle(&mut sim, 50);
+    assert_eq!(*seen.lock().unwrap(), vec!["before".to_string()]);
+}
+
+#[test]
+fn reliable_obvents_survive_loss() {
+    let (mut sim, ids) = cluster(5, SimConfig::with_loss(0.3), DaceConfig::default());
+    let seens: Vec<Seen<u64>> = ids[1..]
+        .iter()
+        .map(|&id| {
+            let seen: Seen<u64> = Arc::new(Mutex::new(Vec::new()));
+            let sink = seen.clone();
+            DaceNode::drive(&mut sim, id, move |domain| {
+                let sub = domain.subscribe(FilterSpec::accept_all(), move |t: ReliableTick| {
+                    sink.lock().unwrap().push(*t.n());
+                });
+                sub.activate().unwrap();
+                sub.detach();
+            });
+            seen
+        })
+        .collect();
+    // Let control traffic (subject to the same loss) converge via
+    // re-announcements.
+    settle(&mut sim, 700);
+    for i in 0..5u64 {
+        DaceNode::publish_from(&mut sim, ids[0], ReliableTick::new(i));
+    }
+    settle(&mut sim, 500);
+    for (i, seen) in seens.iter().enumerate() {
+        let mut got = seen.lock().unwrap().clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4], "subscriber {i}");
+    }
+}
+
+#[test]
+fn fifo_obvents_arrive_in_publish_order() {
+    let (mut sim, ids) = cluster(3, SimConfig::with_seed(23), DaceConfig::default());
+    let seen: Seen<u64> = Arc::new(Mutex::new(Vec::new()));
+    let sink = seen.clone();
+    DaceNode::drive(&mut sim, ids[1], move |domain| {
+        let sub = domain.subscribe(FilterSpec::accept_all(), move |t: FifoTick| {
+            sink.lock().unwrap().push(*t.n());
+        });
+        sub.activate().unwrap();
+        sub.detach();
+    });
+    settle(&mut sim, 10);
+    for i in 0..25u64 {
+        DaceNode::publish_from(&mut sim, ids[0], FifoTick::new(i));
+    }
+    settle(&mut sim, 500);
+    let got = seen.lock().unwrap().clone();
+    assert_eq!(got, (0..25).collect::<Vec<u64>>());
+}
+
+#[test]
+fn total_order_obvents_agree_across_subscribers() {
+    let (mut sim, ids) = cluster(4, SimConfig::with_seed(31), DaceConfig::default());
+    let mut seens = Vec::new();
+    for &id in &ids[2..] {
+        let seen: Seen<u64> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        DaceNode::drive(&mut sim, id, move |domain| {
+            let sub = domain.subscribe(FilterSpec::accept_all(), move |t: TotalTick| {
+                sink.lock().unwrap().push(*t.n());
+            });
+            sub.activate().unwrap();
+            sub.detach();
+        });
+        seens.push(seen);
+    }
+    settle(&mut sim, 10);
+    // Two concurrent publishers.
+    for i in 0..10u64 {
+        DaceNode::publish_from(&mut sim, ids[0], TotalTick::new(i));
+        DaceNode::publish_from(&mut sim, ids[1], TotalTick::new(100 + i));
+    }
+    settle(&mut sim, 1_000);
+    let a = seens[0].lock().unwrap().clone();
+    let b = seens[1].lock().unwrap().clone();
+    assert_eq!(a.len(), 20);
+    assert_eq!(a, b, "total order must agree at all subscribers");
+}
+
+#[test]
+fn certified_obvents_reach_a_crashed_subscriber_after_recovery() {
+    let (mut sim, ids) = cluster(2, SimConfig::default(), DaceConfig::default());
+    let seen = {
+        let seen: Seen<u64> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        DaceNode::drive(&mut sim, ids[1], move |domain| {
+            let sub = domain.subscribe(FilterSpec::accept_all(), move |t: CertifiedTick| {
+                sink.lock().unwrap().push(*t.n());
+            });
+            sub.activate_with_id(9_001).unwrap();
+            sub.detach();
+        });
+        seen
+    };
+    settle(&mut sim, 10);
+    // Deliver one normally.
+    DaceNode::publish_from(&mut sim, ids[0], CertifiedTick::new(1));
+    settle(&mut sim, 100);
+    assert_eq!(*seen.lock().unwrap(), vec![1]);
+
+    // Crash the subscriber, publish while it is down.
+    sim.crash(ids[1]);
+    DaceNode::publish_from(&mut sim, ids[0], CertifiedTick::new(2));
+    settle(&mut sim, 300);
+
+    // Recover and re-attach the durable subscription (paper §3.4.1).
+    sim.recover(ids[1]);
+    let seen2: Seen<u64> = Arc::new(Mutex::new(Vec::new()));
+    let sink = seen2.clone();
+    DaceNode::drive(&mut sim, ids[1], move |domain| {
+        let sub = domain.subscribe(FilterSpec::accept_all(), move |t: CertifiedTick| {
+            sink.lock().unwrap().push(*t.n());
+        });
+        sub.activate_with_id(9_001).unwrap();
+        sub.detach();
+    });
+    settle(&mut sim, 2_000);
+    assert_eq!(
+        *seen2.lock().unwrap(),
+        vec![2],
+        "the certified obvent published during the crash must arrive after recovery"
+    );
+}
+
+#[test]
+fn priorities_reorder_the_transmit_queue() {
+    // A slow uplink (5 ms per message) creates a backlog; the prioritary
+    // obvent published last must arrive first.
+    let config = DaceConfig {
+        transmit_interval: Duration::from_millis(5),
+        ..DaceConfig::default()
+    };
+    let (mut sim, ids) = cluster(2, SimConfig::default(), config);
+    let seen: Seen<u64> = Arc::new(Mutex::new(Vec::new()));
+    let sink = seen.clone();
+    DaceNode::drive(&mut sim, ids[1], move |domain| {
+        let sub = domain.subscribe(FilterSpec::accept_all(), move |t: UrgentTick| {
+            sink.lock().unwrap().push(*t.n());
+        });
+        sub.activate().unwrap();
+        sub.detach();
+    });
+    settle(&mut sim, 10);
+    // Publish 5 low-priority then 1 high-priority in one action burst.
+    DaceNode::drive(&mut sim, ids[0], |domain| {
+        for i in 0..5u64 {
+            domain.publish(UrgentTick::new(i, 0)).unwrap();
+        }
+        domain.publish(UrgentTick::new(99, 10)).unwrap();
+    });
+    settle(&mut sim, 200);
+    let got = seen.lock().unwrap().clone();
+    assert_eq!(got.len(), 6);
+    assert_eq!(got[0], 99, "the high-priority obvent must overtake, got {got:?}");
+}
+
+#[test]
+fn timely_obvents_expire_in_a_backlogged_queue() {
+    let config = DaceConfig {
+        transmit_interval: Duration::from_millis(20),
+        ..DaceConfig::default()
+    };
+    let (mut sim, ids) = cluster(2, SimConfig::default(), config);
+    let seen: Seen<u64> = Arc::new(Mutex::new(Vec::new()));
+    let sink = seen.clone();
+    DaceNode::drive(&mut sim, ids[1], move |domain| {
+        let sub = domain.subscribe(FilterSpec::accept_all(), move |t: FreshTick| {
+            sink.lock().unwrap().push(*t.n());
+        });
+        sub.activate().unwrap();
+        sub.detach();
+    });
+    settle(&mut sim, 10);
+    // 6 obvents with a 30 ms TTL over a 20 ms-per-message uplink: the tail
+    // of the queue must expire.
+    DaceNode::drive(&mut sim, ids[0], |domain| {
+        for i in 0..6u64 {
+            domain.publish(FreshTick::new(i, 30, 0)).unwrap();
+        }
+    });
+    settle(&mut sim, 500);
+    let delivered = seen.lock().unwrap().len();
+    assert!(
+        (1..6).contains(&delivered),
+        "expected partial expiry, delivered {delivered}"
+    );
+    let stats = DaceNode::stats_of(&mut sim, ids[0]);
+    assert_eq!(stats.expired as usize, 6 - delivered);
+}
+
+#[test]
+fn broker_placement_routes_through_the_filtering_host() {
+    let config = DaceConfig {
+        placement: Placement::Broker(NodeId(1)),
+        ..DaceConfig::default()
+    };
+    let (mut sim, ids) = cluster(4, SimConfig::default(), config);
+    let matching = subscribe_plain(
+        &mut sim,
+        ids[2],
+        FilterSpec::remote(psc_filter::rfilter!(n < 10)),
+    );
+    let non_matching = subscribe_plain(
+        &mut sim,
+        ids[3],
+        FilterSpec::remote(psc_filter::rfilter!(n > 1000)),
+    );
+    settle(&mut sim, 10);
+    DaceNode::publish_from(&mut sim, ids[0], PlainTick::new("via-broker".into(), 5));
+    settle(&mut sim, 100);
+    assert_eq!(*matching.lock().unwrap(), vec!["via-broker".to_string()]);
+    assert!(non_matching.lock().unwrap().is_empty());
+}
+
+#[test]
+fn gossip_mode_disseminates_unreliable_obvents() {
+    let config = DaceConfig {
+        gossip: Some(LpbcastConfig {
+            fanout: 4,
+            ..LpbcastConfig::default()
+        }),
+        ..DaceConfig::default()
+    };
+    let (mut sim, ids) = cluster(16, SimConfig::with_seed(3), config);
+    let seens: Vec<Seen<String>> = ids[1..]
+        .iter()
+        .map(|&id| subscribe_plain(&mut sim, id, FilterSpec::accept_all()))
+        .collect();
+    settle(&mut sim, 20);
+    DaceNode::publish_from(&mut sim, ids[0], PlainTick::new("rumor".into(), 1));
+    sim.run_until(SimTime::from_millis(800));
+    let reached = seens
+        .iter()
+        .filter(|seen| !seen.lock().unwrap().is_empty())
+        .count();
+    assert_eq!(reached, 15, "gossip with fanout 4 should reach all 15 subscribers");
+}
+
+mod inproc_bus {
+    use super::*;
+    use crate::inproc::Bus;
+
+    #[test]
+    fn bus_routes_between_live_domains() {
+        let bus = Bus::new();
+        let publisher = bus.domain_inline();
+        let subscriber = bus.domain_inline();
+        let seen: Seen<u64> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        let sub = subscriber.subscribe(FilterSpec::accept_all(), move |t: PlainTick| {
+            sink.lock().unwrap().push(*t.n());
+        });
+        sub.activate().unwrap();
+        publisher.publish(PlainTick::new("x".into(), 7)).unwrap();
+        assert_eq!(*seen.lock().unwrap(), vec![7]);
+        assert_eq!(bus.member_count(), 2);
+    }
+
+    #[test]
+    fn bus_members_prune_when_dropped() {
+        let bus = Bus::new();
+        let a = bus.domain_inline();
+        {
+            let _b = bus.domain_inline();
+        }
+        bus.prune();
+        assert_eq!(bus.member_count(), 1);
+        drop(a);
+    }
+}
+
+mod failure_injection {
+    use super::*;
+
+    /// A partition separates publisher and subscriber; reliable obvents
+    /// published during the partition are lost (links dropped), but the
+    /// anti-entropy control plane re-converges after healing and later
+    /// obvents flow again.
+    #[test]
+    fn partition_and_heal_reconverges() {
+        let (mut sim, ids) = cluster(3, SimConfig::default(), DaceConfig::default());
+        let seen: Seen<u64> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        DaceNode::drive(&mut sim, ids[2], move |domain| {
+            let sub = domain.subscribe(FilterSpec::accept_all(), move |t: ReliableTick| {
+                sink.lock().unwrap().push(*t.n());
+            });
+            sub.activate().unwrap();
+            sub.detach();
+        });
+        settle(&mut sim, 10);
+        DaceNode::publish_from(&mut sim, ids[0], ReliableTick::new(1));
+        settle(&mut sim, 100);
+        assert_eq!(*seen.lock().unwrap(), vec![1]);
+
+        // Publisher side isolated from the subscriber.
+        sim.partition(&[&[ids[0], ids[1]], &[ids[2]]]);
+        DaceNode::publish_from(&mut sim, ids[0], ReliableTick::new(2));
+        settle(&mut sim, 300);
+        assert_eq!(*seen.lock().unwrap(), vec![1], "partitioned: nothing arrives");
+
+        sim.heal_partition();
+        // Reliable retransmission (volatile, but the publisher never saw an
+        // ack from n2) resumes across the healed link.
+        settle(&mut sim, 1_000);
+        assert_eq!(
+            *seen.lock().unwrap(),
+            vec![1, 2],
+            "retransmission must cross the healed partition"
+        );
+        DaceNode::publish_from(&mut sim, ids[0], ReliableTick::new(3));
+        settle(&mut sim, 500);
+        assert_eq!(*seen.lock().unwrap(), vec![1, 2, 3]);
+    }
+
+    /// Subscriptions installed while the control plane is lossy still
+    /// converge via periodic re-announcement.
+    #[test]
+    fn subscription_announcements_survive_control_loss() {
+        let config = DaceConfig {
+            announce_interval: Duration::from_millis(100),
+            ..DaceConfig::default()
+        };
+        let (mut sim, ids) = cluster(2, SimConfig::with_loss(0.6), config);
+        let seen = subscribe_plain(&mut sim, ids[1], FilterSpec::accept_all());
+        // With 60% loss the first announcement probably died; anti-entropy
+        // re-floods every 100 ms.
+        settle(&mut sim, 2_000);
+        for i in 0..30u64 {
+            DaceNode::publish_from(&mut sim, ids[0], PlainTick::new(format!("m{i}"), i));
+        }
+        settle(&mut sim, 2_000);
+        let got = seen.lock().unwrap().len();
+        assert!(
+            got > 0,
+            "after control-plane convergence some best-effort obvents must land"
+        );
+    }
+
+    /// Gossip keeps disseminating while nodes crash and recover mid-rumor.
+    #[test]
+    fn gossip_survives_node_churn() {
+        let config = DaceConfig {
+            gossip: Some(LpbcastConfig {
+                fanout: 5,
+                rounds: 12,
+                ..LpbcastConfig::default()
+            }),
+            ..DaceConfig::default()
+        };
+        let (mut sim, ids) = cluster(12, SimConfig::with_seed(8), config);
+        let seens: Vec<Seen<String>> = ids[1..]
+            .iter()
+            .map(|&id| subscribe_plain(&mut sim, id, FilterSpec::accept_all()))
+            .collect();
+        settle(&mut sim, 20);
+        // Crash a third of the cluster, publish, recover them mid-gossip.
+        for &id in &ids[9..] {
+            sim.crash(id);
+        }
+        DaceNode::publish_from(&mut sim, ids[0], PlainTick::new("churn".into(), 1));
+        settle(&mut sim, 60);
+        for &id in &ids[9..] {
+            sim.recover(id);
+        }
+        settle(&mut sim, 1_500);
+        // Every node that stayed up must have the rumor.
+        let up_reached = seens[..8]
+            .iter()
+            .filter(|seen| !seen.lock().unwrap().is_empty())
+            .count();
+        assert_eq!(up_reached, 8, "all surviving nodes must receive the rumor");
+    }
+}
+
+mod durable_subscriptions {
+    use super::*;
+
+    /// §3.4.1: durable subscriptions outlive the process. Obvents arriving
+    /// in the window between recovery and `activate_with_id` re-attachment
+    /// are parked — and the durable subscription's *filter* governs what is
+    /// parked.
+    #[test]
+    fn parking_respects_the_durable_filter() {
+        let (mut sim, ids) = cluster(2, SimConfig::default(), DaceConfig::default());
+        let install = |sim: &mut SimNet, sink: Seen<u64>| {
+            DaceNode::drive(sim, NodeId(1), move |domain| {
+                let sub = domain.subscribe(
+                    FilterSpec::remote(psc_filter::rfilter!(n < 10)),
+                    move |t: CertifiedTick| {
+                        sink.lock().unwrap().push(*t.n());
+                    },
+                );
+                sub.activate_with_id(77).unwrap();
+                sub.detach();
+            });
+        };
+        let first: Seen<u64> = Arc::new(Mutex::new(Vec::new()));
+        install(&mut sim, first.clone());
+        settle(&mut sim, 10);
+
+        sim.crash(ids[1]);
+        sim.recover(ids[1]);
+        // Retransmissions arrive before the app re-attaches: one matching
+        // (n=5), one filtered out (n=50).
+        DaceNode::publish_from(&mut sim, ids[0], CertifiedTick::new(5));
+        DaceNode::publish_from(&mut sim, ids[0], CertifiedTick::new(50));
+        settle(&mut sim, 500);
+
+        let second: Seen<u64> = Arc::new(Mutex::new(Vec::new()));
+        install(&mut sim, second.clone());
+        settle(&mut sim, 1_000);
+        assert_eq!(*first.lock().unwrap(), Vec::<u64>::new());
+        assert_eq!(
+            *second.lock().unwrap(),
+            vec![5],
+            "only the filter-matching obvent must be parked and replayed"
+        );
+    }
+
+    /// Explicit deactivation ends the durable lifetime: nothing is parked
+    /// afterwards.
+    #[test]
+    fn explicit_deactivation_removes_the_durable_record() {
+        let (mut sim, ids) = cluster(2, SimConfig::default(), DaceConfig::default());
+        let seen: Seen<u64> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        let handle: Arc<Mutex<Option<pubsub_core::Subscription>>> = Arc::new(Mutex::new(None));
+        let slot = handle.clone();
+        DaceNode::drive(&mut sim, ids[1], move |domain| {
+            let sub = domain.subscribe(FilterSpec::accept_all(), move |t: CertifiedTick| {
+                sink.lock().unwrap().push(*t.n());
+            });
+            sub.activate_with_id(88).unwrap();
+            *slot.lock().unwrap() = Some(sub);
+        });
+        settle(&mut sim, 10);
+        DaceNode::drive(&mut sim, ids[1], move |_domain| {
+            handle.lock().unwrap().as_ref().unwrap().deactivate().unwrap();
+        });
+        settle(&mut sim, 10);
+        // The durable record is gone from stable storage.
+        assert_eq!(
+            sim.storage(ids[1]).unwrap().keys_with_prefix("dursub/").count(),
+            0
+        );
+        sim.crash(ids[1]);
+        sim.recover(ids[1]);
+        DaceNode::publish_from(&mut sim, ids[0], CertifiedTick::new(9));
+        settle(&mut sim, 500);
+        // Nothing parked, nothing delivered: the subscription truly ended.
+        assert!(seen.lock().unwrap().is_empty());
+    }
+}

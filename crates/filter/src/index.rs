@@ -1,0 +1,575 @@
+//! The compound-filter matching engine.
+//!
+//! "By gathering filters of several subscribers on a given host, a compound
+//! filter can be generated which factors out redundancies between these
+//! individual filters. By doing so, performance can be significantly
+//! improved" (paper §2.3.2, citing [ASS+99]).
+//!
+//! [`FilterIndex`] implements that compound filter in the style of Aguilera
+//! et al.'s counting algorithm:
+//!
+//! 1. **predicate deduplication** — syntactically equal predicates from
+//!    different subscriptions are stored once and evaluated once per obvent;
+//! 2. **shared property fetches** — predicates are grouped by property path,
+//!    so each accessor chain is invoked once per obvent (the shared prefix
+//!    structure of the invocation trees);
+//! 3. **batched comparisons** — equality predicates on a path are resolved
+//!    with one hash lookup, and ordered comparisons (`<`, `<=`, `>`, `>=`)
+//!    with one binary search over the sorted thresholds, so only *satisfied*
+//!    predicates are enumerated;
+//! 4. **counting** — conjunctive filters keep a per-obvent counter of
+//!    satisfied conjuncts and match when the counter reaches their arity;
+//!    filters with general evaluation trees are evaluated over the shared
+//!    truth assignment.
+//!
+//! [`FilterIndex::naive_matching`] provides the unfactored baseline (every
+//! filter evaluated independently, repeating lookups and comparisons); the
+//! benchmark suite measures the gap (experiment E1). Property tests assert
+//! the two are extensionally equal.
+
+use std::collections::HashMap;
+
+use crate::{CmpOp, EvalNode, Predicate, PropPath, PropertySource, RemoteFilter, Value};
+
+/// Stable handle for a filter stored in a [`FilterIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FilterId(u64);
+
+impl FilterId {
+    /// The raw numeric id (useful for logging).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// Ablation switches for [`FilterIndex`] (experiment E1 measures each
+/// mechanism's contribution; production code uses the default, all-on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexOptions {
+    /// Share syntactically equal predicates between filters (one evaluation
+    /// per obvent instead of one per filter).
+    pub dedup: bool,
+    /// Batch equality predicates into hash lookups and ordered comparisons
+    /// into binary searches over sorted thresholds.
+    pub batch: bool,
+}
+
+impl Default for IndexOptions {
+    fn default() -> Self {
+        IndexOptions {
+            dedup: true,
+            batch: true,
+        }
+    }
+}
+
+/// Aggregate statistics about sharing inside the index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndexStats {
+    /// Number of stored filters.
+    pub filters: usize,
+    /// Total predicate occurrences across all filters.
+    pub total_predicates: usize,
+    /// Distinct predicates after deduplication.
+    pub unique_predicates: usize,
+    /// Distinct property paths fetched per matched obvent.
+    pub paths: usize,
+}
+
+#[derive(Debug)]
+struct StoredFilter {
+    filter: RemoteFilter,
+    /// Global predicate ids in the order of the filter's own predicate list.
+    globals: Vec<usize>,
+    /// Dense counter slot.
+    slot: usize,
+    /// `Some(arity)` when the evaluation tree is a pure conjunction of
+    /// distinct predicates (counting applies); `None` for general trees.
+    conjunctive_arity: Option<u32>,
+}
+
+#[derive(Debug)]
+struct PredEntry {
+    pred: Predicate,
+    refcount: usize,
+    /// Filters (by slot) whose conjunction contains this predicate, with
+    /// multiplicity 1 (conjunctive filters deduplicate their own leaves).
+    postings: Vec<usize>,
+}
+
+#[derive(Debug, Default)]
+struct PathGroup {
+    /// `(threshold, pred)` sorted by threshold, per comparison op.
+    lt: Vec<(f64, usize)>,
+    le: Vec<(f64, usize)>,
+    gt: Vec<(f64, usize)>,
+    ge: Vec<(f64, usize)>,
+    /// Equality predicates keyed by the canonicalized operand.
+    eq: HashMap<Value, Vec<usize>>,
+    /// Predicates satisfied whenever the property exists.
+    exists: Vec<usize>,
+    /// Everything else: evaluated individually (still sharing the fetch).
+    general: Vec<usize>,
+}
+
+impl PathGroup {
+    fn is_empty(&self) -> bool {
+        self.lt.is_empty()
+            && self.le.is_empty()
+            && self.gt.is_empty()
+            && self.ge.is_empty()
+            && self.eq.is_empty()
+            && self.exists.is_empty()
+            && self.general.is_empty()
+    }
+}
+
+/// The factoring matching index; see the module docs.
+///
+/// ```
+/// use psc_filter::{rfilter, FilterIndex, Value};
+///
+/// let mut index = FilterIndex::new();
+/// let id = index.insert(rfilter!(price >= 10 && price <= 20));
+/// let quote = Value::record([("price", Value::from(15))]);
+/// assert_eq!(index.matching(&quote), vec![id]);
+/// index.remove(id);
+/// assert!(index.matching(&quote).is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct FilterIndex {
+    options: IndexOptions,
+    next_id: u64,
+    filters: HashMap<FilterId, StoredFilter>,
+    /// slot -> FilterId of the occupant (freed slots go on `free_slots`).
+    slots: Vec<Option<FilterId>>,
+    free_slots: Vec<usize>,
+    preds: Vec<PredEntry>,
+    pred_lookup: HashMap<Predicate, usize>,
+    free_preds: Vec<usize>,
+    groups: HashMap<PropPath, PathGroup>,
+    /// Filters needing full tree evaluation, by slot.
+    tree_filters: Vec<usize>,
+    /// Pass-all / zero-arity filters, by slot.
+    unconditional: Vec<usize>,
+    // Generation-stamped scratch state reused across `matching` calls.
+    gen: u64,
+    truth_gen: Vec<u64>,
+    counter_gen: Vec<u64>,
+    counters: Vec<u32>,
+}
+
+impl FilterIndex {
+    /// Creates an empty index with all optimizations enabled.
+    pub fn new() -> Self {
+        FilterIndex::default()
+    }
+
+    /// Creates an empty index with explicit ablation switches (see
+    /// [`IndexOptions`]); used by the E1 ablation harness.
+    pub fn with_options(options: IndexOptions) -> Self {
+        FilterIndex {
+            options,
+            ..FilterIndex::default()
+        }
+    }
+
+    /// Number of stored filters.
+    pub fn len(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// True when no filters are stored.
+    pub fn is_empty(&self) -> bool {
+        self.filters.is_empty()
+    }
+
+    /// Sharing statistics (how much factoring bought).
+    pub fn stats(&self) -> IndexStats {
+        IndexStats {
+            filters: self.filters.len(),
+            total_predicates: self
+                .filters
+                .values()
+                .map(|f| f.filter.predicates().len())
+                .sum(),
+            unique_predicates: self.preds.iter().filter(|p| p.refcount > 0).count(),
+            paths: self.groups.len(),
+        }
+    }
+
+    /// Inserts a filter and returns its handle.
+    pub fn insert(&mut self, filter: RemoteFilter) -> FilterId {
+        let id = FilterId(self.next_id);
+        self.next_id += 1;
+
+        let slot = match self.free_slots.pop() {
+            Some(slot) => {
+                self.slots[slot] = Some(id);
+                slot
+            }
+            None => {
+                self.slots.push(Some(id));
+                self.counter_gen.push(0);
+                self.counters.push(0);
+                self.slots.len() - 1
+            }
+        };
+
+        let mut globals = Vec::with_capacity(filter.predicates().len());
+        for pred in filter.predicates() {
+            globals.push(self.intern_pred(pred));
+        }
+
+        let conjunctive_arity = conjunction_leaves(filter.eval_tree()).map(|leaves| {
+            // Deduplicate leaves within the filter so the counter target is
+            // the number of *distinct* conditions.
+            let mut distinct: Vec<usize> = leaves.iter().map(|&l| globals[l]).collect();
+            distinct.sort_unstable();
+            distinct.dedup();
+            for &g in &distinct {
+                self.preds[g].postings.push(slot);
+            }
+            distinct.len() as u32
+        });
+
+        match conjunctive_arity {
+            Some(0) => self.unconditional.push(slot),
+            Some(_) => {}
+            None => self.tree_filters.push(slot),
+        }
+
+        self.filters.insert(
+            id,
+            StoredFilter {
+                filter,
+                globals,
+                slot,
+                conjunctive_arity,
+            },
+        );
+        id
+    }
+
+    /// Removes a filter. Returns the filter if it was present.
+    pub fn remove(&mut self, id: FilterId) -> Option<RemoteFilter> {
+        let stored = self.filters.remove(&id)?;
+        self.slots[stored.slot] = None;
+        self.free_slots.push(stored.slot);
+        match stored.conjunctive_arity {
+            Some(0) => self.unconditional.retain(|&s| s != stored.slot),
+            Some(_) => {
+                let mut distinct: Vec<usize> = stored.globals.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                for g in distinct {
+                    self.preds[g].postings.retain(|&s| s != stored.slot);
+                }
+            }
+            None => self.tree_filters.retain(|&s| s != stored.slot),
+        }
+        for &g in &stored.globals {
+            self.release_pred(g);
+        }
+        Some(stored.filter)
+    }
+
+    /// Returns the ids of all filters matching `source`, ascending.
+    pub fn matching(&mut self, source: &dyn PropertySource) -> Vec<FilterId> {
+        self.gen = self.gen.wrapping_add(1);
+        let gen = self.gen;
+        if self.truth_gen.len() < self.preds.len() {
+            self.truth_gen.resize(self.preds.len(), 0);
+        }
+
+        // Phase 1: enumerate satisfied predicates, path group by path group.
+        let mut satisfied: Vec<usize> = Vec::new();
+        for (path, group) in &self.groups {
+            let value = match source.property(path) {
+                Some(v) => v,
+                None => continue,
+            };
+            satisfied.extend_from_slice(&group.exists);
+            if let Some(eq_hits) = group.eq.get(&canonical(&value)) {
+                satisfied.extend_from_slice(eq_hits);
+            }
+            match exact_f64(&value) {
+                Some(x) if !x.is_nan() => {
+                    // lt: x < t  ⇔ t > x
+                    let start = group.lt.partition_point(|(t, _)| *t <= x);
+                    satisfied.extend(group.lt[start..].iter().map(|&(_, p)| p));
+                    // le: x <= t ⇔ t >= x
+                    let start = group.le.partition_point(|(t, _)| *t < x);
+                    satisfied.extend(group.le[start..].iter().map(|&(_, p)| p));
+                    // gt: x > t ⇔ t < x
+                    let end = group.gt.partition_point(|(t, _)| *t < x);
+                    satisfied.extend(group.gt[..end].iter().map(|&(_, p)| p));
+                    // ge: x >= t ⇔ t <= x
+                    let end = group.ge.partition_point(|(t, _)| *t <= x);
+                    satisfied.extend(group.ge[..end].iter().map(|&(_, p)| p));
+                }
+                _ => {
+                    // Non-numeric, NaN, or not exactly representable as f64:
+                    // fall back to individual evaluation of the threshold
+                    // buckets to preserve exact semantics.
+                    for &(_, p) in group
+                        .lt
+                        .iter()
+                        .chain(&group.le)
+                        .chain(&group.gt)
+                        .chain(&group.ge)
+                    {
+                        let pred = &self.preds[p].pred;
+                        if pred.op.apply(&value, &pred.operand) {
+                            satisfied.push(p);
+                        }
+                    }
+                }
+            }
+            for &p in &group.general {
+                let pred = &self.preds[p].pred;
+                if pred.op.apply(&value, &pred.operand) {
+                    satisfied.push(p);
+                }
+            }
+        }
+
+        // Phase 2: counting for conjunctive filters.
+        let mut matched: Vec<FilterId> = Vec::new();
+        for &p in &satisfied {
+            self.truth_gen[p] = gen;
+            for &slot in &self.preds[p].postings {
+                if self.counter_gen[slot] != gen {
+                    self.counter_gen[slot] = gen;
+                    self.counters[slot] = 0;
+                }
+                self.counters[slot] += 1;
+                if let Some(id) = self.slots[slot] {
+                    let stored = &self.filters[&id];
+                    if stored.conjunctive_arity == Some(self.counters[slot]) {
+                        matched.push(id);
+                    }
+                }
+            }
+        }
+
+        // Phase 3: unconditional filters always match.
+        for &slot in &self.unconditional {
+            if let Some(id) = self.slots[slot] {
+                matched.push(id);
+            }
+        }
+
+        // Phase 4: general evaluation trees over the shared truth assignment.
+        for &slot in &self.tree_filters {
+            let Some(id) = self.slots[slot] else { continue };
+            let stored = &self.filters[&id];
+            let truths: Vec<bool> = stored
+                .globals
+                .iter()
+                .map(|&g| self.truth_gen[g] == gen)
+                .collect();
+            if stored.filter.matches_with_truths(&truths) {
+                matched.push(id);
+            }
+        }
+
+        matched.sort_unstable();
+        matched.dedup();
+        matched
+    }
+
+    /// The unfactored baseline: evaluates every stored filter independently.
+    /// Extensionally equal to [`FilterIndex::matching`]; exists for
+    /// benchmarking the factoring speedup (experiment E1) and as a test
+    /// oracle.
+    pub fn naive_matching(&self, source: &dyn PropertySource) -> Vec<FilterId> {
+        let mut matched: Vec<FilterId> = self
+            .filters
+            .iter()
+            .filter(|(_, stored)| stored.filter.matches(source))
+            .map(|(&id, _)| id)
+            .collect();
+        matched.sort_unstable();
+        matched
+    }
+
+    fn intern_pred(&mut self, pred: &Predicate) -> usize {
+        if self.options.dedup {
+            if let Some(&idx) = self.pred_lookup.get(pred) {
+                self.preds[idx].refcount += 1;
+                return idx;
+            }
+        }
+        let idx = match self.free_preds.pop() {
+            Some(idx) => {
+                self.preds[idx] = PredEntry {
+                    pred: pred.clone(),
+                    refcount: 1,
+                    postings: Vec::new(),
+                };
+                idx
+            }
+            None => {
+                self.preds.push(PredEntry {
+                    pred: pred.clone(),
+                    refcount: 1,
+                    postings: Vec::new(),
+                });
+                self.preds.len() - 1
+            }
+        };
+        if self.options.dedup {
+            self.pred_lookup.insert(pred.clone(), idx);
+        }
+        self.index_pred(idx);
+        idx
+    }
+
+    fn release_pred(&mut self, idx: usize) {
+        self.preds[idx].refcount -= 1;
+        if self.preds[idx].refcount == 0 {
+            let pred = self.preds[idx].pred.clone();
+            self.pred_lookup.remove(&pred);
+            self.unindex_pred(idx, &pred);
+            self.free_preds.push(idx);
+        }
+    }
+
+    fn index_pred(&mut self, idx: usize) {
+        let pred = self.preds[idx].pred.clone();
+        let batch = self.options.batch;
+        let group = self.groups.entry(pred.path.clone()).or_default();
+        match classify(&pred, batch) {
+            Bucket::Threshold(op, t) => {
+                let vec = match op {
+                    CmpOp::Lt => &mut group.lt,
+                    CmpOp::Le => &mut group.le,
+                    CmpOp::Gt => &mut group.gt,
+                    CmpOp::Ge => &mut group.ge,
+                    _ => unreachable!("classify returned threshold for non-ordering op"),
+                };
+                let pos = vec.partition_point(|(x, _)| *x < t);
+                vec.insert(pos, (t, idx));
+            }
+            Bucket::Equality(key) => group.eq.entry(key).or_default().push(idx),
+            Bucket::Exists => group.exists.push(idx),
+            Bucket::General => group.general.push(idx),
+        }
+    }
+
+    fn unindex_pred(&mut self, idx: usize, pred: &Predicate) {
+        let Some(group) = self.groups.get_mut(&pred.path) else {
+            return;
+        };
+        match classify(pred, self.options.batch) {
+            Bucket::Threshold(op, _) => {
+                let vec = match op {
+                    CmpOp::Lt => &mut group.lt,
+                    CmpOp::Le => &mut group.le,
+                    CmpOp::Gt => &mut group.gt,
+                    CmpOp::Ge => &mut group.ge,
+                    _ => unreachable!("classify returned threshold for non-ordering op"),
+                };
+                vec.retain(|&(_, p)| p != idx);
+            }
+            Bucket::Equality(key) => {
+                if let Some(list) = group.eq.get_mut(&key) {
+                    list.retain(|&p| p != idx);
+                    if list.is_empty() {
+                        group.eq.remove(&key);
+                    }
+                }
+            }
+            Bucket::Exists => group.exists.retain(|&p| p != idx),
+            Bucket::General => group.general.retain(|&p| p != idx),
+        }
+        if group.is_empty() {
+            self.groups.remove(&pred.path);
+        }
+    }
+}
+
+enum Bucket {
+    Threshold(CmpOp, f64),
+    Equality(Value),
+    Exists,
+    General,
+}
+
+fn classify(pred: &Predicate, batch: bool) -> Bucket {
+    if !batch {
+        return match pred.op {
+            CmpOp::Exists => Bucket::Exists,
+            _ => Bucket::General,
+        };
+    }
+    match pred.op {
+        CmpOp::Exists => Bucket::Exists,
+        CmpOp::Eq => match &pred.operand {
+            Value::Float(f) if f.is_nan() => Bucket::General,
+            Value::Int(_) | Value::UInt(_) | Value::Float(_) => {
+                Bucket::Equality(canonical(&pred.operand))
+            }
+            Value::Str(_) | Value::Bool(_) => Bucket::Equality(pred.operand.clone()),
+            _ => Bucket::General,
+        },
+        CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => match exact_f64(&pred.operand) {
+            Some(t) if !t.is_nan() => Bucket::Threshold(pred.op, t),
+            _ => Bucket::General,
+        },
+        _ => Bucket::General,
+    }
+}
+
+/// Canonicalizes numeric values so that `Int(1)`, `UInt(1)` and `Float(1.0)`
+/// share one hash-map key, matching [`Value::loose_eq`].
+fn canonical(value: &Value) -> Value {
+    match value {
+        Value::UInt(u) if *u <= i64::MAX as u64 => Value::Int(*u as i64),
+        Value::Float(f)
+            if f.fract() == 0.0
+                && *f >= i64::MIN as f64
+                && *f < i64::MAX as f64
+                && (*f as i64) as f64 == *f =>
+        {
+            Value::Int(*f as i64)
+        }
+        other => other.clone(),
+    }
+}
+
+/// Returns the value as `f64` only if the conversion is exact, so binary
+/// search over thresholds never changes comparison outcomes.
+fn exact_f64(value: &Value) -> Option<f64> {
+    match value {
+        Value::Int(i) => {
+            let f = *i as f64;
+            (f as i128 == *i as i128).then_some(f)
+        }
+        Value::UInt(u) => {
+            let f = *u as f64;
+            (f >= 0.0 && f as u128 == *u as u128).then_some(f)
+        }
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Returns the leaf indices if `node` is a pure conjunction (possibly a bare
+/// predicate or `True`), else `None`.
+fn conjunction_leaves(node: &EvalNode) -> Option<Vec<usize>> {
+    fn collect(node: &EvalNode, out: &mut Vec<usize>) -> bool {
+        match node {
+            EvalNode::True => true,
+            EvalNode::Pred(i) => {
+                out.push(*i);
+                true
+            }
+            EvalNode::And(children) => children.iter().all(|c| collect(c, out)),
+            _ => false,
+        }
+    }
+    let mut leaves = Vec::new();
+    collect(node, &mut leaves).then_some(leaves)
+}

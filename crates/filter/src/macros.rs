@@ -1,0 +1,141 @@
+//! The `rfilter!` macro: the reproduction's filter "precompiler".
+//!
+//! In the paper, `psc` recognises filter blocks whose statements follow the
+//! §3.3.4 restrictions and reifies them into invocation/evaluation trees.
+//! `rfilter!` plays that role for the common conjunctive filter shape: a
+//! `&&`-separated list of clauses, each testing one (possibly nested)
+//! property against a literal. The output is a [`RemoteFilter`]
+//! (serializable, migratable, factorable); anything the grammar cannot
+//! express stays a [`LocalFilter`] closure, exactly like non-conforming
+//! filters in the paper.
+//!
+//! Because paths are resolved by name at match time, `rfilter!` corresponds
+//! to the paper's *reflection-style* filters (§5.5.1); the statically typed
+//! alternative is the schema DSL in [`typed`](crate::typed). Disjunctions are
+//! built by combining reified filters with [`RemoteFilter::or`].
+//!
+//! [`RemoteFilter`]: crate::RemoteFilter
+//! [`RemoteFilter::or`]: crate::RemoteFilter::or
+//! [`LocalFilter`]: crate::LocalFilter
+
+/// Reifies a conjunctive content filter into a [`RemoteFilter`].
+///
+/// Grammar: `clause ( && clause )*` where each clause is one of
+///
+/// - `path == literal`, `path != literal`
+/// - `path < literal`, `path <= literal`, `path > literal`, `path >= literal`
+/// - `path contains literal`, `path starts_with literal`,
+///   `path ends_with literal`
+/// - `path exists`
+///
+/// and `path` is a dot-separated chain of identifiers (`market.company`),
+/// mirroring nested accessor invocations.
+///
+/// ```
+/// use psc_filter::{rfilter, Value};
+///
+/// let f = rfilter!(price < 100.0 && company contains "Telco");
+/// let quote = Value::record([
+///     ("company", Value::from("Telco Mobiles")),
+///     ("price", Value::from(80.0)),
+/// ]);
+/// assert!(f.matches(&quote));
+/// assert_eq!(f.predicates().len(), 2);
+/// ```
+///
+/// [`RemoteFilter`]: crate::RemoteFilter
+#[macro_export]
+macro_rules! rfilter {
+    ($($tokens:tt)+) => {
+        $crate::RemoteFilter::conjunction($crate::__rfilter_clauses!([] $($tokens)+))
+    };
+}
+
+/// Internal clause muncher for [`rfilter!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __rfilter_clauses {
+    // --- binary operator clauses, more input follows ---
+    ([$($acc:expr,)*] $($seg:ident).+ == $lit:literal && $($rest:tt)+) => {
+        $crate::__rfilter_clauses!([$($acc,)* $crate::__rfilter_pred!([$($seg)+] Eq $lit),] $($rest)+)
+    };
+    ([$($acc:expr,)*] $($seg:ident).+ != $lit:literal && $($rest:tt)+) => {
+        $crate::__rfilter_clauses!([$($acc,)* $crate::__rfilter_pred!([$($seg)+] Ne $lit),] $($rest)+)
+    };
+    ([$($acc:expr,)*] $($seg:ident).+ <= $lit:literal && $($rest:tt)+) => {
+        $crate::__rfilter_clauses!([$($acc,)* $crate::__rfilter_pred!([$($seg)+] Le $lit),] $($rest)+)
+    };
+    ([$($acc:expr,)*] $($seg:ident).+ < $lit:literal && $($rest:tt)+) => {
+        $crate::__rfilter_clauses!([$($acc,)* $crate::__rfilter_pred!([$($seg)+] Lt $lit),] $($rest)+)
+    };
+    ([$($acc:expr,)*] $($seg:ident).+ >= $lit:literal && $($rest:tt)+) => {
+        $crate::__rfilter_clauses!([$($acc,)* $crate::__rfilter_pred!([$($seg)+] Ge $lit),] $($rest)+)
+    };
+    ([$($acc:expr,)*] $($seg:ident).+ > $lit:literal && $($rest:tt)+) => {
+        $crate::__rfilter_clauses!([$($acc,)* $crate::__rfilter_pred!([$($seg)+] Gt $lit),] $($rest)+)
+    };
+    ([$($acc:expr,)*] $($seg:ident).+ contains $lit:literal && $($rest:tt)+) => {
+        $crate::__rfilter_clauses!([$($acc,)* $crate::__rfilter_pred!([$($seg)+] Contains $lit),] $($rest)+)
+    };
+    ([$($acc:expr,)*] $($seg:ident).+ starts_with $lit:literal && $($rest:tt)+) => {
+        $crate::__rfilter_clauses!([$($acc,)* $crate::__rfilter_pred!([$($seg)+] StartsWith $lit),] $($rest)+)
+    };
+    ([$($acc:expr,)*] $($seg:ident).+ ends_with $lit:literal && $($rest:tt)+) => {
+        $crate::__rfilter_clauses!([$($acc,)* $crate::__rfilter_pred!([$($seg)+] EndsWith $lit),] $($rest)+)
+    };
+    ([$($acc:expr,)*] $($seg:ident).+ exists && $($rest:tt)+) => {
+        $crate::__rfilter_clauses!([$($acc,)* $crate::__rfilter_pred!([$($seg)+] Exists),] $($rest)+)
+    };
+    // --- terminal clauses ---
+    ([$($acc:expr,)*] $($seg:ident).+ == $lit:literal) => {
+        vec![$($acc,)* $crate::__rfilter_pred!([$($seg)+] Eq $lit)]
+    };
+    ([$($acc:expr,)*] $($seg:ident).+ != $lit:literal) => {
+        vec![$($acc,)* $crate::__rfilter_pred!([$($seg)+] Ne $lit)]
+    };
+    ([$($acc:expr,)*] $($seg:ident).+ <= $lit:literal) => {
+        vec![$($acc,)* $crate::__rfilter_pred!([$($seg)+] Le $lit)]
+    };
+    ([$($acc:expr,)*] $($seg:ident).+ < $lit:literal) => {
+        vec![$($acc,)* $crate::__rfilter_pred!([$($seg)+] Lt $lit)]
+    };
+    ([$($acc:expr,)*] $($seg:ident).+ >= $lit:literal) => {
+        vec![$($acc,)* $crate::__rfilter_pred!([$($seg)+] Ge $lit)]
+    };
+    ([$($acc:expr,)*] $($seg:ident).+ > $lit:literal) => {
+        vec![$($acc,)* $crate::__rfilter_pred!([$($seg)+] Gt $lit)]
+    };
+    ([$($acc:expr,)*] $($seg:ident).+ contains $lit:literal) => {
+        vec![$($acc,)* $crate::__rfilter_pred!([$($seg)+] Contains $lit)]
+    };
+    ([$($acc:expr,)*] $($seg:ident).+ starts_with $lit:literal) => {
+        vec![$($acc,)* $crate::__rfilter_pred!([$($seg)+] StartsWith $lit)]
+    };
+    ([$($acc:expr,)*] $($seg:ident).+ ends_with $lit:literal) => {
+        vec![$($acc,)* $crate::__rfilter_pred!([$($seg)+] EndsWith $lit)]
+    };
+    ([$($acc:expr,)*] $($seg:ident).+ exists) => {
+        vec![$($acc,)* $crate::__rfilter_pred!([$($seg)+] Exists)]
+    };
+}
+
+/// Internal predicate constructor for [`rfilter!`]; not part of the public
+/// API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __rfilter_pred {
+    ([$($seg:ident)+] Exists) => {
+        $crate::Predicate::new(
+            $crate::PropPath::from_segments([$(stringify!($seg)),+]),
+            $crate::CmpOp::Exists,
+            $crate::Value::Unit,
+        )
+    };
+    ([$($seg:ident)+] $op:ident $lit:literal) => {
+        $crate::Predicate::new(
+            $crate::PropPath::from_segments([$(stringify!($seg)),+]),
+            $crate::CmpOp::$op,
+            $lit,
+        )
+    };
+}

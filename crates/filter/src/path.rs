@@ -1,0 +1,165 @@
+//! Property paths: the serialized form of an accessor chain.
+//!
+//! `q.getMarket().getCompany()` in the paper's Java becomes the path
+//! `market.company` here — a node-to-leaf walk of the invocation tree.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A dot-separated chain of property accessors, e.g. `market.company`.
+///
+/// Paths are cheap to clone and hash; the factoring index keys its predicate
+/// groups by path so each property is fetched once per obvent.
+///
+/// ```
+/// use psc_filter::PropPath;
+/// let p = PropPath::parse("market.company");
+/// assert_eq!(p.segments(), ["market", "company"]);
+/// assert_eq!(p.to_string(), "market.company");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct PropPath {
+    segments: Vec<String>,
+}
+
+impl PropPath {
+    /// Creates a single-segment path.
+    pub fn new(segment: impl Into<String>) -> Self {
+        PropPath {
+            segments: vec![segment.into()],
+        }
+    }
+
+    /// Parses a dot-separated path. Empty segments are dropped, so
+    /// `parse("")` yields the root path.
+    pub fn parse(path: &str) -> Self {
+        PropPath {
+            segments: path
+                .split('.')
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect(),
+        }
+    }
+
+    /// Builds a path from an iterator of segments.
+    pub fn from_segments<I, S>(segments: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        PropPath {
+            segments: segments.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The path's segments in root-to-leaf order.
+    pub fn segments(&self) -> &[String] {
+        &self.segments
+    }
+
+    /// Number of segments (invocation-tree depth of the leaf).
+    pub fn depth(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True for the root path (the obvent itself).
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Returns a new path with `segment` appended (a further nested accessor
+    /// invocation).
+    pub fn child(&self, segment: impl Into<String>) -> Self {
+        let mut segments = self.segments.clone();
+        segments.push(segment.into());
+        PropPath { segments }
+    }
+
+    /// Splits off the first segment, returning it and the remaining path.
+    pub fn split_first(&self) -> Option<(&str, PropPath)> {
+        let (first, rest) = self.segments.split_first()?;
+        Some((
+            first.as_str(),
+            PropPath {
+                segments: rest.to_vec(),
+            },
+        ))
+    }
+
+    /// True if `self` is a (non-strict) prefix of `other`: the accessor chain
+    /// of `other` passes through `self`'s node in the invocation tree.
+    pub fn is_prefix_of(&self, other: &PropPath) -> bool {
+        other.segments.len() >= self.segments.len()
+            && self.segments.iter().zip(&other.segments).all(|(a, b)| a == b)
+    }
+}
+
+impl fmt::Display for PropPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, seg) in self.segments.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            f.write_str(seg)?;
+        }
+        Ok(())
+    }
+}
+
+impl From<&str> for PropPath {
+    fn from(path: &str) -> Self {
+        PropPath::parse(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let p = PropPath::parse("a.b.c");
+        assert_eq!(p.depth(), 3);
+        assert_eq!(p.to_string(), "a.b.c");
+    }
+
+    #[test]
+    fn empty_path_is_root() {
+        let p = PropPath::parse("");
+        assert!(p.is_empty());
+        assert_eq!(p.to_string(), "");
+    }
+
+    #[test]
+    fn child_appends() {
+        let p = PropPath::new("market").child("company");
+        assert_eq!(p.segments(), ["market", "company"]);
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let root = PropPath::parse("");
+        let a = PropPath::parse("a");
+        let ab = PropPath::parse("a.b");
+        let ac = PropPath::parse("a.c");
+        assert!(root.is_prefix_of(&ab));
+        assert!(a.is_prefix_of(&ab));
+        assert!(a.is_prefix_of(&a));
+        assert!(!ab.is_prefix_of(&a));
+        assert!(!ab.is_prefix_of(&ac));
+    }
+
+    #[test]
+    fn split_first_walks_segments() {
+        let p = PropPath::parse("x.y");
+        let (first, rest) = p.split_first().unwrap();
+        assert_eq!(first, "x");
+        assert_eq!(rest, PropPath::parse("y"));
+        let (second, rest2) = rest.split_first().unwrap();
+        assert_eq!(second, "y");
+        assert!(rest2.is_empty());
+        assert!(rest2.split_first().is_none());
+    }
+}

@@ -1,0 +1,169 @@
+//! Mobility restrictions on filters (paper §3.3.4).
+//!
+//! "Any variable used in a filter might reference an object … of a type
+//! which is not known on a host where that filter is evaluated, forcing the
+//! transfer of code." The paper therefore restricts migratable filters to
+//! (nested) accessor invocations on the filtered obvent, with operands of
+//! primitive/string type. Filters built through this crate's AST satisfy the
+//! *structural* restrictions by construction; this module adds the
+//! *quantitative* policy a filtering host applies before accepting a foreign
+//! filter (resource bounds against hostile or degenerate subscriptions) and
+//! reports violations precisely.
+
+use std::fmt;
+
+use crate::{RemoteFilter, Value};
+
+/// Policy limits a filtering host imposes on foreign filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Restrictions {
+    /// Maximum accessor-chain depth (nested invocations, §3.3.4
+    /// "invocations: the only method invocations allowed in a filter are
+    /// (nested) invocations on its variables").
+    pub max_path_depth: usize,
+    /// Maximum number of predicate leaves.
+    pub max_predicates: usize,
+    /// Maximum operand string/list size in bytes/elements.
+    pub max_operand_size: usize,
+    /// Whether structured operands (lists, records) are accepted. Plain
+    /// §3.3.4 limits operands to primitives and strings.
+    pub allow_structured_operands: bool,
+}
+
+impl Default for Restrictions {
+    /// The paper-faithful default: depth 8, 256 predicates, 4 KiB operands,
+    /// primitive/string operands only.
+    fn default() -> Self {
+        Restrictions {
+            max_path_depth: 8,
+            max_predicates: 256,
+            max_operand_size: 4096,
+            allow_structured_operands: false,
+        }
+    }
+}
+
+/// A violation of the mobility restrictions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Violation {
+    /// A predicate's accessor chain is deeper than allowed.
+    PathTooDeep {
+        /// Offending path rendered as text.
+        path: String,
+        /// Its depth.
+        depth: usize,
+        /// The allowed maximum.
+        max: usize,
+    },
+    /// The filter has too many predicate leaves.
+    TooManyPredicates {
+        /// Number of leaves present.
+        count: usize,
+        /// The allowed maximum.
+        max: usize,
+    },
+    /// An operand exceeds the size limit.
+    OperandTooLarge {
+        /// Offending predicate index.
+        predicate: usize,
+        /// Operand size in bytes/elements.
+        size: usize,
+        /// The allowed maximum.
+        max: usize,
+    },
+    /// A structured operand (list/record) was used while disallowed.
+    StructuredOperand {
+        /// Offending predicate index.
+        predicate: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::PathTooDeep { path, depth, max } => {
+                write!(f, "accessor chain `{path}` has depth {depth}, max {max}")
+            }
+            Violation::TooManyPredicates { count, max } => {
+                write!(f, "filter has {count} predicates, max {max}")
+            }
+            Violation::OperandTooLarge {
+                predicate,
+                size,
+                max,
+            } => write!(
+                f,
+                "operand of predicate {predicate} has size {size}, max {max}"
+            ),
+            Violation::StructuredOperand { predicate } => write!(
+                f,
+                "predicate {predicate} uses a structured operand, which this host rejects"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Checks `filter` against `limits`, returning every violation found.
+///
+/// An empty result means the filter may be migrated to (and evaluated on)
+/// the restricting host; otherwise the subscriber must apply it locally —
+/// the paper's "in such a scenario, the filter is applied locally".
+///
+/// ```
+/// use psc_filter::{restrict, rfilter};
+///
+/// let f = rfilter!(price < 100.0);
+/// assert!(restrict::check(&f, &restrict::Restrictions::default()).is_empty());
+/// ```
+pub fn check(filter: &RemoteFilter, limits: &Restrictions) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let preds = filter.predicates();
+    if preds.len() > limits.max_predicates {
+        violations.push(Violation::TooManyPredicates {
+            count: preds.len(),
+            max: limits.max_predicates,
+        });
+    }
+    for (i, pred) in preds.iter().enumerate() {
+        if pred.path.depth() > limits.max_path_depth {
+            violations.push(Violation::PathTooDeep {
+                path: pred.path.to_string(),
+                depth: pred.path.depth(),
+                max: limits.max_path_depth,
+            });
+        }
+        match &pred.operand {
+            Value::Str(s) if s.len() > limits.max_operand_size => {
+                violations.push(Violation::OperandTooLarge {
+                    predicate: i,
+                    size: s.len(),
+                    max: limits.max_operand_size,
+                });
+            }
+            Value::List(items) => {
+                if !limits.allow_structured_operands {
+                    violations.push(Violation::StructuredOperand { predicate: i });
+                } else if items.len() > limits.max_operand_size {
+                    violations.push(Violation::OperandTooLarge {
+                        predicate: i,
+                        size: items.len(),
+                        max: limits.max_operand_size,
+                    });
+                }
+            }
+            Value::Record(_) if !limits.allow_structured_operands => {
+                violations.push(Violation::StructuredOperand { predicate: i });
+            }
+            _ => {}
+        }
+    }
+    violations
+}
+
+/// Convenience: true when [`check`] reports no violations.
+pub fn is_migratable(filter: &RemoteFilter, limits: &Restrictions) -> bool {
+    check(filter, limits).is_empty()
+}

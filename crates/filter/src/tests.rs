@@ -1,0 +1,647 @@
+use proptest::prelude::*;
+
+use crate::typed::{prop, Expr};
+use crate::{
+    restrict, CmpOp, EvalNode, FilterIndex, Predicate, PropPath, PropertySource, RemoteFilter,
+    Value,
+};
+
+fn quote(company: &str, price: f64, amount: i64) -> Value {
+    Value::record([
+        ("company", Value::from(company)),
+        ("price", Value::from(price)),
+        ("amount", Value::from(amount)),
+    ])
+}
+
+mod value_semantics {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn numeric_coercion_in_compare() {
+        assert_eq!(
+            Value::Int(1).compare(&Value::Float(1.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::UInt(2).compare(&Value::Int(3)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(-1).compare(&Value::UInt(0)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::UInt(u64::MAX).compare(&Value::Int(5)),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn mismatched_types_are_incomparable() {
+        assert_eq!(Value::Str("a".into()).compare(&Value::Int(1)), None);
+        assert_eq!(Value::Bool(true).compare(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn nan_is_incomparable_but_hashable() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.compare(&nan), None);
+        assert!(!nan.loose_eq(&nan));
+        // Bitwise equality still holds for dedup purposes.
+        assert_eq!(nan, Value::Float(f64::NAN));
+    }
+
+    #[test]
+    fn loose_eq_descends_into_structures() {
+        let a = Value::List(vec![Value::Int(1), Value::Float(2.0)]);
+        let b = Value::List(vec![Value::Float(1.0), Value::Int(2)]);
+        assert!(a.loose_eq(&b));
+        let r1 = Value::record([("x", Value::Int(1))]);
+        let r2 = Value::record([("x", Value::Float(1.0))]);
+        assert!(r1.loose_eq(&r2));
+        let r3 = Value::record([("y", Value::Int(1))]);
+        assert!(!r1.loose_eq(&r3));
+    }
+
+    #[test]
+    fn property_lookup_traverses_nested_records() {
+        let v = Value::record([(
+            "market",
+            Value::record([("name", Value::from("ZRH"))]),
+        )]);
+        assert_eq!(
+            v.property(&PropPath::parse("market.name")),
+            Some(Value::from("ZRH"))
+        );
+        assert_eq!(v.property(&PropPath::parse("market.missing")), None);
+        assert_eq!(v.property(&PropPath::parse("market.name.deeper")), None);
+    }
+
+    #[test]
+    fn display_renders_structures() {
+        let v = Value::record([("xs", Value::from(vec![1i64, 2]))]);
+        assert_eq!(v.to_string(), "{xs: [1, 2]}");
+    }
+}
+
+mod predicates {
+    use super::*;
+
+    #[test]
+    fn comparison_operators() {
+        let q = quote("Telco Mobiles", 80.0, 10);
+        assert!(Predicate::new("price", CmpOp::Lt, 100.0).eval(&q));
+        assert!(!Predicate::new("price", CmpOp::Lt, 80.0).eval(&q));
+        assert!(Predicate::new("price", CmpOp::Le, 80.0).eval(&q));
+        assert!(Predicate::new("price", CmpOp::Gt, 79.9).eval(&q));
+        assert!(Predicate::new("price", CmpOp::Ge, 80.0).eval(&q));
+        assert!(Predicate::new("amount", CmpOp::Eq, 10).eval(&q));
+        assert!(Predicate::new("amount", CmpOp::Ne, 11).eval(&q));
+    }
+
+    #[test]
+    fn string_operators() {
+        let q = quote("Telco Mobiles", 80.0, 10);
+        assert!(Predicate::new("company", CmpOp::Contains, "Telco").eval(&q));
+        assert!(Predicate::new("company", CmpOp::StartsWith, "Telco").eval(&q));
+        assert!(Predicate::new("company", CmpOp::EndsWith, "Mobiles").eval(&q));
+        assert!(!Predicate::new("company", CmpOp::Contains, "Bank").eval(&q));
+    }
+
+    #[test]
+    fn list_contains() {
+        let v = Value::record([("tags", Value::from(vec!["a", "b"]))]);
+        assert!(Predicate::new("tags", CmpOp::Contains, "a").eval(&v));
+        assert!(!Predicate::new("tags", CmpOp::Contains, "c").eval(&v));
+    }
+
+    #[test]
+    fn missing_property_fails_everything_but_exists_detects_presence() {
+        let q = quote("T", 1.0, 1);
+        assert!(!Predicate::new("venue", CmpOp::Eq, "x").eval(&q));
+        assert!(!Predicate::new("venue", CmpOp::Ne, "x").eval(&q));
+        assert!(!Predicate::new("venue", CmpOp::Exists, Value::Unit).eval(&q));
+        assert!(Predicate::new("price", CmpOp::Exists, Value::Unit).eval(&q));
+    }
+
+    #[test]
+    fn type_mismatch_is_false_not_error() {
+        let q = quote("T", 1.0, 1);
+        assert!(!Predicate::new("company", CmpOp::Lt, 10).eval(&q));
+        assert!(!Predicate::new("price", CmpOp::Contains, "1").eval(&q));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            Predicate::new("price", CmpOp::Lt, 100.0).to_string(),
+            "price < 100"
+        );
+        assert_eq!(
+            Predicate::new("x", CmpOp::Exists, Value::Unit).to_string(),
+            "x exists"
+        );
+    }
+}
+
+mod filters {
+    use super::*;
+
+    #[test]
+    fn pass_all_matches_everything() {
+        let f = RemoteFilter::pass_all();
+        assert!(f.is_pass_all());
+        assert!(f.matches(&quote("A", 1.0, 1)));
+        assert!(f.matches(&Value::Unit));
+    }
+
+    #[test]
+    fn paper_example_filter() {
+        // §2.3.3: price < 100 && company.indexOf("Telco") != -1
+        let f = rfilter!(price < 100.0 && company contains "Telco");
+        assert!(f.matches(&quote("Telco Mobiles", 80.0, 10)));
+        assert!(!f.matches(&quote("Telco Mobiles", 120.0, 10)));
+        assert!(!f.matches(&quote("Banco", 80.0, 10)));
+    }
+
+    #[test]
+    fn and_or_negate_combinators() {
+        let cheap = rfilter!(price < 50.0);
+        let telco = rfilter!(company contains "Telco");
+        let both = cheap.clone().and(telco.clone());
+        let either = cheap.clone().or(telco.clone());
+        let not_cheap = cheap.negate();
+
+        let q = quote("Telco", 80.0, 1);
+        assert!(!both.matches(&q));
+        assert!(either.matches(&q));
+        assert!(not_cheap.matches(&q));
+    }
+
+    #[test]
+    fn or_remaps_predicate_indices() {
+        let f = rfilter!(price < 10.0).or(rfilter!(amount > 5));
+        assert_eq!(f.predicates().len(), 2);
+        assert!(f.matches(&quote("X", 5.0, 1)));
+        assert!(f.matches(&quote("X", 50.0, 6)));
+        assert!(!f.matches(&quote("X", 50.0, 1)));
+    }
+
+    #[test]
+    fn matches_with_truths_uses_positional_assignment() {
+        let f = rfilter!(price < 10.0 && amount > 5);
+        assert!(f.matches_with_truths(&[true, true]));
+        assert!(!f.matches_with_truths(&[true, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "references predicate")]
+    fn from_parts_rejects_out_of_bounds_leaves() {
+        RemoteFilter::from_parts(vec![], EvalNode::Pred(0));
+    }
+
+    #[test]
+    fn display_renders_expression() {
+        let f = rfilter!(price < 100.0 && company contains "Telco");
+        let s = f.to_string();
+        assert!(s.contains("price < 100"));
+        assert!(s.contains("&&"));
+    }
+
+    #[test]
+    fn serde_roundtrip_via_codec() {
+        let f = rfilter!(price < 100.0 && market.name == "ZRH");
+        let bytes = psc_codec::to_bytes(&f).unwrap();
+        let back: RemoteFilter = psc_codec::from_bytes(&bytes).unwrap();
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn invocation_tree_shares_prefixes() {
+        // §4.4.3: nodes represent invocations; shared accessor prefixes merge.
+        let f = rfilter!(market.name == "ZRH" && market.open == true && price < 1.0);
+        let tree = f.invocation_tree();
+        // Nodes: market, market.name, market.open, price = 4 invocations.
+        assert_eq!(tree.invocation_count(), 4);
+        let root = &tree.root;
+        assert_eq!(root.children.len(), 2); // market, price
+        let market = root
+            .children
+            .iter()
+            .find(|c| c.accessor == "market")
+            .unwrap();
+        assert_eq!(market.children.len(), 2);
+    }
+}
+
+mod typed_dsl {
+    use super::*;
+
+    #[test]
+    fn typed_expressions_build_equivalent_filters() {
+        let price = prop::<f64>("price");
+        let company = prop::<String>("company");
+        let f = (price.lt(100.0) & company.contains("Telco")).into_filter();
+        assert!(f.matches(&quote("Telco", 80.0, 1)));
+        assert!(!f.matches(&quote("Telco", 180.0, 1)));
+    }
+
+    #[test]
+    fn operators_and_methods_agree() {
+        let a = || prop::<i64>("amount").gt(5);
+        let b = || prop::<f64>("price").lt(10.0);
+        let via_ops = (a() | b()).into_filter();
+        let via_methods = a().or(b()).into_filter();
+        let q = quote("X", 5.0, 1);
+        assert_eq!(via_ops.matches(&q), via_methods.matches(&q));
+    }
+
+    #[test]
+    fn negation_and_always() {
+        let f = (!prop::<f64>("price").lt(10.0)).into_filter();
+        assert!(f.matches(&quote("X", 50.0, 1)));
+        assert!(Expr::always().into_filter().is_pass_all());
+    }
+
+    #[test]
+    fn between_is_inclusive() {
+        let f = prop::<i64>("amount").between(5, 10).into_filter();
+        assert!(f.matches(&quote("X", 1.0, 5)));
+        assert!(f.matches(&quote("X", 1.0, 10)));
+        assert!(!f.matches(&quote("X", 1.0, 11)));
+    }
+
+    #[test]
+    fn nested_under_reroots_paths() {
+        let name = prop::<String>("name").nested_under(&PropPath::parse("market"));
+        let f = name.eq_("ZRH").into_filter();
+        let v = Value::record([("market", Value::record([("name", Value::from("ZRH"))]))]);
+        assert!(f.matches(&v));
+    }
+
+    #[test]
+    fn bool_and_list_helpers() {
+        let v = Value::record([
+            ("open", Value::from(true)),
+            ("tags", Value::from(vec!["hot"])),
+        ]);
+        assert!(prop::<bool>("open").is_true().into_filter().matches(&v));
+        assert!(!prop::<bool>("open").is_false().into_filter().matches(&v));
+        assert!(prop::<Vec<String>>("tags")
+            .has_element("hot")
+            .into_filter()
+            .matches(&v));
+        assert!(prop::<i64>("missing").exists().negate().into_filter().matches(&v));
+    }
+}
+
+mod restrictions {
+    use super::*;
+    use restrict::{Restrictions, Violation};
+
+    #[test]
+    fn conforming_filter_is_migratable() {
+        let f = rfilter!(price < 100.0 && market.name == "ZRH");
+        assert!(restrict::is_migratable(&f, &Restrictions::default()));
+    }
+
+    #[test]
+    fn deep_paths_are_rejected() {
+        let limits = Restrictions {
+            max_path_depth: 2,
+            ..Restrictions::default()
+        };
+        let f = rfilter!(a.b.c == 1);
+        let violations = restrict::check(&f, &limits);
+        assert!(matches!(violations[0], Violation::PathTooDeep { .. }));
+    }
+
+    #[test]
+    fn too_many_predicates_rejected() {
+        let limits = Restrictions {
+            max_predicates: 1,
+            ..Restrictions::default()
+        };
+        let f = rfilter!(a == 1 && b == 2);
+        assert!(restrict::check(&f, &limits)
+            .iter()
+            .any(|v| matches!(v, Violation::TooManyPredicates { .. })));
+    }
+
+    #[test]
+    fn oversized_and_structured_operands_rejected() {
+        let limits = Restrictions {
+            max_operand_size: 4,
+            ..Restrictions::default()
+        };
+        let big = RemoteFilter::conjunction(vec![Predicate::new(
+            "s",
+            CmpOp::Eq,
+            "toolongoperand",
+        )]);
+        assert!(restrict::check(&big, &limits)
+            .iter()
+            .any(|v| matches!(v, Violation::OperandTooLarge { .. })));
+
+        let structured = RemoteFilter::conjunction(vec![Predicate::new(
+            "xs",
+            CmpOp::Contains,
+            Value::List(vec![Value::Int(1)]),
+        )]);
+        assert!(restrict::check(&structured, &Restrictions::default())
+            .iter()
+            .any(|v| matches!(v, Violation::StructuredOperand { .. })));
+        let permissive = Restrictions {
+            allow_structured_operands: true,
+            ..Restrictions::default()
+        };
+        assert!(restrict::is_migratable(&structured, &permissive));
+    }
+}
+
+mod index {
+    use super::*;
+
+    #[test]
+    fn matching_and_removal() {
+        let mut index = FilterIndex::new();
+        let telco = index.insert(rfilter!(company contains "Telco"));
+        let cheap = index.insert(rfilter!(price < 50.0));
+        let all = index.insert(RemoteFilter::pass_all());
+
+        let q = quote("Telco", 80.0, 1);
+        assert_eq!(index.matching(&q), vec![telco, all]);
+
+        index.remove(telco).unwrap();
+        assert_eq!(index.matching(&q), vec![all]);
+        assert_eq!(index.len(), 2);
+        assert!(index.remove(telco).is_none());
+
+        let q2 = quote("Banco", 10.0, 1);
+        assert_eq!(index.matching(&q2), vec![cheap, all]);
+    }
+
+    #[test]
+    fn duplicate_predicates_are_shared() {
+        let mut index = FilterIndex::new();
+        for _ in 0..10 {
+            index.insert(rfilter!(price < 100.0 && company contains "Telco"));
+        }
+        let stats = index.stats();
+        assert_eq!(stats.filters, 10);
+        assert_eq!(stats.total_predicates, 20);
+        assert_eq!(stats.unique_predicates, 2);
+        assert_eq!(stats.paths, 2);
+        // All ten match at once.
+        assert_eq!(index.matching(&quote("Telco", 80.0, 1)).len(), 10);
+    }
+
+    #[test]
+    fn threshold_boundaries_are_exact() {
+        let mut index = FilterIndex::new();
+        let lt = index.insert(rfilter!(price < 100.0));
+        let le = index.insert(rfilter!(price <= 100.0));
+        let gt = index.insert(rfilter!(price > 100.0));
+        let ge = index.insert(rfilter!(price >= 100.0));
+
+        let at = index.matching(&quote("X", 100.0, 1));
+        assert_eq!(at, {
+            let mut v = vec![le, ge];
+            v.sort();
+            v
+        });
+        let below = index.matching(&quote("X", 99.0, 1));
+        assert_eq!(below, vec![lt, le]);
+        let above = index.matching(&quote("X", 101.0, 1));
+        assert_eq!(above, vec![gt, ge]);
+    }
+
+    #[test]
+    fn huge_integers_do_not_lose_precision() {
+        // 2^63 - 1 is not exactly representable as f64; ensure the index does
+        // not batch it into lossy comparisons.
+        let big = i64::MAX;
+        let mut index = FilterIndex::new();
+        let f = index.insert(RemoteFilter::conjunction(vec![Predicate::new(
+            "n",
+            CmpOp::Lt,
+            big,
+        )]));
+        let just_below = Value::record([("n", Value::Int(big - 1))]);
+        let at = Value::record([("n", Value::Int(big))]);
+        assert_eq!(index.matching(&just_below), vec![f]);
+        assert!(index.matching(&at).is_empty());
+        assert_eq!(index.naive_matching(&just_below), vec![f]);
+        assert!(index.naive_matching(&at).is_empty());
+    }
+
+    #[test]
+    fn general_trees_are_supported() {
+        let mut index = FilterIndex::new();
+        let f = index.insert(rfilter!(price < 10.0).or(rfilter!(amount > 5)));
+        assert_eq!(index.matching(&quote("X", 5.0, 1)), vec![f]);
+        assert_eq!(index.matching(&quote("X", 50.0, 6)), vec![f]);
+        assert!(index.matching(&quote("X", 50.0, 1)).is_empty());
+    }
+
+    #[test]
+    fn nan_events_match_nothing_numeric() {
+        let mut index = FilterIndex::new();
+        index.insert(rfilter!(price < 10.0));
+        index.insert(rfilter!(price >= 10.0));
+        let nan_quote = quote("X", f64::NAN, 1);
+        assert!(index.matching(&nan_quote).is_empty());
+        assert_eq!(
+            index.naive_matching(&nan_quote),
+            index.matching(&nan_quote)
+        );
+    }
+
+    #[test]
+    fn eq_coercion_matches_canonicalized_numerics() {
+        let mut index = FilterIndex::new();
+        let f = index.insert(rfilter!(amount == 10));
+        // Float and unsigned representations of 10 must hit the same key.
+        assert_eq!(
+            index.matching(&Value::record([("amount", Value::Float(10.0))])),
+            vec![f]
+        );
+        assert_eq!(
+            index.matching(&Value::record([("amount", Value::UInt(10))])),
+            vec![f]
+        );
+        assert!(index
+            .matching(&Value::record([("amount", Value::Float(10.5))]))
+            .is_empty());
+    }
+
+    #[test]
+    fn slots_are_reused_without_ghost_matches() {
+        let mut index = FilterIndex::new();
+        let a = index.insert(rfilter!(price < 10.0));
+        index.remove(a).unwrap();
+        let b = index.insert(rfilter!(price > 90.0));
+        assert_ne!(a.as_u64(), b.as_u64());
+        assert_eq!(index.matching(&quote("X", 95.0, 1)), vec![b]);
+        assert!(index.matching(&quote("X", 5.0, 1)).is_empty());
+    }
+
+    fn arb_operand() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            (-100i64..100).prop_map(Value::Int),
+            (0u64..100).prop_map(Value::UInt),
+            (-100.0f64..100.0).prop_map(Value::Float),
+            "[a-c]{0,3}".prop_map(Value::Str),
+            any::<bool>().prop_map(Value::Bool),
+        ]
+    }
+
+    fn arb_pred() -> impl Strategy<Value = Predicate> {
+        let path = prop_oneof![
+            Just(PropPath::parse("p")),
+            Just(PropPath::parse("q")),
+            Just(PropPath::parse("r.s")),
+        ];
+        let op = prop_oneof![
+            Just(CmpOp::Eq),
+            Just(CmpOp::Ne),
+            Just(CmpOp::Lt),
+            Just(CmpOp::Le),
+            Just(CmpOp::Gt),
+            Just(CmpOp::Ge),
+            Just(CmpOp::Contains),
+            Just(CmpOp::StartsWith),
+            Just(CmpOp::Exists),
+        ];
+        (path, op, arb_operand()).prop_map(|(path, op, operand)| Predicate {
+            path,
+            op,
+            operand,
+        })
+    }
+
+    fn arb_filter() -> impl Strategy<Value = RemoteFilter> {
+        prop_oneof![
+            proptest::collection::vec(arb_pred(), 0..4).prop_map(RemoteFilter::conjunction),
+            (
+                proptest::collection::vec(arb_pred(), 1..3),
+                proptest::collection::vec(arb_pred(), 1..3)
+            )
+                .prop_map(|(a, b)| {
+                    RemoteFilter::conjunction(a).or(RemoteFilter::conjunction(b))
+                }),
+            proptest::collection::vec(arb_pred(), 1..3)
+                .prop_map(|p| RemoteFilter::conjunction(p).negate()),
+        ]
+    }
+
+    fn arb_event() -> impl Strategy<Value = Value> {
+        (arb_operand(), arb_operand(), arb_operand()).prop_map(|(p, q, s)| {
+            Value::record([
+                ("p", p),
+                ("q", q),
+                ("r", Value::record([("s", s)])),
+            ])
+        })
+    }
+
+    proptest! {
+        /// The factored index and the naive per-filter evaluation must be
+        /// extensionally equal — the factoring is a pure optimization.
+        #[test]
+        fn prop_factored_equals_naive(
+            filters in proptest::collection::vec(arb_filter(), 0..12),
+            events in proptest::collection::vec(arb_event(), 1..8),
+        ) {
+            let mut index = FilterIndex::new();
+            for f in filters {
+                index.insert(f);
+            }
+            for event in &events {
+                let fast = index.matching(event);
+                let slow = index.naive_matching(event);
+                prop_assert_eq!(fast, slow);
+            }
+        }
+
+        /// Insert/remove churn keeps the index consistent with the oracle.
+        #[test]
+        fn prop_consistent_under_churn(
+            filters in proptest::collection::vec(arb_filter(), 4..10),
+            remove_mask in proptest::collection::vec(any::<bool>(), 4..10),
+            event in arb_event(),
+        ) {
+            let mut index = FilterIndex::new();
+            let ids: Vec<_> = filters.into_iter().map(|f| index.insert(f)).collect();
+            for (id, remove) in ids.iter().zip(&remove_mask) {
+                if *remove {
+                    index.remove(*id);
+                }
+            }
+            prop_assert_eq!(index.matching(&event), index.naive_matching(&event));
+        }
+    }
+}
+
+mod ablation {
+    use super::*;
+    use crate::IndexOptions;
+
+    fn all_option_combos() -> [IndexOptions; 4] {
+        [
+            IndexOptions { dedup: true, batch: true },
+            IndexOptions { dedup: true, batch: false },
+            IndexOptions { dedup: false, batch: true },
+            IndexOptions { dedup: false, batch: false },
+        ]
+    }
+
+    #[test]
+    fn every_option_combo_matches_identically() {
+        let filters = vec![
+            rfilter!(price < 100.0 && company contains "Telco"),
+            rfilter!(price >= 50.0),
+            rfilter!(amount == 10),
+            rfilter!(price < 10.0).or(rfilter!(amount > 5)),
+            RemoteFilter::pass_all(),
+        ];
+        let events = [
+            quote("Telco", 80.0, 10),
+            quote("Banco", 5.0, 1),
+            quote("Telco", 200.0, 6),
+        ];
+        for options in all_option_combos() {
+            let mut index = FilterIndex::with_options(options);
+            let ids: Vec<_> = filters.iter().map(|f| index.insert(f.clone())).collect();
+            for event in &events {
+                assert_eq!(
+                    index.matching(event),
+                    index.naive_matching(event),
+                    "options {options:?}"
+                );
+            }
+            index.remove(ids[0]);
+            for event in &events {
+                assert_eq!(
+                    index.matching(event),
+                    index.naive_matching(event),
+                    "after removal, options {options:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_off_stores_every_predicate_occurrence() {
+        let mut with = FilterIndex::with_options(IndexOptions { dedup: true, batch: true });
+        let mut without = FilterIndex::with_options(IndexOptions { dedup: false, batch: true });
+        for _ in 0..10 {
+            with.insert(rfilter!(price < 100.0));
+            without.insert(rfilter!(price < 100.0));
+        }
+        assert_eq!(with.stats().unique_predicates, 1);
+        assert_eq!(without.stats().unique_predicates, 10);
+    }
+}

@@ -1,0 +1,381 @@
+//! The dynamic value model filters operate on.
+//!
+//! Filters never see an obvent's representation (paper LP2 — encapsulation
+//! preservation); they see the *results of accessor invocations*, modelled
+//! here as [`Value`]s reached through [`PropPath`]s on a [`PropertySource`].
+//! The allowed leaf types mirror the paper's mobility restrictions (§3.3.4):
+//! primitive types, their object counterparts, and `String` — plus lists and
+//! nested records so obvents can "in a nested way, contain other unbound
+//! objects" (§2.1.1).
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use serde::{Deserialize, Serialize};
+
+use crate::PropPath;
+
+/// A dynamically typed property value.
+///
+/// `Value` implements `Eq`/`Hash` with bitwise float semantics so predicates
+/// can be deduplicated by the factoring index; filter *comparison* semantics
+/// (IEEE ordering, cross-width numeric coercion) live in
+/// [`Value::compare`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// Absence of a value (Java `null` analogue inside nested structures).
+    Unit,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (covers Java's byte/short/int/long).
+    Int(i64),
+    /// Unsigned integer (Rust-side u64 fields).
+    UInt(u64),
+    /// IEEE-754 double (covers float/double).
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Homogeneous or heterogeneous list.
+    List(Vec<Value>),
+    /// Nested record: a contained unbound object's properties.
+    Record(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Builds a [`Value::Record`] from `(name, value)` pairs.
+    ///
+    /// ```
+    /// use psc_filter::Value;
+    /// let v = Value::record([("price", Value::from(80.0))]);
+    /// assert!(matches!(v, Value::Record(_)));
+    /// ```
+    pub fn record<K, I>(fields: I) -> Value
+    where
+        K: Into<String>,
+        I: IntoIterator<Item = (K, Value)>,
+    {
+        Value::Record(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.into(), v))
+                .collect::<BTreeMap<_, _>>(),
+        )
+    }
+
+    /// Human-readable name of the value's type, for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Unit => "unit",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::UInt(_) => "uint",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::List(_) => "list",
+            Value::Record(_) => "record",
+        }
+    }
+
+    /// Returns the boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an `f64` if it is any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Compares two values with *filter semantics*: numeric variants compare
+    /// by numeric value regardless of representation, strings and booleans
+    /// compare naturally, and mismatched types are incomparable (`None`).
+    ///
+    /// NaN is incomparable with everything, matching the behaviour a Java
+    /// filter body would exhibit with `<` on `double`s.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (UInt(a), UInt(b)) => Some(a.cmp(b)),
+            (Int(a), UInt(b)) => Some(cmp_i64_u64(*a, *b)),
+            (UInt(a), Int(b)) => Some(cmp_i64_u64(*b, *a).reverse()),
+            (Float(a), Float(b)) => a.partial_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (UInt(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), UInt(b)) => a.partial_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Unit, Unit) => Some(Ordering::Equal),
+            _ => None,
+        }
+    }
+
+    /// Equality with filter semantics (numeric coercion); distinct from the
+    /// bitwise `PartialEq` used for deduplication.
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::List(a), Value::List(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.loose_eq(y))
+            }
+            (Value::Record(a), Value::Record(b)) => {
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b)
+                        .all(|((ka, va), (kb, vb))| ka == kb && va.loose_eq(vb))
+            }
+            _ => self.compare(other) == Some(Ordering::Equal),
+        }
+    }
+}
+
+fn cmp_i64_u64(a: i64, b: u64) -> Ordering {
+    if a < 0 {
+        Ordering::Less
+    } else {
+        (a as u64).cmp(&b)
+    }
+}
+
+/// Bitwise structural equality: floats compare by bit pattern so `Value` can
+/// key hash maps in the factoring index. Use [`Value::loose_eq`] for filter
+/// semantics.
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Unit, Unit) => true,
+            (Bool(a), Bool(b)) => a == b,
+            (Int(a), Int(b)) => a == b,
+            (UInt(a), UInt(b)) => a == b,
+            (Float(a), Float(b)) => a.to_bits() == b.to_bits(),
+            (Str(a), Str(b)) => a == b,
+            (List(a), List(b)) => a == b,
+            (Record(a), Record(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Value::Unit => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::UInt(u) => u.hash(state),
+            Value::Float(f) => f.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+            Value::List(l) => l.hash(state),
+            Value::Record(r) => r.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::UInt(u) => write!(f, "{u}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Record(r) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in r.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+macro_rules! impl_from_int {
+    ($($ty:ty),*) => {$(
+        impl From<$ty> for Value {
+            fn from(v: $ty) -> Value { Value::Int(v as i64) }
+        }
+    )*};
+}
+macro_rules! impl_from_uint {
+    ($($ty:ty),*) => {$(
+        impl From<$ty> for Value {
+            fn from(v: $ty) -> Value { Value::UInt(v as u64) }
+        }
+    )*};
+}
+
+impl_from_int!(i8, i16, i32, i64, isize);
+impl_from_uint!(u8, u16, u32, u64, usize);
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Float(v as f64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+impl From<()> for Value {
+    fn from(_: ()) -> Value {
+        Value::Unit
+    }
+}
+
+impl<T> From<Vec<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: Vec<T>) -> Value {
+        Value::List(v.into_iter().map(Value::from).collect())
+    }
+}
+
+impl<T> From<Option<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: Option<T>) -> Value {
+        match v {
+            None => Value::Unit,
+            Some(inner) => Value::from(inner),
+        }
+    }
+}
+
+/// Conversion of a field into its dynamic [`Value`] representation.
+///
+/// Implemented for all primitive types and `String`; obvent structs generated
+/// by the `obvent!` macro implement it by producing a [`Value::Record`] of
+/// their properties, so nested obvent fields work transparently.
+pub trait IntoValue {
+    /// Converts a borrowed field into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+macro_rules! impl_into_value {
+    ($($ty:ty),*) => {$(
+        impl IntoValue for $ty {
+            fn to_value(&self) -> Value { Value::from(self.clone()) }
+        }
+    )*};
+}
+
+impl_into_value!(
+    i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64, bool, String, ()
+);
+
+impl IntoValue for &str {
+    fn to_value(&self) -> Value {
+        Value::from(*self)
+    }
+}
+
+impl IntoValue for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: IntoValue> IntoValue for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::List(self.iter().map(IntoValue::to_value).collect())
+    }
+}
+
+impl<T: IntoValue> IntoValue for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Unit,
+            Some(inner) => inner.to_value(),
+        }
+    }
+}
+
+/// Something filters can be evaluated against: a source of named properties.
+///
+/// The root source is the filtered obvent; nested records are traversed
+/// segment by segment. Returning `None` makes every predicate on the path
+/// false except [`CmpOp::Exists`](crate::CmpOp::Exists).
+pub trait PropertySource {
+    /// Looks up the property at `path`, traversing nested records.
+    fn property(&self, path: &PropPath) -> Option<Value>;
+}
+
+impl PropertySource for Value {
+    fn property(&self, path: &PropPath) -> Option<Value> {
+        let mut current = self;
+        for segment in path.segments() {
+            match current {
+                Value::Record(fields) => current = fields.get(segment)?,
+                _ => return None,
+            }
+        }
+        Some(current.clone())
+    }
+}
+
+impl PropertySource for BTreeMap<String, Value> {
+    fn property(&self, path: &PropPath) -> Option<Value> {
+        let (first, rest) = path.split_first()?;
+        let value = self.get(first)?;
+        if rest.is_empty() {
+            Some(value.clone())
+        } else {
+            value.property(&rest)
+        }
+    }
+}

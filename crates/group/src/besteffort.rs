@@ -1,0 +1,65 @@
+//! Best-effort multicast: the paper's default *Unreliable* semantics.
+
+use serde::{Deserialize, Serialize};
+
+use psc_simnet::NodeId;
+
+use crate::io::{decode_msg, encode_msg, GroupIo, Multicast};
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Data {
+    origin: NodeId,
+    payload: Vec<u8>,
+}
+
+/// One send per member, no retransmission, no ordering: "there is only a
+/// best-effort attempt to deliver it" (§3.1.2).
+#[derive(Debug, Default)]
+pub struct BestEffort {
+    delivered_count: u64,
+}
+
+impl BestEffort {
+    /// Creates a best-effort instance.
+    pub fn new() -> Self {
+        BestEffort::default()
+    }
+
+    /// Number of payloads delivered so far (diagnostics).
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered_count
+    }
+}
+
+impl Multicast for BestEffort {
+    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: Vec<u8>) {
+        let me = io.self_id();
+        let msg = encode_msg(&Data {
+            origin: me,
+            payload: payload.clone(),
+        });
+        for &member in io.members().to_vec().iter() {
+            if member == me {
+                continue;
+            }
+            io.send(member, msg.clone());
+        }
+        // A broadcaster that is itself a member delivers locally.
+        if io.members().contains(&me) {
+            self.delivered_count += 1;
+            io.deliver(me, payload);
+        }
+    }
+
+    fn on_message(&mut self, io: &mut dyn GroupIo, _from: NodeId, bytes: &[u8]) {
+        let Some(Data { origin, payload }) = decode_msg(bytes) else {
+            return;
+        };
+        self.delivered_count += 1;
+        io.deliver(origin, payload);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

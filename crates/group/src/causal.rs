@@ -1,0 +1,128 @@
+//! Causally ordered broadcast: the paper's *Causally ordered* semantics.
+//!
+//! "This type of obvents are delivered in the order they are published, as
+//! determined by the happens-before relationship [Lam78]" (§3.1.2). The
+//! classic vector-clock construction: each broadcast carries the origin's
+//! vector clock; a receiver holds a message from origin `j` back until it
+//! has delivered (a) `j`'s previous broadcast and (b) every broadcast that
+//! happened-before it at other processes. Transport is the eager reliable
+//! relay, since causal order subsumes reliability in the paper's lattice
+//! (`CausalOrder extends FIFOOrder extends Reliable`).
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use psc_simnet::NodeId;
+
+use crate::io::{decode_msg, encode_msg, GroupIo, Multicast};
+use crate::reliable::MsgId;
+use crate::vclock::VectorClock;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Data {
+    id: MsgId,
+    clock: VectorClock,
+    payload: Vec<u8>,
+}
+
+/// Vector-clock causal broadcast over eager reliable relay.
+#[derive(Debug, Default)]
+pub struct Causal {
+    next_seq: u64,
+    seen: HashSet<MsgId>,
+    /// Clock of broadcasts *delivered* locally (per-origin counters).
+    delivered: VectorClock,
+    /// Messages awaiting their causal predecessors.
+    pending: Vec<Data>,
+}
+
+impl Causal {
+    /// Creates a causal-broadcast instance.
+    pub fn new() -> Self {
+        Causal::default()
+    }
+
+    /// Number of messages currently held back (diagnostics).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The local delivered-clock (diagnostics / assertions).
+    pub fn delivered_clock(&self) -> &VectorClock {
+        &self.delivered
+    }
+
+    fn relay(&self, io: &mut dyn GroupIo, data: &Data) {
+        let me = io.self_id();
+        let bytes = encode_msg(data);
+        for member in io.members().to_vec() {
+            if member != me {
+                io.send(member, bytes.clone());
+            }
+        }
+    }
+
+    /// True when `data` is deliverable given the local delivered-clock.
+    fn deliverable(&self, data: &Data) -> bool {
+        let origin = data.id.origin;
+        if data.clock.get(origin) != self.delivered.get(origin) + 1 {
+            return false;
+        }
+        data.clock
+            .iter()
+            .all(|(node, counter)| node == origin || counter <= self.delivered.get(node))
+    }
+
+    fn accept(&mut self, io: &mut dyn GroupIo, data: Data) {
+        self.pending.push(data);
+        // Drain everything that became deliverable, to fixpoint.
+        loop {
+            let Some(pos) = self.pending.iter().position(|d| self.deliverable(d)) else {
+                break;
+            };
+            let data = self.pending.swap_remove(pos);
+            self.delivered.set(data.id.origin, data.clock.get(data.id.origin));
+            io.deliver(data.id.origin, data.payload);
+        }
+    }
+}
+
+impl Multicast for Causal {
+    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: Vec<u8>) {
+        let me = io.self_id();
+        self.next_seq += 1;
+        let id = MsgId {
+            origin: me,
+            seq: self.next_seq,
+        };
+        // The broadcast's clock: everything delivered here, plus this event.
+        let mut clock = self.delivered.clone();
+        clock.set(me, self.next_seq);
+        let data = Data {
+            id,
+            clock,
+            payload,
+        };
+        self.seen.insert(id);
+        self.relay(io, &data);
+        if io.members().contains(&me) {
+            self.accept(io, data);
+        }
+    }
+
+    fn on_message(&mut self, io: &mut dyn GroupIo, _from: NodeId, bytes: &[u8]) {
+        let Some(data) = decode_msg::<Data>(bytes) else {
+            return;
+        };
+        if !self.seen.insert(data.id) {
+            return;
+        }
+        self.relay(io, &data);
+        self.accept(io, data);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,239 @@
+//! Certified delivery: the paper's *Certified* semantics.
+//!
+//! "With such obvents, even if a notifiable temporarily disconnects or
+//! fails, it will eventually deliver the obvent" (§3.1.2). The publisher
+//! logs every message in stable storage together with the member set it
+//! must reach, retransmits periodically until each member acknowledges, and
+//! survives its own crashes by rebuilding the log on recovery. Subscribers
+//! persist the set of delivered message ids so a retransmission after
+//! recovery is acknowledged but not re-delivered (exactly-once delivery
+//! across failures).
+
+use std::collections::{BTreeMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use psc_simnet::{Duration, NodeId};
+
+use crate::io::{decode_msg, encode_msg, GroupIo, Multicast, TimerToken};
+use crate::reliable::MsgId;
+
+const RETRANSMIT: TimerToken = TimerToken(2);
+
+const KEY_SEQ: &str = "cert/seq";
+const KEY_DELIVERED: &str = "cert/delivered";
+const KEY_LOG_PREFIX: &str = "cert/log/";
+
+#[derive(Debug, Serialize, Deserialize)]
+enum Msg {
+    Data { id: MsgId, payload: Vec<u8> },
+    Ack { id: MsgId },
+}
+
+/// A logged outgoing message awaiting acknowledgements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LogEntry {
+    id: MsgId,
+    payload: Vec<u8>,
+    /// Members that must acknowledge.
+    targets: Vec<NodeId>,
+    /// Members that have acknowledged.
+    acked: Vec<NodeId>,
+}
+
+/// Certified (crash-surviving, exactly-once) broadcast.
+#[derive(Debug)]
+pub struct Certified {
+    retransmit_interval: Duration,
+    /// Outgoing log, mirrored in stable storage.
+    log: BTreeMap<u64, LogEntry>,
+    /// Ids delivered locally, mirrored in stable storage.
+    delivered: HashSet<MsgId>,
+    timer_armed: bool,
+    loaded: bool,
+}
+
+impl Default for Certified {
+    fn default() -> Self {
+        Certified::new()
+    }
+}
+
+impl Certified {
+    /// Creates a certified-broadcast instance with the default 50 ms
+    /// retransmission interval.
+    pub fn new() -> Self {
+        Certified::with_interval(Duration::from_millis(50))
+    }
+
+    /// Creates an instance with a custom retransmission interval.
+    pub fn with_interval(retransmit_interval: Duration) -> Self {
+        Certified {
+            retransmit_interval,
+            log: BTreeMap::new(),
+            delivered: HashSet::new(),
+            timer_armed: false,
+            loaded: false,
+        }
+    }
+
+    /// Outgoing messages not yet fully acknowledged (diagnostics).
+    pub fn unacked_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Number of distinct messages delivered locally (diagnostics).
+    pub fn delivered_len(&self) -> usize {
+        self.delivered.len()
+    }
+
+    fn load(&mut self, io: &mut dyn GroupIo) {
+        if self.loaded {
+            return;
+        }
+        self.loaded = true;
+        let storage = io.storage();
+        if let Ok(Some(ids)) = storage.get::<Vec<MsgId>>(KEY_DELIVERED) {
+            self.delivered = ids.into_iter().collect();
+        }
+        for key in storage.keys_with_prefix(KEY_LOG_PREFIX) {
+            if let Ok(Some(entry)) = storage.get::<LogEntry>(&key) {
+                self.log.insert(entry.id.seq, entry);
+            }
+        }
+    }
+
+    fn persist_entry(&self, io: &mut dyn GroupIo, entry: &LogEntry) {
+        io.storage()
+            .put(&format!("{KEY_LOG_PREFIX}{:020}", entry.id.seq), entry)
+            .expect("log entry serialization cannot fail");
+    }
+
+    fn persist_delivered(&self, io: &mut dyn GroupIo) {
+        let ids: Vec<MsgId> = self.delivered.iter().copied().collect();
+        io.storage()
+            .put(KEY_DELIVERED, &ids)
+            .expect("delivered-set serialization cannot fail");
+    }
+
+    fn arm_timer(&mut self, io: &mut dyn GroupIo) {
+        if !self.timer_armed && !self.log.is_empty() {
+            self.timer_armed = true;
+            io.set_timer(self.retransmit_interval, RETRANSMIT);
+        }
+    }
+
+    fn send_entry(io: &mut dyn GroupIo, entry: &LogEntry) {
+        let bytes = encode_msg(&Msg::Data {
+            id: entry.id,
+            payload: entry.payload.clone(),
+        });
+        for &target in &entry.targets {
+            if !entry.acked.contains(&target) && target != io.self_id() {
+                io.send(target, bytes.clone());
+            }
+        }
+    }
+}
+
+impl Multicast for Certified {
+    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: Vec<u8>) {
+        self.load(io);
+        let me = io.self_id();
+        let seq: u64 = io
+            .storage()
+            .get(KEY_SEQ)
+            .expect("sequence entry readable")
+            .unwrap_or(0)
+            + 1;
+        io.storage()
+            .put(KEY_SEQ, &seq)
+            .expect("sequence serialization cannot fail");
+        let id = MsgId { origin: me, seq };
+        let targets: Vec<NodeId> = io.members().iter().copied().filter(|&m| m != me).collect();
+        let entry = LogEntry {
+            id,
+            payload: payload.clone(),
+            targets,
+            acked: Vec::new(),
+        };
+        self.persist_entry(io, &entry);
+        Certified::send_entry(io, &entry);
+        let fully_acked = entry.targets.is_empty();
+        self.log.insert(seq, entry);
+        if fully_acked {
+            self.log.remove(&seq);
+            io.storage().remove(&format!("{KEY_LOG_PREFIX}{seq:020}"));
+        }
+        // Local delivery if the publisher is a member.
+        if io.members().contains(&me) && self.delivered.insert(id) {
+            self.persist_delivered(io);
+            io.deliver(me, payload);
+        }
+        self.arm_timer(io);
+    }
+
+    fn on_message(&mut self, io: &mut dyn GroupIo, from: NodeId, bytes: &[u8]) {
+        self.load(io);
+        let Some(msg) = decode_msg::<Msg>(bytes) else {
+            return;
+        };
+        match msg {
+            Msg::Data { id, payload } => {
+                // Always (re-)acknowledge; deliver only the first time.
+                io.send(from, encode_msg(&Msg::Ack { id }));
+                if self.delivered.insert(id) {
+                    self.persist_delivered(io);
+                    io.deliver(id.origin, payload);
+                }
+            }
+            Msg::Ack { id } => {
+                let Some(entry) = self.log.get_mut(&id.seq) else {
+                    return;
+                };
+                if entry.id != id {
+                    return;
+                }
+                if !entry.acked.contains(&from) {
+                    entry.acked.push(from);
+                }
+                if entry.targets.iter().all(|t| entry.acked.contains(t)) {
+                    self.log.remove(&id.seq);
+                    io.storage().remove(&format!("{KEY_LOG_PREFIX}{:020}", id.seq));
+                } else {
+                    let entry = entry.clone();
+                    self.persist_entry(io, &entry);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, io: &mut dyn GroupIo, token: TimerToken) {
+        if token != RETRANSMIT {
+            return;
+        }
+        self.timer_armed = false;
+        self.load(io);
+        for entry in self.log.values() {
+            Certified::send_entry(io, entry);
+        }
+        self.arm_timer(io);
+    }
+
+    fn on_start(&mut self, io: &mut dyn GroupIo) {
+        self.load(io);
+        self.arm_timer(io);
+    }
+
+    fn on_recover(&mut self, io: &mut dyn GroupIo) {
+        // Fresh instance: rebuild volatile state from stable storage and
+        // resume retransmission of anything unacknowledged.
+        self.loaded = false;
+        self.load(io);
+        self.arm_timer(io);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,85 @@
+//! The sans-io protocol interface.
+
+use rand::RngCore;
+
+use psc_simnet::{Duration, NodeId, ScopedStorage, SimTime};
+
+/// Protocol-chosen timer token, echoed back on expiry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerToken(pub u64);
+
+/// Capabilities a multicast protocol instance uses to act on the world.
+///
+/// Hosts (the simulator adapter, the DACE engine, unit-test harnesses)
+/// implement this; protocols never touch sockets, clocks or disks directly,
+/// which keeps them deterministic and unit-testable step by step.
+pub trait GroupIo {
+    /// This process's id.
+    fn self_id(&self) -> NodeId;
+
+    /// Current members of the group (destination set). Membership is
+    /// host-managed; protocols treat it as read-only per callback.
+    fn members(&self) -> &[NodeId];
+
+    /// Current (virtual) time.
+    fn now(&self) -> SimTime;
+
+    /// Sends protocol bytes to one member.
+    fn send(&mut self, to: NodeId, bytes: Vec<u8>);
+
+    /// Hands a payload up to the application, attributed to its original
+    /// broadcaster.
+    fn deliver(&mut self, origin: NodeId, payload: Vec<u8>);
+
+    /// Arms a timer; `token` comes back via [`Multicast::on_timer`].
+    fn set_timer(&mut self, after: Duration, token: TimerToken);
+
+    /// This process's stable storage (survives crashes), scoped by the
+    /// host so several protocol instances share one disk.
+    fn storage(&mut self) -> ScopedStorage<'_>;
+
+    /// Deterministic randomness.
+    fn rng(&mut self) -> &mut dyn RngCore;
+}
+
+/// A broadcast protocol instance for one group (one multicast class).
+///
+/// All methods are synchronous state transitions; effects go through the
+/// [`GroupIo`].
+pub trait Multicast: Send {
+    /// Broadcasts an application payload to the group.
+    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: Vec<u8>);
+
+    /// Handles a protocol message from a peer.
+    fn on_message(&mut self, io: &mut dyn GroupIo, from: NodeId, bytes: &[u8]);
+
+    /// Handles an armed timer's expiry.
+    fn on_timer(&mut self, _io: &mut dyn GroupIo, _token: TimerToken) {}
+
+    /// Called on a fresh instance after a crash–recover cycle; persistent
+    /// protocols rebuild from [`GroupIo::storage`].
+    fn on_recover(&mut self, _io: &mut dyn GroupIo) {}
+
+    /// Called once when the host starts (protocols with periodic timers arm
+    /// them here).
+    fn on_start(&mut self, _io: &mut dyn GroupIo) {}
+
+    /// Downcast support for host-side inspection; implement as
+    /// `fn as_any_mut(&mut self) -> &mut dyn Any { self }`.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// Encodes a protocol message, panicking on failure.
+///
+/// Protocol message types are plain serde structs; encoding them cannot fail
+/// with the standard derives, so hosts treat failure as a bug.
+pub(crate) fn encode_msg<T: serde::Serialize>(msg: &T) -> Vec<u8> {
+    psc_codec::to_bytes(msg).expect("protocol message encoding cannot fail")
+}
+
+/// Decodes a protocol message, returning `None` (and thereby dropping the
+/// message) on corruption — a malformed packet must not take the protocol
+/// down.
+pub(crate) fn decode_msg<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> Option<T> {
+    psc_codec::from_bytes(bytes).ok()
+}

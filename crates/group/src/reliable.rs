@@ -1,0 +1,196 @@
+//! Reliable broadcast: the paper's *Reliable* semantics.
+//!
+//! "Once successfully published, a reliable obvent will be received by any
+//! notifiable that is 'up for long enough'" (§3.1.2). Two mechanisms
+//! combine:
+//!
+//! - **eager re-forwarding** [BJ87]: on first receipt every member relays
+//!   the message to every other member, so one successful link suffices for
+//!   group-wide agreement (and a crashed origin cannot strand a partially
+//!   delivered message);
+//! - **origin-side retransmission**: the origin keeps the message until
+//!   every member acknowledged it, retransmitting periodically — this is
+//!   what makes delivery deterministic under message loss even for small
+//!   groups, where relay redundancy alone is a single network path.
+//!
+//! Unlike [`Certified`](crate::Certified), all state is volatile: a crashed
+//! subscriber loses the message (reliability only covers processes that
+//! stay "up for long enough").
+
+use std::collections::{BTreeMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use psc_simnet::{Duration, NodeId};
+
+use crate::io::{decode_msg, encode_msg, GroupIo, Multicast, TimerToken};
+
+const RETRANSMIT: TimerToken = TimerToken(6);
+const RETRANSMIT_INTERVAL: Duration = Duration::from_millis(40);
+
+/// Globally unique message id: origin plus per-origin sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+pub(crate) struct MsgId {
+    pub origin: NodeId,
+    pub seq: u64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+enum Msg {
+    Data {
+        id: MsgId,
+        payload: Vec<u8>,
+        /// True when this copy comes straight from the origin (receivers
+        /// acknowledge those; relayed copies are not re-acked).
+        from_origin: bool,
+    },
+    Ack {
+        id: MsgId,
+    },
+}
+
+#[derive(Debug)]
+struct Outgoing {
+    payload: Vec<u8>,
+    unacked: Vec<NodeId>,
+}
+
+/// Eager-push reliable broadcast with origin retransmission; see the module
+/// docs.
+#[derive(Debug, Default)]
+pub struct Reliable {
+    next_seq: u64,
+    seen: HashSet<MsgId>,
+    /// Origin state: messages not yet acknowledged by every member.
+    outgoing: BTreeMap<u64, Outgoing>,
+    timer_armed: bool,
+}
+
+impl Reliable {
+    /// Creates a reliable-broadcast instance.
+    pub fn new() -> Self {
+        Reliable::default()
+    }
+
+    /// Number of distinct messages seen (diagnostics).
+    pub fn seen_count(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Own messages not yet fully acknowledged (diagnostics).
+    pub fn unacked_len(&self) -> usize {
+        self.outgoing.len()
+    }
+
+    fn relay(&self, io: &mut dyn GroupIo, id: MsgId, payload: &[u8]) {
+        let me = io.self_id();
+        let bytes = encode_msg(&Msg::Data {
+            id,
+            payload: payload.to_vec(),
+            from_origin: false,
+        });
+        for member in io.members().to_vec() {
+            if member != me && member != id.origin {
+                io.send(member, bytes.clone());
+            }
+        }
+    }
+
+    fn send_from_origin(io: &mut dyn GroupIo, id: MsgId, payload: &[u8], targets: &[NodeId]) {
+        let bytes = encode_msg(&Msg::Data {
+            id,
+            payload: payload.to_vec(),
+            from_origin: true,
+        });
+        for &member in targets {
+            io.send(member, bytes.clone());
+        }
+    }
+
+    fn arm_timer(&mut self, io: &mut dyn GroupIo) {
+        if !self.timer_armed && !self.outgoing.is_empty() {
+            self.timer_armed = true;
+            io.set_timer(RETRANSMIT_INTERVAL, RETRANSMIT);
+        }
+    }
+}
+
+impl Multicast for Reliable {
+    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: Vec<u8>) {
+        let me = io.self_id();
+        self.next_seq += 1;
+        let id = MsgId {
+            origin: me,
+            seq: self.next_seq,
+        };
+        self.seen.insert(id);
+        let targets: Vec<NodeId> = io.members().iter().copied().filter(|&m| m != me).collect();
+        Reliable::send_from_origin(io, id, &payload, &targets);
+        if !targets.is_empty() {
+            self.outgoing.insert(
+                id.seq,
+                Outgoing {
+                    payload: payload.clone(),
+                    unacked: targets,
+                },
+            );
+            self.arm_timer(io);
+        }
+        if io.members().contains(&me) {
+            io.deliver(me, payload);
+        }
+    }
+
+    fn on_message(&mut self, io: &mut dyn GroupIo, from: NodeId, bytes: &[u8]) {
+        let Some(msg) = decode_msg::<Msg>(bytes) else {
+            return;
+        };
+        match msg {
+            Msg::Data {
+                id,
+                payload,
+                from_origin,
+            } => {
+                // Acknowledge every copy arriving straight from the origin
+                // (covers lost acks via the origin's retransmissions).
+                if from_origin {
+                    io.send(from, encode_msg(&Msg::Ack { id }));
+                }
+                if !self.seen.insert(id) {
+                    return; // duplicate
+                }
+                // Re-forward before delivering: the agreement step.
+                self.relay(io, id, &payload);
+                io.deliver(id.origin, payload);
+            }
+            Msg::Ack { id } => {
+                if id.origin != io.self_id() {
+                    return;
+                }
+                if let Some(outgoing) = self.outgoing.get_mut(&id.seq) {
+                    outgoing.unacked.retain(|&m| m != from);
+                    if outgoing.unacked.is_empty() {
+                        self.outgoing.remove(&id.seq);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, io: &mut dyn GroupIo, token: TimerToken) {
+        if token != RETRANSMIT {
+            return;
+        }
+        self.timer_armed = false;
+        let me = io.self_id();
+        for (&seq, outgoing) in &self.outgoing {
+            let id = MsgId { origin: me, seq };
+            Reliable::send_from_origin(io, id, &outgoing.payload, &outgoing.unacked);
+        }
+        self.arm_timer(io);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,175 @@
+//! Adapter running any [`Multicast`] protocol as a `psc-simnet` node.
+//!
+//! [`GroupNode`] bridges the sans-io protocol interface onto the simulator:
+//! sends become network messages, deliveries accumulate in an inspectable
+//! log, timers map between simulator ids and protocol tokens. Static helper
+//! methods drive nodes from test/experiment code via the simulator's action
+//! mechanism.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use psc_simnet::{Ctx, Node, NodeId, ScopedStorage, SimNet, TimerId};
+
+use crate::io::{GroupIo, Multicast, TimerToken};
+
+/// A simulated node hosting one multicast protocol instance.
+pub struct GroupNode {
+    proto: Box<dyn Multicast>,
+    members: Vec<NodeId>,
+    delivered: Vec<(NodeId, Vec<u8>)>,
+    timer_tokens: HashMap<TimerId, TimerToken>,
+}
+
+struct HostIo<'a, 'b> {
+    ctx: &'a mut Ctx<'b>,
+    members: &'a [NodeId],
+    delivered: &'a mut Vec<(NodeId, Vec<u8>)>,
+    new_timers: &'a mut Vec<(psc_simnet::Duration, TimerToken)>,
+}
+
+impl GroupIo for HostIo<'_, '_> {
+    fn self_id(&self) -> NodeId {
+        self.ctx.id()
+    }
+
+    fn members(&self) -> &[NodeId] {
+        self.members
+    }
+
+    fn now(&self) -> psc_simnet::SimTime {
+        self.ctx.now()
+    }
+
+    fn send(&mut self, to: NodeId, bytes: Vec<u8>) {
+        self.ctx.send(to, bytes);
+    }
+
+    fn deliver(&mut self, origin: NodeId, payload: Vec<u8>) {
+        self.delivered.push((origin, payload));
+    }
+
+    fn set_timer(&mut self, after: psc_simnet::Duration, token: TimerToken) {
+        // Timer ids are only known once Ctx::set_timer runs; collect and map
+        // afterwards (Ctx is borrowed by this io meanwhile).
+        self.new_timers.push((after, token));
+    }
+
+    fn storage(&mut self) -> ScopedStorage<'_> {
+        self.ctx.storage().scoped("")
+    }
+
+    fn rng(&mut self) -> &mut dyn rand::RngCore {
+        self.ctx.rng()
+    }
+}
+
+impl GroupNode {
+    /// Wraps a protocol instance as a boxed simulator node.
+    pub fn boxed(proto: impl Multicast + 'static) -> Box<dyn Node> {
+        Box::new(GroupNode {
+            proto: Box::new(proto),
+            members: Vec::new(),
+            delivered: Vec::new(),
+            timer_tokens: HashMap::new(),
+        })
+    }
+
+    fn with_io(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        f: impl FnOnce(&mut dyn Multicast, &mut dyn GroupIo),
+    ) {
+        let mut new_timers = Vec::new();
+        {
+            let mut io = HostIo {
+                ctx,
+                members: &self.members,
+                delivered: &mut self.delivered,
+                new_timers: &mut new_timers,
+            };
+            f(self.proto.as_mut(), &mut io);
+        }
+        for (after, token) in new_timers {
+            let id = ctx.set_timer(after);
+            self.timer_tokens.insert(id, token);
+        }
+    }
+
+    // ---- static driver helpers (used by tests and experiments) ----
+
+    /// Sets the group membership of `node` (takes effect immediately).
+    pub fn set_members(sim: &mut SimNet, node: NodeId, members: Vec<NodeId>) {
+        sim.act_now(node, move |n, _ctx| {
+            let this = n
+                .as_any_mut()
+                .downcast_mut::<GroupNode>()
+                .expect("node is a GroupNode");
+            this.members = members;
+        });
+    }
+
+    /// Broadcasts `payload` from `node` at the current virtual time.
+    pub fn broadcast(sim: &mut SimNet, node: NodeId, payload: Vec<u8>) {
+        sim.act_now(node, move |n, ctx| {
+            let this = n
+                .as_any_mut()
+                .downcast_mut::<GroupNode>()
+                .expect("node is a GroupNode");
+            this.with_io(ctx, |proto, io| proto.broadcast(io, payload));
+        });
+    }
+
+    /// Snapshot of everything `node` has delivered: `(origin, payload)` in
+    /// delivery order. Empty if the node is down.
+    pub fn delivered(sim: &mut SimNet, node: NodeId) -> Vec<(NodeId, Vec<u8>)> {
+        match sim.node_mut::<GroupNode>(node) {
+            Some(this) => this.delivered.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Just the payloads, in delivery order.
+    pub fn delivered_payloads(sim: &mut SimNet, node: NodeId) -> Vec<Vec<u8>> {
+        GroupNode::delivered(sim, node)
+            .into_iter()
+            .map(|(_, p)| p)
+            .collect()
+    }
+
+    /// Inspects the concrete protocol instance behind `node` (e.g. to read
+    /// diagnostics counters). `None` when the node is down or `P` is not
+    /// its protocol type.
+    pub fn with_proto<P: Multicast + 'static, R>(
+        sim: &mut SimNet,
+        node: NodeId,
+        f: impl FnOnce(&mut P) -> R,
+    ) -> Option<R> {
+        let this = sim.node_mut::<GroupNode>(node)?;
+        this.proto.as_any_mut().downcast_mut::<P>().map(f)
+    }
+}
+
+impl Node for GroupNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.with_io(ctx, |proto, io| proto.on_start(io));
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, payload: &[u8]) {
+        self.with_io(ctx, |proto, io| proto.on_message(io, from, payload));
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: TimerId) {
+        if let Some(token) = self.timer_tokens.remove(&timer) {
+            self.with_io(ctx, |proto, io| proto.on_timer(io, token));
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut Ctx<'_>) {
+        self.with_io(ctx, |proto, io| proto.on_recover(io));
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,322 @@
+//! Totally ordered broadcast: the paper's *Totally ordered* semantics.
+//!
+//! "Two notifiables n1 and n2 which deliver two obvents o1 and o2 both
+//! deliver o1 and o2 in the same order (subscriber-side order)" (§3.1.2).
+//! Implemented with a **fixed sequencer**: the lowest-id member orders all
+//! broadcasts with a global sequence number; receivers deliver strictly in
+//! sequence. Loss is repaired at three points:
+//!
+//! - *lost submissions*: publishers retransmit un-sequenced submissions
+//!   until they see their own message come back ordered (the sequencer
+//!   deduplicates by `(origin, local_seq)`);
+//! - *interior gaps*: a receiver holding back out-of-order messages NACKs
+//!   the missing range after a timeout;
+//! - *trailing gaps*: the sequencer heartbeats its highest sequence number,
+//!   so a receiver that lost the last message discovers the gap.
+//!
+//! Because one process orders everything and submissions are retried in
+//! order, total order here also preserves per-publisher FIFO submission
+//! order.
+
+use std::collections::{BTreeMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use psc_simnet::{Duration, NodeId};
+
+use crate::io::{decode_msg, encode_msg, GroupIo, Multicast, TimerToken};
+
+const GAP_CHECK: TimerToken = TimerToken(1);
+const SUBMIT_RETRY: TimerToken = TimerToken(4);
+const HEARTBEAT: TimerToken = TimerToken(5);
+
+const GAP_TIMEOUT: Duration = Duration::from_millis(20);
+const SUBMIT_TIMEOUT: Duration = Duration::from_millis(30);
+const HEARTBEAT_PERIOD: Duration = Duration::from_millis(50);
+/// Idle heartbeats sent after the last sequenced message before the beat
+/// pauses (each repairs trailing loss; see `on_timer`).
+const IDLE_HEARTBEAT_LIMIT: u32 = 5;
+
+#[derive(Debug, Serialize, Deserialize)]
+enum Msg {
+    /// Publisher → sequencer: please order this payload.
+    Submit {
+        origin: NodeId,
+        local_seq: u64,
+        payload: Vec<u8>,
+    },
+    /// Sequencer → everyone: globally ordered message.
+    Ordered {
+        gseq: u64,
+        origin: NodeId,
+        local_seq: u64,
+        payload: Vec<u8>,
+    },
+    /// Receiver → sequencer: retransmit `[from, to]` (inclusive).
+    Nack { from: u64, to: u64 },
+    /// Sequencer → everyone: highest assigned sequence number.
+    Heartbeat { max_gseq: u64 },
+}
+
+/// Fixed-sequencer total-order broadcast with NACK-based gap repair.
+#[derive(Debug, Default)]
+pub struct Total {
+    // -- publisher state --
+    next_local: u64,
+    /// Submitted but not yet seen ordered: local_seq → payload.
+    pending_submits: BTreeMap<u64, Vec<u8>>,
+    submit_timer_armed: bool,
+    // -- sequencer state --
+    next_gseq: u64,
+    history: BTreeMap<u64, (NodeId, u64, Vec<u8>)>,
+    sequenced: HashSet<(NodeId, u64)>,
+    heartbeat_armed: bool,
+    /// Consecutive heartbeats without new sequencing activity; the beat
+    /// stops after [`IDLE_HEARTBEAT_LIMIT`] so an idle group quiesces, and
+    /// re-arms on the next sequenced message.
+    idle_heartbeats: u32,
+    last_heartbeat_gseq: u64,
+    // -- receiver state --
+    next_deliver: u64,
+    holdback: BTreeMap<u64, (NodeId, u64, Vec<u8>)>,
+    gap_timer_armed: bool,
+}
+
+impl Total {
+    /// Creates a total-order instance.
+    pub fn new() -> Self {
+        Total {
+            next_gseq: 1,
+            next_deliver: 1,
+            next_local: 1,
+            ..Total::default()
+        }
+    }
+
+    /// The current sequencer: the lowest member id.
+    pub fn sequencer(io: &dyn GroupIo) -> Option<NodeId> {
+        io.members().iter().min().copied()
+    }
+
+    /// Number of messages currently held back (diagnostics).
+    pub fn holdback_len(&self) -> usize {
+        self.holdback.len()
+    }
+
+    /// Number of submissions awaiting sequencing (diagnostics).
+    pub fn pending_submits(&self) -> usize {
+        self.pending_submits.len()
+    }
+
+    fn sequence(&mut self, io: &mut dyn GroupIo, origin: NodeId, local_seq: u64, payload: Vec<u8>) {
+        if !self.sequenced.insert((origin, local_seq)) {
+            return; // retried submission already ordered
+        }
+        let gseq = self.next_gseq;
+        self.next_gseq += 1;
+        self.history.insert(gseq, (origin, local_seq, payload.clone()));
+        let me = io.self_id();
+        let bytes = encode_msg(&Msg::Ordered {
+            gseq,
+            origin,
+            local_seq,
+            payload: payload.clone(),
+        });
+        for member in io.members().to_vec() {
+            if member != me {
+                io.send(member, bytes.clone());
+            }
+        }
+        if !self.heartbeat_armed {
+            self.heartbeat_armed = true;
+            self.idle_heartbeats = 0;
+            io.set_timer(HEARTBEAT_PERIOD, HEARTBEAT);
+        }
+        // The sequencer is typically a member too.
+        if io.members().contains(&me) {
+            self.accept(io, gseq, origin, local_seq, payload);
+        }
+    }
+
+    fn accept(
+        &mut self,
+        io: &mut dyn GroupIo,
+        gseq: u64,
+        origin: NodeId,
+        local_seq: u64,
+        payload: Vec<u8>,
+    ) {
+        if origin == io.self_id() {
+            self.pending_submits.remove(&local_seq);
+        }
+        if gseq < self.next_deliver {
+            return; // duplicate / already delivered
+        }
+        self.holdback.insert(gseq, (origin, local_seq, payload));
+        while let Some((origin, _local, payload)) = self.holdback.remove(&self.next_deliver) {
+            io.deliver(origin, payload);
+            self.next_deliver += 1;
+        }
+        // A hole ahead of us: arm the gap check.
+        if !self.holdback.is_empty() && !self.gap_timer_armed {
+            self.gap_timer_armed = true;
+            io.set_timer(GAP_TIMEOUT, GAP_CHECK);
+        }
+    }
+
+    fn submit(&mut self, io: &mut dyn GroupIo, local_seq: u64, payload: Vec<u8>) {
+        let me = io.self_id();
+        match Total::sequencer(io) {
+            Some(seq_node) if seq_node == me => self.sequence(io, me, local_seq, payload),
+            Some(seq_node) => {
+                io.send(
+                    seq_node,
+                    encode_msg(&Msg::Submit {
+                        origin: me,
+                        local_seq,
+                        payload,
+                    }),
+                );
+            }
+            None => { /* no members: nothing to do */ }
+        }
+    }
+
+    fn nack(&self, io: &mut dyn GroupIo, from: u64, to: u64) {
+        if let Some(seq_node) = Total::sequencer(io) {
+            if seq_node != io.self_id() {
+                io.send(seq_node, encode_msg(&Msg::Nack { from, to }));
+            }
+        }
+    }
+}
+
+impl Multicast for Total {
+    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: Vec<u8>) {
+        let local_seq = self.next_local;
+        self.next_local += 1;
+        let me = io.self_id();
+        if Total::sequencer(io) != Some(me) {
+            self.pending_submits.insert(local_seq, payload.clone());
+            if !self.submit_timer_armed {
+                self.submit_timer_armed = true;
+                io.set_timer(SUBMIT_TIMEOUT, SUBMIT_RETRY);
+            }
+        }
+        self.submit(io, local_seq, payload);
+    }
+
+    fn on_message(&mut self, io: &mut dyn GroupIo, from: NodeId, bytes: &[u8]) {
+        let Some(msg) = decode_msg::<Msg>(bytes) else {
+            return;
+        };
+        match msg {
+            Msg::Submit {
+                origin,
+                local_seq,
+                payload,
+            } => {
+                let me = io.self_id();
+                if Total::sequencer(io) == Some(me) {
+                    self.sequence(io, origin, local_seq, payload);
+                } else if let Some(seq_node) = Total::sequencer(io) {
+                    // Not the sequencer (e.g. after a membership change):
+                    // forward.
+                    io.send(
+                        seq_node,
+                        encode_msg(&Msg::Submit {
+                            origin,
+                            local_seq,
+                            payload,
+                        }),
+                    );
+                }
+            }
+            Msg::Ordered {
+                gseq,
+                origin,
+                local_seq,
+                payload,
+            } => self.accept(io, gseq, origin, local_seq, payload),
+            Msg::Nack { from: lo, to: hi } => {
+                for gseq in lo..=hi {
+                    if let Some((origin, local_seq, payload)) = self.history.get(&gseq) {
+                        let bytes = encode_msg(&Msg::Ordered {
+                            gseq,
+                            origin: *origin,
+                            local_seq: *local_seq,
+                            payload: payload.clone(),
+                        });
+                        io.send(from, bytes);
+                    }
+                }
+            }
+            Msg::Heartbeat { max_gseq } => {
+                // Trailing gap: we have not even seen max_gseq yet.
+                if max_gseq >= self.next_deliver && !self.holdback.contains_key(&max_gseq) {
+                    self.nack(io, self.next_deliver, max_gseq);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, io: &mut dyn GroupIo, token: TimerToken) {
+        match token {
+            GAP_CHECK => {
+                self.gap_timer_armed = false;
+                if self.holdback.is_empty() {
+                    return;
+                }
+                let highest_held = *self.holdback.keys().next_back().expect("non-empty");
+                self.nack(io, self.next_deliver, highest_held);
+                self.gap_timer_armed = true;
+                io.set_timer(GAP_TIMEOUT, GAP_CHECK);
+            }
+            SUBMIT_RETRY => {
+                self.submit_timer_armed = false;
+                if self.pending_submits.is_empty() {
+                    return;
+                }
+                for (local_seq, payload) in self.pending_submits.clone() {
+                    self.submit(io, local_seq, payload);
+                }
+                self.submit_timer_armed = true;
+                io.set_timer(SUBMIT_TIMEOUT, SUBMIT_RETRY);
+            }
+            HEARTBEAT => {
+                self.heartbeat_armed = false;
+                if self.next_gseq <= 1 {
+                    return;
+                }
+                let me = io.self_id();
+                if Total::sequencer(io) != Some(me) {
+                    return; // lost sequencer role
+                }
+                let max_gseq = self.next_gseq - 1;
+                if max_gseq == self.last_heartbeat_gseq {
+                    self.idle_heartbeats += 1;
+                } else {
+                    self.idle_heartbeats = 0;
+                    self.last_heartbeat_gseq = max_gseq;
+                }
+                let bytes = encode_msg(&Msg::Heartbeat { max_gseq });
+                for member in io.members().to_vec() {
+                    if member != me {
+                        io.send(member, bytes.clone());
+                    }
+                }
+                // A few idle beats flush trailing gaps; then go quiet until
+                // the next sequenced message (liveness for quiescence).
+                if self.idle_heartbeats < IDLE_HEARTBEAT_LIMIT {
+                    self.heartbeat_armed = true;
+                    io.set_timer(HEARTBEAT_PERIOD, HEARTBEAT);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

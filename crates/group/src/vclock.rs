@@ -1,0 +1,261 @@
+//! Vector clocks for causal ordering [Lam78].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use psc_simnet::NodeId;
+
+/// A vector clock: one logical-event counter per process.
+///
+/// Missing entries count as zero, so clocks over different member sets
+/// compare sensibly.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct VectorClock {
+    entries: BTreeMap<NodeId, u64>,
+}
+
+/// Result of comparing two vector clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Causality {
+    /// Identical clocks.
+    Equal,
+    /// `self` happens-before `other`.
+    Before,
+    /// `other` happens-before `self`.
+    After,
+    /// Neither precedes the other.
+    Concurrent,
+}
+
+impl VectorClock {
+    /// Creates an all-zero clock.
+    pub fn new() -> Self {
+        VectorClock::default()
+    }
+
+    /// The counter for `node` (zero when absent).
+    pub fn get(&self, node: NodeId) -> u64 {
+        self.entries.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Sets the counter for `node`.
+    pub fn set(&mut self, node: NodeId, value: u64) {
+        if value == 0 {
+            self.entries.remove(&node);
+        } else {
+            self.entries.insert(node, value);
+        }
+    }
+
+    /// Increments `node`'s counter, returning the new value.
+    pub fn increment(&mut self, node: NodeId) -> u64 {
+        let counter = self.entries.entry(node).or_insert(0);
+        *counter += 1;
+        *counter
+    }
+
+    /// Pointwise maximum with `other` (the merge on message receipt).
+    pub fn merge(&mut self, other: &VectorClock) {
+        for (&node, &value) in &other.entries {
+            let mine = self.entries.entry(node).or_insert(0);
+            if value > *mine {
+                *mine = value;
+            }
+        }
+    }
+
+    /// Compares two clocks under the happens-before partial order.
+    pub fn causality(&self, other: &VectorClock) -> Causality {
+        let mut less = false;
+        let mut greater = false;
+        let keys: std::collections::BTreeSet<NodeId> = self
+            .entries
+            .keys()
+            .chain(other.entries.keys())
+            .copied()
+            .collect();
+        for node in keys {
+            let a = self.get(node);
+            let b = other.get(node);
+            if a < b {
+                less = true;
+            }
+            if a > b {
+                greater = true;
+            }
+        }
+        match (less, greater) {
+            (false, false) => Causality::Equal,
+            (true, false) => Causality::Before,
+            (false, true) => Causality::After,
+            (true, true) => Causality::Concurrent,
+        }
+    }
+
+    /// True when `self` ≤ `other` pointwise.
+    pub fn le(&self, other: &VectorClock) -> bool {
+        matches!(self.causality(other), Causality::Before | Causality::Equal)
+    }
+
+    /// Number of non-zero entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when all counters are zero.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(node, counter)` pairs in node order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.entries.iter().map(|(&n, &c)| (n, c))
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (node, counter)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{node}:{counter}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn increment_and_get() {
+        let mut vc = VectorClock::new();
+        assert_eq!(vc.get(n(0)), 0);
+        assert_eq!(vc.increment(n(0)), 1);
+        assert_eq!(vc.increment(n(0)), 2);
+        assert_eq!(vc.get(n(0)), 2);
+        assert!(!vc.is_empty());
+    }
+
+    #[test]
+    fn set_zero_removes_entry() {
+        let mut vc = VectorClock::new();
+        vc.set(n(1), 5);
+        vc.set(n(1), 0);
+        assert!(vc.is_empty());
+        assert_eq!(vc.len(), 0);
+    }
+
+    #[test]
+    fn merge_takes_pointwise_max() {
+        let mut a = VectorClock::new();
+        a.set(n(0), 3);
+        a.set(n(1), 1);
+        let mut b = VectorClock::new();
+        b.set(n(1), 4);
+        b.set(n(2), 2);
+        a.merge(&b);
+        assert_eq!(a.get(n(0)), 3);
+        assert_eq!(a.get(n(1)), 4);
+        assert_eq!(a.get(n(2)), 2);
+    }
+
+    #[test]
+    fn causality_classification() {
+        let mut a = VectorClock::new();
+        a.set(n(0), 1);
+        let mut b = a.clone();
+        assert_eq!(a.causality(&b), Causality::Equal);
+        b.increment(n(0));
+        assert_eq!(a.causality(&b), Causality::Before);
+        assert_eq!(b.causality(&a), Causality::After);
+        let mut c = VectorClock::new();
+        c.set(n(1), 1);
+        assert_eq!(a.causality(&c), Causality::Concurrent);
+    }
+
+    #[test]
+    fn missing_entries_compare_as_zero() {
+        let empty = VectorClock::new();
+        let mut one = VectorClock::new();
+        one.set(n(7), 1);
+        assert_eq!(empty.causality(&one), Causality::Before);
+        assert!(empty.le(&one));
+        assert!(!one.le(&empty));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut vc = VectorClock::new();
+        vc.set(n(1), 2);
+        vc.set(n(3), 1);
+        assert_eq!(vc.to_string(), "[n1:2 n3:1]");
+    }
+
+    fn arb_clock() -> impl Strategy<Value = VectorClock> {
+        proptest::collection::btree_map(0u64..5, 0u64..6, 0..5).prop_map(|m| {
+            let mut vc = VectorClock::new();
+            for (k, v) in m {
+                vc.set(NodeId(k), v);
+            }
+            vc
+        })
+    }
+
+    proptest! {
+        /// merge is the least upper bound: both inputs ≤ merged.
+        #[test]
+        fn prop_merge_is_upper_bound(a in arb_clock(), b in arb_clock()) {
+            let mut merged = a.clone();
+            merged.merge(&b);
+            prop_assert!(a.le(&merged));
+            prop_assert!(b.le(&merged));
+        }
+
+        /// merge is commutative and idempotent.
+        #[test]
+        fn prop_merge_laws(a in arb_clock(), b in arb_clock()) {
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert_eq!(&ab, &ba);
+            let mut aa = a.clone();
+            aa.merge(&a);
+            prop_assert_eq!(&aa, &a);
+        }
+
+        /// causality is antisymmetric: Before in one direction is After in
+        /// the other, Concurrent is symmetric.
+        #[test]
+        fn prop_causality_antisymmetric(a in arb_clock(), b in arb_clock()) {
+            let fwd = a.causality(&b);
+            let bwd = b.causality(&a);
+            let expected = match fwd {
+                Causality::Equal => Causality::Equal,
+                Causality::Before => Causality::After,
+                Causality::After => Causality::Before,
+                Causality::Concurrent => Causality::Concurrent,
+            };
+            prop_assert_eq!(bwd, expected);
+        }
+
+        /// serde roundtrip through the codec.
+        #[test]
+        fn prop_codec_roundtrip(a in arb_clock()) {
+            let bytes = psc_codec::to_bytes(&a).unwrap();
+            let back: VectorClock = psc_codec::from_bytes(&bytes).unwrap();
+            prop_assert_eq!(back, a);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! The built-in obvent interfaces of `java.pubsub` (paper Fig. 3).
+//!
+//! ```java
+//! public interface Obvent extends Serializable {...}
+//! public interface Reliable extends Obvent {}
+//! public interface Certified extends Reliable {}
+//! public interface TotalOrder extends Reliable {}
+//! public interface FIFOOrder extends Reliable {}
+//! public interface CausalOrder extends FIFOOrder {}
+//! public interface Timely extends Obvent { ... }
+//! public interface Prioritary extends Obvent { ... }
+//! ```
+//!
+//! Each interface is a marker unit type whose `kind()` returns the interned
+//! descriptor; obvent classes compose semantics by listing the markers in
+//! their `implements [...]` clause (LM2). `Timely` instances are expected to
+//! expose `ttl_ms` and `birth_ms` properties and `Prioritary` instances a
+//! `priority` property — the property-based rendition of the interfaces'
+//! `getTimeToLive()` / `getBirth()` / `getPriority()` methods.
+
+use std::sync::Once;
+
+use crate::kind::{KindId, KindRole, ObventKind};
+use crate::registry;
+
+/// Name of the root obvent interface.
+pub const OBVENT_NAME: &str = "pubsub.Obvent";
+/// Kind id of the root obvent interface.
+pub const OBVENT_ID: KindId = KindId::from_name(OBVENT_NAME);
+/// Kind id of the `Reliable` marker.
+pub const RELIABLE_ID: KindId = KindId::from_name("pubsub.Reliable");
+/// Kind id of the `Certified` marker.
+pub const CERTIFIED_ID: KindId = KindId::from_name("pubsub.Certified");
+/// Kind id of the `TotalOrder` marker.
+pub const TOTAL_ORDER_ID: KindId = KindId::from_name("pubsub.TotalOrder");
+/// Kind id of the `FIFOOrder` marker.
+pub const FIFO_ORDER_ID: KindId = KindId::from_name("pubsub.FIFOOrder");
+/// Kind id of the `CausalOrder` marker.
+pub const CAUSAL_ORDER_ID: KindId = KindId::from_name("pubsub.CausalOrder");
+/// Kind id of the `Timely` marker.
+pub const TIMELY_ID: KindId = KindId::from_name("pubsub.Timely");
+/// Kind id of the `Prioritary` marker.
+pub const PRIORITARY_ID: KindId = KindId::from_name("pubsub.Prioritary");
+/// Property read from `Timely` obvents for their time-to-live (ms).
+pub const TTL_PROPERTY: &str = "ttl_ms";
+/// Property read from `Timely` obvents for their publication time (ms).
+pub const BIRTH_PROPERTY: &str = "birth_ms";
+/// Property read from `Prioritary` obvents for their priority (higher
+/// first).
+pub const PRIORITY_PROPERTY: &str = "priority";
+
+/// Registers all built-in kinds exactly once. Called automatically by
+/// [`registry::register`]; exposed for tests and early initialization.
+pub fn ensure_registered() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let obvent = registry::register_raw(OBVENT_NAME, KindRole::Interface, &[]);
+        let reliable =
+            registry::register_raw("pubsub.Reliable", KindRole::Interface, &[obvent.id()]);
+        registry::register_raw("pubsub.Certified", KindRole::Interface, &[reliable.id()]);
+        registry::register_raw("pubsub.TotalOrder", KindRole::Interface, &[reliable.id()]);
+        let fifo =
+            registry::register_raw("pubsub.FIFOOrder", KindRole::Interface, &[reliable.id()]);
+        registry::register_raw("pubsub.CausalOrder", KindRole::Interface, &[fifo.id()]);
+        registry::register_raw("pubsub.Timely", KindRole::Interface, &[obvent.id()]);
+        registry::register_raw("pubsub.Prioritary", KindRole::Interface, &[obvent.id()]);
+    });
+}
+
+fn builtin(name: &'static str) -> &'static ObventKind {
+    ensure_registered();
+    registry::lookup(KindId::from_name(name)).expect("builtin kind registered")
+}
+
+/// The root `Obvent` interface kind: every obvent type is a subtype.
+pub fn obvent_kind() -> &'static ObventKind {
+    builtin(OBVENT_NAME)
+}
+
+/// Reliable-delivery marker kind.
+pub fn reliable_kind() -> &'static ObventKind {
+    builtin("pubsub.Reliable")
+}
+
+/// Certified-delivery marker kind.
+pub fn certified_kind() -> &'static ObventKind {
+    builtin("pubsub.Certified")
+}
+
+/// Total-order marker kind.
+pub fn total_order_kind() -> &'static ObventKind {
+    builtin("pubsub.TotalOrder")
+}
+
+/// FIFO-order marker kind.
+pub fn fifo_order_kind() -> &'static ObventKind {
+    builtin("pubsub.FIFOOrder")
+}
+
+/// Causal-order marker kind.
+pub fn causal_order_kind() -> &'static ObventKind {
+    builtin("pubsub.CausalOrder")
+}
+
+/// Timeliness marker kind.
+pub fn timely_kind() -> &'static ObventKind {
+    builtin("pubsub.Timely")
+}
+
+/// Priority marker kind.
+pub fn prioritary_kind() -> &'static ObventKind {
+    builtin("pubsub.Prioritary")
+}
+
+macro_rules! marker_type {
+    ($(#[$meta:meta])* $name:ident => $getter:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+        pub struct $name;
+
+        impl $name {
+            /// The interned kind descriptor of this marker interface.
+            pub fn kind() -> &'static ObventKind {
+                $getter()
+            }
+        }
+    };
+}
+
+marker_type!(
+    /// Marker: reliable delivery (`public interface Reliable extends Obvent`).
+    Reliable => reliable_kind
+);
+marker_type!(
+    /// Marker: certified delivery — survives subscriber failure
+    /// (`public interface Certified extends Reliable`).
+    Certified => certified_kind
+);
+marker_type!(
+    /// Marker: total (subscriber-side) order
+    /// (`public interface TotalOrder extends Reliable`).
+    TotalOrder => total_order_kind
+);
+marker_type!(
+    /// Marker: FIFO (publisher-side) order
+    /// (`public interface FIFOOrder extends Reliable`).
+    FifoOrder => fifo_order_kind
+);
+marker_type!(
+    /// Marker: causal (happens-before) order
+    /// (`public interface CausalOrder extends FIFOOrder`).
+    CausalOrder => causal_order_kind
+);
+marker_type!(
+    /// Marker: timely transmission; instances expose `ttl_ms` and `birth_ms`
+    /// properties (`public interface Timely extends Obvent`).
+    Timely => timely_kind
+);
+marker_type!(
+    /// Marker: prioritized transmission; instances expose a `priority`
+    /// property (`public interface Prioritary extends Obvent`).
+    Prioritary => prioritary_kind
+);

@@ -1,0 +1,156 @@
+//! Obvent type descriptors.
+//!
+//! Rust has no subtype relation between struct types, so the paper's
+//! "subscription scheme = type scheme" is reproduced with explicit runtime
+//! type descriptors: every obvent class or interface owns an [`ObventKind`]
+//! recording its name, direct supertypes and resolved QoS. Descriptors are
+//! registered once per process in the global [`registry`](crate::registry)
+//! and handed out as `&'static` references.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::qos::QosSpec;
+
+/// Stable identifier of an obvent kind: the FNV-1a hash of its fully
+/// qualified name. Identical across processes, so it can travel on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct KindId(u64);
+
+impl KindId {
+    /// Computes the id for a kind name.
+    pub const fn from_name(name: &str) -> KindId {
+        // FNV-1a, 64-bit.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let bytes = name.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            hash ^= bytes[i] as u64;
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+            i += 1;
+        }
+        KindId(hash)
+    }
+
+    /// The raw hash value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a kind id from its raw hash (wire/control traffic).
+    pub const fn from_raw(raw: u64) -> KindId {
+        KindId(raw)
+    }
+}
+
+impl fmt::Display for KindId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Whether a kind is a stateful class or a stateless marker interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KindRole {
+    /// A concrete obvent class: carries fields, can be instantiated and
+    /// published; single inheritance (paper §2.2 "implicit declaration").
+    Class,
+    /// An abstract obvent type: no state, multiple subtyping (paper §2.2
+    /// "explicit declaration" — Java interfaces).
+    Interface,
+}
+
+/// Runtime descriptor of one obvent type.
+///
+/// Obtain instances from the generated `T::kind()` methods or from
+/// [`registry::lookup`]; they are interned for the process lifetime.
+#[derive(Debug)]
+pub struct ObventKind {
+    name: &'static str,
+    id: KindId,
+    role: KindRole,
+    /// Direct supertypes: at most one class plus any number of interfaces.
+    supers: Vec<KindId>,
+    /// Transitive supertype closure, including `self.id` and the root
+    /// `Obvent` kind; computed at registration.
+    ancestry: Vec<KindId>,
+    qos: QosSpec,
+}
+
+impl ObventKind {
+    pub(crate) fn new(
+        name: &'static str,
+        role: KindRole,
+        supers: Vec<KindId>,
+        ancestry: Vec<KindId>,
+        qos: QosSpec,
+    ) -> Self {
+        ObventKind {
+            name,
+            id: KindId::from_name(name),
+            role,
+            supers,
+            ancestry,
+            qos,
+        }
+    }
+
+    /// The kind's fully qualified name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The kind's stable id.
+    pub fn id(&self) -> KindId {
+        self.id
+    }
+
+    /// Class or interface.
+    pub fn role(&self) -> KindRole {
+        self.role
+    }
+
+    /// Direct supertypes (declared `extends` / `implements`).
+    pub fn supers(&self) -> &[KindId] {
+        &self.supers
+    }
+
+    /// Transitive supertype closure (includes the kind itself and the root
+    /// `Obvent` interface).
+    pub fn ancestry(&self) -> &[KindId] {
+        &self.ancestry
+    }
+
+    /// The QoS resolved from the kind's marker interfaces along the paper's
+    /// Fig. 4 lattice.
+    pub fn qos(&self) -> &QosSpec {
+        &self.qos
+    }
+
+    /// True if this kind is `other` or a (transitive) subtype of it — the
+    /// test deciding whether an instance reaches a subscription on `other`.
+    ///
+    /// ```
+    /// use psc_obvent::{builtin, Obvent};
+    /// let reliable = builtin::reliable_kind();
+    /// assert!(builtin::certified_kind().is_subtype_of(reliable.id()));
+    /// ```
+    pub fn is_subtype_of(&self, other: KindId) -> bool {
+        self.ancestry.contains(&other)
+    }
+}
+
+impl fmt::Display for ObventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+impl PartialEq for ObventKind {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for ObventKind {}

@@ -1,0 +1,84 @@
+#![warn(missing_docs)]
+
+//! # psc-obvent — events as first-class objects ("obvents")
+//!
+//! The paper's core idea (§2.1) is to view events as *specific
+//! application-defined objects* — obvents — and to subscribe to them by
+//! **type**, so that "the type scheme of the programming language is used as
+//! subscription scheme" (LP1) and event design is free of imposed choices
+//! (LP3). This crate is the Rust rendition of that model:
+//!
+//! - [`ObventKind`] / [`KindId`] / [`registry`] — runtime type descriptors
+//!   forming the obvent type hierarchy: single-inheritance *classes* carrying
+//!   state and multiple-subtyped marker *interfaces* (paper §2.2's reading of
+//!   Java's class/interface split);
+//! - [`Obvent`] — the trait of publishable event objects: serializable
+//!   (LM1, via `psc-codec`), property-exposing (for content filters, LP2),
+//!   and type-identified;
+//! - [`qos`] — the composable obvent semantics of §3.1.2 (Fig. 3/4):
+//!   delivery (unreliable / reliable / certified), ordering (FIFO / causal /
+//!   total), and transmission (priority, time-to-live) semantics expressed by
+//!   subtyping marker interfaces (LM2), resolved along the paper's
+//!   dependency lattice with its precedence rules;
+//! - [`WireObvent`] — a serialized obvent in transit; decoding it *as a
+//!   supertype* yields a fresh clone per subscriber (§2.1.2's global/local
+//!   uniqueness), implemented by prefix decoding;
+//! - [`ObventView`] — the dynamic, self-describing view used for interface
+//!   subscriptions and reflection-style filters (§5.5.1);
+//! - [`declare_obvent_model!`](crate::declare_obvent_model) — the
+//!   model-generation half of the reproduction's "precompiler" (the
+//!   `pubsub-core` crate wraps it into the full `obvent!` macro that also
+//!   emits typed adapters).
+//!
+//! ```
+//! use psc_obvent::{declare_obvent_model, builtin, Obvent, WireObvent};
+//!
+//! declare_obvent_model! {
+//!     /// Base class of the stock-trade example (paper Fig. 2).
+//!     pub class StockObvent {
+//!         company: String,
+//!         price: f64,
+//!         amount: u32,
+//!     }
+//! }
+//!
+//! declare_obvent_model! {
+//!     /// Stock quotes extend the base class.
+//!     pub class StockQuote extends StockObvent {}
+//! }
+//!
+//! let q = StockQuote::new(StockObvent::new("Telco Mobiles".into(), 80.0, 10));
+//! assert_eq!(q.company(), "Telco Mobiles"); // inherited accessor
+//! let wire = WireObvent::encode(&q).unwrap();
+//! // Decode as the supertype: a fresh StockObvent clone.
+//! let base: StockObvent = wire.decode_as().unwrap();
+//! assert_eq!(base.price(), &80.0);
+//! assert!(StockQuote::kind().is_subtype_of(StockObvent::kind_id()));
+//! assert!(StockQuote::kind().is_subtype_of(builtin::obvent_kind().id()));
+//! ```
+
+pub mod builtin;
+mod kind;
+mod macros;
+mod obvent;
+pub mod qos;
+pub mod registry;
+mod view;
+mod wire;
+
+pub use kind::{KindId, KindRole, ObventKind};
+pub use obvent::{Obvent, ObventError};
+pub use view::ObventView;
+pub use wire::WireObvent;
+
+// Re-exported for macro-generated code; not part of the public API surface.
+#[doc(hidden)]
+pub mod __private {
+    pub use psc_codec;
+    pub use psc_filter;
+    pub use psc_paste;
+    pub use serde;
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,490 @@
+//! The model half of the reproduction's "precompiler".
+//!
+//! The paper's `psc` transforms obvent class declarations into classes plus
+//! generated artifacts (typed adapters, notifiables, reified filters).
+//! [`declare_obvent_model!`] performs the model part of that generation for a
+//! Java-flavoured class grammar:
+//!
+//! ```text
+//! pub class Name [extends Super] [implements [Marker, …]] { field: Type, … }
+//! ```
+//!
+//! Generated per class:
+//!
+//! - the struct itself, with the superclass embedded as its **first field**
+//!   (so the codec's field-order layout makes the superclass image a prefix
+//!   of the subclass image — the basis of supertype decoding);
+//! - `new`, per-field accessors, and `Deref` to the superclass for
+//!   Java-style inherited member access (a deliberate deviation from the
+//!   smart-pointer-only `Deref` guideline, documented in `DESIGN.md`);
+//! - `kind()` — lazy registration of the [`ObventKind`] descriptor
+//!   (superclass first, then marker interfaces), plus the view decoder;
+//! - [`Obvent`], [`PropertySource`] and `IntoValue` implementations (the
+//!   latter lets obvents nest inside other obvents, §2.1.1);
+//! - a typed filter schema `NameSchema` whose accessor methods return
+//!   [`Prop<T>`] handles — the statically checked filter surface (LP1).
+//!
+//! [`declare_obvent_interface!`] declares application-defined abstract
+//! obvent types (markers), e.g. groupings like the paper's `StockObvent`
+//! could be if modelled as an interface.
+//!
+//! [`ObventKind`]: crate::ObventKind
+//! [`Obvent`]: crate::Obvent
+//! [`PropertySource`]: psc_filter::PropertySource
+//! [`Prop<T>`]: psc_filter::typed::Prop
+
+/// Declares an obvent class (see the module docs for the grammar).
+///
+/// The superclass, if any, must be named by a bare identifier in scope (not
+/// a path) because the generated schema derives its name from it. Marker
+/// interfaces may be arbitrary paths to types exposing `fn kind()`.
+///
+/// ```
+/// use psc_obvent::{declare_obvent_model, builtin, Obvent};
+/// use psc_obvent::qos::{Delivery, Ordering};
+///
+/// declare_obvent_model! {
+///     /// Paper Fig. 2 base class.
+///     pub class StockObvent {
+///         company: String,
+///         price: f64,
+///         amount: u32,
+///     }
+/// }
+/// declare_obvent_model! {
+///     pub class StockQuote extends StockObvent
+///         implements [psc_obvent::builtin::Reliable, psc_obvent::builtin::FifoOrder]
+///     {
+///         venue: String,
+///     }
+/// }
+///
+/// let q = StockQuote::new(
+///     StockObvent::new("Telco".into(), 80.0, 10),
+///     "ZRH".into(),
+/// );
+/// assert_eq!(q.venue(), "ZRH");
+/// assert_eq!(q.company(), "Telco"); // inherited via Deref
+/// let qos = StockQuote::kind().qos();
+/// assert_eq!(qos.delivery, Delivery::Reliable);
+/// assert_eq!(qos.ordering, Ordering::Fifo);
+/// ```
+#[macro_export]
+macro_rules! declare_obvent_model {
+    // class Name { ... }
+    (
+        $(#[$meta:meta])*
+        $vis:vis class $name:ident {
+            $($(#[$fmeta:meta])* $fname:ident : $fty:ty),* $(,)?
+        }
+    ) => {
+        $crate::__declare_obvent_class! {
+            meta [$($meta)*] vis [$vis] name [$name]
+            super []
+            ifaces []
+            fields [$($(#[$fmeta])* $fname : $fty),*]
+        }
+    };
+    // class Name extends Super { ... }
+    (
+        $(#[$meta:meta])*
+        $vis:vis class $name:ident extends $super_:ident {
+            $($(#[$fmeta:meta])* $fname:ident : $fty:ty),* $(,)?
+        }
+    ) => {
+        $crate::__declare_obvent_class! {
+            meta [$($meta)*] vis [$vis] name [$name]
+            super [$super_]
+            ifaces []
+            fields [$($(#[$fmeta])* $fname : $fty),*]
+        }
+    };
+    // class Name implements [I, ...] { ... }
+    (
+        $(#[$meta:meta])*
+        $vis:vis class $name:ident implements [$($iface:ty),* $(,)?] {
+            $($(#[$fmeta:meta])* $fname:ident : $fty:ty),* $(,)?
+        }
+    ) => {
+        $crate::__declare_obvent_class! {
+            meta [$($meta)*] vis [$vis] name [$name]
+            super []
+            ifaces [$($iface),*]
+            fields [$($(#[$fmeta])* $fname : $fty),*]
+        }
+    };
+    // class Name extends Super implements [I, ...] { ... }
+    (
+        $(#[$meta:meta])*
+        $vis:vis class $name:ident extends $super_:ident implements [$($iface:ty),* $(,)?] {
+            $($(#[$fmeta:meta])* $fname:ident : $fty:ty),* $(,)?
+        }
+    ) => {
+        $crate::__declare_obvent_class! {
+            meta [$($meta)*] vis [$vis] name [$name]
+            super [$super_]
+            ifaces [$($iface),*]
+            fields [$($(#[$fmeta])* $fname : $fty),*]
+        }
+    };
+}
+
+/// Internal expansion of [`declare_obvent_model!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __declare_obvent_class {
+    // ----- subclass: embedded superclass -----
+    (
+        meta [$($meta:meta)*] vis [$vis:vis] name [$name:ident]
+        super [$super_:ident]
+        ifaces [$($iface:ty),*]
+        fields [$($(#[$fmeta:meta])* $fname:ident : $fty:ty),*]
+    ) => {
+        $crate::__private::psc_paste::paste! {
+            $(#[$meta])*
+            #[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+            $vis struct $name {
+                __super: $super_,
+                $($(#[$fmeta])* $fname : $fty,)*
+            }
+
+            impl $name {
+                /// Creates a new obvent from its superclass part and own
+                /// fields (the Rust spelling of a `super(...)` call).
+                #[allow(clippy::too_many_arguments, dead_code)]
+                $vis fn new(superclass: $super_ $(, $fname: $fty)*) -> Self {
+                    Self { __super: superclass $(, $fname)* }
+                }
+
+                $(
+                    /// Returns this property (generated accessor).
+                    #[allow(dead_code)]
+                    $vis fn $fname(&self) -> &$fty {
+                        &self.$fname
+                    }
+                )*
+
+                /// Borrows the superclass part explicitly.
+                #[allow(dead_code)]
+                $vis fn superclass(&self) -> &$super_ {
+                    &self.__super
+                }
+
+                /// The interned kind descriptor; registers the class (and
+                /// its view decoder) on first use.
+                $vis fn kind() -> &'static $crate::ObventKind {
+                    static KIND: ::std::sync::OnceLock<&'static $crate::ObventKind> =
+                        ::std::sync::OnceLock::new();
+                    KIND.get_or_init(|| {
+                        #[allow(unused_mut)]
+                        let mut supers: ::std::vec::Vec<$crate::KindId> =
+                            ::std::vec![<$super_ as $crate::Obvent>::kind().id()];
+                        $(supers.push(<$iface>::kind().id());)*
+                        let kind = $crate::registry::register(
+                            ::std::concat!(::std::module_path!(), "::", ::std::stringify!($name)),
+                            $crate::registry::KIND_ROLE_CLASS,
+                            &supers,
+                        );
+                        $crate::registry::register_decoder(kind.id(), |payload| {
+                            let value: $name =
+                                $crate::__private::psc_codec::from_bytes(payload)
+                                    .map_err($crate::ObventError::from)?;
+                            ::std::result::Result::Ok($crate::Obvent::view(&value))
+                        });
+                        kind
+                    })
+                }
+
+                /// The typed filter schema for this class (LP1).
+                #[allow(dead_code)]
+                $vis fn schema() -> [<$name Schema>] {
+                    [<$name Schema>]
+                }
+            }
+
+            // Java-style inherited member access; deliberate deviation from
+            // C-DEREF, see DESIGN.md.
+            impl ::std::ops::Deref for $name {
+                type Target = $super_;
+
+                fn deref(&self) -> &$super_ {
+                    &self.__super
+                }
+            }
+
+            impl $crate::Obvent for $name {
+                fn kind() -> &'static $crate::ObventKind {
+                    $name::kind()
+                }
+
+                fn properties(&self) -> $crate::__private::psc_filter::Value {
+                    #[allow(unused_mut)]
+                    let mut record = match $crate::Obvent::properties(&self.__super) {
+                        $crate::__private::psc_filter::Value::Record(map) => map,
+                        _ => ::std::collections::BTreeMap::new(),
+                    };
+                    $(
+                        record.insert(
+                            ::std::stringify!($fname).to_string(),
+                            $crate::__private::psc_filter::IntoValue::to_value(&self.$fname),
+                        );
+                    )*
+                    $crate::__private::psc_filter::Value::Record(record)
+                }
+            }
+
+            impl $crate::__private::psc_filter::PropertySource for $name {
+                #[allow(unused_variables)]
+                fn property(
+                    &self,
+                    path: &$crate::__private::psc_filter::PropPath,
+                ) -> ::std::option::Option<$crate::__private::psc_filter::Value> {
+                    let (first, rest) = path.split_first()?;
+                    match first {
+                        $(
+                            ::std::stringify!($fname) => {
+                                let value =
+                                    $crate::__private::psc_filter::IntoValue::to_value(&self.$fname);
+                                if rest.is_empty() {
+                                    ::std::option::Option::Some(value)
+                                } else {
+                                    $crate::__private::psc_filter::PropertySource::property(
+                                        &value, &rest,
+                                    )
+                                }
+                            }
+                        )*
+                        _ => $crate::__private::psc_filter::PropertySource::property(
+                            &self.__super,
+                            path,
+                        ),
+                    }
+                }
+            }
+
+            impl $crate::__private::psc_filter::IntoValue for $name {
+                fn to_value(&self) -> $crate::__private::psc_filter::Value {
+                    $crate::Obvent::properties(self)
+                }
+            }
+
+            #[doc = ::std::concat!(
+                "Typed filter schema for [`", ::std::stringify!($name),
+                "`]; accessor methods return typed property handles."
+            )]
+            #[derive(Debug, Clone, Copy, Default)]
+            $vis struct [<$name Schema>];
+
+            #[allow(dead_code)]
+            impl [<$name Schema>] {
+                $(
+                    /// Typed handle on this property for filter construction.
+                    $vis fn $fname(&self) -> $crate::__private::psc_filter::typed::Prop<$fty> {
+                        $crate::__private::psc_filter::typed::prop(::std::stringify!($fname))
+                    }
+                )*
+            }
+
+            impl ::std::ops::Deref for [<$name Schema>] {
+                type Target = [<$super_ Schema>];
+
+                fn deref(&self) -> &[<$super_ Schema>] {
+                    static SUPER_SCHEMA: [<$super_ Schema>] = [<$super_ Schema>];
+                    &SUPER_SCHEMA
+                }
+            }
+        }
+    };
+    // ----- root class: no superclass -----
+    (
+        meta [$($meta:meta)*] vis [$vis:vis] name [$name:ident]
+        super []
+        ifaces [$($iface:ty),*]
+        fields [$($(#[$fmeta:meta])* $fname:ident : $fty:ty),*]
+    ) => {
+        $crate::__private::psc_paste::paste! {
+            $(#[$meta])*
+            #[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+            $vis struct $name {
+                $($(#[$fmeta])* $fname : $fty,)*
+            }
+
+            impl $name {
+                /// Creates a new obvent.
+                #[allow(clippy::too_many_arguments, dead_code)]
+                $vis fn new($($fname: $fty),*) -> Self {
+                    Self { $($fname),* }
+                }
+
+                $(
+                    /// Returns this property (generated accessor).
+                    #[allow(dead_code)]
+                    $vis fn $fname(&self) -> &$fty {
+                        &self.$fname
+                    }
+                )*
+
+                /// The interned kind descriptor; registers the class (and
+                /// its view decoder) on first use.
+                $vis fn kind() -> &'static $crate::ObventKind {
+                    static KIND: ::std::sync::OnceLock<&'static $crate::ObventKind> =
+                        ::std::sync::OnceLock::new();
+                    KIND.get_or_init(|| {
+                        #[allow(unused_mut)]
+                        let mut supers: ::std::vec::Vec<$crate::KindId> =
+                            ::std::vec![$crate::builtin::obvent_kind().id()];
+                        $(supers.push(<$iface>::kind().id());)*
+                        let kind = $crate::registry::register(
+                            ::std::concat!(::std::module_path!(), "::", ::std::stringify!($name)),
+                            $crate::registry::KIND_ROLE_CLASS,
+                            &supers,
+                        );
+                        $crate::registry::register_decoder(kind.id(), |payload| {
+                            let value: $name =
+                                $crate::__private::psc_codec::from_bytes(payload)
+                                    .map_err($crate::ObventError::from)?;
+                            ::std::result::Result::Ok($crate::Obvent::view(&value))
+                        });
+                        kind
+                    })
+                }
+
+                /// The typed filter schema for this class (LP1).
+                #[allow(dead_code)]
+                $vis fn schema() -> [<$name Schema>] {
+                    [<$name Schema>]
+                }
+            }
+
+            impl $crate::Obvent for $name {
+                fn kind() -> &'static $crate::ObventKind {
+                    $name::kind()
+                }
+
+                fn properties(&self) -> $crate::__private::psc_filter::Value {
+                    #[allow(unused_mut)]
+                    let mut record = ::std::collections::BTreeMap::new();
+                    $(
+                        record.insert(
+                            ::std::stringify!($fname).to_string(),
+                            $crate::__private::psc_filter::IntoValue::to_value(&self.$fname),
+                        );
+                    )*
+                    $crate::__private::psc_filter::Value::Record(record)
+                }
+            }
+
+            impl $crate::__private::psc_filter::PropertySource for $name {
+                #[allow(unused_variables)]
+                fn property(
+                    &self,
+                    path: &$crate::__private::psc_filter::PropPath,
+                ) -> ::std::option::Option<$crate::__private::psc_filter::Value> {
+                    let (first, rest) = path.split_first()?;
+                    match first {
+                        $(
+                            ::std::stringify!($fname) => {
+                                let value =
+                                    $crate::__private::psc_filter::IntoValue::to_value(&self.$fname);
+                                if rest.is_empty() {
+                                    ::std::option::Option::Some(value)
+                                } else {
+                                    $crate::__private::psc_filter::PropertySource::property(
+                                        &value, &rest,
+                                    )
+                                }
+                            }
+                        )*
+                        _ => ::std::option::Option::None,
+                    }
+                }
+            }
+
+            impl $crate::__private::psc_filter::IntoValue for $name {
+                fn to_value(&self) -> $crate::__private::psc_filter::Value {
+                    $crate::Obvent::properties(self)
+                }
+            }
+
+            #[doc = ::std::concat!(
+                "Typed filter schema for [`", ::std::stringify!($name),
+                "`]; accessor methods return typed property handles."
+            )]
+            #[derive(Debug, Clone, Copy, Default)]
+            $vis struct [<$name Schema>];
+
+            #[allow(dead_code)]
+            impl [<$name Schema>] {
+                $(
+                    /// Typed handle on this property for filter construction.
+                    $vis fn $fname(&self) -> $crate::__private::psc_filter::typed::Prop<$fty> {
+                        $crate::__private::psc_filter::typed::prop(::std::stringify!($fname))
+                    }
+                )*
+            }
+        }
+    };
+}
+
+/// Declares an application-defined abstract obvent type (interface): a
+/// stateless marker participating in multiple subtyping (LM2).
+///
+/// ```
+/// use psc_obvent::{declare_obvent_interface, declare_obvent_model, Obvent};
+///
+/// declare_obvent_interface! {
+///     /// All market-data obvents.
+///     pub interface MarketData;
+/// }
+/// declare_obvent_interface! {
+///     /// Reliable market data.
+///     pub interface ReliableMarketData extends [MarketData, psc_obvent::builtin::Reliable];
+/// }
+/// declare_obvent_model! {
+///     pub class IndexTick implements [ReliableMarketData] { value: f64 }
+/// }
+///
+/// assert!(IndexTick::kind().is_subtype_of(MarketData::kind().id()));
+/// ```
+#[macro_export]
+macro_rules! declare_obvent_interface {
+    (
+        $(#[$meta:meta])*
+        $vis:vis interface $name:ident;
+    ) => {
+        $crate::declare_obvent_interface! {
+            $(#[$meta])*
+            $vis interface $name extends [];
+        }
+    };
+    (
+        $(#[$meta:meta])*
+        $vis:vis interface $name:ident extends [$($sup:ty),* $(,)?];
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+        $vis struct $name;
+
+        impl $name {
+            /// The interned kind descriptor; registers the interface on
+            /// first use.
+            $vis fn kind() -> &'static $crate::ObventKind {
+                static KIND: ::std::sync::OnceLock<&'static $crate::ObventKind> =
+                    ::std::sync::OnceLock::new();
+                KIND.get_or_init(|| {
+                    #[allow(unused_mut)]
+                    let mut supers: ::std::vec::Vec<$crate::KindId> = ::std::vec::Vec::new();
+                    $(supers.push(<$sup>::kind().id());)*
+                    if supers.is_empty() {
+                        supers.push($crate::builtin::obvent_kind().id());
+                    }
+                    $crate::registry::register(
+                        ::std::concat!(::std::module_path!(), "::", ::std::stringify!($name)),
+                        $crate::registry::KIND_ROLE_INTERFACE,
+                        &supers,
+                    )
+                })
+            }
+        }
+    };
+}

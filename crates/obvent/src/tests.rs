@@ -1,0 +1,605 @@
+use proptest::prelude::*;
+
+use psc_filter::{PropPath, PropertySource, Value};
+
+use crate::builtin::{self, CausalOrder, Certified, FifoOrder, Prioritary, Reliable, Timely, TotalOrder};
+use crate::qos::{Delivery, Ordering, QosConflict, QosSpec};
+use crate::{
+    declare_obvent_interface, declare_obvent_model, KindId, KindRole, Obvent, ObventError,
+    WireObvent,
+};
+
+// --- the paper's stock-trade hierarchy (Figs. 1 and 2) ---
+
+declare_obvent_model! {
+    /// Base class of Fig. 2.
+    pub class StockObvent {
+        company: String,
+        price: f64,
+        amount: u32,
+    }
+}
+
+declare_obvent_model! {
+    pub class StockQuote extends StockObvent {}
+}
+
+declare_obvent_model! {
+    pub class StockRequest extends StockObvent {
+        broker: String,
+    }
+}
+
+declare_obvent_model! {
+    pub class SpotPrice extends StockRequest {}
+}
+
+declare_obvent_model! {
+    pub class MarketPrice extends StockRequest {
+        deadline_ms: u64,
+    }
+}
+
+fn quote(company: &str, price: f64, amount: u32) -> StockQuote {
+    StockQuote::new(StockObvent::new(company.into(), price, amount))
+}
+
+mod kinds {
+    use super::*;
+
+    #[test]
+    fn kind_ids_are_stable_name_hashes() {
+        assert_eq!(
+            StockQuote::kind_id(),
+            KindId::from_name(StockQuote::kind().name())
+        );
+        assert_ne!(StockQuote::kind_id(), StockObvent::kind_id());
+    }
+
+    #[test]
+    fn fig1_subtype_relations() {
+        // Subscribing to StockObvent captures quotes and both request kinds.
+        let base = StockObvent::kind_id();
+        assert!(StockQuote::kind().is_subtype_of(base));
+        assert!(StockRequest::kind().is_subtype_of(base));
+        assert!(SpotPrice::kind().is_subtype_of(base));
+        assert!(MarketPrice::kind().is_subtype_of(base));
+        // ... but not the other way around.
+        assert!(!StockObvent::kind().is_subtype_of(StockQuote::kind_id()));
+        // Siblings are unrelated.
+        assert!(!StockQuote::kind().is_subtype_of(StockRequest::kind_id()));
+        assert!(!SpotPrice::kind().is_subtype_of(MarketPrice::kind_id()));
+    }
+
+    #[test]
+    fn every_class_subtypes_the_root_obvent_interface() {
+        for kind in [StockObvent::kind(), SpotPrice::kind(), MarketPrice::kind()] {
+            assert!(kind.is_subtype_of(builtin::obvent_kind().id()));
+        }
+    }
+
+    #[test]
+    fn roles_are_tracked() {
+        assert_eq!(StockQuote::kind().role(), KindRole::Class);
+        assert_eq!(builtin::reliable_kind().role(), KindRole::Interface);
+    }
+
+    #[test]
+    fn registry_lists_subtypes() {
+        // Touch all kinds first (lazy registration).
+        let _ = (
+            StockQuote::kind(),
+            SpotPrice::kind(),
+            MarketPrice::kind(),
+        );
+        let subs = crate::registry::subtypes_of(StockObvent::kind_id());
+        let names: Vec<&str> = subs.iter().map(|k| k.name()).collect();
+        assert!(names.iter().any(|n| n.ends_with("StockQuote")));
+        assert!(names.iter().any(|n| n.ends_with("SpotPrice")));
+        assert!(names.iter().any(|n| n.ends_with("MarketPrice")));
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let a = StockQuote::kind();
+        let b = StockQuote::kind();
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(crate::registry::lookup(a.id()), Some(a).map(|k| k));
+    }
+}
+
+mod inheritance {
+    use super::*;
+
+    #[test]
+    fn inherited_accessors_via_deref() {
+        let q = quote("Telco Mobiles", 80.0, 10);
+        assert_eq!(q.company(), "Telco Mobiles");
+        assert_eq!(*q.price(), 80.0);
+        assert_eq!(*q.amount(), 10);
+        // Two levels deep.
+        let spot = SpotPrice::new(StockRequest::new(
+            StockObvent::new("Banco".into(), 42.0, 5),
+            "alice".into(),
+        ));
+        assert_eq!(spot.company(), "Banco");
+        assert_eq!(spot.broker(), "alice");
+    }
+
+    #[test]
+    fn properties_flatten_the_inheritance_chain() {
+        let mp = MarketPrice::new(
+            StockRequest::new(StockObvent::new("Telco".into(), 99.5, 3), "bob".into()),
+            1_000,
+        );
+        let props = mp.properties();
+        assert_eq!(
+            props.property(&PropPath::parse("company")),
+            Some(Value::from("Telco"))
+        );
+        assert_eq!(
+            props.property(&PropPath::parse("broker")),
+            Some(Value::from("bob"))
+        );
+        assert_eq!(
+            props.property(&PropPath::parse("deadline_ms")),
+            Some(Value::UInt(1_000))
+        );
+    }
+
+    #[test]
+    fn direct_property_lookup_matches_record_lookup() {
+        let mp = MarketPrice::new(
+            StockRequest::new(StockObvent::new("Telco".into(), 99.5, 3), "bob".into()),
+            1_000,
+        );
+        for path in ["company", "price", "amount", "broker", "deadline_ms"] {
+            let p = PropPath::parse(path);
+            assert_eq!(
+                PropertySource::property(&mp, &p),
+                mp.properties().property(&p),
+                "path {path}"
+            );
+        }
+        assert_eq!(PropertySource::property(&mp, &PropPath::parse("nope")), None);
+    }
+
+    #[test]
+    fn schemas_inherit_accessors() {
+        let schema = StockQuote::schema();
+        // Own schema derefs to the superclass schema for inherited fields.
+        let f = (schema.price().lt(100.0) & schema.company().contains("Telco")).into_filter();
+        assert!(f.matches(&quote("Telco", 80.0, 1)));
+        assert!(!f.matches(&quote("Banco", 80.0, 1)));
+    }
+}
+
+mod nested {
+    use super::*;
+
+    declare_obvent_model! {
+        /// An obvent nesting another unbound object (§2.1.1).
+        pub class Enriched {
+            quote: StockQuote,
+            note: String,
+        }
+    }
+
+    #[test]
+    fn nested_obvents_expose_nested_paths() {
+        let e = Enriched::new(quote("Telco", 80.0, 1), "hot".into());
+        assert_eq!(
+            PropertySource::property(&e, &PropPath::parse("quote.company")),
+            Some(Value::from("Telco"))
+        );
+        assert_eq!(
+            PropertySource::property(&e, &PropPath::parse("note")),
+            Some(Value::from("hot"))
+        );
+        let f = psc_filter::rfilter!(quote.price < 100.0 && note == "hot");
+        assert!(f.matches(&e));
+    }
+
+    #[test]
+    fn nested_obvents_roundtrip_on_the_wire() {
+        let e = Enriched::new(quote("Telco", 80.0, 1), "hot".into());
+        let wire = WireObvent::encode(&e).unwrap();
+        let back: Enriched = wire.decode_exact().unwrap();
+        assert_eq!(back, e);
+    }
+}
+
+mod wire {
+    use super::*;
+
+    #[test]
+    fn decode_as_supertype_yields_fresh_clone() {
+        let q = quote("Telco", 80.0, 10);
+        let wire = WireObvent::encode(&q).unwrap();
+        assert_eq!(wire.kind_id(), StockQuote::kind_id());
+
+        let as_base: StockObvent = wire.decode_as().unwrap();
+        assert_eq!(as_base.company(), "Telco");
+        let as_self: StockQuote = wire.decode_as().unwrap();
+        assert_eq!(as_self, q);
+
+        // Uniqueness: every decode is a distinct value (clone semantics).
+        let c1: StockQuote = wire.decode_as().unwrap();
+        let c2: StockQuote = wire.decode_as().unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn decode_as_unrelated_type_is_rejected() {
+        let q = quote("Telco", 80.0, 10);
+        let wire = WireObvent::encode(&q).unwrap();
+        let err = wire.decode_as::<StockRequest>().unwrap_err();
+        assert!(matches!(err, ObventError::NotASubtype { .. }));
+        // decode_exact requires the precise dynamic type.
+        assert!(matches!(
+            wire.decode_exact::<StockObvent>(),
+            Err(ObventError::NotASubtype { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_is_reported() {
+        let wire = WireObvent::from_parts(KindId::from_name("no.such.Kind"), vec![]);
+        assert!(matches!(
+            wire.decode_as::<StockObvent>(),
+            Err(ObventError::UnknownKind(_))
+        ));
+        assert!(matches!(wire.view(), Err(ObventError::NoDecoder(_))));
+    }
+
+    #[test]
+    fn corrupt_payload_is_a_codec_error() {
+        let q = quote("Telco", 80.0, 10);
+        let mut wire = WireObvent::encode(&q).unwrap();
+        wire = WireObvent::from_parts(wire.kind_id(), wire.payload()[..2].to_vec());
+        assert!(matches!(
+            wire.decode_as::<StockQuote>(),
+            Err(ObventError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn views_carry_kind_and_properties() {
+        let q = quote("Telco", 80.0, 10);
+        let wire = WireObvent::encode(&q).unwrap();
+        let view = wire.view().unwrap();
+        assert_eq!(view.kind_id(), StockQuote::kind_id());
+        assert!(view.is_instance_of(StockObvent::kind_id()));
+        assert_eq!(view.number_at("price"), Some(80.0));
+        assert_eq!(view.string_at("company"), Some("Telco".into()));
+        assert_eq!(view.string_at("missing"), None);
+    }
+
+    #[test]
+    fn wire_obvent_itself_roundtrips_through_codec() {
+        let q = quote("Telco", 80.0, 10);
+        let wire = WireObvent::encode(&q).unwrap();
+        let bytes = psc_codec::to_bytes(&wire).unwrap();
+        let back: WireObvent = psc_codec::from_bytes(&bytes).unwrap();
+        assert_eq!(back, wire);
+        let decoded: StockQuote = back.decode_as().unwrap();
+        assert_eq!(decoded, q);
+    }
+}
+
+mod qos_lattice {
+    use super::*;
+
+    declare_obvent_model! {
+        pub class PlainEvent { n: u32 }
+    }
+    declare_obvent_model! {
+        pub class ReliableEvent implements [Reliable] { n: u32 }
+    }
+    declare_obvent_model! {
+        pub class CertifiedEvent implements [Certified] { n: u32 }
+    }
+    declare_obvent_model! {
+        pub class FifoEvent implements [FifoOrder] { n: u32 }
+    }
+    declare_obvent_model! {
+        pub class CausalEvent implements [CausalOrder] { n: u32 }
+    }
+    declare_obvent_model! {
+        pub class TotalEvent implements [TotalOrder] { n: u32 }
+    }
+    declare_obvent_model! {
+        /// Paper: "obvents can be certified and totally ordered at the same
+        /// time".
+        pub class CertifiedTotalEvent implements [Certified, TotalOrder] { n: u32 }
+    }
+    declare_obvent_model! {
+        pub class TimelyEvent implements [Timely] {
+            n: u32,
+            ttl_ms: u64,
+            birth_ms: u64,
+        }
+    }
+    declare_obvent_model! {
+        pub class PriorityEvent implements [Prioritary] {
+            n: u32,
+            priority: i32,
+        }
+    }
+    declare_obvent_model! {
+        /// Conflict: reliable + timely — reliability must win (Fig. 4).
+        pub class ReliableTimelyEvent implements [Reliable, Timely] {
+            n: u32,
+            ttl_ms: u64,
+            birth_ms: u64,
+        }
+    }
+    declare_obvent_model! {
+        /// Conflict: ordered + prioritized — ordering must win (Fig. 4).
+        pub class FifoPriorityEvent implements [FifoOrder, Prioritary] {
+            n: u32,
+            priority: i32,
+        }
+    }
+
+    #[test]
+    fn default_is_unreliable_unordered() {
+        let qos = PlainEvent::kind().qos();
+        assert_eq!(qos.delivery, Delivery::Unreliable);
+        assert_eq!(qos.ordering, Ordering::None);
+        assert!(qos.is_default());
+    }
+
+    #[test]
+    fn delivery_ladder() {
+        assert_eq!(ReliableEvent::kind().qos().delivery, Delivery::Reliable);
+        assert_eq!(CertifiedEvent::kind().qos().delivery, Delivery::Certified);
+        // Certified extends Reliable in the marker hierarchy itself.
+        assert!(builtin::certified_kind().is_subtype_of(builtin::reliable_kind().id()));
+    }
+
+    #[test]
+    fn ordering_ladder_and_reliability_implication() {
+        assert_eq!(FifoEvent::kind().qos().ordering, Ordering::Fifo);
+        assert_eq!(CausalEvent::kind().qos().ordering, Ordering::Causal);
+        assert_eq!(TotalEvent::kind().qos().ordering, Ordering::Total);
+        // Fig. 3: the order markers extend Reliable, so ordered kinds are
+        // at least reliable.
+        assert_eq!(FifoEvent::kind().qos().delivery, Delivery::Reliable);
+        assert_eq!(CausalEvent::kind().qos().delivery, Delivery::Reliable);
+        assert_eq!(TotalEvent::kind().qos().delivery, Delivery::Reliable);
+        // CausalOrder extends FIFOOrder.
+        assert!(builtin::causal_order_kind().is_subtype_of(builtin::fifo_order_kind().id()));
+    }
+
+    #[test]
+    fn semantics_compose() {
+        let qos = CertifiedTotalEvent::kind().qos();
+        assert_eq!(qos.delivery, Delivery::Certified);
+        assert_eq!(qos.ordering, Ordering::Total);
+        assert!(qos.conflicts.is_empty());
+    }
+
+    #[test]
+    fn transmission_semantics() {
+        assert!(TimelyEvent::kind().qos().transmission.timely);
+        assert!(PriorityEvent::kind().qos().transmission.prioritary);
+    }
+
+    #[test]
+    fn reliability_beats_timeliness() {
+        let qos = ReliableTimelyEvent::kind().qos();
+        assert_eq!(qos.delivery, Delivery::Reliable);
+        assert!(!qos.transmission.timely);
+        assert!(qos
+            .conflicts
+            .contains(&QosConflict::TimelinessSuppressedByReliability));
+    }
+
+    #[test]
+    fn ordering_beats_priority() {
+        let qos = FifoPriorityEvent::kind().qos();
+        assert_eq!(qos.ordering, Ordering::Fifo);
+        assert!(!qos.transmission.prioritary);
+        assert!(qos
+            .conflicts
+            .contains(&QosConflict::PrioritySuppressedByOrdering));
+    }
+
+    #[test]
+    fn is_at_least_follows_fig4_arrows() {
+        let certified_total = CertifiedTotalEvent::kind().qos();
+        let reliable = ReliableEvent::kind().qos();
+        let fifo = FifoEvent::kind().qos();
+        let causal = CausalEvent::kind().qos();
+        assert!(certified_total.is_at_least(reliable));
+        assert!(causal.is_at_least(fifo));
+        assert!(!fifo.is_at_least(causal));
+        assert!(!reliable.is_at_least(certified_total));
+    }
+
+    proptest! {
+        /// Resolution is monotone: adding markers never weakens delivery.
+        #[test]
+        fn prop_resolution_monotone_in_markers(
+            base_markers in proptest::sample::subsequence(
+                vec!["reliable", "certified", "fifo", "causal", "total"], 0..3),
+            extra in proptest::sample::select(
+                vec!["reliable", "certified", "fifo", "causal", "total"]),
+        ) {
+            fn ancestry_for(markers: &[&str]) -> Vec<KindId> {
+                let mut ids = vec![builtin::obvent_kind().id()];
+                for m in markers {
+                    let kind = match *m {
+                        "reliable" => builtin::reliable_kind(),
+                        "certified" => builtin::certified_kind(),
+                        "fifo" => builtin::fifo_order_kind(),
+                        "causal" => builtin::causal_order_kind(),
+                        "total" => builtin::total_order_kind(),
+                        _ => unreachable!(),
+                    };
+                    for anc in kind.ancestry() {
+                        if !ids.contains(anc) {
+                            ids.push(*anc);
+                        }
+                    }
+                }
+                ids
+            }
+            let base: Vec<&str> = base_markers.clone();
+            let mut extended = base.clone();
+            extended.push(extra);
+            let q1 = QosSpec::resolve(&ancestry_for(&base));
+            let q2 = QosSpec::resolve(&ancestry_for(&extended));
+            prop_assert!(q2.delivery >= q1.delivery);
+        }
+    }
+}
+
+mod interfaces {
+    use super::*;
+
+    declare_obvent_interface! {
+        /// Application-defined abstract obvent type.
+        pub interface Alerting;
+    }
+    declare_obvent_interface! {
+        pub interface CriticalAlerting extends [Alerting, Reliable];
+    }
+    declare_obvent_model! {
+        pub class DiskFullAlert implements [CriticalAlerting] {
+            host: String,
+        }
+    }
+
+    #[test]
+    fn interface_hierarchies_compose() {
+        assert!(CriticalAlerting::kind().is_subtype_of(Alerting::kind().id()));
+        assert!(DiskFullAlert::kind().is_subtype_of(Alerting::kind().id()));
+        assert!(DiskFullAlert::kind().is_subtype_of(builtin::reliable_kind().id()));
+        assert_eq!(DiskFullAlert::kind().qos().delivery, Delivery::Reliable);
+    }
+
+    #[test]
+    fn interface_instances_reach_views() {
+        let alert = DiskFullAlert::new("node-7".into());
+        let wire = WireObvent::encode(&alert).unwrap();
+        let view = wire.view().unwrap();
+        assert!(view.is_instance_of(Alerting::kind().id()));
+        assert_eq!(view.string_at("host"), Some("node-7".into()));
+    }
+}
+
+mod proptests {
+    use super::*;
+
+    proptest! {
+        #[test]
+        fn prop_wire_roundtrip(company in ".{0,12}", price: f64, amount: u32) {
+            let q = quote(&company, price, amount);
+            let wire = WireObvent::encode(&q).unwrap();
+            let back: StockQuote = wire.decode_as().unwrap();
+            // NaN-tolerant comparison.
+            prop_assert_eq!(back.company(), q.company());
+            prop_assert_eq!(back.price().to_bits(), q.price().to_bits());
+            prop_assert_eq!(back.amount(), q.amount());
+        }
+
+        /// Prefix decoding as the supertype agrees with the subtype's own
+        /// inherited fields — the coherence law behind §2.1.3.
+        #[test]
+        fn prop_supertype_decode_coherent(company in ".{0,12}", price: f64, amount: u32, broker in ".{0,8}") {
+            let req = StockRequest::new(
+                StockObvent::new(company, price, amount),
+                broker,
+            );
+            let wire = WireObvent::encode(&req).unwrap();
+            let base: StockObvent = wire.decode_as().unwrap();
+            prop_assert_eq!(base.company(), req.company());
+            prop_assert_eq!(base.price().to_bits(), req.price().to_bits());
+            prop_assert_eq!(base.amount(), req.amount());
+        }
+    }
+}
+
+mod edge_shapes {
+    use super::*;
+
+    declare_obvent_model! {
+        /// A field-less obvent: pure signal.
+        pub class Heartbeat {}
+    }
+
+    declare_obvent_model! {
+        pub class L1 { a: u32 }
+    }
+    declare_obvent_model! {
+        pub class L2 extends L1 { b: u32 }
+    }
+    declare_obvent_model! {
+        pub class L3 extends L2 { c: u32 }
+    }
+    declare_obvent_model! {
+        pub class L4 extends L3 { d: u32 }
+    }
+
+    #[test]
+    fn field_less_obvents_work() {
+        let hb = Heartbeat::new();
+        let wire = WireObvent::encode(&hb).unwrap();
+        let back: Heartbeat = wire.decode_exact().unwrap();
+        assert_eq!(back, hb);
+        assert!(Heartbeat::kind().is_subtype_of(builtin::obvent_kind().id()));
+        assert_eq!(
+            PropertySource::property(&hb, &PropPath::parse("anything")),
+            None
+        );
+    }
+
+    #[test]
+    fn four_level_hierarchy_prefix_decodes_at_every_level() {
+        let leaf = L4::new(L3::new(L2::new(L1::new(1), 2), 3), 4);
+        // Deref chains all the way down.
+        assert_eq!(*leaf.a(), 1);
+        assert_eq!(*leaf.b(), 2);
+        assert_eq!(*leaf.c(), 3);
+        assert_eq!(*leaf.d(), 4);
+        let wire = WireObvent::encode(&leaf).unwrap();
+        let l1: L1 = wire.decode_as().unwrap();
+        assert_eq!(*l1.a(), 1);
+        let l2: L2 = wire.decode_as().unwrap();
+        assert_eq!((*l2.a(), *l2.b()), (1, 2));
+        let l3: L3 = wire.decode_as().unwrap();
+        assert_eq!(*l3.c(), 3);
+        for kind in [L1::kind_id(), L2::kind_id(), L3::kind_id()] {
+            assert!(L4::kind().is_subtype_of(kind));
+        }
+    }
+
+    declare_obvent_model! {
+        /// Optional and collection fields exercise the IntoValue impls.
+        pub class RichFields {
+            note: String,
+            maybe: Option<u32>,
+            tags: Vec<String>,
+        }
+    }
+
+    #[test]
+    fn optional_and_vector_fields_expose_properties() {
+        let r = RichFields::new("x".into(), Some(5), vec!["a".into(), "b".into()]);
+        assert_eq!(
+            r.property_at("maybe"),
+            Some(psc_filter::Value::UInt(5))
+        );
+        let none = RichFields::new("x".into(), None, vec![]);
+        assert_eq!(none.property_at("maybe"), Some(psc_filter::Value::Unit));
+        let f = psc_filter::rfilter!(tags contains "a");
+        assert!(f.matches(&r));
+        assert!(!f.matches(&none));
+        // Wire roundtrip with the richer field types.
+        let wire = WireObvent::encode(&r).unwrap();
+        let back: RichFields = wire.decode_exact().unwrap();
+        assert_eq!(back, r);
+    }
+}

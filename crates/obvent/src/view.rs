@@ -1,0 +1,86 @@
+//! Dynamic, self-describing obvent views.
+//!
+//! Typed subscriptions target obvent *classes* and hand the handler a fully
+//! typed clone. Subscriptions to *interfaces* — including the QoS markers —
+//! cannot produce a concrete struct, so they deliver an [`ObventView`]: the
+//! obvent's kind plus its property record. This mirrors the paper's
+//! "self-describing messages" reading of reflection-style subscriptions
+//! (§5.5.1) while keeping routing semantics identical (a subscription to a
+//! supertype receives all subtype instances).
+
+use serde::{Deserialize, Serialize};
+
+use psc_filter::{PropPath, PropertySource, Value};
+
+use crate::kind::KindId;
+use crate::qos::QosSpec;
+use crate::registry;
+
+/// A kind-tagged property record standing in for an obvent whose concrete
+/// type is not statically known.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObventView {
+    kind: KindId,
+    name: String,
+    props: Value,
+}
+
+impl ObventView {
+    /// Creates a view from a kind and its property record.
+    pub fn new(kind: KindId, name: impl Into<String>, props: Value) -> Self {
+        ObventView {
+            kind,
+            name: name.into(),
+            props,
+        }
+    }
+
+    /// The dynamic kind of the viewed obvent.
+    pub fn kind_id(&self) -> KindId {
+        self.kind
+    }
+
+    /// The kind's fully qualified name.
+    pub fn kind_name(&self) -> &str {
+        &self.name
+    }
+
+    /// The property record.
+    pub fn props(&self) -> &Value {
+        &self.props
+    }
+
+    /// True if the viewed obvent's kind is a (registered) subtype of `sup`.
+    pub fn is_instance_of(&self, sup: KindId) -> bool {
+        registry::is_subtype(self.kind, sup)
+    }
+
+    /// The resolved QoS of the viewed obvent's kind, if registered.
+    pub fn qos(&self) -> Option<QosSpec> {
+        registry::lookup(self.kind).map(|k| k.qos().clone())
+    }
+
+    /// Looks up one property by dot-separated path.
+    pub fn property_at(&self, path: &str) -> Option<Value> {
+        self.props.property(&PropPath::parse(path))
+    }
+
+    /// Typed convenience: the property as `f64` if numeric.
+    pub fn number_at(&self, path: &str) -> Option<f64> {
+        self.property_at(path).and_then(|v| v.as_f64())
+    }
+
+    /// Typed convenience: the property as a string.
+    pub fn string_at(&self, path: &str) -> Option<String> {
+        self.property_at(path).and_then(|v| match v {
+            Value::Str(s) => Some(s),
+            _ => None,
+        })
+    }
+}
+
+impl PropertySource for ObventView {
+    fn property(&self, path: &PropPath) -> Option<Value> {
+        self.props.property(path)
+    }
+}

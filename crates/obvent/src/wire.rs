@@ -1,0 +1,128 @@
+//! Obvents in transit.
+//!
+//! A [`WireObvent`] is what actually crosses the (simulated) network: the
+//! publisher serializes the obvent once, tags it with its dynamic kind, and
+//! every subscriber-side decode produces a **fresh clone** — reproducing the
+//! paper's global/local uniqueness rules (§2.1.2: distinct copies per
+//! notifiable, even within one address space, and new copies on republish).
+//!
+//! Decoding *as a supertype* works because an obvent subclass embeds its
+//! superclass as its first field and `psc-codec` writes struct fields
+//! in order with no framing: the superclass image is a prefix of the
+//! subclass image (see the `psc-codec` crate docs).
+
+use serde::{Deserialize, Serialize};
+
+use crate::kind::{KindId, ObventKind};
+use crate::obvent::{Obvent, ObventError};
+use crate::qos::QosSpec;
+use crate::registry;
+use crate::view::ObventView;
+
+/// A serialized obvent tagged with its dynamic kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireObvent {
+    kind: KindId,
+    payload: Vec<u8>,
+}
+
+impl WireObvent {
+    /// Serializes an obvent for transit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures (which the standard derives cannot
+    /// produce; custom `Serialize` impls could).
+    pub fn encode<O: Obvent>(obvent: &O) -> Result<WireObvent, ObventError> {
+        Ok(WireObvent {
+            kind: O::kind_id(),
+            payload: psc_codec::to_bytes(obvent)?,
+        })
+    }
+
+    /// Reconstructs a wire obvent from its parts (used when relaying
+    /// payloads the current process cannot decode).
+    pub fn from_parts(kind: KindId, payload: Vec<u8>) -> WireObvent {
+        WireObvent { kind, payload }
+    }
+
+    /// The dynamic kind of the carried obvent.
+    pub fn kind_id(&self) -> KindId {
+        self.kind
+    }
+
+    /// The kind descriptor, if this process has registered it.
+    pub fn kind(&self) -> Option<&'static ObventKind> {
+        registry::lookup(self.kind)
+    }
+
+    /// The serialized payload.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Size on the wire (payload plus kind tag), for bandwidth accounting.
+    pub fn wire_len(&self) -> usize {
+        self.payload.len() + 8
+    }
+
+    /// The resolved QoS of the carried obvent's kind; defaults to
+    /// best-effort/unordered when the kind is unknown here.
+    pub fn qos(&self) -> QosSpec {
+        self.kind()
+            .map(|k| k.qos().clone())
+            .unwrap_or_default()
+    }
+
+    /// Decodes the obvent **as type `K`**, which must be the obvent's
+    /// dynamic kind or one of its supertypes. Returns a fresh clone — each
+    /// call yields a distinct copy, implementing the paper's per-notifiable
+    /// uniqueness.
+    ///
+    /// # Errors
+    ///
+    /// - [`ObventError::UnknownKind`] if the dynamic kind is not registered
+    ///   in this process;
+    /// - [`ObventError::NotASubtype`] if the dynamic kind does not conform
+    ///   to `K`;
+    /// - [`ObventError::Codec`] if the payload is corrupt.
+    pub fn decode_as<K: Obvent>(&self) -> Result<K, ObventError> {
+        let actual = registry::lookup(self.kind).ok_or(ObventError::UnknownKind(self.kind))?;
+        if !actual.is_subtype_of(K::kind_id()) {
+            return Err(ObventError::NotASubtype {
+                actual: self.kind,
+                expected: K::kind_id(),
+            });
+        }
+        let (value, _consumed) = psc_codec::from_bytes_prefix(&self.payload)?;
+        Ok(value)
+    }
+
+    /// Decodes the obvent as exactly its dynamic type `K`, consuming the
+    /// whole payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ObventError::NotASubtype`] if `K` is not the exact dynamic kind;
+    /// [`ObventError::Codec`] if the payload is corrupt or has trailing
+    /// bytes.
+    pub fn decode_exact<K: Obvent>(&self) -> Result<K, ObventError> {
+        if self.kind != K::kind_id() {
+            return Err(ObventError::NotASubtype {
+                actual: self.kind,
+                expected: K::kind_id(),
+            });
+        }
+        Ok(psc_codec::from_bytes(&self.payload)?)
+    }
+
+    /// Decodes the obvent into its dynamic view via the registered decoder.
+    ///
+    /// # Errors
+    ///
+    /// [`ObventError::NoDecoder`] when the concrete class is unknown here;
+    /// payload decoding errors otherwise.
+    pub fn view(&self) -> Result<ObventView, ObventError> {
+        registry::decode_view(self.kind, &self.payload)
+    }
+}

@@ -1,0 +1,91 @@
+#![warn(missing_docs)]
+
+//! # psc-paste — identifier pasting for the obvent "precompiler"
+//!
+//! The paper's `psc` precompiler derives generated-artifact names from the
+//! obvent class name: for a class `C` it emits `CAdapter` (§4.3, Fig. 6).
+//! Declarative macros cannot concatenate identifiers, so this crate provides
+//! the one proc macro the reproduction needs: [`paste!`], a minimal clone of
+//! the well-known `paste` crate's `[<a b>]` syntax, implemented directly on
+//! `proc_macro` with no dependencies.
+//!
+//! Inside the macro body, a bracket group of the form `[<seg seg …>]` is
+//! replaced by a single identifier formed by concatenating the segments
+//! (identifiers, integer literals, or string literals). Everything else is
+//! passed through unchanged, recursively.
+//!
+//! ```ignore
+//! psc_paste::paste! {
+//!     struct [<Stock Quote Adapter>]; // expands to `struct StockQuoteAdapter;`
+//! }
+//! ```
+
+use proc_macro::{Delimiter, Group, Ident, Span, TokenStream, TokenTree};
+
+/// Pastes `[<…>]` identifier groups inside the body; see the crate docs.
+#[proc_macro]
+pub fn paste(input: TokenStream) -> TokenStream {
+    transform(input)
+}
+
+fn transform(input: TokenStream) -> TokenStream {
+    let mut out = Vec::<TokenTree>::new();
+    for tree in input {
+        match tree {
+            TokenTree::Group(group) => {
+                if let Some(ident) = try_paste_group(&group) {
+                    out.push(TokenTree::Ident(ident));
+                } else {
+                    let mut new_group =
+                        Group::new(group.delimiter(), transform(group.stream()));
+                    new_group.set_span(group.span());
+                    out.push(TokenTree::Group(new_group));
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Recognises `[< seg seg … >]` and returns the concatenated identifier.
+fn try_paste_group(group: &Group) -> Option<Ident> {
+    if group.delimiter() != Delimiter::Bracket {
+        return None;
+    }
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.len() < 2 {
+        return None;
+    }
+    match (&tokens[0], &tokens[tokens.len() - 1]) {
+        (TokenTree::Punct(open), TokenTree::Punct(close))
+            if open.as_char() == '<' && close.as_char() == '>' => {}
+        _ => return None,
+    }
+
+    let mut name = String::new();
+    let mut span: Option<Span> = None;
+    for token in &tokens[1..tokens.len() - 1] {
+        match token {
+            TokenTree::Ident(ident) => {
+                name.push_str(&ident.to_string());
+                span.get_or_insert_with(|| ident.span());
+            }
+            TokenTree::Literal(lit) => {
+                let text = lit.to_string();
+                // Strip quotes off string literals so `[<prefix "x">]` works.
+                let text = text.trim_matches('"');
+                name.push_str(text);
+                span.get_or_insert_with(|| lit.span());
+            }
+            TokenTree::Punct(p) if p.as_char() == '_' => {
+                name.push('_');
+            }
+            _ => return None,
+        }
+    }
+    if name.is_empty() {
+        return None;
+    }
+    Some(Ident::new(&name, span.unwrap_or_else(Span::call_site)))
+}

@@ -1,0 +1,72 @@
+//! Behavioural tests for the identifier-pasting macro.
+
+use psc_paste::paste;
+
+#[test]
+fn pastes_two_idents() {
+    paste! {
+        struct [<Foo Bar>];
+        impl [<Foo Bar>] {
+            fn answer() -> u32 {
+                42
+            }
+        }
+    }
+    assert_eq!(FooBar::answer(), 42);
+}
+
+#[test]
+fn pastes_ident_and_literal_suffix() {
+    paste! {
+        const [<LIMIT _ 2>]: u32 = 7;
+    }
+    assert_eq!(LIMIT_2, 7);
+}
+
+#[test]
+fn pastes_string_literal_segments() {
+    paste! {
+        fn [<get_ "price">]() -> f64 { 1.5 }
+    }
+    assert_eq!(get_price(), 1.5);
+}
+
+#[test]
+fn recurses_into_nested_groups() {
+    paste! {
+        mod generated {
+            pub fn [<nested fn_>]() -> bool {
+                true
+            }
+        }
+    }
+    assert!(generated::nestedfn_());
+}
+
+#[test]
+fn passes_ordinary_brackets_through() {
+    paste! {
+        fn first(xs: &[u32]) -> u32 {
+            xs[0]
+        }
+    }
+    assert_eq!(first(&[9, 8]), 9);
+}
+
+#[test]
+fn works_inside_macro_rules_expansion() {
+    macro_rules! make_adapter {
+        ($name:ident) => {
+            paste! {
+                struct [<$name Adapter>];
+                impl [<$name Adapter>] {
+                    fn name() -> &'static str {
+                        stringify!([<$name Adapter>])
+                    }
+                }
+            }
+        };
+    }
+    make_adapter!(Stock);
+    assert_eq!(StockAdapter::name(), "StockAdapter");
+}

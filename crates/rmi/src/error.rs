@@ -1,0 +1,55 @@
+//! The remote-invocation error type (Java's `RemoteException`).
+
+use std::fmt;
+
+use psc_codec::CodecError;
+
+/// Failure of a remote method invocation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RmiError {
+    /// The target object is not (or no longer) exported — e.g. it was
+    /// garbage-collected after its references expired.
+    NoSuchObject(u64),
+    /// The target object does not implement the named method.
+    NoSuchMethod(String),
+    /// Argument or result (de)serialization failed.
+    Codec(CodecError),
+    /// No reply within the invocation timeout.
+    Timeout,
+    /// The transport could not reach the remote node.
+    Transport(String),
+    /// The server-side method panicked or reported an application error.
+    Remote(String),
+    /// A registry lookup found no binding.
+    NotBound(String),
+}
+
+impl fmt::Display for RmiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RmiError::NoSuchObject(id) => write!(f, "no exported object {id}"),
+            RmiError::NoSuchMethod(name) => write!(f, "no remote method `{name}`"),
+            RmiError::Codec(err) => write!(f, "rmi marshalling failure: {err}"),
+            RmiError::Timeout => write!(f, "remote invocation timed out"),
+            RmiError::Transport(msg) => write!(f, "rmi transport failure: {msg}"),
+            RmiError::Remote(msg) => write!(f, "remote failure: {msg}"),
+            RmiError::NotBound(name) => write!(f, "name `{name}` is not bound"),
+        }
+    }
+}
+
+impl std::error::Error for RmiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RmiError::Codec(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for RmiError {
+    fn from(err: CodecError) -> Self {
+        RmiError::Codec(err)
+    }
+}

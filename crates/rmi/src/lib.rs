@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # psc-rmi — remote method invocation, the complementary paradigm
+//!
+//! The paper positions pub/sub and RMI as complements, not competitors
+//! (§5.4): "a combination of both represents a very powerful tool for
+//! devising distributed applications, e.g., by passing object references
+//! with obvents" (Fig. 8). This crate supplies that other half:
+//!
+//! - [`remote_iface!`] — the `rmic` analogue: from one trait declaration it
+//!   generates the typed client **stub** and server **skeleton** (dispatch),
+//!   exactly as the paper's `psc` is "the publish/subscribe counterpart to
+//!   the Java RMI compiler";
+//! - [`RmiRuntime`] — per-process runtime: object export, a name
+//!   [`registry`](RmiRuntime::bind), blocking invocations over the
+//!   in-process transport;
+//! - **distributed garbage collection** with two modes ([`DgcMode`]):
+//!   - [`DgcMode::Strong`] — reference counting exactly like classic Java
+//!     RMI, which exhibits the caveat of §5.4.2: "if a single subscriber
+//!     crashes, the remote object will never be garbage collected";
+//!   - [`DgcMode::Leases`] — the "weaker implementation … proposed in
+//!     [CNH99]": references expire unless renewed, so crashed proxy holders
+//!     cannot pin objects forever.
+//!
+//! Experiment E7 reproduces the leak and its fix; `examples/stock_trading`
+//! reproduces Fig. 8 end to end (quotes carrying a `StockMarket` reference
+//! that brokers invoke synchronously).
+//!
+//! Remote methods are fallible — the Rust rendition of Java's mandatory
+//! `throws RemoteException`: every generated trait method returns
+//! `Result<R, RmiError>`.
+
+mod error;
+mod macros;
+mod runtime;
+
+pub use error::RmiError;
+pub use runtime::{DgcMode, ObjectId, Proxy, RemoteRefData, RmiNetwork, RmiRuntime};
+
+#[doc(hidden)]
+pub mod __private {
+    pub use psc_codec;
+    pub use psc_paste;
+}
+
+#[cfg(test)]
+mod tests;

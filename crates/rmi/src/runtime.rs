@@ -1,0 +1,553 @@
+//! The per-process RMI runtime: export table, registry, invocation plumbing
+//! and distributed garbage collection.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use psc_simnet::inproc::{self, EndpointHandle, EndpointSender};
+use psc_simnet::NodeId;
+
+use crate::error::RmiError;
+
+/// Identifier of an exported object within its runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ObjectId(pub u64);
+
+/// A location-independent remote object reference — serializable, so it can
+/// travel **inside obvents** (the Fig. 8 collaboration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RemoteRefData {
+    /// Hosting node.
+    pub node: u64,
+    /// Exported object id at that node.
+    pub object: u64,
+}
+
+/// Distributed garbage-collection mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DgcMode {
+    /// Classic Java-RMI reference counting: an object lives while any proxy
+    /// holds a reference. A crashed proxy holder never sends `clean`, so
+    /// the object leaks (paper §5.4.2).
+    Strong,
+    /// Lease-based references ([CNH99]): a reference expires after
+    /// `ttl_ms` of the runtime's logical clock unless renewed; crashed
+    /// holders stop renewing and the object is collected.
+    Leases {
+        /// Lease validity in logical milliseconds.
+        ttl_ms: u64,
+    },
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+enum RmiMsg {
+    Call {
+        call: u64,
+        object: u64,
+        method: String,
+        args: Vec<u8>,
+    },
+    Reply {
+        call: u64,
+        result: Result<Vec<u8>, String>,
+    },
+    Dirty {
+        object: u64,
+    },
+    Clean {
+        object: u64,
+    },
+    Lookup {
+        call: u64,
+        name: String,
+    },
+    LookupReply {
+        call: u64,
+        found: Option<RemoteRefData>,
+    },
+}
+
+type DispatchFn = Arc<dyn Fn(&str, &[u8]) -> Result<Vec<u8>, RmiError> + Send + Sync>;
+
+struct Exported {
+    dispatch: DispatchFn,
+    /// Strong mode: outstanding remote references.
+    refcount: u64,
+    /// Lease mode: holder node → logical expiry (ms).
+    leases: HashMap<u64, u64>,
+    /// Pinned objects (e.g. registry-bound roots) are never collected.
+    pinned: bool,
+}
+
+struct RtInner {
+    node: NodeId,
+    sender: EndpointSender,
+    dgc: DgcMode,
+    /// Logical clock for leases (ms); advanced by tests/hosts via
+    /// [`RmiRuntime::tick`].
+    clock_ms: AtomicU64,
+    next_call: AtomicU64,
+    next_object: AtomicU64,
+    exported: Mutex<HashMap<u64, Exported>>,
+    pending: Mutex<HashMap<u64, Sender<Result<Vec<u8>, String>>>>,
+    pending_lookups: Mutex<HashMap<u64, Sender<Option<RemoteRefData>>>>,
+    names: Mutex<HashMap<String, RemoteRefData>>,
+    call_timeout: Duration,
+}
+
+/// A set of connected RMI runtimes (one per simulated process), built over
+/// the in-process transport.
+pub struct RmiNetwork {
+    runtimes: Vec<RmiRuntime>,
+}
+
+impl RmiNetwork {
+    /// Creates `n` connected runtimes with the given DGC mode.
+    pub fn new(n: usize, dgc: DgcMode) -> RmiNetwork {
+        let endpoints = inproc::network(n);
+        let runtimes = endpoints
+            .into_iter()
+            .map(|ep| RmiRuntime::over_endpoint(ep, dgc))
+            .collect();
+        RmiNetwork { runtimes }
+    }
+
+    /// The runtimes, index = node id.
+    pub fn runtimes(&self) -> &[RmiRuntime] {
+        &self.runtimes
+    }
+
+    /// Takes ownership of the runtimes.
+    pub fn into_runtimes(self) -> Vec<RmiRuntime> {
+        self.runtimes
+    }
+}
+
+/// One process's RMI runtime. Cloning shares the runtime.
+#[derive(Clone)]
+pub struct RmiRuntime {
+    inner: Arc<RtInner>,
+    // Keeps the receiver thread alive for the runtime's lifetime.
+    _receiver: Arc<EndpointHandle>,
+}
+
+impl RmiRuntime {
+    fn over_endpoint(endpoint: inproc::Endpoint, dgc: DgcMode) -> RmiRuntime {
+        let node = endpoint.id();
+        let inner_slot: Arc<Mutex<Option<Arc<RtInner>>>> = Arc::new(Mutex::new(None));
+        let slot = Arc::clone(&inner_slot);
+        let handle = endpoint.spawn_receiver(move |incoming| {
+            let inner = slot.lock().clone();
+            if let Some(inner) = inner {
+                inner.handle(incoming.from, &incoming.payload);
+            }
+        });
+        let inner = Arc::new(RtInner {
+            node,
+            sender: handle.sender(),
+            dgc,
+            clock_ms: AtomicU64::new(0),
+            next_call: AtomicU64::new(1),
+            next_object: AtomicU64::new(1),
+            exported: Mutex::new(HashMap::new()),
+            pending: Mutex::new(HashMap::new()),
+            pending_lookups: Mutex::new(HashMap::new()),
+            names: Mutex::new(HashMap::new()),
+            call_timeout: Duration::from_secs(5),
+        });
+        *inner_slot.lock() = Some(Arc::clone(&inner));
+        RmiRuntime {
+            inner,
+            _receiver: Arc::new(handle),
+        }
+    }
+
+    /// This runtime's node id.
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    /// Advances the logical lease clock by `ms` and collects expired
+    /// references (lease mode only).
+    pub fn tick(&self, ms: u64) {
+        self.inner.clock_ms.fetch_add(ms, Ordering::SeqCst);
+        if let DgcMode::Leases { .. } = self.inner.dgc {
+            self.collect_expired();
+        }
+    }
+
+    /// Exports an object with a raw dispatch function; generated skeletons
+    /// call this. Returns the reference to hand out.
+    pub fn export_raw(&self, dispatch: DispatchFn) -> RemoteRefData {
+        let object = self.inner.next_object.fetch_add(1, Ordering::SeqCst);
+        self.inner.exported.lock().insert(
+            object,
+            Exported {
+                dispatch,
+                refcount: 0,
+                leases: HashMap::new(),
+                pinned: false,
+            },
+        );
+        RemoteRefData {
+            node: self.inner.node.0,
+            object,
+        }
+    }
+
+    /// Pins an exported object so DGC never collects it (registry roots).
+    pub fn pin(&self, object: ObjectId) {
+        if let Some(entry) = self.inner.exported.lock().get_mut(&object.0) {
+            entry.pinned = true;
+        }
+    }
+
+    /// True while the object is exported (not collected).
+    pub fn is_exported(&self, object: ObjectId) -> bool {
+        self.inner.exported.lock().contains_key(&object.0)
+    }
+
+    /// Binds `name` to a reference in this runtime's registry and pins the
+    /// object if it is local.
+    pub fn bind(&self, name: impl Into<String>, ref_: RemoteRefData) {
+        if ref_.node == self.inner.node.0 {
+            self.pin(ObjectId(ref_.object));
+        }
+        self.inner.names.lock().insert(name.into(), ref_);
+    }
+
+    /// Looks a name up in a (possibly remote) runtime's registry.
+    ///
+    /// # Errors
+    ///
+    /// [`RmiError::NotBound`] when the name is unknown; transport and
+    /// timeout failures otherwise.
+    pub fn lookup(&self, node: NodeId, name: &str) -> Result<RemoteRefData, RmiError> {
+        if node == self.inner.node {
+            return self
+                .inner
+                .names
+                .lock()
+                .get(name)
+                .copied()
+                .ok_or_else(|| RmiError::NotBound(name.to_string()));
+        }
+        let call = self.inner.next_call.fetch_add(1, Ordering::SeqCst);
+        let (tx, rx) = bounded(1);
+        self.inner.pending_lookups.lock().insert(call, tx);
+        self.send(
+            node,
+            &RmiMsg::Lookup {
+                call,
+                name: name.to_string(),
+            },
+        )?;
+        match rx.recv_timeout(self.inner.call_timeout) {
+            Ok(Some(found)) => Ok(found),
+            Ok(None) => Err(RmiError::NotBound(name.to_string())),
+            Err(_) => {
+                self.inner.pending_lookups.lock().remove(&call);
+                Err(RmiError::Timeout)
+            }
+        }
+    }
+
+    /// Performs a blocking remote invocation; generated stubs call this.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RmiError`]; `NoSuchObject` when DGC already collected the
+    /// target.
+    pub fn invoke(
+        &self,
+        target: RemoteRefData,
+        method: &str,
+        args: Vec<u8>,
+    ) -> Result<Vec<u8>, RmiError> {
+        if target.node == self.inner.node.0 {
+            // Local fast path, still through the dispatch for uniformity.
+            let dispatch = {
+                let exported = self.inner.exported.lock();
+                let entry = exported
+                    .get(&target.object)
+                    .ok_or(RmiError::NoSuchObject(target.object))?;
+                Arc::clone(&entry.dispatch)
+            };
+            return dispatch(method, &args);
+        }
+        let call = self.inner.next_call.fetch_add(1, Ordering::SeqCst);
+        let (tx, rx) = bounded(1);
+        self.inner.pending.lock().insert(call, tx);
+        self.send(
+            NodeId(target.node),
+            &RmiMsg::Call {
+                call,
+                object: target.object,
+                method: method.to_string(),
+                args,
+            },
+        )?;
+        match rx.recv_timeout(self.inner.call_timeout) {
+            Ok(Ok(bytes)) => Ok(bytes),
+            Ok(Err(msg)) => Err(decode_remote_error(&msg, target.object)),
+            Err(_) => {
+                self.inner.pending.lock().remove(&call);
+                Err(RmiError::Timeout)
+            }
+        }
+    }
+
+    /// Registers interest in a remote object (RMI `dirty`), returning a
+    /// [`Proxy`] guard whose drop sends `clean`. This is the step a crashed
+    /// subscriber never completes — the root of the §5.4.2 leak in strong
+    /// mode.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn attach(&self, target: RemoteRefData) -> Result<Proxy, RmiError> {
+        if target.node != self.inner.node.0 {
+            self.send(NodeId(target.node), &RmiMsg::Dirty { object: target.object })?;
+        } else {
+            self.local_dirty(target.object, self.inner.node.0);
+        }
+        Ok(Proxy {
+            runtime: self.clone(),
+            target,
+            disarmed: false,
+        })
+    }
+
+    /// Renews the lease on a remote object (lease mode; no-op in strong
+    /// mode beyond a duplicate `dirty`).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn renew(&self, target: RemoteRefData) -> Result<(), RmiError> {
+        if target.node != self.inner.node.0 {
+            self.send(NodeId(target.node), &RmiMsg::Dirty { object: target.object })
+        } else {
+            self.local_dirty(target.object, self.inner.node.0);
+            Ok(())
+        }
+    }
+
+    /// Collects every unpinned object with no live references (zero
+    /// refcount in strong mode; all leases expired in lease mode). Returns
+    /// the collected object ids.
+    pub fn collect_expired(&self) -> Vec<ObjectId> {
+        self.inner.collect_now()
+    }
+
+    /// Number of currently exported (uncollected) objects.
+    pub fn exported_count(&self) -> usize {
+        self.inner.exported.lock().len()
+    }
+
+    fn send(&self, to: NodeId, msg: &RmiMsg) -> Result<(), RmiError> {
+        self.inner.send(to, msg)
+    }
+
+    fn local_dirty(&self, object: u64, from: u64) {
+        self.inner.local_dirty(object, from);
+    }
+
+}
+
+impl RtInner {
+    fn send(&self, to: NodeId, msg: &RmiMsg) -> Result<(), RmiError> {
+        let bytes = psc_codec::to_bytes(msg)?;
+        self.sender
+            .send(to, bytes)
+            .map_err(|e| RmiError::Transport(e.to_string()))
+    }
+
+    fn local_dirty(&self, object: u64, from: u64) {
+        let now = self.clock_ms.load(Ordering::SeqCst);
+        let mut exported = self.exported.lock();
+        if let Some(entry) = exported.get_mut(&object) {
+            match self.dgc {
+                DgcMode::Strong => entry.refcount += 1,
+                DgcMode::Leases { ttl_ms } => {
+                    entry.leases.insert(from, now + ttl_ms);
+                }
+            }
+        }
+    }
+
+    fn local_clean(&self, object: u64, from: u64) {
+        let mut exported = self.exported.lock();
+        if let Some(entry) = exported.get_mut(&object) {
+            match self.dgc {
+                DgcMode::Strong => entry.refcount = entry.refcount.saturating_sub(1),
+                DgcMode::Leases { .. } => {
+                    entry.leases.remove(&from);
+                }
+            }
+        }
+        drop(exported);
+        // Strong mode collects eagerly on clean; lease mode collects on
+        // tick.
+        if matches!(self.dgc, DgcMode::Strong) {
+            self.collect_now();
+        }
+    }
+
+    fn collect_now(&self) -> Vec<ObjectId> {
+        let now = self.clock_ms.load(Ordering::SeqCst);
+        let mut collected = Vec::new();
+        let mut exported = self.exported.lock();
+        exported.retain(|&object, entry| {
+            if entry.pinned {
+                return true;
+            }
+            let live = match self.dgc {
+                DgcMode::Strong => entry.refcount > 0,
+                DgcMode::Leases { .. } => {
+                    entry.leases.retain(|_, &mut expiry| expiry > now);
+                    !entry.leases.is_empty() || entry.refcount > 0
+                }
+            };
+            if !live {
+                collected.push(ObjectId(object));
+            }
+            live
+        });
+        collected
+    }
+
+    fn handle(self: &Arc<Self>, from: NodeId, payload: &[u8]) {
+        let Ok(msg) = psc_codec::from_bytes::<RmiMsg>(payload) else {
+            return;
+        };
+        match msg {
+            RmiMsg::Call {
+                call,
+                object,
+                method,
+                args,
+            } => {
+                let dispatch = {
+                    let exported = self.exported.lock();
+                    exported.get(&object).map(|e| Arc::clone(&e.dispatch))
+                };
+                // Dispatch on its own thread so a server method can itself
+                // perform remote invocations (nested callbacks, e.g. the
+                // market invoking the buyer passed to Fig. 8's `buy`)
+                // without deadlocking the receiver loop.
+                let inner = Arc::clone(self);
+                std::thread::Builder::new()
+                    .name(format!("rmi-dispatch-{call}"))
+                    .spawn(move || {
+                        let result = match dispatch {
+                            Some(dispatch) => {
+                                dispatch(&method, &args).map_err(|e| encode_remote_error(&e))
+                            }
+                            None => Err(format!("__no_such_object:{object}")),
+                        };
+                        let _ = inner.send(from, &RmiMsg::Reply { call, result });
+                    })
+                    .expect("spawn rmi dispatch thread");
+            }
+            RmiMsg::Reply { call, result } => {
+                if let Some(tx) = self.pending.lock().remove(&call) {
+                    let _ = tx.send(result);
+                }
+            }
+            RmiMsg::Dirty { object } => self.local_dirty(object, from.0),
+            RmiMsg::Clean { object } => self.local_clean(object, from.0),
+            RmiMsg::Lookup { call, name } => {
+                let found = self.names.lock().get(&name).copied();
+                let _ = self.send(from, &RmiMsg::LookupReply { call, found });
+            }
+            RmiMsg::LookupReply { call, found } => {
+                if let Some(tx) = self.pending_lookups.lock().remove(&call) {
+                    let _ = tx.send(found);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for RmiRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RmiRuntime")
+            .field("node", &self.inner.node)
+            .field("exported", &self.exported_count())
+            .finish()
+    }
+}
+
+/// A held reference to a remote object; dropping it releases the reference
+/// (RMI `clean`). "Crashing" a proxy holder in tests is simulated with
+/// [`Proxy::leak`] — the clean is never sent, exactly like a process that
+/// died.
+#[derive(Debug)]
+pub struct Proxy {
+    runtime: RmiRuntime,
+    target: RemoteRefData,
+    disarmed: bool,
+}
+
+impl Proxy {
+    /// The referenced remote object.
+    pub fn target(&self) -> RemoteRefData {
+        self.target
+    }
+
+    /// Renews the lease (lease mode).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn renew(&self) -> Result<(), RmiError> {
+        self.runtime.renew(self.target)
+    }
+
+    /// Simulates the holder crashing: the reference is abandoned without a
+    /// `clean`.
+    pub fn leak(mut self) {
+        self.disarmed = true;
+    }
+}
+
+impl Drop for Proxy {
+    fn drop(&mut self) {
+        if self.disarmed {
+            return;
+        }
+        let target = self.target;
+        if target.node != self.runtime.inner.node.0 {
+            let _ = self
+                .runtime
+                .inner
+                .send(NodeId(target.node), &RmiMsg::Clean { object: target.object });
+        } else {
+            self.runtime.inner.local_clean(target.object, target.node);
+        }
+    }
+}
+
+fn encode_remote_error(err: &RmiError) -> String {
+    match err {
+        RmiError::NoSuchMethod(name) => format!("__no_such_method:{name}"),
+        other => other.to_string(),
+    }
+}
+
+fn decode_remote_error(msg: &str, object: u64) -> RmiError {
+    if let Some(rest) = msg.strip_prefix("__no_such_object:") {
+        return RmiError::NoSuchObject(rest.parse().unwrap_or(object));
+    }
+    if let Some(rest) = msg.strip_prefix("__no_such_method:") {
+        return RmiError::NoSuchMethod(rest.to_string());
+    }
+    RmiError::Remote(msg.to_string())
+}

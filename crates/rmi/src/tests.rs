@@ -1,0 +1,383 @@
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use psc_simnet::NodeId;
+
+use crate::{remote_iface, DgcMode, ObjectId, RmiError, RmiNetwork};
+
+remote_iface! {
+    /// The paper's Fig. 8 remote interface.
+    pub trait StockMarket {
+        fn buy(&self, company: String, price: f64, amount: u32) -> bool;
+        fn quote_count(&self) -> u32;
+    }
+}
+
+struct Market {
+    buys: AtomicU32,
+}
+
+impl StockMarket for Market {
+    fn buy(&self, company: String, price: f64, _amount: u32) -> Result<bool, RmiError> {
+        assert!(!company.is_empty());
+        self.buys.fetch_add(1, Ordering::SeqCst);
+        Ok(price < 1_000.0)
+    }
+
+    fn quote_count(&self) -> Result<u32, RmiError> {
+        Ok(self.buys.load(Ordering::SeqCst))
+    }
+}
+
+fn market() -> Arc<Market> {
+    Arc::new(Market {
+        buys: AtomicU32::new(0),
+    })
+}
+
+mod invocation {
+    use super::*;
+
+    #[test]
+    fn remote_call_roundtrip() {
+        let net = RmiNetwork::new(2, DgcMode::Strong);
+        let rts = net.runtimes();
+        let m = market();
+        let ref_ = StockMarketStub::export(&rts[0], m.clone());
+        let stub = StockMarketStub::attach(&rts[1], ref_).unwrap();
+        assert!(stub.buy("Telco".into(), 80.0, 10).unwrap());
+        assert!(!stub.buy("Telco".into(), 5_000.0, 1).unwrap());
+        assert_eq!(stub.quote_count().unwrap(), 2);
+        assert_eq!(m.buys.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn local_invocation_uses_the_same_path() {
+        let net = RmiNetwork::new(1, DgcMode::Strong);
+        let rts = net.runtimes();
+        let ref_ = StockMarketStub::export(&rts[0], market());
+        let stub = StockMarketStub::attach(&rts[0], ref_).unwrap();
+        assert!(stub.buy("T".into(), 1.0, 1).unwrap());
+    }
+
+    #[test]
+    fn invoking_a_collected_object_fails_cleanly() {
+        let net = RmiNetwork::new(2, DgcMode::Strong);
+        let rts = net.runtimes();
+        let ref_ = StockMarketStub::export(&rts[0], market());
+        let stub = StockMarketStub::attach(&rts[1], ref_).unwrap();
+        // Drop the only reference: strong DGC collects the object.
+        let target = stub.target();
+        drop(stub);
+        wait_until(|| !rts[0].is_exported(ObjectId(target.object)));
+        let stub2 = StockMarketStub::attach(&rts[1], target).unwrap();
+        let err = stub2.buy("T".into(), 1.0, 1).unwrap_err();
+        assert!(matches!(err, RmiError::NoSuchObject(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn unknown_method_is_reported() {
+        remote_iface! {
+            pub trait OtherIface {
+                fn other(&self) -> u8;
+            }
+        }
+        let net = RmiNetwork::new(2, DgcMode::Strong);
+        let rts = net.runtimes();
+        let ref_ = StockMarketStub::export(&rts[0], market());
+        // Attach the WRONG stub type to the reference.
+        let stub = OtherIfaceStub::attach(&rts[1], ref_).unwrap();
+        let err = stub.other().unwrap_err();
+        assert!(matches!(err, RmiError::NoSuchMethod(_)), "got {err:?}");
+    }
+}
+
+mod registry {
+    use super::*;
+
+    #[test]
+    fn bind_and_remote_lookup() {
+        let net = RmiNetwork::new(3, DgcMode::Strong);
+        let rts = net.runtimes();
+        let ref_ = StockMarketStub::export(&rts[0], market());
+        rts[0].bind("markets/zurich", ref_);
+        let stub = StockMarketStub::lookup(&rts[2], NodeId(0), "markets/zurich").unwrap();
+        assert!(stub.buy("T".into(), 10.0, 1).unwrap());
+    }
+
+    #[test]
+    fn missing_name_is_not_bound() {
+        let net = RmiNetwork::new(2, DgcMode::Strong);
+        let rts = net.runtimes();
+        let err = rts[1].lookup(NodeId(0), "nope").unwrap_err();
+        assert!(matches!(err, RmiError::NotBound(_)));
+    }
+
+    #[test]
+    fn bound_objects_are_pinned_against_dgc() {
+        let net = RmiNetwork::new(2, DgcMode::Strong);
+        let rts = net.runtimes();
+        let ref_ = StockMarketStub::export(&rts[0], market());
+        rts[0].bind("pinned", ref_);
+        // No proxies at all, but the binding pins the object.
+        rts[0].collect_expired();
+        assert!(rts[0].is_exported(ObjectId(ref_.object)));
+    }
+}
+
+mod dgc {
+    use super::*;
+
+    /// §5.4.2: "if a single subscriber crashes, the remote object will
+    /// never be garbage collected" — strong mode leaks.
+    #[test]
+    fn strong_mode_leaks_on_crashed_proxy_holder() {
+        let net = RmiNetwork::new(3, DgcMode::Strong);
+        let rts = net.runtimes();
+        let ref_ = StockMarketStub::export(&rts[0], market());
+        let healthy = StockMarketStub::attach(&rts[1], ref_).unwrap();
+        let crasher = StockMarketStub::attach(&rts[2], ref_).unwrap();
+
+        // Node 2 "crashes": its clean is never sent.
+        crasher.leak();
+        // Node 1 releases properly.
+        drop(healthy);
+        wait_for_messages();
+        rts[0].collect_expired();
+        assert!(
+            rts[0].is_exported(ObjectId(ref_.object)),
+            "strong DGC must leak the object (the paper's caveat)"
+        );
+    }
+
+    /// The [CNH99] fix: leases expire, the object is collected despite the
+    /// crashed holder.
+    #[test]
+    fn lease_mode_collects_despite_crashed_holder() {
+        let net = RmiNetwork::new(3, DgcMode::Leases { ttl_ms: 100 });
+        let rts = net.runtimes();
+        let ref_ = StockMarketStub::export(&rts[0], market());
+        let crasher = StockMarketStub::attach(&rts[2], ref_).unwrap();
+        wait_for_messages();
+        crasher.leak(); // crash: no clean, no renewals
+        rts[0].tick(50);
+        assert!(rts[0].is_exported(ObjectId(ref_.object)), "lease still valid");
+        rts[0].tick(100);
+        assert!(
+            !rts[0].is_exported(ObjectId(ref_.object)),
+            "expired lease must let DGC collect"
+        );
+    }
+
+    #[test]
+    fn renewals_keep_the_lease_alive() {
+        let net = RmiNetwork::new(2, DgcMode::Leases { ttl_ms: 100 });
+        let rts = net.runtimes();
+        let ref_ = StockMarketStub::export(&rts[0], market());
+        let stub = StockMarketStub::attach(&rts[1], ref_).unwrap();
+        wait_for_messages();
+        for _ in 0..5 {
+            rts[0].tick(60);
+            rts[1].renew(ref_).unwrap();
+            wait_for_messages();
+        }
+        assert!(rts[0].is_exported(ObjectId(ref_.object)));
+        assert!(stub.buy("T".into(), 1.0, 1).unwrap());
+    }
+
+    #[test]
+    fn clean_release_collects_in_strong_mode() {
+        let net = RmiNetwork::new(2, DgcMode::Strong);
+        let rts = net.runtimes();
+        let ref_ = StockMarketStub::export(&rts[0], market());
+        let stub = StockMarketStub::attach(&rts[1], ref_).unwrap();
+        wait_for_messages();
+        assert!(rts[0].is_exported(ObjectId(ref_.object)));
+        drop(stub);
+        wait_until(|| !rts[0].is_exported(ObjectId(ref_.object)));
+    }
+
+    #[test]
+    fn multiple_holders_strong_mode_counts_references() {
+        let net = RmiNetwork::new(3, DgcMode::Strong);
+        let rts = net.runtimes();
+        let ref_ = StockMarketStub::export(&rts[0], market());
+        let a = StockMarketStub::attach(&rts[1], ref_).unwrap();
+        let b = StockMarketStub::attach(&rts[2], ref_).unwrap();
+        wait_for_messages();
+        drop(a);
+        wait_for_messages();
+        rts[0].collect_expired();
+        assert!(rts[0].is_exported(ObjectId(ref_.object)), "b still holds it");
+        drop(b);
+        wait_until(|| !rts[0].is_exported(ObjectId(ref_.object)));
+    }
+}
+
+/// Marshalling edge cases through the generated stubs.
+mod marshalling {
+    use super::*;
+
+    remote_iface! {
+        pub trait Echo {
+            fn echo_vec(&self, xs: Vec<String>) -> Vec<String>;
+            fn no_args(&self) -> u64;
+            fn unit_result(&self, n: u32) -> ();
+        }
+    }
+
+    struct EchoImpl;
+    impl Echo for EchoImpl {
+        fn echo_vec(&self, xs: Vec<String>) -> Result<Vec<String>, RmiError> {
+            Ok(xs.into_iter().rev().collect())
+        }
+        fn no_args(&self) -> Result<u64, RmiError> {
+            Ok(42)
+        }
+        fn unit_result(&self, _n: u32) -> Result<(), RmiError> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn varied_signatures_roundtrip() {
+        let net = RmiNetwork::new(2, DgcMode::Strong);
+        let rts = net.runtimes();
+        let ref_ = EchoStub::export(&rts[0], Arc::new(EchoImpl));
+        let stub = EchoStub::attach(&rts[1], ref_).unwrap();
+        assert_eq!(
+            stub.echo_vec(vec!["a".into(), "b".into()]).unwrap(),
+            vec!["b".to_string(), "a".to_string()]
+        );
+        assert_eq!(stub.no_args().unwrap(), 42);
+        stub.unit_result(9).unwrap();
+    }
+}
+
+fn wait_for_messages() {
+    std::thread::sleep(std::time::Duration::from_millis(30));
+}
+
+fn wait_until(cond: impl Fn() -> bool) {
+    for _ in 0..200 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    panic!("condition not reached within 1s");
+}
+
+/// Fig. 8 passes the buyer (`StockBroker buyer`) into `buy`: the server
+/// invokes the *caller's* remote object mid-call. Nested callbacks require
+/// dispatch off the receiver thread.
+mod callbacks {
+    use super::*;
+    use crate::RemoteRefData;
+
+    remote_iface! {
+        pub trait Broker {
+            fn confirm(&self, company: String) -> String;
+        }
+    }
+
+    remote_iface! {
+        pub trait CallbackMarket {
+            fn buy(&self, company: String, buyer_node: u64, buyer_object: u64) -> String;
+        }
+    }
+
+    struct BrokerImpl {
+        name: String,
+    }
+
+    impl Broker for BrokerImpl {
+        fn confirm(&self, company: String) -> Result<String, RmiError> {
+            Ok(format!("{} confirms {company}", self.name))
+        }
+    }
+
+    struct MarketWithCallback {
+        runtime: crate::RmiRuntime,
+    }
+
+    impl CallbackMarket for MarketWithCallback {
+        fn buy(
+            &self,
+            company: String,
+            buyer_node: u64,
+            buyer_object: u64,
+        ) -> Result<String, RmiError> {
+            // Call BACK into the buyer while the buyer's `buy` call is
+            // still outstanding.
+            let buyer = BrokerStub::attach(
+                &self.runtime,
+                RemoteRefData {
+                    node: buyer_node,
+                    object: buyer_object,
+                },
+            )?;
+            buyer.confirm(company)
+        }
+    }
+
+    #[test]
+    fn server_invokes_caller_callback_mid_call() {
+        let net = RmiNetwork::new(2, DgcMode::Strong);
+        let rts = net.runtimes();
+        let market_ref = CallbackMarketStub::export(
+            &rts[0],
+            Arc::new(MarketWithCallback {
+                runtime: rts[0].clone(),
+            }),
+        );
+        let broker_ref = BrokerStub::export(
+            &rts[1],
+            Arc::new(BrokerImpl {
+                name: "alice".into(),
+            }),
+        );
+        let market = CallbackMarketStub::attach(&rts[1], market_ref).unwrap();
+        let receipt = market
+            .buy("Telco".into(), broker_ref.node, broker_ref.object)
+            .unwrap();
+        assert_eq!(receipt, "alice confirms Telco");
+    }
+
+    #[test]
+    fn deep_nesting_does_not_deadlock() {
+        // a -> b -> a -> b: two levels of mutual callbacks.
+        remote_iface! {
+            pub trait Echoer {
+                fn echo(&self, depth: u32, peer_node: u64, peer_object: u64) -> u32;
+            }
+        }
+        struct EchoImpl {
+            runtime: crate::RmiRuntime,
+        }
+        impl Echoer for EchoImpl {
+            fn echo(&self, depth: u32, peer_node: u64, peer_object: u64) -> Result<u32, RmiError> {
+                if depth == 0 {
+                    return Ok(0);
+                }
+                let me_ref = RemoteRefData {
+                    node: peer_node,
+                    object: peer_object,
+                };
+                let peer = EchoerStub::attach(&self.runtime, me_ref)?;
+                Ok(peer.echo(depth - 1, peer_node, peer_object)? + 1)
+            }
+        }
+        let net = RmiNetwork::new(2, DgcMode::Strong);
+        let rts = net.runtimes();
+        let a_ref = EchoerStub::export(
+            &rts[0],
+            Arc::new(EchoImpl {
+                runtime: rts[0].clone(),
+            }),
+        );
+        let stub = EchoerStub::attach(&rts[1], a_ref).unwrap();
+        // Bounce within node 0's own object 4 times.
+        assert_eq!(stub.echo(4, a_ref.node, a_ref.object).unwrap(), 4);
+    }
+}

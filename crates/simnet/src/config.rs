@@ -1,0 +1,73 @@
+//! Simulation parameters.
+
+use crate::time::Duration;
+
+/// Distribution of one-way message latencies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long.
+    Fixed(Duration),
+    /// Latency uniform in `[min, max]`.
+    Uniform {
+        /// Lower bound.
+        min: Duration,
+        /// Upper bound (inclusive).
+        max: Duration,
+    },
+}
+
+impl Default for LatencyModel {
+    /// LAN-ish default: uniform 0.5–2 ms.
+    fn default() -> Self {
+        LatencyModel::Uniform {
+            min: Duration::from_micros(500),
+            max: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Configuration of a [`SimNet`](crate::SimNet).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Seed of the simulation RNG — two runs with equal seeds and equal
+    /// inputs produce identical schedules.
+    pub seed: u64,
+    /// One-way latency distribution.
+    pub latency: LatencyModel,
+    /// Independent per-message drop probability in `[0, 1]` (self-sends are
+    /// never dropped).
+    pub drop_probability: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 42,
+            latency: LatencyModel::default(),
+            drop_probability: 0.0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Convenience: default config with the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Convenience: default config with the given loss rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn with_loss(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability {p} outside [0, 1]");
+        SimConfig {
+            drop_probability: p,
+            ..SimConfig::default()
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Per-node stable storage.
+//!
+//! Certified delivery (paper §3.1.2) requires state that outlives process
+//! failures: "even if a notifiable temporarily disconnects or fails, it will
+//! eventually deliver the obvent". [`Storage`] models each node's disk: a
+//! key–value map the simulator preserves across [`crash`]/[`recover`]
+//! cycles while the node's in-memory state is discarded.
+//!
+//! [`crash`]: crate::SimNet::crash
+//! [`recover`]: crate::SimNet::recover
+
+use std::collections::BTreeMap;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use psc_codec::CodecError;
+
+/// A node's crash-surviving key–value store.
+#[derive(Debug, Default, Clone)]
+pub struct Storage {
+    entries: BTreeMap<String, Vec<u8>>,
+}
+
+impl Storage {
+    /// Creates empty storage.
+    pub fn new() -> Self {
+        Storage::default()
+    }
+
+    /// Stores raw bytes under `key`, replacing any previous value.
+    pub fn put_raw(&mut self, key: impl Into<String>, value: Vec<u8>) {
+        self.entries.insert(key.into(), value);
+    }
+
+    /// Reads raw bytes stored under `key`.
+    pub fn get_raw(&self, key: &str) -> Option<&[u8]> {
+        self.entries.get(key).map(Vec::as_slice)
+    }
+
+    /// Serializes `value` with `psc-codec` and stores it under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures.
+    pub fn put<T: Serialize>(&mut self, key: impl Into<String>, value: &T) -> Result<(), CodecError> {
+        let bytes = psc_codec::to_bytes(value)?;
+        self.entries.insert(key.into(), bytes);
+        Ok(())
+    }
+
+    /// Reads and deserializes the value under `key`; `Ok(None)` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserialization failures (corrupt entries).
+    pub fn get<T: DeserializeOwned>(&self, key: &str) -> Result<Option<T>, CodecError> {
+        match self.entries.get(key) {
+            None => Ok(None),
+            Some(bytes) => Ok(Some(psc_codec::from_bytes(bytes)?)),
+        }
+    }
+
+    /// Removes the entry under `key`, returning whether it existed.
+    pub fn remove(&mut self, key: &str) -> bool {
+        self.entries.remove(key).is_some()
+    }
+
+    /// Iterates keys with the given prefix (sorted).
+    pub fn keys_with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.entries
+            .range(prefix.to_string()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.as_str())
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total stored bytes (for experiments accounting for log sizes).
+    pub fn size_bytes(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    /// A view of this storage under a key prefix, so independent components
+    /// (e.g. one protocol instance per multicast class) share one disk
+    /// without key collisions.
+    pub fn scoped(&mut self, prefix: impl Into<String>) -> ScopedStorage<'_> {
+        ScopedStorage {
+            inner: self,
+            prefix: prefix.into(),
+        }
+    }
+}
+
+/// A prefixed view of a [`Storage`]; see [`Storage::scoped`].
+#[derive(Debug)]
+pub struct ScopedStorage<'a> {
+    inner: &'a mut Storage,
+    prefix: String,
+}
+
+impl ScopedStorage<'_> {
+    fn full_key(&self, key: &str) -> String {
+        format!("{}{}", self.prefix, key)
+    }
+
+    /// Stores raw bytes under the scoped `key`.
+    pub fn put_raw(&mut self, key: &str, value: Vec<u8>) {
+        let full = self.full_key(key);
+        self.inner.put_raw(full, value);
+    }
+
+    /// Reads raw bytes stored under the scoped `key`.
+    pub fn get_raw(&self, key: &str) -> Option<&[u8]> {
+        self.inner.get_raw(&self.full_key(key))
+    }
+
+    /// Serializes and stores `value` under the scoped `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures.
+    pub fn put<T: Serialize>(&mut self, key: &str, value: &T) -> Result<(), CodecError> {
+        let full = self.full_key(key);
+        self.inner.put(full, value)
+    }
+
+    /// Reads and deserializes the value under the scoped `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserialization failures.
+    pub fn get<T: DeserializeOwned>(&self, key: &str) -> Result<Option<T>, CodecError> {
+        self.inner.get(&self.full_key(key))
+    }
+
+    /// Removes the scoped entry, returning whether it existed.
+    pub fn remove(&mut self, key: &str) -> bool {
+        let full = self.full_key(key);
+        self.inner.remove(&full)
+    }
+
+    /// Scoped keys (with the scope prefix stripped) starting with `prefix`.
+    pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
+        let full = self.full_key(prefix);
+        self.inner
+            .keys_with_prefix(&full)
+            .map(|k| k[self.prefix.len()..].to_string())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_roundtrip() {
+        let mut s = Storage::new();
+        s.put("seq", &42u64).unwrap();
+        assert_eq!(s.get::<u64>("seq").unwrap(), Some(42));
+        assert_eq!(s.get::<u64>("missing").unwrap(), None);
+    }
+
+    #[test]
+    fn corrupt_entry_is_an_error_not_a_panic() {
+        let mut s = Storage::new();
+        s.put_raw("x", vec![0xff]);
+        assert!(s.get::<String>("x").is_err());
+    }
+
+    #[test]
+    fn prefix_iteration_is_sorted_and_bounded() {
+        let mut s = Storage::new();
+        s.put_raw("log/2", vec![2]);
+        s.put_raw("log/1", vec![1]);
+        s.put_raw("meta", vec![0]);
+        let keys: Vec<&str> = s.keys_with_prefix("log/").collect();
+        assert_eq!(keys, ["log/1", "log/2"]);
+    }
+
+    #[test]
+    fn remove_and_sizes() {
+        let mut s = Storage::new();
+        s.put_raw("a", vec![1, 2, 3]);
+        assert_eq!(s.size_bytes(), 3);
+        assert!(s.remove("a"));
+        assert!(!s.remove("a"));
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,426 @@
+#![warn(missing_docs)]
+
+//! # psc-tuplespace — the Linda substrate
+//!
+//! The paper treats the tuple space as pub/sub's closest relative and
+//! spiritual ancestor (§6.3): `out` corresponds to `publish`, templates
+//! with formal and actual arguments are the original content-based
+//! subscription scheme, and "very recently, callback mechanisms have also
+//! been added (e.g. JavaSpaces …) supporting a publish/subscribe-like
+//! interaction". §5.5.2 sketches tuples as an alternative obvent surface.
+//!
+//! This crate implements the paradigm from scratch:
+//!
+//! - [`Tuple`] — an ordered sequence of [`Value`]s;
+//! - [`Template`] — per-position [`Slot`]s: an *actual* (a value that must
+//!   match), a *formal* (a typed placeholder), or a wildcard;
+//! - [`TupleSpace`] — a concurrent space with the three Linda primitives
+//!   (`out`, `rd`, `in`), their blocking variants, and JavaSpaces-style
+//!   *reactions* (callbacks on insertion — the bridge to pub/sub);
+//! - [`remote`] — a space server plus blocking clients over the in-process
+//!   transport, for the pub/sub-vs-tuple-space comparison (experiment E9).
+//!
+//! ```
+//! use psc_tuplespace::{tuple, template, TupleSpace};
+//!
+//! let space = TupleSpace::new();
+//! space.out(tuple!["quote", "Telco", 80.0]);
+//! space.out(tuple!["quote", "Banco", 120.0]);
+//!
+//! // rd: non-destructive match with an actual and two formals.
+//! let t = space.rd(&template![= "quote", str, float]).unwrap();
+//! assert_eq!(t.len(), 3);
+//!
+//! // in: destructive withdrawal of the Telco quote only.
+//! let t = space.take(&template![= "quote", = "Telco", float]).unwrap();
+//! assert_eq!(t.get(2).unwrap().as_f64(), Some(80.0));
+//! assert!(space.take(&template![= "quote", = "Telco", float]).is_none());
+//! ```
+
+pub mod remote;
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use serde::{Deserialize, Serialize};
+
+pub use psc_filter::Value;
+
+/// An ordered, immutable sequence of values — Linda's data unit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Tuple {
+    fields: Vec<Value>,
+}
+
+impl Tuple {
+    /// Creates a tuple from values.
+    pub fn new(fields: Vec<Value>) -> Tuple {
+        Tuple { fields }
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True for the empty tuple.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The field at `index`.
+    pub fn get(&self, index: usize) -> Option<&Value> {
+        self.fields.get(index)
+    }
+
+    /// All fields.
+    pub fn fields(&self) -> &[Value] {
+        &self.fields
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The dynamic type a formal slot requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TypeTag {
+    /// Booleans.
+    Bool,
+    /// Signed or unsigned integers.
+    Int,
+    /// Floats (and integers, which widen).
+    Float,
+    /// Strings.
+    Str,
+    /// Lists.
+    List,
+    /// Records.
+    Record,
+}
+
+impl TypeTag {
+    fn admits(self, value: &Value) -> bool {
+        match self {
+            TypeTag::Bool => matches!(value, Value::Bool(_)),
+            TypeTag::Int => matches!(value, Value::Int(_) | Value::UInt(_)),
+            TypeTag::Float => value.as_f64().is_some(),
+            TypeTag::Str => matches!(value, Value::Str(_)),
+            TypeTag::List => matches!(value, Value::List(_)),
+            TypeTag::Record => matches!(value, Value::Record(_)),
+        }
+    }
+}
+
+/// One position of a template.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Slot {
+    /// An *actual*: the candidate field must equal this value (numeric
+    /// coercion applies, as in [`Value::loose_eq`]).
+    Actual(Value),
+    /// A *formal*: the candidate field must have this type.
+    Formal(TypeTag),
+    /// Matches anything.
+    Wildcard,
+}
+
+/// An anti-tuple: what `rd`/`in` match against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Template {
+    slots: Vec<Slot>,
+}
+
+impl Template {
+    /// Creates a template from slots.
+    pub fn new(slots: Vec<Slot>) -> Template {
+        Template { slots }
+    }
+
+    /// Number of slots (required tuple arity).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True for the empty template (matches only the empty tuple).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The slots.
+    pub fn slots(&self) -> &[Slot] {
+        &self.slots
+    }
+
+    /// True when `tuple` matches: same arity, every slot admits the
+    /// corresponding field.
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        self.slots.len() == tuple.len()
+            && self.slots.iter().zip(tuple.fields()).all(|(slot, field)| {
+                match slot {
+                    Slot::Actual(v) => v.loose_eq(field),
+                    Slot::Formal(tag) => tag.admits(field),
+                    Slot::Wildcard => true,
+                }
+            })
+    }
+}
+
+/// Builds a [`Tuple`] from expressions convertible to [`Value`].
+///
+/// ```
+/// use psc_tuplespace::tuple;
+/// let t = tuple!["quote", 80.0, 10];
+/// assert_eq!(t.len(), 3);
+/// ```
+#[macro_export]
+macro_rules! tuple {
+    ($($field:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($field)),*])
+    };
+}
+
+/// Builds a [`Template`]: `= expr` for actuals, a type keyword (`bool`,
+/// `int`, `float`, `str`, `list`, `record`) for formals, `_` for wildcards.
+///
+/// ```
+/// use psc_tuplespace::{template, tuple};
+/// let t = template![= "quote", str, float, _];
+/// assert!(t.matches(&tuple!["quote", "Telco", 80.0, true]));
+/// assert!(!t.matches(&tuple!["order", "Telco", 80.0, true]));
+/// ```
+#[macro_export]
+macro_rules! template {
+    ($($slot:tt)*) => {
+        $crate::Template::new($crate::__template_slots!([] $($slot)*))
+    };
+}
+
+/// Internal slot muncher for [`template!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __template_slots {
+    ([$($acc:expr,)*]) => { vec![$($acc,)*] };
+    ([$($acc:expr,)*] = $value:expr) => {
+        vec![$($acc,)* $crate::Slot::Actual($crate::Value::from($value))]
+    };
+    ([$($acc:expr,)*] = $value:expr, $($rest:tt)*) => {
+        $crate::__template_slots!([$($acc,)* $crate::Slot::Actual($crate::Value::from($value)),] $($rest)*)
+    };
+    ([$($acc:expr,)*] _ $(, $($rest:tt)*)?) => {
+        $crate::__template_slots!([$($acc,)* $crate::Slot::Wildcard,] $($($rest)*)?)
+    };
+    ([$($acc:expr,)*] bool $(, $($rest:tt)*)?) => {
+        $crate::__template_slots!([$($acc,)* $crate::Slot::Formal($crate::TypeTag::Bool),] $($($rest)*)?)
+    };
+    ([$($acc:expr,)*] int $(, $($rest:tt)*)?) => {
+        $crate::__template_slots!([$($acc,)* $crate::Slot::Formal($crate::TypeTag::Int),] $($($rest)*)?)
+    };
+    ([$($acc:expr,)*] float $(, $($rest:tt)*)?) => {
+        $crate::__template_slots!([$($acc,)* $crate::Slot::Formal($crate::TypeTag::Float),] $($($rest)*)?)
+    };
+    ([$($acc:expr,)*] str $(, $($rest:tt)*)?) => {
+        $crate::__template_slots!([$($acc,)* $crate::Slot::Formal($crate::TypeTag::Str),] $($($rest)*)?)
+    };
+    ([$($acc:expr,)*] list $(, $($rest:tt)*)?) => {
+        $crate::__template_slots!([$($acc,)* $crate::Slot::Formal($crate::TypeTag::List),] $($($rest)*)?)
+    };
+    ([$($acc:expr,)*] record $(, $($rest:tt)*)?) => {
+        $crate::__template_slots!([$($acc,)* $crate::Slot::Formal($crate::TypeTag::Record),] $($($rest)*)?)
+    };
+}
+
+/// Handle to a registered reaction; dropping it unregisters the callback.
+#[derive(Debug)]
+pub struct Reaction {
+    space: TupleSpace,
+    id: u64,
+}
+
+impl Drop for Reaction {
+    fn drop(&mut self) {
+        self.space.inner.state.lock().reactions.retain(|r| r.id != self.id);
+    }
+}
+
+type ReactionFn = Arc<dyn Fn(&Tuple) + Send + Sync>;
+
+struct ReactionEntry {
+    id: u64,
+    template: Template,
+    callback: ReactionFn,
+}
+
+#[derive(Default)]
+struct SpaceState {
+    tuples: VecDeque<Tuple>,
+    reactions: Vec<ReactionEntry>,
+    next_reaction: u64,
+}
+
+struct SpaceInner {
+    state: Mutex<SpaceState>,
+    changed: Condvar,
+}
+
+/// A concurrent Linda tuple space; cloning shares the space.
+#[derive(Clone)]
+pub struct TupleSpace {
+    inner: Arc<SpaceInner>,
+}
+
+impl Default for TupleSpace {
+    fn default() -> Self {
+        TupleSpace::new()
+    }
+}
+
+impl TupleSpace {
+    /// Creates an empty space.
+    pub fn new() -> TupleSpace {
+        TupleSpace {
+            inner: Arc::new(SpaceInner {
+                state: Mutex::new(SpaceState::default()),
+                changed: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Linda `out`: inserts a tuple, waking blocked readers and firing
+    /// matching reactions (outside the lock).
+    pub fn out(&self, tuple: Tuple) {
+        let fired: Vec<ReactionFn> = {
+            let mut state = self.inner.state.lock();
+            let fired = state
+                .reactions
+                .iter()
+                .filter(|r| r.template.matches(&tuple))
+                .map(|r| Arc::clone(&r.callback))
+                .collect();
+            state.tuples.push_back(tuple.clone());
+            self.inner.changed.notify_all();
+            fired
+        };
+        for callback in fired {
+            callback(&tuple);
+        }
+    }
+
+    /// Linda `rd`: non-destructive, non-blocking match (oldest first).
+    pub fn rd(&self, template: &Template) -> Option<Tuple> {
+        let state = self.inner.state.lock();
+        state.tuples.iter().find(|t| template.matches(t)).cloned()
+    }
+
+    /// Linda `in`: destructive, non-blocking withdrawal (oldest first).
+    /// Named `take` because `in` is a Rust keyword (JavaSpaces made the
+    /// same rename).
+    pub fn take(&self, template: &Template) -> Option<Tuple> {
+        let mut state = self.inner.state.lock();
+        let pos = state.tuples.iter().position(|t| template.matches(t))?;
+        state.tuples.remove(pos)
+    }
+
+    /// Blocking `rd` with a timeout.
+    pub fn rd_wait(&self, template: &Template, timeout: Duration) -> Option<Tuple> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.inner.state.lock();
+        loop {
+            if let Some(t) = state.tuples.iter().find(|t| template.matches(t)) {
+                return Some(t.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            if self
+                .inner
+                .changed
+                .wait_until(&mut state, deadline)
+                .timed_out()
+            {
+                return state.tuples.iter().find(|t| template.matches(t)).cloned();
+            }
+        }
+    }
+
+    /// Blocking `in` with a timeout. Exactly one blocked taker wins any
+    /// given tuple.
+    pub fn take_wait(&self, template: &Template, timeout: Duration) -> Option<Tuple> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.inner.state.lock();
+        loop {
+            if let Some(pos) = state.tuples.iter().position(|t| template.matches(t)) {
+                return state.tuples.remove(pos);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            if self
+                .inner
+                .changed
+                .wait_until(&mut state, deadline)
+                .timed_out()
+            {
+                let pos = state.tuples.iter().position(|t| template.matches(t))?;
+                return state.tuples.remove(pos);
+            }
+        }
+    }
+
+    /// Registers a JavaSpaces-style reaction: `callback` runs for every
+    /// subsequently inserted tuple matching `template` (the pub/sub-like
+    /// callback of §6.3.3). The tuple stays in the space.
+    pub fn react(
+        &self,
+        template: Template,
+        callback: impl Fn(&Tuple) + Send + Sync + 'static,
+    ) -> Reaction {
+        let mut state = self.inner.state.lock();
+        state.next_reaction += 1;
+        let id = state.next_reaction;
+        state.reactions.push(ReactionEntry {
+            id,
+            template,
+            callback: Arc::new(callback),
+        });
+        Reaction {
+            space: self.clone(),
+            id,
+        }
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().tuples.len()
+    }
+
+    /// True when the space holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.inner.state.lock().tuples.is_empty()
+    }
+}
+
+impl fmt::Debug for TupleSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TupleSpace")
+            .field("tuples", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,215 @@
+//! A networked tuple space: one server process, blocking clients.
+//!
+//! Linda's space was conceived as distributed shared memory; this module
+//! provides the minimal distributed deployment the comparison experiment
+//! (E9) needs: a server hosting a [`TupleSpace`] and clients performing
+//! `out`/`rd`/`in` over the in-process transport. Blocking reads poll with
+//! the server (bounded retries), preserving Linda's synchronous pull —
+//! which is precisely the *flow coupling* the paper says pub/sub removes
+//! (§6.3.3).
+
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use psc_simnet::inproc::{self, EndpointHandle, EndpointSender};
+use psc_simnet::NodeId;
+
+use crate::{Template, Tuple, TupleSpace};
+
+#[derive(Debug, Serialize, Deserialize)]
+enum SpaceMsg {
+    Out {
+        tuple: Tuple,
+    },
+    Rd {
+        call: u64,
+        template: Template,
+    },
+    Take {
+        call: u64,
+        template: Template,
+    },
+    Reply {
+        call: u64,
+        tuple: Option<Tuple>,
+    },
+}
+
+/// Error talking to the space server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpaceError(String);
+
+impl std::fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tuple space error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+/// The server half: hosts the space, answers client requests.
+pub struct SpaceServer {
+    space: TupleSpace,
+    node: NodeId,
+    _receiver: EndpointHandle,
+}
+
+impl SpaceServer {
+    /// Spawns the server over `endpoint`.
+    pub fn spawn(endpoint: inproc::Endpoint) -> SpaceServer {
+        let space = TupleSpace::new();
+        let node = endpoint.id();
+        let space2 = space.clone();
+        let sender_slot: Arc<Mutex<Option<EndpointSender>>> = Arc::new(Mutex::new(None));
+        let slot = Arc::clone(&sender_slot);
+        let receiver = endpoint.spawn_receiver(move |incoming| {
+            let Ok(msg) = psc_codec::from_bytes::<SpaceMsg>(&incoming.payload) else {
+                return;
+            };
+            let reply = |call: u64, tuple: Option<Tuple>| {
+                if let Some(sender) = slot.lock().as_ref() {
+                    let bytes = psc_codec::to_bytes(&SpaceMsg::Reply { call, tuple })
+                        .expect("space replies encode");
+                    let _ = sender.send(incoming.from, bytes);
+                }
+            };
+            match msg {
+                SpaceMsg::Out { tuple } => space2.out(tuple),
+                SpaceMsg::Rd { call, template } => reply(call, space2.rd(&template)),
+                SpaceMsg::Take { call, template } => reply(call, space2.take(&template)),
+                SpaceMsg::Reply { .. } => {}
+            }
+        });
+        *sender_slot.lock() = Some(receiver.sender());
+        SpaceServer {
+            space,
+            node,
+            _receiver: receiver,
+        }
+    }
+
+    /// The server's node id (clients address this).
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Direct access to the hosted space (server-local operations).
+    pub fn space(&self) -> &TupleSpace {
+        &self.space
+    }
+}
+
+/// The client half: blocking Linda operations against a remote server.
+pub struct SpaceClient {
+    server: NodeId,
+    sender: EndpointSender,
+    pending: Arc<Mutex<HashMap<u64, Sender<Option<Tuple>>>>>,
+    next_call: Arc<AtomicU64>,
+    _receiver: EndpointHandle,
+}
+
+impl SpaceClient {
+    /// Connects a client endpoint to the server at `server`.
+    pub fn connect(endpoint: inproc::Endpoint, server: NodeId) -> SpaceClient {
+        let pending: Arc<Mutex<HashMap<u64, Sender<Option<Tuple>>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let pending2 = Arc::clone(&pending);
+        let receiver = endpoint.spawn_receiver(move |incoming| {
+            if let Ok(SpaceMsg::Reply { call, tuple }) =
+                psc_codec::from_bytes::<SpaceMsg>(&incoming.payload)
+            {
+                if let Some(tx) = pending2.lock().remove(&call) {
+                    let _ = tx.send(tuple);
+                }
+            }
+        });
+        SpaceClient {
+            server,
+            sender: receiver.sender(),
+            pending,
+            next_call: Arc::new(AtomicU64::new(1)),
+            _receiver: receiver,
+        }
+    }
+
+    /// Remote `out`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn out(&self, tuple: Tuple) -> Result<(), SpaceError> {
+        let bytes =
+            psc_codec::to_bytes(&SpaceMsg::Out { tuple }).expect("space requests encode");
+        self.sender
+            .send(self.server, bytes)
+            .map_err(|e| SpaceError(e.to_string()))
+    }
+
+    /// Remote non-blocking `rd`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a lost reply.
+    pub fn rd(&self, template: &Template) -> Result<Option<Tuple>, SpaceError> {
+        self.request(|call| SpaceMsg::Rd {
+            call,
+            template: template.clone(),
+        })
+    }
+
+    /// Remote non-blocking `in`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a lost reply.
+    pub fn take(&self, template: &Template) -> Result<Option<Tuple>, SpaceError> {
+        self.request(|call| SpaceMsg::Take {
+            call,
+            template: template.clone(),
+        })
+    }
+
+    /// Remote blocking `in`: polls the server until a tuple arrives or the
+    /// timeout expires. The polling is the flow coupling pub/sub removes.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn take_wait(
+        &self,
+        template: &Template,
+        timeout: Duration,
+    ) -> Result<Option<Tuple>, SpaceError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(tuple) = self.take(template)? {
+                return Ok(Some(tuple));
+            }
+            if std::time::Instant::now() >= deadline {
+                return Ok(None);
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    fn request(
+        &self,
+        make: impl FnOnce(u64) -> SpaceMsg,
+    ) -> Result<Option<Tuple>, SpaceError> {
+        let call = self.next_call.fetch_add(1, Ordering::SeqCst);
+        let (tx, rx) = bounded(1);
+        self.pending.lock().insert(call, tx);
+        let bytes = psc_codec::to_bytes(&make(call)).expect("space requests encode");
+        self.sender
+            .send(self.server, bytes)
+            .map_err(|e| SpaceError(e.to_string()))?;
+        rx.recv_timeout(Duration::from_secs(5))
+            .map_err(|_| SpaceError("reply timed out".into()))
+    }
+}

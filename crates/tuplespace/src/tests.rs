@@ -1,0 +1,275 @@
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use crate::{Slot, Template, Tuple, TupleSpace, TypeTag, Value};
+
+mod matching {
+    use super::*;
+
+    #[test]
+    fn actuals_match_by_value_with_numeric_coercion() {
+        let t = tuple!["quote", 80.0, 10];
+        assert!(template![= "quote", = 80, = 10].matches(&t));
+        assert!(!template![= "order", = 80, = 10].matches(&t));
+        assert!(!template![= "quote", = 81, = 10].matches(&t));
+    }
+
+    #[test]
+    fn formals_match_by_type() {
+        let t = tuple!["quote", "Telco", 80.0, 10, true];
+        assert!(template![str, str, float, int, bool].matches(&t));
+        assert!(!template![str, str, str, int, bool].matches(&t));
+        // Float formals admit integers (widening), int formals reject
+        // floats.
+        assert!(template![str, str, float, float, bool].matches(&t));
+        assert!(!template![str, str, int, int, bool].matches(&t));
+    }
+
+    #[test]
+    fn arity_must_match_exactly() {
+        let t = tuple![1, 2];
+        assert!(!template![int].matches(&t));
+        assert!(!template![int, int, int].matches(&t));
+        assert!(template![int, int].matches(&t));
+    }
+
+    #[test]
+    fn wildcards_match_anything() {
+        let t = tuple![1, "x", false];
+        assert!(template![_, _, _].matches(&t));
+        assert!(template![= 1, _, bool].matches(&t));
+    }
+
+    #[test]
+    fn structured_fields_match() {
+        let t = Tuple::new(vec![
+            Value::from(vec!["a", "b"]),
+            Value::record([("k", Value::Int(1))]),
+        ]);
+        assert!(template![list, record].matches(&t));
+        assert!(Template::new(vec![
+            Slot::Actual(Value::from(vec!["a", "b"])),
+            Slot::Formal(TypeTag::Record)
+        ])
+        .matches(&t));
+    }
+
+    #[test]
+    fn empty_template_matches_only_empty_tuple() {
+        assert!(template![].matches(&Tuple::default()));
+        assert!(!template![].matches(&tuple![1]));
+    }
+}
+
+mod space_ops {
+    use super::*;
+
+    #[test]
+    fn rd_is_nondestructive_take_is_destructive() {
+        let space = TupleSpace::new();
+        space.out(tuple!["a", 1]);
+        assert_eq!(space.len(), 1);
+        assert!(space.rd(&template![= "a", int]).is_some());
+        assert_eq!(space.len(), 1);
+        assert!(space.take(&template![= "a", int]).is_some());
+        assert!(space.is_empty());
+        assert!(space.take(&template![= "a", int]).is_none());
+    }
+
+    #[test]
+    fn matching_is_fifo_among_candidates() {
+        let space = TupleSpace::new();
+        space.out(tuple!["x", 1]);
+        space.out(tuple!["x", 2]);
+        let first = space.take(&template![= "x", int]).unwrap();
+        assert_eq!(first.get(1).unwrap(), &Value::Int(1));
+    }
+
+    #[test]
+    fn blocking_take_wakes_on_out() {
+        let space = TupleSpace::new();
+        let space2 = space.clone();
+        let waiter = std::thread::spawn(move || {
+            space2.take_wait(&template![= "late", int], Duration::from_secs(2))
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        space.out(tuple!["late", 9]);
+        let got = waiter.join().unwrap().expect("tuple arrives");
+        assert_eq!(got.get(1).unwrap(), &Value::Int(9));
+        assert!(space.is_empty());
+    }
+
+    #[test]
+    fn blocking_take_times_out() {
+        let space = TupleSpace::new();
+        let got = space.take_wait(&template![= "never", int], Duration::from_millis(40));
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn one_tuple_wakes_exactly_one_taker() {
+        let space = TupleSpace::new();
+        let winners = Arc::new(AtomicU32::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let space = space.clone();
+                let winners = winners.clone();
+                std::thread::spawn(move || {
+                    if space
+                        .take_wait(&template![= "one", int], Duration::from_millis(500))
+                        .is_some()
+                    {
+                        winners.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        space.out(tuple!["one", 1]);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(winners.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn rd_wait_sees_existing_tuple_immediately() {
+        let space = TupleSpace::new();
+        space.out(tuple!["now", 1]);
+        let got = space.rd_wait(&template![= "now", int], Duration::from_millis(10));
+        assert!(got.is_some());
+        assert_eq!(space.len(), 1);
+    }
+}
+
+mod reactions {
+    use super::*;
+
+    #[test]
+    fn reactions_fire_on_matching_out_only() {
+        let space = TupleSpace::new();
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = hits.clone();
+        let _reaction = space.react(template![= "quote", float], move |t| {
+            assert!(t.get(1).unwrap().as_f64().is_some());
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        space.out(tuple!["quote", 80.0]);
+        space.out(tuple!["order", 80.0]);
+        space.out(tuple!["quote", 90.0]);
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+        // The reacted tuples stay available (unlike `in`).
+        assert_eq!(space.len(), 3);
+    }
+
+    #[test]
+    fn dropping_the_reaction_unregisters_it() {
+        let space = TupleSpace::new();
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = hits.clone();
+        let reaction = space.react(template![str], move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        space.out(tuple!["a"]);
+        drop(reaction);
+        space.out(tuple!["b"]);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+}
+
+mod remote {
+    use super::*;
+    use crate::remote::{SpaceClient, SpaceServer};
+    use psc_simnet::inproc;
+
+    fn setup() -> (SpaceServer, SpaceClient, SpaceClient) {
+        let mut eps = inproc::network(3);
+        let c2 = eps.pop().unwrap();
+        let c1 = eps.pop().unwrap();
+        let s = eps.pop().unwrap();
+        let server = SpaceServer::spawn(s);
+        let node = server.node();
+        (server, SpaceClient::connect(c1, node), SpaceClient::connect(c2, node))
+    }
+
+    #[test]
+    fn remote_out_rd_take() {
+        let (server, producer, consumer) = setup();
+        producer.out(tuple!["job", 1]).unwrap();
+        // Wait for the out to land.
+        let got = consumer
+            .take_wait(&template![= "job", int], Duration::from_secs(2))
+            .unwrap()
+            .expect("job arrives");
+        assert_eq!(got.get(1).unwrap(), &Value::Int(1));
+        assert!(server.space().is_empty());
+        assert_eq!(consumer.rd(&template![= "job", int]).unwrap(), None);
+    }
+
+    #[test]
+    fn producer_consumer_pipeline() {
+        let (_server, producer, consumer) = setup();
+        let n = 50;
+        let handle = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            for _ in 0..n {
+                let t = consumer
+                    .take_wait(&template![= "work", int], Duration::from_secs(5))
+                    .unwrap()
+                    .expect("work item");
+                if let Some(Value::Int(i)) = t.get(1).cloned() {
+                    got.push(i);
+                }
+            }
+            got
+        });
+        for i in 0..n {
+            producer.out(tuple!["work", i]).unwrap();
+        }
+        let mut got = handle.join().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..n as i64).collect::<Vec<_>>());
+    }
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<bool>().prop_map(Value::Bool),
+        (-50i64..50).prop_map(Value::Int),
+        (-10.0f64..10.0).prop_map(Value::Float),
+        "[a-c]{0,3}".prop_map(Value::Str),
+    ]
+}
+
+proptest! {
+    /// A template built from a tuple's own fields (as actuals) matches it.
+    #[test]
+    fn prop_self_template_matches(fields in proptest::collection::vec(arb_value(), 0..5)) {
+        let t = Tuple::new(fields.clone());
+        let template = Template::new(fields.into_iter().map(Slot::Actual).collect());
+        prop_assert!(template.matches(&t));
+    }
+
+    /// All-wildcard templates match exactly tuples of equal arity.
+    #[test]
+    fn prop_wildcards_match_by_arity(
+        fields in proptest::collection::vec(arb_value(), 0..5),
+        arity in 0usize..5,
+    ) {
+        let t = Tuple::new(fields);
+        let template = Template::new(vec![Slot::Wildcard; arity]);
+        prop_assert_eq!(template.matches(&t), arity == t.len());
+    }
+
+    /// Tuples round-trip through the codec.
+    #[test]
+    fn prop_tuple_codec_roundtrip(fields in proptest::collection::vec(arb_value(), 0..5)) {
+        let t = Tuple::new(fields);
+        let bytes = psc_codec::to_bytes(&t).unwrap();
+        let back: Tuple = psc_codec::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,150 @@
+//! Transmission and delivery semantics on a constrained uplink (§3.1.2).
+//!
+//! A sensor node feeds a monitoring station over a slow link:
+//!
+//! - routine readings are `Timely` — stale data is worthless, so backlogged
+//!   readings expire in transit;
+//! - alarms are `Prioritary` — they overtake queued readings;
+//! - audit records are `Certified` — they must survive the station
+//!   crashing and recovering.
+//!
+//! Run with `cargo run --example qos_telemetry`.
+
+use std::sync::{Arc, Mutex};
+
+use javaps::dace::{DaceConfig, DaceNode};
+use javaps::obvent::builtin::{Certified, Prioritary, Timely};
+use javaps::pubsub::{obvent, FilterSpec};
+use javaps::simnet::{Duration, NodeId, SimConfig, SimNet, SimTime};
+
+obvent! {
+    /// Routine reading: expires after `ttl_ms` in transit.
+    pub class Reading implements [Timely] {
+        sensor: String,
+        value: f64,
+        ttl_ms: u64,
+        birth_ms: u64,
+    }
+}
+
+obvent! {
+    /// Alarm: jumps the transmit queue.
+    pub class Alarm implements [Prioritary] {
+        sensor: String,
+        message: String,
+        priority: i32,
+    }
+}
+
+obvent! {
+    /// Audit record: certified delivery across crashes.
+    pub class AuditRecord implements [Certified] {
+        seq: u64,
+        entry: String,
+    }
+}
+
+fn main() {
+    // 10 ms serialization delay per message: a very slow uplink.
+    let config = DaceConfig {
+        transmit_interval: Duration::from_millis(10),
+        ..DaceConfig::default()
+    };
+    let mut sim = SimNet::new(SimConfig::with_seed(7));
+    let ids: Vec<NodeId> = vec![NodeId(0), NodeId(1)];
+    for name in ["sensor", "station"] {
+        sim.add_node(name, DaceNode::factory(ids.clone(), config.clone()));
+    }
+    let (sensor, station) = (ids[0], ids[1]);
+
+    let readings: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+    let arrivals: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let audits: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let (r, a, au) = (readings.clone(), arrivals.clone(), audits.clone());
+    let a2 = arrivals.clone();
+    DaceNode::drive(&mut sim, station, move |domain| {
+        let s1 = domain.subscribe(FilterSpec::accept_all(), move |x: Reading| {
+            r.lock().unwrap().push(*x.value());
+            a.lock().unwrap().push(format!("reading {}", x.value()));
+        });
+        s1.activate().unwrap();
+        s1.detach();
+        let s2 = domain.subscribe(FilterSpec::accept_all(), move |x: Alarm| {
+            a2.lock().unwrap().push(format!("ALARM {}", x.message()));
+        });
+        s2.activate().unwrap();
+        s2.detach();
+        let s3 = domain.subscribe(FilterSpec::accept_all(), move |x: AuditRecord| {
+            au.lock().unwrap().push(*x.seq());
+        });
+        s3.activate_with_id(1).unwrap();
+        s3.detach();
+    });
+    sim.run_until(SimTime::from_millis(10));
+
+    // Burst of readings (25 ms TTL over a 10 ms/message link: the tail
+    // expires), then an alarm published last but needed first.
+    DaceNode::drive(&mut sim, sensor, |domain| {
+        for i in 0..5u64 {
+            domain
+                .publish(Reading::new("temp".into(), 20.0 + i as f64, 25, 0))
+                .unwrap();
+        }
+        domain
+            .publish(Alarm::new("temp".into(), "overheat".into(), 100))
+            .unwrap();
+    });
+    sim.run_until(SimTime::from_millis(400));
+
+    let order = arrivals.lock().unwrap().clone();
+    println!("arrival order at the station: {order:?}");
+    assert!(
+        order.first().is_some_and(|first| first.starts_with("ALARM")),
+        "the prioritary alarm must arrive first"
+    );
+    let delivered_readings = readings.lock().unwrap().len();
+    let sensor_stats = DaceNode::stats_of(&mut sim, sensor);
+    println!(
+        "readings delivered: {delivered_readings}/5, expired in transit: {}",
+        sensor_stats.expired
+    );
+    assert!(delivered_readings < 5, "some readings must expire");
+    assert_eq!(sensor_stats.expired as usize, 5 - delivered_readings);
+
+    // Audit records survive a station crash.
+    DaceNode::drive(&mut sim, sensor, |domain| {
+        domain.publish(AuditRecord::new(1, "calibration".into())).unwrap();
+    });
+    sim.run_until(sim.now() + Duration::from_millis(100));
+    sim.crash(station);
+    DaceNode::drive(&mut sim, sensor, |domain| {
+        domain
+            .publish(AuditRecord::new(2, "fault detected".into()))
+            .unwrap();
+    });
+    sim.run_until(sim.now() + Duration::from_millis(200));
+    sim.recover(station);
+    let audits_after: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let au2 = audits_after.clone();
+    DaceNode::drive(&mut sim, station, move |domain| {
+        let s = domain.subscribe(FilterSpec::accept_all(), move |x: AuditRecord| {
+            au2.lock().unwrap().push(*x.seq());
+        });
+        s.activate_with_id(1).unwrap();
+        s.detach();
+    });
+    sim.run_until(sim.now() + Duration::from_secs(2));
+
+    println!(
+        "audit records before crash: {:?}, recovered after crash: {:?}",
+        audits.lock().unwrap(),
+        audits_after.lock().unwrap()
+    );
+    assert_eq!(*audits.lock().unwrap(), vec![1]);
+    assert_eq!(
+        *audits_after.lock().unwrap(),
+        vec![2],
+        "the certified record published during the crash must arrive"
+    );
+    println!("qos_telemetry OK");
+}

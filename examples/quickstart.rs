@@ -1,0 +1,84 @@
+//! Quickstart: the paper's running example (§2.3.3), nearly verbatim.
+//!
+//! A stock market publishes quotes; a broker subscribes to all stock quotes
+//! of the Telco group cheaper than 100$, using the two language primitives:
+//!
+//! ```java
+//! Subscription s =
+//!   subscribe (StockQuote q) {
+//!     return (q.getPrice() < 100 && q.getCompany().indexOf("Telco") != -1);
+//!   } {
+//!     System.out.print("Got offer: "); System.out.println(q.getPrice());
+//!   };
+//! s.activate();
+//! ...
+//! publish q;
+//! ```
+//!
+//! Run with `cargo run --example quickstart`.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use javaps::dace::inproc::Bus;
+use javaps::pubsub::{obvent, publish, subscribe};
+
+obvent! {
+    /// Paper Fig. 2: the base class of all stock obvents.
+    pub class StockObvent {
+        company: String,
+        price: f64,
+        amount: u32,
+    }
+}
+
+obvent! {
+    /// Paper Fig. 2: stock quotes.
+    pub class StockQuote extends StockObvent {}
+}
+
+fn main() {
+    // Two address spaces on the in-process bus: the market and a broker.
+    let bus = Bus::new();
+    let market = bus.domain(2);
+    let broker = bus.domain(2);
+
+    let offers = Arc::new(AtomicU32::new(0));
+    let seen = offers.clone();
+
+    // The subscribe primitive: type + deferred filter + handler closure.
+    let subscription = subscribe!(broker, (q: StockQuote)
+        where { price < 100.0 && company contains "Telco" }
+        => {
+            println!("Got offer: {}", q.price());
+            seen.fetch_add(1, Ordering::SeqCst);
+        });
+    subscription.activate().expect("activate subscription");
+
+    // The publish primitive.
+    publish!(
+        market,
+        StockQuote::new(StockObvent::new("Telco Mobiles".into(), 80.0, 10))
+    )
+    .expect("publish");
+    publish!(
+        market,
+        StockQuote::new(StockObvent::new("Telco Mobiles".into(), 150.0, 10))
+    )
+    .expect("publish");
+    publish!(
+        market,
+        StockQuote::new(StockObvent::new("Banco Verde".into(), 70.0, 5))
+    )
+    .expect("publish");
+
+    market.drain();
+    broker.drain();
+
+    let got = offers.load(Ordering::SeqCst);
+    println!("matched {got} of 3 published quotes (expected 1)");
+    assert_eq!(got, 1);
+
+    subscription.deactivate().expect("deactivate");
+    println!("quickstart OK");
+}

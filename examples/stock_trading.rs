@@ -1,0 +1,163 @@
+//! Fig. 8 — "RMI and publish/subscribe, hand in hand".
+//!
+//! Quotes are disseminated by publish/subscribe (scales to many brokers),
+//! while *purchasing* uses a synchronous remote invocation on a
+//! `StockMarket` remote object whose reference travels **inside the
+//! obvents**: "a combination of both represents a very powerful tool for
+//! devising distributed applications, e.g., by passing object references
+//! with obvents" (§5.4).
+//!
+//! Run with `cargo run --example stock_trading`.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+
+use javaps::dace::inproc::Bus;
+use javaps::pubsub::{obvent, publish, subscribe};
+use javaps::rmi::{remote_iface, DgcMode, RmiError, RmiNetwork, RmiRuntime, RemoteRefData};
+
+remote_iface! {
+    /// The remotely invocable market (Fig. 8's `StockMarket extends Remote`).
+    pub trait StockMarket {
+        fn buy(&self, company: String, price: f64, amount: u32, buyer: String) -> bool;
+    }
+}
+
+obvent! {
+    /// A quote carrying the reference of the market that issued it.
+    pub class StockQuote {
+        company: String,
+        price: f64,
+        amount: u32,
+        market_node: u64,
+        market_object: u64,
+    }
+}
+
+/// The market's server-side implementation.
+struct Market {
+    sales: AtomicU32,
+}
+
+impl StockMarket for Market {
+    fn buy(
+        &self,
+        company: String,
+        price: f64,
+        amount: u32,
+        buyer: String,
+    ) -> Result<bool, RmiError> {
+        println!("market: {buyer} buys {amount} x {company} at {price}");
+        self.sales.fetch_add(1, Ordering::SeqCst);
+        Ok(true)
+    }
+}
+
+fn broker(
+    name: &str,
+    bus: &Bus,
+    rmi: RmiRuntime,
+    max_price: f64,
+    purchases: Arc<Mutex<Vec<String>>>,
+) -> (javaps::pubsub::Domain, javaps::pubsub::Subscription) {
+    let domain = bus.domain(2);
+    let buyer = name.to_string();
+    // NOTE: the filter constant must be a literal for the rfilter! grammar;
+    // brokers with distinct thresholds use the typed DSL instead.
+    let schema = StockQuote::schema();
+    let filter = (schema.price().lt(max_price) & schema.company().contains("Telco")).into_filter();
+    let sub = domain.subscribe(
+        javaps::pubsub::FilterSpec::remote(filter),
+        move |q: StockQuote| {
+            // Synchronous leg: invoke the market carried by the obvent.
+            let market_ref = RemoteRefData {
+                node: *q.market_node(),
+                object: *q.market_object(),
+            };
+            let stub = StockMarketStub::attach(&rmi, market_ref).expect("attach market");
+            let bought = stub
+                .buy(q.company().clone(), *q.price(), *q.amount(), buyer.clone())
+                .expect("remote buy");
+            if bought {
+                purchases
+                    .lock()
+                    .unwrap()
+                    .push(format!("{}@{}", q.company(), q.price()));
+            }
+        },
+    );
+    sub.activate().expect("activate");
+    (domain, sub)
+}
+
+fn main() {
+    // Pub/sub fabric and RMI fabric side by side (nodes: 0=market, 1..=2 brokers).
+    let bus = Bus::new();
+    let rmi_net = RmiNetwork::new(3, DgcMode::Leases { ttl_ms: 60_000 });
+    let rts = rmi_net.runtimes();
+
+    // Export the market and keep it alive via the registry.
+    let market_impl = Arc::new(Market {
+        sales: AtomicU32::new(0),
+    });
+    let market_ref = StockMarketStub::export(&rts[0], market_impl.clone());
+    rts[0].bind("markets/main", market_ref);
+
+    let market_domain = bus.domain(2);
+
+    let cheap_purchases = Arc::new(Mutex::new(Vec::new()));
+    let any_purchases = Arc::new(Mutex::new(Vec::new()));
+    let (_d1, _s1) = broker("alice", &bus, rts[1].clone(), 100.0, cheap_purchases.clone());
+    let (_d2, _s2) = broker("bob", &bus, rts[2].clone(), 1_000.0, any_purchases.clone());
+
+    // A third party that just watches the tape (pure pub/sub leg).
+    let watcher = bus.domain(2);
+    let ticks = Arc::new(AtomicU32::new(0));
+    let tick_count = ticks.clone();
+    let watch = subscribe!(watcher, (q: StockQuote) => {
+        let _ = q.company();
+        tick_count.fetch_add(1, Ordering::SeqCst);
+    });
+    watch.activate().expect("activate watcher");
+
+    // The market publishes its quotes, each carrying its own reference.
+    for (company, price) in [
+        ("Telco Mobiles", 80.0),
+        ("Telco Mobiles", 130.0),
+        ("Banco Verde", 70.0),
+    ] {
+        publish!(
+            market_domain,
+            StockQuote::new(
+                company.into(),
+                price,
+                10,
+                market_ref.node,
+                market_ref.object
+            )
+        )
+        .expect("publish quote");
+    }
+
+    for domain in [&market_domain, &watcher] {
+        domain.drain();
+    }
+    // Brokers buy from inside handlers on pool threads; wait for them.
+    for _ in 0..200 {
+        if market_impl.sales.load(Ordering::SeqCst) >= 3 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    println!("watcher saw {} quotes", ticks.load(Ordering::SeqCst));
+    println!("alice bought: {:?}", cheap_purchases.lock().unwrap());
+    println!("bob bought:   {:?}", any_purchases.lock().unwrap());
+
+    assert_eq!(ticks.load(Ordering::SeqCst), 3);
+    // alice: only the cheap Telco quote; bob: both Telco quotes.
+    assert_eq!(cheap_purchases.lock().unwrap().len(), 1);
+    assert_eq!(any_purchases.lock().unwrap().len(), 2);
+    assert_eq!(market_impl.sales.load(Ordering::SeqCst), 3);
+    println!("stock_trading OK");
+}

@@ -1,0 +1,82 @@
+//! Pub/sub's spiritual ancestor at work (§5.5.2, §6.3): a job board on a
+//! tuple space — `out`/`in` coordination plus a JavaSpaces-style reaction
+//! playing the role of a subscription.
+//!
+//! Contrast with `quickstart`: the space *couples flow* (workers pull
+//! synchronously) and consumes tuples (an `in` removes the job for
+//! everyone), whereas publish/subscribe notifies every subscriber
+//! asynchronously with its own copy.
+//!
+//! Run with `cargo run --example tuple_board`.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use javaps::tuplespace::{template, tuple, TupleSpace, Value};
+
+fn main() {
+    let board = TupleSpace::new();
+
+    // A "subscription": the auditor reacts to every posted job without
+    // consuming it.
+    let audited = Arc::new(AtomicU32::new(0));
+    let audit_count = audited.clone();
+    let _audit = board.react(template![= "job", str, int], move |job| {
+        println!(
+            "audit: job {} posted (difficulty {})",
+            job.get(1).unwrap(),
+            job.get(2).unwrap()
+        );
+        audit_count.fetch_add(1, Ordering::SeqCst);
+    });
+
+    // Three workers compete for jobs with a destructive `in`.
+    let done = Arc::new(AtomicU32::new(0));
+    let workers: Vec<_> = (0..3)
+        .map(|w| {
+            let board = board.clone();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let mut mine = 0;
+                while let Some(job) =
+                    board.take_wait(&template![= "job", str, int], Duration::from_millis(300))
+                {
+                    let name = job
+                        .get(1)
+                        .and_then(Value::as_str)
+                        .map(str::to_string)
+                        .unwrap_or_default();
+                    println!("worker {w}: doing {name}");
+                    board.out(tuple!["result", w as i64, name]);
+                    done.fetch_add(1, Ordering::SeqCst);
+                    mine += 1;
+                }
+                mine
+            })
+        })
+        .collect();
+
+    // The foreman posts jobs.
+    for (i, name) in ["index", "compress", "verify", "upload", "report", "archive"]
+        .iter()
+        .enumerate()
+    {
+        board.out(tuple!["job", *name, i as i64]);
+    }
+
+    let per_worker: Vec<i32> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    println!("jobs per worker: {per_worker:?}");
+
+    // Every job was audited (reaction), done exactly once (in), and left a
+    // result tuple (out).
+    assert_eq!(audited.load(Ordering::SeqCst), 6);
+    assert_eq!(done.load(Ordering::SeqCst), 6);
+    assert_eq!(per_worker.iter().sum::<i32>(), 6);
+    let mut results = 0;
+    while board.take(&template![= "result", int, str]).is_some() {
+        results += 1;
+    }
+    assert_eq!(results, 6);
+    println!("tuple_board OK");
+}

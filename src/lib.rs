@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the Java_ps reproduction: re-exports the public API of
+//! every subsystem so examples and integration tests have a single import
+//! surface.
+//!
+//! See `README.md` for the architecture overview and `DESIGN.md` for the
+//! paper-to-code mapping.
+pub use psc_codec as codec;
+pub use psc_filter as filter;
+pub use psc_obvent as obvent;
+pub use pubsub_core as pubsub;
+pub use psc_simnet as simnet;
+pub mod tuples;
+pub use psc_group as group;
+pub use psc_dace as dace;
+pub use psc_rmi as rmi;
+pub use psc_tuplespace as tuplespace;

@@ -1,0 +1,174 @@
+//! Tuple-form publish/subscribe — paper §5.5.2 "Tuples: Back to the Roots".
+//!
+//! The paper sketches extending the primitives to *structural equivalence*:
+//!
+//! ```java
+//! publish (company, price, amount, market);
+//! Subscription s = subscribe (String company, float price, int amount, ...)
+//! ```
+//!
+//! so that any publisher/subscriber pair agreeing on the tuple *shape*
+//! interacts without sharing a nominal type — "this could lead to a very
+//! appealing style of distributed programming, but requires a more complex
+//! filtering". This module builds that bridge on top of the nominal system:
+//! tuples travel inside a single [`TupleObvent`] class; subscriptions
+//! declare a [`Template`] (the formal/actual argument list) applied as a
+//! filter; matching is structural (arity + per-position type or value), the
+//! tuple-space matching semantics of `psc-tuplespace`.
+//!
+//! ```
+//! use javaps::pubsub::Domain;
+//! use javaps::tuplespace::{template, tuple};
+//! use javaps::tuples;
+//!
+//! let domain = Domain::in_process();
+//! let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+//! let sink = seen.clone();
+//! // subscribe (String company, float price, int amount)
+//! let sub = tuples::subscribe_tuples(
+//!     &domain,
+//!     template![str, float, int],
+//!     move |t| sink.lock().unwrap().push(t),
+//! );
+//! sub.activate().unwrap();
+//!
+//! // publish (company, price, amount);
+//! tuples::publish_tuple(&domain, tuple!["Telco", 80.0, 10]).unwrap();
+//! // Shape mismatch: not delivered.
+//! tuples::publish_tuple(&domain, tuple!["Telco", 80.0]).unwrap();
+//! domain.drain();
+//! assert_eq!(seen.lock().unwrap().len(), 1);
+//! ```
+
+use psc_tuplespace::{Template, Tuple};
+use pubsub_core::{obvent, Domain, FilterSpec, PublishError, Subscription};
+
+pub use psc_filter::Value;
+
+obvent! {
+    /// The carrier class of tuple-form publish/subscribe: one nominal
+    /// obvent kind whose payload is the structural tuple.
+    pub class TupleObvent {
+        items: Vec<Value>,
+    }
+}
+
+impl TupleObvent {
+    /// Views the carried fields as a [`Tuple`].
+    pub fn to_tuple(&self) -> Tuple {
+        Tuple::new(self.items().clone())
+    }
+}
+
+impl From<Tuple> for TupleObvent {
+    fn from(tuple: Tuple) -> TupleObvent {
+        TupleObvent::new(tuple.fields().to_vec())
+    }
+}
+
+/// The `publish (a, b, c);` form: publishes a tuple structurally.
+///
+/// # Errors
+///
+/// [`PublishError`] as for any publish.
+pub fn publish_tuple(domain: &Domain, tuple: Tuple) -> Result<(), PublishError> {
+    domain.publish(TupleObvent::from(tuple))
+}
+
+/// The `subscribe (String company, float price, …)` form: delivers every
+/// published tuple whose shape matches `template` (arity plus per-position
+/// actuals/formals/wildcards).
+///
+/// Returns the usual inactive [`Subscription`] handle.
+pub fn subscribe_tuples(
+    domain: &Domain,
+    template: Template,
+    handler: impl Fn(Tuple) + Send + Sync + 'static,
+) -> Subscription {
+    let filter_template = template.clone();
+    domain.subscribe(
+        FilterSpec::local(move |o: &TupleObvent| filter_template.matches(&o.to_tuple())),
+        move |o: TupleObvent| handler(o.to_tuple()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_tuplespace::{template, tuple};
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    fn counting_sub(domain: &Domain, template: Template) -> (Subscription, Arc<AtomicU32>) {
+        let count = Arc::new(AtomicU32::new(0));
+        let c = count.clone();
+        let sub = subscribe_tuples(domain, template, move |_t| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        (sub, count)
+    }
+
+    #[test]
+    fn structural_matching_by_shape() {
+        let domain = Domain::in_process();
+        let (s1, quotes) = counting_sub(&domain, template![str, float, int]);
+        let (s2, alerts) = counting_sub(&domain, template![str, str]);
+        s1.activate().unwrap();
+        s2.activate().unwrap();
+
+        publish_tuple(&domain, tuple!["Telco", 80.0, 10]).unwrap();
+        publish_tuple(&domain, tuple!["disk", "full"]).unwrap();
+        publish_tuple(&domain, tuple![1, 2, 3]).unwrap(); // matches neither
+        domain.drain();
+
+        assert_eq!(quotes.load(Ordering::SeqCst), 1);
+        assert_eq!(alerts.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn actuals_filter_by_value() {
+        let domain = Domain::in_process();
+        let (sub, count) = counting_sub(&domain, template![= "quote", = "Telco", float]);
+        sub.activate().unwrap();
+        publish_tuple(&domain, tuple!["quote", "Telco", 80.0]).unwrap();
+        publish_tuple(&domain, tuple!["quote", "Banco", 80.0]).unwrap();
+        domain.drain();
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn handler_receives_the_tuple_payload() {
+        let domain = Domain::in_process();
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        let sub = subscribe_tuples(&domain, template![str, int], move |t| {
+            sink.lock().unwrap().push(t);
+        });
+        sub.activate().unwrap();
+        publish_tuple(&domain, tuple!["n", 42]).unwrap();
+        domain.drain();
+        let got = seen.lock().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].get(1), Some(&Value::Int(42)));
+    }
+
+    #[test]
+    fn nominal_and_structural_subscriptions_coexist() {
+        // A plain (nominal) subscription to TupleObvent sees everything;
+        // the structural one only its shape.
+        let domain = Domain::in_process();
+        let all = Arc::new(AtomicU32::new(0));
+        let a = all.clone();
+        let s1 = domain.subscribe(FilterSpec::accept_all(), move |_o: TupleObvent| {
+            a.fetch_add(1, Ordering::SeqCst);
+        });
+        let (s2, shaped) = counting_sub(&domain, template![int]);
+        s1.activate().unwrap();
+        s2.activate().unwrap();
+        publish_tuple(&domain, tuple![1]).unwrap();
+        publish_tuple(&domain, tuple!["x", 2]).unwrap();
+        domain.drain();
+        assert_eq!(all.load(Ordering::SeqCst), 2);
+        assert_eq!(shaped.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! E3 end-to-end: the §3.1.2 delivery-semantics ladder under failures,
+//! exercised through the full stack (macro → domain → DACE → protocols →
+//! simulated network).
+
+use std::sync::{Arc, Mutex};
+
+use javaps::obvent::builtin::{CausalOrder, Certified, Reliable};
+use javaps::pubsub::{obvent, FilterSpec};
+use javaps::dace::{DaceConfig, DaceNode};
+use javaps::simnet::{NodeId, SimConfig, SimNet};
+
+obvent! {
+    pub class BestEffortEvent { n: u64 }
+}
+obvent! {
+    pub class ReliableEvent implements [Reliable] { n: u64 }
+}
+obvent! {
+    pub class CausalEvent implements [CausalOrder] { n: u64 }
+}
+obvent! {
+    pub class CertifiedEvent implements [Certified] { n: u64 }
+}
+
+type Seen = Arc<Mutex<Vec<u64>>>;
+
+fn cluster(n: usize, loss: f64, seed: u64) -> (SimNet, Vec<NodeId>) {
+    let mut sim = SimNet::new(SimConfig {
+        seed,
+        drop_probability: loss,
+        ..SimConfig::default()
+    });
+    let ids: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
+    for i in 0..n {
+        sim.add_node(
+            format!("n{i}"),
+            DaceNode::factory(ids.clone(), DaceConfig::default()),
+        );
+    }
+    (sim, ids)
+}
+
+fn settle(sim: &mut SimNet, ms: u64) {
+    let deadline = sim.now() + javaps::simnet::Duration::from_millis(ms);
+    sim.run_until(deadline);
+}
+
+#[test]
+fn unreliable_drops_under_loss_reliable_does_not() {
+    let run = |reliable: bool| -> usize {
+        let (mut sim, ids) = cluster(4, 0.25, 99);
+        let seen: Seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        if reliable {
+            DaceNode::drive(&mut sim, ids[1], move |domain| {
+                let sub = domain.subscribe(FilterSpec::accept_all(), move |e: ReliableEvent| {
+                    sink.lock().unwrap().push(*e.n());
+                });
+                sub.activate().unwrap();
+                sub.detach();
+            });
+        } else {
+            DaceNode::drive(&mut sim, ids[1], move |domain| {
+                let sub = domain.subscribe(FilterSpec::accept_all(), move |e: BestEffortEvent| {
+                    sink.lock().unwrap().push(*e.n());
+                });
+                sub.activate().unwrap();
+                sub.detach();
+            });
+        }
+        // Anti-entropy converges the (lossy) control plane first.
+        settle(&mut sim, 800);
+        for i in 0..40u64 {
+            if reliable {
+                DaceNode::publish_from(&mut sim, ids[0], ReliableEvent::new(i));
+            } else {
+                DaceNode::publish_from(&mut sim, ids[0], BestEffortEvent::new(i));
+            }
+        }
+        settle(&mut sim, 1_500);
+        let delivered = seen.lock().unwrap().len();
+        delivered
+    };
+    let unreliable = run(false);
+    let reliable = run(true);
+    assert!(
+        unreliable < 40,
+        "25% loss must drop some best-effort obvents (got {unreliable}/40)"
+    );
+    assert_eq!(reliable, 40, "reliable delivery must be complete");
+}
+
+#[test]
+fn causal_order_holds_across_the_full_stack() {
+    let (mut sim, ids) = cluster(3, 0.0, 11);
+    let seen: Seen = Arc::new(Mutex::new(Vec::new()));
+    let sink = seen.clone();
+    DaceNode::drive(&mut sim, ids[2], move |domain| {
+        let sub = domain.subscribe(FilterSpec::accept_all(), move |e: CausalEvent| {
+            sink.lock().unwrap().push(*e.n());
+        });
+        sub.activate().unwrap();
+        sub.detach();
+    });
+    // Node 1 reacts to node 0's events by publishing a causally dependent
+    // follow-up (n+100).
+    let relay: Seen = Arc::new(Mutex::new(Vec::new()));
+    let relay_sink = relay.clone();
+    DaceNode::drive(&mut sim, ids[1], move |domain| {
+        let d = domain.clone();
+        let sub = domain.subscribe(FilterSpec::accept_all(), move |e: CausalEvent| {
+            relay_sink.lock().unwrap().push(*e.n());
+            if *e.n() < 100 {
+                d.publish(CausalEvent::new(*e.n() + 100)).unwrap();
+            }
+        });
+        sub.activate().unwrap();
+        sub.detach();
+    });
+    settle(&mut sim, 10);
+    for i in 0..5u64 {
+        DaceNode::publish_from(&mut sim, ids[0], CausalEvent::new(i));
+        settle(&mut sim, 20);
+    }
+    settle(&mut sim, 1_000);
+    let got = seen.lock().unwrap().clone();
+    assert_eq!(got.len(), 10, "5 originals + 5 causally dependent replies");
+    // Causality: every reply n+100 must come after its cause n.
+    for n in 0..5u64 {
+        let cause = got.iter().position(|&x| x == n).unwrap();
+        let effect = got.iter().position(|&x| x == n + 100).unwrap();
+        assert!(cause < effect, "event {n} delivered after its effect");
+    }
+}
+
+#[test]
+fn certified_delivery_spans_subscriber_downtime() {
+    let (mut sim, ids) = cluster(2, 0.1, 17);
+    let install = |sim: &mut SimNet, node: NodeId| -> Seen {
+        let seen: Seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        DaceNode::drive(sim, node, move |domain| {
+            let sub = domain.subscribe(FilterSpec::accept_all(), move |e: CertifiedEvent| {
+                sink.lock().unwrap().push(*e.n());
+            });
+            sub.activate_with_id(42).unwrap();
+            sub.detach();
+        });
+        seen
+    };
+    let before = install(&mut sim, ids[1]);
+    settle(&mut sim, 800);
+    DaceNode::publish_from(&mut sim, ids[0], CertifiedEvent::new(1));
+    settle(&mut sim, 400);
+    assert_eq!(*before.lock().unwrap(), vec![1]);
+
+    sim.crash(ids[1]);
+    DaceNode::publish_from(&mut sim, ids[0], CertifiedEvent::new(2));
+    DaceNode::publish_from(&mut sim, ids[0], CertifiedEvent::new(3));
+    settle(&mut sim, 400);
+
+    sim.recover(ids[1]);
+    let after = install(&mut sim, ids[1]);
+    settle(&mut sim, 3_000);
+    let mut got = after.lock().unwrap().clone();
+    got.sort_unstable();
+    assert_eq!(
+        got,
+        vec![2, 3],
+        "both certified obvents published during downtime must arrive, once each"
+    );
+}

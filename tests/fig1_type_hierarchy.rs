@@ -1,0 +1,190 @@
+//! F1 — paper Fig. 1: type-based publish/subscribe over the stock-trade
+//! hierarchy, running across simulated address spaces.
+//!
+//! "By subscribing to a type StockObvent, p3 receives all instances of its
+//! subtypes StockQuote and StockRequest, and hence all objects of type
+//! SpotPrice and MarketPrice."
+
+use std::sync::{Arc, Mutex};
+
+use javaps::dace::{DaceConfig, DaceNode};
+use javaps::pubsub::{obvent, FilterSpec};
+use javaps::simnet::{NodeId, SimConfig, SimNet, SimTime};
+
+obvent! {
+    pub class StockObvent {
+        company: String,
+        price: f64,
+        amount: u32,
+    }
+}
+obvent! {
+    pub class StockQuote extends StockObvent {}
+}
+obvent! {
+    pub class StockRequest extends StockObvent {
+        broker: String,
+    }
+}
+obvent! {
+    pub class SpotPrice extends StockRequest {}
+}
+obvent! {
+    pub class MarketPrice extends StockRequest {
+        deadline_ms: u64,
+    }
+}
+
+fn base(company: &str) -> StockObvent {
+    StockObvent::new(company.into(), 10.0, 1)
+}
+
+#[test]
+fn subscribing_to_the_root_captures_the_whole_hierarchy() {
+    // Touch all kinds so the publisher-side advertisements are complete
+    // before subscriptions are installed (paper: p1..p3 all know the types).
+    let _ = (
+        StockQuote::kind(),
+        SpotPrice::kind(),
+        MarketPrice::kind(),
+        StockRequest::kind(),
+    );
+
+    let mut sim = SimNet::new(SimConfig::with_seed(1));
+    let ids: Vec<NodeId> = (0..3u64).map(NodeId).collect();
+    for name in ["p1-market", "p2-broker", "p3-bank"] {
+        sim.add_node(name, DaceNode::factory(ids.clone(), DaceConfig::default()));
+    }
+    let (p1, p2, p3) = (ids[0], ids[1], ids[2]);
+
+    // p3 (the bank) subscribes to the root type: sees everything.
+    let bank_log: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = bank_log.clone();
+    DaceNode::drive(&mut sim, p3, move |domain| {
+        let sub = domain.subscribe(FilterSpec::accept_all(), move |o: StockObvent| {
+            sink.lock().unwrap().push(o.company().clone());
+        });
+        sub.activate().unwrap();
+        sub.detach();
+    });
+
+    // p2 (a broker) subscribes to quotes only.
+    let broker_log: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = broker_log.clone();
+    DaceNode::drive(&mut sim, p2, move |domain| {
+        let sub = domain.subscribe(FilterSpec::accept_all(), move |q: StockQuote| {
+            sink.lock().unwrap().push(q.company().clone());
+        });
+        sub.activate().unwrap();
+        sub.detach();
+    });
+    sim.run_until(SimTime::from_millis(10));
+
+    // p1 publishes one instance of each concrete type.
+    DaceNode::publish_from(&mut sim, p1, StockQuote::new(base("quote-co")));
+    DaceNode::publish_from(
+        &mut sim,
+        p1,
+        StockRequest::new(base("request-co"), "alice".into()),
+    );
+    DaceNode::publish_from(
+        &mut sim,
+        p2,
+        SpotPrice::new(StockRequest::new(base("spot-co"), "bob".into())),
+    );
+    DaceNode::publish_from(
+        &mut sim,
+        p2,
+        MarketPrice::new(StockRequest::new(base("market-co"), "cyd".into()), 999),
+    );
+    sim.run_until(SimTime::from_millis(600));
+
+    let mut bank = bank_log.lock().unwrap().clone();
+    bank.sort();
+    assert_eq!(
+        bank,
+        vec!["market-co", "quote-co", "request-co", "spot-co"],
+        "the root subscription must receive every subtype instance"
+    );
+
+    let broker = broker_log.lock().unwrap().clone();
+    assert_eq!(
+        broker,
+        vec!["quote-co"],
+        "the StockQuote subscription must not receive sibling types"
+    );
+}
+
+#[test]
+fn intermediate_type_subscription_gets_its_subtree_only() {
+    let _ = (SpotPrice::kind(), MarketPrice::kind(), StockQuote::kind());
+    let mut sim = SimNet::new(SimConfig::with_seed(2));
+    let ids: Vec<NodeId> = (0..2u64).map(NodeId).collect();
+    for i in 0..2 {
+        sim.add_node(
+            format!("n{i}"),
+            DaceNode::factory(ids.clone(), DaceConfig::default()),
+        );
+    }
+    let log: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = log.clone();
+    DaceNode::drive(&mut sim, ids[1], move |domain| {
+        let sub = domain.subscribe(FilterSpec::accept_all(), move |r: StockRequest| {
+            sink.lock().unwrap().push(format!("{}/{}", r.company(), r.broker()));
+        });
+        sub.activate().unwrap();
+        sub.detach();
+    });
+    sim.run_until(SimTime::from_millis(10));
+
+    DaceNode::publish_from(&mut sim, ids[0], StockQuote::new(base("not-a-request")));
+    DaceNode::publish_from(
+        &mut sim,
+        ids[0],
+        SpotPrice::new(StockRequest::new(base("spot"), "alice".into())),
+    );
+    sim.run_until(SimTime::from_millis(600));
+
+    assert_eq!(*log.lock().unwrap(), vec!["spot/alice".to_string()]);
+}
+
+#[test]
+fn content_filters_compose_with_subtype_routing() {
+    let _ = (SpotPrice::kind(), MarketPrice::kind());
+    let mut sim = SimNet::new(SimConfig::with_seed(3));
+    let ids: Vec<NodeId> = (0..2u64).map(NodeId).collect();
+    for i in 0..2 {
+        sim.add_node(
+            format!("n{i}"),
+            DaceNode::factory(ids.clone(), DaceConfig::default()),
+        );
+    }
+    // Subscribe to the whole request subtree, filtered on an inherited
+    // property: only alice's requests.
+    let log: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = log.clone();
+    DaceNode::drive(&mut sim, ids[1], move |domain| {
+        let sub = domain.subscribe(
+            FilterSpec::remote(javaps::filter::rfilter!(broker == "alice")),
+            move |r: StockRequest| {
+                sink.lock().unwrap().push(r.company().clone());
+            },
+        );
+        sub.activate().unwrap();
+        sub.detach();
+    });
+    sim.run_until(SimTime::from_millis(10));
+
+    DaceNode::publish_from(
+        &mut sim,
+        ids[0],
+        SpotPrice::new(StockRequest::new(base("alices-spot"), "alice".into())),
+    );
+    DaceNode::publish_from(
+        &mut sim,
+        ids[0],
+        MarketPrice::new(StockRequest::new(base("bobs-market"), "bob".into()), 1),
+    );
+    sim.run_until(SimTime::from_millis(600));
+    assert_eq!(*log.lock().unwrap(), vec!["alices-spot".to_string()]);
+}

@@ -1,0 +1,149 @@
+//! Cross-crate coverage for the two secondary subscription surfaces:
+//! interface (view) subscriptions routed across simulated nodes, and the
+//! §5.1 pull-style streams over the live bus, plus the §5.5.2 tuple form
+//! across the network.
+
+use std::sync::{Arc, Mutex};
+
+use javaps::dace::inproc::Bus;
+use javaps::dace::{DaceConfig, DaceNode};
+use javaps::obvent::builtin;
+use javaps::pubsub::{obvent, publish, FilterSpec};
+use javaps::simnet::{Duration, NodeId, SimConfig, SimNet};
+use javaps::tuples::{self, TupleObvent};
+use javaps::tuplespace::{template, tuple};
+
+obvent! {
+    pub class MetricSample implements [psc_obvent::builtin::Reliable] {
+        host: String,
+        value: f64,
+    }
+}
+
+obvent! {
+    pub class LogLine {
+        host: String,
+        line: String,
+    }
+}
+
+fn settle(sim: &mut SimNet, ms: u64) {
+    let deadline = sim.now() + Duration::from_millis(ms);
+    sim.run_until(deadline);
+}
+
+fn two_nodes() -> (SimNet, Vec<NodeId>) {
+    let mut sim = SimNet::new(SimConfig::with_seed(77));
+    let ids: Vec<NodeId> = (0..2u64).map(NodeId).collect();
+    for i in 0..2 {
+        sim.add_node(
+            format!("n{i}"),
+            DaceNode::factory(ids.clone(), DaceConfig::default()),
+        );
+    }
+    (sim, ids)
+}
+
+#[test]
+fn interface_view_subscription_routes_across_nodes() {
+    // Touch the kinds so the marker ancestry is resolvable everywhere.
+    let _ = (MetricSample::kind(), LogLine::kind());
+    let (mut sim, ids) = two_nodes();
+    // Subscribe to the *Reliable* marker interface: a QoS-level firehose.
+    let seen: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = seen.clone();
+    DaceNode::drive(&mut sim, ids[1], move |domain| {
+        let sub = domain.subscribe_view(
+            builtin::reliable_kind(),
+            FilterSpec::accept_all(),
+            move |view| {
+                sink.lock().unwrap().push(
+                    view.string_at("host").unwrap_or_default(),
+                );
+            },
+        );
+        sub.activate().unwrap();
+        sub.detach();
+    });
+    settle(&mut sim, 10);
+    DaceNode::publish_from(
+        &mut sim,
+        ids[0],
+        MetricSample::new("web-1".into(), 0.93),
+    );
+    // Unreliable LogLine does not subtype Reliable: must not reach the view.
+    DaceNode::publish_from(&mut sim, ids[0], LogLine::new("web-1".into(), "GET /".into()));
+    settle(&mut sim, 600);
+    assert_eq!(*seen.lock().unwrap(), vec!["web-1".to_string()]);
+}
+
+#[test]
+fn view_subscription_with_content_filter_across_nodes() {
+    let _ = MetricSample::kind();
+    let (mut sim, ids) = two_nodes();
+    let seen: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = seen.clone();
+    DaceNode::drive(&mut sim, ids[1], move |domain| {
+        let sub = domain.subscribe_view(
+            builtin::reliable_kind(),
+            FilterSpec::remote(javaps::filter::rfilter!(value > 0.9)),
+            move |view| {
+                sink.lock().unwrap().push(view.number_at("value").unwrap());
+            },
+        );
+        sub.activate().unwrap();
+        sub.detach();
+    });
+    settle(&mut sim, 10);
+    DaceNode::publish_from(&mut sim, ids[0], MetricSample::new("a".into(), 0.95));
+    DaceNode::publish_from(&mut sim, ids[0], MetricSample::new("b".into(), 0.10));
+    settle(&mut sim, 600);
+    assert_eq!(*seen.lock().unwrap(), vec![0.95]);
+}
+
+#[test]
+fn tuple_form_pubsub_crosses_the_network() {
+    let _ = TupleObvent::kind();
+    let (mut sim, ids) = two_nodes();
+    let seen: Arc<Mutex<Vec<javaps::tuples::Value>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = seen.clone();
+    DaceNode::drive(&mut sim, ids[1], move |domain| {
+        let sub = tuples::subscribe_tuples(domain, template![= "quote", str, float], move |t| {
+            sink.lock().unwrap().push(t.get(2).cloned().unwrap());
+        });
+        sub.activate().unwrap();
+        sub.detach();
+    });
+    settle(&mut sim, 10);
+    DaceNode::drive(&mut sim, ids[0], |domain| {
+        tuples::publish_tuple(domain, tuple!["quote", "Telco", 80.0]).unwrap();
+        tuples::publish_tuple(domain, tuple!["order", "Telco", 80.0]).unwrap();
+    });
+    settle(&mut sim, 600);
+    let got = seen.lock().unwrap();
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].as_f64(), Some(80.0));
+}
+
+#[test]
+fn streams_pull_from_the_live_bus() {
+    let bus = Bus::new();
+    let publisher = bus.domain_inline();
+    let consumer = bus.domain_inline();
+    let (sub, stream) = consumer
+        .subscribe_stream::<MetricSample>(FilterSpec::remote(javaps::filter::rfilter!(value >= 0.5)));
+    sub.activate().unwrap();
+    for v in [0.2, 0.6, 0.9] {
+        publish!(publisher, MetricSample::new("h".into(), v)).unwrap();
+    }
+    publisher.drain();
+    consumer.drain();
+    let got: Vec<f64> = stream.drain().iter().map(|m| *m.value()).collect();
+    assert_eq!(got, vec![0.6, 0.9]);
+    // Pausing from outside the stream (the §5.1 critique, solved).
+    sub.deactivate().unwrap();
+    publish!(publisher, MetricSample::new("h".into(), 0.7)).unwrap();
+    publisher.drain();
+    consumer.drain();
+    assert!(stream.try_recv().is_none());
+}

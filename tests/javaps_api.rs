@@ -1,0 +1,165 @@
+//! F3/F5/F6 — the full `java.pubsub` API surface (paper Figs. 3, 5, 6, 7)
+//! exercised end to end through the macros, adapters and handles.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+
+use javaps::dace::inproc::Bus;
+use javaps::filter::{restrict, rfilter};
+use javaps::obvent::builtin;
+use javaps::pubsub::{
+    obvent, publish, subscribe, Domain, FilterSpec, SubscribeError, UnsubscribeError,
+};
+
+obvent! {
+    /// Fig. 2.
+    pub class StockObvent {
+        company: String,
+        price: f64,
+        amount: u32,
+    }
+}
+obvent! {
+    pub class StockQuote extends StockObvent {}
+}
+
+fn quote(company: &str, price: f64) -> StockQuote {
+    StockQuote::new(StockObvent::new(company.into(), price, 10))
+}
+
+#[test]
+fn all_three_subscribe_forms_work() {
+    let domain = Domain::in_process();
+    let all = Arc::new(AtomicU32::new(0));
+    let filtered = Arc::new(AtomicU32::new(0));
+    let local = Arc::new(AtomicU32::new(0));
+    let (a, f, l) = (all.clone(), filtered.clone(), local.clone());
+
+    let s1 = subscribe!(domain, (q: StockQuote) => {
+        let _ = q;
+        a.fetch_add(1, Ordering::SeqCst);
+    });
+    let s2 = subscribe!(domain, (q: StockQuote)
+        where { price < 100.0 }
+        => {
+            let _ = q;
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+    let s3 = subscribe!(domain, (q: StockQuote)
+        where local |q: &StockQuote| q.company().len() > 5
+        => {
+            let _ = q;
+            l.fetch_add(1, Ordering::SeqCst);
+        });
+    for s in [&s1, &s2, &s3] {
+        s.activate().unwrap();
+    }
+
+    publish!(domain, quote("Telco Mobiles", 80.0)).unwrap(); // all three
+    publish!(domain, quote("Tel", 200.0)).unwrap(); // s1 only
+    domain.drain();
+
+    assert_eq!(all.load(Ordering::SeqCst), 2);
+    assert_eq!(filtered.load(Ordering::SeqCst), 1);
+    assert_eq!(local.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn subscription_handle_lifecycle_full_protocol() {
+    let domain = Domain::in_process();
+    let count = Arc::new(AtomicU32::new(0));
+    let c = count.clone();
+    let s = StockQuoteAdapter::subscribe(&domain, FilterSpec::accept_all(), move |_q| {
+        c.fetch_add(1, Ordering::SeqCst);
+    });
+
+    // Fig. 3 protocol: activate / double activate / deactivate / double
+    // deactivate / reactivate; interleaving unlimited.
+    assert!(!s.is_active());
+    s.activate().unwrap();
+    assert_eq!(s.activate(), Err(SubscribeError::AlreadyActive));
+    s.deactivate().unwrap();
+    assert_eq!(s.deactivate(), Err(UnsubscribeError::NotActive));
+    s.activate_with_id(7).unwrap();
+    assert!(s.is_active());
+    s.set_single_threading();
+    s.set_multi_threading(4);
+
+    StockQuoteAdapter::publish(&domain, quote("T", 1.0)).unwrap();
+    domain.drain();
+    assert_eq!(count.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn adapters_expose_the_fig6_surface() {
+    // Static publish/subscribe entry points per obvent class, named
+    // `<Class>Adapter` exactly like psc's generated `TAdapter`.
+    let bus = Bus::new();
+    let d1 = bus.domain_inline();
+    let d2 = bus.domain_inline();
+    let hits = Arc::new(AtomicU32::new(0));
+    let h = hits.clone();
+    let s = StockObventAdapter::subscribe_all(&d2, move |o| {
+        assert!(!o.company().is_empty());
+        h.fetch_add(1, Ordering::SeqCst);
+    });
+    s.activate().unwrap();
+    StockQuoteAdapter::publish(&d1, quote("T", 9.0)).unwrap();
+    assert_eq!(hits.load(Ordering::SeqCst), 1, "supertype adapter receives subtype");
+}
+
+#[test]
+fn filters_are_inspectable_parse_trees() {
+    // §4.4.3: the reified filter exposes its invocation and evaluation
+    // trees; the restriction checker mirrors §3.3.4.
+    let f = rfilter!(price < 100.0 && company contains "Telco" && market.name == "ZRH");
+    assert_eq!(f.predicates().len(), 3);
+    let tree = f.invocation_tree();
+    assert_eq!(tree.invocation_count(), 4); // price, company, market, market.name
+    assert!(restrict::is_migratable(&f, &restrict::Restrictions::default()));
+    let display = f.to_string();
+    assert!(display.contains("&&"));
+}
+
+#[test]
+fn qos_markers_compose_and_are_visible_on_kinds() {
+    obvent! {
+        pub class AuditedTrade implements [
+            psc_obvent::builtin::Certified,
+            psc_obvent::builtin::TotalOrder
+        ] {
+            id: u64,
+        }
+    }
+    let kind = AuditedTrade::kind();
+    assert!(kind.is_subtype_of(builtin::certified_kind().id()));
+    assert!(kind.is_subtype_of(builtin::total_order_kind().id()));
+    assert_eq!(kind.qos().delivery, javaps::obvent::qos::Delivery::Certified);
+    assert_eq!(kind.qos().ordering, javaps::obvent::qos::Ordering::Total);
+}
+
+#[test]
+fn view_subscriptions_cover_interface_kinds() {
+    obvent! {
+        pub class ReliablePing implements [psc_obvent::builtin::Reliable] {
+            n: u64,
+        }
+    }
+    let domain = Domain::in_process();
+    let seen: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = seen.clone();
+    let s = domain.subscribe_view(
+        builtin::reliable_kind(),
+        FilterSpec::accept_all(),
+        move |view| {
+            sink.lock().unwrap().push(view.kind_name().to_string());
+        },
+    );
+    s.activate().unwrap();
+    publish!(domain, ReliablePing::new(1)).unwrap();
+    publish!(domain, quote("NotReliable", 1.0)).unwrap();
+    domain.drain();
+    let got = seen.lock().unwrap().clone();
+    assert_eq!(got.len(), 1);
+    assert!(got[0].ends_with("ReliablePing"));
+}

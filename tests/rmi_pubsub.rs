@@ -1,0 +1,161 @@
+//! F8 — paper Fig. 8: RMI and publish/subscribe "hand in hand", plus the
+//! §5.4.2 distributed-GC interaction (E7).
+//!
+//! Quotes are disseminated via pub/sub; purchases go back synchronously
+//! through a `StockMarket` remote object whose reference rides inside the
+//! obvents. When many subscribers hold proxies and one crashes, strong DGC
+//! leaks the market object; lease-based DGC collects it.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+
+use javaps::dace::inproc::Bus;
+use javaps::pubsub::{obvent, publish, FilterSpec};
+use javaps::rmi::{remote_iface, DgcMode, ObjectId, RemoteRefData, RmiError, RmiNetwork};
+
+remote_iface! {
+    pub trait StockMarket {
+        fn buy(&self, company: String, price: f64, amount: u32, buyer: String) -> bool;
+    }
+}
+
+obvent! {
+    pub class QuoteWithMarket {
+        company: String,
+        price: f64,
+        amount: u32,
+        market_node: u64,
+        market_object: u64,
+    }
+}
+
+struct Market {
+    sales: AtomicU32,
+}
+
+impl StockMarket for Market {
+    fn buy(
+        &self,
+        _company: String,
+        _price: f64,
+        _amount: u32,
+        _buyer: String,
+    ) -> Result<bool, RmiError> {
+        self.sales.fetch_add(1, Ordering::SeqCst);
+        Ok(true)
+    }
+}
+
+#[test]
+fn quotes_carry_market_references_brokers_buy_synchronously() {
+    let bus = Bus::new();
+    let rmi = RmiNetwork::new(2, DgcMode::Strong);
+    let rts = rmi.runtimes();
+
+    let market = Arc::new(Market {
+        sales: AtomicU32::new(0),
+    });
+    let market_ref = StockMarketStub::export(&rts[0], market.clone());
+    rts[0].bind("market", market_ref);
+
+    let market_domain = bus.domain_inline();
+    let broker_domain = bus.domain_inline();
+
+    let purchases: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+    let log = purchases.clone();
+    let broker_rt = rts[1].clone();
+    let sub = broker_domain.subscribe(
+        FilterSpec::remote(javaps::filter::rfilter!(price < 100.0)),
+        move |q: QuoteWithMarket| {
+            let target = RemoteRefData {
+                node: *q.market_node(),
+                object: *q.market_object(),
+            };
+            let stub = StockMarketStub::attach(&broker_rt, target).expect("attach");
+            if stub
+                .buy(q.company().clone(), *q.price(), *q.amount(), "alice".into())
+                .expect("buy")
+            {
+                log.lock().unwrap().push(*q.price());
+            }
+        },
+    );
+    sub.activate().unwrap();
+
+    for price in [80.0, 120.0, 95.0] {
+        publish!(
+            market_domain,
+            QuoteWithMarket::new(
+                "Telco".into(),
+                price,
+                10,
+                market_ref.node,
+                market_ref.object
+            )
+        )
+        .unwrap();
+    }
+    market_domain.drain();
+    broker_domain.drain();
+
+    assert_eq!(*purchases.lock().unwrap(), vec![80.0, 95.0]);
+    assert_eq!(market.sales.load(Ordering::SeqCst), 2);
+}
+
+/// §5.4.2: "When publishing an event containing a reference to a remote
+/// object, such a proxy is created for each subscriber … if a single
+/// subscriber crashes, the remote object will never be garbage collected."
+#[test]
+fn published_references_leak_under_strong_dgc_when_a_subscriber_crashes() {
+    let rmi = RmiNetwork::new(4, DgcMode::Strong);
+    let rts = rmi.runtimes();
+    let market_ref = StockMarketStub::export(
+        &rts[0],
+        Arc::new(Market {
+            sales: AtomicU32::new(0),
+        }),
+    );
+
+    // Three subscribers each create a proxy from a published obvent.
+    let proxies: Vec<_> = (1..4)
+        .map(|i| StockMarketStub::attach(&rts[i], market_ref).unwrap())
+        .collect();
+    std::thread::sleep(std::time::Duration::from_millis(30));
+
+    let mut proxies = proxies;
+    let crasher = proxies.pop().unwrap();
+    crasher.leak(); // subscriber 3 crashes without cleaning
+    drop(proxies); // the healthy subscribers release properly
+    std::thread::sleep(std::time::Duration::from_millis(30));
+
+    rts[0].collect_expired();
+    assert!(
+        rts[0].is_exported(ObjectId(market_ref.object)),
+        "strong DGC must leak the market object"
+    );
+}
+
+/// The [CNH99] "weaker" RMI circumvents the problem: leases expire.
+#[test]
+fn lease_mode_collects_after_the_crashed_subscriber_stops_renewing() {
+    let rmi = RmiNetwork::new(4, DgcMode::Leases { ttl_ms: 100 });
+    let rts = rmi.runtimes();
+    let market_ref = StockMarketStub::export(
+        &rts[0],
+        Arc::new(Market {
+            sales: AtomicU32::new(0),
+        }),
+    );
+    let proxies: Vec<_> = (1..4)
+        .map(|i| StockMarketStub::attach(&rts[i], market_ref).unwrap())
+        .collect();
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    for stub in proxies {
+        stub.leak(); // the worst case: everyone crashes
+    }
+    rts[0].tick(200); // leases run out
+    assert!(
+        !rts[0].is_exported(ObjectId(market_ref.object)),
+        "lease-based DGC must collect the object"
+    );
+}

@@ -1,0 +1,141 @@
+//! E8 — paper §2.1.2: obvent global and local uniqueness.
+//!
+//! "Suppose an obvent o1 published from an address space a1: if an address
+//! space a2 contains two notifiables n1 and n2, these will receive
+//! references to two new distinct clones of o1 … if the address space a1
+//! also contains a notifiable n3, then n3 will receive a reference to a new
+//! obvent o4. … if the same obvent is published twice, two distinct copies
+//! will be created again for every subscriber."
+
+use std::sync::{Arc, Mutex};
+
+use javaps::dace::{DaceConfig, DaceNode};
+use javaps::pubsub::{obvent, FilterSpec};
+use javaps::simnet::{NodeId, SimConfig, SimNet, SimTime};
+
+obvent! {
+    pub class Payload {
+        body: String,
+    }
+}
+
+/// Keeps the received obvents alive so their buffers can be compared by
+/// address: distinct live allocations prove each notifiable got its own
+/// clone, not a shared reference.
+type Received = Arc<Mutex<Vec<Payload>>>;
+
+fn subscribe_recording(sim: &mut SimNet, node: NodeId) -> Received {
+    let received: Received = Arc::new(Mutex::new(Vec::new()));
+    let sink = received.clone();
+    DaceNode::drive(sim, node, move |domain| {
+        let sub = domain.subscribe(FilterSpec::accept_all(), move |p: Payload| {
+            sink.lock().unwrap().push(p);
+        });
+        sub.activate().unwrap();
+        sub.detach();
+    });
+    received
+}
+
+#[test]
+fn each_notifiable_receives_a_distinct_clone() {
+    let mut sim = SimNet::new(SimConfig::with_seed(4));
+    let ids: Vec<NodeId> = (0..2u64).map(NodeId).collect();
+    for i in 0..2 {
+        sim.add_node(
+            format!("a{i}"),
+            DaceNode::factory(ids.clone(), DaceConfig::default()),
+        );
+    }
+    // a2 hosts two notifiables (n1, n2); a1 hosts one (n3) plus publishes.
+    let n1 = subscribe_recording(&mut sim, ids[1]);
+    let n2 = subscribe_recording(&mut sim, ids[1]);
+    let n3 = subscribe_recording(&mut sim, ids[0]);
+    sim.run_until(SimTime::from_millis(10));
+
+    DaceNode::publish_from(&mut sim, ids[0], Payload::new("o1".into()));
+    sim.run_until(SimTime::from_millis(500));
+
+    let (g1, g2, g3) = (n1.lock().unwrap(), n2.lock().unwrap(), n3.lock().unwrap());
+    // Everyone got exactly one copy with the right content.
+    for (name, r) in [("n1", &g1), ("n2", &g2), ("n3", &g3)] {
+        assert_eq!(r.len(), 1, "{name}");
+        assert_eq!(r[0].body(), "o1", "{name}");
+    }
+    // Global + local uniqueness: the three simultaneously live copies are
+    // pairwise distinct allocations.
+    let addrs = [
+        g1[0].body().as_ptr() as usize,
+        g2[0].body().as_ptr() as usize,
+        g3[0].body().as_ptr() as usize,
+    ];
+    assert_ne!(addrs[0], addrs[1], "n1 and n2 must hold distinct clones");
+    assert_ne!(addrs[0], addrs[2]);
+    assert_ne!(addrs[1], addrs[2]);
+}
+
+#[test]
+fn republishing_creates_fresh_copies_again() {
+    let mut sim = SimNet::new(SimConfig::with_seed(5));
+    let ids: Vec<NodeId> = (0..2u64).map(NodeId).collect();
+    for i in 0..2 {
+        sim.add_node(
+            format!("a{i}"),
+            DaceNode::factory(ids.clone(), DaceConfig::default()),
+        );
+    }
+    let n1 = subscribe_recording(&mut sim, ids[1]);
+    sim.run_until(SimTime::from_millis(10));
+
+    // "The same obvent published twice": same value, two publishes.
+    let o = Payload::new("twice".into());
+    DaceNode::publish_from(&mut sim, ids[0], o.clone());
+    sim.run_until(SimTime::from_millis(200));
+    DaceNode::publish_from(&mut sim, ids[0], o);
+    sim.run_until(SimTime::from_millis(500));
+
+    let received = n1.lock().unwrap();
+    assert_eq!(received.len(), 2);
+    assert_eq!(received[0].body(), "twice");
+    assert_eq!(received[1].body(), "twice");
+    assert_ne!(
+        received[0].body().as_ptr(),
+        received[1].body().as_ptr(),
+        "the second delivery must be a new distinct copy"
+    );
+}
+
+#[test]
+fn mutating_a_received_clone_does_not_affect_other_subscribers() {
+    // The strongest observable consequence of per-subscriber clones: a
+    // handler may consume/mutate its copy freely.
+    let mut sim = SimNet::new(SimConfig::with_seed(6));
+    let ids: Vec<NodeId> = vec![NodeId(0)];
+    sim.add_node("solo", DaceNode::factory(ids.clone(), DaceConfig::default()));
+
+    let collected: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let (c1, c2) = (collected.clone(), collected.clone());
+    DaceNode::drive(&mut sim, ids[0], move |domain| {
+        // First subscriber consumes and mangles its copy.
+        let s1 = domain.subscribe(FilterSpec::accept_all(), move |p: Payload| {
+            let mut owned = p;
+            owned = Payload::new(format!("{}-mangled", owned.body()));
+            c1.lock().unwrap().push(owned.body().clone());
+        });
+        s1.activate().unwrap();
+        s1.detach();
+        // Second subscriber must still see the original content.
+        let s2 = domain.subscribe(FilterSpec::accept_all(), move |p: Payload| {
+            c2.lock().unwrap().push(p.body().clone());
+        });
+        s2.activate().unwrap();
+        s2.detach();
+    });
+    sim.run_until(SimTime::from_millis(10));
+    DaceNode::publish_from(&mut sim, ids[0], Payload::new("pristine".into()));
+    sim.run_until(SimTime::from_millis(200));
+
+    let mut got = collected.lock().unwrap().clone();
+    got.sort();
+    assert_eq!(got, vec!["pristine".to_string(), "pristine-mangled".to_string()]);
+}

@@ -567,6 +567,91 @@ mod failure_injection {
     }
 }
 
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Subscribes `node` to `FancyTick` (the subtype) recording tags.
+    fn subscribe_fancy(sim: &mut SimNet, node: NodeId) -> Seen<String> {
+        let seen: Seen<String> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        DaceNode::drive(sim, node, move |domain| {
+            let sub = domain.subscribe(FilterSpec::accept_all(), move |t: FancyTick| {
+                sink.lock().unwrap().push(t.tag().clone());
+            });
+            sub.activate().unwrap();
+            sub.detach();
+        });
+        seen
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// §3.2 subtyping: a kind subscription receives every publication
+        /// whose class is a subtype of the subscribed kind — and a subtype
+        /// subscription never sees supertype-only publications.
+        #[test]
+        fn kind_subscription_receives_all_subtype_publications(
+            seed in 0u64..1_000,
+            classes in proptest::collection::vec(0usize..2, 1..10),
+        ) {
+            let (mut sim, ids) = cluster(3, SimConfig::with_seed(seed), DaceConfig::default());
+            let base_sub = subscribe_plain(&mut sim, ids[1], FilterSpec::accept_all());
+            let fancy_sub = subscribe_fancy(&mut sim, ids[2]);
+            settle(&mut sim, 10);
+
+            // First publication of each class advertises it; publish one
+            // throwaway of each so later routing is converged.
+            DaceNode::publish_from(&mut sim, ids[0], PlainTick::new("warm-p".into(), 0));
+            DaceNode::publish_from(
+                &mut sim,
+                ids[0],
+                FancyTick::new(PlainTick::new("warm-f".into(), 0), "e".into()),
+            );
+            settle(&mut sim, 500);
+            base_sub.lock().unwrap().clear();
+            fancy_sub.lock().unwrap().clear();
+
+            for (i, &class) in classes.iter().enumerate() {
+                let tag = format!("m{i}");
+                match class {
+                    0 => DaceNode::publish_from(
+                        &mut sim,
+                        ids[0],
+                        PlainTick::new(tag, i as u64),
+                    ),
+                    _ => DaceNode::publish_from(
+                        &mut sim,
+                        ids[0],
+                        FancyTick::new(PlainTick::new(tag, i as u64), "x".into()),
+                    ),
+                }
+                settle(&mut sim, 20);
+            }
+            settle(&mut sim, 500);
+
+            let all: Vec<String> = (0..classes.len()).map(|i| format!("m{i}")).collect();
+            let fancies: Vec<String> = classes
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c != 0)
+                .map(|(i, _)| format!("m{i}"))
+                .collect();
+            prop_assert_eq!(
+                base_sub.lock().unwrap().clone(),
+                all,
+                "supertype subscriber must see every publication, in order"
+            );
+            prop_assert_eq!(
+                fancy_sub.lock().unwrap().clone(),
+                fancies,
+                "subtype subscriber must see exactly the subtype publications"
+            );
+        }
+    }
+}
+
 mod durable_subscriptions {
     use super::*;
 

@@ -8,8 +8,16 @@
 //! happened-before it at other processes. Transport is the eager reliable
 //! relay, since causal order subsumes reliability in the paper's lattice
 //! (`CausalOrder extends FIFOOrder extends Reliable`).
+//!
+//! Clock entries are tagged with the counted process's *incarnation epoch*
+//! (see [`MsgId`]): a crashed process loses its counters, so its next
+//! incarnation restarts at 1 under a strictly greater epoch. Receivers
+//! treat a dependency on a dead incarnation as *severed* — messages of an
+//! abandoned incarnation that never arrived are permanently lost in a
+//! volatile protocol, and waiting for them would block the new incarnation
+//! forever.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -17,22 +25,35 @@ use psc_simnet::NodeId;
 
 use crate::io::{decode_msg, encode_msg, GroupIo, Multicast};
 use crate::reliable::MsgId;
-use crate::vclock::VectorClock;
+
+/// One component of an epoch-tagged vector clock: `count` broadcasts
+/// delivered from `node`'s incarnation `epoch`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct ClockEntry {
+    node: NodeId,
+    epoch: u64,
+    count: u64,
+}
 
 #[derive(Debug, Serialize, Deserialize)]
 struct Data {
     id: MsgId,
-    clock: VectorClock,
+    /// Causal dependencies on processes other than the origin; the origin
+    /// component is `id` itself (`id.epoch`/`id.seq`).
+    deps: Vec<ClockEntry>,
     payload: Vec<u8>,
 }
 
 /// Vector-clock causal broadcast over eager reliable relay.
 #[derive(Debug, Default)]
 pub struct Causal {
+    /// This incarnation's epoch (see [`MsgId`]).
+    epoch: u64,
     next_seq: u64,
     seen: HashSet<MsgId>,
-    /// Clock of broadcasts *delivered* locally (per-origin counters).
-    delivered: VectorClock,
+    /// Latest delivered broadcast per origin: (incarnation epoch, counter
+    /// within that incarnation).
+    delivered: HashMap<NodeId, (u64, u64)>,
     /// Messages awaiting their causal predecessors.
     pending: Vec<Data>,
 }
@@ -48,9 +69,10 @@ impl Causal {
         self.pending.len()
     }
 
-    /// The local delivered-clock (diagnostics / assertions).
-    pub fn delivered_clock(&self) -> &VectorClock {
-        &self.delivered
+    /// Delivered counter for `node`'s *current* known incarnation
+    /// (diagnostics / assertions).
+    pub fn delivered_count(&self, node: NodeId) -> u64 {
+        self.delivered.get(&node).map_or(0, |&(_, c)| c)
     }
 
     fn relay(&self, io: &mut dyn GroupIo, data: &Data) {
@@ -65,13 +87,22 @@ impl Causal {
 
     /// True when `data` is deliverable given the local delivered-clock.
     fn deliverable(&self, data: &Data) -> bool {
-        let origin = data.id.origin;
-        if data.clock.get(origin) != self.delivered.get(origin) + 1 {
+        // Origin component: the next message of the incarnation we are
+        // tracking — or the first message of a newer incarnation, which
+        // severs the (unrecoverable) tail of the old one.
+        let (le, lc) = *self.delivered.get(&data.id.origin).unwrap_or(&(0, 0));
+        let origin_ok = (data.id.epoch == le && data.id.seq == lc + 1)
+            || (data.id.epoch > le && data.id.seq == 1);
+        if !origin_ok {
             return false;
         }
-        data.clock
-            .iter()
-            .all(|(node, counter)| node == origin || counter <= self.delivered.get(node))
+        // Other components: satisfied once we delivered at least as much of
+        // that incarnation, or once that incarnation is already superseded
+        // locally (its undelivered tail is lost for good).
+        data.deps.iter().all(|dep| {
+            let (le, lc) = *self.delivered.get(&dep.node).unwrap_or(&(0, 0));
+            dep.epoch < le || (dep.epoch == le && dep.count <= lc)
+        })
     }
 
     fn accept(&mut self, io: &mut dyn GroupIo, data: Data) {
@@ -82,9 +113,18 @@ impl Causal {
                 break;
             };
             let data = self.pending.swap_remove(pos);
-            self.delivered.set(data.id.origin, data.clock.get(data.id.origin));
+            self.delivered
+                .insert(data.id.origin, (data.id.epoch, data.id.seq));
             io.deliver(data.id.origin, data.payload);
         }
+        // Drop stragglers of incarnations we have already moved past; they
+        // can never become deliverable.
+        let delivered = &self.delivered;
+        self.pending.retain(|d| {
+            delivered
+                .get(&d.id.origin)
+                .map_or(true, |&(le, _)| d.id.epoch >= le)
+        });
     }
 }
 
@@ -94,16 +134,17 @@ impl Multicast for Causal {
         self.next_seq += 1;
         let id = MsgId {
             origin: me,
+            epoch: self.epoch,
             seq: self.next_seq,
         };
-        // The broadcast's clock: everything delivered here, plus this event.
-        let mut clock = self.delivered.clone();
-        clock.set(me, self.next_seq);
-        let data = Data {
-            id,
-            clock,
-            payload,
-        };
+        // Dependencies: everything delivered here from other processes.
+        let deps: Vec<ClockEntry> = self
+            .delivered
+            .iter()
+            .filter(|&(&node, _)| node != me)
+            .map(|(&node, &(epoch, count))| ClockEntry { node, epoch, count })
+            .collect();
+        let data = Data { id, deps, payload };
         self.seen.insert(id);
         self.relay(io, &data);
         if io.members().contains(&me) {
@@ -120,6 +161,14 @@ impl Multicast for Causal {
         }
         self.relay(io, &data);
         self.accept(io, data);
+    }
+
+    fn on_start(&mut self, io: &mut dyn GroupIo) {
+        self.epoch = io.now().as_millis();
+    }
+
+    fn on_recover(&mut self, io: &mut dyn GroupIo) {
+        self.epoch = io.now().as_millis();
     }
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {

@@ -149,7 +149,14 @@ impl Multicast for Certified {
         io.storage()
             .put(KEY_SEQ, &seq)
             .expect("sequence serialization cannot fail");
-        let id = MsgId { origin: me, seq };
+        // Constant epoch: the persistent counter makes cross-incarnation id
+        // collisions impossible, and the delivered set must keep suppressing
+        // pre-crash retransmissions after recovery (see `MsgId`).
+        let id = MsgId {
+            origin: me,
+            epoch: 0,
+            seq,
+        };
         let targets: Vec<NodeId> = io.members().iter().copied().filter(|&m| m != me).collect();
         let entry = LogEntry {
             id,

@@ -22,13 +22,23 @@ struct Data {
 }
 
 /// Reliable broadcast with per-publisher FIFO delivery.
+///
+/// Sequencing is per publisher *incarnation* (see [`MsgId`]): when a
+/// publisher crashes its counters are lost, so a receiver that spots a
+/// higher epoch from an origin abandons that origin's old hold-back queue
+/// and restarts the expected counter at 1. FIFO order is guaranteed within
+/// an incarnation; messages of a dead incarnation still in flight are
+/// dropped rather than delivered out of a now-meaningless order.
 #[derive(Debug, Default)]
 pub struct Fifo {
+    /// This incarnation's epoch (see [`MsgId`]).
+    epoch: u64,
     next_seq: u64,
     seen: HashSet<MsgId>,
-    /// Next expected sequence number per origin.
-    expected: HashMap<NodeId, u64>,
-    /// Held-back out-of-order messages per origin.
+    /// Per origin: the incarnation epoch being tracked and the next
+    /// expected sequence number within it.
+    expected: HashMap<NodeId, (u64, u64)>,
+    /// Held-back out-of-order messages per origin (current epoch only).
     holdback: HashMap<NodeId, BTreeMap<u64, Vec<u8>>>,
 }
 
@@ -54,8 +64,17 @@ impl Fifo {
     }
 
     fn accept(&mut self, io: &mut dyn GroupIo, id: MsgId, payload: Vec<u8>) {
-        let expected = self.expected.entry(id.origin).or_insert(1);
-        if id.seq < *expected {
+        let (epoch, expected) = self.expected.entry(id.origin).or_insert((id.epoch, 1));
+        if id.epoch < *epoch {
+            return; // straggler from a dead incarnation
+        }
+        if id.epoch > *epoch {
+            // The origin restarted: its old counters are gone for good.
+            *epoch = id.epoch;
+            *expected = 1;
+            self.holdback.remove(&id.origin);
+        }
+        if id.seq < self.expected[&id.origin].1 {
             return; // stale duplicate
         }
         self.holdback
@@ -64,7 +83,7 @@ impl Fifo {
             .insert(id.seq, payload);
         // Release the contiguous prefix.
         let queue = self.holdback.get_mut(&id.origin).expect("just inserted");
-        let expected = self.expected.get_mut(&id.origin).expect("just inserted");
+        let (_, expected) = self.expected.get_mut(&id.origin).expect("just inserted");
         while let Some(payload) = queue.remove(expected) {
             io.deliver(id.origin, payload);
             *expected += 1;
@@ -78,6 +97,7 @@ impl Multicast for Fifo {
         self.next_seq += 1;
         let id = MsgId {
             origin: me,
+            epoch: self.epoch,
             seq: self.next_seq,
         };
         let data = Data {
@@ -100,6 +120,14 @@ impl Multicast for Fifo {
         }
         self.relay(io, &data);
         self.accept(io, data.id, data.payload);
+    }
+
+    fn on_start(&mut self, io: &mut dyn GroupIo) {
+        self.epoch = io.now().as_millis();
+    }
+
+    fn on_recover(&mut self, io: &mut dyn GroupIo) {
+        self.epoch = io.now().as_millis();
     }
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {

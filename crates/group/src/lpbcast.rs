@@ -60,6 +60,8 @@ struct Gossip {
 #[derive(Debug)]
 pub struct Lpbcast {
     config: LpbcastConfig,
+    /// This incarnation's epoch (see [`MsgId`]).
+    epoch: u64,
     next_seq: u64,
     seen: HashSet<MsgId>,
     buffer: Vec<Event>,
@@ -70,6 +72,7 @@ impl Lpbcast {
     pub fn new(config: LpbcastConfig) -> Self {
         Lpbcast {
             config,
+            epoch: 0,
             next_seq: 0,
             seen: HashSet::new(),
             buffer: Vec::new(),
@@ -123,6 +126,7 @@ impl Multicast for Lpbcast {
         self.next_seq += 1;
         let id = MsgId {
             origin: me,
+            epoch: self.epoch,
             seq: self.next_seq,
         };
         self.seen.insert(id);
@@ -159,10 +163,12 @@ impl Multicast for Lpbcast {
     }
 
     fn on_start(&mut self, io: &mut dyn GroupIo) {
+        self.epoch = io.now().as_millis();
         io.set_timer(self.config.interval, GOSSIP);
     }
 
     fn on_recover(&mut self, io: &mut dyn GroupIo) {
+        self.epoch = io.now().as_millis();
         io.set_timer(self.config.interval, GOSSIP);
     }
 

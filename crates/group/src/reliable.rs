@@ -28,10 +28,22 @@ use crate::io::{decode_msg, encode_msg, GroupIo, Multicast, TimerToken};
 const RETRANSMIT: TimerToken = TimerToken(6);
 const RETRANSMIT_INTERVAL: Duration = Duration::from_millis(40);
 
-/// Globally unique message id: origin plus per-origin sequence number.
+/// Globally unique message id: origin, incarnation epoch, and per-origin
+/// sequence number.
+///
+/// The epoch disambiguates incarnations of the same process: volatile
+/// protocols lose their sequence counters on a crash, so a recovered
+/// publisher restarts at `seq = 1` — without the epoch those ids would
+/// collide with its pre-crash messages and survivors' duplicate-suppression
+/// sets would silently swallow the new, distinct messages. Each incarnation
+/// stamps its ids with its start time (strictly later than any previous
+/// incarnation's), keeping ids unique across crash–recover cycles.
+/// Persistent protocols ([`Certified`](crate::Certified)) recover their
+/// counters from stable storage and use a constant epoch of 0.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
 pub(crate) struct MsgId {
     pub origin: NodeId,
+    pub epoch: u64,
     pub seq: u64,
 }
 
@@ -59,6 +71,8 @@ struct Outgoing {
 /// docs.
 #[derive(Debug, Default)]
 pub struct Reliable {
+    /// This incarnation's epoch (see [`MsgId`]).
+    epoch: u64,
     next_seq: u64,
     seen: HashSet<MsgId>,
     /// Origin state: messages not yet acknowledged by every member.
@@ -121,6 +135,7 @@ impl Multicast for Reliable {
         self.next_seq += 1;
         let id = MsgId {
             origin: me,
+            epoch: self.epoch,
             seq: self.next_seq,
         };
         self.seen.insert(id);
@@ -164,7 +179,7 @@ impl Multicast for Reliable {
                 io.deliver(id.origin, payload);
             }
             Msg::Ack { id } => {
-                if id.origin != io.self_id() {
+                if id.origin != io.self_id() || id.epoch != self.epoch {
                     return;
                 }
                 if let Some(outgoing) = self.outgoing.get_mut(&id.seq) {
@@ -184,10 +199,22 @@ impl Multicast for Reliable {
         self.timer_armed = false;
         let me = io.self_id();
         for (&seq, outgoing) in &self.outgoing {
-            let id = MsgId { origin: me, seq };
+            let id = MsgId {
+                origin: me,
+                epoch: self.epoch,
+                seq,
+            };
             Reliable::send_from_origin(io, id, &outgoing.payload, &outgoing.unacked);
         }
         self.arm_timer(io);
+    }
+
+    fn on_start(&mut self, io: &mut dyn GroupIo) {
+        self.epoch = io.now().as_millis();
+    }
+
+    fn on_recover(&mut self, io: &mut dyn GroupIo) {
+        self.epoch = io.now().as_millis();
     }
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {

@@ -455,6 +455,162 @@ mod lpbcast {
     }
 }
 
+/// Crash–recovery regressions for the volatile protocols' incarnation
+/// epochs (`MsgId::epoch`). Each test pins the defect class the simulation
+/// harness's oracles surfaced on the seed suite: without epochs, a
+/// recovered publisher restarts at `seq = 1` and its new messages collide
+/// with pre-crash ids in survivors' duplicate-suppression state.
+mod crash_recovery {
+    use super::*;
+
+    #[test]
+    fn reliable_republish_after_crash_is_not_swallowed_as_duplicate() {
+        let (mut sim, ids) = cluster(3, SimConfig::with_seed(21), || Box::new(Reliable::new()));
+        GroupNode::broadcast(&mut sim, ids[0], b"first-life".to_vec());
+        sim.run_to_quiescence();
+        for &id in &ids[1..] {
+            assert_eq!(GroupNode::delivered(&mut sim, id).len(), 1);
+        }
+        // n0 crashes, loses its counters, and publishes again from seq 1.
+        sim.crash(ids[0]);
+        sim.run_for(Duration::from_millis(10));
+        sim.recover(ids[0]);
+        GroupNode::set_members(&mut sim, ids[0], ids.clone());
+        GroupNode::broadcast(&mut sim, ids[0], b"second-life".to_vec());
+        sim.run_to_quiescence();
+        for &id in &ids[1..] {
+            assert_eq!(
+                GroupNode::delivered_payloads(&mut sim, id),
+                vec![b"first-life".to_vec(), b"second-life".to_vec()],
+                "node {id}: the new incarnation's seq-1 message must not be \
+                 deduplicated against the old incarnation's"
+            );
+        }
+    }
+
+    #[test]
+    fn fifo_receivers_follow_the_publishers_new_incarnation() {
+        let (mut sim, ids) = cluster(3, SimConfig::with_seed(23), || Box::new(Fifo::new()));
+        for i in 0..3u64 {
+            GroupNode::broadcast(&mut sim, ids[0], payload(0, i));
+        }
+        sim.run_to_quiescence();
+        sim.crash(ids[0]);
+        sim.run_for(Duration::from_millis(10));
+        sim.recover(ids[0]);
+        GroupNode::set_members(&mut sim, ids[0], ids.clone());
+        for i in 10..13u64 {
+            GroupNode::broadcast(&mut sim, ids[0], payload(0, i));
+        }
+        sim.run_to_quiescence();
+        for &id in &ids[1..] {
+            let got = GroupNode::delivered_payloads(&mut sim, id);
+            let expected: Vec<Vec<u8>> = (0..3)
+                .chain(10..13)
+                .map(|i| payload(0, i))
+                .collect();
+            assert_eq!(
+                got, expected,
+                "node {id}: both incarnations' streams, each in FIFO order"
+            );
+        }
+    }
+
+    #[test]
+    fn causal_receivers_sever_dependencies_on_a_dead_incarnation() {
+        let (mut sim, ids) = cluster(3, SimConfig::with_seed(29), || Box::new(Causal::new()));
+        GroupNode::broadcast(&mut sim, ids[0], b"old".to_vec());
+        sim.run_to_quiescence();
+        // n0's second incarnation restarts its clock; survivors must
+        // deliver its fresh messages instead of waiting forever for a
+        // (never-coming) continuation of the old incarnation's counter.
+        sim.crash(ids[0]);
+        sim.run_for(Duration::from_millis(10));
+        sim.recover(ids[0]);
+        GroupNode::set_members(&mut sim, ids[0], ids.clone());
+        GroupNode::broadcast(&mut sim, ids[0], b"new".to_vec());
+        sim.run_to_quiescence();
+        for &id in &ids[1..] {
+            assert_eq!(
+                GroupNode::delivered_payloads(&mut sim, id),
+                vec![b"old".to_vec(), b"new".to_vec()],
+                "node {id}"
+            );
+            let pending =
+                GroupNode::with_proto::<Causal, usize>(&mut sim, id, |c| c.pending_len()).unwrap();
+            assert_eq!(pending, 0, "node {id} must not hold back the new incarnation");
+        }
+    }
+
+    #[test]
+    fn total_recovered_receiver_adopts_horizon_without_redelivery() {
+        let (mut sim, ids) = cluster(3, SimConfig::with_seed(31), || Box::new(Total::new()));
+        for i in 0..4u64 {
+            GroupNode::broadcast(&mut sim, ids[1], payload(1, i));
+        }
+        sim.run_to_quiescence();
+        assert_eq!(GroupNode::delivered(&mut sim, ids[2]).len(), 4);
+        // n2 crashes and rejoins mid-stream: it must resume at the stream
+        // horizon (not NACK-replay history its previous life consumed) and
+        // deliver only what comes after.
+        sim.crash(ids[2]);
+        sim.run_for(Duration::from_millis(10));
+        sim.recover(ids[2]);
+        GroupNode::set_members(&mut sim, ids[2], ids.clone());
+        for i in 10..12u64 {
+            GroupNode::broadcast(&mut sim, ids[1], payload(1, i));
+        }
+        sim.run_to_quiescence();
+        let got = GroupNode::delivered_payloads(&mut sim, ids[2]);
+        assert_eq!(
+            got,
+            vec![payload(1, 10), payload(1, 11)],
+            "the rejoined receiver must deliver exactly the post-recovery tail"
+        );
+        // The steady node agrees on the shared suffix.
+        let steady = GroupNode::delivered_payloads(&mut sim, ids[0]);
+        assert_eq!(&steady[4..], &got[..], "total order preserved on the suffix");
+    }
+
+    #[test]
+    fn total_restarted_sequencer_renumbers_without_duplicates() {
+        let (mut sim, ids) = cluster(3, SimConfig::with_seed(37), || Box::new(Total::new()));
+        // ids[0] is the sequencer (lowest id). Let a first batch sequence,
+        // then restart it: the new incarnation renumbers from gseq 1 and
+        // receivers must switch streams without re-delivering re-ordered
+        // submissions.
+        for i in 0..3u64 {
+            GroupNode::broadcast(&mut sim, ids[1], payload(1, i));
+        }
+        sim.run_to_quiescence();
+        sim.crash(ids[0]);
+        sim.run_for(Duration::from_millis(10));
+        sim.recover(ids[0]);
+        GroupNode::set_members(&mut sim, ids[0], ids.clone());
+        for i in 10..13u64 {
+            GroupNode::broadcast(&mut sim, ids[2], payload(2, i));
+        }
+        sim.run_until(SimTime::from_secs(3));
+        // Total order promises agreement, not publisher order (submissions
+        // race to the sequencer with independent latencies): both survivors
+        // must have identical logs — the old stream's batch, then the new
+        // stream's, each exactly once.
+        let reference = GroupNode::delivered_payloads(&mut sim, ids[1]);
+        assert_eq!(
+            GroupNode::delivered_payloads(&mut sim, ids[2]),
+            reference,
+            "survivors diverged across the sequencer restart"
+        );
+        let (old_batch, new_batch) = reference.split_at(3);
+        let mut old_sorted = old_batch.to_vec();
+        old_sorted.sort();
+        let mut new_sorted = new_batch.to_vec();
+        new_sorted.sort();
+        assert_eq!(old_sorted, (0..3).map(|i| payload(1, i)).collect::<Vec<_>>());
+        assert_eq!(new_sorted, (10..13).map(|i| payload(2, i)).collect::<Vec<_>>());
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

@@ -8,7 +8,7 @@
 //!
 //! - *lost submissions*: publishers retransmit un-sequenced submissions
 //!   until they see their own message come back ordered (the sequencer
-//!   deduplicates by `(origin, local_seq)`);
+//!   deduplicates by `(origin, origin_epoch, local_seq)`);
 //! - *interior gaps*: a receiver holding back out-of-order messages NACKs
 //!   the missing range after a timeout;
 //! - *trailing gaps*: the sequencer heartbeats its highest sequence number,
@@ -17,6 +17,25 @@
 //! Because one process orders everything and submissions are retried in
 //! order, total order here also preserves per-publisher FIFO submission
 //! order.
+//!
+//! State is volatile, so crash–recovery is handled with *incarnation
+//! epochs* (see [`MsgId`](crate::reliable)):
+//!
+//! - every `Ordered` message carries the sequencer incarnation's
+//!   `seq_epoch`; a receiver follows one sequencer stream at a time and
+//!   switches (clearing its hold-back) when a strictly newer stream
+//!   appears — a restarted sequencer renumbers from `gseq = 1`;
+//! - a **recovered receiver adopts the stream horizon** instead of
+//!   NACK-replaying history it already consumed in its previous life: the
+//!   first `Ordered` or `Heartbeat` it sees fixes where delivery resumes;
+//! - submissions carry the publisher's `origin_epoch`, so a restarted
+//!   publisher's `local_seq = 1` cannot be deduplicated against its
+//!   pre-crash submissions.
+//!
+//! A fresh instance (first `on_start`, e.g. a DACE channel created late)
+//! does *not* adopt the horizon: it NACKs from the beginning of the stream
+//! and catches up on the full history, which is the loss-repair path the
+//! engine relies on for channels instantiated after traffic began.
 
 use std::collections::{BTreeMap, HashSet};
 
@@ -42,25 +61,35 @@ enum Msg {
     /// Publisher → sequencer: please order this payload.
     Submit {
         origin: NodeId,
+        origin_epoch: u64,
         local_seq: u64,
         payload: Vec<u8>,
     },
     /// Sequencer → everyone: globally ordered message.
     Ordered {
+        seq_epoch: u64,
         gseq: u64,
         origin: NodeId,
+        origin_epoch: u64,
         local_seq: u64,
         payload: Vec<u8>,
     },
-    /// Receiver → sequencer: retransmit `[from, to]` (inclusive).
-    Nack { from: u64, to: u64 },
+    /// Receiver → sequencer: retransmit `[from, to]` (inclusive) of stream
+    /// `seq_epoch`.
+    Nack { seq_epoch: u64, from: u64, to: u64 },
     /// Sequencer → everyone: highest assigned sequence number.
-    Heartbeat { max_gseq: u64 },
+    Heartbeat { seq_epoch: u64, max_gseq: u64 },
 }
 
 /// Fixed-sequencer total-order broadcast with NACK-based gap repair.
 #[derive(Debug, Default)]
 pub struct Total {
+    /// This incarnation's epoch; stamps submissions (as `origin_epoch`) and,
+    /// when acting as sequencer, the `Ordered` stream (as `seq_epoch`).
+    epoch: u64,
+    /// True between `on_recover` and the first stream message seen: the
+    /// receiver adopts the horizon instead of NACKing history.
+    rejoining: bool,
     // -- publisher state --
     next_local: u64,
     /// Submitted but not yet seen ordered: local_seq → payload.
@@ -68,8 +97,8 @@ pub struct Total {
     submit_timer_armed: bool,
     // -- sequencer state --
     next_gseq: u64,
-    history: BTreeMap<u64, (NodeId, u64, Vec<u8>)>,
-    sequenced: HashSet<(NodeId, u64)>,
+    history: BTreeMap<u64, (NodeId, u64, u64, Vec<u8>)>,
+    sequenced: HashSet<(NodeId, u64, u64)>,
     heartbeat_armed: bool,
     /// Consecutive heartbeats without new sequencing activity; the beat
     /// stops after [`IDLE_HEARTBEAT_LIMIT`] so an idle group quiesces, and
@@ -77,8 +106,15 @@ pub struct Total {
     idle_heartbeats: u32,
     last_heartbeat_gseq: u64,
     // -- receiver state --
+    /// Sequencer incarnation whose stream is currently followed.
+    seq_epoch: u64,
     next_deliver: u64,
-    holdback: BTreeMap<u64, (NodeId, u64, Vec<u8>)>,
+    holdback: BTreeMap<u64, (NodeId, u64, u64, Vec<u8>)>,
+    /// Submissions already delivered, keyed by (origin, origin_epoch,
+    /// local_seq) — suppresses re-delivery when a restarted sequencer
+    /// re-orders submissions that were already ordered in its previous
+    /// stream.
+    delivered_keys: HashSet<(NodeId, u64, u64)>,
     gap_timer_armed: bool,
 }
 
@@ -108,17 +144,27 @@ impl Total {
         self.pending_submits.len()
     }
 
-    fn sequence(&mut self, io: &mut dyn GroupIo, origin: NodeId, local_seq: u64, payload: Vec<u8>) {
-        if !self.sequenced.insert((origin, local_seq)) {
+    fn sequence(
+        &mut self,
+        io: &mut dyn GroupIo,
+        origin: NodeId,
+        origin_epoch: u64,
+        local_seq: u64,
+        payload: Vec<u8>,
+    ) {
+        if !self.sequenced.insert((origin, origin_epoch, local_seq)) {
             return; // retried submission already ordered
         }
         let gseq = self.next_gseq;
         self.next_gseq += 1;
-        self.history.insert(gseq, (origin, local_seq, payload.clone()));
+        self.history
+            .insert(gseq, (origin, origin_epoch, local_seq, payload.clone()));
         let me = io.self_id();
         let bytes = encode_msg(&Msg::Ordered {
+            seq_epoch: self.epoch,
             gseq,
             origin,
+            origin_epoch,
             local_seq,
             payload: payload.clone(),
         });
@@ -134,28 +180,67 @@ impl Total {
         }
         // The sequencer is typically a member too.
         if io.members().contains(&me) {
-            self.accept(io, gseq, origin, local_seq, payload);
+            self.accept(io, self.epoch, gseq, origin, origin_epoch, local_seq, payload);
         }
     }
 
+    /// Re-synchronizes the receiver with stream `seq_epoch` before ordinary
+    /// in-sequence processing; returns `false` when the message belongs to
+    /// a stream older than the one being followed.
+    fn sync_stream(&mut self, seq_epoch: u64, resume_at: u64) -> bool {
+        if self.rejoining {
+            // Horizon adoption: whatever this incarnation already consumed
+            // died with it — resume at the first point the new life
+            // observes instead of replaying the stream from its start.
+            self.rejoining = false;
+            self.seq_epoch = seq_epoch;
+            self.next_deliver = resume_at;
+            self.holdback.clear();
+            return true;
+        }
+        if seq_epoch < self.seq_epoch {
+            return false; // dead sequencer incarnation
+        }
+        if seq_epoch > self.seq_epoch {
+            // The sequencer restarted and renumbered from 1: follow the new
+            // stream; `delivered_keys` keeps re-ordered submissions from
+            // being delivered twice.
+            self.seq_epoch = seq_epoch;
+            self.next_deliver = 1;
+            self.holdback.clear();
+        }
+        true
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn accept(
         &mut self,
         io: &mut dyn GroupIo,
+        seq_epoch: u64,
         gseq: u64,
         origin: NodeId,
+        origin_epoch: u64,
         local_seq: u64,
         payload: Vec<u8>,
     ) {
-        if origin == io.self_id() {
+        if origin == io.self_id() && origin_epoch == self.epoch {
             self.pending_submits.remove(&local_seq);
+        }
+        if !self.sync_stream(seq_epoch, gseq) {
+            return;
         }
         if gseq < self.next_deliver {
             return; // duplicate / already delivered
         }
-        self.holdback.insert(gseq, (origin, local_seq, payload));
-        while let Some((origin, _local, payload)) = self.holdback.remove(&self.next_deliver) {
-            io.deliver(origin, payload);
+        self.holdback
+            .insert(gseq, (origin, origin_epoch, local_seq, payload));
+        while let Some((origin, origin_epoch, local_seq, payload)) =
+            self.holdback.remove(&self.next_deliver)
+        {
             self.next_deliver += 1;
+            if self.delivered_keys.insert((origin, origin_epoch, local_seq)) {
+                io.deliver(origin, payload);
+            }
         }
         // A hole ahead of us: arm the gap check.
         if !self.holdback.is_empty() && !self.gap_timer_armed {
@@ -167,12 +252,15 @@ impl Total {
     fn submit(&mut self, io: &mut dyn GroupIo, local_seq: u64, payload: Vec<u8>) {
         let me = io.self_id();
         match Total::sequencer(io) {
-            Some(seq_node) if seq_node == me => self.sequence(io, me, local_seq, payload),
+            Some(seq_node) if seq_node == me => {
+                self.sequence(io, me, self.epoch, local_seq, payload)
+            }
             Some(seq_node) => {
                 io.send(
                     seq_node,
                     encode_msg(&Msg::Submit {
                         origin: me,
+                        origin_epoch: self.epoch,
                         local_seq,
                         payload,
                     }),
@@ -185,7 +273,14 @@ impl Total {
     fn nack(&self, io: &mut dyn GroupIo, from: u64, to: u64) {
         if let Some(seq_node) = Total::sequencer(io) {
             if seq_node != io.self_id() {
-                io.send(seq_node, encode_msg(&Msg::Nack { from, to }));
+                io.send(
+                    seq_node,
+                    encode_msg(&Msg::Nack {
+                        seq_epoch: self.seq_epoch,
+                        from,
+                        to,
+                    }),
+                );
             }
         }
     }
@@ -213,12 +308,13 @@ impl Multicast for Total {
         match msg {
             Msg::Submit {
                 origin,
+                origin_epoch,
                 local_seq,
                 payload,
             } => {
                 let me = io.self_id();
                 if Total::sequencer(io) == Some(me) {
-                    self.sequence(io, origin, local_seq, payload);
+                    self.sequence(io, origin, origin_epoch, local_seq, payload);
                 } else if let Some(seq_node) = Total::sequencer(io) {
                     // Not the sequencer (e.g. after a membership change):
                     // forward.
@@ -226,6 +322,7 @@ impl Multicast for Total {
                         seq_node,
                         encode_msg(&Msg::Submit {
                             origin,
+                            origin_epoch,
                             local_seq,
                             payload,
                         }),
@@ -233,17 +330,30 @@ impl Multicast for Total {
                 }
             }
             Msg::Ordered {
+                seq_epoch,
                 gseq,
                 origin,
+                origin_epoch,
                 local_seq,
                 payload,
-            } => self.accept(io, gseq, origin, local_seq, payload),
-            Msg::Nack { from: lo, to: hi } => {
+            } => self.accept(io, seq_epoch, gseq, origin, origin_epoch, local_seq, payload),
+            Msg::Nack {
+                seq_epoch,
+                from: lo,
+                to: hi,
+            } => {
+                if seq_epoch != self.epoch {
+                    return; // NACK for a stream this incarnation did not order
+                }
                 for gseq in lo..=hi {
-                    if let Some((origin, local_seq, payload)) = self.history.get(&gseq) {
+                    if let Some((origin, origin_epoch, local_seq, payload)) =
+                        self.history.get(&gseq)
+                    {
                         let bytes = encode_msg(&Msg::Ordered {
+                            seq_epoch: self.epoch,
                             gseq,
                             origin: *origin,
+                            origin_epoch: *origin_epoch,
                             local_seq: *local_seq,
                             payload: payload.clone(),
                         });
@@ -251,7 +361,10 @@ impl Multicast for Total {
                     }
                 }
             }
-            Msg::Heartbeat { max_gseq } => {
+            Msg::Heartbeat { seq_epoch, max_gseq } => {
+                if !self.sync_stream(seq_epoch, max_gseq + 1) {
+                    return;
+                }
                 // Trailing gap: we have not even seen max_gseq yet.
                 if max_gseq >= self.next_deliver && !self.holdback.contains_key(&max_gseq) {
                     self.nack(io, self.next_deliver, max_gseq);
@@ -299,7 +412,10 @@ impl Multicast for Total {
                     self.idle_heartbeats = 0;
                     self.last_heartbeat_gseq = max_gseq;
                 }
-                let bytes = encode_msg(&Msg::Heartbeat { max_gseq });
+                let bytes = encode_msg(&Msg::Heartbeat {
+                    seq_epoch: self.epoch,
+                    max_gseq,
+                });
                 for member in io.members().to_vec() {
                     if member != me {
                         io.send(member, bytes.clone());
@@ -314,6 +430,15 @@ impl Multicast for Total {
             }
             _ => {}
         }
+    }
+
+    fn on_start(&mut self, io: &mut dyn GroupIo) {
+        self.epoch = io.now().as_millis();
+    }
+
+    fn on_recover(&mut self, io: &mut dyn GroupIo) {
+        self.epoch = io.now().as_millis();
+        self.rejoining = true;
     }
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {

@@ -1,0 +1,16 @@
+use psc_harness::runner;
+use psc_harness::{ProtocolKind, Scenario};
+
+fn main() {
+    for (seed, kind) in [
+        (11u64, ProtocolKind::Fifo),
+        (8, ProtocolKind::Causal),
+        (340, ProtocolKind::Causal),
+        (56, ProtocolKind::Total),
+    ] {
+        let mut s = Scenario::generate(seed);
+        s.protocol = kind;
+        let outcome = runner::run_scenario(&s);
+        println!("==== seed {seed} {} ====\n{}\n", kind.name(), runner::report(&s, &outcome));
+    }
+}

@@ -1,0 +1,86 @@
+//! Deliberately defective protocols.
+//!
+//! An oracle that never fires is worse than none: these protocols exist so
+//! tests can demonstrate that the invariant checks actually catch the
+//! defect class they claim to (and that the shrinker reduces the failing
+//! schedule to something readable).
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use psc_simnet::NodeId;
+
+use psc_group::{GroupIo, Multicast};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+struct BrokenId {
+    origin: u64,
+    seq: u64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct BrokenData {
+    id: BrokenId,
+    payload: Vec<u8>,
+}
+
+/// A "FIFO" broadcast with the sequence check disabled: it numbers and
+/// relays messages exactly like [`psc_group::Fifo`] but delivers in
+/// arrival order, without the hold-back queue. Under latency jitter this
+/// reorders per-publisher messages — the defect the FIFO oracle must
+/// catch.
+#[derive(Debug, Default)]
+pub struct BrokenFifo {
+    next_seq: u64,
+    seen: HashSet<BrokenId>,
+}
+
+impl BrokenFifo {
+    /// Creates a broken-FIFO instance.
+    pub fn new() -> Self {
+        BrokenFifo::default()
+    }
+
+    fn relay(&self, io: &mut dyn GroupIo, data: &BrokenData) {
+        let me = io.self_id();
+        let bytes = psc_codec::to_bytes(data).expect("broken-fifo message encodes");
+        for member in io.members().to_vec() {
+            if member != me {
+                io.send(member, bytes.clone());
+            }
+        }
+    }
+}
+
+impl Multicast for BrokenFifo {
+    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: Vec<u8>) {
+        let me = io.self_id();
+        self.next_seq += 1;
+        let data = BrokenData {
+            id: BrokenId { origin: me.0, seq: self.next_seq },
+            payload: payload.clone(),
+        };
+        self.seen.insert(data.id);
+        self.relay(io, &data);
+        if io.members().contains(&me) {
+            io.deliver(me, payload);
+        }
+    }
+
+    fn on_message(&mut self, io: &mut dyn GroupIo, _from: NodeId, bytes: &[u8]) {
+        let Ok(data) = psc_codec::from_bytes::<BrokenData>(bytes) else {
+            return;
+        };
+        if !self.seen.insert(data.id) {
+            return;
+        }
+        self.relay(io, &data);
+        // The defect: immediate delivery, no per-origin sequencing.
+        io.deliver(NodeId(data.id.origin), data.payload);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

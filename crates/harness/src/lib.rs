@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! # psc-harness — deterministic simulation harness
+//!
+//! A FoundationDB-style simulation-testing harness for the whole stack:
+//! from one `u64` seed it derives a complete scenario — cluster size, loss
+//! rate, latency distribution, partition windows, crash/recovery schedules
+//! and a publish workload — executes it inside the deterministic
+//! `psc-simnet` discrete-event simulator against a chosen `psc-group`
+//! protocol (or the full DACE dissemination stack), and checks the
+//! delivered traces against the paper's §3.1.2 delivery/ordering contracts:
+//!
+//! - **integrity** — no ghost deliveries, no duplicates, correct origin
+//!   attribution (all protocols);
+//! - **FIFO** — per-publisher delivery is a contiguous, in-order prefix of
+//!   the publish order (`Fifo`, and `Causal` via the Fig. 4 lattice);
+//! - **causal** — a delivered obvent is preceded by every publication its
+//!   publisher had delivered when publishing (`Causal`);
+//! - **total order** — any two processes agree on the relative order of
+//!   every pair of messages they both deliver (`Total`);
+//! - **completeness / certified durability** — everything published is
+//!   delivered everywhere, exactly once, including across subscriber and
+//!   publisher crash–recovery (`Certified` always; the others whenever the
+//!   sampled fault load is within their tolerance).
+//!
+//! Three layers, mirroring the crate modules:
+//!
+//! 1. [`scenario`] — the seed-derived scenario model (plain data, so failing
+//!    schedules can be shrunk and replayed);
+//! 2. [`oracle`] + [`trace`] — invariant checking over recorded traces;
+//! 3. [`runner`] — execution, **seed replay** (`HARNESS_SEED=N cargo test`),
+//!    greedy schedule shrinking and a deterministic trace pretty-printer
+//!    (the byte-identical rendering is itself the determinism check).
+//!
+//! [`stack`] runs the same idea end-to-end through `psc-dace` domains:
+//! random subscription sets (supertype subscriptions, remote content
+//! filters) against random subtype publications, with a routing oracle.
+//! [`broken`] contains deliberately defective protocols used to prove the
+//! oracles are sensitive, not vacuous.
+//!
+//! ```
+//! use psc_harness::{runner, Scenario};
+//!
+//! let scenario = Scenario::generate(7);
+//! let outcome = runner::run_scenario(&scenario);
+//! assert!(outcome.violations.is_empty(), "{}", runner::report(&scenario, &outcome));
+//! ```
+
+pub mod broken;
+pub mod oracle;
+pub mod runner;
+pub mod scenario;
+pub mod stack;
+pub mod trace;
+
+pub use oracle::Violation;
+pub use runner::{report, run_scenario, run_scenario_with, run_seed, shrink, RunOutcome};
+pub use scenario::{Op, ProtocolKind, Scenario};
+pub use trace::{Delivery, PubRecord, Trace};

@@ -1,0 +1,439 @@
+//! Scenario execution, seed replay, shrinking and reporting.
+//!
+//! The runner drives a [`Scenario`](crate::Scenario) through the
+//! deterministic simulator against real `psc-group` protocol instances,
+//! collects a [`Trace`], and applies the oracles the protocol's QoS
+//! position warrants (Fig. 4 lattice: `Causal` is also checked for FIFO,
+//! every protocol for integrity, completeness wherever guaranteed).
+//!
+//! Failure workflow:
+//! 1. [`check_seed`] runs the scenario **twice** and compares the rendered
+//!    traces byte-for-byte (the determinism oracle), then checks
+//!    invariants;
+//! 2. on a violation, [`shrink`] greedily deletes schedule operations and
+//!    simplifies the network while the failure reproduces;
+//! 3. the returned report carries the seed (`HARNESS_SEED=<seed>` replays
+//!    exactly this scenario) and the shrunk schedule.
+
+use std::sync::Arc;
+
+use psc_group::sim_host::GroupNode;
+use psc_group::{GroupIo, Multicast, TimerToken};
+use psc_simnet::{LatencyModel, NodeId, SimConfig, SimNet, SimTime};
+use psc_simnet::Duration as SimDuration;
+
+use crate::oracle::{self, Violation};
+use crate::scenario::{Op, ProtocolKind, Scenario};
+use crate::trace::{Delivery, PubRecord, Trace};
+
+/// Shared protocol factory, clonable into every node's rebuild closure.
+pub type ProtoFactory = Arc<dyn Fn() -> Box<dyn Multicast> + Send + Sync>;
+
+/// Adapts a boxed protocol to `GroupNode::boxed`, which takes
+/// `impl Multicast`. Downcasts pass through to the inner protocol so
+/// `GroupNode::with_proto` still reaches it.
+struct BoxedProto(Box<dyn Multicast>);
+
+impl Multicast for BoxedProto {
+    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: Vec<u8>) {
+        self.0.broadcast(io, payload);
+    }
+    fn on_message(&mut self, io: &mut dyn GroupIo, from: NodeId, bytes: &[u8]) {
+        self.0.on_message(io, from, bytes);
+    }
+    fn on_timer(&mut self, io: &mut dyn GroupIo, token: TimerToken) {
+        self.0.on_timer(io, token);
+    }
+    fn on_recover(&mut self, io: &mut dyn GroupIo) {
+        self.0.on_recover(io);
+    }
+    fn on_start(&mut self, io: &mut dyn GroupIo) {
+        self.0.on_start(io);
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self.0.as_any_mut()
+    }
+}
+
+/// What a run produced: the trace plus every oracle violation.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Everything published and delivered.
+    pub trace: Trace,
+    /// Oracle findings, empty on a healthy run.
+    pub violations: Vec<Violation>,
+}
+
+fn encode_payload(index: usize) -> Vec<u8> {
+    (index as u64).to_le_bytes().to_vec()
+}
+
+fn decode_payload(bytes: &[u8]) -> Option<usize> {
+    let arr: [u8; 8] = bytes.try_into().ok()?;
+    Some(u64::from_le_bytes(arr) as usize)
+}
+
+/// Runs `scenario` with its own protocol.
+pub fn run_scenario(scenario: &Scenario) -> RunOutcome {
+    let protocol = scenario.protocol;
+    run_scenario_with(scenario, Arc::new(move || protocol.make()))
+}
+
+/// Runs `scenario` from the given seed.
+pub fn run_seed(seed: u64) -> (Scenario, RunOutcome) {
+    let scenario = Scenario::generate(seed);
+    let outcome = run_scenario(&scenario);
+    (scenario, outcome)
+}
+
+/// Runs `scenario` with an injected protocol factory — this is how tests
+/// prove oracle sensitivity by substituting a deliberately broken protocol
+/// (see [`broken`](crate::broken)).
+pub fn run_scenario_with(scenario: &Scenario, make: ProtoFactory) -> RunOutcome {
+    let config = SimConfig {
+        seed: scenario.seed,
+        latency: LatencyModel::Uniform {
+            min: SimDuration::from_millis(scenario.latency_ms.0),
+            max: SimDuration::from_millis(scenario.latency_ms.1),
+        },
+        drop_probability: scenario.loss,
+    };
+    let mut sim = SimNet::new(config);
+    let ids: Vec<NodeId> = (0..scenario.nodes as u64).map(NodeId).collect();
+    for i in 0..scenario.nodes {
+        let mk = Arc::clone(&make);
+        sim.add_node(format!("h{i}"), move || GroupNode::boxed(BoxedProto(mk())));
+    }
+    for &id in &ids {
+        GroupNode::set_members(&mut sim, id, ids.clone());
+    }
+
+    // Expand fault windows into a begin/end timeline. The expansion index
+    // breaks timestamp ties in schedule order (faults were sorted ahead of
+    // same-time publishes by the generator).
+    enum Ev {
+        Pub(usize),
+        Crash(usize),
+        Recover(usize),
+        Part(usize),
+        Heal,
+    }
+    let mut timeline: Vec<(u64, usize, Ev)> = Vec::new();
+    for op in &scenario.ops {
+        let k = timeline.len();
+        match *op {
+            Op::Publish { node, at_ms } => timeline.push((at_ms, k, Ev::Pub(node))),
+            Op::CrashWindow { node, at_ms, down_ms } => {
+                timeline.push((at_ms, k, Ev::Crash(node)));
+                timeline.push((at_ms + down_ms, k + 1, Ev::Recover(node)));
+            }
+            Op::PartitionWindow { split, at_ms, dur_ms } => {
+                timeline.push((at_ms, k, Ev::Part(split)));
+                timeline.push((at_ms + dur_ms, k + 1, Ev::Heal));
+            }
+        }
+    }
+    timeline.sort_by_key(|&(at, k, _)| (at, k));
+
+    let mut trace = Trace::default();
+    for &id in &ids {
+        trace.deliveries.insert(id.0, Vec::new());
+    }
+    // The sim host's delivery log is volatile (a crash rebuilds the node),
+    // so the trace accumulates increments: `consumed[i]` marks how much of
+    // node i's current log incarnation is already recorded.
+    let mut consumed = vec![0usize; scenario.nodes];
+    let mut down = vec![false; scenario.nodes];
+    let mut origin_seq = vec![0u64; scenario.nodes];
+    // Incarnation counters (0 until the first crash, +1 per recovery) stamp
+    // publishes and deliveries so the oracles can sever volatile guarantees
+    // at crash boundaries.
+    let mut incarnation = vec![0u64; scenario.nodes];
+    // The causal dependency view of each node: what its *current*
+    // incarnation has delivered. Cleared at a crash — a recovered process's
+    // causal past restarts empty, exactly like its protocol state.
+    let mut deps_view: Vec<Vec<usize>> = vec![Vec::new(); scenario.nodes];
+
+    fn drain(
+        sim: &mut SimNet,
+        ids: &[NodeId],
+        consumed: &mut [usize],
+        incarnation: &[u64],
+        deps_view: &mut [Vec<usize>],
+        trace: &mut Trace,
+    ) {
+        for (i, &id) in ids.iter().enumerate() {
+            let log = GroupNode::delivered(sim, id);
+            for (origin, payload) in log.iter().skip(consumed[i]) {
+                if let Some(index) = decode_payload(payload) {
+                    trace
+                        .deliveries
+                        .get_mut(&id.0)
+                        .expect("node registered")
+                        .push(Delivery {
+                            origin: origin.0,
+                            index,
+                            incarnation: incarnation[i],
+                        });
+                    deps_view[i].push(index);
+                }
+            }
+            consumed[i] = log.len();
+        }
+    }
+
+    let mut last_at = 0;
+    for (at, _, ev) in timeline {
+        sim.run_until(SimTime::from_millis(at));
+        drain(&mut sim, &ids, &mut consumed, &incarnation, &mut deps_view, &mut trace);
+        match ev {
+            Ev::Pub(node) => {
+                if down[node] {
+                    continue; // defensive; the generator avoids this
+                }
+                let index = trace.publishes.len();
+                origin_seq[node] += 1;
+                trace.publishes.push(PubRecord {
+                    index,
+                    origin: ids[node].0,
+                    origin_seq: origin_seq[node],
+                    incarnation: incarnation[node],
+                    deps: deps_view[node].clone(),
+                });
+                GroupNode::broadcast(&mut sim, ids[node], encode_payload(index));
+            }
+            Ev::Crash(node) => {
+                // Sampled crash windows may overlap; a crash landing inside
+                // an existing outage is a no-op (`SimNet::crash` on a dead
+                // node does nothing), and treating it as a fresh incarnation
+                // would desynchronize the trace's incarnation stamps from
+                // the node's real lifecycle (discovered by fuzz seed 12805).
+                if down[node] {
+                    continue;
+                }
+                down[node] = true;
+                consumed[node] = 0;
+                deps_view[node].clear();
+                sim.crash(ids[node]);
+            }
+            Ev::Recover(node) => {
+                // The matching guard: the recovery of an already-skipped
+                // crash (or of a node revived by an earlier overlapping
+                // window) must not bump the incarnation of a live node.
+                if !down[node] {
+                    continue;
+                }
+                down[node] = false;
+                incarnation[node] += 1;
+                sim.recover(ids[node]);
+                // Membership is host-managed; a real deployment's
+                // membership service would re-announce the view.
+                GroupNode::set_members(&mut sim, ids[node], ids.clone());
+            }
+            Ev::Part(split) => {
+                let (left, right) = ids.split_at(split);
+                sim.partition(&[left, right]);
+            }
+            Ev::Heal => sim.heal_partition(),
+        }
+        last_at = at;
+    }
+    sim.run_until(SimTime::from_millis(last_at + scenario.settle_ms));
+    drain(&mut sim, &ids, &mut consumed, &incarnation, &mut deps_view, &mut trace);
+
+    let mut violations = oracle::check_integrity(&trace);
+    match scenario.protocol {
+        ProtocolKind::Reliable => {}
+        ProtocolKind::Fifo => violations.extend(oracle::check_fifo(&trace)),
+        ProtocolKind::Causal => {
+            violations.extend(oracle::check_fifo(&trace));
+            violations.extend(oracle::check_causal(&trace));
+        }
+        // Total (horizon adoption) and Certified (persistent delivered set)
+        // must not re-deliver across a receiver's own crash either.
+        ProtocolKind::Total => {
+            violations.extend(oracle::check_total(&trace));
+            violations.extend(oracle::check_no_cross_incarnation_redelivery(&trace));
+        }
+        ProtocolKind::Certified => {
+            violations.extend(oracle::check_no_cross_incarnation_redelivery(&trace));
+        }
+    }
+    if scenario.expects_completeness() {
+        violations.extend(oracle::check_complete(&trace));
+    }
+    RunOutcome { trace, violations }
+}
+
+/// Renders a scenario and its outcome into the canonical report format.
+pub fn report(scenario: &Scenario, outcome: &RunOutcome) -> String {
+    let mut out = scenario.describe();
+    out.push_str(&outcome.trace.render());
+    if outcome.violations.is_empty() {
+        out.push_str("violations: none\n");
+    } else {
+        out.push_str("violations:\n");
+        for v in &outcome.violations {
+            out.push_str(&format!("  {v}\n"));
+        }
+    }
+    out
+}
+
+/// Greedy schedule shrinking: while the failure reproduces, delete
+/// operations one at a time, then try zero loss and fixed latency. The
+/// result is the smallest schedule this pass structure can reach — enough
+/// to read a counterexample at a glance.
+pub fn shrink(scenario: &Scenario, make: &ProtoFactory) -> Scenario {
+    let violates = |s: &Scenario| !run_scenario_with(s, Arc::clone(make)).violations.is_empty();
+    let mut current = scenario.clone();
+    loop {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < current.ops.len() {
+            let mut candidate = current.clone();
+            candidate.ops.remove(i);
+            if violates(&candidate) {
+                current = candidate;
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if current.loss > 0.0 {
+            let mut candidate = current.clone();
+            candidate.loss = 0.0;
+            if violates(&candidate) {
+                current = candidate;
+                progressed = true;
+            }
+        }
+        if current.latency_ms.0 != current.latency_ms.1 {
+            let mut candidate = current.clone();
+            candidate.latency_ms = (1, 1);
+            if violates(&candidate) {
+                current = candidate;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return current;
+        }
+    }
+}
+
+/// Runs one seed end to end: determinism check (two runs must render
+/// byte-identical traces), then the invariant oracles; on failure, shrinks
+/// and returns a replayable report.
+pub fn check_seed(seed: u64) -> Result<(), String> {
+    let scenario = Scenario::generate(seed);
+    let first = run_scenario(&scenario);
+    let second = run_scenario(&scenario);
+    let rendered = report(&scenario, &first);
+    if rendered != report(&scenario, &second) {
+        return Err(format!(
+            "seed {seed}: NONDETERMINISM — two runs of the same scenario diverged\n\
+             first run:\n{rendered}"
+        ));
+    }
+    if first.violations.is_empty() {
+        return Ok(());
+    }
+    let protocol = scenario.protocol;
+    let make: ProtoFactory = Arc::new(move || protocol.make());
+    let shrunk = shrink(&scenario, &make);
+    let shrunk_outcome = run_scenario(&shrunk);
+    Err(format!(
+        "seed {seed} ({}, {} nodes): {} invariant violation(s)\n\
+         replay with: HARNESS_SEED={seed} cargo test --test harness_smoke\n\
+         === original run ===\n{}\
+         === shrunk counterexample ({} ops) ===\n{}",
+        scenario.protocol.name(),
+        scenario.nodes,
+        first.violations.len(),
+        rendered,
+        shrunk.ops.len(),
+        report(&shrunk, &shrunk_outcome),
+    ))
+}
+
+/// Smoke entry point: checks each seed in turn, stopping at the first
+/// failure with its full report.
+pub fn smoke(seeds: &[u64]) -> Result<(), String> {
+    for &seed in seeds {
+        check_seed(seed)?;
+    }
+    Ok(())
+}
+
+/// The seed list for the tier-1 smoke test: `HARNESS_SEED` (replay one
+/// seed) overrides the default `0..count` sweep.
+pub fn smoke_seeds(count: u64) -> Vec<u64> {
+    match std::env::var("HARNESS_SEED") {
+        Ok(value) => {
+            let seed = value
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("HARNESS_SEED must be a u64, got {value:?}"));
+            vec![seed]
+        }
+        Err(_) => (0..count).collect(),
+    }
+}
+
+/// Seeds for the long fuzz mode: `HARNESS_FUZZ=N` enables a sweep of `N`
+/// fresh seeds (offset away from the smoke range); unset means skip.
+pub fn fuzz_seeds() -> Option<Vec<u64>> {
+    let value = std::env::var("HARNESS_FUZZ").ok()?;
+    let count: u64 = value
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("HARNESS_FUZZ must be a u64, got {value:?}"));
+    Some((10_000..10_000 + count).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression for fuzz seed 12805: the generator drew two overlapping
+    /// crash windows for one node. The second window's crash is a no-op on
+    /// an already-dead node, so its recovery must not bump the incarnation
+    /// of the (by then live) node — the phantom incarnation made the FIFO
+    /// oracle misread an in-order delivery as a post-restart gap.
+    #[test]
+    fn seed_12805_overlapping_crash_windows() {
+        assert!(check_seed(12805).is_ok(), "{}", check_seed(12805).unwrap_err());
+    }
+
+    /// The same defect as a literal schedule, immune to future generator
+    /// re-tuning: windows [165, 495] and [471, 959] overlap, and both
+    /// publishes arrive while the receiver is continuously up.
+    #[test]
+    fn overlapping_crash_windows_keep_incarnation_stamps_truthful() {
+        let scenario = Scenario {
+            seed: 12805,
+            protocol: ProtocolKind::Fifo,
+            nodes: 2,
+            loss: 0.0,
+            latency_ms: (1, 1),
+            settle_ms: 6_000,
+            ops: vec![
+                Op::CrashWindow { node: 0, at_ms: 165, down_ms: 330 },
+                Op::CrashWindow { node: 0, at_ms: 471, down_ms: 488 },
+                Op::Publish { node: 1, at_ms: 614 },
+                Op::Publish { node: 1, at_ms: 1_194 },
+            ],
+        };
+        let outcome = run_scenario(&scenario);
+        assert!(
+            outcome.violations.is_empty(),
+            "{}",
+            report(&scenario, &outcome)
+        );
+        // Both deliveries at node 0 carry the single real incarnation.
+        let log = &outcome.trace.deliveries[&0];
+        assert_eq!(log.len(), 2);
+        assert!(log.iter().all(|d| d.incarnation == 1), "{}", outcome.trace.render());
+    }
+}

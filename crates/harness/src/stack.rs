@@ -1,0 +1,364 @@
+//! Full-stack fuzzing: random subscription sets against random subtype
+//! publications through real DACE domains.
+//!
+//! Where [`runner`](crate::runner) exercises the group protocols below the
+//! dissemination layer, this module drives the complete pipeline — obvent
+//! classes with a subtype hierarchy, typed adapters, kind registry,
+//! per-class multicast channels, remote content filters — and checks the
+//! **routing oracle**: a subscriber to kind `K` with filter `f` receives
+//! exactly the publications whose class is a subtype of `K` and whose
+//! content passes `f`, each exactly once.
+
+use std::sync::{Arc, Mutex};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use psc_dace::{DaceConfig, DaceNode};
+use psc_filter::rfilter;
+use psc_obvent::builtin::Reliable;
+use psc_obvent::declare_obvent_model;
+use psc_simnet::{NodeId, SimConfig, SimNet, SimTime};
+use pubsub_core::FilterSpec;
+
+declare_obvent_model! {
+    /// Root of the fuzz hierarchy; every publication carries a unique tag
+    /// plus a filterable value.
+    pub class FuzzBase implements [Reliable] { tag: u64, value: i64 }
+}
+declare_obvent_model! {
+    /// Middle of the main chain.
+    pub class FuzzMid extends FuzzBase {}
+}
+declare_obvent_model! {
+    /// Leaf of the main chain.
+    pub class FuzzLeaf extends FuzzMid {}
+}
+declare_obvent_model! {
+    /// A sibling branch: visible to `FuzzBase` subscribers only.
+    pub class FuzzSide extends FuzzBase {}
+}
+
+/// Which class of the hierarchy a subscription or publication names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// `FuzzBase` — the root, sees everything.
+    Base,
+    /// `FuzzMid` — sees itself and `FuzzLeaf`.
+    Mid,
+    /// `FuzzLeaf` — sees only itself.
+    Leaf,
+    /// `FuzzSide` — the sibling branch.
+    Side,
+}
+
+impl Level {
+    const ALL: [Level; 4] = [Level::Base, Level::Mid, Level::Leaf, Level::Side];
+
+    fn name(self) -> &'static str {
+        match self {
+            Level::Base => "Base",
+            Level::Mid => "Mid",
+            Level::Leaf => "Leaf",
+            Level::Side => "Side",
+        }
+    }
+
+    /// Subtype routing: does a subscription at `self` receive a
+    /// publication of class `published`?
+    pub fn receives(self, published: Level) -> bool {
+        match self {
+            Level::Base => true,
+            Level::Mid => matches!(published, Level::Mid | Level::Leaf),
+            Level::Leaf => published == Level::Leaf,
+            Level::Side => published == Level::Side,
+        }
+    }
+}
+
+/// Content filter attached to a subscription (a small menu of reified
+/// remote filters — the paper's migratable filter objects).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterKind {
+    /// Accept everything.
+    None,
+    /// `value < 0`.
+    Negative,
+    /// `value > 50`.
+    Large,
+}
+
+impl FilterKind {
+    fn name(self) -> &'static str {
+        match self {
+            FilterKind::None => "none",
+            FilterKind::Negative => "value<0",
+            FilterKind::Large => "value>50",
+        }
+    }
+
+    /// Reference semantics the routing oracle expects.
+    pub fn passes(self, value: i64) -> bool {
+        match self {
+            FilterKind::None => true,
+            FilterKind::Negative => value < 0,
+            FilterKind::Large => value > 50,
+        }
+    }
+
+    fn spec<O>(self) -> FilterSpec<O> {
+        match self {
+            FilterKind::None => FilterSpec::accept_all(),
+            FilterKind::Negative => FilterSpec::remote(rfilter!(value < 0)),
+            FilterKind::Large => FilterSpec::remote(rfilter!(value > 50)),
+        }
+    }
+}
+
+/// One subscription of a stack scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubPlan {
+    /// Hosting node.
+    pub node: usize,
+    /// Subscribed kind.
+    pub level: Level,
+    /// Content filter.
+    pub filter: FilterKind,
+}
+
+/// One publication of a stack scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PubPlan {
+    /// Publishing node.
+    pub node: usize,
+    /// Concrete class published.
+    pub level: Level,
+    /// Filterable content.
+    pub value: i64,
+    /// Unique tag (the publish index).
+    pub tag: u64,
+}
+
+/// A seed-derived full-stack scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackScenario {
+    /// Generating seed (also seeds the network).
+    pub seed: u64,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Subscription set.
+    pub subs: Vec<SubPlan>,
+    /// Publication workload.
+    pub pubs: Vec<PubPlan>,
+}
+
+impl StackScenario {
+    /// Samples a stack scenario from `seed`. The network is kept lossless
+    /// so the routing oracle can assert the exact delivery sets; loss and
+    /// fault tolerance are the group-layer fuzzer's department.
+    pub fn generate(seed: u64) -> StackScenario {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x57ac_f022_d5ee_d002);
+        let nodes = rng.gen_range(2..=4usize);
+        let subs = (0..rng.gen_range(1..=4usize))
+            .map(|_| SubPlan {
+                node: rng.gen_range(0..nodes),
+                level: Level::ALL[rng.gen_range(0..Level::ALL.len())],
+                filter: match rng.gen_range(0..4u32) {
+                    0 | 1 => FilterKind::None,
+                    2 => FilterKind::Negative,
+                    _ => FilterKind::Large,
+                },
+            })
+            .collect();
+        let pubs = (0..rng.gen_range(2..=8usize))
+            .map(|tag| PubPlan {
+                node: rng.gen_range(0..nodes),
+                level: Level::ALL[rng.gen_range(0..Level::ALL.len())],
+                value: rng.gen_range(-100..=100i64),
+                tag: tag as u64,
+            })
+            .collect();
+        StackScenario { seed, nodes, subs, pubs }
+    }
+
+    /// Deterministic description used in reports.
+    pub fn describe(&self) -> String {
+        let mut out = format!("stack scenario seed={} nodes={}\n", self.seed, self.nodes);
+        for (i, s) in self.subs.iter().enumerate() {
+            out.push_str(&format!(
+                "  sub#{i} node={} kind={} filter={}\n",
+                s.node,
+                s.level.name(),
+                s.filter.name()
+            ));
+        }
+        for p in &self.pubs {
+            out.push_str(&format!(
+                "  pub#{} node={} class={} value={}\n",
+                p.tag,
+                p.node,
+                p.level.name(),
+                p.value
+            ));
+        }
+        out
+    }
+
+    /// The tags each subscription must receive, per the routing oracle.
+    pub fn expected(&self) -> Vec<Vec<u64>> {
+        self.subs
+            .iter()
+            .map(|s| {
+                self.pubs
+                    .iter()
+                    .filter(|p| s.level.receives(p.level) && s.filter.passes(p.value))
+                    .map(|p| p.tag)
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// What a stack run observed.
+#[derive(Debug, Clone)]
+pub struct StackOutcome {
+    /// Tags each subscription should have received (sorted).
+    pub expected: Vec<Vec<u64>>,
+    /// Tags each subscription did receive (sorted).
+    pub got: Vec<Vec<u64>>,
+    /// Routing-oracle findings, empty on a healthy run.
+    pub violations: Vec<String>,
+}
+
+impl StackOutcome {
+    /// Canonical rendering (the determinism check compares these).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, (got, expected)) in self.got.iter().zip(&self.expected).enumerate() {
+            out.push_str(&format!("  sub#{i} got={got:?} expected={expected:?}\n"));
+        }
+        out
+    }
+}
+
+type Sink = Arc<Mutex<Vec<u64>>>;
+
+fn install(sim: &mut SimNet, node: NodeId, level: Level, filter: FilterKind) -> Sink {
+    let sink: Sink = Arc::new(Mutex::new(Vec::new()));
+    let recorder = Arc::clone(&sink);
+    DaceNode::drive(sim, node, move |domain| {
+        let sub = match level {
+            Level::Base => domain.subscribe(filter.spec(), move |e: FuzzBase| {
+                recorder.lock().unwrap().push(*e.tag());
+            }),
+            Level::Mid => domain.subscribe(filter.spec(), move |e: FuzzMid| {
+                recorder.lock().unwrap().push(*e.tag());
+            }),
+            Level::Leaf => domain.subscribe(filter.spec(), move |e: FuzzLeaf| {
+                recorder.lock().unwrap().push(*e.tag());
+            }),
+            Level::Side => domain.subscribe(filter.spec(), move |e: FuzzSide| {
+                recorder.lock().unwrap().push(*e.tag());
+            }),
+        };
+        sub.activate().unwrap();
+        sub.detach();
+    });
+    sink
+}
+
+fn publish(sim: &mut SimNet, node: NodeId, plan: &PubPlan) {
+    let base = FuzzBase::new(plan.tag, plan.value);
+    match plan.level {
+        Level::Base => DaceNode::publish_from(sim, node, base),
+        Level::Mid => DaceNode::publish_from(sim, node, FuzzMid::new(base)),
+        Level::Leaf => DaceNode::publish_from(sim, node, FuzzLeaf::new(FuzzMid::new(base))),
+        Level::Side => DaceNode::publish_from(sim, node, FuzzSide::new(base)),
+    }
+}
+
+/// Executes a stack scenario and applies the routing oracle.
+pub fn run_stack(scenario: &StackScenario) -> StackOutcome {
+    // Advertise the whole hierarchy before any subscription is installed.
+    let _ = (FuzzBase::kind(), FuzzMid::kind(), FuzzLeaf::kind(), FuzzSide::kind());
+
+    let mut sim = SimNet::new(SimConfig::with_seed(scenario.seed));
+    let ids: Vec<NodeId> = (0..scenario.nodes as u64).map(NodeId).collect();
+    for i in 0..scenario.nodes {
+        sim.add_node(
+            format!("s{i}"),
+            DaceNode::factory(ids.clone(), DaceConfig::default()),
+        );
+    }
+    let sinks: Vec<Sink> = scenario
+        .subs
+        .iter()
+        .map(|s| install(&mut sim, ids[s.node], s.level, s.filter))
+        .collect();
+    sim.run_until(SimTime::from_millis(30));
+
+    let mut at = 50;
+    for plan in &scenario.pubs {
+        sim.run_until(SimTime::from_millis(at));
+        publish(&mut sim, ids[plan.node], plan);
+        at += 40;
+    }
+    sim.run_until(SimTime::from_millis(at + 800));
+
+    let mut expected = scenario.expected();
+    for tags in &mut expected {
+        tags.sort_unstable();
+    }
+    let got: Vec<Vec<u64>> = sinks
+        .iter()
+        .map(|sink| {
+            let mut tags = sink.lock().unwrap().clone();
+            tags.sort_unstable();
+            tags
+        })
+        .collect();
+
+    let mut violations = Vec::new();
+    for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+        if g != e {
+            let s = &scenario.subs[i];
+            violations.push(format!(
+                "sub#{i} (node {}, kind {}, filter {}): got {g:?}, expected {e:?}",
+                s.node,
+                s.level.name(),
+                s.filter.name()
+            ));
+        }
+    }
+    StackOutcome { expected, got, violations }
+}
+
+/// Determinism + routing oracle for one stack seed; `Err` carries a full
+/// replayable report.
+pub fn check_stack_seed(seed: u64) -> Result<(), String> {
+    let scenario = StackScenario::generate(seed);
+    let first = run_stack(&scenario);
+    let second = run_stack(&scenario);
+    if first.render() != second.render() {
+        return Err(format!(
+            "stack seed {seed}: NONDETERMINISM across identical runs\n{}{}",
+            scenario.describe(),
+            first.render()
+        ));
+    }
+    if first.violations.is_empty() {
+        return Ok(());
+    }
+    Err(format!(
+        "stack seed {seed}: {} routing violation(s)\n\
+         replay with: HARNESS_SEED={seed} cargo test --test harness_smoke\n{}{}{}",
+        first.violations.len(),
+        scenario.describe(),
+        first.render(),
+        first
+            .violations
+            .iter()
+            .map(|v| format!("  {v}\n"))
+            .collect::<String>(),
+    ))
+}

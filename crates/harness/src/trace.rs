@@ -1,0 +1,79 @@
+//! Execution traces: what was published and what every node delivered.
+//!
+//! The trace is the single source of truth for the oracles *and* for the
+//! determinism check: [`Trace::render`] is a canonical byte-stable
+//! rendering, so two runs of the same scenario must produce identical
+//! strings.
+
+use std::collections::BTreeMap;
+
+/// One publish performed during a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PubRecord {
+    /// Global publish index; also the wire payload.
+    pub index: usize,
+    /// Raw id of the publishing node.
+    pub origin: u64,
+    /// 1-based sequence number among this origin's publishes (counted
+    /// across the origin's whole lifetime, not per incarnation).
+    pub origin_seq: u64,
+    /// Incarnation of the origin at publish time: 0 until its first crash,
+    /// +1 per recovery. Volatile protocols lose a publisher's in-flight
+    /// state with its incarnation, so the oracles sever their guarantees at
+    /// incarnation boundaries.
+    pub incarnation: u64,
+    /// Publish indices the origin had delivered before publishing — the
+    /// happened-before set the causal oracle checks against. Cleared at a
+    /// crash: a recovered publisher's causal past restarts empty.
+    pub deps: Vec<usize>,
+}
+
+/// One delivery observed at a node, in local delivery order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Origin node the protocol attributed the payload to.
+    pub origin: u64,
+    /// Decoded publish index.
+    pub index: usize,
+    /// Incarnation of the *delivering* node when it delivered (0 until its
+    /// first crash, +1 per recovery). Volatile delivery guarantees are per
+    /// receiver incarnation.
+    pub incarnation: u64,
+}
+
+/// The observable outcome of a run: the publish log plus each node's
+/// delivery log (accumulated across crashes — the runner snapshots the
+/// volatile log right before every crash).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// All publishes, in execution order (`publishes[i].index == i`).
+    pub publishes: Vec<PubRecord>,
+    /// Per-node delivery logs, keyed by raw node id.
+    pub deliveries: BTreeMap<u64, Vec<Delivery>>,
+}
+
+impl Trace {
+    /// Canonical, byte-stable rendering of the trace.
+    pub fn render(&self) -> String {
+        let mut out = String::from("publishes:\n");
+        for p in &self.publishes {
+            out.push_str(&format!(
+                "  #{} origin={} seq={} inc={} deps={:?}\n",
+                p.index, p.origin, p.origin_seq, p.incarnation, p.deps
+            ));
+        }
+        out.push_str("deliveries:\n");
+        for (node, log) in &self.deliveries {
+            out.push_str(&format!("  node {node}:"));
+            for d in log {
+                if d.incarnation == 0 {
+                    out.push_str(&format!(" #{}(o{})", d.index, d.origin));
+                } else {
+                    out.push_str(&format!(" #{}(o{}/r{})", d.index, d.origin, d.incarnation));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}

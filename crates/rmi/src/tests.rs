@@ -254,6 +254,79 @@ mod marshalling {
     }
 }
 
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    remote_iface! {
+        pub trait KvEcho {
+            fn echo(&self, payload: String) -> String;
+        }
+    }
+
+    struct KvEchoImpl;
+    impl KvEcho for KvEchoImpl {
+        fn echo(&self, payload: String) -> Result<String, RmiError> {
+            Ok(format!("ok:{payload}"))
+        }
+    }
+
+    fn registry_name(parts: &[u8]) -> String {
+        let mut name = String::from("svc");
+        for &p in parts {
+            name.push('/');
+            name.push((b'a' + p % 26) as char);
+        }
+        name
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Any set of bound names can be looked up from any peer and the
+        /// resulting stub round-trips an invocation; unbound names fail
+        /// with `NotBound`.
+        #[test]
+        fn registry_lookup_and_stub_roundtrip(
+            names in proptest::collection::vec(
+                proptest::collection::vec(0u8..26, 1..4),
+                1..6,
+            ),
+            peer in 1usize..3,
+            payloads in proptest::collection::vec("[a-z]*", 1..6),
+        ) {
+            let net = RmiNetwork::new(3, DgcMode::Strong);
+            let rts = net.runtimes();
+            let mut bound = Vec::new();
+            for parts in &names {
+                let name = registry_name(parts);
+                if bound.contains(&name) {
+                    continue; // registry names are unique keys
+                }
+                let ref_ = KvEchoStub::export(&rts[0], Arc::new(KvEchoImpl));
+                rts[0].bind(&name, ref_);
+                bound.push(name);
+            }
+
+            for (name, payload) in bound.iter().zip(payloads.iter().cycle()) {
+                let stub = KvEchoStub::lookup(&rts[peer], NodeId(0), name).unwrap();
+                prop_assert_eq!(
+                    stub.echo(payload.clone()).unwrap(),
+                    format!("ok:{payload}"),
+                    "stub from registry name {} must invoke the bound object",
+                    name
+                );
+            }
+
+            // A name never bound must fail cleanly from every peer.
+            let missing = "svc/__definitely_not_bound__";
+            prop_assert!(!bound.iter().any(|n| n == missing));
+            let err = rts[peer].lookup(NodeId(0), missing).unwrap_err();
+            prop_assert!(matches!(err, RmiError::NotBound(_)), "got {:?}", err);
+        }
+    }
+}
+
 fn wait_for_messages() {
     std::thread::sleep(std::time::Duration::from_millis(30));
 }

@@ -1,0 +1,125 @@
+//! E7 — DESIGN.md §4: the §5.4.2 distributed-GC caveat, end to end.
+//!
+//! A remote object's reference rides inside a published obvent; every
+//! subscriber's handler turns it into a live proxy. One subscriber then
+//! crashes without releasing. Under strong DGC the object stays exported
+//! forever (the paper's caveat); under [CNH99] lease-based DGC it is
+//! collected once the crashed holder stops renewing.
+
+use std::sync::{Arc, Mutex};
+
+use javaps::dace::inproc::Bus;
+use javaps::pubsub::{obvent, publish, FilterSpec};
+use javaps::rmi::{
+    remote_iface, DgcMode, ObjectId, RemoteRefData, RmiError, RmiNetwork, RmiRuntime,
+};
+
+remote_iface! {
+    pub trait Counter {
+        fn get(&self) -> u64;
+    }
+}
+
+struct CounterImpl;
+
+impl Counter for CounterImpl {
+    fn get(&self) -> Result<u64, RmiError> {
+        Ok(42)
+    }
+}
+
+obvent! {
+    /// The announcement that distributes the remote reference.
+    pub class CounterAnnounce { node: u64, object: u64 }
+}
+
+/// Publishes one `CounterAnnounce` to `n_subs` subscribers, each of which
+/// attaches a proxy in its handler. Returns the exported reference and the
+/// proxies, in subscriber order.
+fn distribute_via_obvent(
+    rts: &[RmiRuntime],
+    n_subs: usize,
+) -> (RemoteRefData, Vec<CounterStub>) {
+    let bus = Bus::new();
+    let publisher = bus.domain_inline();
+    let obj = CounterStub::export(&rts[0], Arc::new(CounterImpl));
+
+    let proxies: Arc<Mutex<Vec<CounterStub>>> = Arc::new(Mutex::new(Vec::new()));
+    let subs: Vec<_> = (1..=n_subs)
+        .map(|i| {
+            let rt = rts[i].clone();
+            let collected = Arc::clone(&proxies);
+            let domain = bus.domain_inline();
+            let sub = domain.subscribe(FilterSpec::accept_all(), move |a: CounterAnnounce| {
+                let target = RemoteRefData { node: *a.node(), object: *a.object() };
+                let stub = CounterStub::attach(&rt, target).expect("attach from obvent");
+                collected.lock().unwrap().push(stub);
+            });
+            sub.activate().unwrap();
+            (domain, sub)
+        })
+        .collect();
+
+    publish!(publisher, CounterAnnounce::new(obj.node, obj.object)).unwrap();
+    publisher.drain();
+    for (domain, _) in &subs {
+        domain.drain();
+    }
+
+    let proxies = std::mem::take(&mut *proxies.lock().unwrap());
+    assert_eq!(proxies.len(), n_subs, "every subscriber must build a proxy");
+    // Each proxy works — they really point at the exported object.
+    for stub in &proxies {
+        assert_eq!(stub.get().expect("invoke through obvent-carried ref"), 42);
+    }
+    (obj, proxies)
+}
+
+#[test]
+fn strong_dgc_leaks_when_one_obvent_subscriber_crashes() {
+    let net = RmiNetwork::new(5, DgcMode::Strong);
+    let rts = net.runtimes();
+    let (obj, mut proxies) = distribute_via_obvent(rts, 4);
+    std::thread::sleep(std::time::Duration::from_millis(30));
+
+    let crasher = proxies.pop().unwrap();
+    crasher.leak(); // one subscriber crashes without a clean release
+    drop(proxies); // the other three release properly
+    std::thread::sleep(std::time::Duration::from_millis(30));
+
+    rts[0].tick(10_000);
+    rts[0].collect_expired();
+    assert!(
+        rts[0].is_exported(ObjectId(obj.object)),
+        "strong DGC must keep the object alive forever once a holder crashed"
+    );
+}
+
+#[test]
+fn lease_dgc_collects_after_the_crashed_subscriber_stops_renewing() {
+    let net = RmiNetwork::new(5, DgcMode::Leases { ttl_ms: 100 });
+    let rts = net.runtimes();
+    let (obj, mut proxies) = distribute_via_obvent(rts, 4);
+    std::thread::sleep(std::time::Duration::from_millis(30));
+
+    let crasher = proxies.pop().unwrap();
+    crasher.leak();
+    drop(proxies);
+    std::thread::sleep(std::time::Duration::from_millis(30));
+
+    // Inside the TTL the crashed holder's lease still protects the object…
+    rts[0].tick(50);
+    rts[0].collect_expired();
+    assert!(
+        rts[0].is_exported(ObjectId(obj.object)),
+        "the object must survive while the crashed holder's lease is valid"
+    );
+
+    // …but once it lapses the object is collected despite the crash.
+    rts[0].tick(200);
+    rts[0].collect_expired();
+    assert!(
+        !rts[0].is_exported(ObjectId(obj.object)),
+        "lease DGC must collect once the crashed subscriber stops renewing"
+    );
+}

@@ -1,0 +1,125 @@
+//! Tier-1 entry points of the deterministic simulation harness.
+//!
+//! - a 50-seed randomized sweep over the group protocols (scenario
+//!   generation → execution → invariant oracles), each seed run twice and
+//!   compared byte-for-byte (determinism oracle);
+//! - a 25-seed full-stack sweep (DACE routing with supertype subscriptions
+//!   and remote filters);
+//! - an oracle-sensitivity proof: a deliberately broken FIFO protocol must
+//!   be caught and shrunk to a readable, seed-stamped counterexample;
+//! - a long fuzz mode gated behind `HARNESS_FUZZ=N` (used by nightly CI).
+//!
+//! Replay any failing seed with `HARNESS_SEED=<seed> cargo test --test
+//! harness_smoke`.
+
+use std::sync::Arc;
+
+use psc_harness::broken::BrokenFifo;
+use psc_harness::runner::{self, ProtoFactory};
+use psc_harness::stack;
+use psc_harness::{Op, ProtocolKind, Scenario, Violation};
+
+#[test]
+fn group_layer_smoke_over_50_seeds() {
+    let seeds = runner::smoke_seeds(50);
+    if let Err(report) = runner::smoke(&seeds) {
+        panic!("{report}");
+    }
+}
+
+#[test]
+fn full_stack_routing_smoke_over_25_seeds() {
+    for seed in runner::smoke_seeds(25) {
+        if let Err(report) = stack::check_stack_seed(seed) {
+            panic!("{report}");
+        }
+    }
+}
+
+#[test]
+fn same_seed_produces_byte_identical_reports() {
+    for seed in [3u64, 17, 29, 41] {
+        let (s1, o1) = runner::run_seed(seed);
+        let (s2, o2) = runner::run_seed(seed);
+        assert_eq!(
+            runner::report(&s1, &o1),
+            runner::report(&s2, &o2),
+            "seed {seed} must replay identically"
+        );
+    }
+}
+
+/// A schedule built to reorder per-publisher messages in flight: one
+/// publisher, back-to-back publishes, wide latency jitter.
+fn reorder_prone_fifo_scenario() -> Scenario {
+    Scenario {
+        seed: 7,
+        protocol: ProtocolKind::Fifo,
+        nodes: 3,
+        loss: 0.0,
+        latency_ms: (1, 15),
+        settle_ms: 2_000,
+        ops: (0..8).map(|i| Op::Publish { node: 0, at_ms: 10 + i }).collect(),
+    }
+}
+
+#[test]
+fn broken_fifo_is_caught_and_shrunk_to_a_seed_stamped_counterexample() {
+    let scenario = reorder_prone_fifo_scenario();
+
+    // Control: the real FIFO protocol sails through the same schedule, so
+    // any finding below is the injected defect, not oracle noise.
+    let healthy = runner::run_scenario(&scenario);
+    assert!(
+        healthy.violations.is_empty(),
+        "real Fifo must pass: {}",
+        runner::report(&scenario, &healthy)
+    );
+
+    let make: ProtoFactory = Arc::new(|| Box::new(BrokenFifo::new()));
+    let outcome = runner::run_scenario_with(&scenario, Arc::clone(&make));
+    assert!(
+        outcome
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::FifoOrder { .. })),
+        "the FIFO oracle must catch the disabled sequence check: {}",
+        runner::report(&scenario, &outcome)
+    );
+
+    let shrunk = runner::shrink(&scenario, &make);
+    assert!(
+        shrunk.ops.len() < scenario.ops.len(),
+        "shrinking must remove schedule operations"
+    );
+    assert!(
+        shrunk.ops.len() >= 2,
+        "a FIFO inversion needs at least two publishes"
+    );
+    let shrunk_outcome = runner::run_scenario_with(&shrunk, make);
+    assert!(
+        !shrunk_outcome.violations.is_empty(),
+        "the shrunk schedule must still reproduce"
+    );
+    let report = runner::report(&shrunk, &shrunk_outcome);
+    assert!(
+        report.contains("seed=7"),
+        "the counterexample must carry its seed:\n{report}"
+    );
+}
+
+#[test]
+fn long_fuzz_mode_behind_env_var() {
+    let Some(seeds) = runner::fuzz_seeds() else {
+        return; // HARNESS_FUZZ not set: nothing to do in tier-1 runs
+    };
+    if let Err(report) = runner::smoke(&seeds) {
+        panic!("{report}");
+    }
+    // Fan a quarter of the budget into the full-stack fuzzer too.
+    for &seed in seeds.iter().take(seeds.len() / 4) {
+        if let Err(report) = stack::check_stack_seed(seed) {
+            panic!("{report}");
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Vendored stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel` module is provided — it is the only part of crossbeam
+//! this workspace uses. Channels are multi-producer multi-consumer, built on
+//! a `Mutex<VecDeque>` plus two condvars; `Sender` and `Receiver` are both
+//! `Clone + Send + Sync` like the originals. The `select!` macro supports
+//! the two-arm `recv(..) -> msg => ..` form used in this repository, by
+//! polling; arm bodies run outside any internal loop so `break`/`continue`
+//! inside them bind to the caller's loop exactly as with real crossbeam.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        /// `None` for unbounded channels.
+        capacity: Option<usize>,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone; the
+    /// unsent message is given back.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently holds no message.
+        Empty,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with no message.
+        Timeout,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    f.write_str("channel is empty and disconnected")
+                }
+            }
+        }
+    }
+    impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+    impl std::error::Error for RecvError {}
+    impl std::error::Error for TryRecvError {}
+    impl std::error::Error for RecvTimeoutError {}
+
+    /// Creates a channel of unlimited capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a channel holding at most `cap` messages; sends block while
+    /// full. A capacity of zero behaves as capacity one (the rendezvous
+    /// special case is not needed by this workspace).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap.max(1)))
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            capacity,
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while a bounded channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns the message when every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(value));
+                }
+                match self.shared.capacity {
+                    Some(cap) if queue.len() >= cap => {
+                        queue = self
+                            .shared
+                            .not_full
+                            .wait(queue)
+                            .unwrap_or_else(|p| p.into_inner());
+                    }
+                    _ => break,
+                }
+            }
+            queue.push_back(value);
+            drop(queue);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvError`] when the queue is drained and all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    self.shared.not_full.notify_one();
+                    return Ok(value);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self
+                    .shared
+                    .not_empty
+                    .wait(queue)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+        }
+
+        /// Non-blocking receive.
+        ///
+        /// # Errors
+        ///
+        /// `Empty` when no message is ready, `Disconnected` when drained and
+        /// all senders are gone.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(value) = queue.pop_front() {
+                drop(queue);
+                self.shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Blocking receive with a timeout.
+        ///
+        /// # Errors
+        ///
+        /// `Timeout` after `timeout` with no message, `Disconnected` when
+        /// drained and all senders are gone.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    self.shared.not_full.notify_one();
+                    return Ok(value);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (q, result) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(queue, deadline - now)
+                    .unwrap_or_else(|p| p.into_inner());
+                queue = q;
+                if result.timed_out() && queue.is_empty() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// True when no message is currently queued.
+        pub fn is_empty(&self) -> bool {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .is_empty()
+        }
+
+        /// Number of queued messages.
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap_or_else(|p| p.into_inner()).len()
+        }
+    }
+
+    pub use crate::select;
+}
+
+/// Two-arm `select!` over `recv(..)` operations, by polling.
+///
+/// Supports the shape used in this workspace:
+///
+/// ```ignore
+/// select! {
+///     recv(rx) -> msg => { .. },
+///     recv(stop_rx) -> _ => break,
+/// }
+/// ```
+///
+/// Arm bodies execute *outside* the internal polling loop, so control-flow
+/// statements in them (`break`, `continue`, `return`) apply to the caller's
+/// context, matching real crossbeam semantics.
+#[macro_export]
+macro_rules! select {
+    (
+        recv($rx1:expr) -> $pat1:pat => $body1:expr,
+        recv($rx2:expr) -> $pat2:pat => $body2:expr $(,)?
+    ) => {{
+        // Ok(..) carries arm-1's result, Err(..) carries arm-2's.
+        let __psc_choice;
+        loop {
+            match $crate::channel::Receiver::try_recv(&$rx1) {
+                ::core::result::Result::Ok(v) => {
+                    __psc_choice = ::core::result::Result::Ok(::core::result::Result::Ok(v));
+                    break;
+                }
+                ::core::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                    __psc_choice = ::core::result::Result::Ok(::core::result::Result::Err(
+                        $crate::channel::RecvError,
+                    ));
+                    break;
+                }
+                ::core::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+            }
+            match $crate::channel::Receiver::try_recv(&$rx2) {
+                ::core::result::Result::Ok(v) => {
+                    __psc_choice = ::core::result::Result::Err(::core::result::Result::Ok(v));
+                    break;
+                }
+                ::core::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                    __psc_choice = ::core::result::Result::Err(::core::result::Result::Err(
+                        $crate::channel::RecvError,
+                    ));
+                    break;
+                }
+                ::core::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+            }
+            ::std::thread::sleep(::std::time::Duration::from_millis(1));
+        }
+        match __psc_choice {
+            ::core::result::Result::Ok($pat1) => $body1,
+            ::core::result::Result::Err($pat2) => $body2,
+        }
+    }};
+}

@@ -1,0 +1,716 @@
+//! Vendored stand-in for `proptest`, covering the subset this workspace
+//! uses: `proptest!` with mixed `name in strategy` / `name: Type` params,
+//! `prop_oneof!`, `prop_assert*!`, `Just`, `any`, range and regex-subset
+//! string strategies, tuples, `collection::{vec, btree_map}`, and
+//! `sample::{select, subsequence}`.
+//!
+//! Differences from upstream: no shrinking (failures report the base seed
+//! so a run is reproducible via `PROPTEST_SEED`), and string "regexes"
+//! support only the `.`/`[a-z]` atom + `*`/`{m,n}` quantifier shapes the
+//! tests actually use.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::rc::Rc;
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Unlike upstream there is no `ValueTree`/shrinking layer: `generate`
+    /// produces a value directly from the deterministic RNG.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Produces one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// A strategy that always yields a clone of its payload.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Type-erased strategy handle.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Uniform choice among several strategies; backs `prop_oneof!`.
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over `options`; panics if empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.gen_range(0..self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// String strategies from the regex subset (see [`crate::string`]).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::{Rng, RngCore};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        /// Produces one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Strategy over the full domain of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // Truncating a full random u64 keeps high bits exercised
+                    // for the wide types.
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    // Like upstream's default float strategies, NaN and infinities are
+    // excluded so roundtrip tests can compare with `==`.
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            loop {
+                let v = f64::from_bits(rng.next_u64());
+                if v.is_finite() {
+                    return v;
+                }
+            }
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            loop {
+                let v = f32::from_bits(rng.next_u32());
+                if v.is_finite() {
+                    return v;
+                }
+            }
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            char::from_u32(rng.gen_range(0u32..0xD800)).expect("below surrogate range")
+        }
+    }
+
+    impl Arbitrary for String {
+        fn arbitrary(rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(".*", rng)
+        }
+    }
+}
+
+pub mod string {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    enum Atom {
+        /// `.` — any char (we sample ASCII printable plus a slice of
+        /// multi-byte code points to exercise codecs).
+        AnyChar,
+        /// `[a-c]`-style class, expanded to its member chars.
+        Class(Vec<char>),
+    }
+
+    /// Generates a string from the tiny regex subset the tests use:
+    /// one atom (`.` or `[...]`) followed by `*` or `{m,n}`.
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (atom, rest) = parse_atom(&chars);
+        let (min, max) = parse_quantifier(rest, pattern);
+        let len = if min == max { min } else { rng.gen_range(min..=max) };
+        (0..len).map(|_| gen_char(&atom, rng)).collect()
+    }
+
+    fn parse_atom(chars: &[char]) -> (Atom, &[char]) {
+        match chars.first() {
+            Some('.') => (Atom::AnyChar, &chars[1..]),
+            Some('[') => {
+                let close = chars
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unterminated char class in pattern"));
+                let mut members = Vec::new();
+                let body = &chars[1..close];
+                let mut i = 0;
+                while i < body.len() {
+                    if i + 2 < body.len() && body[i + 1] == '-' {
+                        let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+                        for c in lo..=hi {
+                            members.push(char::from_u32(c).expect("class range char"));
+                        }
+                        i += 3;
+                    } else {
+                        members.push(body[i]);
+                        i += 1;
+                    }
+                }
+                (Atom::Class(members), &chars[close + 1..])
+            }
+            other => panic!("unsupported pattern atom {other:?} (vendored proptest regex subset)"),
+        }
+    }
+
+    fn parse_quantifier(rest: &[char], pattern: &str) -> (usize, usize) {
+        match rest.first() {
+            None => (1, 1),
+            Some('*') => (0, 16),
+            Some('{') => {
+                let body: String = rest[1..rest.len() - 1].iter().collect();
+                assert_eq!(
+                    rest.last(),
+                    Some(&'}'),
+                    "unterminated quantifier in pattern {pattern:?}"
+                );
+                let (m, n) = body
+                    .split_once(',')
+                    .unwrap_or_else(|| panic!("quantifier without comma in {pattern:?}"));
+                (
+                    m.trim().parse().expect("quantifier min"),
+                    n.trim().parse().expect("quantifier max"),
+                )
+            }
+            Some(other) => panic!("unsupported quantifier {other:?} in pattern {pattern:?}"),
+        }
+    }
+
+    fn gen_char(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::AnyChar => {
+                if rng.gen_bool(0.8) {
+                    // Printable ASCII.
+                    char::from_u32(rng.gen_range(0x20u32..0x7F)).expect("ascii")
+                } else {
+                    // Multi-byte but below the surrogate range.
+                    char::from_u32(rng.gen_range(0xA0u32..0xD800)).expect("below surrogates")
+                }
+            }
+            Atom::Class(members) => members[rng.gen_range(0..members.len())],
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Inclusive-exclusive size bound for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl SizeRange {
+        pub(crate) fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+
+        pub(crate) fn sample(&self, rng: &mut TestRng) -> usize {
+            if self.start >= self.end {
+                self.start
+            } else {
+                rng.gen_range(self.start..self.end)
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange { start: r.start, end: r.end }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { start: n, end: n }
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            // Duplicate keys collapse, so like upstream the size bound is an
+            // upper bound, not exact.
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+
+    /// Maps with up to `size` entries drawn from `key`/`value`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+}
+
+pub mod sample {
+    use crate::collection::SizeRange;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::seq::SliceRandom;
+    use rand::Rng;
+
+    /// See [`select`].
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+
+    /// One element of `options`, uniformly.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "sample::select needs a non-empty vec");
+        Select { options }
+    }
+
+    /// See [`subsequence`].
+    pub struct Subsequence<T> {
+        options: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let mut indices: Vec<usize> = (0..self.options.len()).collect();
+            indices.shuffle(rng);
+            let (lo, hi) = self.size.bounds();
+            let lo = lo.min(self.options.len());
+            let hi = hi.min(self.options.len() + 1).max(lo + 1);
+            let want = rng.gen_range(lo..hi);
+            indices.truncate(want);
+            indices.sort_unstable();
+            indices.into_iter().map(|i| self.options[i].clone()).collect()
+        }
+    }
+
+    /// An order-preserving random subsequence of `options` whose length
+    /// falls in `size` (clamped to the available elements).
+    pub fn subsequence<T: Clone>(options: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+        Subsequence { options, size: size.into() }
+    }
+}
+
+pub mod test_runner {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Run configuration; only `cases` is honored.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Default config with a custom case count.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// The RNG handed to strategies: a deterministic seeded generator.
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Builds a generator from a 64-bit seed.
+        pub fn seeded(seed: u64) -> Self {
+            TestRng(StdRng::seed_from_u64(seed))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.0.fill_bytes(dest)
+        }
+    }
+
+    /// A failed (or, upstream, rejected) test case.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// Assertion failure with its message.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    const DEFAULT_BASE_SEED: u64 = 0x5eed_0bad_f00d_cafe;
+
+    fn base_seed() -> u64 {
+        std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_BASE_SEED)
+    }
+
+    /// Drives `config.cases` random cases of `f` over `strat`. Panics on
+    /// the first failing case with enough seed information to replay the
+    /// whole run via `PROPTEST_SEED`.
+    pub fn run_cases<S: Strategy>(
+        config: ProptestConfig,
+        strat: S,
+        mut f: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+    ) {
+        let base = base_seed();
+        for case in 0..config.cases as u64 {
+            let case_seed = base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut rng = TestRng::seeded(case_seed);
+            let value = strat.generate(&mut rng);
+            if let Err(TestCaseError::Fail(msg)) = f(value) {
+                panic!(
+                    "proptest case {case} failed (replay with PROPTEST_SEED={base}): {msg}"
+                );
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice among strategy expressions.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($item:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($item)),+
+        ])
+    };
+}
+
+/// Property assertion returning a test-case failure instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        if !(__left == __right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "prop_assert_eq!({}, {}): {:?} != {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __left,
+                    __right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __left = $left;
+        let __right = $right;
+        if !(__left == __right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "prop_assert_eq failed ({:?} != {:?}): {}",
+                    __left,
+                    __right,
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        if __left == __right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "prop_assert_ne!({}, {}): both {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __left
+                ),
+            ));
+        }
+    }};
+}
+
+/// Declares `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports an optional leading `#![proptest_config(..)]` and parameters in
+/// both `name in strategy` and `name: Type` (meaning `any::<Type>()`) forms.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($config); $($rest)*);
+    };
+    (@fns ($config:expr); ) => {};
+    (@fns ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case!(@munch ($config) ($body) () () $($params)*);
+        }
+        $crate::proptest!(@fns ($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Internal: folds a `proptest!` parameter list into one tuple strategy and
+/// one tuple pattern, then runs the cases.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // All parameters consumed: run.
+    (@munch ($config:expr) ($body:block) ($($pat:tt)*) ($($strat:tt)*)) => {
+        $crate::test_runner::run_cases(
+            $config,
+            ($($strat)*),
+            |($($pat)*)| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                $body
+                ::core::result::Result::Ok(())
+            },
+        )
+    };
+    // `name in strategy, ...`
+    (@munch ($config:expr) ($body:block) ($($pat:tt)*) ($($strat:tt)*)
+        $name:ident in $strategy:expr, $($rest:tt)*) => {
+        $crate::__proptest_case!(@munch ($config) ($body)
+            ($($pat)* $name,) ($($strat)* ($strategy),) $($rest)*)
+    };
+    // `name in strategy` (final, no trailing comma)
+    (@munch ($config:expr) ($body:block) ($($pat:tt)*) ($($strat:tt)*)
+        $name:ident in $strategy:expr) => {
+        $crate::__proptest_case!(@munch ($config) ($body)
+            ($($pat)* $name,) ($($strat)* ($strategy),))
+    };
+    // `name: Type, ...`
+    (@munch ($config:expr) ($body:block) ($($pat:tt)*) ($($strat:tt)*)
+        $name:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_case!(@munch ($config) ($body)
+            ($($pat)* $name,) ($($strat)* ($crate::arbitrary::any::<$ty>()),) $($rest)*)
+    };
+    // `name: Type` (final, no trailing comma)
+    (@munch ($config:expr) ($body:block) ($($pat:tt)*) ($($strat:tt)*)
+        $name:ident : $ty:ty) => {
+        $crate::__proptest_case!(@munch ($config) ($body)
+            ($($pat)* $name,) ($($strat)* ($crate::arbitrary::any::<$ty>()),))
+    };
+}

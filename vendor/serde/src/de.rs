@@ -1,0 +1,480 @@
+//! Deserialization half of the data model.
+
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+/// Error raised by a [`Deserializer`]; mirrors `serde::de::Error`.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error carrying a custom message.
+    fn custom<T: Display>(msg: T) -> Self;
+
+    /// Reports a value of the wrong type (convenience over [`Error::custom`]).
+    fn invalid_type(unexp: &str, exp: &dyn Expected) -> Self {
+        Self::custom(format_args!("invalid type: {unexp}, expected {exp}"))
+    }
+
+    /// Reports a missing struct field.
+    fn missing_field(field: &'static str) -> Self {
+        Self::custom(format_args!("missing field `{field}`"))
+    }
+
+    /// Reports an out-of-range enum variant index.
+    fn invalid_variant(index: u32, name: &'static str) -> Self {
+        Self::custom(format_args!("invalid variant index {index} for enum {name}"))
+    }
+}
+
+/// What a [`Visitor`] expected, for error messages.
+pub trait Expected {
+    /// Writes the expectation, e.g. "struct Foo".
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+}
+
+impl<'de, V: Visitor<'de>> Expected for V {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.expecting(formatter)
+    }
+}
+
+impl Display for dyn Expected + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        Expected::fmt(self, f)
+    }
+}
+
+/// A value deserializable from any serde data format.
+pub trait Deserialize<'de>: Sized {
+    /// Reads this value from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A value deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Stateful deserialization seed; mirrors `serde::de::DeserializeSeed`.
+pub trait DeserializeSeed<'de>: Sized {
+    /// The produced value.
+    type Value;
+    /// Reads the value from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<T, D::Error> {
+        T::deserialize(deserializer)
+    }
+}
+
+macro_rules! default_visit {
+    ($name:ident, $ty:ty, $what:expr) => {
+        /// Visits a value of this shape; default errors with a type mismatch.
+        fn $name<E: Error>(self, _v: $ty) -> Result<Self::Value, E> {
+            Err(E::invalid_type($what, &self))
+        }
+    };
+}
+
+/// Walks values produced by a [`Deserializer`]; mirrors `serde::de::Visitor`.
+pub trait Visitor<'de>: Sized {
+    /// The value built by this visitor.
+    type Value;
+
+    /// Writes what this visitor expects, for error messages.
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    default_visit!(visit_bool, bool, "a boolean");
+    default_visit!(visit_i8, i8, "an i8");
+    default_visit!(visit_i16, i16, "an i16");
+    default_visit!(visit_i32, i32, "an i32");
+    default_visit!(visit_i64, i64, "an i64");
+    default_visit!(visit_u8, u8, "a u8");
+    default_visit!(visit_u16, u16, "a u16");
+    default_visit!(visit_u32, u32, "a u32");
+    default_visit!(visit_u64, u64, "a u64");
+    default_visit!(visit_f32, f32, "an f32");
+    default_visit!(visit_f64, f64, "an f64");
+    default_visit!(visit_char, char, "a char");
+
+    /// Visits a borrowed-for-the-call string slice.
+    fn visit_str<E: Error>(self, _v: &str) -> Result<Self::Value, E> {
+        Err(E::invalid_type("a string", &self))
+    }
+
+    /// Visits a string borrowed from the input; defaults to [`Visitor::visit_str`].
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+
+    /// Visits an owned string; defaults to [`Visitor::visit_str`].
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+
+    /// Visits a borrowed-for-the-call byte slice.
+    fn visit_bytes<E: Error>(self, _v: &[u8]) -> Result<Self::Value, E> {
+        Err(E::invalid_type("bytes", &self))
+    }
+
+    /// Visits bytes borrowed from the input; defaults to [`Visitor::visit_bytes`].
+    fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+        self.visit_bytes(v)
+    }
+
+    /// Visits an owned byte buffer; defaults to [`Visitor::visit_bytes`].
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+
+    /// Visits `None`.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::invalid_type("none", &self))
+    }
+
+    /// Visits `Some(..)`, recursing into the deserializer.
+    fn visit_some<D: Deserializer<'de>>(self, _deserializer: D) -> Result<Self::Value, D::Error> {
+        Err(D::Error::invalid_type("some", &self))
+    }
+
+    /// Visits `()`.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::invalid_type("unit", &self))
+    }
+
+    /// Visits a newtype struct, recursing into the deserializer.
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        _deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        Err(D::Error::invalid_type("newtype struct", &self))
+    }
+
+    /// Visits a sequence.
+    fn visit_seq<A: SeqAccess<'de>>(self, _seq: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::invalid_type("a sequence", &self))
+    }
+
+    /// Visits a map.
+    fn visit_map<A: MapAccess<'de>>(self, _map: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::invalid_type("a map", &self))
+    }
+
+    /// Visits an enum.
+    fn visit_enum<A: EnumAccess<'de>>(self, _data: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::invalid_type("an enum", &self))
+    }
+}
+
+/// A data format that can deserialize the serde data model.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Deserializes whatever the input holds (self-describing formats only).
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `bool`.
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i8`.
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i16`.
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i32`.
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i64`.
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u8`.
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u16`.
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u32`.
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u64`.
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `f32`.
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `f64`.
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `char`.
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a string slice.
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an owned string.
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes borrowed bytes.
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an owned byte buffer.
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `Option`.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes `()`.
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a unit struct.
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a newtype struct.
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a variable-length sequence.
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a fixed-length tuple.
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a tuple struct.
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a map.
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a struct with named fields.
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes an enum.
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a field/variant identifier.
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V)
+        -> Result<V::Value, Self::Error>;
+    /// Skips whatever the input holds (self-describing formats only).
+    fn deserialize_ignored_any<V: Visitor<'de>>(
+        self,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Whether the format is human readable (binary formats return false).
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+/// Element-by-element access to a sequence.
+pub trait SeqAccess<'de> {
+    /// Error type.
+    type Error: Error;
+
+    /// Reads the next element through `seed`; `None` at the end.
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+
+    /// Reads the next element of a known type.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error> {
+        self.next_element_seed(PhantomData)
+    }
+
+    /// Remaining length, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Entry-by-entry access to a map.
+pub trait MapAccess<'de> {
+    /// Error type.
+    type Error: Error;
+
+    /// Reads the next key through `seed`; `None` at the end.
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+
+    /// Reads the value of the entry whose key was just read.
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Reads the next key of a known type.
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error> {
+        self.next_key_seed(PhantomData)
+    }
+
+    /// Reads the next value of a known type.
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error> {
+        self.next_value_seed(PhantomData)
+    }
+
+    /// Reads the next full entry of known types.
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+        &mut self,
+    ) -> Result<Option<(K, V)>, Self::Error> {
+        match self.next_key()? {
+            Some(key) => Ok(Some((key, self.next_value()?))),
+            None => Ok(None),
+        }
+    }
+
+    /// Remaining length, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the variant tag of an enum.
+pub trait EnumAccess<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// Accessor for the chosen variant's payload.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+
+    /// Reads the variant tag through `seed`.
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+
+    /// Reads the variant tag as a known type.
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Access to an enum variant's payload.
+pub trait VariantAccess<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Finishes a dataless variant.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+
+    /// Reads a single-payload variant through `seed`.
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, Self::Error>;
+
+    /// Reads a single-payload variant of a known type.
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+
+    /// Reads a tuple variant's fields.
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V)
+        -> Result<V::Value, Self::Error>;
+
+    /// Reads a struct variant's fields.
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+/// Trivial deserializers wrapping already-decoded values.
+pub mod value {
+    use super::{Deserializer, Error, Visitor};
+    use std::marker::PhantomData;
+
+    /// A deserializer holding one `u32` (used for enum variant indices).
+    #[derive(Debug, Clone, Copy)]
+    pub struct U32Deserializer<E> {
+        value: u32,
+        marker: PhantomData<E>,
+    }
+
+    impl<E> U32Deserializer<E> {
+        /// Wraps `value`.
+        pub fn new(value: u32) -> Self {
+            U32Deserializer {
+                value,
+                marker: PhantomData,
+            }
+        }
+    }
+
+    macro_rules! forward_to_visit_u32 {
+        ($($method:ident)*) => {$(
+            fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.visit_u32(self.value)
+            }
+        )*};
+    }
+
+    impl<'de, E: Error> Deserializer<'de> for U32Deserializer<E> {
+        type Error = E;
+
+        forward_to_visit_u32! {
+            deserialize_any deserialize_bool
+            deserialize_i8 deserialize_i16 deserialize_i32 deserialize_i64
+            deserialize_u8 deserialize_u16 deserialize_u32 deserialize_u64
+            deserialize_f32 deserialize_f64 deserialize_char
+            deserialize_str deserialize_string deserialize_bytes
+            deserialize_byte_buf deserialize_option deserialize_unit
+            deserialize_seq deserialize_map deserialize_identifier
+            deserialize_ignored_any
+        }
+
+        fn deserialize_unit_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+
+        fn deserialize_newtype_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+
+        fn deserialize_tuple<V: Visitor<'de>>(
+            self,
+            _len: usize,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+
+        fn deserialize_tuple_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _len: usize,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+
+        fn deserialize_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _fields: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+
+        fn deserialize_enum<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _variants: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+    }
+}

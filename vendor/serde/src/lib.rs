@@ -1,0 +1,21 @@
+//! Vendored stand-in for the `serde` crate.
+//!
+//! The build container has no crates.io access, so this crate reimplements
+//! the serde data-model trait surface that `psc-codec` (a full serde-format
+//! implementation) and the workspace's `#[derive(Serialize, Deserialize)]`
+//! types exercise. The companion `serde_derive` stand-in generates impls
+//! against exactly these traits. Formats and derives in this workspace are
+//! the only consumers, so the surface is complete for the repo while
+//! remaining a small fraction of upstream serde.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// Derive macros share the trait names, exactly as upstream serde re-exports
+// serde_derive under the `derive` feature (always on here).
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;

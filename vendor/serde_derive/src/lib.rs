@@ -1,0 +1,541 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` cannot be fetched in this offline container, so the item is
+//! parsed with a hand-rolled `proc_macro::TokenTree` walker and the impls
+//! are emitted as source strings parsed back into a `TokenStream`. Supported
+//! shapes are exactly what the workspace derives on: non-generic named /
+//! tuple / unit structs and enums whose variants are unit, newtype, tuple,
+//! or struct-like. Unsupported shapes fail the build with a clear message
+//! rather than silently producing a wrong impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: optional name (None for tuple fields) and its type
+/// rendered back to source text.
+struct Field {
+    name: Option<String>,
+    ty: String,
+}
+
+enum Payload {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+enum Item {
+    Struct { name: String, payload: Payload },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize` for non-generic structs and enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, payload } => serialize_struct(name, payload),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    src.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for non-generic structs and enums.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, payload } => deserialize_struct(name, payload),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    src.parse().expect("generated Deserialize impl parses")
+}
+
+// ---- parsing ----
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("serde_derive: expected item name, found `{other}`"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let payload = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Payload::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Payload::Tuple(parse_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Payload::Unit,
+                other => panic!("serde_derive: unexpected struct body: {other:?}"),
+            };
+            Item::Struct { name, payload }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: unexpected enum body: {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past `#[..]` attributes and `pub` / `pub(..)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` and the bracketed group
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a field-list token stream on commas that sit outside any `<..>`.
+/// (Nested `()`/`[]`/`{}` arrive as single opaque groups, so only angle
+/// brackets need depth tracking.)
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for token in stream {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(token);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|seg| !seg.is_empty())
+        .map(|seg| {
+            let mut i = 0;
+            skip_attrs_and_vis(&seg, &mut i);
+            let name = match &seg[i] {
+                TokenTree::Ident(ident) => ident.to_string(),
+                other => panic!("serde_derive: expected field name, found `{other}`"),
+            };
+            i += 1;
+            match &seg[i] {
+                TokenTree::Punct(p) if p.as_char() == ':' => {}
+                other => panic!("serde_derive: expected `:` after field name, found `{other}`"),
+            }
+            i += 1;
+            Field {
+                name: Some(name),
+                ty: tokens_to_string(&seg[i..]),
+            }
+        })
+        .collect()
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|seg| !seg.is_empty())
+        .map(|seg| {
+            let mut i = 0;
+            skip_attrs_and_vis(&seg, &mut i);
+            Field {
+                name: None,
+                ty: tokens_to_string(&seg[i..]),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    for seg in split_top_level(stream) {
+        if seg.is_empty() {
+            continue;
+        }
+        let mut i = 0;
+        skip_attrs_and_vis(&seg, &mut i);
+        let name = match &seg[i] {
+            TokenTree::Ident(ident) => ident.to_string(),
+            other => panic!("serde_derive: expected variant name, found `{other}`"),
+        };
+        i += 1;
+        let payload = match seg.get(i) {
+            None => Payload::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Payload::Tuple(parse_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Payload::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde_derive (vendored): explicit discriminants are not supported")
+            }
+            other => panic!("serde_derive: unexpected variant payload: {other:?}"),
+        };
+        variants.push(Variant { name, payload });
+    }
+    variants
+}
+
+// ---- code generation: Serialize ----
+
+fn serialize_struct(name: &str, payload: &Payload) -> String {
+    let body = match payload {
+        Payload::Unit => format!("__serializer.serialize_unit_struct(\"{name}\")"),
+        Payload::Tuple(fields) if fields.len() == 1 => {
+            format!("__serializer.serialize_newtype_struct(\"{name}\", &self.0)")
+        }
+        Payload::Tuple(fields) => {
+            let mut out = format!(
+                "let mut __st = ::serde::ser::Serializer::serialize_tuple_struct(__serializer, \"{name}\", {})?;",
+                fields.len()
+            );
+            for idx in 0..fields.len() {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __st, &self.{idx})?;"
+                ));
+            }
+            out.push_str("::serde::ser::SerializeTupleStruct::end(__st)");
+            out
+        }
+        Payload::Named(fields) => {
+            let mut out = format!(
+                "let mut __st = ::serde::ser::Serializer::serialize_struct(__serializer, \"{name}\", {})?;",
+                fields.len()
+            );
+            for field in fields {
+                let fname = field.name.as_ref().expect("named field");
+                out.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{fname}\", &self.{fname})?;"
+                ));
+            }
+            out.push_str("::serde::ser::SerializeStruct::end(__st)");
+            out
+        }
+    };
+    format!(
+        "impl ::serde::ser::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for (index, variant) in variants.iter().enumerate() {
+        let vname = &variant.name;
+        match &variant.payload {
+            Payload::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vname} => ::serde::ser::Serializer::serialize_unit_variant(__serializer, \"{name}\", {index}u32, \"{vname}\"),"
+                ));
+            }
+            Payload::Tuple(fields) if fields.len() == 1 => {
+                arms.push_str(&format!(
+                    "{name}::{vname}(__f0) => ::serde::ser::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {index}u32, \"{vname}\", __f0),"
+                ));
+            }
+            Payload::Tuple(fields) => {
+                let binders: Vec<String> = (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                let mut arm = format!(
+                    "{name}::{vname}({}) => {{ let mut __st = ::serde::ser::Serializer::serialize_tuple_variant(__serializer, \"{name}\", {index}u32, \"{vname}\", {})?;",
+                    binders.join(", "),
+                    fields.len()
+                );
+                for binder in &binders {
+                    arm.push_str(&format!(
+                        "::serde::ser::SerializeTupleVariant::serialize_field(&mut __st, {binder})?;"
+                    ));
+                }
+                arm.push_str("::serde::ser::SerializeTupleVariant::end(__st) },");
+                arms.push_str(&arm);
+            }
+            Payload::Named(fields) => {
+                let names: Vec<&str> = fields
+                    .iter()
+                    .map(|f| f.name.as_deref().expect("named field"))
+                    .collect();
+                let mut arm = format!(
+                    "{name}::{vname} {{ {} }} => {{ let mut __st = ::serde::ser::Serializer::serialize_struct_variant(__serializer, \"{name}\", {index}u32, \"{vname}\", {})?;",
+                    names.join(", "),
+                    fields.len()
+                );
+                for fname in &names {
+                    arm.push_str(&format!(
+                        "::serde::ser::SerializeStructVariant::serialize_field(&mut __st, \"{fname}\", {fname})?;"
+                    ));
+                }
+                arm.push_str("::serde::ser::SerializeStructVariant::end(__st) },");
+                arms.push_str(&arm);
+            }
+        }
+    }
+    format!(
+        "impl ::serde::ser::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+// ---- code generation: Deserialize ----
+
+/// Emits statements reading `fields` from a `SeqAccess` binding them to
+/// `__f0..__fN`, erroring (via the given error type path) on short input.
+fn read_seq_fields(fields: &[Field], what: &str) -> String {
+    let mut out = String::new();
+    for (i, field) in fields.iter().enumerate() {
+        let ty = &field.ty;
+        out.push_str(&format!(
+            "let __f{i}: {ty} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                 ::core::option::Option::Some(__v) => __v,\n\
+                 ::core::option::Option::None => return ::core::result::Result::Err(\n\
+                     ::serde::de::Error::custom(\"{what}: input ended early\")),\n\
+             }};"
+        ));
+    }
+    out
+}
+
+fn construct(name: &str, variant: Option<&str>, payload: &Payload) -> String {
+    let path = match variant {
+        Some(v) => format!("{name}::{v}"),
+        None => name.to_string(),
+    };
+    match payload {
+        Payload::Unit => path,
+        Payload::Tuple(fields) => {
+            let args: Vec<String> = (0..fields.len()).map(|i| format!("__f{i}")).collect();
+            format!("{path}({})", args.join(", "))
+        }
+        Payload::Named(fields) => {
+            let args: Vec<String> = fields
+                .iter()
+                .enumerate()
+                .map(|(i, f)| format!("{}: __f{i}", f.name.as_ref().expect("named field")))
+                .collect();
+            format!("{path} {{ {} }}", args.join(", "))
+        }
+    }
+}
+
+/// A visitor struct definition reading `payload` via `visit_seq`, producing
+/// `construct_expr` of type `value_ty`.
+fn seq_visitor(visitor_name: &str, value_ty: &str, payload: &Payload, construct_expr: &str) -> String {
+    let fields = match payload {
+        Payload::Tuple(f) | Payload::Named(f) => f.as_slice(),
+        Payload::Unit => &[],
+    };
+    let reads = read_seq_fields(fields, value_ty);
+    format!(
+        "struct {visitor_name};\n\
+         impl<'de> ::serde::de::Visitor<'de> for {visitor_name} {{\n\
+             type Value = {value_ty};\n\
+             fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                 __f.write_str(\"{value_ty}\")\n\
+             }}\n\
+             fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                 -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                 let _ = &mut __seq;\n\
+                 {reads}\n\
+                 ::core::result::Result::Ok({construct_expr})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct(name: &str, payload: &Payload) -> String {
+    let body = match payload {
+        Payload::Unit => format!(
+            "struct __V;\n\
+             impl<'de> ::serde::de::Visitor<'de> for __V {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                     __f.write_str(\"unit struct {name}\")\n\
+                 }}\n\
+                 fn visit_unit<__E: ::serde::de::Error>(self) -> ::core::result::Result<{name}, __E> {{\n\
+                     ::core::result::Result::Ok({name})\n\
+                 }}\n\
+             }}\n\
+             ::serde::de::Deserializer::deserialize_unit_struct(__deserializer, \"{name}\", __V)"
+        ),
+        Payload::Tuple(fields) if fields.len() == 1 => {
+            let ty = &fields[0].ty;
+            format!(
+                "struct __V;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __V {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                         __f.write_str(\"newtype struct {name}\")\n\
+                     }}\n\
+                     fn visit_newtype_struct<__D: ::serde::de::Deserializer<'de>>(self, __d: __D)\n\
+                         -> ::core::result::Result<{name}, __D::Error> {{\n\
+                         ::core::result::Result::Ok({name}(<{ty} as ::serde::de::Deserialize>::deserialize(__d)?))\n\
+                     }}\n\
+                 }}\n\
+                 ::serde::de::Deserializer::deserialize_newtype_struct(__deserializer, \"{name}\", __V)"
+            )
+        }
+        Payload::Tuple(fields) => {
+            let visitor = seq_visitor("__V", name, payload, &construct(name, None, payload));
+            format!(
+                "{visitor}\n\
+                 ::serde::de::Deserializer::deserialize_tuple_struct(__deserializer, \"{name}\", {}, __V)",
+                fields.len()
+            )
+        }
+        Payload::Named(fields) => {
+            let visitor = seq_visitor("__V", name, payload, &construct(name, None, payload));
+            let field_names: Vec<String> = fields
+                .iter()
+                .map(|f| format!("\"{}\"", f.name.as_ref().expect("named field")))
+                .collect();
+            format!(
+                "{visitor}\n\
+                 const __FIELDS: &[&str] = &[{}];\n\
+                 ::serde::de::Deserializer::deserialize_struct(__deserializer, \"{name}\", __FIELDS, __V)",
+                field_names.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    let mut helper_visitors = String::new();
+    for (index, variant) in variants.iter().enumerate() {
+        let vname = &variant.name;
+        match &variant.payload {
+            Payload::Unit => {
+                arms.push_str(&format!(
+                    "{index}u32 => {{ ::serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                         ::core::result::Result::Ok({name}::{vname}) }}"
+                ));
+            }
+            Payload::Tuple(fields) if fields.len() == 1 => {
+                let ty = &fields[0].ty;
+                arms.push_str(&format!(
+                    "{index}u32 => {{ let __v: {ty} = ::serde::de::VariantAccess::newtype_variant(__variant)?;\n\
+                         ::core::result::Result::Ok({name}::{vname}(__v)) }}"
+                ));
+            }
+            Payload::Tuple(fields) => {
+                let visitor_name = format!("__V{index}");
+                helper_visitors.push_str(&seq_visitor(
+                    &visitor_name,
+                    name,
+                    &variant.payload,
+                    &construct(name, Some(vname), &variant.payload),
+                ));
+                arms.push_str(&format!(
+                    "{index}u32 => ::serde::de::VariantAccess::tuple_variant(__variant, {}, {visitor_name}),",
+                    fields.len()
+                ));
+            }
+            Payload::Named(fields) => {
+                let visitor_name = format!("__V{index}");
+                helper_visitors.push_str(&seq_visitor(
+                    &visitor_name,
+                    name,
+                    &variant.payload,
+                    &construct(name, Some(vname), &variant.payload),
+                ));
+                let field_names: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("\"{}\"", f.name.as_ref().expect("named field")))
+                    .collect();
+                arms.push_str(&format!(
+                    "{index}u32 => ::serde::de::VariantAccess::struct_variant(__variant, &[{}], {visitor_name}),",
+                    field_names.join(", ")
+                ));
+            }
+        }
+    }
+    let variant_names: Vec<String> = variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+    format!(
+        "impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 {helper_visitors}\n\
+                 struct __V;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __V {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                         __f.write_str(\"enum {name}\")\n\
+                     }}\n\
+                     fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __data: __A)\n\
+                         -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                         let (__idx, __variant): (u32, __A::Variant) =\n\
+                             ::serde::de::EnumAccess::variant(__data)?;\n\
+                         match __idx {{\n\
+                             {arms}\n\
+                             __other => ::core::result::Result::Err(::serde::de::Error::invalid_variant(__other, \"{name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n\
+                 const __VARIANTS: &[&str] = &[{}];\n\
+                 ::serde::de::Deserializer::deserialize_enum(__deserializer, \"{name}\", __VARIANTS, __V)\n\
+             }}\n\
+         }}",
+        variant_names.join(", ")
+    )
+}

@@ -4,12 +4,15 @@
 //!
 //! Run with `cargo run --release -p psc-bench --bin exp_delivery_semantics`.
 
-use psc_bench::{fmt_f, Table};
+use std::sync::Arc;
+
+use psc_bench::{fmt_f, write_bench_json, Table};
 use psc_group::{
     sim_host::GroupNode, BestEffort, Causal, Certified, Fifo, GroupIo, Multicast, Reliable,
     TimerToken, Total,
 };
 use psc_simnet::{NodeId, SimConfig, SimNet, SimTime};
+use psc_telemetry::{json::JsonValue, Registry, Snapshot};
 
 struct Boxed(Box<dyn Multicast>);
 
@@ -39,21 +42,27 @@ fn cluster(
     loss: f64,
     seed: u64,
     make: impl Fn() -> Box<dyn Multicast> + Clone + 'static,
-) -> (SimNet, Vec<NodeId>) {
+) -> (SimNet, Vec<NodeId>, Arc<Registry>) {
     let mut sim = SimNet::new(SimConfig {
         seed,
         drop_probability: loss,
         ..SimConfig::default()
     });
+    // One registry for the whole cluster: the `group.*` wire counters in
+    // the JSON report aggregate over every node of the run.
+    let registry = Arc::new(Registry::new());
     let ids: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
     for i in 0..n {
         let make = make.clone();
-        sim.add_node(format!("n{i}"), move || GroupNode::boxed(Boxed(make())));
+        let registry = Arc::clone(&registry);
+        sim.add_node(format!("n{i}"), move || {
+            GroupNode::boxed_with_telemetry(Boxed(make()), Arc::clone(&registry))
+        });
     }
     for &id in &ids {
         GroupNode::set_members(&mut sim, id, ids.clone());
     }
-    (sim, ids)
+    (sim, ids, registry)
 }
 
 struct Row {
@@ -62,12 +71,14 @@ struct Row {
     msgs_per_bcast: f64,
     bytes_per_bcast: f64,
     delivery_ratio: f64,
+    /// Protocol telemetry (`group.*` counters aggregated over the cluster).
+    wire: Snapshot,
 }
 
 fn run(proto: &'static str, make: fn() -> Box<dyn Multicast>, loss: f64) -> Row {
     let n = 8usize;
     let msgs = 20usize;
-    let (mut sim, ids) = cluster(n, loss, 1234, make);
+    let (mut sim, ids, registry) = cluster(n, loss, 1234, make);
     sim.run_until(SimTime::from_millis(1));
     sim.reset_stats();
     for m in 0..msgs {
@@ -88,6 +99,7 @@ fn run(proto: &'static str, make: fn() -> Box<dyn Multicast>, loss: f64) -> Row 
         msgs_per_bcast: sim.stats().sent as f64 / msgs as f64,
         bytes_per_bcast: sim.stats().bytes_sent as f64 / msgs as f64,
         delivery_ratio: total_deliveries as f64 / expected as f64,
+        wire: registry.snapshot(),
     }
 }
 
@@ -95,7 +107,7 @@ fn run(proto: &'static str, make: fn() -> Box<dyn Multicast>, loss: f64) -> Row 
 /// (after it): a volatile retransmission log dies with the publisher, a
 /// persistent one (certified) survives.
 fn crash_recovery_run(proto: &'static str, make: fn() -> Box<dyn Multicast>) -> (usize, usize) {
-    let (mut sim, ids) = cluster(3, 0.0, 7, make);
+    let (mut sim, ids, _registry) = cluster(3, 0.0, 7, make);
     sim.run_until(SimTime::from_millis(1));
     sim.crash(ids[2]);
     GroupNode::broadcast(&mut sim, ids[0], b"while-down".to_vec());
@@ -128,6 +140,7 @@ fn main() {
         "bytes/bcast",
         "delivery ratio",
     ]);
+    let mut json_rows = JsonValue::arr();
     for loss in [0.0, 0.05, 0.20] {
         for (name, make) in protos {
             let row = run(name, make, loss);
@@ -138,6 +151,15 @@ fn main() {
                 fmt_f(row.bytes_per_bcast),
                 format!("{:.3}", row.delivery_ratio),
             ]);
+            json_rows = json_rows.push(
+                JsonValue::obj()
+                    .set("protocol", row.proto)
+                    .set("loss", row.loss)
+                    .set("msgs_per_bcast", row.msgs_per_bcast)
+                    .set("bytes_per_bcast", row.bytes_per_bcast)
+                    .set("delivery_ratio", row.delivery_ratio)
+                    .set("metrics", row.wire.to_json()),
+            );
         }
     }
     table.print();
@@ -145,12 +167,19 @@ fn main() {
     println!("\ncrash/recovery: subscriber down during broadcast; publisher then crashes");
     println!("(volatile retransmission state dies with the publisher; certified persists)");
     let mut table = Table::new(&["protocol", "live node delivered", "crashed node after recovery"]);
+    let mut json_crash = JsonValue::arr();
     for (name, make) in [
         ("reliable", protos[1].1),
         ("certified", protos[5].1),
     ] {
         let (during, recovered) = crash_recovery_run(name, make);
         table.row(&[name.to_string(), during.to_string(), recovered.to_string()]);
+        json_crash = json_crash.push(
+            JsonValue::obj()
+                .set("protocol", name)
+                .set("live_delivered", during)
+                .set("recovered_delivered", recovered),
+        );
     }
     table.print();
     println!(
@@ -158,4 +187,13 @@ fn main() {
          crashed subscriber after both recoveries (reliable retransmission state is\n\
          volatile and died with the publisher)."
     );
+
+    let doc = JsonValue::obj()
+        .set("experiment", "delivery_semantics")
+        .set("nodes", 8u64)
+        .set("broadcasts", 20u64)
+        .set("rows", json_rows)
+        .set("crash_recovery", json_crash);
+    let path = write_bench_json("delivery_semantics", &doc).expect("write BENCH json");
+    println!("\nmetrics snapshot written to {}", path.display());
 }

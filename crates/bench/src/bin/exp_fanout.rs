@@ -8,9 +8,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use psc_bench::{fmt_f, quote_obvents, BenchQuote, Table};
+use psc_bench::{fmt_f, quote_obvents, write_bench_json, BenchQuote, Table};
 use psc_dace::inproc::Bus;
 use psc_rmi::{remote_iface, DgcMode, RmiError, RmiNetwork};
+use psc_telemetry::{json::JsonValue, Registry};
 use pubsub_core::FilterSpec;
 
 remote_iface! {
@@ -41,14 +42,19 @@ fn main() {
         "rmi/pubsub",
     ]);
 
+    let mut json_rows = JsonValue::arr();
     for &n in &[1usize, 4, 16, 64, 128] {
-        // pub/sub
+        // pub/sub — all domains record into one registry, so the snapshot's
+        // `core.published` / `core.delivered` cover the whole fan-out.
+        let registry = Registry::new();
         let bus = Bus::new();
         let publisher = bus.domain_inline();
+        publisher.attach_telemetry(&registry);
         let received = Arc::new(AtomicU64::new(0));
         let domains: Vec<_> = (0..n)
             .map(|_| {
                 let d = bus.domain_inline();
+                d.attach_telemetry(&registry);
                 let r = received.clone();
                 let sub = d.subscribe(FilterSpec::accept_all(), move |_q: BenchQuote| {
                     r.fetch_add(1, Ordering::Relaxed);
@@ -98,8 +104,22 @@ fn main() {
             fmt_f(rmi_us),
             format!("{:.1}x", rmi_us / pubsub_us),
         ]);
+        json_rows = json_rows.push(
+            JsonValue::obj()
+                .set("receivers", n)
+                .set("pubsub_us_per_round", pubsub_us)
+                .set("rmi_us_per_round", rmi_us)
+                .set("rmi_over_pubsub", rmi_us / pubsub_us)
+                .set("metrics", registry.snapshot().to_json()),
+        );
     }
     table.print();
+    let doc = JsonValue::obj()
+        .set("experiment", "fanout")
+        .set("rounds", 200u64)
+        .set("rows", json_rows);
+    let path = write_bench_json("fanout", &doc).expect("write BENCH json");
+    println!("\nmetrics snapshot written to {}", path.display());
     println!(
         "\nexpected shape: RMI cost grows linearly in N (one synchronous round-trip per\n\
          receiver); pub/sub grows far more slowly (single publish, fabric fan-out) —\n\

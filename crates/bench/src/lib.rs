@@ -160,6 +160,22 @@ impl Table {
     }
 }
 
+/// Writes `doc` as `BENCH_<name>.json` next to the text report, so the
+/// experiment series doubles as a machine-readable perf trajectory. The
+/// target directory comes from `BENCH_JSON_DIR` (default: the current
+/// directory). Returns the path written.
+pub fn write_bench_json(
+    name: &str,
+    doc: &psc_telemetry::json::JsonValue,
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::env::var_os("BENCH_JSON_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, format!("{}\n", doc.render()))?;
+    Ok(path)
+}
+
 /// Formats a float compactly for tables.
 pub fn fmt_f(x: f64) -> String {
     if x >= 100.0 {

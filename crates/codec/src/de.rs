@@ -40,6 +40,9 @@ pub fn from_bytes<T: DeserializeOwned>(input: &[u8]) -> Result<T, CodecError> {
 pub fn from_bytes_prefix<T: DeserializeOwned>(input: &[u8]) -> Result<(T, usize), CodecError> {
     let mut de = Deserializer::new(input);
     let value = T::deserialize(&mut de)?;
+    let m = crate::metrics::metrics();
+    m.decodes.inc();
+    m.decode_bytes.add(de.offset as u64);
     Ok((value, de.offset))
 }
 

@@ -25,6 +25,7 @@ pub fn encode(payload: &[u8], out: &mut Vec<u8>) {
     );
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(payload);
+    crate::metrics::metrics().frame_encodes.inc();
 }
 
 /// Attempts to split one frame off the front of `input`.
@@ -51,6 +52,7 @@ pub fn decode(input: &[u8]) -> Result<Option<(&[u8], usize)>, CodecError> {
     if input.len() < 4 + len {
         return Ok(None);
     }
+    crate::metrics::metrics().frame_decodes.inc();
     Ok(Some((&input[4..4 + len], 4 + len)))
 }
 

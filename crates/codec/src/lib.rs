@@ -54,6 +54,7 @@
 mod de;
 mod error;
 pub mod frame;
+mod metrics;
 mod ser;
 pub mod varint;
 

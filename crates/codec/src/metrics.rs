@@ -1,0 +1,45 @@
+//! Codec instrumentation: counters in the process-global telemetry
+//! registry (`psc_telemetry::global()`), which starts **disabled** — until a
+//! host opts in with `psc_telemetry::set_global_enabled(true)`, each site
+//! costs one relaxed load and a branch.
+//!
+//! The codec has no per-component registry to record into (serialization is
+//! a free function, not a node-owned service), which is exactly what the
+//! global registry exists for.
+
+use std::sync::OnceLock;
+
+use psc_telemetry::Counter;
+
+pub(crate) struct CodecMetrics {
+    /// `codec.encodes` — successful `to_bytes` calls.
+    pub encodes: Counter,
+    /// `codec.encode_bytes` — total bytes produced by `to_bytes`.
+    pub encode_bytes: Counter,
+    /// `codec.decodes` — successful `from_bytes_prefix` calls (whole-buffer
+    /// decodes route through the prefix path).
+    pub decodes: Counter,
+    /// `codec.decode_bytes` — total bytes consumed by decodes.
+    pub decode_bytes: Counter,
+    /// `codec.frame_encodes` — frames written by `frame::encode`.
+    pub frame_encodes: Counter,
+    /// `codec.frame_decodes` — complete frames split off by `frame::decode`.
+    pub frame_decodes: Counter,
+}
+
+/// Handles are created once and cached; the hot path never touches the
+/// registry's name map.
+pub(crate) fn metrics() -> &'static CodecMetrics {
+    static METRICS: OnceLock<CodecMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let global = psc_telemetry::global();
+        CodecMetrics {
+            encodes: global.counter("codec.encodes"),
+            encode_bytes: global.counter("codec.encode_bytes"),
+            decodes: global.counter("codec.decodes"),
+            decode_bytes: global.counter("codec.decode_bytes"),
+            frame_encodes: global.counter("codec.frame_encodes"),
+            frame_decodes: global.counter("codec.frame_decodes"),
+        }
+    })
+}

@@ -14,7 +14,11 @@ use crate::{varint, CodecError};
 pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, CodecError> {
     let mut ser = Serializer::new();
     value.serialize(&mut ser)?;
-    Ok(ser.into_bytes())
+    let bytes = ser.into_bytes();
+    let m = crate::metrics::metrics();
+    m.encodes.inc();
+    m.encode_bytes.add(bytes.len() as u64);
+    Ok(bytes)
 }
 
 /// Serializes `value` and writes the bytes to `writer`.

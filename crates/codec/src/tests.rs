@@ -95,7 +95,7 @@ fn structs_and_enums_roundtrip() {
     let nested = Nested {
         inner: simple.clone(),
         list: vec![-1, 0, i64::MAX],
-        map: BTreeMap::from([("pi".to_string(), 3.14)]),
+        map: BTreeMap::from([("pi".to_string(), 3.5)]),
         opt: Some(Box::new(Nested {
             inner: simple,
             list: vec![],

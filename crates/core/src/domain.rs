@@ -8,6 +8,7 @@ use parking_lot::RwLock;
 
 use psc_filter::RemoteFilter;
 use psc_obvent::{KindId, Obvent, ObventKind, ObventView, WireObvent};
+use psc_telemetry::{Counter, Registry};
 
 use crate::error::{PublishError, SubscribeError, UnsubscribeError};
 use crate::executor::{ExecMode, Executor, ThreadPolicy};
@@ -74,12 +75,37 @@ struct SubEntry {
     durable_id: Option<u64>,
 }
 
+/// Telemetry handles of one domain; noop until
+/// [`Domain::attach_telemetry`] swaps in live handles.
+struct CoreMetrics {
+    published: Counter,
+    delivered: Counter,
+    matched: Counter,
+    subs_activated: Counter,
+    subs_deactivated: Counter,
+    subs_dropped: Counter,
+}
+
+impl Default for CoreMetrics {
+    fn default() -> Self {
+        CoreMetrics {
+            published: Counter::noop(),
+            delivered: Counter::noop(),
+            matched: Counter::noop(),
+            subs_activated: Counter::noop(),
+            subs_deactivated: Counter::noop(),
+            subs_dropped: Counter::noop(),
+        }
+    }
+}
+
 pub(crate) struct DomainInner {
     subs: RwLock<HashMap<SubId, SubEntry>>,
     next_id: AtomicU64,
     backend: RwLock<Option<Box<dyn Dissemination>>>,
     executor: Executor,
     delivered_count: AtomicU64,
+    metrics: RwLock<CoreMetrics>,
 }
 
 /// One address space's pub/sub endpoint: create with
@@ -171,6 +197,7 @@ impl Domain {
             backend: RwLock::new(None),
             executor: Executor::new(mode),
             delivered_count: AtomicU64::new(0),
+            metrics: RwLock::new(CoreMetrics::default()),
         });
         let sink = DeliverySink {
             inner: Arc::downgrade(&inner),
@@ -178,6 +205,22 @@ impl Domain {
         let backend = make_backend(sink);
         *inner.backend.write() = Some(backend);
         Domain { inner }
+    }
+
+    /// Connects the domain to a telemetry registry. Publish, delivery and
+    /// subscription-lifecycle counters (`core.*`) plus the executor's
+    /// thread-policy queue gauges (`core.exec.*`) record into `registry`
+    /// from then on; without this call all instrumentation stays noop.
+    pub fn attach_telemetry(&self, registry: &Registry) {
+        *self.inner.metrics.write() = CoreMetrics {
+            published: registry.counter("core.published"),
+            delivered: registry.counter("core.delivered"),
+            matched: registry.counter("core.matched"),
+            subs_activated: registry.counter("core.subs.activated"),
+            subs_deactivated: registry.counter("core.subs.deactivated"),
+            subs_dropped: registry.counter("core.subs.dropped"),
+        };
+        self.inner.executor.attach_telemetry(registry);
     }
 
     /// A sink for delivering obvents into this domain (used by fabrics and
@@ -210,6 +253,7 @@ impl Domain {
     ///
     /// [`PublishError`] when the fabric rejects the obvent.
     pub fn publish_wire(&self, wire: WireObvent) -> Result<(), PublishError> {
+        self.inner.metrics.read().published.inc();
         let backend = self.inner.backend.read();
         match backend.as_ref() {
             Some(backend) => backend.publish(wire),
@@ -347,6 +391,11 @@ impl DomainInner {
             jobs.push((id, Arc::clone(&entry.dispatch)));
         }
         drop(subs);
+        {
+            let metrics = self.metrics.read();
+            metrics.matched.add(matched as u64);
+            metrics.delivered.add(jobs.len() as u64);
+        }
         for (id, dispatch) in jobs {
             self.delivered_count.fetch_add(1, Ordering::SeqCst);
             let wire = wire.clone();
@@ -384,7 +433,10 @@ impl DomainInner {
         let backend = self.backend.read();
         let backend = backend.as_ref().ok_or(SubscribeError::DomainClosed)?;
         match backend.subscribe(record) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.metrics.read().subs_activated.inc();
+                Ok(())
+            }
             Err(err) => {
                 // Roll back the activation.
                 if let Some(entry) = self.subs.write().get_mut(&id) {
@@ -406,7 +458,9 @@ impl DomainInner {
         }
         let backend = self.backend.read();
         let backend = backend.as_ref().ok_or(UnsubscribeError::DomainClosed)?;
-        backend.unsubscribe(id)
+        backend.unsubscribe(id)?;
+        self.metrics.read().subs_deactivated.inc();
+        Ok(())
     }
 
     pub(crate) fn is_active(&self, id: SubId) -> bool {
@@ -418,7 +472,9 @@ impl DomainInner {
     }
 
     pub(crate) fn drop_subscription(&self, id: SubId) {
-        self.subs.write().remove(&id);
+        if self.subs.write().remove(&id).is_some() {
+            self.metrics.read().subs_dropped.inc();
+        }
         self.executor.remove_sub(id);
     }
 }

@@ -17,6 +17,7 @@ use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use psc_telemetry::{Gauge, Registry};
 
 use crate::domain::SubId;
 
@@ -64,12 +65,31 @@ struct SubQueue {
     policy_limit: usize,
 }
 
+/// Executor gauges: thread-policy backlog (`core.exec.queue_depth`, jobs
+/// held back by a policy limit) and total in-flight work
+/// (`core.exec.in_flight`). Noop until a registry is attached.
+#[derive(Clone)]
+struct ExecGauges {
+    queue_depth: Gauge,
+    in_flight: Gauge,
+}
+
+impl Default for ExecGauges {
+    fn default() -> Self {
+        ExecGauges {
+            queue_depth: Gauge::noop(),
+            in_flight: Gauge::noop(),
+        }
+    }
+}
+
 pub(crate) struct Executor {
     mode: ExecMode,
     queues: Arc<Mutex<HashMap<SubId, SubQueue>>>,
     injector: Option<Sender<Job>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     in_flight: Arc<AtomicUsize>,
+    gauges: Arc<Mutex<ExecGauges>>,
 }
 
 impl Executor {
@@ -102,7 +122,16 @@ impl Executor {
             injector,
             workers,
             in_flight,
+            gauges: Arc::new(Mutex::new(ExecGauges::default())),
         }
+    }
+
+    /// Swaps in live gauges recording into `registry`.
+    pub(crate) fn attach_telemetry(&self, registry: &Registry) {
+        *self.gauges.lock() = ExecGauges {
+            queue_depth: registry.gauge("core.exec.queue_depth"),
+            in_flight: registry.gauge("core.exec.in_flight"),
+        };
     }
 
     pub(crate) fn set_policy(&self, sub: SubId, policy: ThreadPolicy) {
@@ -133,6 +162,7 @@ impl Executor {
                     queue.running += 1;
                     drop(queues);
                     self.in_flight.fetch_add(1, Ordering::SeqCst);
+                    self.gauges.lock().in_flight.add(1);
                     let wrapped = self.wrap(sub, Box::new(job));
                     let _ = injector.send(wrapped);
                 } else {
@@ -140,6 +170,9 @@ impl Executor {
                     // Account queued-but-not-running work so `drain` waits
                     // for it too.
                     self.in_flight.fetch_add(1, Ordering::SeqCst);
+                    let gauges = self.gauges.lock();
+                    gauges.in_flight.add(1);
+                    gauges.queue_depth.add(1);
                 }
             }
         }
@@ -148,32 +181,14 @@ impl Executor {
     /// Wraps a job so that, on completion, the subscription's queue is
     /// re-examined (continuation scheduling).
     fn wrap(&self, sub: SubId, job: Job) -> Job {
-        let queues = Arc::clone(&self.queues);
-        let injector = self.injector.clone().expect("pool mode has injector");
-        let in_flight = Arc::clone(&self.in_flight);
-        Box::new(move || {
-            job();
-            in_flight.fetch_sub(1, Ordering::SeqCst);
-            // Pull the next pending job for this subscription, if allowed.
-            let next = {
-                let mut queues = queues.lock();
-                match queues.get_mut(&sub) {
-                    Some(queue) => match queue.pending.pop_front() {
-                        Some(next) => Some(next),
-                        None => {
-                            queue.running = queue.running.saturating_sub(1);
-                            None
-                        }
-                    },
-                    None => None,
-                }
-            };
-            if let Some(next) = next {
-                // Re-wrap so the chain continues.
-                let rewrapped = rewrap(sub, next, queues, injector.clone(), in_flight);
-                let _ = injector.send(rewrapped);
-            }
-        })
+        rewrap(
+            sub,
+            job,
+            Arc::clone(&self.queues),
+            self.injector.clone().expect("pool mode has injector"),
+            Arc::clone(&self.in_flight),
+            Arc::clone(&self.gauges),
+        )
     }
 
     /// Number of submitted-but-not-finished handler executions.
@@ -190,18 +205,21 @@ impl Executor {
     }
 }
 
-/// Free-function twin of [`Executor::wrap`] used from inside worker
-/// continuations (no `&Executor` available there).
+/// Wraps a job so that, on completion, the subscription's queue is
+/// re-examined (continuation scheduling). Free function because worker
+/// continuations have no `&Executor`.
 fn rewrap(
     sub: SubId,
     job: Job,
     queues: Arc<Mutex<HashMap<SubId, SubQueue>>>,
     injector: Sender<Job>,
     in_flight: Arc<AtomicUsize>,
+    gauges: Arc<Mutex<ExecGauges>>,
 ) -> Job {
     Box::new(move || {
         job();
         in_flight.fetch_sub(1, Ordering::SeqCst);
+        gauges.lock().in_flight.sub(1);
         let next = {
             let mut guard = queues.lock();
             match guard.get_mut(&sub) {
@@ -216,7 +234,8 @@ fn rewrap(
             }
         };
         if let Some(next) = next {
-            let rewrapped = rewrap(sub, next, queues, injector.clone(), in_flight);
+            gauges.lock().queue_depth.sub(1);
+            let rewrapped = rewrap(sub, next, queues, injector.clone(), in_flight, gauges);
             let _ = injector.send(rewrapped);
         }
     })

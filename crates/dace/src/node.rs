@@ -19,6 +19,7 @@ use psc_group::{
 use psc_obvent::qos::{Delivery, Ordering, QosSpec};
 use psc_obvent::{builtin, KindId, KindRole, Obvent, WireObvent};
 use psc_simnet::{Ctx, Node, NodeId, ScopedStorage, SimNet, SimTime, TimerId};
+use psc_telemetry::{Registry, TraceId, TraceStage, Tracer};
 use pubsub_core::{
     DeliverySink, Dissemination, Domain, ExecMode, PublishError, SubId, SubscribeError,
     SubscriptionRecord, UnsubscribeError,
@@ -295,16 +296,48 @@ pub struct DaceNode {
     /// Obvents held for pending durable subscriptions.
     parked: VecDeque<WireObvent>,
     stats: DaceStats,
+    /// Metrics registry (`dace.*`, `group.*`); externally owned with
+    /// [`DaceNode::factory_with_telemetry`] so counters survive crash
+    /// rebuilds.
+    telemetry: Arc<Registry>,
+    /// Causal event recorder for wire-carried [`TraceId`]s.
+    tracer: Arc<Tracer>,
+    /// Per-node publish counter minting deterministic trace ids.
+    trace_seq: u64,
+    /// Trace id of the most recent local publish (diagnostics).
+    last_trace: TraceId,
 }
 
 impl DaceNode {
-    /// Creates a DACE node for a statically known cluster.
+    /// Creates a DACE node for a statically known cluster, with telemetry
+    /// disabled (a private no-op registry and tracer).
     pub fn new(cluster: Vec<NodeId>, config: DaceConfig) -> DaceNode {
+        let tracer = Tracer::default();
+        tracer.set_enabled(false);
+        DaceNode::with_telemetry(
+            cluster,
+            config,
+            Arc::new(Registry::disabled()),
+            Arc::new(tracer),
+        )
+    }
+
+    /// Creates a DACE node recording into `telemetry` and `tracer`. Both are
+    /// shared handles: pass clones of externally owned instances so metrics
+    /// and traces accumulate across crash–recover rebuilds and can be
+    /// snapshotted from outside the simulation.
+    pub fn with_telemetry(
+        cluster: Vec<NodeId>,
+        config: DaceConfig,
+        telemetry: Arc<Registry>,
+        tracer: Arc<Tracer>,
+    ) -> DaceNode {
         let ops: Arc<Mutex<VecDeque<BackendOp>>> = Arc::new(Mutex::new(VecDeque::new()));
         let backend_ops = Arc::clone(&ops);
         let domain = Domain::with_backend(ExecMode::Inline, move |_sink| {
             Box::new(DaceBackend { ops: backend_ops })
         });
+        domain.attach_telemetry(&telemetry);
         let sink = domain.sink();
         DaceNode {
             id: None,
@@ -324,6 +357,10 @@ impl DaceNode {
             durable_pending: HashMap::new(),
             parked: VecDeque::new(),
             stats: DaceStats::default(),
+            telemetry,
+            tracer,
+            trace_seq: 0,
+            last_trace: TraceId::NONE,
         }
     }
 
@@ -336,6 +373,25 @@ impl DaceNode {
         move || Box::new(DaceNode::new(cluster.clone(), config.clone()))
     }
 
+    /// Like [`DaceNode::factory`], but every (re)build records into the same
+    /// externally owned registry and tracer — the monitoring state survives
+    /// the monitored process, as it would with a real collector.
+    pub fn factory_with_telemetry(
+        cluster: Vec<NodeId>,
+        config: DaceConfig,
+        telemetry: Arc<Registry>,
+        tracer: Arc<Tracer>,
+    ) -> impl FnMut() -> Box<dyn Node> + 'static {
+        move || {
+            Box::new(DaceNode::with_telemetry(
+                cluster.clone(),
+                config.clone(),
+                Arc::clone(&telemetry),
+                Arc::clone(&tracer),
+            ))
+        }
+    }
+
     /// The node's application-facing domain (cloneable handle).
     pub fn domain(&self) -> Domain {
         self.domain.clone()
@@ -344,6 +400,22 @@ impl DaceNode {
     /// This node's counters.
     pub fn stats(&self) -> DaceStats {
         self.stats
+    }
+
+    /// The registry this node records into (shared handle).
+    pub fn telemetry(&self) -> Arc<Registry> {
+        Arc::clone(&self.telemetry)
+    }
+
+    /// The tracer this node records into (shared handle).
+    pub fn tracer(&self) -> Arc<Tracer> {
+        Arc::clone(&self.tracer)
+    }
+
+    /// Trace id minted by this node's most recent publish
+    /// ([`TraceId::NONE`] before the first one).
+    pub fn last_publish_trace(&self) -> TraceId {
+        self.last_trace
     }
 
     // ---- static driver helpers for tests and experiments ----
@@ -375,6 +447,14 @@ impl DaceNode {
             .unwrap_or_default()
     }
 
+    /// Trace id of the node's most recent publish ([`TraceId::NONE`] if the
+    /// node is down or has not published).
+    pub fn last_trace_of(sim: &mut SimNet, node: NodeId) -> TraceId {
+        sim.node_mut::<DaceNode>(node)
+            .map(|n| n.last_trace)
+            .unwrap_or(TraceId::NONE)
+    }
+
     /// A cloneable handle to the node's domain for out-of-band subscription
     /// setup (operations queue until the node's next activity; prefer
     /// [`DaceNode::drive`] in deterministic tests).
@@ -402,6 +482,7 @@ impl DaceNode {
             if node != me {
                 ctx.send(node, bytes.clone());
                 self.stats.control_sent += 1;
+                self.telemetry.bump("dace.control_sent", 1);
             }
         }
     }
@@ -553,15 +634,44 @@ impl DaceNode {
         }
     }
 
-    fn publish_flow(&mut self, ctx: &mut Ctx<'_>, wire: WireObvent) {
+    fn publish_flow(&mut self, ctx: &mut Ctx<'_>, mut wire: WireObvent) {
         let kind = wire.kind_id();
         self.stats.published += 1;
+        // Mint the obvent's end-to-end identity; it rides in the envelope
+        // through every hop below.
+        self.trace_seq += 1;
+        let trace = TraceId::mint(self.me().0, self.trace_seq);
+        wire.set_trace(trace);
+        self.last_trace = trace;
+        if self.telemetry.is_enabled() {
+            let kname = kind_name(kind);
+            self.telemetry.bump("dace.published", 1);
+            self.telemetry
+                .bump(&format!("dace.channel.{kname}.published"), 1);
+        }
+        if self.tracer.is_enabled() {
+            self.tracer.record(
+                trace,
+                ctx.now().as_micros(),
+                TraceStage::Publish,
+                format!("kind={} at=n{}", kind_name(kind), self.me().0),
+            );
+        }
         if self.published_kinds.insert(kind) {
             self.advertise(ctx, kind);
         }
         let qos = wire.qos();
         self.ensure_channel(ctx, kind);
         if self.channels.get(&kind).expect("ensured").proto.is_some() {
+            self.telemetry.bump("dace.group_broadcasts", 1);
+            if self.tracer.is_enabled() {
+                self.tracer.record(
+                    trace,
+                    ctx.now().as_micros(),
+                    TraceStage::GroupBroadcast,
+                    format!("kind={}", kind_name(kind)),
+                );
+            }
             let bytes = psc_codec::to_bytes(&wire).expect("wire obvents encode");
             self.with_channel_proto(ctx, kind, |proto, io| proto.broadcast(io, bytes));
         } else {
@@ -582,14 +692,24 @@ impl DaceNode {
             let ch = self.channels.get_mut(&kind).expect("ensured");
             match self.config.placement {
                 Placement::Subscriber => ch.members.clone(),
-                Placement::Publisher | Placement::Broker(_) => ch.filtered_destinations(&wire),
+                Placement::Publisher | Placement::Broker(_) => {
+                    self.telemetry.bump("dace.filter_evals", 1);
+                    ch.filtered_destinations(&wire)
+                }
             }
         };
+        self.tracer.record(
+            wire.trace_id(),
+            ctx.now().as_micros(),
+            TraceStage::FilterEval,
+            format!("at=n{} dests={}", me.0, destinations.len()),
+        );
         for dest in destinations {
             if dest == me {
                 self.local_deliver(ctx, &wire);
             } else {
                 self.stats.direct_sent += 1;
+                self.telemetry.bump("dace.direct_sent", 1);
                 self.enqueue_transmit(ctx, dest, wire.clone(), priority, deadline, false);
             }
         }
@@ -620,6 +740,12 @@ impl DaceNode {
             ctx.send(to, encode_node_msg(&msg));
             return;
         }
+        self.tracer.record(
+            item.wire.trace_id(),
+            ctx.now().as_micros(),
+            TraceStage::TransmitEnqueue,
+            format!("to=n{}", to.0),
+        );
         self.transmit.push(item);
         if !self.transmit_armed {
             self.transmit_armed = true;
@@ -634,6 +760,13 @@ impl DaceNode {
             if let Some(deadline) = item.deadline {
                 if now > deadline {
                     self.stats.expired += 1;
+                    self.telemetry.bump("dace.expired", 1);
+                    self.tracer.record(
+                        item.wire.trace_id(),
+                        now.as_micros(),
+                        TraceStage::Expired,
+                        "in-queue".to_string(),
+                    );
                     continue; // expired in the queue
                 }
             }
@@ -652,9 +785,23 @@ impl DaceNode {
         }
     }
 
-    fn local_deliver(&mut self, _ctx: &mut Ctx<'_>, wire: &WireObvent) {
+    fn local_deliver(&mut self, ctx: &mut Ctx<'_>, wire: &WireObvent) {
         let matched = self.sink.deliver(wire);
         self.stats.delivered += matched as u64;
+        if matched > 0 {
+            if self.telemetry.is_enabled() {
+                let kname = kind_name(wire.kind_id());
+                self.telemetry.bump("dace.delivered", matched as u64);
+                self.telemetry
+                    .bump(&format!("dace.channel.{kname}.delivered"), matched as u64);
+            }
+        }
+        self.tracer.record(
+            wire.trace_id(),
+            ctx.now().as_micros(),
+            TraceStage::Deliver,
+            format!("at=n{} matched={matched}", self.me().0),
+        );
         if matched == 0
             && self
                 .durable_pending
@@ -666,6 +813,7 @@ impl DaceNode {
             if self.parked.len() >= MAX_PARKED {
                 self.parked.pop_front();
             }
+            self.telemetry.bump("dace.parked", 1);
             self.parked.push_back(wire.clone());
         }
     }
@@ -705,6 +853,7 @@ impl DaceNode {
                 members: &channel.members,
                 delivered: &mut delivered,
                 new_timers: &mut new_timers,
+                telemetry: &self.telemetry,
             };
             f(proto.as_mut(), &mut io);
         }
@@ -713,8 +862,14 @@ impl DaceNode {
             let id = ctx.set_timer(after);
             self.timer_map.insert(id, DaceTimer::Channel(kind, token));
         }
-        for (_origin, payload) in delivered {
+        for (origin, payload) in delivered {
             if let Ok(wire) = psc_codec::from_bytes::<WireObvent>(&payload) {
+                self.tracer.record(
+                    wire.trace_id(),
+                    ctx.now().as_micros(),
+                    TraceStage::GroupDeliver,
+                    format!("at=n{} origin=n{}", self.me().0, origin.0),
+                );
                 self.local_deliver(ctx, &wire);
             }
         }
@@ -799,6 +954,7 @@ struct ChannelIo<'a, 'b> {
     members: &'a [NodeId],
     delivered: &'a mut Vec<(NodeId, Vec<u8>)>,
     new_timers: &'a mut Vec<(psc_simnet::Duration, TimerToken)>,
+    telemetry: &'a Registry,
 }
 
 impl GroupIo for ChannelIo<'_, '_> {
@@ -837,6 +993,15 @@ impl GroupIo for ChannelIo<'_, '_> {
     fn rng(&mut self) -> &mut dyn rand::RngCore {
         self.ctx.rng()
     }
+
+    fn metric(&mut self, name: &'static str, delta: u64) {
+        // Same namespace as the standalone group host, so e.g.
+        // `group.causal.retransmits` means the same thing everywhere.
+        // Check before formatting so disabled telemetry costs one load.
+        if self.telemetry.is_enabled() {
+            self.telemetry.bump(&format!("group.{name}"), delta);
+        }
+    }
 }
 
 impl Node for DaceNode {
@@ -865,13 +1030,33 @@ impl Node for DaceNode {
                     deadline.is_some_and(|d| ctx.now() > SimTime::from_micros(d));
                 if expired {
                     self.stats.expired += 1;
+                    self.telemetry.bump("dace.expired", 1);
+                    self.tracer.record(
+                        wire.trace_id(),
+                        ctx.now().as_micros(),
+                        TraceStage::Expired,
+                        format!("at=n{} on-arrival", ctx.id().0),
+                    );
                 } else {
+                    self.tracer.record(
+                        wire.trace_id(),
+                        ctx.now().as_micros(),
+                        TraceStage::Arrive,
+                        format!("at=n{} from=n{}", ctx.id().0, from.0),
+                    );
                     self.local_deliver(ctx, &wire);
                 }
             }
             NodeMsg::Brokered(wire) => {
                 let kind = wire.kind_id();
                 let qos = wire.qos();
+                self.telemetry.bump("dace.brokered", 1);
+                self.tracer.record(
+                    wire.trace_id(),
+                    ctx.now().as_micros(),
+                    TraceStage::Brokered,
+                    format!("at=n{} from=n{}", ctx.id().0, from.0),
+                );
                 self.ensure_channel(ctx, kind);
                 self.direct_publish(ctx, kind, wire, &qos);
             }
@@ -965,4 +1150,12 @@ fn make_proto(qos: &QosSpec, config: &DaceConfig) -> Option<Box<dyn Multicast>> 
 
 fn encode_node_msg(msg: &NodeMsg) -> Vec<u8> {
     psc_codec::to_bytes(msg).expect("node messages encode")
+}
+
+/// The registered name of `kind`, used in per-channel metric names
+/// (`dace.channel.<name>.published`); falls back to the numeric id.
+fn kind_name(kind: KindId) -> String {
+    psc_obvent::registry::lookup(kind)
+        .map(|k| k.name().to_string())
+        .unwrap_or_else(|| kind.to_string())
 }

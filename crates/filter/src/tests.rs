@@ -600,7 +600,7 @@ mod ablation {
 
     #[test]
     fn every_option_combo_matches_identically() {
-        let filters = vec![
+        let filters = [
             rfilter!(price < 100.0 && company contains "Telco"),
             rfilter!(price >= 50.0),
             rfilter!(amount == 10),

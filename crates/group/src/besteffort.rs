@@ -33,6 +33,7 @@ impl BestEffort {
 
 impl Multicast for BestEffort {
     fn broadcast(&mut self, io: &mut dyn GroupIo, payload: Vec<u8>) {
+        io.metric("besteffort.broadcasts", 1);
         let me = io.self_id();
         let msg = encode_msg(&Data {
             origin: me,

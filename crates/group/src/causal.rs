@@ -106,6 +106,9 @@ impl Causal {
     }
 
     fn accept(&mut self, io: &mut dyn GroupIo, data: Data) {
+        if !self.deliverable(&data) {
+            io.metric("causal.held_back", 1);
+        }
         self.pending.push(data);
         // Drain everything that became deliverable, to fixpoint.
         loop {
@@ -130,6 +133,7 @@ impl Causal {
 
 impl Multicast for Causal {
     fn broadcast(&mut self, io: &mut dyn GroupIo, payload: Vec<u8>) {
+        io.metric("causal.broadcasts", 1);
         let me = io.self_id();
         self.next_seq += 1;
         let id = MsgId {
@@ -157,6 +161,7 @@ impl Multicast for Causal {
             return;
         };
         if !self.seen.insert(data.id) {
+            io.metric("causal.duplicates", 1);
             return;
         }
         self.relay(io, &data);

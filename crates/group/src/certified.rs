@@ -138,6 +138,7 @@ impl Certified {
 
 impl Multicast for Certified {
     fn broadcast(&mut self, io: &mut dyn GroupIo, payload: Vec<u8>) {
+        io.metric("certified.broadcasts", 1);
         self.load(io);
         let me = io.self_id();
         let seq: u64 = io
@@ -188,10 +189,13 @@ impl Multicast for Certified {
         match msg {
             Msg::Data { id, payload } => {
                 // Always (re-)acknowledge; deliver only the first time.
+                io.metric("certified.acks_sent", 1);
                 io.send(from, encode_msg(&Msg::Ack { id }));
                 if self.delivered.insert(id) {
                     self.persist_delivered(io);
                     io.deliver(id.origin, payload);
+                } else {
+                    io.metric("certified.duplicates", 1);
                 }
             }
             Msg::Ack { id } => {
@@ -221,6 +225,7 @@ impl Multicast for Certified {
         }
         self.timer_armed = false;
         self.load(io);
+        io.metric("certified.retransmits", self.log.len() as u64);
         for entry in self.log.values() {
             Certified::send_entry(io, entry);
         }

@@ -77,6 +77,9 @@ impl Fifo {
         if id.seq < self.expected[&id.origin].1 {
             return; // stale duplicate
         }
+        if id.seq > self.expected[&id.origin].1 {
+            io.metric("fifo.out_of_order", 1);
+        }
         self.holdback
             .entry(id.origin)
             .or_default()
@@ -93,6 +96,7 @@ impl Fifo {
 
 impl Multicast for Fifo {
     fn broadcast(&mut self, io: &mut dyn GroupIo, payload: Vec<u8>) {
+        io.metric("fifo.broadcasts", 1);
         let me = io.self_id();
         self.next_seq += 1;
         let id = MsgId {
@@ -116,6 +120,7 @@ impl Multicast for Fifo {
             return;
         };
         if !self.seen.insert(data.id) {
+            io.metric("fifo.duplicates", 1);
             return;
         }
         self.relay(io, &data);

@@ -40,6 +40,14 @@ pub trait GroupIo {
 
     /// Deterministic randomness.
     fn rng(&mut self) -> &mut dyn RngCore;
+
+    /// Records a protocol metric (`name` is the suffix under the host's
+    /// `group.` namespace, e.g. `reliable.retransmits`). Default no-op so
+    /// hosts without telemetry — unit-test harnesses, minimal adapters —
+    /// need not care.
+    fn metric(&mut self, name: &'static str, delta: u64) {
+        let _ = (name, delta);
+    }
 }
 
 /// A broadcast protocol instance for one group (one multicast class).

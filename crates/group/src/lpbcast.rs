@@ -97,6 +97,7 @@ impl Lpbcast {
 
     fn gossip_round(&mut self, io: &mut dyn GroupIo) {
         if !self.buffer.is_empty() {
+            io.metric("lpbcast.gossip_rounds", 1);
             let me = io.self_id();
             let mut others: Vec<NodeId> =
                 io.members().iter().copied().filter(|&m| m != me).collect();
@@ -122,6 +123,7 @@ impl Lpbcast {
 
 impl Multicast for Lpbcast {
     fn broadcast(&mut self, io: &mut dyn GroupIo, payload: Vec<u8>) {
+        io.metric("lpbcast.broadcasts", 1);
         let me = io.self_id();
         self.next_seq += 1;
         let id = MsgId {
@@ -146,6 +148,7 @@ impl Multicast for Lpbcast {
         };
         for event in gossip.events {
             if !self.seen.insert(event.id) {
+                io.metric("lpbcast.duplicates", 1);
                 continue;
             }
             io.deliver(event.id.origin, event.payload.clone());

@@ -97,6 +97,7 @@ impl Reliable {
     }
 
     fn relay(&self, io: &mut dyn GroupIo, id: MsgId, payload: &[u8]) {
+        io.metric("reliable.relays", 1);
         let me = io.self_id();
         let bytes = encode_msg(&Msg::Data {
             id,
@@ -131,6 +132,7 @@ impl Reliable {
 
 impl Multicast for Reliable {
     fn broadcast(&mut self, io: &mut dyn GroupIo, payload: Vec<u8>) {
+        io.metric("reliable.broadcasts", 1);
         let me = io.self_id();
         self.next_seq += 1;
         let id = MsgId {
@@ -169,9 +171,11 @@ impl Multicast for Reliable {
                 // Acknowledge every copy arriving straight from the origin
                 // (covers lost acks via the origin's retransmissions).
                 if from_origin {
+                    io.metric("reliable.acks_sent", 1);
                     io.send(from, encode_msg(&Msg::Ack { id }));
                 }
                 if !self.seen.insert(id) {
+                    io.metric("reliable.duplicates", 1);
                     return; // duplicate
                 }
                 // Re-forward before delivering: the agreement step.
@@ -197,6 +201,7 @@ impl Multicast for Reliable {
             return;
         }
         self.timer_armed = false;
+        io.metric("reliable.retransmits", self.outgoing.len() as u64);
         let me = io.self_id();
         for (&seq, outgoing) in &self.outgoing {
             let id = MsgId {

@@ -8,8 +8,10 @@
 
 use std::any::Any;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use psc_simnet::{Ctx, Node, NodeId, ScopedStorage, SimNet, TimerId};
+use psc_telemetry::Registry;
 
 use crate::io::{GroupIo, Multicast, TimerToken};
 
@@ -19,6 +21,10 @@ pub struct GroupNode {
     members: Vec<NodeId>,
     delivered: Vec<(NodeId, Vec<u8>)>,
     timer_tokens: HashMap<TimerId, TimerToken>,
+    /// Per-node registry; protocol metrics land here under `group.*`. With
+    /// [`GroupNode::boxed_with_telemetry`] this is an external registry that
+    /// survives crash rebuilds (like an external monitoring system would).
+    telemetry: Arc<Registry>,
 }
 
 struct HostIo<'a, 'b> {
@@ -26,6 +32,7 @@ struct HostIo<'a, 'b> {
     members: &'a [NodeId],
     delivered: &'a mut Vec<(NodeId, Vec<u8>)>,
     new_timers: &'a mut Vec<(psc_simnet::Duration, TimerToken)>,
+    telemetry: &'a Registry,
 }
 
 impl GroupIo for HostIo<'_, '_> {
@@ -46,6 +53,7 @@ impl GroupIo for HostIo<'_, '_> {
     }
 
     fn deliver(&mut self, origin: NodeId, payload: Vec<u8>) {
+        self.telemetry.bump("group.delivered", 1);
         self.delivered.push((origin, payload));
     }
 
@@ -62,16 +70,37 @@ impl GroupIo for HostIo<'_, '_> {
     fn rng(&mut self) -> &mut dyn rand::RngCore {
         self.ctx.rng()
     }
+
+    fn metric(&mut self, name: &'static str, delta: u64) {
+        // Check before formatting so disabled telemetry costs one load.
+        if self.telemetry.is_enabled() {
+            self.telemetry.bump(&format!("group.{name}"), delta);
+        }
+    }
 }
 
 impl GroupNode {
-    /// Wraps a protocol instance as a boxed simulator node.
+    /// Wraps a protocol instance as a boxed simulator node (telemetry goes
+    /// to a private, disabled registry — i.e. nowhere).
     pub fn boxed(proto: impl Multicast + 'static) -> Box<dyn Node> {
+        GroupNode::boxed_with_telemetry(proto, Arc::new(Registry::disabled()))
+    }
+
+    /// Wraps a protocol instance, recording `group.*` metrics into
+    /// `telemetry`. Pass an externally owned registry so counters accumulate
+    /// across crash–recover rebuilds of the node (the simulator rebuilds
+    /// nodes from their factories; the registry plays the role of the
+    /// monitoring system that outlives the monitored process).
+    pub fn boxed_with_telemetry(
+        proto: impl Multicast + 'static,
+        telemetry: Arc<Registry>,
+    ) -> Box<dyn Node> {
         Box::new(GroupNode {
             proto: Box::new(proto),
             members: Vec::new(),
             delivered: Vec::new(),
             timer_tokens: HashMap::new(),
+            telemetry,
         })
     }
 
@@ -87,6 +116,7 @@ impl GroupNode {
                 members: &self.members,
                 delivered: &mut self.delivered,
                 new_timers: &mut new_timers,
+                telemetry: &self.telemetry,
             };
             f(self.proto.as_mut(), &mut io);
         }

@@ -153,8 +153,10 @@ impl Total {
         payload: Vec<u8>,
     ) {
         if !self.sequenced.insert((origin, origin_epoch, local_seq)) {
+            io.metric("total.duplicate_submits", 1);
             return; // retried submission already ordered
         }
+        io.metric("total.sequenced", 1);
         let gseq = self.next_gseq;
         self.next_gseq += 1;
         self.history
@@ -273,6 +275,7 @@ impl Total {
     fn nack(&self, io: &mut dyn GroupIo, from: u64, to: u64) {
         if let Some(seq_node) = Total::sequencer(io) {
             if seq_node != io.self_id() {
+                io.metric("total.nacks", 1);
                 io.send(
                     seq_node,
                     encode_msg(&Msg::Nack {
@@ -288,6 +291,7 @@ impl Total {
 
 impl Multicast for Total {
     fn broadcast(&mut self, io: &mut dyn GroupIo, payload: Vec<u8>) {
+        io.metric("total.broadcasts", 1);
         let local_seq = self.next_local;
         self.next_local += 1;
         let me = io.self_id();
@@ -345,6 +349,7 @@ impl Multicast for Total {
                 if seq_epoch != self.epoch {
                     return; // NACK for a stream this incarnation did not order
                 }
+                io.metric("total.nack_repairs", 1);
                 for gseq in lo..=hi {
                     if let Some((origin, origin_epoch, local_seq, payload)) =
                         self.history.get(&gseq)
@@ -412,6 +417,7 @@ impl Multicast for Total {
                     self.idle_heartbeats = 0;
                     self.last_heartbeat_gseq = max_gseq;
                 }
+                io.metric("total.heartbeats", 1);
                 let bytes = encode_msg(&Msg::Heartbeat {
                     seq_epoch: self.epoch,
                     max_gseq,

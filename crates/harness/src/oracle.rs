@@ -78,6 +78,17 @@ pub enum Violation {
         /// The missing publish index.
         index: usize,
     },
+    /// A node's telemetry `group.delivered` counter disagrees with the
+    /// deliveries the trace observed at that node — the observability layer
+    /// and the protocol disagree about what happened.
+    TelemetryMismatch {
+        /// The node whose counter diverged.
+        node: u64,
+        /// What the telemetry counter says.
+        counted: u64,
+        /// What the delivery log says.
+        observed: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -108,6 +119,10 @@ impl fmt::Display for Violation {
             Violation::MissingDelivery { node, index } => {
                 write!(f, "node {node} never delivered #{index}")
             }
+            Violation::TelemetryMismatch { node, counted, observed } => write!(
+                f,
+                "node {node} telemetry counted {counted} deliveries, trace observed {observed}"
+            ),
         }
     }
 }
@@ -308,6 +323,21 @@ pub fn check_total(trace: &Trace) -> Vec<Violation> {
     violations
 }
 
+/// Telemetry consistency: each node's wire-level `group.delivered` counter
+/// (read from its `psc-telemetry` registry, which survives crash rebuilds)
+/// must equal the number of deliveries the trace observed at that node.
+/// Vacuous for hand-built traces with no wire stats.
+pub fn check_telemetry(trace: &Trace) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (&node, &counted) in &trace.wire_delivered {
+        let observed = trace.deliveries.get(&node).map_or(0, |log| log.len()) as u64;
+        if counted != observed {
+            violations.push(Violation::TelemetryMismatch { node, counted, observed });
+        }
+    }
+    violations
+}
+
 /// Completeness: every node delivered every publish. Only applied when the
 /// scenario's fault load is within the protocol's delivery guarantee (see
 /// [`Scenario::expects_completeness`](crate::Scenario::expects_completeness)).
@@ -357,6 +387,7 @@ mod tests {
                     )
                 })
                 .collect(),
+            ..Trace::default()
         }
     }
 
@@ -465,6 +496,7 @@ mod tests {
             )]
             .into_iter()
             .collect(),
+            ..Trace::default()
         };
         assert!(check_fifo(&t).is_empty());
         assert!(check_integrity(&t).is_empty(), "per-incarnation dedup passes");
@@ -493,6 +525,19 @@ mod tests {
         assert_eq!(
             check_causal(&unsevered),
             vec![Violation::CausalOrder { node: 2, index: 2, dep: 0 }]
+        );
+    }
+
+    #[test]
+    fn telemetry_mismatch_is_flagged() {
+        let mut t = trace(vec![publish(0, 0, 1, vec![])], vec![(1, vec![(0, 0)])]);
+        assert!(check_telemetry(&t).is_empty(), "no wire stats: vacuously clean");
+        t.wire_delivered.insert(1, 1);
+        assert!(check_telemetry(&t).is_empty(), "counter agrees with the log");
+        t.wire_delivered.insert(1, 2);
+        assert_eq!(
+            check_telemetry(&t),
+            vec![Violation::TelemetryMismatch { node: 1, counted: 2, observed: 1 }]
         );
     }
 

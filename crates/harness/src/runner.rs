@@ -21,6 +21,7 @@ use psc_group::sim_host::GroupNode;
 use psc_group::{GroupIo, Multicast, TimerToken};
 use psc_simnet::{LatencyModel, NodeId, SimConfig, SimNet, SimTime};
 use psc_simnet::Duration as SimDuration;
+use psc_telemetry::Registry;
 
 use crate::oracle::{self, Violation};
 use crate::scenario::{Op, ProtocolKind, Scenario};
@@ -100,9 +101,17 @@ pub fn run_scenario_with(scenario: &Scenario, make: ProtoFactory) -> RunOutcome 
     };
     let mut sim = SimNet::new(config);
     let ids: Vec<NodeId> = (0..scenario.nodes as u64).map(NodeId).collect();
+    // One registry per node, owned out here so `group.*` counters survive
+    // crash rebuilds (the factories clone a handle into every incarnation).
+    let registries: Vec<Arc<Registry>> = (0..scenario.nodes)
+        .map(|_| Arc::new(Registry::new()))
+        .collect();
     for i in 0..scenario.nodes {
         let mk = Arc::clone(&make);
-        sim.add_node(format!("h{i}"), move || GroupNode::boxed(BoxedProto(mk())));
+        let registry = Arc::clone(&registries[i]);
+        sim.add_node(format!("h{i}"), move || {
+            GroupNode::boxed_with_telemetry(BoxedProto(mk()), Arc::clone(&registry))
+        });
     }
     for &id in &ids {
         GroupNode::set_members(&mut sim, id, ids.clone());
@@ -241,7 +250,21 @@ pub fn run_scenario_with(scenario: &Scenario, make: ProtoFactory) -> RunOutcome 
     sim.run_until(SimTime::from_millis(last_at + scenario.settle_ms));
     drain(&mut sim, &ids, &mut consumed, &incarnation, &mut deps_view, &mut trace);
 
+    // Fold every node's telemetry snapshot into the trace: aggregated
+    // `group.*` wire counters plus the per-node delivered counter the
+    // telemetry oracle cross-checks against the delivery logs.
+    for (i, registry) in registries.iter().enumerate() {
+        let snapshot = registry.snapshot();
+        for (name, value) in &snapshot.counters {
+            *trace.wire.entry(name.clone()).or_insert(0) += value;
+        }
+        trace
+            .wire_delivered
+            .insert(ids[i].0, snapshot.counter("group.delivered"));
+    }
+
     let mut violations = oracle::check_integrity(&trace);
+    violations.extend(oracle::check_telemetry(&trace));
     match scenario.protocol {
         ProtocolKind::Reliable => {}
         ProtocolKind::Fifo => violations.extend(oracle::check_fifo(&trace)),

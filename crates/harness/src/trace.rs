@@ -50,6 +50,14 @@ pub struct Trace {
     pub publishes: Vec<PubRecord>,
     /// Per-node delivery logs, keyed by raw node id.
     pub deliveries: BTreeMap<u64, Vec<Delivery>>,
+    /// Protocol wire counters (`group.*`) summed over every node's
+    /// `psc-telemetry` snapshot at the end of the run. The registries are
+    /// owned outside the node factories, so the counts accumulate across
+    /// crash rebuilds — like the delivery logs above.
+    pub wire: BTreeMap<String, u64>,
+    /// Each node's `group.delivered` counter, cross-checked against its
+    /// delivery log by the telemetry oracle.
+    pub wire_delivered: BTreeMap<u64, u64>,
 }
 
 impl Trace {
@@ -73,6 +81,13 @@ impl Trace {
                 }
             }
             out.push('\n');
+        }
+        out.push_str("wire:\n");
+        for (name, value) in &self.wire {
+            out.push_str(&format!("  {name} = {value}\n"));
+        }
+        for (node, value) in &self.wire_delivered {
+            out.push_str(&format!("  node {node} delivered = {value}\n"));
         }
         out
     }

@@ -104,7 +104,7 @@ mod kinds {
         let a = StockQuote::kind();
         let b = StockQuote::kind();
         assert!(std::ptr::eq(a, b));
-        assert_eq!(crate::registry::lookup(a.id()), Some(a).map(|k| k));
+        assert_eq!(crate::registry::lookup(a.id()), Some(a));
     }
 }
 

@@ -11,6 +11,7 @@
 //! in order with no framing: the superclass image is a prefix of the
 //! subclass image (see the `psc-codec` crate docs).
 
+use psc_telemetry::TraceId;
 use serde::{Deserialize, Serialize};
 
 use crate::kind::{KindId, ObventKind};
@@ -20,10 +21,17 @@ use crate::registry;
 use crate::view::ObventView;
 
 /// A serialized obvent tagged with its dynamic kind.
+///
+/// The envelope also carries a [`TraceId`] for the observability subsystem:
+/// minted once at the original publisher, it rides every hop (group
+/// protocols, DACE relays, broker forwarding) so each node's tracer can
+/// attribute its local events to the originating publish. Untraced
+/// envelopes carry [`TraceId::NONE`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WireObvent {
     kind: KindId,
     payload: Vec<u8>,
+    trace: TraceId,
 }
 
 impl WireObvent {
@@ -37,13 +45,36 @@ impl WireObvent {
         Ok(WireObvent {
             kind: O::kind_id(),
             payload: psc_codec::to_bytes(obvent)?,
+            trace: TraceId::NONE,
         })
     }
 
     /// Reconstructs a wire obvent from its parts (used when relaying
-    /// payloads the current process cannot decode).
+    /// payloads the current process cannot decode). The envelope starts
+    /// untraced; relays that preserve identity use [`WireObvent::set_trace`].
     pub fn from_parts(kind: KindId, payload: Vec<u8>) -> WireObvent {
-        WireObvent { kind, payload }
+        WireObvent {
+            kind,
+            payload,
+            trace: TraceId::NONE,
+        }
+    }
+
+    /// The wire-carried trace id ([`TraceId::NONE`] when untraced).
+    pub fn trace_id(&self) -> TraceId {
+        self.trace
+    }
+
+    /// Stamps the envelope with a trace id (done once at the publisher;
+    /// relays preserve the stamp by cloning the envelope).
+    pub fn set_trace(&mut self, trace: TraceId) {
+        self.trace = trace;
+    }
+
+    /// Builder-style [`WireObvent::set_trace`].
+    pub fn with_trace(mut self, trace: TraceId) -> WireObvent {
+        self.trace = trace;
+        self
     }
 
     /// The dynamic kind of the carried obvent.
@@ -61,9 +92,10 @@ impl WireObvent {
         &self.payload
     }
 
-    /// Size on the wire (payload plus kind tag), for bandwidth accounting.
+    /// Size on the wire (payload plus kind tag and trace id), for bandwidth
+    /// accounting.
     pub fn wire_len(&self) -> usize {
-        self.payload.len() + 8
+        self.payload.len() + 16
     }
 
     /// The resolved QoS of the carried obvent's kind; defaults to

@@ -3,6 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
+use psc_telemetry::{Counter, Registry};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
@@ -26,6 +27,34 @@ pub struct NetStats {
     pub dropped_partition: u64,
     /// Messages that arrived at a crashed node.
     pub dropped_crashed: u64,
+}
+
+/// Telemetry mirror of [`NetStats`] plus fault-schedule counters, recorded
+/// into the simulation's own [`Registry`] under `simnet.*` names.
+struct SimMetrics {
+    sent: Counter,
+    bytes_sent: Counter,
+    delivered: Counter,
+    dropped_loss: Counter,
+    dropped_partition: Counter,
+    dropped_crashed: Counter,
+    crashes: Counter,
+    recoveries: Counter,
+}
+
+impl SimMetrics {
+    fn new(registry: &Registry) -> SimMetrics {
+        SimMetrics {
+            sent: registry.counter("simnet.sent"),
+            bytes_sent: registry.counter("simnet.bytes_sent"),
+            delivered: registry.counter("simnet.delivered"),
+            dropped_loss: registry.counter("simnet.dropped_loss"),
+            dropped_partition: registry.counter("simnet.dropped_partition"),
+            dropped_crashed: registry.counter("simnet.dropped_crashed"),
+            crashes: registry.counter("simnet.crashes"),
+            recoveries: registry.counter("simnet.recoveries"),
+        }
+    }
 }
 
 type NodeFactory = Box<dyn FnMut() -> Box<dyn Node>>;
@@ -102,12 +131,16 @@ pub struct SimNet {
     partition: Option<HashMap<NodeId, u32>>,
     cancelled_timers: HashSet<(NodeId, TimerId)>,
     stats: NetStats,
+    telemetry: Registry,
+    metrics: SimMetrics,
 }
 
 impl SimNet {
     /// Creates an empty simulation.
     pub fn new(config: SimConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
+        let telemetry = Registry::new();
+        let metrics = SimMetrics::new(&telemetry);
         SimNet {
             config,
             rng,
@@ -121,7 +154,16 @@ impl SimNet {
             partition: None,
             cancelled_timers: HashSet::new(),
             stats: NetStats::default(),
+            telemetry,
+            metrics,
         }
+    }
+
+    /// The simulation's own telemetry registry (`simnet.*` counters mirror
+    /// [`NetStats`]; hosts may record their metrics here too so one snapshot
+    /// covers the whole run).
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
     }
 
     /// Adds a node built by `factory`; the factory is kept so the node can
@@ -243,7 +285,9 @@ impl SimNet {
     /// stable storage kept; queued deliveries will find it down.
     pub fn crash(&mut self, id: NodeId) {
         if let Some(slot) = self.nodes.get_mut(&id) {
-            slot.node = None;
+            if slot.node.take().is_some() {
+                self.metrics.crashes.inc();
+            }
         }
     }
 
@@ -349,8 +393,10 @@ impl SimNet {
                 let up = self.is_up(to);
                 if !up {
                     self.stats.dropped_crashed += 1;
+                    self.metrics.dropped_crashed.inc();
                 } else {
                     self.stats.delivered += 1;
+                    self.metrics.delivered.inc();
                     self.with_node(to, &mut effects, |n, ctx| n.on_message(ctx, from, &payload));
                 }
             }
@@ -376,6 +422,7 @@ impl SimNet {
                     _ => false,
                 };
                 if rebuilt {
+                    self.metrics.recoveries.inc();
                     self.with_node(node, &mut effects, |n, ctx| n.on_recover(ctx));
                 }
             }
@@ -425,15 +472,20 @@ impl SimNet {
             // Loopback: no loss, negligible latency.
             self.stats.sent += 1;
             self.stats.bytes_sent += payload.len() as u64;
+            self.metrics.sent.inc();
+            self.metrics.bytes_sent.add(payload.len() as u64);
             let time = self.now + Duration::from_micros(1);
             self.push(time, EventKind::Deliver { from, to, payload });
             return;
         }
         self.stats.sent += 1;
         self.stats.bytes_sent += payload.len() as u64;
+        self.metrics.sent.inc();
+        self.metrics.bytes_sent.add(payload.len() as u64);
         if let Some(groups) = &self.partition {
             if groups.get(&from) != groups.get(&to) {
                 self.stats.dropped_partition += 1;
+                self.metrics.dropped_partition.inc();
                 return;
             }
         }
@@ -441,6 +493,7 @@ impl SimNet {
             && self.rng.gen_bool(self.config.drop_probability)
         {
             self.stats.dropped_loss += 1;
+            self.metrics.dropped_loss.inc();
             return;
         }
         let latency = self.sample_latency();

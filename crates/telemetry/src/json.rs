@@ -1,0 +1,161 @@
+//! A minimal JSON document builder.
+//!
+//! The build environment vendors offline stand-ins instead of crates.io, so
+//! no `serde_json` is available; this module provides the small subset the
+//! exporters and bench report binaries need: building a value tree and
+//! rendering it as canonical (sorted-insertion-order, escaped) JSON text.
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An unsigned integer (rendered without a decimal point).
+    U64(u64),
+    /// A signed integer (rendered without a decimal point).
+    I64(i64),
+    /// A float (rendered via `{:?}`; NaN/inf degrade to `null`).
+    F64(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object (insertion-ordered key/value pairs).
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// An empty object.
+    pub fn obj() -> JsonValue {
+        JsonValue::Obj(Vec::new())
+    }
+
+    /// An empty array.
+    pub fn arr() -> JsonValue {
+        JsonValue::Arr(Vec::new())
+    }
+
+    /// Adds `key: value` to an object (panics on non-objects — builder
+    /// misuse is a programming error).
+    pub fn set(mut self, key: impl Into<String>, value: impl Into<JsonValue>) -> JsonValue {
+        match &mut self {
+            JsonValue::Obj(pairs) => pairs.push((key.into(), value.into())),
+            _ => panic!("JsonValue::set on a non-object"),
+        }
+        self
+    }
+
+    /// Appends an element to an array (panics on non-arrays).
+    pub fn push(mut self, value: impl Into<JsonValue>) -> JsonValue {
+        match &mut self {
+            JsonValue::Arr(items) => items.push(value.into()),
+            _ => panic!("JsonValue::push on a non-array"),
+        }
+        self
+    }
+
+    /// Renders the tree as compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::U64(n) => out.push_str(&n.to_string()),
+            JsonValue::I64(n) => out.push_str(&n.to_string()),
+            JsonValue::F64(x) => {
+                if x.is_finite() {
+                    out.push_str(&format!("{x:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> JsonValue {
+        JsonValue::Bool(b)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(n: u64) -> JsonValue {
+        JsonValue::U64(n)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(n: usize) -> JsonValue {
+        JsonValue::U64(n as u64)
+    }
+}
+impl From<u32> for JsonValue {
+    fn from(n: u32) -> JsonValue {
+        JsonValue::U64(n as u64)
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(n: i64) -> JsonValue {
+        JsonValue::I64(n)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(x: f64) -> JsonValue {
+        JsonValue::F64(x)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> JsonValue {
+        JsonValue::Str(s.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(s: String) -> JsonValue {
+        JsonValue::Str(s)
+    }
+}

@@ -1,0 +1,260 @@
+use crate::json::JsonValue;
+use crate::{exp_buckets, Registry, TraceId, TraceStage, Tracer};
+
+#[test]
+fn counter_gauge_roundtrip() {
+    let registry = Registry::new();
+    let c = registry.counter("a.b.c");
+    c.inc();
+    c.add(4);
+    let g = registry.gauge("a.depth");
+    g.set(7);
+    g.add(3);
+    g.sub(2);
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("a.b.c"), 5);
+    assert_eq!(snap.gauge("a.depth"), 8);
+    assert_eq!(snap.counter("missing"), 0);
+}
+
+#[test]
+fn same_name_shares_the_cell() {
+    let registry = Registry::new();
+    registry.counter("dup").inc();
+    registry.counter("dup").inc();
+    assert_eq!(registry.snapshot().counter("dup"), 2);
+}
+
+/// Bucket boundaries are inclusive upper bounds: a value equal to a bound
+/// lands in that bound's bucket, one above lands in the next, and anything
+/// beyond the last bound lands in the overflow bucket.
+#[test]
+fn histogram_bucket_boundaries() {
+    let registry = Registry::new();
+    let h = registry.histogram("lat", &[10, 100, 1000]);
+    h.record(0); // -> le 10
+    h.record(10); // -> le 10 (inclusive)
+    h.record(11); // -> le 100
+    h.record(100); // -> le 100
+    h.record(101); // -> le 1000
+    h.record(1000); // -> le 1000
+    h.record(1001); // -> overflow
+    h.record(50_000); // -> overflow
+    let snap = registry.snapshot();
+    let h = snap.histogram("lat").unwrap();
+    assert_eq!(h.bounds, vec![10, 100, 1000]);
+    assert_eq!(h.buckets, vec![2, 2, 2, 2]);
+    assert_eq!(h.count, 8);
+    assert_eq!(h.sum, 10 + 11 + 100 + 101 + 1000 + 1001 + 50_000);
+}
+
+#[test]
+fn histogram_mean_and_empty() {
+    let registry = Registry::new();
+    let h = registry.histogram("empty", &[1]);
+    assert_eq!(registry.snapshot().histogram("empty").unwrap().mean(), 0.0);
+    h.record(2);
+    h.record(4);
+    assert_eq!(registry.snapshot().histogram("empty").unwrap().mean(), 3.0);
+}
+
+#[test]
+fn exp_buckets_grow_geometrically_and_saturate() {
+    assert_eq!(exp_buckets(1, 2, 5), vec![1, 2, 4, 8, 16]);
+    assert_eq!(exp_buckets(10, 10, 3), vec![10, 100, 1000]);
+    // Saturation instead of overflow on absurd ranges.
+    let huge = exp_buckets(u64::MAX / 2, 4, 3);
+    assert_eq!(huge[1], u64::MAX);
+    assert_eq!(huge[2], u64::MAX);
+}
+
+/// Disabled registries record nothing; re-enabling resumes recording on the
+/// same handles (the flag is shared, not copied into handles).
+#[test]
+fn disabled_mode_is_a_no_op() {
+    let registry = Registry::disabled();
+    let c = registry.counter("quiet");
+    let h = registry.histogram("quiet.h", &[1, 2]);
+    c.inc();
+    h.record(1);
+    assert_eq!(registry.snapshot().counter("quiet"), 0);
+    assert_eq!(registry.snapshot().histogram("quiet.h").unwrap().count, 0);
+    registry.set_enabled(true);
+    c.inc();
+    h.record(1);
+    assert_eq!(registry.snapshot().counter("quiet"), 1);
+    assert_eq!(registry.snapshot().histogram("quiet.h").unwrap().count, 1);
+}
+
+/// Concurrent increments from crossbeam-scoped threads: every snapshot
+/// observed mid-flight is monotone and bounded by the true total, and the
+/// final snapshot is exact.
+#[test]
+fn snapshot_consistency_under_concurrent_increments() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let registry = Registry::new();
+    let counter = registry.counter("concurrent.total");
+    let hist = registry.histogram("concurrent.sizes", &exp_buckets(1, 2, 12));
+    // The vendored crossbeam stand-in exposes channels (not scoped
+    // threads); a channel carries each writer's completion notice so the
+    // sampler knows when to stop.
+    let (done_tx, done_rx) = crossbeam::channel::unbounded::<usize>();
+
+    std::thread::scope(|scope| {
+        for id in 0..THREADS {
+            let counter = counter.clone();
+            let hist = hist.clone();
+            let done_tx = done_tx.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    hist.record(i % 512);
+                }
+                done_tx.send(id).unwrap();
+            });
+        }
+        drop(done_tx);
+        // A sampler racing the writers: successive snapshots never go
+        // backwards and never exceed the eventual total.
+        let sampler_registry = registry.clone();
+        let sampler = scope.spawn(move || {
+            let mut last = 0u64;
+            let mut samples = 0u32;
+            let mut writers_done = 0usize;
+            while writers_done < THREADS {
+                while let Ok(_id) = done_rx.try_recv() {
+                    writers_done += 1;
+                }
+                let snap = sampler_registry.snapshot();
+                let now = snap.counter("concurrent.total");
+                assert!(now >= last, "snapshot went backwards: {last} -> {now}");
+                assert!(now <= THREADS as u64 * PER_THREAD);
+                let h = snap.histogram("concurrent.sizes").unwrap();
+                let bucket_total: u64 = h.buckets.iter().sum();
+                // A snapshot is not a global atomic cut (see Registry docs):
+                // mid-flight, buckets and count may disagree, but neither
+                // can exceed the true total.
+                assert!(bucket_total <= THREADS as u64 * PER_THREAD);
+                assert!(h.count <= THREADS as u64 * PER_THREAD);
+                last = now;
+                samples += 1;
+            }
+            samples
+        });
+        let samples = sampler.join().unwrap();
+        assert!(samples > 0);
+    });
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("concurrent.total"), THREADS as u64 * PER_THREAD);
+    let h = snap.histogram("concurrent.sizes").unwrap();
+    assert_eq!(h.count, THREADS as u64 * PER_THREAD);
+    assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+}
+
+#[test]
+fn trace_ids_are_deterministic_and_readable() {
+    let id = TraceId::mint(3, 17);
+    assert_eq!(id, TraceId::mint(3, 17));
+    assert_ne!(id, TraceId::mint(3, 18));
+    assert_ne!(id, TraceId::mint(4, 17));
+    assert_eq!(id.origin(), 3);
+    assert_eq!(id.seq(), 17);
+    assert_eq!(id.to_string(), "t3:17");
+    assert!(TraceId::NONE.is_none());
+    assert!(!TraceId::mint(0, 1).is_none());
+    assert_eq!(TraceId::from_raw(id.as_u64()), id);
+}
+
+#[test]
+fn tracer_records_and_filters_by_trace() {
+    let tracer = Tracer::new(16);
+    let a = TraceId::mint(0, 1);
+    let b = TraceId::mint(1, 1);
+    tracer.record(a, 10, TraceStage::Publish, "kind=Q");
+    tracer.record(b, 11, TraceStage::Publish, "");
+    tracer.record(a, 20, TraceStage::FilterEval, "destinations=2");
+    tracer.record(a, 30, TraceStage::Deliver, "matched=1");
+    tracer.record(TraceId::NONE, 40, TraceStage::Deliver, "ignored");
+    let path = tracer.events_for(a);
+    assert_eq!(path.len(), 3);
+    assert_eq!(path[0].stage, TraceStage::Publish);
+    assert_eq!(path[2].stage, TraceStage::Deliver);
+    assert_eq!(tracer.events().len(), 4);
+    assert_eq!(
+        tracer.render_path(a),
+        "[10us] t0:1 publish kind=Q\n[20us] t0:1 filter-eval destinations=2\n[30us] t0:1 deliver matched=1\n"
+    );
+}
+
+#[test]
+fn tracer_ring_evicts_oldest() {
+    let tracer = Tracer::new(2);
+    let t = TraceId::mint(0, 1);
+    tracer.record(t, 1, TraceStage::Publish, "");
+    tracer.record(t, 2, TraceStage::Arrive, "");
+    tracer.record(t, 3, TraceStage::Deliver, "");
+    let events = tracer.events();
+    assert_eq!(events.len(), 2);
+    assert_eq!(events[0].at_us, 2);
+}
+
+#[test]
+fn snapshot_renderings_are_deterministic() {
+    let registry = Registry::new();
+    registry.counter("z.last").add(2);
+    registry.counter("a.first").add(1);
+    registry.gauge("m.depth").set(-3);
+    registry.histogram("h", &[5, 50]).record(7);
+    let snap = registry.snapshot();
+    let text = snap.render_text();
+    // Name-sorted: a.first before z.last.
+    assert!(text.find("a.first").unwrap() < text.find("z.last").unwrap());
+    assert_eq!(text, registry.snapshot().render_text());
+    let json = snap.render_json();
+    assert_eq!(json, registry.snapshot().render_json());
+    assert!(json.starts_with("{\"counters\":{\"a.first\":1,\"z.last\":2}"));
+    assert!(json.contains("\"m.depth\":-3"));
+    assert!(json.contains("\"bounds\":[5,50]"));
+}
+
+#[test]
+fn json_builder_escapes_and_renders() {
+    let doc = JsonValue::obj()
+        .set("name", "say \"hi\"\n")
+        .set("n", 3u64)
+        .set("neg", -4i64)
+        .set("pi", 3.5)
+        .set("ok", true)
+        .set("nothing", JsonValue::Null)
+        .set("row", JsonValue::arr().push(1u64).push("two"));
+    assert_eq!(
+        doc.render(),
+        "{\"name\":\"say \\\"hi\\\"\\n\",\"n\":3,\"neg\":-4,\"pi\":3.5,\"ok\":true,\"nothing\":null,\"row\":[1,\"two\"]}"
+    );
+    assert_eq!(JsonValue::F64(f64::NAN).render(), "null");
+}
+
+#[test]
+fn counter_sum_by_prefix() {
+    let registry = Registry::new();
+    registry.counter("group.fifo.holdback").add(2);
+    registry.counter("group.fifo.duplicates").add(3);
+    registry.counter("group.total.nacks").add(5);
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter_sum("group.fifo."), 5);
+    assert_eq!(snap.counter_sum("group."), 10);
+    assert_eq!(snap.counter_sum("dace."), 0);
+}
+
+#[test]
+fn global_registry_starts_disabled() {
+    let c = crate::global().counter("tests.global.probe");
+    c.inc();
+    assert_eq!(crate::global().snapshot().counter("tests.global.probe"), 0);
+    crate::set_global_enabled(true);
+    c.inc();
+    assert_eq!(crate::global().snapshot().counter("tests.global.probe"), 1);
+    crate::set_global_enabled(false);
+}

@@ -1,0 +1,232 @@
+//! Causal event tracing: one [`TraceId`] per publish, carried in the wire
+//! envelope across every hop, so each node can reconstruct the
+//! publish→filter→deliver path of a single obvent.
+//!
+//! Trace ids are **minted deterministically** from `(origin node, per-node
+//! publish sequence)` — no wall clock, no global randomness — so traces are
+//! byte-identical under the deterministic simulator's seed replay.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Identity of one publish, carried end to end in the wire envelope.
+///
+/// `0` is reserved for *untraced* envelopes (control traffic, relays of
+/// foreign payloads); minted ids pack `(origin + 1)` in the high bits and
+/// the origin's publish sequence in the low 40 bits, which keeps them
+/// unique per run and readable in reports (`t<origin>:<seq>`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct TraceId(u64);
+
+const SEQ_BITS: u32 = 40;
+const SEQ_MASK: u64 = (1 << SEQ_BITS) - 1;
+
+impl TraceId {
+    /// The untraced id (control traffic, pre-telemetry envelopes).
+    pub const NONE: TraceId = TraceId(0);
+
+    /// Mints the id of `origin`'s `seq`-th publish (`seq` starts at 1).
+    pub fn mint(origin: u64, seq: u64) -> TraceId {
+        TraceId(((origin + 1) << SEQ_BITS) | (seq & SEQ_MASK))
+    }
+
+    /// Reconstructs a trace id from its raw wire value.
+    pub fn from_raw(raw: u64) -> TraceId {
+        TraceId(raw)
+    }
+
+    /// The raw wire value.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// True for the reserved untraced id.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The minting node (meaningless for [`TraceId::NONE`]).
+    pub fn origin(self) -> u64 {
+        (self.0 >> SEQ_BITS).saturating_sub(1)
+    }
+
+    /// The per-origin publish sequence number.
+    pub fn seq(self) -> u64 {
+        self.0 & SEQ_MASK
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_none() {
+            write!(f, "t-")
+        } else {
+            write!(f, "t{}:{}", self.origin(), self.seq())
+        }
+    }
+}
+
+/// Where along the pipeline a trace event was recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceStage {
+    /// The obvent entered the fabric at its publisher.
+    Publish,
+    /// Handed to a multicast-class protocol for dissemination.
+    GroupBroadcast,
+    /// A multicast-class protocol delivered the payload on some node.
+    GroupDeliver,
+    /// Queued on the direct (best-effort) transmit path.
+    TransmitEnqueue,
+    /// Dropped because its time-to-live expired (in queue or on arrival).
+    Expired,
+    /// Arrived at a node over the direct path.
+    Arrive,
+    /// Forwarded through a filtering host (broker placement).
+    Brokered,
+    /// Remote-filter evaluation chose the destination set.
+    FilterEval,
+    /// Dispatched to matching local handlers.
+    Deliver,
+}
+
+impl TraceStage {
+    /// Canonical lower-case name used in renderings.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceStage::Publish => "publish",
+            TraceStage::GroupBroadcast => "group-broadcast",
+            TraceStage::GroupDeliver => "group-deliver",
+            TraceStage::TransmitEnqueue => "transmit-enqueue",
+            TraceStage::Expired => "expired",
+            TraceStage::Arrive => "arrive",
+            TraceStage::Brokered => "brokered",
+            TraceStage::FilterEval => "filter-eval",
+            TraceStage::Deliver => "deliver",
+        }
+    }
+}
+
+/// One recorded hop of one traced obvent, local to the recording node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// The obvent's wire-carried identity.
+    pub trace: TraceId,
+    /// Virtual time of the hop, microseconds.
+    pub at_us: u64,
+    /// Pipeline position.
+    pub stage: TraceStage,
+    /// Free-form context (`kind=StockQuote matched=2`).
+    pub detail: String,
+}
+
+impl TraceEvent {
+    /// Canonical one-line rendering.
+    pub fn render(&self) -> String {
+        if self.detail.is_empty() {
+            format!("[{}us] {} {}", self.at_us, self.trace, self.stage.name())
+        } else {
+            format!(
+                "[{}us] {} {} {}",
+                self.at_us,
+                self.trace,
+                self.stage.name(),
+                self.detail
+            )
+        }
+    }
+}
+
+/// Default event capacity of a [`Tracer`] ring buffer.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// A per-node event recorder: a bounded ring of [`TraceEvent`]s.
+///
+/// Recording takes a mutex, but tracing sits off the per-message fast path
+/// (it fires only at pipeline boundaries) and the whole structure can be
+/// disabled into a load-and-branch.
+#[derive(Debug)]
+pub struct Tracer {
+    events: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+    enabled: AtomicBool,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl Tracer {
+    /// A tracer holding at most `capacity` events (oldest evicted first).
+    pub fn new(capacity: usize) -> Tracer {
+        Tracer {
+            events: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Records one hop; untraced ids and disabled tracers are no-ops.
+    pub fn record(&self, trace: TraceId, at_us: u64, stage: TraceStage, detail: impl Into<String>) {
+        if trace.is_none() || !self.is_enabled() {
+            return;
+        }
+        let mut events = self.events.lock().expect("tracer poisoned");
+        if events.len() >= self.capacity {
+            events.pop_front();
+        }
+        events.push_back(TraceEvent {
+            trace,
+            at_us,
+            stage,
+            detail: detail.into(),
+        });
+    }
+
+    /// All recorded events, in recording order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("tracer poisoned").iter().cloned().collect()
+    }
+
+    /// The recorded hops of one trace id, in recording order.
+    pub fn events_for(&self, trace: TraceId) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .expect("tracer poisoned")
+            .iter()
+            .filter(|e| e.trace == trace)
+            .cloned()
+            .collect()
+    }
+
+    /// Canonical multi-line rendering of one trace's local path.
+    pub fn render_path(&self, trace: TraceId) -> String {
+        let mut out = String::new();
+        for event in self.events_for(trace) {
+            out.push_str(&event.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Drops all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().expect("tracer poisoned").clear();
+    }
+}

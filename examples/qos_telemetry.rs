@@ -1,4 +1,4 @@
-//! Transmission and delivery semantics on a constrained uplink (§3.1.2).
+//! Transmission semantics under full observability (§3.1.2 + psc-telemetry).
 //!
 //! A sensor node feeds a monitoring station over a slow link:
 //!
@@ -8,6 +8,11 @@
 //! - audit records are `Certified` — they must survive the station
 //!   crashing and recovering.
 //!
+//! The whole run records into one `psc-telemetry` registry and tracer:
+//! at the end the example prints the live metric snapshot (stack-wide
+//! counters, including the codec's global-registry instrumentation) and
+//! replays the causal hop-by-hop path of the alarm's wire-carried trace id.
+//!
 //! Run with `cargo run --example qos_telemetry`.
 
 use std::sync::{Arc, Mutex};
@@ -16,6 +21,7 @@ use javaps::dace::{DaceConfig, DaceNode};
 use javaps::obvent::builtin::{Certified, Prioritary, Timely};
 use javaps::pubsub::{obvent, FilterSpec};
 use javaps::simnet::{Duration, NodeId, SimConfig, SimNet, SimTime};
+use javaps::telemetry::{Registry, TraceStage, Tracer};
 
 obvent! {
     /// Routine reading: expires after `ttl_ms` in transit.
@@ -45,6 +51,16 @@ obvent! {
 }
 
 fn main() {
+    // Opt the process-global registry in: the codec's encode/decode
+    // counters start accumulating from here on.
+    javaps::telemetry::set_global_enabled(true);
+
+    // One registry and one tracer for the whole deployment — both nodes
+    // record into them, so a single snapshot covers the full run and a
+    // trace id can be followed across the sensor→station hop.
+    let telemetry = Arc::new(Registry::new());
+    let tracer = Arc::new(Tracer::default());
+
     // 10 ms serialization delay per message: a very slow uplink.
     let config = DaceConfig {
         transmit_interval: Duration::from_millis(10),
@@ -53,7 +69,15 @@ fn main() {
     let mut sim = SimNet::new(SimConfig::with_seed(7));
     let ids: Vec<NodeId> = vec![NodeId(0), NodeId(1)];
     for name in ["sensor", "station"] {
-        sim.add_node(name, DaceNode::factory(ids.clone(), config.clone()));
+        sim.add_node(
+            name,
+            DaceNode::factory_with_telemetry(
+                ids.clone(),
+                config.clone(),
+                Arc::clone(&telemetry),
+                Arc::clone(&tracer),
+            ),
+        );
     }
     let (sensor, station) = (ids[0], ids[1]);
 
@@ -94,6 +118,10 @@ fn main() {
             .publish(Alarm::new("temp".into(), "overheat".into(), 100))
             .unwrap();
     });
+    // The alarm was the sensor's most recent publish: capture its
+    // wire-carried trace id before anything else is published.
+    let alarm_trace = DaceNode::last_trace_of(&mut sim, sensor);
+    assert!(!alarm_trace.is_none(), "the publish must have minted a trace id");
     sim.run_until(SimTime::from_millis(400));
 
     let order = arrivals.lock().unwrap().clone();
@@ -110,6 +138,21 @@ fn main() {
     );
     assert!(delivered_readings < 5, "some readings must expire");
     assert_eq!(sensor_stats.expired as usize, 5 - delivered_readings);
+
+    // One traced publish path: every hop of the alarm, across both nodes,
+    // in virtual-time order — publish at the sensor, filter evaluation,
+    // transmit-queue entry, arrival and handler dispatch at the station.
+    println!("\ntrace of the alarm ({alarm_trace}):");
+    let path = tracer.events_for(alarm_trace);
+    print!("{}", tracer.render_path(alarm_trace));
+    assert!(
+        path.iter().any(|e| e.stage == TraceStage::Publish),
+        "trace must start at the publish hop"
+    );
+    assert!(
+        path.iter().any(|e| e.stage == TraceStage::Deliver),
+        "trace must reach the station's handler dispatch"
+    );
 
     // Audit records survive a station crash.
     DaceNode::drive(&mut sim, sensor, |domain| {
@@ -136,7 +179,7 @@ fn main() {
     sim.run_until(sim.now() + Duration::from_secs(2));
 
     println!(
-        "audit records before crash: {:?}, recovered after crash: {:?}",
+        "\naudit records before crash: {:?}, recovered after crash: {:?}",
         audits.lock().unwrap(),
         audits_after.lock().unwrap()
     );
@@ -146,5 +189,30 @@ fn main() {
         vec![2],
         "the certified record published during the crash must arrive"
     );
-    println!("qos_telemetry OK");
+
+    // Live metric snapshot: the registry survived the station's crash (it
+    // models an external collector), so the counters cover the whole run.
+    let snapshot = telemetry.snapshot();
+    println!("\nstack metrics (registry snapshot):");
+    print!("{}", snapshot.render_text());
+    assert_eq!(snapshot.counter("dace.published"), 8, "5 readings + 1 alarm + 2 audits");
+    assert_eq!(snapshot.counter("dace.channel.qos_telemetry::Alarm.published"), 1);
+    assert!(snapshot.counter("dace.expired") >= 1, "some readings expired");
+    assert!(
+        snapshot.counter("group.certified.retransmits") > 0,
+        "the audit published into the crash must have been retransmitted"
+    );
+
+    // The codec's counters live in the process-global registry.
+    let global = javaps::telemetry::global().snapshot();
+    println!(
+        "codec: {} encodes / {} bytes, {} decodes / {} bytes",
+        global.counter("codec.encodes"),
+        global.counter("codec.encode_bytes"),
+        global.counter("codec.decodes"),
+        global.counter("codec.decode_bytes"),
+    );
+    assert!(global.counter("codec.encodes") > 0);
+
+    println!("\nqos_telemetry OK");
 }

@@ -15,4 +15,5 @@ pub mod tuples;
 pub use psc_group as group;
 pub use psc_dace as dace;
 pub use psc_rmi as rmi;
+pub use psc_telemetry as telemetry;
 pub use psc_tuplespace as tuplespace;

@@ -70,6 +70,7 @@ fn trace_from(publishes: Vec<PubRecord>, logs: Vec<(u64, Vec<(u64, usize)>)>) ->
                 )
             })
             .collect(),
+        ..Trace::default()
     }
 }
 

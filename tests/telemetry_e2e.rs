@@ -1,0 +1,128 @@
+//! Observability end-to-end: the wire-carried trace id survives every hop
+//! of a multi-node run, and the metric counters agree with the harness
+//! oracles' ground truth.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use javaps::dace::{DaceConfig, DaceNode};
+use javaps::obvent::builtin::Reliable;
+use javaps::pubsub::{obvent, FilterSpec};
+use javaps::simnet::{Duration, NodeId, SimConfig, SimNet};
+use javaps::telemetry::{Registry, TraceStage, Tracer};
+use psc_harness::{run_scenario, Op, ProtocolKind, Scenario};
+
+obvent! {
+    pub class TracedEvent implements [Reliable] { n: u64 }
+}
+
+/// One publish on a 3-node cluster: the minted [`TraceId`] rides the wire
+/// envelope through the group protocol to both remote nodes, and every
+/// recorded hop carries the same id.
+#[test]
+fn trace_id_propagates_across_a_three_node_run() {
+    let mut sim = SimNet::new(SimConfig::with_seed(11));
+    let ids: Vec<NodeId> = (0..3).map(NodeId).collect();
+    let telemetry = Arc::new(Registry::new());
+    let tracer = Arc::new(Tracer::default());
+    for i in 0..3 {
+        sim.add_node(
+            format!("n{i}"),
+            DaceNode::factory_with_telemetry(
+                ids.clone(),
+                DaceConfig::default(),
+                Arc::clone(&telemetry),
+                Arc::clone(&tracer),
+            ),
+        );
+    }
+    let got = Arc::new(AtomicU64::new(0));
+    for &id in &ids[1..] {
+        let got = Arc::clone(&got);
+        DaceNode::drive(&mut sim, id, move |domain| {
+            let sub = domain.subscribe(FilterSpec::accept_all(), move |e: TracedEvent| {
+                got.fetch_add(*e.n(), Ordering::Relaxed);
+            });
+            sub.activate().unwrap();
+            sub.detach();
+        });
+    }
+    sim.run_until(sim.now() + Duration::from_millis(50));
+
+    DaceNode::publish_from(&mut sim, ids[0], TracedEvent::new(7));
+    let trace = DaceNode::last_trace_of(&mut sim, ids[0]);
+    assert!(!trace.is_none());
+    assert_eq!(trace.origin(), 0);
+    sim.run_until(sim.now() + Duration::from_secs(1));
+    assert_eq!(got.load(Ordering::Relaxed), 14, "both subscribers handled it");
+
+    let events = tracer.events_for(trace);
+    let path = tracer.render_path(trace);
+    assert!(
+        events.iter().all(|e| e.trace == trace),
+        "foreign hop in path:\n{path}"
+    );
+    let stage_count =
+        |s: TraceStage| events.iter().filter(|e| e.stage == s).count();
+    assert!(stage_count(TraceStage::Publish) == 1, "path:\n{path}");
+    assert!(stage_count(TraceStage::GroupBroadcast) == 1, "path:\n{path}");
+    let group_hops: Vec<&str> = events
+        .iter()
+        .filter(|e| e.stage == TraceStage::GroupDeliver)
+        .map(|e| e.detail.as_str())
+        .collect();
+    assert!(
+        group_hops.iter().any(|d| d.contains("at=n1"))
+            && group_hops.iter().any(|d| d.contains("at=n2")),
+        "expected group hops on n1 and n2, path:\n{path}"
+    );
+    assert!(stage_count(TraceStage::Deliver) >= 2, "path:\n{path}");
+
+    // The counters tell the same story as the trace.
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.counter("dace.published"), 1);
+    assert_eq!(snap.counter("dace.delivered"), 2);
+    assert!(snap.counter("group.reliable.broadcasts") >= 1);
+}
+
+/// The per-protocol wire counters folded into the harness trace agree with
+/// the oracle-checked delivery logs, node by node and in total.
+#[test]
+fn harness_wire_counters_match_oracle_delivery_counts() {
+    let scenario = Scenario {
+        seed: 5,
+        protocol: ProtocolKind::Reliable,
+        nodes: 3,
+        loss: 0.1,
+        latency_ms: (1, 4),
+        settle_ms: 500,
+        ops: vec![
+            Op::Publish { node: 0, at_ms: 10 },
+            Op::Publish { node: 1, at_ms: 20 },
+            Op::Publish { node: 2, at_ms: 30 },
+            Op::Publish { node: 0, at_ms: 40 },
+        ],
+    };
+    let outcome = run_scenario(&scenario);
+    assert!(
+        outcome.violations.is_empty(),
+        "oracles flagged: {:?}",
+        outcome.violations
+    );
+    let trace = &outcome.trace;
+    let total: u64 = trace.deliveries.values().map(|log| log.len() as u64).sum();
+    assert!(total > 0, "nothing delivered");
+    assert_eq!(trace.wire.get("group.delivered").copied(), Some(total));
+    for (node, log) in &trace.deliveries {
+        assert_eq!(
+            trace.wire_delivered.get(node).copied(),
+            Some(log.len() as u64),
+            "node {node} counter vs delivery log"
+        );
+    }
+    assert_eq!(
+        trace.wire.get("group.reliable.broadcasts").copied(),
+        Some(scenario.ops.len() as u64),
+        "one broadcast counter tick per publish op"
+    );
+}

@@ -13,7 +13,7 @@ use psc_simnet::{NodeId, SimConfig, SimNet, SimTime};
 fn run_round(make: &dyn Fn() -> Box<dyn Multicast>, n: usize, msgs: usize) -> u64 {
     struct Boxed(Box<dyn Multicast>);
     impl Multicast for Boxed {
-        fn broadcast(&mut self, io: &mut dyn psc_group::GroupIo, payload: Vec<u8>) {
+        fn broadcast(&mut self, io: &mut dyn psc_group::GroupIo, payload: psc_codec::WireBytes) {
             self.0.broadcast(io, payload);
         }
         fn on_message(&mut self, io: &mut dyn psc_group::GroupIo, from: NodeId, bytes: &[u8]) {

@@ -17,7 +17,7 @@ use psc_telemetry::{json::JsonValue, Registry, Snapshot};
 struct Boxed(Box<dyn Multicast>);
 
 impl Multicast for Boxed {
-    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: Vec<u8>) {
+    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: psc_codec::WireBytes) {
         self.0.broadcast(io, payload);
     }
     fn on_message(&mut self, io: &mut dyn GroupIo, from: NodeId, bytes: &[u8]) {

@@ -32,9 +32,21 @@ impl QuoteSink for Sink {
 }
 
 fn main() {
+    // The codec's encode/pool counters live in the process-global registry;
+    // the per-deployment registry below only sees core.* counters.
+    psc_telemetry::set_global_enabled(true);
+    let quick = std::env::var_os("BENCH_QUICK").is_some();
     println!("E6: 1-to-N notification — one publish vs N sequential remote invocations\n");
     let quotes = quote_obvents(5, 64);
-    let rounds = 200usize;
+    let rounds = if quick { 20usize } else { 200usize };
+    // The sequential-RMI side spawns one runtime thread per receiver, so the
+    // list stops at 128; the 512-way fan-out point is measured on the DACE
+    // publish path by `exp_serialize_once` (E8), where serialize-once applies.
+    let receivers: &[usize] = if quick {
+        &[1, 4]
+    } else {
+        &[1, 4, 16, 64, 128]
+    };
     let mut table = Table::new(&[
         "receivers",
         "pubsub us/round",
@@ -43,7 +55,8 @@ fn main() {
     ]);
 
     let mut json_rows = JsonValue::arr();
-    for &n in &[1usize, 4, 16, 64, 128] {
+    for &n in receivers {
+        let global_before = psc_telemetry::global().snapshot();
         // pub/sub — all domains record into one registry, so the snapshot's
         // `core.published` / `core.delivered` cover the whole fan-out.
         let registry = Registry::new();
@@ -104,20 +117,31 @@ fn main() {
             fmt_f(rmi_us),
             format!("{:.1}x", rmi_us / pubsub_us),
         ]);
+        // Per-row delta of the global codec counters (encode traffic and
+        // buffer-pool effectiveness across both transports).
+        let global_after = psc_telemetry::global().snapshot();
+        let mut codec = JsonValue::obj();
+        for (name, &after) in &global_after.counters {
+            if name.starts_with("codec.") {
+                codec = codec.set(name.clone(), after - global_before.counter(name));
+            }
+        }
         json_rows = json_rows.push(
             JsonValue::obj()
                 .set("receivers", n)
                 .set("pubsub_us_per_round", pubsub_us)
                 .set("rmi_us_per_round", rmi_us)
                 .set("rmi_over_pubsub", rmi_us / pubsub_us)
+                .set("codec", codec)
                 .set("metrics", registry.snapshot().to_json()),
         );
     }
     table.print();
     let doc = JsonValue::obj()
         .set("experiment", "fanout")
-        .set("rounds", 200u64)
-        .set("rows", json_rows);
+        .set("rounds", rounds as u64)
+        .set("rows", json_rows)
+        .set("global_metrics", psc_telemetry::global().snapshot().to_json());
     let path = write_bench_json("fanout", &doc).expect("write BENCH json");
     println!("\nmetrics snapshot written to {}", path.display());
     println!(

@@ -77,6 +77,9 @@ fn run(placement: Placement, selectivity: f64, subscribers: usize) -> (u64, u64,
 }
 
 fn main() {
+    // Expose the factoring engine's counters (filter.factored_evals_saved)
+    // and codec pool counters alongside the per-deployment registries.
+    psc_telemetry::set_global_enabled(true);
     println!("E2: remote-filter placement vs bandwidth");
     println!("1 publisher, S subscribers, 100 quotes; control traffic excluded by reset\n");
 
@@ -123,10 +126,17 @@ fn main() {
         "expected shape: publisher-side sends ~selectivity * S data messages per quote;\n\
          subscriber-side always sends S; broker sends 1 upstream + matching fan-out."
     );
+    let global = psc_telemetry::global().snapshot();
+    println!(
+        "factoring: {} matching calls saved {} predicate/sub-expression evaluations",
+        global.counter("filter.matching_calls"),
+        global.counter("filter.factored_evals_saved"),
+    );
     let doc = JsonValue::obj()
         .set("experiment", "filter_placement")
         .set("quotes", 100u64)
-        .set("rows", json_rows);
+        .set("rows", json_rows)
+        .set("global_metrics", global.to_json());
     let path = write_bench_json("filter_placement", &doc).expect("write BENCH json");
     println!("metrics snapshot written to {}", path.display());
 }

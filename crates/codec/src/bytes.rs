@@ -1,0 +1,451 @@
+//! Shared wire buffers: serialize once, fan out everywhere.
+//!
+//! A [`WireBytes`] is an immutable, cheaply clonable byte buffer backed by an
+//! `Arc`: cloning one for another destination, a retransmit queue, or a parked
+//! obvent is a reference-count bump, not a memcpy. [`WireBytes::slice`] carves
+//! zero-copy sub-ranges out of a buffer, which is what the batched frame
+//! decode path uses to hand each sub-message out without re-allocating.
+//!
+//! The backing buffers come from (and return to) a thread-local freelist: when
+//! the last `WireBytes` referencing a buffer drops, the allocation is recycled
+//! and the next [`to_wire_bytes`] call reuses its capacity. The pool's
+//! effectiveness is observable as `codec.pool.hits` / `codec.pool.misses` in
+//! the process-global telemetry registry.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::ops::{Deref, Range};
+use std::sync::{Arc, OnceLock};
+
+use serde::de::{Error as DeError, Visitor};
+use serde::{Deserialize, Deserializer, Serialize, Serializer as SerdeSerializer};
+
+use crate::{CodecError, Serializer};
+
+/// Buffers kept per thread; beyond this, dropped buffers are freed normally.
+const MAX_POOLED_BUFFERS: usize = 64;
+/// Buffers with more capacity than this are not retained (a single giant
+/// message must not pin its allocation forever).
+const MAX_POOLED_CAPACITY: usize = 1 << 20;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Takes a recycled buffer from the thread-local pool, or allocates.
+pub(crate) fn acquire_buffer() -> Vec<u8> {
+    let m = crate::metrics::metrics();
+    match POOL.with(|pool| pool.borrow_mut().pop()) {
+        Some(mut buf) => {
+            buf.clear();
+            m.pool_hits.inc();
+            buf
+        }
+        None => {
+            m.pool_misses.inc();
+            Vec::new()
+        }
+    }
+}
+
+/// Returns a buffer's allocation to the thread-local pool.
+pub(crate) fn release_buffer(buf: Vec<u8>) {
+    if buf.capacity() == 0 || buf.capacity() > MAX_POOLED_CAPACITY {
+        return;
+    }
+    POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < MAX_POOLED_BUFFERS {
+            crate::metrics::metrics().pool_recycled.inc();
+            pool.push(buf);
+        }
+    });
+}
+
+/// The shared backing store of one or more [`WireBytes`]. Recycles its
+/// allocation into the thread-local pool when the last reference drops.
+struct Chunk {
+    buf: Vec<u8>,
+}
+
+impl Drop for Chunk {
+    fn drop(&mut self) {
+        release_buffer(std::mem::take(&mut self.buf));
+    }
+}
+
+/// An immutable, `Arc`-backed byte buffer with zero-copy slicing.
+///
+/// This is the unit of sharing on the hot publish path: encode a message once
+/// with [`to_wire_bytes`], then clone the handle per destination — every copy
+/// refers to the same allocation.
+///
+/// ```
+/// let bytes = psc_codec::to_wire_bytes(&("quote", 80.0_f64)).unwrap();
+/// let for_dest_a = bytes.clone(); // refcount bump, no memcpy
+/// assert_eq!(&*for_dest_a, &*bytes);
+/// let prefix = bytes.slice(0..4); // zero-copy sub-range
+/// assert_eq!(&*prefix, &bytes[0..4]);
+/// ```
+#[derive(Clone)]
+pub struct WireBytes {
+    chunk: Arc<Chunk>,
+    start: usize,
+    end: usize,
+}
+
+impl WireBytes {
+    /// The empty buffer (shared; allocation-free to clone).
+    pub fn empty() -> WireBytes {
+        static EMPTY: OnceLock<Arc<Chunk>> = OnceLock::new();
+        let chunk = EMPTY.get_or_init(|| Arc::new(Chunk { buf: Vec::new() }));
+        WireBytes {
+            chunk: Arc::clone(chunk),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Wraps an owned vector without copying. The allocation joins the
+    /// recycling pool once the last referencing `WireBytes` drops.
+    pub fn from_vec(buf: Vec<u8>) -> WireBytes {
+        let end = buf.len();
+        WireBytes {
+            chunk: Arc::new(Chunk { buf }),
+            start: 0,
+            end,
+        }
+    }
+
+    /// Copies a slice into a pooled buffer.
+    pub fn copy_from_slice(bytes: &[u8]) -> WireBytes {
+        let mut buf = acquire_buffer();
+        buf.extend_from_slice(bytes);
+        WireBytes::from_vec(buf)
+    }
+
+    /// The viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.chunk.buf[self.start..self.end]
+    }
+
+    /// Length of the viewed range.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the viewed range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A zero-copy sub-range sharing this buffer's allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: Range<usize>) -> WireBytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice {}..{} out of bounds for WireBytes of length {}",
+            range.start,
+            range.end,
+            self.len()
+        );
+        WireBytes {
+            chunk: Arc::clone(&self.chunk),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copies the viewed bytes into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Number of `WireBytes` handles sharing this allocation (diagnostics).
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.chunk)
+    }
+
+    /// True when both handles view the same range of the same allocation.
+    ///
+    /// O(1) buffer identity (not content equality): hosts use it to memoize
+    /// per-buffer work across a fan-out, e.g. encoding a transport envelope
+    /// once for the N members a protocol sends the same bytes to.
+    pub fn ptr_eq(&self, other: &WireBytes) -> bool {
+        Arc::ptr_eq(&self.chunk, &other.chunk)
+            && self.start == other.start
+            && self.end == other.end
+    }
+}
+
+impl Deref for WireBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for WireBytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for WireBytes {
+    fn from(buf: Vec<u8>) -> WireBytes {
+        WireBytes::from_vec(buf)
+    }
+}
+
+impl From<&[u8]> for WireBytes {
+    fn from(bytes: &[u8]) -> WireBytes {
+        WireBytes::copy_from_slice(bytes)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for WireBytes {
+    fn from(bytes: &[u8; N]) -> WireBytes {
+        WireBytes::copy_from_slice(bytes)
+    }
+}
+
+impl PartialEq for WireBytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for WireBytes {}
+
+impl PartialEq<[u8]> for WireBytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for WireBytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for WireBytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl Default for WireBytes {
+    fn default() -> WireBytes {
+        WireBytes::empty()
+    }
+}
+
+impl fmt::Debug for WireBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WireBytes({} bytes", self.len())?;
+        if self.ref_count() > 1 {
+            write!(f, ", {} refs", self.ref_count())?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// On the wire a `WireBytes` is a plain byte string (varint length + raw
+/// bytes), indistinguishable from `serialize_bytes` of the viewed slice.
+impl Serialize for WireBytes {
+    fn serialize<S: SerdeSerializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bytes(self.as_slice())
+    }
+}
+
+impl<'de> Deserialize<'de> for WireBytes {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<WireBytes, D::Error> {
+        struct BytesVisitor;
+
+        impl<'de> Visitor<'de> for BytesVisitor {
+            type Value = WireBytes;
+
+            fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+                formatter.write_str("a byte string")
+            }
+
+            fn visit_bytes<E: DeError>(self, v: &[u8]) -> Result<WireBytes, E> {
+                Ok(WireBytes::copy_from_slice(v))
+            }
+
+            fn visit_byte_buf<E: DeError>(self, v: Vec<u8>) -> Result<WireBytes, E> {
+                Ok(WireBytes::from_vec(v))
+            }
+        }
+
+        deserializer.deserialize_byte_buf(BytesVisitor)
+    }
+}
+
+/// Serializes `value` into a pooled buffer and freezes it as a [`WireBytes`].
+///
+/// This is the entry point for the serialize-once fan-out discipline: encode
+/// here, then clone the returned handle for every destination instead of
+/// re-encoding or deep-copying.
+///
+/// # Errors
+///
+/// Same failure modes as [`to_bytes`](crate::to_bytes).
+pub fn to_wire_bytes<T: Serialize + ?Sized>(value: &T) -> Result<WireBytes, CodecError> {
+    let mut ser = Serializer::with_buffer(acquire_buffer());
+    value.serialize(&mut ser)?;
+    let bytes = ser.into_bytes();
+    let m = crate::metrics::metrics();
+    m.encodes.inc();
+    m.encode_bytes.add(bytes.len() as u64);
+    Ok(WireBytes::from_vec(bytes))
+}
+
+/// Frame-concatenates several payloads into one pooled buffer: the
+/// coalescing half of small-message batching. [`split_frames`] takes the
+/// result apart again with zero-copy slices.
+pub fn batch_frames<'a, I>(payloads: I) -> WireBytes
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let mut buf = acquire_buffer();
+    crate::frame::encode_batch(payloads, &mut buf);
+    WireBytes::from_vec(buf)
+}
+
+/// Splits a frame-concatenated buffer (as produced by
+/// [`frame::encode_batch`](crate::frame::encode_batch)) into zero-copy
+/// sub-buffers, one per frame.
+///
+/// # Errors
+///
+/// Propagates corrupt length prefixes; trailing bytes that do not form a
+/// complete frame are an error too (a batch is written atomically, so a
+/// partial trailing frame means corruption, not a short read).
+pub fn split_frames(bytes: &WireBytes) -> Result<Vec<WireBytes>, CodecError> {
+    let mut out = Vec::new();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        match crate::frame::decode(&bytes[offset..])? {
+            Some((payload, consumed)) => {
+                let header = consumed - payload.len();
+                out.push(bytes.slice(offset + header..offset + consumed));
+                offset += consumed;
+            }
+            None => {
+                return Err(CodecError::LengthOverflow {
+                    claimed: (bytes.len() - offset) as u64,
+                    remaining: 0,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_the_allocation() {
+        let a = WireBytes::from_vec(vec![1, 2, 3, 4]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.ref_count(), 2);
+        assert_eq!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+    }
+
+    #[test]
+    fn slice_is_zero_copy() {
+        let a = WireBytes::from_vec((0u8..32).collect());
+        let mid = a.slice(8..24);
+        assert_eq!(&*mid, &(8u8..24).collect::<Vec<_>>()[..]);
+        assert_eq!(mid.as_slice().as_ptr(), a[8..].as_ptr());
+        let nested = mid.slice(4..8);
+        assert_eq!(&*nested, &[12, 13, 14, 15]);
+        assert_eq!(nested.ref_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        WireBytes::from_vec(vec![0; 4]).slice(2..6);
+    }
+
+    #[test]
+    fn serde_roundtrip_matches_vec_encoding_of_bytes() {
+        let original = WireBytes::from_vec(vec![200u8, 1, 2, 255]);
+        let encoded = crate::to_bytes(&original).unwrap();
+        // Raw-bytes layout: varint length then the bytes verbatim.
+        assert_eq!(encoded, vec![4, 200, 1, 2, 255]);
+        let back: WireBytes = crate::from_bytes(&encoded).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn to_wire_bytes_matches_to_bytes() {
+        let value = ("Telco", 80.0_f64, 10u32);
+        assert_eq!(
+            *to_wire_bytes(&value).unwrap(),
+            *crate::to_bytes(&value).unwrap()
+        );
+    }
+
+    #[test]
+    fn pool_recycles_dropped_buffers() {
+        // Warm: drop a buffer with real capacity, then re-acquire.
+        let mut warm = Vec::with_capacity(512);
+        warm.extend_from_slice(&[7u8; 64]);
+        let ptr = warm.as_ptr() as usize;
+        drop(WireBytes::from_vec(warm));
+        let reused = acquire_buffer();
+        assert_eq!(reused.as_ptr() as usize, ptr, "expected pooled reuse");
+        assert!(reused.is_empty());
+        assert!(reused.capacity() >= 512);
+        release_buffer(reused);
+    }
+
+    #[test]
+    fn pool_reuse_waits_for_last_reference() {
+        let mut buf = Vec::with_capacity(256);
+        buf.push(1u8);
+        let a = WireBytes::from_vec(buf);
+        let b = a.slice(0..1);
+        drop(a);
+        // `b` still references the chunk: the allocation must not be handed
+        // out while a view is live.
+        assert_eq!(&*b, &[1]);
+        drop(b);
+        let _ = acquire_buffer();
+    }
+
+    #[test]
+    fn split_frames_roundtrip_zero_copy() {
+        let parts: [&[u8]; 3] = [b"one", b"", b"three"];
+        let mut buf = acquire_buffer();
+        crate::frame::encode_batch(parts.iter().copied(), &mut buf);
+        let batch = WireBytes::from_vec(buf);
+        let frames = split_frames(&batch).unwrap();
+        assert_eq!(frames.len(), 3);
+        for (frame, part) in frames.iter().zip(parts) {
+            assert_eq!(&**frame, part);
+            // Zero-copy: every frame points into the batch allocation.
+            assert_eq!(frame.ref_count(), batch.ref_count());
+        }
+        assert_eq!(frames[0].as_slice().as_ptr(), batch[4..].as_ptr());
+    }
+
+    #[test]
+    fn split_frames_rejects_truncated_tail() {
+        let mut buf = Vec::new();
+        crate::frame::encode(b"whole", &mut buf);
+        buf.extend_from_slice(&[9, 0, 0]); // partial length prefix
+        assert!(split_frames(&WireBytes::from_vec(buf)).is_err());
+    }
+}

@@ -28,6 +28,24 @@ pub fn encode(payload: &[u8], out: &mut Vec<u8>) {
     crate::metrics::metrics().frame_encodes.inc();
 }
 
+/// Appends one frame per payload to `out`, producing a batch that
+/// [`split_frames`](crate::split_frames) (or repeated [`decode`]) takes
+/// apart again. Coalescing several small messages to one destination into a
+/// single batch frame is what the DACE transmit path uses to amortize
+/// per-message delivery overhead.
+///
+/// # Panics
+///
+/// Panics if any payload exceeds [`MAX_FRAME_LEN`].
+pub fn encode_batch<'a, I>(payloads: I, out: &mut Vec<u8>)
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    for payload in payloads {
+        encode(payload, out);
+    }
+}
+
 /// Attempts to split one frame off the front of `input`.
 ///
 /// Returns `Ok(None)` when the buffer does not yet hold a complete frame

@@ -32,6 +32,8 @@
 //! ## Entry points
 //!
 //! - [`to_bytes`] / [`from_bytes`] — whole-buffer encode/decode
+//! - [`to_wire_bytes`] — encode into a pooled, `Arc`-shared [`WireBytes`]
+//!   buffer; the serialize-once entry point for fan-out paths
 //! - [`from_bytes_prefix`] — decode a value from a prefix of the buffer,
 //!   returning the number of bytes consumed (used for supertype decoding)
 //! - [`frame`] — length-delimited framing for stream transports
@@ -51,6 +53,7 @@
 //! # }
 //! ```
 
+mod bytes;
 mod de;
 mod error;
 pub mod frame;
@@ -58,6 +61,7 @@ mod metrics;
 mod ser;
 pub mod varint;
 
+pub use bytes::{batch_frames, split_frames, to_wire_bytes, WireBytes};
 pub use de::{from_bytes, from_bytes_prefix, Deserializer};
 pub use error::CodecError;
 pub use ser::{to_bytes, to_writer, Serializer};

@@ -25,6 +25,12 @@ pub(crate) struct CodecMetrics {
     pub frame_encodes: Counter,
     /// `codec.frame_decodes` — complete frames split off by `frame::decode`.
     pub frame_decodes: Counter,
+    /// `codec.pool.hits` — encoder buffers served from the thread-local pool.
+    pub pool_hits: Counter,
+    /// `codec.pool.misses` — encoder buffers that had to be freshly allocated.
+    pub pool_misses: Counter,
+    /// `codec.pool.recycled` — buffers returned to the pool on drop.
+    pub pool_recycled: Counter,
 }
 
 /// Handles are created once and cached; the hot path never touches the
@@ -40,6 +46,9 @@ pub(crate) fn metrics() -> &'static CodecMetrics {
             decode_bytes: global.counter("codec.decode_bytes"),
             frame_encodes: global.counter("codec.frame_encodes"),
             frame_decodes: global.counter("codec.frame_decodes"),
+            pool_hits: global.counter("codec.pool.hits"),
+            pool_misses: global.counter("codec.pool.misses"),
+            pool_recycled: global.counter("codec.pool.recycled"),
         }
     })
 }

@@ -6,6 +6,7 @@
 //! declared with the same macro applications use, serialized with the same
 //! codec, and flooded on the control channel.
 
+use psc_codec::WireBytes;
 use psc_obvent::declare_obvent_model;
 
 declare_obvent_model! {
@@ -20,8 +21,9 @@ declare_obvent_model! {
         /// The declared subscription kind (may be a supertype/interface).
         declared: u64,
         /// Encoded `RemoteFilter`, empty when the subscription has no
-        /// migratable filter part.
-        filter: Vec<u8>,
+        /// migratable filter part. Carried as a shared buffer so announce
+        /// re-floods reuse one encode per subscription.
+        filter: WireBytes,
     }
 }
 
@@ -61,7 +63,7 @@ mod tests {
         // The reflexive property: control traffic subtypes the root Obvent
         // interface and round-trips through the ordinary wire path.
         assert!(SubscribeCtl::kind().is_subtype_of(builtin::obvent_kind().id()));
-        let ctl = SubscribeCtl::new(3, 7, 0xdead, 0xbeef, vec![1, 2, 3]);
+        let ctl = SubscribeCtl::new(3, 7, 0xdead, 0xbeef, vec![1, 2, 3].into());
         let wire = WireObvent::encode(&ctl).unwrap();
         let back: SubscribeCtl = wire.decode_exact().unwrap();
         assert_eq!(back, ctl);

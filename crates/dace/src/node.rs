@@ -12,6 +12,7 @@ use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
 
+use psc_codec::WireBytes;
 use psc_filter::{FilterId, FilterIndex, RemoteFilter};
 use psc_group::{
     Causal, Certified, Fifo, GroupIo, Lpbcast, Multicast, Reliable, TimerToken, Total,
@@ -50,7 +51,7 @@ enum NodeMsg {
     /// A reflexive control obvent.
     Control(WireObvent),
     /// Protocol-internal bytes of one multicast class.
-    Data { channel: KindId, bytes: Vec<u8> },
+    Data { channel: KindId, bytes: WireBytes },
     /// A content-routed obvent on the direct (best-effort) path, with an
     /// optional expiry deadline (virtual µs).
     Direct {
@@ -59,6 +60,10 @@ enum NodeMsg {
     },
     /// An obvent sent to a filtering host for fan-out.
     Brokered(WireObvent),
+    /// Several control envelopes to one destination, coalesced in one tick:
+    /// frame-concatenated encoded [`NodeMsg`]s (see `flush_outbox`). The
+    /// receiver splits the frames zero-copy and handles each in order.
+    Batch(WireBytes),
 }
 
 enum BackendOp {
@@ -143,7 +148,12 @@ struct TransmitItem {
     priority: i64,
     seq: u64,
     to: NodeId,
-    wire: WireObvent,
+    /// Pre-encoded `NodeMsg::Direct`, shared by every destination of the
+    /// publish that enqueued it (serialize-once fan-out).
+    encoded: WireBytes,
+    /// Trace id of the carried obvent (for expiry attribution without
+    /// re-decoding `encoded`).
+    trace: TraceId,
     deadline: Option<SimTime>,
 }
 
@@ -245,7 +255,9 @@ impl Channel {
     }
 
     /// Destination nodes for `wire` with publisher/broker-side filtering.
-    fn filtered_destinations(&mut self, wire: &WireObvent) -> Vec<NodeId> {
+    /// Takes `&self`: `FilterIndex::matching` keeps its scratch behind a
+    /// `RefCell`, so the publish hot path never needs a mutable channel.
+    fn filtered_destinations(&self, wire: &WireObvent) -> Vec<NodeId> {
         let mut nodes: HashSet<u64> = self.unfiltered.keys().copied().collect();
         if !self.filter_owner.is_empty() {
             match wire.view() {
@@ -270,7 +282,11 @@ impl Channel {
 }
 
 struct LocalSub {
-    record: SubscriptionRecord,
+    record: Arc<SubscriptionRecord>,
+    /// The subscription's remote filter, encoded exactly once; every
+    /// join/announce flood clones the shared buffer instead of re-encoding
+    /// (empty when unfiltered).
+    filter_bytes: WireBytes,
     joined: HashSet<KindId>,
 }
 
@@ -290,6 +306,12 @@ pub struct DaceNode {
     transmit: BinaryHeap<TransmitItem>,
     transmit_seq: u64,
     transmit_armed: bool,
+    /// Per-callback control outbox: messages queued per destination and
+    /// coalesced into one [`NodeMsg::Batch`] frame on flush (announce storms
+    /// fan many small control floods to the same peers in one tick).
+    outbox: HashMap<NodeId, Vec<WireBytes>>,
+    /// Destinations in first-queued order, for a deterministic flush.
+    outbox_order: Vec<NodeId>,
     /// Durable subscriptions persisted but not yet re-attached (loaded on
     /// recovery), by durable id.
     durable_pending: HashMap<u64, DurableRecord>,
@@ -354,6 +376,8 @@ impl DaceNode {
             transmit: BinaryHeap::new(),
             transmit_seq: 0,
             transmit_armed: false,
+            outbox: HashMap::new(),
+            outbox_order: Vec::new(),
             durable_pending: HashMap::new(),
             parked: VecDeque::new(),
             stats: DaceStats::default(),
@@ -474,15 +498,44 @@ impl DaceNode {
         }
     }
 
-    fn flood_control<O: Obvent>(&mut self, ctx: &mut Ctx<'_>, ctl: &O) {
+    fn flood_control<O: Obvent>(&mut self, _ctx: &mut Ctx<'_>, ctl: &O) {
         let wire = WireObvent::encode(ctl).expect("control obvents encode");
         let bytes = encode_node_msg(&NodeMsg::Control(wire));
         let me = self.me();
-        for &node in &self.cluster {
-            if node != me {
-                ctx.send(node, bytes.clone());
-                self.stats.control_sent += 1;
-                self.telemetry.bump("dace.control_sent", 1);
+        let peers: Vec<NodeId> = self.cluster.iter().copied().filter(|&n| n != me).collect();
+        for node in peers {
+            self.queue_send(node, bytes.clone());
+            self.stats.control_sent += 1;
+            self.telemetry.bump("dace.control_sent", 1);
+        }
+    }
+
+    /// Queues a control message for `to`; the outbox coalesces everything
+    /// queued within one callback into a single frame per destination.
+    fn queue_send(&mut self, to: NodeId, bytes: WireBytes) {
+        let queue = self.outbox.entry(to).or_default();
+        if queue.is_empty() {
+            self.outbox_order.push(to);
+        }
+        queue.push(bytes);
+    }
+
+    /// Drains the control outbox: one message per destination goes out
+    /// as-is; two or more are frame-concatenated into one
+    /// [`NodeMsg::Batch`], so an announce storm costs each peer one
+    /// network message instead of one per subscription × channel.
+    fn flush_outbox(&mut self, ctx: &mut Ctx<'_>) {
+        for to in std::mem::take(&mut self.outbox_order) {
+            let Some(mut msgs) = self.outbox.remove(&to) else {
+                continue;
+            };
+            if msgs.len() == 1 {
+                ctx.send(to, msgs.pop().expect("one message"));
+            } else {
+                self.telemetry
+                    .bump("dace.batch.coalesced", msgs.len() as u64 - 1);
+                let batch = psc_codec::batch_frames(msgs.iter().map(|m| &**m));
+                ctx.send(to, encode_node_msg(&NodeMsg::Batch(batch)));
             }
         }
     }
@@ -498,10 +551,18 @@ impl DaceNode {
                 Some(BackendOp::Unsubscribe(id)) => self.unsubscribe_flow(ctx, id),
             }
         }
+        self.flush_outbox(ctx);
     }
 
     fn subscribe_flow(&mut self, ctx: &mut Ctx<'_>, record: SubscriptionRecord) {
+        let record = Arc::new(record);
         let sub_raw = record.id.0;
+        // Encode the remote filter once; joins and announces share it.
+        let filter_bytes = record
+            .remote_filter
+            .as_ref()
+            .map(|f| psc_codec::to_wire_bytes(f).expect("filters encode"))
+            .unwrap_or_default();
         if let Some(durable_id) = record.durable_id {
             // Persist the subscription so it outlives the process
             // (§3.4.1); a matching pending record means this is a
@@ -509,11 +570,7 @@ impl DaceNode {
             let durable = DurableRecord {
                 durable_id,
                 kind: record.kind.as_u64(),
-                filter: record
-                    .remote_filter
-                    .as_ref()
-                    .map(|f| psc_codec::to_bytes(f).expect("filters encode"))
-                    .unwrap_or_default(),
+                filter: filter_bytes.to_vec(),
             };
             ctx.storage()
                 .put(&format!("dursub/{durable_id:020}"), &durable)
@@ -523,7 +580,8 @@ impl DaceNode {
         self.local_subs.insert(
             sub_raw,
             LocalSub {
-                record: record.clone(),
+                record: Arc::clone(&record),
+                filter_bytes,
                 joined: HashSet::new(),
             },
         );
@@ -563,18 +621,12 @@ impl DaceNode {
         if !local.joined.insert(channel) {
             return;
         }
-        let filter_bytes = local
-            .record
-            .remote_filter
-            .as_ref()
-            .map(|f| psc_codec::to_bytes(f).expect("filters encode"))
-            .unwrap_or_default();
         let ctl = SubscribeCtl::new(
             me.0,
             sub_raw,
             channel.as_u64(),
             local.record.kind.as_u64(),
-            filter_bytes,
+            local.filter_bytes.clone(),
         );
         let filter = local.record.remote_filter.clone();
         self.flood_control(ctx, &ctl);
@@ -672,7 +724,7 @@ impl DaceNode {
                     format!("kind={}", kind_name(kind)),
                 );
             }
-            let bytes = psc_codec::to_bytes(&wire).expect("wire obvents encode");
+            let bytes = psc_codec::to_wire_bytes(&wire).expect("wire obvents encode");
             self.with_channel_proto(ctx, kind, |proto, io| proto.broadcast(io, bytes));
         } else {
             self.direct_publish(ctx, kind, wire, &qos);
@@ -684,12 +736,14 @@ impl DaceNode {
         let (priority, deadline) = transmission_params(&wire, qos, ctx.now());
         if let Placement::Broker(broker) = self.config.placement {
             if broker != me {
-                self.enqueue_transmit(ctx, broker, wire, priority, deadline, true);
+                // Brokered envelopes go upstream immediately (single
+                // message), bypassing the paced transmit queue.
+                ctx.send(broker, encode_node_msg(&NodeMsg::Brokered(wire)));
                 return;
             }
         }
         let destinations = {
-            let ch = self.channels.get_mut(&kind).expect("ensured");
+            let ch = self.channels.get(&kind).expect("ensured");
             match self.config.placement {
                 Placement::Subscriber => ch.members.clone(),
                 Placement::Publisher | Placement::Broker(_) => {
@@ -704,44 +758,51 @@ impl DaceNode {
             TraceStage::FilterEval,
             format!("at=n{} dests={}", me.0, destinations.len()),
         );
+        // Serialize-once fan-out: the Direct envelope is encoded at most
+        // once per publish, and every remote destination's queue entry
+        // shares that buffer.
+        let trace = wire.trace_id();
+        let deadline_us = deadline.map(|d| d.as_micros());
+        let mut encoded: Option<WireBytes> = None;
         for dest in destinations {
             if dest == me {
                 self.local_deliver(ctx, &wire);
             } else {
                 self.stats.direct_sent += 1;
                 self.telemetry.bump("dace.direct_sent", 1);
-                self.enqueue_transmit(ctx, dest, wire.clone(), priority, deadline, false);
+                let bytes = encoded
+                    .get_or_insert_with(|| {
+                        encode_node_msg(&NodeMsg::Direct {
+                            wire: wire.clone(),
+                            deadline: deadline_us,
+                        })
+                    })
+                    .clone();
+                self.enqueue_transmit(ctx, dest, bytes, trace, priority, deadline);
             }
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn enqueue_transmit(
         &mut self,
         ctx: &mut Ctx<'_>,
         to: NodeId,
-        wire: WireObvent,
+        encoded: WireBytes,
+        trace: TraceId,
         priority: i64,
         deadline: Option<SimTime>,
-        brokered: bool,
     ) {
         self.transmit_seq += 1;
-        // Brokered forwards reuse the same queue; mark via priority carrier.
         let item = TransmitItem {
             priority,
             seq: self.transmit_seq,
             to,
-            wire,
+            encoded,
+            trace,
             deadline,
         };
-        if brokered {
-            // Send brokered envelopes immediately (single upstream message).
-            let msg = NodeMsg::Brokered(item.wire);
-            ctx.send(to, encode_node_msg(&msg));
-            return;
-        }
         self.tracer.record(
-            item.wire.trace_id(),
+            trace,
             ctx.now().as_micros(),
             TraceStage::TransmitEnqueue,
             format!("to=n{}", to.0),
@@ -762,7 +823,7 @@ impl DaceNode {
                     self.stats.expired += 1;
                     self.telemetry.bump("dace.expired", 1);
                     self.tracer.record(
-                        item.wire.trace_id(),
+                        item.trace,
                         now.as_micros(),
                         TraceStage::Expired,
                         "in-queue".to_string(),
@@ -770,11 +831,7 @@ impl DaceNode {
                     continue; // expired in the queue
                 }
             }
-            let msg = NodeMsg::Direct {
-                wire: item.wire,
-                deadline: item.deadline.map(|d| d.as_micros()),
-            };
-            ctx.send(item.to, encode_node_msg(&msg));
+            ctx.send(item.to, item.encoded);
             break;
         }
         if self.transmit.is_empty() {
@@ -844,7 +901,7 @@ impl DaceNode {
         let Some(mut channel) = self.channels.remove(&kind) else {
             return;
         };
-        let mut delivered: Vec<(NodeId, Vec<u8>)> = Vec::new();
+        let mut delivered: Vec<(NodeId, WireBytes)> = Vec::new();
         let mut new_timers: Vec<(psc_simnet::Duration, TimerToken)> = Vec::new();
         if let Some(proto) = channel.proto.as_mut() {
             let mut io = ChannelIo {
@@ -854,6 +911,7 @@ impl DaceNode {
                 delivered: &mut delivered,
                 new_timers: &mut new_timers,
                 telemetry: &self.telemetry,
+                last_encoded: None,
             };
             f(proto.as_mut(), &mut io);
         }
@@ -906,20 +964,18 @@ impl DaceNode {
     fn announce(&mut self, ctx: &mut Ctx<'_>) {
         // Re-flood subscriptions (anti-entropy under loss / for restarts).
         let me = self.me();
-        let subs: Vec<(u64, KindId, KindId, Vec<u8>)> = self
+        let subs: Vec<(u64, KindId, KindId, WireBytes)> = self
             .local_subs
             .iter()
             .flat_map(|(&sub, local)| {
-                let filter_bytes = local
-                    .record
-                    .remote_filter
-                    .as_ref()
-                    .map(|f| psc_codec::to_bytes(f).expect("filters encode"))
-                    .unwrap_or_default();
+                // The cached encode is shared: each re-flood clones the
+                // buffer handle, never re-serializes the filter.
                 local
                     .joined
                     .iter()
-                    .map(move |&channel| (sub, channel, local.record.kind, filter_bytes.clone()))
+                    .map(|&channel| {
+                        (sub, channel, local.record.kind, local.filter_bytes.clone())
+                    })
                     .collect::<Vec<_>>()
             })
             .collect();
@@ -952,9 +1008,14 @@ struct ChannelIo<'a, 'b> {
     ctx: &'a mut Ctx<'b>,
     kind: KindId,
     members: &'a [NodeId],
-    delivered: &'a mut Vec<(NodeId, Vec<u8>)>,
+    delivered: &'a mut Vec<(NodeId, WireBytes)>,
     new_timers: &'a mut Vec<(psc_simnet::Duration, TimerToken)>,
     telemetry: &'a Registry,
+    /// Memo of the last protocol buffer → encoded `NodeMsg::Data` pair:
+    /// protocols fan one shared buffer out to many members back-to-back,
+    /// so the transport envelope is encoded once per distinct buffer
+    /// instead of once per member.
+    last_encoded: Option<(WireBytes, WireBytes)>,
 }
 
 impl GroupIo for ChannelIo<'_, '_> {
@@ -970,15 +1031,23 @@ impl GroupIo for ChannelIo<'_, '_> {
         self.ctx.now()
     }
 
-    fn send(&mut self, to: NodeId, bytes: Vec<u8>) {
-        let msg = NodeMsg::Data {
+    fn send(&mut self, to: NodeId, bytes: WireBytes) {
+        if let Some((prev, encoded)) = &self.last_encoded {
+            if prev.ptr_eq(&bytes) {
+                let encoded = encoded.clone();
+                self.ctx.send(to, encoded);
+                return;
+            }
+        }
+        let encoded = encode_node_msg(&NodeMsg::Data {
             channel: self.kind,
-            bytes,
-        };
-        self.ctx.send(to, encode_node_msg(&msg));
+            bytes: bytes.clone(),
+        });
+        self.ctx.send(to, encoded.clone());
+        self.last_encoded = Some((bytes, encoded));
     }
 
-    fn deliver(&mut self, origin: NodeId, payload: Vec<u8>) {
+    fn deliver(&mut self, origin: NodeId, payload: WireBytes) {
         self.delivered.push((origin, payload));
     }
 
@@ -1004,19 +1073,10 @@ impl GroupIo for ChannelIo<'_, '_> {
     }
 }
 
-impl Node for DaceNode {
-    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        self.ensure_id(ctx);
-        let id = ctx.set_timer(self.config.announce_interval);
-        self.timer_map.insert(id, DaceTimer::Announce);
-        self.flush(ctx);
-    }
-
-    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, payload: &[u8]) {
-        self.ensure_id(ctx);
-        let Ok(msg) = psc_codec::from_bytes::<NodeMsg>(payload) else {
-            return;
-        };
+impl DaceNode {
+    /// Dispatches one decoded transport message; [`NodeMsg::Batch`] recurses
+    /// over its zero-copy frames.
+    fn handle_node_msg(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: NodeMsg) {
         match msg {
             NodeMsg::Control(wire) => self.handle_control(ctx, &wire),
             NodeMsg::Data { channel, bytes } => {
@@ -1024,6 +1084,21 @@ impl Node for DaceNode {
                 self.with_channel_proto(ctx, channel, |proto, io| {
                     proto.on_message(io, from, &bytes)
                 });
+            }
+            NodeMsg::Batch(bytes) => {
+                let Ok(frames) = psc_codec::split_frames(&bytes) else {
+                    return; // corrupt batch: drop whole, like any bad packet
+                };
+                self.telemetry.bump("dace.batch.received", 1);
+                for frame in frames {
+                    let Ok(inner) = psc_codec::from_bytes::<NodeMsg>(&frame) else {
+                        continue;
+                    };
+                    if matches!(inner, NodeMsg::Batch(_)) {
+                        continue; // batches are never nested; drop malformed
+                    }
+                    self.handle_node_msg(ctx, from, inner);
+                }
             }
             NodeMsg::Direct { wire, deadline } => {
                 let expired =
@@ -1061,6 +1136,23 @@ impl Node for DaceNode {
                 self.direct_publish(ctx, kind, wire, &qos);
             }
         }
+    }
+}
+
+impl Node for DaceNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.ensure_id(ctx);
+        let id = ctx.set_timer(self.config.announce_interval);
+        self.timer_map.insert(id, DaceTimer::Announce);
+        self.flush(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, payload: &[u8]) {
+        self.ensure_id(ctx);
+        let Ok(msg) = psc_codec::from_bytes::<NodeMsg>(payload) else {
+            return;
+        };
+        self.handle_node_msg(ctx, from, msg);
         self.flush(ctx);
     }
 
@@ -1148,8 +1240,8 @@ fn make_proto(qos: &QosSpec, config: &DaceConfig) -> Option<Box<dyn Multicast>> 
     }
 }
 
-fn encode_node_msg(msg: &NodeMsg) -> Vec<u8> {
-    psc_codec::to_bytes(msg).expect("node messages encode")
+fn encode_node_msg(msg: &NodeMsg) -> WireBytes {
+    psc_codec::to_wire_bytes(msg).expect("node messages encode")
 }
 
 /// The registered name of `kind`, used in per-channel metric names

@@ -22,13 +22,27 @@
 //!    filters with general evaluation trees are evaluated over the shared
 //!    truth assignment.
 //!
+//! 5. **sub-expression hash-consing** — general evaluation trees are
+//!    interned into a shared DAG at insert time (commutative operators
+//!    normalized), so identical sub-expressions across subscriptions are
+//!    stored once and, via per-obvent memoization, evaluated once. The
+//!    evaluations avoided relative to the naive baseline are counted in the
+//!    `filter.factored_evals_saved` telemetry counter.
+//!
 //! [`FilterIndex::naive_matching`] provides the unfactored baseline (every
 //! filter evaluated independently, repeating lookups and comparisons); the
 //! benchmark suite measures the gap (experiment E1). Property tests assert
 //! the two are extensionally equal.
+//!
+//! [`FilterIndex::matching`] takes `&self`: the generation-stamped scratch
+//! state (predicate truths, conjunction counters, sub-expression memo) lives
+//! in a [`RefCell`], so read-side callers — the publish hot path — do not
+//! need a mutable index.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
+use crate::metrics::metrics;
 use crate::{CmpOp, EvalNode, Predicate, PropPath, PropertySource, RemoteFilter, Value};
 
 /// Stable handle for a filter stored in a [`FilterIndex`].
@@ -74,6 +88,10 @@ pub struct IndexStats {
     pub unique_predicates: usize,
     /// Distinct property paths fetched per matched obvent.
     pub paths: usize,
+    /// Live nodes in the hash-consed sub-expression DAG (general trees
+    /// only; a value smaller than the summed tree sizes means cross-filter
+    /// sharing).
+    pub shared_nodes: usize,
 }
 
 #[derive(Debug)]
@@ -86,6 +104,44 @@ struct StoredFilter {
     /// `Some(arity)` when the evaluation tree is a pure conjunction of
     /// distinct predicates (counting applies); `None` for general trees.
     conjunctive_arity: Option<u32>,
+    /// For general trees: root of the filter's hash-consed evaluation DAG
+    /// in [`FilterIndex::shared_nodes`].
+    shared_root: Option<u32>,
+}
+
+/// Canonical key of one hash-consed sub-expression. `And`/`Or` children are
+/// sorted and deduplicated (boolean conjunction/disjunction are commutative
+/// and idempotent), so `a && b` and `b && a` intern to the same node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum SharedKey {
+    True,
+    False,
+    /// Global (deduplicated) predicate id.
+    Pred(usize),
+    And(Vec<u32>),
+    Or(Vec<u32>),
+    Not(u32),
+}
+
+#[derive(Debug)]
+struct SharedNode {
+    key: SharedKey,
+    refcount: usize,
+}
+
+/// Generation-stamped scratch reused across `matching` calls; kept behind a
+/// `RefCell` so matching borrows the index immutably.
+#[derive(Debug, Default)]
+struct Scratch {
+    gen: u64,
+    /// Per global predicate: generation at which it was last satisfied.
+    truth_gen: Vec<u64>,
+    /// Per filter slot: generation stamp + count of satisfied conjuncts.
+    counter_gen: Vec<u64>,
+    counters: Vec<u32>,
+    /// Per shared DAG node: memoized truth for the current generation.
+    node_gen: Vec<u64>,
+    node_truth: Vec<bool>,
 }
 
 #[derive(Debug)]
@@ -152,11 +208,15 @@ pub struct FilterIndex {
     tree_filters: Vec<usize>,
     /// Pass-all / zero-arity filters, by slot.
     unconditional: Vec<usize>,
-    // Generation-stamped scratch state reused across `matching` calls.
-    gen: u64,
-    truth_gen: Vec<u64>,
-    counter_gen: Vec<u64>,
-    counters: Vec<u32>,
+    /// Hash-consed sub-expression DAG shared by all general-tree filters.
+    shared_nodes: Vec<SharedNode>,
+    shared_lookup: HashMap<SharedKey, u32>,
+    free_nodes: Vec<u32>,
+    /// Total predicate occurrences across stored filters (naive evaluation
+    /// cost per obvent); `live_preds` is the deduplicated count.
+    pred_occurrences: usize,
+    live_preds: usize,
+    scratch: RefCell<Scratch>,
 }
 
 impl FilterIndex {
@@ -195,6 +255,7 @@ impl FilterIndex {
                 .sum(),
             unique_predicates: self.preds.iter().filter(|p| p.refcount > 0).count(),
             paths: self.groups.len(),
+            shared_nodes: self.shared_nodes.len() - self.free_nodes.len(),
         }
     }
 
@@ -210,12 +271,14 @@ impl FilterIndex {
             }
             None => {
                 self.slots.push(Some(id));
-                self.counter_gen.push(0);
-                self.counters.push(0);
+                let scratch = self.scratch.get_mut();
+                scratch.counter_gen.push(0);
+                scratch.counters.push(0);
                 self.slots.len() - 1
             }
         };
 
+        self.pred_occurrences += filter.predicates().len();
         let mut globals = Vec::with_capacity(filter.predicates().len());
         for pred in filter.predicates() {
             globals.push(self.intern_pred(pred));
@@ -233,10 +296,14 @@ impl FilterIndex {
             distinct.len() as u32
         });
 
+        let mut shared_root = None;
         match conjunctive_arity {
             Some(0) => self.unconditional.push(slot),
             Some(_) => {}
-            None => self.tree_filters.push(slot),
+            None => {
+                shared_root = Some(self.intern_node(filter.eval_tree(), &globals));
+                self.tree_filters.push(slot);
+            }
         }
 
         self.filters.insert(
@@ -246,6 +313,7 @@ impl FilterIndex {
                 globals,
                 slot,
                 conjunctive_arity,
+                shared_root,
             },
         );
         id
@@ -268,19 +336,170 @@ impl FilterIndex {
             }
             None => self.tree_filters.retain(|&s| s != stored.slot),
         }
+        if let Some(root) = stored.shared_root {
+            self.release_node(root);
+        }
+        self.pred_occurrences -= stored.globals.len();
         for &g in &stored.globals {
             self.release_pred(g);
         }
         Some(stored.filter)
     }
 
-    /// Returns the ids of all filters matching `source`, ascending.
-    pub fn matching(&mut self, source: &dyn PropertySource) -> Vec<FilterId> {
-        self.gen = self.gen.wrapping_add(1);
-        let gen = self.gen;
-        if self.truth_gen.len() < self.preds.len() {
-            self.truth_gen.resize(self.preds.len(), 0);
+    /// Interns `node` into the shared DAG, returning a node id with one
+    /// reference owned by the caller. Commutative operators are normalized
+    /// (children sorted, duplicates dropped) and trivial shapes collapsed
+    /// (single-child `And`/`Or` become the child; empty ones become the
+    /// identity constant), maximizing sharing without changing semantics.
+    fn intern_node(&mut self, node: &EvalNode, globals: &[usize]) -> u32 {
+        let key = match node {
+            EvalNode::True => SharedKey::True,
+            EvalNode::False => SharedKey::False,
+            EvalNode::Pred(i) => SharedKey::Pred(globals[*i]),
+            EvalNode::And(children) | EvalNode::Or(children) => {
+                let mut ids: Vec<u32> = children
+                    .iter()
+                    .map(|c| self.intern_node(c, globals))
+                    .collect();
+                ids.sort_unstable();
+                // Idempotence: duplicate children fold into one reference.
+                let mut deduped = Vec::with_capacity(ids.len());
+                for id in ids {
+                    if deduped.last() == Some(&id) {
+                        self.release_node(id);
+                    } else {
+                        deduped.push(id);
+                    }
+                }
+                let is_and = matches!(node, EvalNode::And(_));
+                match deduped.len() {
+                    0 => {
+                        if is_and {
+                            SharedKey::True
+                        } else {
+                            SharedKey::False
+                        }
+                    }
+                    1 => return deduped.pop().expect("one child"),
+                    _ => {
+                        if is_and {
+                            SharedKey::And(deduped)
+                        } else {
+                            SharedKey::Or(deduped)
+                        }
+                    }
+                }
+            }
+            EvalNode::Not(child) => SharedKey::Not(self.intern_node(child, globals)),
+        };
+        self.intern_key(key)
+    }
+
+    fn intern_key(&mut self, key: SharedKey) -> u32 {
+        if let Some(&id) = self.shared_lookup.get(&key) {
+            // The existing node already owns references to its children;
+            // drop the temporary ones taken while building `key`.
+            match &key {
+                SharedKey::And(children) | SharedKey::Or(children) => {
+                    for &c in children.clone().iter() {
+                        self.release_node(c);
+                    }
+                }
+                SharedKey::Not(c) => self.release_node(*c),
+                _ => {}
+            }
+            self.shared_nodes[id as usize].refcount += 1;
+            metrics().shared_subexprs.add(1);
+            return id;
         }
+        let id = match self.free_nodes.pop() {
+            Some(id) => {
+                self.shared_nodes[id as usize] = SharedNode {
+                    key: key.clone(),
+                    refcount: 1,
+                };
+                id
+            }
+            None => {
+                self.shared_nodes.push(SharedNode {
+                    key: key.clone(),
+                    refcount: 1,
+                });
+                (self.shared_nodes.len() - 1) as u32
+            }
+        };
+        self.shared_lookup.insert(key, id);
+        id
+    }
+
+    fn release_node(&mut self, id: u32) {
+        let node = &mut self.shared_nodes[id as usize];
+        node.refcount -= 1;
+        if node.refcount > 0 {
+            return;
+        }
+        let key = std::mem::replace(&mut node.key, SharedKey::False);
+        self.shared_lookup.remove(&key);
+        match key {
+            SharedKey::And(children) | SharedKey::Or(children) => {
+                for c in children {
+                    self.release_node(c);
+                }
+            }
+            SharedKey::Not(c) => self.release_node(c),
+            _ => {}
+        }
+        self.free_nodes.push(id);
+    }
+
+    /// Evaluates shared node `id` with per-generation memoization. A memo
+    /// hit is an evaluation another filter (or another branch) already paid
+    /// for — counted into `saved`.
+    fn eval_shared(&self, scratch: &mut Scratch, id: u32, saved: &mut u64) -> bool {
+        let i = id as usize;
+        if scratch.node_gen[i] == scratch.gen {
+            *saved += 1;
+            return scratch.node_truth[i];
+        }
+        let truth = match &self.shared_nodes[i].key {
+            SharedKey::True => true,
+            SharedKey::False => false,
+            SharedKey::Pred(g) => scratch.truth_gen[*g] == scratch.gen,
+            SharedKey::And(children) => children
+                .iter()
+                .all(|&c| self.eval_shared(scratch, c, saved)),
+            SharedKey::Or(children) => children
+                .iter()
+                .any(|&c| self.eval_shared(scratch, c, saved)),
+            SharedKey::Not(c) => !self.eval_shared(scratch, *c, saved),
+        };
+        scratch.node_gen[i] = scratch.gen;
+        scratch.node_truth[i] = truth;
+        truth
+    }
+
+    /// Returns the ids of all filters matching `source`, ascending.
+    ///
+    /// Takes `&self`: the per-call scratch state lives in a `RefCell`, so
+    /// the publish hot path can match against a shared index. Not
+    /// re-entrant — `PropertySource::property` implementations must not call
+    /// back into the same index (they are plain data accessors).
+    pub fn matching(&self, source: &dyn PropertySource) -> Vec<FilterId> {
+        metrics().matching_calls.add(1);
+        let mut scratch = self.scratch.borrow_mut();
+        let scratch = &mut *scratch;
+        scratch.gen = scratch.gen.wrapping_add(1);
+        let gen = scratch.gen;
+        if scratch.truth_gen.len() < self.preds.len() {
+            scratch.truth_gen.resize(self.preds.len(), 0);
+        }
+        if scratch.node_gen.len() < self.shared_nodes.len() {
+            scratch.node_gen.resize(self.shared_nodes.len(), 0);
+            scratch.node_truth.resize(self.shared_nodes.len(), false);
+        }
+        // Every deduplicated predicate occurrence is an evaluation the
+        // naive baseline would have repeated.
+        let mut saved = (self.pred_occurrences - self.live_preds) as u64;
 
         // Phase 1: enumerate satisfied predicates, path group by path group.
         let mut satisfied: Vec<usize> = Vec::new();
@@ -337,16 +556,16 @@ impl FilterIndex {
         // Phase 2: counting for conjunctive filters.
         let mut matched: Vec<FilterId> = Vec::new();
         for &p in &satisfied {
-            self.truth_gen[p] = gen;
+            scratch.truth_gen[p] = gen;
             for &slot in &self.preds[p].postings {
-                if self.counter_gen[slot] != gen {
-                    self.counter_gen[slot] = gen;
-                    self.counters[slot] = 0;
+                if scratch.counter_gen[slot] != gen {
+                    scratch.counter_gen[slot] = gen;
+                    scratch.counters[slot] = 0;
                 }
-                self.counters[slot] += 1;
+                scratch.counters[slot] += 1;
                 if let Some(id) = self.slots[slot] {
                     let stored = &self.filters[&id];
-                    if stored.conjunctive_arity == Some(self.counters[slot]) {
+                    if stored.conjunctive_arity == Some(scratch.counters[slot]) {
                         matched.push(id);
                     }
                 }
@@ -360,19 +579,18 @@ impl FilterIndex {
             }
         }
 
-        // Phase 4: general evaluation trees over the shared truth assignment.
+        // Phase 4: general evaluation trees over the hash-consed DAG, with
+        // per-generation memoization: a sub-expression shared by several
+        // filters (or appearing twice inside one tree) is evaluated once.
         for &slot in &self.tree_filters {
             let Some(id) = self.slots[slot] else { continue };
             let stored = &self.filters[&id];
-            let truths: Vec<bool> = stored
-                .globals
-                .iter()
-                .map(|&g| self.truth_gen[g] == gen)
-                .collect();
-            if stored.filter.matches_with_truths(&truths) {
+            let root = stored.shared_root.expect("tree filters have a DAG root");
+            if self.eval_shared(scratch, root, &mut saved) {
                 matched.push(id);
             }
         }
+        metrics().factored_evals_saved.add(saved);
 
         matched.sort_unstable();
         matched.dedup();
@@ -401,6 +619,7 @@ impl FilterIndex {
                 return idx;
             }
         }
+        self.live_preds += 1;
         let idx = match self.free_preds.pop() {
             Some(idx) => {
                 self.preds[idx] = PredEntry {
@@ -429,6 +648,7 @@ impl FilterIndex {
     fn release_pred(&mut self, idx: usize) {
         self.preds[idx].refcount -= 1;
         if self.preds[idx].refcount == 0 {
+            self.live_preds -= 1;
             let pred = self.preds[idx].pred.clone();
             self.pred_lookup.remove(&pred);
             self.unindex_pred(idx, &pred);

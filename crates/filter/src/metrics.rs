@@ -1,0 +1,39 @@
+//! Filter-engine instrumentation: counters in the process-global telemetry
+//! registry (`psc_telemetry::global()`), which starts **disabled** — until a
+//! host opts in with `psc_telemetry::set_global_enabled(true)`, each site
+//! costs one relaxed load and a branch.
+//!
+//! Like the codec, the matching engine has no per-component registry to
+//! record into (a [`FilterIndex`](crate::FilterIndex) is a plain data
+//! structure, not a node-owned service).
+
+use std::sync::OnceLock;
+
+use psc_telemetry::Counter;
+
+pub(crate) struct FilterMetrics {
+    /// `filter.factored_evals_saved` — predicate and sub-expression
+    /// evaluations avoided by factoring, relative to the naive per-filter
+    /// baseline: deduplicated predicate occurrences plus memoized
+    /// sub-expression hits, summed per `matching` call.
+    pub factored_evals_saved: Counter,
+    /// `filter.matching_calls` — `FilterIndex::matching` invocations.
+    pub matching_calls: Counter,
+    /// `filter.shared_subexprs` — hash-cons hits at insert time: a filter's
+    /// sub-expression was already present in the index's shared DAG.
+    pub shared_subexprs: Counter,
+}
+
+/// Handles are created once and cached; the hot path never touches the
+/// registry's name map.
+pub(crate) fn metrics() -> &'static FilterMetrics {
+    static METRICS: OnceLock<FilterMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let global = psc_telemetry::global();
+        FilterMetrics {
+            factored_evals_saved: global.counter("filter.factored_evals_saved"),
+            matching_calls: global.counter("filter.matching_calls"),
+            shared_subexprs: global.counter("filter.shared_subexprs"),
+        }
+    })
+}

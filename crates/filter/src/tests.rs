@@ -488,6 +488,64 @@ mod index {
         assert!(index.matching(&quote("X", 5.0, 1)).is_empty());
     }
 
+    #[test]
+    fn identical_trees_share_one_dag() {
+        // Ten subscriptions with the same disjunction: the hash-consed DAG
+        // stores the tree once, so the per-obvent evaluation is memoized
+        // across all ten.
+        let mut index = FilterIndex::new();
+        let ids: Vec<_> = (0..10)
+            .map(|_| index.insert(rfilter!(price < 10.0).or(rfilter!(amount > 5))))
+            .collect();
+        // Or(pred, pred): two leaf nodes + one Or node, regardless of count.
+        assert_eq!(index.stats().shared_nodes, 3);
+        assert_eq!(index.matching(&quote("X", 5.0, 1)), ids);
+        assert_eq!(
+            index.matching(&quote("X", 5.0, 1)),
+            index.naive_matching(&quote("X", 5.0, 1))
+        );
+        // Removing all filters drains the DAG.
+        for id in ids {
+            index.remove(id).unwrap();
+        }
+        assert_eq!(index.stats().shared_nodes, 0);
+    }
+
+    #[test]
+    fn commuted_conjuncts_intern_to_the_same_node() {
+        // `a && b` vs `b && a` inside a disjunction: normalization sorts
+        // commutative children, so both orderings share one And node.
+        let a = Predicate::new("price", CmpOp::Lt, 10.0);
+        let b = Predicate::new("amount", CmpOp::Gt, 5u32);
+        let lhs = RemoteFilter::conjunction(vec![a.clone(), b.clone()])
+            .or(rfilter!(company == "X"));
+        let rhs = RemoteFilter::conjunction(vec![b, a]).or(rfilter!(company == "X"));
+        let mut index = FilterIndex::new();
+        let i1 = index.insert(lhs);
+        let i2 = index.insert(rhs);
+        let nodes_both = index.stats().shared_nodes;
+        index.remove(i2).unwrap();
+        // Removing the commuted copy frees no DAG nodes beyond refcounts:
+        // both filters interned to the identical structure.
+        assert_eq!(index.stats().shared_nodes, nodes_both);
+        for event in [quote("X", 5.0, 6), quote("Y", 5.0, 6), quote("Y", 50.0, 1)] {
+            assert_eq!(index.matching(&event), index.naive_matching(&event));
+        }
+        index.remove(i1).unwrap();
+        assert_eq!(index.stats().shared_nodes, 0);
+    }
+
+    #[test]
+    fn matching_takes_shared_reference() {
+        // The publish hot path matches through `&FilterIndex`; the scratch
+        // state is interior. (Compile-time guarantee, exercised here.)
+        let mut index = FilterIndex::new();
+        let id = index.insert(rfilter!(price < 10.0));
+        let shared: &FilterIndex = &index;
+        assert_eq!(shared.matching(&quote("X", 5.0, 1)), vec![id]);
+        assert_eq!(shared.matching(&quote("X", 50.0, 1)), Vec::new());
+    }
+
     fn arb_operand() -> impl Strategy<Value = Value> {
         prop_oneof![
             (-100i64..100).prop_map(Value::Int),

@@ -336,6 +336,12 @@ impl<T: IntoValue> IntoValue for Vec<T> {
     }
 }
 
+impl IntoValue for psc_codec::WireBytes {
+    fn to_value(&self) -> Value {
+        Value::List(self.iter().map(|&b| Value::UInt(b as u64)).collect())
+    }
+}
+
 impl<T: IntoValue> IntoValue for Option<T> {
     fn to_value(&self) -> Value {
         match self {

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use psc_codec::WireBytes;
 use psc_simnet::NodeId;
 
 use crate::io::{decode_msg, encode_msg, GroupIo, Multicast};
@@ -9,7 +10,7 @@ use crate::io::{decode_msg, encode_msg, GroupIo, Multicast};
 #[derive(Debug, Serialize, Deserialize)]
 struct Data {
     origin: NodeId,
-    payload: Vec<u8>,
+    payload: WireBytes,
 }
 
 /// One send per member, no retransmission, no ordering: "there is only a
@@ -32,7 +33,7 @@ impl BestEffort {
 }
 
 impl Multicast for BestEffort {
-    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: Vec<u8>) {
+    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: WireBytes) {
         io.metric("besteffort.broadcasts", 1);
         let me = io.self_id();
         let msg = encode_msg(&Data {

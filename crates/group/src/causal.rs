@@ -21,6 +21,7 @@ use std::collections::{HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
+use psc_codec::WireBytes;
 use psc_simnet::NodeId;
 
 use crate::io::{decode_msg, encode_msg, GroupIo, Multicast};
@@ -41,7 +42,7 @@ struct Data {
     /// Causal dependencies on processes other than the origin; the origin
     /// component is `id` itself (`id.epoch`/`id.seq`).
     deps: Vec<ClockEntry>,
-    payload: Vec<u8>,
+    payload: WireBytes,
 }
 
 /// Vector-clock causal broadcast over eager reliable relay.
@@ -132,7 +133,7 @@ impl Causal {
 }
 
 impl Multicast for Causal {
-    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: Vec<u8>) {
+    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: WireBytes) {
         io.metric("causal.broadcasts", 1);
         let me = io.self_id();
         self.next_seq += 1;

@@ -13,6 +13,7 @@ use std::collections::{BTreeMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
+use psc_codec::WireBytes;
 use psc_simnet::{Duration, NodeId};
 
 use crate::io::{decode_msg, encode_msg, GroupIo, Multicast, TimerToken};
@@ -26,7 +27,7 @@ const KEY_LOG_PREFIX: &str = "cert/log/";
 
 #[derive(Debug, Serialize, Deserialize)]
 enum Msg {
-    Data { id: MsgId, payload: Vec<u8> },
+    Data { id: MsgId, payload: WireBytes },
     Ack { id: MsgId },
 }
 
@@ -34,7 +35,7 @@ enum Msg {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct LogEntry {
     id: MsgId,
-    payload: Vec<u8>,
+    payload: WireBytes,
     /// Members that must acknowledge.
     targets: Vec<NodeId>,
     /// Members that have acknowledged.
@@ -137,7 +138,7 @@ impl Certified {
 }
 
 impl Multicast for Certified {
-    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: Vec<u8>) {
+    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: WireBytes) {
         io.metric("certified.broadcasts", 1);
         self.load(io);
         let me = io.self_id();

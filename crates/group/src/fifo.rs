@@ -10,6 +10,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
+use psc_codec::WireBytes;
 use psc_simnet::NodeId;
 
 use crate::io::{decode_msg, encode_msg, GroupIo, Multicast};
@@ -18,7 +19,7 @@ use crate::reliable::MsgId;
 #[derive(Debug, Serialize, Deserialize)]
 struct Data {
     id: MsgId,
-    payload: Vec<u8>,
+    payload: WireBytes,
 }
 
 /// Reliable broadcast with per-publisher FIFO delivery.
@@ -39,7 +40,7 @@ pub struct Fifo {
     /// expected sequence number within it.
     expected: HashMap<NodeId, (u64, u64)>,
     /// Held-back out-of-order messages per origin (current epoch only).
-    holdback: HashMap<NodeId, BTreeMap<u64, Vec<u8>>>,
+    holdback: HashMap<NodeId, BTreeMap<u64, WireBytes>>,
 }
 
 impl Fifo {
@@ -63,7 +64,7 @@ impl Fifo {
         }
     }
 
-    fn accept(&mut self, io: &mut dyn GroupIo, id: MsgId, payload: Vec<u8>) {
+    fn accept(&mut self, io: &mut dyn GroupIo, id: MsgId, payload: WireBytes) {
         let (epoch, expected) = self.expected.entry(id.origin).or_insert((id.epoch, 1));
         if id.epoch < *epoch {
             return; // straggler from a dead incarnation
@@ -95,7 +96,7 @@ impl Fifo {
 }
 
 impl Multicast for Fifo {
-    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: Vec<u8>) {
+    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: WireBytes) {
         io.metric("fifo.broadcasts", 1);
         let me = io.self_id();
         self.next_seq += 1;

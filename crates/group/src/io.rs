@@ -2,6 +2,7 @@
 
 use rand::RngCore;
 
+use psc_codec::WireBytes;
 use psc_simnet::{Duration, NodeId, ScopedStorage, SimTime};
 
 /// Protocol-chosen timer token, echoed back on expiry.
@@ -24,12 +25,14 @@ pub trait GroupIo {
     /// Current (virtual) time.
     fn now(&self) -> SimTime;
 
-    /// Sends protocol bytes to one member.
-    fn send(&mut self, to: NodeId, bytes: Vec<u8>);
+    /// Sends protocol bytes to one member. The buffer is `Arc`-shared:
+    /// fanning the same encoded message out to N members means one encode
+    /// and N handle clones, never N copies.
+    fn send(&mut self, to: NodeId, bytes: WireBytes);
 
     /// Hands a payload up to the application, attributed to its original
     /// broadcaster.
-    fn deliver(&mut self, origin: NodeId, payload: Vec<u8>);
+    fn deliver(&mut self, origin: NodeId, payload: WireBytes);
 
     /// Arms a timer; `token` comes back via [`Multicast::on_timer`].
     fn set_timer(&mut self, after: Duration, token: TimerToken);
@@ -56,7 +59,7 @@ pub trait GroupIo {
 /// [`GroupIo`].
 pub trait Multicast: Send {
     /// Broadcasts an application payload to the group.
-    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: Vec<u8>);
+    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: WireBytes);
 
     /// Handles a protocol message from a peer.
     fn on_message(&mut self, io: &mut dyn GroupIo, from: NodeId, bytes: &[u8]);
@@ -77,12 +80,15 @@ pub trait Multicast: Send {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
 }
 
-/// Encodes a protocol message, panicking on failure.
+/// Encodes a protocol message into a shared, pooled buffer, panicking on
+/// failure.
 ///
 /// Protocol message types are plain serde structs; encoding them cannot fail
-/// with the standard derives, so hosts treat failure as a bug.
-pub(crate) fn encode_msg<T: serde::Serialize>(msg: &T) -> Vec<u8> {
-    psc_codec::to_bytes(msg).expect("protocol message encoding cannot fail")
+/// with the standard derives, so hosts treat failure as a bug. The returned
+/// [`WireBytes`] is cloned per destination — the serialize-once half of the
+/// fan-out discipline.
+pub(crate) fn encode_msg<T: serde::Serialize>(msg: &T) -> WireBytes {
+    psc_codec::to_wire_bytes(msg).expect("protocol message encoding cannot fail")
 }
 
 /// Decodes a protocol message, returning `None` (and thereby dropping the

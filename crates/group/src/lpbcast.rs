@@ -13,6 +13,7 @@ use std::collections::HashSet;
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
 
+use psc_codec::WireBytes;
 use psc_simnet::{Duration, NodeId};
 
 use crate::io::{decode_msg, encode_msg, GroupIo, Multicast, TimerToken};
@@ -48,7 +49,7 @@ impl Default for LpbcastConfig {
 struct Event {
     id: MsgId,
     rounds_left: u32,
-    payload: Vec<u8>,
+    payload: WireBytes,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -122,7 +123,7 @@ impl Lpbcast {
 }
 
 impl Multicast for Lpbcast {
-    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: Vec<u8>) {
+    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: WireBytes) {
         io.metric("lpbcast.broadcasts", 1);
         let me = io.self_id();
         self.next_seq += 1;

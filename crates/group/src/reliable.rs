@@ -21,6 +21,7 @@ use std::collections::{BTreeMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
+use psc_codec::WireBytes;
 use psc_simnet::{Duration, NodeId};
 
 use crate::io::{decode_msg, encode_msg, GroupIo, Multicast, TimerToken};
@@ -51,7 +52,7 @@ pub(crate) struct MsgId {
 enum Msg {
     Data {
         id: MsgId,
-        payload: Vec<u8>,
+        payload: WireBytes,
         /// True when this copy comes straight from the origin (receivers
         /// acknowledge those; relayed copies are not re-acked).
         from_origin: bool,
@@ -63,7 +64,7 @@ enum Msg {
 
 #[derive(Debug)]
 struct Outgoing {
-    payload: Vec<u8>,
+    payload: WireBytes,
     unacked: Vec<NodeId>,
 }
 
@@ -96,12 +97,12 @@ impl Reliable {
         self.outgoing.len()
     }
 
-    fn relay(&self, io: &mut dyn GroupIo, id: MsgId, payload: &[u8]) {
+    fn relay(&self, io: &mut dyn GroupIo, id: MsgId, payload: &WireBytes) {
         io.metric("reliable.relays", 1);
         let me = io.self_id();
         let bytes = encode_msg(&Msg::Data {
             id,
-            payload: payload.to_vec(),
+            payload: payload.clone(),
             from_origin: false,
         });
         for member in io.members().to_vec() {
@@ -111,10 +112,10 @@ impl Reliable {
         }
     }
 
-    fn send_from_origin(io: &mut dyn GroupIo, id: MsgId, payload: &[u8], targets: &[NodeId]) {
+    fn send_from_origin(io: &mut dyn GroupIo, id: MsgId, payload: &WireBytes, targets: &[NodeId]) {
         let bytes = encode_msg(&Msg::Data {
             id,
-            payload: payload.to_vec(),
+            payload: payload.clone(),
             from_origin: true,
         });
         for &member in targets {
@@ -131,7 +132,7 @@ impl Reliable {
 }
 
 impl Multicast for Reliable {
-    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: Vec<u8>) {
+    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: WireBytes) {
         io.metric("reliable.broadcasts", 1);
         let me = io.self_id();
         self.next_seq += 1;

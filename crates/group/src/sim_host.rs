@@ -10,6 +10,7 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use psc_codec::WireBytes;
 use psc_simnet::{Ctx, Node, NodeId, ScopedStorage, SimNet, TimerId};
 use psc_telemetry::Registry;
 
@@ -19,7 +20,7 @@ use crate::io::{GroupIo, Multicast, TimerToken};
 pub struct GroupNode {
     proto: Box<dyn Multicast>,
     members: Vec<NodeId>,
-    delivered: Vec<(NodeId, Vec<u8>)>,
+    delivered: Vec<(NodeId, WireBytes)>,
     timer_tokens: HashMap<TimerId, TimerToken>,
     /// Per-node registry; protocol metrics land here under `group.*`. With
     /// [`GroupNode::boxed_with_telemetry`] this is an external registry that
@@ -30,7 +31,7 @@ pub struct GroupNode {
 struct HostIo<'a, 'b> {
     ctx: &'a mut Ctx<'b>,
     members: &'a [NodeId],
-    delivered: &'a mut Vec<(NodeId, Vec<u8>)>,
+    delivered: &'a mut Vec<(NodeId, WireBytes)>,
     new_timers: &'a mut Vec<(psc_simnet::Duration, TimerToken)>,
     telemetry: &'a Registry,
 }
@@ -48,11 +49,11 @@ impl GroupIo for HostIo<'_, '_> {
         self.ctx.now()
     }
 
-    fn send(&mut self, to: NodeId, bytes: Vec<u8>) {
+    fn send(&mut self, to: NodeId, bytes: WireBytes) {
         self.ctx.send(to, bytes);
     }
 
-    fn deliver(&mut self, origin: NodeId, payload: Vec<u8>) {
+    fn deliver(&mut self, origin: NodeId, payload: WireBytes) {
         self.telemetry.bump("group.delivered", 1);
         self.delivered.push((origin, payload));
     }
@@ -140,13 +141,13 @@ impl GroupNode {
     }
 
     /// Broadcasts `payload` from `node` at the current virtual time.
-    pub fn broadcast(sim: &mut SimNet, node: NodeId, payload: Vec<u8>) {
+    pub fn broadcast(sim: &mut SimNet, node: NodeId, payload: impl Into<WireBytes> + Send + 'static) {
         sim.act_now(node, move |n, ctx| {
             let this = n
                 .as_any_mut()
                 .downcast_mut::<GroupNode>()
                 .expect("node is a GroupNode");
-            this.with_io(ctx, |proto, io| proto.broadcast(io, payload));
+            this.with_io(ctx, |proto, io| proto.broadcast(io, payload.into()));
         });
     }
 
@@ -154,7 +155,11 @@ impl GroupNode {
     /// delivery order. Empty if the node is down.
     pub fn delivered(sim: &mut SimNet, node: NodeId) -> Vec<(NodeId, Vec<u8>)> {
         match sim.node_mut::<GroupNode>(node) {
-            Some(this) => this.delivered.clone(),
+            Some(this) => this
+                .delivered
+                .iter()
+                .map(|(origin, payload)| (*origin, payload.to_vec()))
+                .collect(),
             None => Vec::new(),
         }
     }

@@ -34,7 +34,7 @@ fn cluster(
 struct BoxedProto(Box<dyn Multicast>);
 
 impl Multicast for BoxedProto {
-    fn broadcast(&mut self, io: &mut dyn crate::GroupIo, payload: Vec<u8>) {
+    fn broadcast(&mut self, io: &mut dyn crate::GroupIo, payload: psc_codec::WireBytes) {
         self.0.broadcast(io, payload);
     }
     fn on_message(&mut self, io: &mut dyn crate::GroupIo, from: NodeId, bytes: &[u8]) {

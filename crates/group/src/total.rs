@@ -41,6 +41,7 @@ use std::collections::{BTreeMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
+use psc_codec::WireBytes;
 use psc_simnet::{Duration, NodeId};
 
 use crate::io::{decode_msg, encode_msg, GroupIo, Multicast, TimerToken};
@@ -63,7 +64,7 @@ enum Msg {
         origin: NodeId,
         origin_epoch: u64,
         local_seq: u64,
-        payload: Vec<u8>,
+        payload: WireBytes,
     },
     /// Sequencer → everyone: globally ordered message.
     Ordered {
@@ -72,7 +73,7 @@ enum Msg {
         origin: NodeId,
         origin_epoch: u64,
         local_seq: u64,
-        payload: Vec<u8>,
+        payload: WireBytes,
     },
     /// Receiver → sequencer: retransmit `[from, to]` (inclusive) of stream
     /// `seq_epoch`.
@@ -93,11 +94,11 @@ pub struct Total {
     // -- publisher state --
     next_local: u64,
     /// Submitted but not yet seen ordered: local_seq → payload.
-    pending_submits: BTreeMap<u64, Vec<u8>>,
+    pending_submits: BTreeMap<u64, WireBytes>,
     submit_timer_armed: bool,
     // -- sequencer state --
     next_gseq: u64,
-    history: BTreeMap<u64, (NodeId, u64, u64, Vec<u8>)>,
+    history: BTreeMap<u64, (NodeId, u64, u64, WireBytes)>,
     sequenced: HashSet<(NodeId, u64, u64)>,
     heartbeat_armed: bool,
     /// Consecutive heartbeats without new sequencing activity; the beat
@@ -109,7 +110,7 @@ pub struct Total {
     /// Sequencer incarnation whose stream is currently followed.
     seq_epoch: u64,
     next_deliver: u64,
-    holdback: BTreeMap<u64, (NodeId, u64, u64, Vec<u8>)>,
+    holdback: BTreeMap<u64, (NodeId, u64, u64, WireBytes)>,
     /// Submissions already delivered, keyed by (origin, origin_epoch,
     /// local_seq) — suppresses re-delivery when a restarted sequencer
     /// re-orders submissions that were already ordered in its previous
@@ -150,7 +151,7 @@ impl Total {
         origin: NodeId,
         origin_epoch: u64,
         local_seq: u64,
-        payload: Vec<u8>,
+        payload: WireBytes,
     ) {
         if !self.sequenced.insert((origin, origin_epoch, local_seq)) {
             io.metric("total.duplicate_submits", 1);
@@ -223,7 +224,7 @@ impl Total {
         origin: NodeId,
         origin_epoch: u64,
         local_seq: u64,
-        payload: Vec<u8>,
+        payload: WireBytes,
     ) {
         if origin == io.self_id() && origin_epoch == self.epoch {
             self.pending_submits.remove(&local_seq);
@@ -251,7 +252,7 @@ impl Total {
         }
     }
 
-    fn submit(&mut self, io: &mut dyn GroupIo, local_seq: u64, payload: Vec<u8>) {
+    fn submit(&mut self, io: &mut dyn GroupIo, local_seq: u64, payload: WireBytes) {
         let me = io.self_id();
         match Total::sequencer(io) {
             Some(seq_node) if seq_node == me => {
@@ -290,7 +291,7 @@ impl Total {
 }
 
 impl Multicast for Total {
-    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: Vec<u8>) {
+    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: WireBytes) {
         io.metric("total.broadcasts", 1);
         let local_seq = self.next_local;
         self.next_local += 1;

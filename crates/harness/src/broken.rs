@@ -9,6 +9,7 @@ use std::collections::HashSet;
 
 use serde::{Deserialize, Serialize};
 
+use psc_codec::WireBytes;
 use psc_simnet::NodeId;
 
 use psc_group::{GroupIo, Multicast};
@@ -22,7 +23,7 @@ struct BrokenId {
 #[derive(Debug, Serialize, Deserialize)]
 struct BrokenData {
     id: BrokenId,
-    payload: Vec<u8>,
+    payload: WireBytes,
 }
 
 /// A "FIFO" broadcast with the sequence check disabled: it numbers and
@@ -44,7 +45,7 @@ impl BrokenFifo {
 
     fn relay(&self, io: &mut dyn GroupIo, data: &BrokenData) {
         let me = io.self_id();
-        let bytes = psc_codec::to_bytes(data).expect("broken-fifo message encodes");
+        let bytes = psc_codec::to_wire_bytes(data).expect("broken-fifo message encodes");
         for member in io.members().to_vec() {
             if member != me {
                 io.send(member, bytes.clone());
@@ -54,7 +55,7 @@ impl BrokenFifo {
 }
 
 impl Multicast for BrokenFifo {
-    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: Vec<u8>) {
+    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: WireBytes) {
         let me = io.self_id();
         self.next_seq += 1;
         let data = BrokenData {

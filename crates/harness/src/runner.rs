@@ -36,7 +36,7 @@ pub type ProtoFactory = Arc<dyn Fn() -> Box<dyn Multicast> + Send + Sync>;
 struct BoxedProto(Box<dyn Multicast>);
 
 impl Multicast for BoxedProto {
-    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: Vec<u8>) {
+    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: psc_codec::WireBytes) {
         self.0.broadcast(io, payload);
     }
     fn on_message(&mut self, io: &mut dyn GroupIo, from: NodeId, bytes: &[u8]) {

@@ -11,6 +11,7 @@
 //! in order with no framing: the superclass image is a prefix of the
 //! subclass image (see the `psc-codec` crate docs).
 
+use psc_codec::WireBytes;
 use psc_telemetry::TraceId;
 use serde::{Deserialize, Serialize};
 
@@ -30,7 +31,7 @@ use crate::view::ObventView;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WireObvent {
     kind: KindId,
-    payload: Vec<u8>,
+    payload: WireBytes,
     trace: TraceId,
 }
 
@@ -44,7 +45,7 @@ impl WireObvent {
     pub fn encode<O: Obvent>(obvent: &O) -> Result<WireObvent, ObventError> {
         Ok(WireObvent {
             kind: O::kind_id(),
-            payload: psc_codec::to_bytes(obvent)?,
+            payload: psc_codec::to_wire_bytes(obvent)?,
             trace: TraceId::NONE,
         })
     }
@@ -52,10 +53,10 @@ impl WireObvent {
     /// Reconstructs a wire obvent from its parts (used when relaying
     /// payloads the current process cannot decode). The envelope starts
     /// untraced; relays that preserve identity use [`WireObvent::set_trace`].
-    pub fn from_parts(kind: KindId, payload: Vec<u8>) -> WireObvent {
+    pub fn from_parts(kind: KindId, payload: impl Into<WireBytes>) -> WireObvent {
         WireObvent {
             kind,
-            payload,
+            payload: payload.into(),
             trace: TraceId::NONE,
         }
     }

@@ -3,6 +3,7 @@
 use std::any::Any;
 use std::fmt;
 
+use psc_codec::WireBytes;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
@@ -68,7 +69,7 @@ pub(crate) enum Effect {
     Send {
         from: NodeId,
         to: NodeId,
-        payload: Vec<u8>,
+        payload: WireBytes,
     },
     SetTimer {
         node: NodeId,
@@ -94,11 +95,14 @@ impl Ctx<'_> {
 
     /// Sends `payload` to `to` (possibly to itself). Delivery is subject to
     /// the simulation's latency, loss and partition configuration.
-    pub fn send(&mut self, to: NodeId, payload: Vec<u8>) {
+    ///
+    /// Fan-out callers should pass a shared [`WireBytes`] (clone the handle
+    /// per destination) so the encoded buffer is never deep-copied.
+    pub fn send(&mut self, to: NodeId, payload: impl Into<WireBytes>) {
         self.effects.push(Effect::Send {
             from: self.node,
             to,
-            payload,
+            payload: payload.into(),
         });
     }
 

@@ -3,6 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
+use psc_codec::WireBytes;
 use psc_telemetry::{Counter, Registry};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -72,7 +73,7 @@ enum EventKind {
     Deliver {
         from: NodeId,
         to: NodeId,
-        payload: Vec<u8>,
+        payload: WireBytes,
     },
     Timer {
         node: NodeId,
@@ -276,8 +277,12 @@ impl SimNet {
     }
 
     /// Injects a message from `from` to `to` as if `from` had sent it.
-    pub fn send_external(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) {
-        let mut effects = vec![Effect::Send { from, to, payload }];
+    pub fn send_external(&mut self, from: NodeId, to: NodeId, payload: impl Into<WireBytes>) {
+        let mut effects = vec![Effect::Send {
+            from,
+            to,
+            payload: payload.into(),
+        }];
         self.apply_effects(&mut effects);
     }
 
@@ -467,7 +472,7 @@ impl SimNet {
         }
     }
 
-    fn route(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) {
+    fn route(&mut self, from: NodeId, to: NodeId, payload: WireBytes) {
         if from == to {
             // Loopback: no loss, negligible latency.
             self.stats.sent += 1;

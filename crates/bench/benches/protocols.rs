@@ -53,12 +53,14 @@ fn run_round(make: &dyn Fn() -> Box<dyn Multicast>, n: usize, msgs: usize) -> u6
     sim.stats().sent
 }
 
+type ProtoFactory = Box<dyn Fn() -> Box<dyn Multicast>>;
+
 fn bench_protocols(c: &mut Criterion) {
     let mut group = c.benchmark_group("protocol_round");
     group.sample_size(10);
     let n = 8;
     let msgs = 16;
-    let protos: Vec<(&str, Box<dyn Fn() -> Box<dyn Multicast>>)> = vec![
+    let protos: Vec<(&str, ProtoFactory)> = vec![
         ("besteffort", Box::new(|| Box::new(BestEffort::new()))),
         ("reliable", Box::new(|| Box::new(Reliable::new()))),
         ("fifo", Box::new(|| Box::new(Fifo::new()))),

@@ -12,7 +12,10 @@ use psc_group::{
     TimerToken, Total,
 };
 use psc_simnet::{NodeId, SimConfig, SimNet, SimTime};
-use psc_telemetry::{json::JsonValue, Registry, Snapshot};
+use psc_telemetry::span::span_buckets;
+use psc_telemetry::{json::JsonValue, HistogramSnapshot, Registry, Snapshot};
+
+type MakeProto = fn() -> Box<dyn Multicast>;
 
 struct Boxed(Box<dyn Multicast>);
 
@@ -31,6 +34,12 @@ impl Multicast for Boxed {
     }
     fn on_recover(&mut self, io: &mut dyn GroupIo) {
         self.0.on_recover(io);
+    }
+    fn proto_name(&self) -> &'static str {
+        self.0.proto_name()
+    }
+    fn queue_depths(&self) -> Vec<(&'static str, u64)> {
+        self.0.queue_depths()
     }
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self.0.as_any_mut()
@@ -71,42 +80,60 @@ struct Row {
     msgs_per_bcast: f64,
     bytes_per_bcast: f64,
     delivery_ratio: f64,
+    /// End-to-end publish→deliver virtual latency of this QoS class
+    /// (`span.e2e.<protocol>` histogram over every delivery of the run).
+    latency: HistogramSnapshot,
     /// Protocol telemetry (`group.*` counters aggregated over the cluster).
     wire: Snapshot,
 }
 
-fn run(proto: &'static str, make: fn() -> Box<dyn Multicast>, loss: f64) -> Row {
+fn run(proto: &'static str, make: MakeProto, loss: f64) -> Row {
     let n = 8usize;
     let msgs = 20usize;
     let (mut sim, ids, registry) = cluster(n, loss, 1234, make);
     sim.run_until(SimTime::from_millis(1));
     sim.reset_stats();
+    // Publishes land on a known virtual-time grid; the payload's first byte
+    // is the message index, so each delivery's end-to-end latency is its
+    // timestamp minus the recorded publish instant.
+    let mut publish_at_us = vec![0u64; msgs];
     for m in 0..msgs {
+        publish_at_us[m] = sim.now().as_micros();
         GroupNode::broadcast(&mut sim, ids[m % n], vec![m as u8; 32]);
         let next = sim.now() + psc_simnet::Duration::from_millis(5);
         sim.run_until(next);
     }
     sim.run_until(sim.now() + psc_simnet::Duration::from_secs(3));
 
-    let total_deliveries: usize = ids
-        .iter()
-        .map(|&id| GroupNode::delivered(&mut sim, id).len())
-        .sum();
+    let latency = registry.histogram(&format!("span.e2e.{proto}"), &span_buckets());
+    let mut total_deliveries = 0usize;
+    for &id in &ids {
+        for (_origin, payload, at) in GroupNode::delivered_timed(&mut sim, id) {
+            total_deliveries += 1;
+            let m = payload[0] as usize;
+            latency.record(at.as_micros().saturating_sub(publish_at_us[m]));
+        }
+    }
     let expected = msgs * n;
+    let snapshot = registry.snapshot();
     Row {
         proto,
         loss,
         msgs_per_bcast: sim.stats().sent as f64 / msgs as f64,
         bytes_per_bcast: sim.stats().bytes_sent as f64 / msgs as f64,
         delivery_ratio: total_deliveries as f64 / expected as f64,
-        wire: registry.snapshot(),
+        latency: snapshot
+            .histogram(&format!("span.e2e.{proto}"))
+            .cloned()
+            .expect("latency histogram recorded"),
+        wire: snapshot,
     }
 }
 
 /// Crash BOTH the subscriber (before the broadcast) and the publisher
 /// (after it): a volatile retransmission log dies with the publisher, a
 /// persistent one (certified) survives.
-fn crash_recovery_run(proto: &'static str, make: fn() -> Box<dyn Multicast>) -> (usize, usize) {
+fn crash_recovery_run(proto: &'static str, make: MakeProto) -> (usize, usize) {
     let (mut sim, ids, _registry) = cluster(3, 0.0, 7, make);
     sim.run_until(SimTime::from_millis(1));
     sim.crash(ids[2]);
@@ -124,7 +151,7 @@ fn crash_recovery_run(proto: &'static str, make: fn() -> Box<dyn Multicast>) -> 
 
 fn main() {
     println!("E3: delivery semantics — overhead, completeness, latency (8 nodes, 20 broadcasts)\n");
-    let protos: [(&'static str, fn() -> Box<dyn Multicast>); 6] = [
+    let protos: [(&'static str, MakeProto); 6] = [
         ("besteffort", || Box::new(BestEffort::new())),
         ("reliable", || Box::new(Reliable::new())),
         ("fifo", || Box::new(Fifo::new())),
@@ -139,6 +166,9 @@ fn main() {
         "msgs/bcast",
         "bytes/bcast",
         "delivery ratio",
+        "p50 µs",
+        "p90 µs",
+        "p99 µs",
     ]);
     let mut json_rows = JsonValue::arr();
     for loss in [0.0, 0.05, 0.20] {
@@ -150,6 +180,9 @@ fn main() {
                 fmt_f(row.msgs_per_bcast),
                 fmt_f(row.bytes_per_bcast),
                 format!("{:.3}", row.delivery_ratio),
+                row.latency.percentile(0.50).to_string(),
+                row.latency.percentile(0.90).to_string(),
+                row.latency.percentile(0.99).to_string(),
             ]);
             json_rows = json_rows.push(
                 JsonValue::obj()
@@ -158,6 +191,16 @@ fn main() {
                     .set("msgs_per_bcast", row.msgs_per_bcast)
                     .set("bytes_per_bcast", row.bytes_per_bcast)
                     .set("delivery_ratio", row.delivery_ratio)
+                    .set(
+                        "latency_us",
+                        JsonValue::obj()
+                            .set("count", row.latency.count)
+                            .set("mean", row.latency.mean())
+                            .set("p50", row.latency.percentile(0.50))
+                            .set("p90", row.latency.percentile(0.90))
+                            .set("p99", row.latency.percentile(0.99))
+                            .set("max", row.latency.max),
+                    )
                     .set("metrics", row.wire.to_json()),
             );
         }

@@ -31,8 +31,8 @@ fn run(dgc: DgcMode, subscribers: usize, crashers: usize) -> (bool, bool) {
     let obj = TokenStub::export(&rts[0], Arc::new(TokenImpl));
 
     let mut healthy = Vec::new();
-    for i in 1..=subscribers {
-        let stub = TokenStub::attach(&rts[i], obj).expect("attach");
+    for (i, rt) in rts.iter().enumerate().skip(1).take(subscribers) {
+        let stub = TokenStub::attach(rt, obj).expect("attach");
         if i <= crashers {
             stub.leak(); // crashed: never cleans, never renews
         } else {

@@ -22,7 +22,7 @@ use std::time::Instant;
 use psc_bench::{fmt_f, quote_obvents, write_bench_json, BenchQuote, Table};
 use psc_codec::WireBytes;
 use psc_dace::{DaceConfig, DaceNode};
-use psc_obvent::{Obvent, WireObvent};
+use psc_obvent::WireObvent;
 use psc_simnet::{NodeId, SimConfig, SimNet, SimTime};
 use psc_telemetry::json::JsonValue;
 use psc_telemetry::{Registry, Snapshot, Tracer};

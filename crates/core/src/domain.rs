@@ -66,11 +66,13 @@ pub trait Dissemination: Send + Sync {
     fn unsubscribe(&self, id: SubId) -> Result<(), UnsubscribeError>;
 }
 
+/// Erased decode + local-filter + handler pipeline.
+type Dispatch = Arc<dyn Fn(&WireObvent) + Send + Sync>;
+
 struct SubEntry {
     kind: KindId,
     remote_filter: Option<RemoteFilter>,
-    /// Erased decode + local-filter + handler pipeline.
-    dispatch: Arc<dyn Fn(&WireObvent) + Send + Sync>,
+    dispatch: Dispatch,
     active: bool,
     durable_id: Option<u64>,
 }
@@ -273,9 +275,9 @@ impl Domain {
     ) -> Subscription {
         let kind = O::kind();
         let local = filter.local.clone();
-        let dispatch: Arc<dyn Fn(&WireObvent) + Send + Sync> = Arc::new(move |wire| {
+        let dispatch: Dispatch = Arc::new(move |wire| {
             if let Ok(obvent) = wire.decode_as::<O>() {
-                if local.as_ref().map_or(true, |f| f.eval(&obvent)) {
+                if local.as_ref().is_none_or(|f| f.eval(&obvent)) {
                     handler(obvent);
                 }
             }
@@ -293,9 +295,9 @@ impl Domain {
         handler: impl Fn(ObventView) + Send + Sync + 'static,
     ) -> Subscription {
         let local = filter.local.clone();
-        let dispatch: Arc<dyn Fn(&WireObvent) + Send + Sync> = Arc::new(move |wire| {
+        let dispatch: Dispatch = Arc::new(move |wire| {
             if let Ok(view) = wire.view() {
-                if local.as_ref().map_or(true, |f| f.eval(&view)) {
+                if local.as_ref().is_none_or(|f| f.eval(&view)) {
                     handler(view);
                 }
             }
@@ -307,7 +309,7 @@ impl Domain {
         &self,
         kind: &'static ObventKind,
         remote_filter: Option<RemoteFilter>,
-        dispatch: Arc<dyn Fn(&WireObvent) + Send + Sync>,
+        dispatch: Dispatch,
     ) -> Subscription {
         let id = SubId(self.inner.next_id.fetch_add(1, Ordering::SeqCst));
         let entry = SubEntry {
@@ -365,7 +367,7 @@ impl DomainInner {
         // Lazily computed dynamic view shared by all remote filters.
         let mut view: Option<Option<ObventView>> = None;
         let subs = self.subs.read();
-        let mut jobs: Vec<(SubId, Arc<dyn Fn(&WireObvent) + Send + Sync>)> = Vec::new();
+        let mut jobs: Vec<(SubId, Dispatch)> = Vec::new();
         for (&id, entry) in subs.iter() {
             if !entry.active {
                 continue;

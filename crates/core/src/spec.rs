@@ -73,7 +73,7 @@ impl<O: ?Sized> FilterSpec<O> {
             && self
                 .remote
                 .as_ref()
-                .map_or(true, RemoteFilter::is_pass_all)
+                .is_none_or(RemoteFilter::is_pass_all)
     }
 }
 

@@ -15,7 +15,7 @@
 
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, TryRecvError};
+use crossbeam::channel::{unbounded, Receiver};
 
 use psc_obvent::Obvent;
 
@@ -41,10 +41,7 @@ impl<O: Obvent> ObventStream<O> {
 
     /// Non-blocking poll.
     pub fn try_recv(&self) -> Option<O> {
-        match self.rx.try_recv() {
-            Ok(obvent) => Some(obvent),
-            Err(TryRecvError::Empty | TryRecvError::Disconnected) => None,
-        }
+        self.rx.try_recv().ok()
     }
 
     /// Blocks up to `timeout` for the next obvent.

@@ -84,7 +84,7 @@ mod primitives {
         let h = hits.clone();
         // A filter the rfilter! grammar cannot express: non-constant logic.
         let s = subscribe!(domain, (q: StockQuote)
-            where local |q: &StockQuote| q.company().len() % 2 == 0
+            where local |q: &StockQuote| q.company().len().is_multiple_of(2)
             => {
                 let _ = q;
                 h.fetch_add(1, Ordering::SeqCst);

@@ -36,6 +36,11 @@ pub struct DaceConfig {
     /// published kinds), providing anti-entropy under loss and for late
     /// joiners.
     pub announce_interval: Duration,
+    /// Stall-watchdog sweep period. `None` (the default) disables the
+    /// watchdog and leaves the simulator's event schedule untouched; when
+    /// set, the node periodically feeds its transmit/parked/channel queue
+    /// depths into a health monitor that emits `health.*` metrics.
+    pub watchdog: Option<Duration>,
 }
 
 impl Default for DaceConfig {
@@ -45,6 +50,7 @@ impl Default for DaceConfig {
             gossip: None,
             transmit_interval: Duration::from_micros(100),
             announce_interval: Duration::from_millis(200),
+            watchdog: None,
         }
     }
 }

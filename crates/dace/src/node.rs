@@ -20,7 +20,9 @@ use psc_group::{
 use psc_obvent::qos::{Delivery, Ordering, QosSpec};
 use psc_obvent::{builtin, KindId, KindRole, Obvent, WireObvent};
 use psc_simnet::{Ctx, Node, NodeId, ScopedStorage, SimNet, SimTime, TimerId};
-use psc_telemetry::{Registry, TraceId, TraceStage, Tracer};
+use psc_telemetry::{
+    FlightRecorder, HealthMonitor, Inspect, Registry, ReportBuilder, TraceId, TraceStage, Tracer,
+};
 use pubsub_core::{
     DeliverySink, Dissemination, Domain, ExecMode, PublishError, SubId, SubscribeError,
     SubscriptionRecord, UnsubscribeError,
@@ -142,6 +144,8 @@ enum DaceTimer {
     Announce,
     Transmit,
     Channel(KindId, TimerToken),
+    /// Periodic stall-watchdog sweep ([`DaceConfig::watchdog`]).
+    Watchdog,
 }
 
 struct TransmitItem {
@@ -324,6 +328,12 @@ pub struct DaceNode {
     telemetry: Arc<Registry>,
     /// Causal event recorder for wire-carried [`TraceId`]s.
     tracer: Arc<Tracer>,
+    /// Per-node flight recorder (publishes, deliveries, expiries, health
+    /// findings); externally owned so post-mortems survive crash rebuilds.
+    recorder: Option<Arc<FlightRecorder>>,
+    /// Stall-watchdog state machine, fed by [`DaceConfig::watchdog`]
+    /// sweeps; externally owned so watermarks survive crash rebuilds.
+    health: Option<Arc<HealthMonitor>>,
     /// Per-node publish counter minting deterministic trace ids.
     trace_seq: u64,
     /// Trace id of the most recent local publish (diagnostics).
@@ -354,6 +364,22 @@ impl DaceNode {
         telemetry: Arc<Registry>,
         tracer: Arc<Tracer>,
     ) -> DaceNode {
+        DaceNode::with_observability(cluster, config, telemetry, tracer, None, None)
+    }
+
+    /// Full observability wiring: in addition to the registry and tracer,
+    /// an optional per-node [`FlightRecorder`] (post-mortem ring) and an
+    /// optional [`HealthMonitor`] driven by the [`DaceConfig::watchdog`]
+    /// sweep timer. All shared handles are externally owned so diagnosis
+    /// state survives crash–recover rebuilds.
+    pub fn with_observability(
+        cluster: Vec<NodeId>,
+        config: DaceConfig,
+        telemetry: Arc<Registry>,
+        tracer: Arc<Tracer>,
+        recorder: Option<Arc<FlightRecorder>>,
+        health: Option<Arc<HealthMonitor>>,
+    ) -> DaceNode {
         let ops: Arc<Mutex<VecDeque<BackendOp>>> = Arc::new(Mutex::new(VecDeque::new()));
         let backend_ops = Arc::clone(&ops);
         let domain = Domain::with_backend(ExecMode::Inline, move |_sink| {
@@ -383,6 +409,8 @@ impl DaceNode {
             stats: DaceStats::default(),
             telemetry,
             tracer,
+            recorder,
+            health,
             trace_seq: 0,
             last_trace: TraceId::NONE,
         }
@@ -412,6 +440,28 @@ impl DaceNode {
                 config.clone(),
                 Arc::clone(&telemetry),
                 Arc::clone(&tracer),
+            ))
+        }
+    }
+
+    /// Like [`DaceNode::factory_with_telemetry`] with the full diagnosis
+    /// wiring of [`DaceNode::with_observability`].
+    pub fn factory_observable(
+        cluster: Vec<NodeId>,
+        config: DaceConfig,
+        telemetry: Arc<Registry>,
+        tracer: Arc<Tracer>,
+        recorder: Option<Arc<FlightRecorder>>,
+        health: Option<Arc<HealthMonitor>>,
+    ) -> impl FnMut() -> Box<dyn Node> + 'static {
+        move || {
+            Box::new(DaceNode::with_observability(
+                cluster.clone(),
+                config.clone(),
+                Arc::clone(&telemetry),
+                Arc::clone(&tracer),
+                recorder.clone(),
+                health.clone(),
             ))
         }
     }
@@ -469,6 +519,12 @@ impl DaceNode {
         sim.node_mut::<DaceNode>(node)
             .map(|n| n.stats)
             .unwrap_or_default()
+    }
+
+    /// Renders the node's deterministic state report ([`Inspect`]); `None`
+    /// when the node is down.
+    pub fn inspect_of(sim: &mut SimNet, node: NodeId) -> Option<String> {
+        sim.node_mut::<DaceNode>(node).map(|n| n.inspect())
     }
 
     /// Trace id of the node's most recent publish ([`TraceId::NONE`] if the
@@ -573,7 +629,7 @@ impl DaceNode {
                 filter: filter_bytes.to_vec(),
             };
             ctx.storage()
-                .put(&format!("dursub/{durable_id:020}"), &durable)
+                .put(format!("dursub/{durable_id:020}"), &durable)
                 .expect("durable record serialization cannot fail");
             self.durable_pending.remove(&durable_id);
         }
@@ -695,24 +751,31 @@ impl DaceNode {
         let trace = TraceId::mint(self.me().0, self.trace_seq);
         wire.set_trace(trace);
         self.last_trace = trace;
+        let qos = wire.qos();
         if self.telemetry.is_enabled() {
             let kname = kind_name(kind);
             self.telemetry.bump("dace.published", 1);
             self.telemetry
                 .bump(&format!("dace.channel.{kname}.published"), 1);
         }
-        if self.tracer.is_enabled() {
-            self.tracer.record(
-                trace,
-                ctx.now().as_micros(),
-                TraceStage::Publish,
-                format!("kind={} at=n{}", kind_name(kind), self.me().0),
+        if self.tracer.is_enabled() || self.recorder.is_some() {
+            // The `sem=` token keys the derived `span.e2e.<class>`
+            // histograms by the publish's QoS class.
+            let detail = format!(
+                "kind={} at=n{} sem={}",
+                kind_name(kind),
+                self.me().0,
+                qos_class(&qos)
             );
+            if let Some(recorder) = &self.recorder {
+                recorder.record(ctx.now().as_micros(), "publish", format!("{trace} {detail}"));
+            }
+            self.tracer
+                .record(trace, ctx.now().as_micros(), TraceStage::Publish, detail);
         }
         if self.published_kinds.insert(kind) {
             self.advertise(ctx, kind);
         }
-        let qos = wire.qos();
         self.ensure_channel(ctx, kind);
         if self.channels.get(&kind).expect("ensured").proto.is_some() {
             self.telemetry.bump("dace.group_broadcasts", 1);
@@ -828,6 +891,13 @@ impl DaceNode {
                         TraceStage::Expired,
                         "in-queue".to_string(),
                     );
+                    if let Some(recorder) = &self.recorder {
+                        recorder.record(
+                            now.as_micros(),
+                            "expired",
+                            format!("{} in-queue", item.trace),
+                        );
+                    }
                     continue; // expired in the queue
                 }
             }
@@ -845,20 +915,26 @@ impl DaceNode {
     fn local_deliver(&mut self, ctx: &mut Ctx<'_>, wire: &WireObvent) {
         let matched = self.sink.deliver(wire);
         self.stats.delivered += matched as u64;
-        if matched > 0 {
-            if self.telemetry.is_enabled() {
+        if matched > 0
+            && self.telemetry.is_enabled() {
                 let kname = kind_name(wire.kind_id());
                 self.telemetry.bump("dace.delivered", matched as u64);
                 self.telemetry
                     .bump(&format!("dace.channel.{kname}.delivered"), matched as u64);
             }
-        }
         self.tracer.record(
             wire.trace_id(),
             ctx.now().as_micros(),
             TraceStage::Deliver,
             format!("at=n{} matched={matched}", self.me().0),
         );
+        if let Some(recorder) = &self.recorder {
+            recorder.record(
+                ctx.now().as_micros(),
+                "deliver",
+                format!("{} matched={matched}", wire.trace_id()),
+            );
+        }
         if matched == 0
             && self
                 .durable_pending
@@ -961,6 +1037,41 @@ impl DaceNode {
         }
     }
 
+    /// Arms the watchdog sweep timer when both the config interval and a
+    /// health monitor are present.
+    fn arm_watchdog(&mut self, ctx: &mut Ctx<'_>) {
+        if self.health.is_none() {
+            return;
+        }
+        if let Some(interval) = self.config.watchdog {
+            let id = ctx.set_timer(interval);
+            self.timer_map.insert(id, DaceTimer::Watchdog);
+        }
+    }
+
+    /// One watchdog sweep: transmit/parked depths, every live channel
+    /// protocol's queue depths (prefixed with the channel's kind name), and
+    /// the counter snapshot, in a stable order.
+    fn watchdog_sweep(&mut self, now: SimTime) {
+        let Some(health) = &self.health else { return };
+        let mut depths: Vec<(String, u64)> = vec![
+            ("dace.transmit".to_string(), self.transmit.len() as u64),
+            ("dace.parked".to_string(), self.parked.len() as u64),
+        ];
+        let mut kinds: Vec<KindId> = self.channels.keys().copied().collect();
+        kinds.sort();
+        for kind in kinds {
+            let channel = &self.channels[&kind];
+            if let Some(proto) = &channel.proto {
+                let kname = kind_name(kind);
+                for (name, depth) in proto.queue_depths() {
+                    depths.push((format!("{kname}.{name}"), depth));
+                }
+            }
+        }
+        health.sweep(now.as_micros(), &depths, &self.telemetry.snapshot());
+    }
+
     fn announce(&mut self, ctx: &mut Ctx<'_>) {
         // Re-flood subscriptions (anti-entropy under loss / for restarts).
         let me = self.me();
@@ -1048,6 +1159,9 @@ impl GroupIo for ChannelIo<'_, '_> {
     }
 
     fn deliver(&mut self, origin: NodeId, payload: WireBytes) {
+        // Same counter as the standalone group host, so span-vs-counter
+        // cross-checks read identically in both deployments.
+        self.telemetry.bump("group.delivered", 1);
         self.delivered.push((origin, payload));
     }
 
@@ -1144,6 +1258,7 @@ impl Node for DaceNode {
         self.ensure_id(ctx);
         let id = ctx.set_timer(self.config.announce_interval);
         self.timer_map.insert(id, DaceTimer::Announce);
+        self.arm_watchdog(ctx);
         self.flush(ctx);
     }
 
@@ -1163,6 +1278,10 @@ impl Node for DaceNode {
             Some(DaceTimer::Transmit) => self.drain_one_transmit(ctx),
             Some(DaceTimer::Channel(kind, token)) => {
                 self.with_channel_proto(ctx, kind, |proto, io| proto.on_timer(io, token));
+            }
+            Some(DaceTimer::Watchdog) => {
+                self.watchdog_sweep(ctx.now());
+                self.arm_watchdog(ctx);
             }
             None => {}
         }
@@ -1186,11 +1305,103 @@ impl Node for DaceNode {
         }
         let id = ctx.set_timer(self.config.announce_interval);
         self.timer_map.insert(id, DaceTimer::Announce);
+        self.arm_watchdog(ctx);
         self.flush(ctx);
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+}
+
+impl Inspect for DaceNode {
+    fn inspect(&self) -> String {
+        let mut report = ReportBuilder::new();
+        let me = match self.id {
+            Some(id) => format!("n{}", id.0),
+            None => "unassigned".to_string(),
+        };
+        report.section(format!("dace-node {me}"));
+        report.line(format!(
+            "cluster={}",
+            self.cluster
+                .iter()
+                .map(|n| format!("n{}", n.0))
+                .collect::<Vec<_>>()
+                .join(",")
+        ));
+        report.line(format!(
+            "stats published={} delivered={} direct_sent={} expired={} control_sent={}",
+            self.stats.published,
+            self.stats.delivered,
+            self.stats.direct_sent,
+            self.stats.expired,
+            self.stats.control_sent
+        ));
+        report.line(format!(
+            "queues transmit={} parked={} durable_pending={}",
+            self.transmit.len(),
+            self.parked.len(),
+            self.durable_pending.len()
+        ));
+
+        let mut subs: Vec<(u64, &LocalSub)> =
+            self.local_subs.iter().map(|(&id, sub)| (id, sub)).collect();
+        subs.sort_by_key(|(id, _)| *id);
+        report.section(format!("subscriptions count={}", subs.len()));
+        for (id, sub) in subs {
+            let mut joined: Vec<String> =
+                sub.joined.iter().map(|&k| kind_name(k)).collect();
+            joined.sort();
+            report.line(format!(
+                "sub={id} kind={} filtered={} durable={} joined={}",
+                kind_name(sub.record.kind),
+                sub.record.remote_filter.is_some(),
+                sub.record.durable_id.is_some(),
+                joined.join(",")
+            ));
+        }
+        report.end();
+
+        let mut kinds: Vec<KindId> = self.channels.keys().copied().collect();
+        kinds.sort();
+        report.section(format!("channels count={}", kinds.len()));
+        for kind in kinds {
+            let channel = &self.channels[&kind];
+            let proto = channel
+                .proto
+                .as_ref()
+                .map(|p| p.proto_name())
+                .unwrap_or("direct");
+            report.section(format!(
+                "channel kind={} proto={proto} members={}",
+                kind_name(kind),
+                channel
+                    .members
+                    .iter()
+                    .map(|m| format!("n{}", m.0))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ));
+            let stats = channel.index.stats();
+            report.line(format!(
+                "filters={} predicates={} unique={} paths={} shared={}",
+                stats.filters,
+                stats.total_predicates,
+                stats.unique_predicates,
+                stats.paths,
+                stats.shared_nodes
+            ));
+            if let Some(proto) = &channel.proto {
+                for (name, depth) in proto.queue_depths() {
+                    report.line(format!("queue {name}={depth}"));
+                }
+            }
+            report.end();
+        }
+        report.end();
+        report.end();
+        report.finish()
     }
 }
 
@@ -1221,6 +1432,23 @@ fn transmission_params(
         }
     }
     (priority, deadline)
+}
+
+/// The stable QoS-class label of a publish (`reliable-fifo`, `certified`,
+/// `unreliable`, …), used as the `sem=` trace token keying the derived
+/// `span.e2e.<class>` latency histograms.
+fn qos_class(qos: &QosSpec) -> String {
+    let delivery = match qos.delivery {
+        Delivery::Unreliable => "unreliable",
+        Delivery::Reliable => "reliable",
+        Delivery::Certified => "certified",
+    };
+    match qos.ordering {
+        Ordering::None => delivery.to_string(),
+        Ordering::Fifo => format!("{delivery}-fifo"),
+        Ordering::Causal => format!("{delivery}-causal"),
+        Ordering::Total => format!("{delivery}-total"),
+    }
 }
 
 /// Chooses the multicast protocol a channel's QoS demands; `None` selects

@@ -42,6 +42,8 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 
+use psc_telemetry::{Inspect, ReportBuilder};
+
 use crate::metrics::metrics;
 use crate::{CmpOp, EvalNode, Predicate, PropPath, PropertySource, RemoteFilter, Value};
 
@@ -792,4 +794,22 @@ fn conjunction_leaves(node: &EvalNode) -> Option<Vec<usize>> {
     }
     let mut leaves = Vec::new();
     collect(node, &mut leaves).then_some(leaves)
+}
+
+impl Inspect for FilterIndex {
+    fn inspect(&self) -> String {
+        let stats = self.stats();
+        let mut report = ReportBuilder::new();
+        report.section("filter-index");
+        report.line(format!(
+            "filters={} predicates={} unique={} paths={} shared_nodes={}",
+            stats.filters,
+            stats.total_predicates,
+            stats.unique_predicates,
+            stats.paths,
+            stats.shared_nodes
+        ));
+        report.end();
+        report.finish()
+    }
 }

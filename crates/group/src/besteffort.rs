@@ -61,6 +61,10 @@ impl Multicast for BestEffort {
         io.deliver(origin, payload);
     }
 
+    fn proto_name(&self) -> &'static str {
+        "besteffort"
+    }
+
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }

@@ -112,10 +112,7 @@ impl Causal {
         }
         self.pending.push(data);
         // Drain everything that became deliverable, to fixpoint.
-        loop {
-            let Some(pos) = self.pending.iter().position(|d| self.deliverable(d)) else {
-                break;
-            };
+        while let Some(pos) = self.pending.iter().position(|d| self.deliverable(d)) {
             let data = self.pending.swap_remove(pos);
             self.delivered
                 .insert(data.id.origin, (data.id.epoch, data.id.seq));
@@ -127,7 +124,7 @@ impl Causal {
         self.pending.retain(|d| {
             delivered
                 .get(&d.id.origin)
-                .map_or(true, |&(le, _)| d.id.epoch >= le)
+                .is_none_or(|&(le, _)| d.id.epoch >= le)
         });
     }
 }
@@ -175,6 +172,14 @@ impl Multicast for Causal {
 
     fn on_recover(&mut self, io: &mut dyn GroupIo) {
         self.epoch = io.now().as_millis();
+    }
+
+    fn proto_name(&self) -> &'static str {
+        "causal"
+    }
+
+    fn queue_depths(&self) -> Vec<(&'static str, u64)> {
+        vec![("causal.pending", self.pending_len() as u64)]
     }
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {

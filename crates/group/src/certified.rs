@@ -246,6 +246,14 @@ impl Multicast for Certified {
         self.arm_timer(io);
     }
 
+    fn proto_name(&self) -> &'static str {
+        "certified"
+    }
+
+    fn queue_depths(&self) -> Vec<(&'static str, u64)> {
+        vec![("certified.unacked", self.unacked_len() as u64)]
+    }
+
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }

@@ -136,6 +136,14 @@ impl Multicast for Fifo {
         self.epoch = io.now().as_millis();
     }
 
+    fn proto_name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn queue_depths(&self) -> Vec<(&'static str, u64)> {
+        vec![("fifo.holdback", self.holdback_len() as u64)]
+    }
+
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }

@@ -75,6 +75,21 @@ pub trait Multicast: Send {
     /// them here).
     fn on_start(&mut self, _io: &mut dyn GroupIo) {}
 
+    /// Stable short name used in health metrics and state reports
+    /// (`"fifo"`, `"total"`, …).
+    fn proto_name(&self) -> &'static str {
+        "multicast"
+    }
+
+    /// Named depths of the protocol's internal queues, `(name, depth)`
+    /// pairs in a stable order. Names are prefixed with the protocol
+    /// (`fifo.holdback`, `reliable.unacked`); the stall watchdog turns
+    /// them into `health.queue.<name>` gauges and stall detection, and the
+    /// introspection plane prints them. Default: no queues.
+    fn queue_depths(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
+
     /// Downcast support for host-side inspection; implement as
     /// `fn as_any_mut(&mut self) -> &mut dyn Any { self }`.
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;

@@ -62,6 +62,7 @@ pub use fifo::Fifo;
 pub use io::{GroupIo, Multicast, TimerToken};
 pub use lpbcast::{Lpbcast, LpbcastConfig};
 pub use reliable::Reliable;
+pub use sim_host::{GroupNode, Watchdog};
 pub use total::Total;
 
 #[cfg(test)]

@@ -176,6 +176,14 @@ impl Multicast for Lpbcast {
         io.set_timer(self.config.interval, GOSSIP);
     }
 
+    fn proto_name(&self) -> &'static str {
+        "lpbcast"
+    }
+
+    fn queue_depths(&self) -> Vec<(&'static str, u64)> {
+        vec![("lpbcast.buffer", self.buffer_len() as u64)]
+    }
+
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }

@@ -223,6 +223,14 @@ impl Multicast for Reliable {
         self.epoch = io.now().as_millis();
     }
 
+    fn proto_name(&self) -> &'static str {
+        "reliable"
+    }
+
+    fn queue_depths(&self) -> Vec<(&'static str, u64)> {
+        vec![("reliable.unacked", self.unacked_len() as u64)]
+    }
+
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }

@@ -11,29 +11,47 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use psc_codec::WireBytes;
-use psc_simnet::{Ctx, Node, NodeId, ScopedStorage, SimNet, TimerId};
-use psc_telemetry::Registry;
+use psc_simnet::{Ctx, Duration, Node, NodeId, ScopedStorage, SimNet, SimTime, TimerId};
+use psc_telemetry::{FlightRecorder, HealthMonitor, Inspect, Registry, ReportBuilder};
 
 use crate::io::{GroupIo, Multicast, TimerToken};
+
+/// Stall-watchdog wiring for a [`GroupNode`]: a sweep interval plus the
+/// (externally owned, crash-surviving) monitor the sweeps feed.
+#[derive(Clone)]
+pub struct Watchdog {
+    /// The per-node health state machine.
+    pub monitor: Arc<HealthMonitor>,
+    /// Virtual-time sweep period.
+    pub interval: Duration,
+}
 
 /// A simulated node hosting one multicast protocol instance.
 pub struct GroupNode {
     proto: Box<dyn Multicast>,
     members: Vec<NodeId>,
-    delivered: Vec<(NodeId, WireBytes)>,
+    delivered: Vec<(NodeId, WireBytes, SimTime)>,
     timer_tokens: HashMap<TimerId, TimerToken>,
     /// Per-node registry; protocol metrics land here under `group.*`. With
     /// [`GroupNode::boxed_with_telemetry`] this is an external registry that
     /// survives crash rebuilds (like an external monitoring system would).
     telemetry: Arc<Registry>,
+    /// Per-node flight recorder (deliveries and metric movements), external
+    /// like the registry so post-mortems survive crash rebuilds.
+    recorder: Option<Arc<FlightRecorder>>,
+    /// Stall watchdog; [`None`] leaves the simulator schedule untouched.
+    watchdog: Option<Watchdog>,
+    /// The armed watchdog sweep timer, kept apart from protocol timers.
+    watchdog_timer: Option<TimerId>,
 }
 
 struct HostIo<'a, 'b> {
     ctx: &'a mut Ctx<'b>,
     members: &'a [NodeId],
-    delivered: &'a mut Vec<(NodeId, WireBytes)>,
+    delivered: &'a mut Vec<(NodeId, WireBytes, SimTime)>,
     new_timers: &'a mut Vec<(psc_simnet::Duration, TimerToken)>,
     telemetry: &'a Registry,
+    recorder: Option<&'a FlightRecorder>,
 }
 
 impl GroupIo for HostIo<'_, '_> {
@@ -55,7 +73,15 @@ impl GroupIo for HostIo<'_, '_> {
 
     fn deliver(&mut self, origin: NodeId, payload: WireBytes) {
         self.telemetry.bump("group.delivered", 1);
-        self.delivered.push((origin, payload));
+        let now = self.ctx.now();
+        if let Some(recorder) = self.recorder {
+            recorder.record(
+                now.as_micros(),
+                "deliver",
+                format!("origin=n{} bytes={}", origin.0, payload.len()),
+            );
+        }
+        self.delivered.push((origin, payload, now));
     }
 
     fn set_timer(&mut self, after: psc_simnet::Duration, token: TimerToken) {
@@ -77,6 +103,9 @@ impl GroupIo for HostIo<'_, '_> {
         if self.telemetry.is_enabled() {
             self.telemetry.bump(&format!("group.{name}"), delta);
         }
+        if let Some(recorder) = self.recorder {
+            recorder.record_metric(self.ctx.now().as_micros(), name, delta);
+        }
     }
 }
 
@@ -96,12 +125,27 @@ impl GroupNode {
         proto: impl Multicast + 'static,
         telemetry: Arc<Registry>,
     ) -> Box<dyn Node> {
+        GroupNode::boxed_observable(proto, telemetry, None, None)
+    }
+
+    /// Full observability wiring: metrics registry, optional per-node
+    /// flight recorder, optional stall watchdog. All three are externally
+    /// owned so they survive crash–recover rebuilds of the node.
+    pub fn boxed_observable(
+        proto: impl Multicast + 'static,
+        telemetry: Arc<Registry>,
+        recorder: Option<Arc<FlightRecorder>>,
+        watchdog: Option<Watchdog>,
+    ) -> Box<dyn Node> {
         Box::new(GroupNode {
             proto: Box::new(proto),
             members: Vec::new(),
             delivered: Vec::new(),
             timer_tokens: HashMap::new(),
             telemetry,
+            recorder,
+            watchdog,
+            watchdog_timer: None,
         })
     }
 
@@ -118,6 +162,7 @@ impl GroupNode {
                 delivered: &mut self.delivered,
                 new_timers: &mut new_timers,
                 telemetry: &self.telemetry,
+                recorder: self.recorder.as_deref(),
             };
             f(self.proto.as_mut(), &mut io);
         }
@@ -125,6 +170,28 @@ impl GroupNode {
             let id = ctx.set_timer(after);
             self.timer_tokens.insert(id, token);
         }
+    }
+
+    /// Arms (or re-arms) the watchdog sweep timer, if configured.
+    fn arm_watchdog(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(watchdog) = &self.watchdog {
+            self.watchdog_timer = Some(ctx.set_timer(watchdog.interval));
+        }
+    }
+
+    /// One watchdog sweep: feed every protocol queue depth and the current
+    /// counter snapshot into the health monitor.
+    fn watchdog_sweep(&mut self, now: SimTime) {
+        let Some(watchdog) = &self.watchdog else { return };
+        let depths: Vec<(String, u64)> = self
+            .proto
+            .queue_depths()
+            .into_iter()
+            .map(|(name, depth)| (name.to_string(), depth))
+            .collect();
+        watchdog
+            .monitor
+            .sweep(now.as_micros(), &depths, &self.telemetry.snapshot());
     }
 
     // ---- static driver helpers (used by tests and experiments) ----
@@ -158,10 +225,29 @@ impl GroupNode {
             Some(this) => this
                 .delivered
                 .iter()
-                .map(|(origin, payload)| (*origin, payload.to_vec()))
+                .map(|(origin, payload, _at)| (*origin, payload.to_vec()))
                 .collect(),
             None => Vec::new(),
         }
+    }
+
+    /// Like [`GroupNode::delivered`] but with each delivery's virtual
+    /// timestamp — the raw material for end-to-end latency measurement.
+    pub fn delivered_timed(sim: &mut SimNet, node: NodeId) -> Vec<(NodeId, Vec<u8>, SimTime)> {
+        match sim.node_mut::<GroupNode>(node) {
+            Some(this) => this
+                .delivered
+                .iter()
+                .map(|(origin, payload, at)| (*origin, payload.to_vec(), *at))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Renders `node`'s deterministic state report ([`Inspect`]); `None`
+    /// when the node is down.
+    pub fn inspect_node(sim: &mut SimNet, node: NodeId) -> Option<String> {
+        sim.node_mut::<GroupNode>(node).map(|this| this.inspect())
     }
 
     /// Just the payloads, in delivery order.
@@ -188,6 +274,7 @@ impl GroupNode {
 impl Node for GroupNode {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         self.with_io(ctx, |proto, io| proto.on_start(io));
+        self.arm_watchdog(ctx);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, payload: &[u8]) {
@@ -195,6 +282,11 @@ impl Node for GroupNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: TimerId) {
+        if self.watchdog_timer == Some(timer) {
+            self.watchdog_sweep(ctx.now());
+            self.arm_watchdog(ctx);
+            return;
+        }
         if let Some(token) = self.timer_tokens.remove(&timer) {
             self.with_io(ctx, |proto, io| proto.on_timer(io, token));
         }
@@ -202,9 +294,38 @@ impl Node for GroupNode {
 
     fn on_recover(&mut self, ctx: &mut Ctx<'_>) {
         self.with_io(ctx, |proto, io| proto.on_recover(io));
+        self.arm_watchdog(ctx);
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+}
+
+impl Inspect for GroupNode {
+    fn inspect(&self) -> String {
+        let mut report = ReportBuilder::new();
+        report.section(format!("group-host proto={}", self.proto.proto_name()));
+        report.line(format!(
+            "members={}",
+            self.members
+                .iter()
+                .map(|m| format!("n{}", m.0))
+                .collect::<Vec<_>>()
+                .join(",")
+        ));
+        report.line(format!("delivered={}", self.delivered.len()));
+        let depths = self.proto.queue_depths();
+        if depths.is_empty() {
+            report.line("queues=none");
+        } else {
+            report.section("queues");
+            for (name, depth) in depths {
+                report.line(format!("{name}={depth}"));
+            }
+            report.end();
+        }
+        report.end();
+        report.finish()
     }
 }

@@ -448,6 +448,17 @@ impl Multicast for Total {
         self.rejoining = true;
     }
 
+    fn proto_name(&self) -> &'static str {
+        "total"
+    }
+
+    fn queue_depths(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("total.holdback", self.holdback_len() as u64),
+            ("total.pending_submits", self.pending_submits() as u64),
+        ]
+    }
+
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }

@@ -81,6 +81,81 @@ impl Multicast for BrokenFifo {
         io.deliver(NodeId(data.id.origin), data.payload);
     }
 
+    fn proto_name(&self) -> &'static str {
+        "broken-fifo"
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// A broadcast that relays but **never delivers** foreign messages: every
+/// remote publication is parked in an internal buffer forever. The
+/// completeness oracle sees the missing deliveries; the *point* of this
+/// defect is the stall watchdog — `stalling.buffer` is non-empty and
+/// non-draining sweep after sweep, so the run's health findings name the
+/// stuck queue and the flight-recorder post-mortem shows the obvents that
+/// went in and never came out.
+#[derive(Debug, Default)]
+pub struct Stalling {
+    next_seq: u64,
+    seen: HashSet<BrokenId>,
+    buffer: Vec<BrokenData>,
+}
+
+impl Stalling {
+    /// Creates a stalling instance.
+    pub fn new() -> Self {
+        Stalling::default()
+    }
+
+    fn relay(&self, io: &mut dyn GroupIo, data: &BrokenData) {
+        let me = io.self_id();
+        let bytes = psc_codec::to_wire_bytes(data).expect("stalling message encodes");
+        for member in io.members().to_vec() {
+            if member != me {
+                io.send(member, bytes.clone());
+            }
+        }
+    }
+}
+
+impl Multicast for Stalling {
+    fn broadcast(&mut self, io: &mut dyn GroupIo, payload: WireBytes) {
+        let me = io.self_id();
+        self.next_seq += 1;
+        let data = BrokenData {
+            id: BrokenId { origin: me.0, seq: self.next_seq },
+            payload: payload.clone(),
+        };
+        self.seen.insert(data.id);
+        self.relay(io, &data);
+        if io.members().contains(&me) {
+            io.deliver(me, payload);
+        }
+    }
+
+    fn on_message(&mut self, io: &mut dyn GroupIo, _from: NodeId, bytes: &[u8]) {
+        let Ok(data) = psc_codec::from_bytes::<BrokenData>(bytes) else {
+            return;
+        };
+        if !self.seen.insert(data.id) {
+            return;
+        }
+        self.relay(io, &data);
+        // The defect: park forever instead of delivering.
+        self.buffer.push(data);
+    }
+
+    fn proto_name(&self) -> &'static str {
+        "stalling"
+    }
+
+    fn queue_depths(&self) -> Vec<(&'static str, u64)> {
+        vec![("stalling.buffer", self.buffer.len() as u64)]
+    }
+
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }

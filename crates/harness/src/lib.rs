@@ -53,7 +53,10 @@ pub mod scenario;
 pub mod stack;
 pub mod trace;
 
-pub use oracle::Violation;
-pub use runner::{report, run_scenario, run_scenario_with, run_seed, shrink, RunOutcome};
+pub use oracle::{HealthFinding, Violation};
+pub use runner::{
+    check_scenario_with, post_mortem, post_mortem_json, report, run_scenario, run_scenario_with,
+    run_seed, shrink, RunOutcome,
+};
 pub use scenario::{Op, ProtocolKind, Scenario};
 pub use trace::{Delivery, PubRecord, Trace};

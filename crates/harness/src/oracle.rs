@@ -91,6 +91,24 @@ pub enum Violation {
     },
 }
 
+impl Violation {
+    /// The node a violation implicates — where to look first in the
+    /// per-node flight recorders when assembling a post-mortem. For
+    /// [`Violation::TotalOrderDisagreement`] (two nodes) this is the first.
+    pub fn node(&self) -> u64 {
+        match *self {
+            Violation::Ghost { node, .. }
+            | Violation::MisattributedOrigin { node, .. }
+            | Violation::Duplicate { node, .. }
+            | Violation::FifoOrder { node, .. }
+            | Violation::CausalOrder { node, .. }
+            | Violation::MissingDelivery { node, .. }
+            | Violation::TelemetryMismatch { node, .. } => node,
+            Violation::TotalOrderDisagreement { a, .. } => a,
+        }
+    }
+}
+
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
@@ -125,6 +143,65 @@ impl fmt::Display for Violation {
             ),
         }
     }
+}
+
+/// A non-fatal finding of the stall watchdog ([`check_health`]): some
+/// `health.*` counter fired during the run. Unlike a [`Violation`] this
+/// does not fail a seed — a queue legitimately backs up while a peer is
+/// crashed — but it is rendered into the report so a stalled obvent is
+/// visible next to the invariant verdicts, and the post-mortem names the
+/// stuck queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthFinding {
+    /// The health counter that fired (`health.stall.<queue>` or
+    /// `health.retransmit_storm`), summed over every node.
+    pub name: String,
+    /// How many sweeps flagged it.
+    pub count: u64,
+    /// Publish indices at least one node never delivered — the candidate
+    /// unprogressed obvents a stall points at.
+    pub undelivered: Vec<usize>,
+}
+
+impl fmt::Display for HealthFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} flagged {} sweep(s)", self.name, self.count)?;
+        if self.undelivered.is_empty() {
+            write!(f, "; every publish delivered everywhere")
+        } else {
+            write!(f, "; undelivered publishes: {:?}", self.undelivered)
+        }
+    }
+}
+
+/// The stall-watchdog oracle: scans the trace's folded wire counters for
+/// `health.stall.*` and `health.retransmit_storm` hits and pairs them with
+/// the publishes that never reached every node. Non-fatal — the findings
+/// ride along in [`RunOutcome`](crate::RunOutcome) instead of the
+/// violations list.
+pub fn check_health(trace: &Trace) -> Vec<HealthFinding> {
+    let mut undelivered: Vec<usize> = Vec::new();
+    for publish in &trace.publishes {
+        let everywhere = trace
+            .deliveries
+            .values()
+            .all(|log| log.iter().any(|d| d.index == publish.index));
+        if !everywhere {
+            undelivered.push(publish.index);
+        }
+    }
+    trace
+        .wire
+        .iter()
+        .filter(|(name, &count)| {
+            count > 0 && (name.starts_with("health.stall.") || *name == "health.retransmit_storm")
+        })
+        .map(|(name, &count)| HealthFinding {
+            name: name.clone(),
+            count,
+            undelivered: undelivered.clone(),
+        })
+        .collect()
 }
 
 /// No ghosts, no duplicates, correct origin attribution — holds for every

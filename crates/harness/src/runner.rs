@@ -17,13 +17,16 @@
 
 use std::sync::Arc;
 
-use psc_group::sim_host::GroupNode;
+use psc_group::sim_host::{GroupNode, Watchdog};
 use psc_group::{GroupIo, Multicast, TimerToken};
 use psc_simnet::{LatencyModel, NodeId, SimConfig, SimNet, SimTime};
 use psc_simnet::Duration as SimDuration;
-use psc_telemetry::Registry;
+use psc_telemetry::json::JsonValue;
+use psc_telemetry::{
+    FlightRecorder, HealthConfig, HealthMonitor, Registry, DEFAULT_FLIGHT_CAPACITY,
+};
 
-use crate::oracle::{self, Violation};
+use crate::oracle::{self, HealthFinding, Violation};
 use crate::scenario::{Op, ProtocolKind, Scenario};
 use crate::trace::{Delivery, PubRecord, Trace};
 
@@ -51,10 +54,19 @@ impl Multicast for BoxedProto {
     fn on_start(&mut self, io: &mut dyn GroupIo) {
         self.0.on_start(io);
     }
+    fn proto_name(&self) -> &'static str {
+        self.0.proto_name()
+    }
+    fn queue_depths(&self) -> Vec<(&'static str, u64)> {
+        self.0.queue_depths()
+    }
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self.0.as_any_mut()
     }
 }
+
+/// The stall-watchdog sweep period used by harness runs.
+const WATCHDOG_SWEEP: SimDuration = SimDuration::from_millis(50);
 
 /// What a run produced: the trace plus every oracle violation.
 #[derive(Debug, Clone)]
@@ -63,6 +75,10 @@ pub struct RunOutcome {
     pub trace: Trace,
     /// Oracle findings, empty on a healthy run.
     pub violations: Vec<Violation>,
+    /// Non-fatal stall-watchdog findings ([`oracle::check_health`]).
+    pub health: Vec<HealthFinding>,
+    /// Each node's flight recorder (index = node id), for post-mortems.
+    pub recorders: Vec<Arc<FlightRecorder>>,
 }
 
 fn encode_payload(index: usize) -> Vec<u8> {
@@ -106,11 +122,37 @@ pub fn run_scenario_with(scenario: &Scenario, make: ProtoFactory) -> RunOutcome 
     let registries: Vec<Arc<Registry>> = (0..scenario.nodes)
         .map(|_| Arc::new(Registry::new()))
         .collect();
+    // Per-node flight recorders and health monitors, owned out here like
+    // the registries so the diagnosis state survives crash rebuilds. The
+    // monitors write `health.*` into the same per-node registries, which is
+    // how stall counters end up folded into the trace for `check_health`.
+    let recorders: Vec<Arc<FlightRecorder>> = (0..scenario.nodes)
+        .map(|i| Arc::new(FlightRecorder::new(format!("n{i}"), DEFAULT_FLIGHT_CAPACITY)))
+        .collect();
+    let monitors: Vec<Arc<HealthMonitor>> = (0..scenario.nodes)
+        .map(|i| {
+            Arc::new(HealthMonitor::new(
+                registries[i].as_ref().clone(),
+                Some(Arc::clone(&recorders[i])),
+                HealthConfig::default(),
+            ))
+        })
+        .collect();
     for i in 0..scenario.nodes {
         let mk = Arc::clone(&make);
         let registry = Arc::clone(&registries[i]);
+        let recorder = Arc::clone(&recorders[i]);
+        let watchdog = Watchdog {
+            monitor: Arc::clone(&monitors[i]),
+            interval: WATCHDOG_SWEEP,
+        };
         sim.add_node(format!("h{i}"), move || {
-            GroupNode::boxed_with_telemetry(BoxedProto(mk()), Arc::clone(&registry))
+            GroupNode::boxed_observable(
+                BoxedProto(mk()),
+                Arc::clone(&registry),
+                Some(Arc::clone(&recorder)),
+                Some(watchdog.clone()),
+            )
         });
     }
     for &id in &ids {
@@ -285,7 +327,8 @@ pub fn run_scenario_with(scenario: &Scenario, make: ProtoFactory) -> RunOutcome 
     if scenario.expects_completeness() {
         violations.extend(oracle::check_complete(&trace));
     }
-    RunOutcome { trace, violations }
+    let health = oracle::check_health(&trace);
+    RunOutcome { trace, violations, health, recorders }
 }
 
 /// Renders a scenario and its outcome into the canonical report format.
@@ -298,6 +341,84 @@ pub fn report(scenario: &Scenario, outcome: &RunOutcome) -> String {
         out.push_str("violations:\n");
         for v in &outcome.violations {
             out.push_str(&format!("  {v}\n"));
+        }
+    }
+    if outcome.health.is_empty() {
+        out.push_str("health: ok\n");
+    } else {
+        out.push_str("health:\n");
+        for finding in &outcome.health {
+            out.push_str(&format!("  {finding}\n"));
+        }
+    }
+    out
+}
+
+/// The full deterministic text post-mortem of a run: the canonical report
+/// followed by every node's flight-recorder dump. Byte-stable across two
+/// runs of the same seed (everything in it derives from virtual time).
+pub fn post_mortem(scenario: &Scenario, outcome: &RunOutcome) -> String {
+    let mut out = format!("=== post-mortem seed={} ===\n", scenario.seed);
+    out.push_str(&report(scenario, outcome));
+    for recorder in &outcome.recorders {
+        out.push_str(&recorder.dump_text());
+    }
+    out
+}
+
+/// JSON rendering of [`post_mortem`] (same content, machine-readable).
+pub fn post_mortem_json(scenario: &Scenario, outcome: &RunOutcome) -> String {
+    let mut violations = JsonValue::arr();
+    for v in &outcome.violations {
+        violations = violations.push(v.to_string());
+    }
+    let mut health = JsonValue::arr();
+    for finding in &outcome.health {
+        health = health.push(finding.to_string());
+    }
+    let mut nodes = JsonValue::arr();
+    for recorder in &outcome.recorders {
+        nodes = nodes.push(recorder.dump_json());
+    }
+    JsonValue::obj()
+        .set("seed", scenario.seed)
+        .set("protocol", scenario.protocol.name())
+        .set("nodes_in_cluster", scenario.nodes)
+        .set("violations", violations)
+        .set("health", health)
+        .set("nodes", nodes)
+        .render()
+}
+
+/// Writes the text + JSON post-mortems of a failing run under
+/// `HARNESS_DUMP_DIR` (if set) and renders the failure context that goes
+/// into the seed's error report: the dump paths plus the last flight
+/// recorder events of the node the first violation implicates.
+fn dump_failure(seed: u64, scenario: &Scenario, outcome: &RunOutcome) -> String {
+    let mut out = String::new();
+    if let Some(v) = outcome.violations.first() {
+        let node = v.node();
+        if let Some(recorder) = outcome.recorders.get(node as usize) {
+            out.push_str(&format!("last flight-recorder events of node {node}:\n"));
+            for event in recorder.last(10) {
+                out.push_str(&format!("  {}\n", event.render()));
+            }
+        }
+    }
+    if let Ok(dir) = std::env::var("HARNESS_DUMP_DIR") {
+        let base = std::path::PathBuf::from(dir);
+        if std::fs::create_dir_all(&base).is_ok() {
+            let txt = base.join(format!("postmortem_seed{seed}.txt"));
+            let json = base.join(format!("postmortem_seed{seed}.json"));
+            let txt_ok = std::fs::write(&txt, post_mortem(scenario, outcome)).is_ok();
+            let json_ok = std::fs::write(&json, post_mortem_json(scenario, outcome)).is_ok();
+            if txt_ok && json_ok {
+                out.push_str(&format!(
+                    "post-mortem dumped to: {} and {}\n",
+                    txt.display(),
+                    json.display()
+                ));
+            }
         }
     }
     out
@@ -350,10 +471,21 @@ pub fn shrink(scenario: &Scenario, make: &ProtoFactory) -> Scenario {
 /// and returns a replayable report.
 pub fn check_seed(seed: u64) -> Result<(), String> {
     let scenario = Scenario::generate(seed);
-    let first = run_scenario(&scenario);
-    let second = run_scenario(&scenario);
-    let rendered = report(&scenario, &first);
-    if rendered != report(&scenario, &second) {
+    let protocol = scenario.protocol;
+    check_scenario_with(&scenario, Arc::new(move || protocol.make()))
+}
+
+/// The full [`check_seed`] pipeline — determinism check, invariant
+/// oracles, schedule shrinking, post-mortem dumping (`HARNESS_DUMP_DIR`) —
+/// against an arbitrary protocol factory, so defective or experimental
+/// protocols can be regression-pinned with the same failure workflow the
+/// fuzzer uses.
+pub fn check_scenario_with(scenario: &Scenario, make: ProtoFactory) -> Result<(), String> {
+    let seed = scenario.seed;
+    let first = run_scenario_with(scenario, Arc::clone(&make));
+    let second = run_scenario_with(scenario, Arc::clone(&make));
+    let rendered = report(scenario, &first);
+    if rendered != report(scenario, &second) {
         return Err(format!(
             "seed {seed}: NONDETERMINISM — two runs of the same scenario diverged\n\
              first run:\n{rendered}"
@@ -362,18 +494,18 @@ pub fn check_seed(seed: u64) -> Result<(), String> {
     if first.violations.is_empty() {
         return Ok(());
     }
-    let protocol = scenario.protocol;
-    let make: ProtoFactory = Arc::new(move || protocol.make());
-    let shrunk = shrink(&scenario, &make);
-    let shrunk_outcome = run_scenario(&shrunk);
+    let shrunk = shrink(scenario, &make);
+    let shrunk_outcome = run_scenario_with(&shrunk, make);
     Err(format!(
         "seed {seed} ({}, {} nodes): {} invariant violation(s)\n\
          replay with: HARNESS_SEED={seed} cargo test --test harness_smoke\n\
+         {}\
          === original run ===\n{}\
          === shrunk counterexample ({} ops) ===\n{}",
         scenario.protocol.name(),
         scenario.nodes,
         first.violations.len(),
+        dump_failure(seed, scenario, &first),
         rendered,
         shrunk.ops.len(),
         report(&shrunk, &shrunk_outcome),

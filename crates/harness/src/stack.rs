@@ -18,7 +18,11 @@ use psc_dace::{DaceConfig, DaceNode};
 use psc_filter::rfilter;
 use psc_obvent::builtin::Reliable;
 use psc_obvent::declare_obvent_model;
-use psc_simnet::{NodeId, SimConfig, SimNet, SimTime};
+use psc_simnet::{Duration, NodeId, SimConfig, SimNet, SimTime};
+use psc_telemetry::{
+    record_tracer_spans, FlightRecorder, HealthConfig, HealthMonitor, Registry, Tracer,
+    DEFAULT_FLIGHT_CAPACITY,
+};
 use pubsub_core::FilterSpec;
 
 declare_obvent_model! {
@@ -228,15 +232,24 @@ pub struct StackOutcome {
     pub got: Vec<Vec<u64>>,
     /// Routing-oracle findings, empty on a healthy run.
     pub violations: Vec<String>,
+    /// Number of obvent spans derived from the run's trace stream.
+    pub spans: usize,
+    /// End-to-end latency samples across those spans (one per delivery).
+    pub e2e_samples: usize,
 }
 
 impl StackOutcome {
-    /// Canonical rendering (the determinism check compares these).
+    /// Canonical rendering (the determinism check compares these — span
+    /// derivation included, so a non-reproducible span breaks the seed).
     pub fn render(&self) -> String {
         let mut out = String::new();
         for (i, (got, expected)) in self.got.iter().zip(&self.expected).enumerate() {
             out.push_str(&format!("  sub#{i} got={got:?} expected={expected:?}\n"));
         }
+        out.push_str(&format!(
+            "  spans={} e2e_samples={}\n",
+            self.spans, self.e2e_samples
+        ));
         out
     }
 }
@@ -284,10 +297,33 @@ pub fn run_stack(scenario: &StackScenario) -> StackOutcome {
 
     let mut sim = SimNet::new(SimConfig::with_seed(scenario.seed));
     let ids: Vec<NodeId> = (0..scenario.nodes as u64).map(NodeId).collect();
+    // Full observability wiring: a cluster-wide tracer feeding span
+    // derivation, plus a per-node registry / flight recorder / health
+    // monitor with the stall watchdog on — the stack fuzzer doubles as the
+    // determinism check for the whole diagnosis layer.
+    let tracer = Arc::new(Tracer::default());
+    let config = DaceConfig {
+        watchdog: Some(Duration::from_millis(50)),
+        ..DaceConfig::default()
+    };
     for i in 0..scenario.nodes {
+        let registry = Arc::new(Registry::new());
+        let recorder = Arc::new(FlightRecorder::new(format!("n{i}"), DEFAULT_FLIGHT_CAPACITY));
+        let monitor = Arc::new(HealthMonitor::new(
+            registry.as_ref().clone(),
+            Some(Arc::clone(&recorder)),
+            HealthConfig::default(),
+        ));
         sim.add_node(
             format!("s{i}"),
-            DaceNode::factory(ids.clone(), DaceConfig::default()),
+            DaceNode::factory_observable(
+                ids.clone(),
+                config.clone(),
+                registry,
+                Arc::clone(&tracer),
+                Some(recorder),
+                Some(monitor),
+            ),
         );
     }
     let sinks: Vec<Sink> = scenario
@@ -330,7 +366,21 @@ pub fn run_stack(scenario: &StackScenario) -> StackOutcome {
             ));
         }
     }
-    StackOutcome { expected, got, violations }
+
+    // Fold the trace stream into latency spans; a scratch registry absorbs
+    // the histograms (per-run, the counts are what the determinism check
+    // renders).
+    let span_registry = Registry::new();
+    let spans = record_tracer_spans(&tracer, &span_registry);
+    let e2e_samples = spans.iter().map(|s| s.e2e.len()).sum();
+
+    StackOutcome {
+        expected,
+        got,
+        violations,
+        spans: spans.len(),
+        e2e_samples,
+    }
 }
 
 /// Determinism + routing oracle for one stack seed; `Err` carries a full

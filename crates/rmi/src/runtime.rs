@@ -85,6 +85,9 @@ struct Exported {
     pinned: bool,
 }
 
+/// Reply channel of one in-flight remote call.
+type CallReply = Sender<Result<Vec<u8>, String>>;
+
 struct RtInner {
     node: NodeId,
     sender: EndpointSender,
@@ -95,7 +98,7 @@ struct RtInner {
     next_call: AtomicU64,
     next_object: AtomicU64,
     exported: Mutex<HashMap<u64, Exported>>,
-    pending: Mutex<HashMap<u64, Sender<Result<Vec<u8>, String>>>>,
+    pending: Mutex<HashMap<u64, CallReply>>,
     pending_lookups: Mutex<HashMap<u64, Sender<Option<RemoteRefData>>>>,
     names: Mutex<HashMap<String, RemoteRefData>>,
     call_timeout: Duration,

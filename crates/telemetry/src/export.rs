@@ -58,10 +58,14 @@ impl Snapshot {
         }
         for (name, h) in &self.histograms {
             out.push_str(&format!(
-                "histogram {name} count={} sum={} mean={:.2}\n",
+                "histogram {name} count={} sum={} mean={:.2} p50={} p90={} p99={} max={}\n",
                 h.count,
                 h.sum,
-                h.mean()
+                h.mean(),
+                h.percentile(0.50),
+                h.percentile(0.90),
+                h.percentile(0.99),
+                h.max,
             ));
             for (i, &bucket) in h.buckets.iter().enumerate() {
                 if bucket == 0 {
@@ -103,7 +107,11 @@ impl Snapshot {
                     .set("bounds", bounds)
                     .set("buckets", buckets)
                     .set("count", h.count)
-                    .set("sum", h.sum),
+                    .set("sum", h.sum)
+                    .set("max", h.max)
+                    .set("p50", h.percentile(0.50))
+                    .set("p90", h.percentile(0.90))
+                    .set("p99", h.percentile(0.99)),
             );
         }
         JsonValue::obj()

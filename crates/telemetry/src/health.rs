@@ -1,0 +1,161 @@
+//! The stall watchdog: turns periodic queue-depth sweeps into health
+//! metrics and flight-recorder events.
+//!
+//! A host (the group sim-host or the DACE node) arms a virtual-time timer
+//! and, each sweep, feeds its protocol queue depths and a counter snapshot
+//! into a [`HealthMonitor`]. The monitor keeps per-queue trend state and
+//! emits:
+//!
+//! - `health.queue.<name>` — current depth gauge;
+//! - `health.watermark.<name>` — high-watermark gauge (never decreases);
+//! - `health.stall.<name>` — counter bumped once per sweep in which the
+//!   queue has been non-empty and non-draining for
+//!   [`HealthConfig::stall_sweeps`] consecutive sweeps (an *unprogressed
+//!   obvent* signal — something is parked/held back and nothing is moving
+//!   it);
+//! - `health.retransmit_storm` — counter bumped when any `*.retransmits`
+//!   or `*.nacks` counter grows by at least [`HealthConfig::storm_delta`]
+//!   within one sweep interval.
+//!
+//! All state lives in `BTreeMap`s and all decisions depend only on
+//! virtual-time sweep inputs, so health output is deterministic under seed
+//! replay.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::export::Snapshot;
+use crate::metrics::Registry;
+use crate::recorder::FlightRecorder;
+
+/// Watchdog thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Consecutive non-draining, non-empty sweeps before a queue is
+    /// declared stalled.
+    pub stall_sweeps: u32,
+    /// Minimum per-sweep growth of a `*.retransmits` / `*.nacks` counter
+    /// that counts as a retransmit storm.
+    pub storm_delta: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> HealthConfig {
+        HealthConfig {
+            stall_sweeps: 3,
+            storm_delta: 32,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct DepthTrack {
+    last: u64,
+    watermark: u64,
+    /// Consecutive sweeps with `depth > 0 && depth >= last`.
+    stuck_sweeps: u32,
+}
+
+#[derive(Debug, Default)]
+struct HealthState {
+    depths: BTreeMap<String, DepthTrack>,
+    counters: BTreeMap<String, u64>,
+}
+
+/// Per-node watchdog state machine; see the module docs.
+#[derive(Debug)]
+pub struct HealthMonitor {
+    registry: Registry,
+    recorder: Option<Arc<FlightRecorder>>,
+    config: HealthConfig,
+    state: Mutex<HealthState>,
+}
+
+impl HealthMonitor {
+    /// A monitor recording into (a clone of) `registry` and, when given,
+    /// narrating findings into `recorder`.
+    pub fn new(
+        registry: Registry,
+        recorder: Option<Arc<FlightRecorder>>,
+        config: HealthConfig,
+    ) -> HealthMonitor {
+        HealthMonitor {
+            registry,
+            recorder,
+            config,
+            state: Mutex::new(HealthState::default()),
+        }
+    }
+
+    /// The thresholds in force.
+    pub fn config(&self) -> HealthConfig {
+        self.config
+    }
+
+    /// Feeds one queue's depth for the current sweep. `name` is the
+    /// queue's stable identifier (`fifo.holdback`, `dace.parked`, …).
+    pub fn observe_depth(&self, at_us: u64, name: &str, depth: u64) {
+        self.registry
+            .gauge(&format!("health.queue.{name}"))
+            .set(depth as i64);
+        let mut state = self.state.lock().expect("health monitor poisoned");
+        let track = state.depths.entry(name.to_string()).or_default();
+        if depth > track.watermark {
+            track.watermark = depth;
+            self.registry
+                .gauge(&format!("health.watermark.{name}"))
+                .set(depth as i64);
+        }
+        if depth > 0 && depth >= track.last {
+            track.stuck_sweeps += 1;
+        } else {
+            track.stuck_sweeps = 0;
+        }
+        track.last = depth;
+        if track.stuck_sweeps >= self.config.stall_sweeps {
+            self.registry.bump(&format!("health.stall.{name}"), 1);
+            if let Some(recorder) = &self.recorder {
+                recorder.record(
+                    at_us,
+                    "health.stall",
+                    format!(
+                        "queue={name} depth={depth} stuck_sweeps={}",
+                        track.stuck_sweeps
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Feeds a counter snapshot for the current sweep; detects retransmit
+    /// storms from the per-sweep growth of `*.retransmits` / `*.nacks`
+    /// counters.
+    pub fn observe_counters(&self, at_us: u64, snapshot: &Snapshot) {
+        let mut state = self.state.lock().expect("health monitor poisoned");
+        for (name, &value) in &snapshot.counters {
+            if !(name.ends_with(".retransmits") || name.ends_with(".nacks")) {
+                continue;
+            }
+            let last = state.counters.insert(name.clone(), value).unwrap_or(0);
+            let delta = value.saturating_sub(last);
+            if delta >= self.config.storm_delta {
+                self.registry.bump("health.retransmit_storm", 1);
+                if let Some(recorder) = &self.recorder {
+                    recorder.record(
+                        at_us,
+                        "health.retransmit_storm",
+                        format!("counter={name} delta={delta}"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Runs one full sweep: every queue depth, then the counter snapshot.
+    pub fn sweep(&self, at_us: u64, depths: &[(String, u64)], snapshot: &Snapshot) {
+        for (name, depth) in depths {
+            self.observe_depth(at_us, name, *depth);
+        }
+        self.observe_counters(at_us, snapshot);
+    }
+}

@@ -1,0 +1,62 @@
+//! The introspection plane: components render a deterministic,
+//! human-readable report of their current state.
+//!
+//! [`Inspect`] is deliberately tiny — one method, one `String` — so it can
+//! be implemented by every layer (the DACE node, group protocol hosts, the
+//! filter index) without dragging their types into this crate. Reports are
+//! line-oriented, name-sorted and free of addresses or wall-clock values,
+//! so a report is byte-stable across replays of one seed and can be
+//! asserted verbatim in tests.
+
+/// Render a deterministic state report.
+pub trait Inspect {
+    /// The component's current state as indented `key=value` lines.
+    ///
+    /// Implementations must emit collections in a stable order (sorted by
+    /// key) and must not include memory addresses, wall-clock times or
+    /// other run-varying values.
+    fn inspect(&self) -> String;
+}
+
+/// A small indenting line builder for [`Inspect`] implementations — keeps
+/// reports structurally uniform across the stack.
+#[derive(Debug, Default)]
+pub struct ReportBuilder {
+    out: String,
+    indent: usize,
+}
+
+impl ReportBuilder {
+    /// An empty report.
+    pub fn new() -> ReportBuilder {
+        ReportBuilder::default()
+    }
+
+    /// Appends one line at the current indent.
+    pub fn line(&mut self, text: impl AsRef<str>) -> &mut Self {
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+        self.out.push_str(text.as_ref());
+        self.out.push('\n');
+        self
+    }
+
+    /// Appends a header line and indents subsequent lines one step.
+    pub fn section(&mut self, header: impl AsRef<str>) -> &mut Self {
+        self.line(header);
+        self.indent += 1;
+        self
+    }
+
+    /// Ends the innermost section.
+    pub fn end(&mut self) -> &mut Self {
+        self.indent = self.indent.saturating_sub(1);
+        self
+    }
+
+    /// The accumulated report.
+    pub fn finish(&self) -> String {
+        self.out.clone()
+    }
+}

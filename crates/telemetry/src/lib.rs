@@ -18,7 +18,13 @@
 //!    from `(node, publish seq)` and events are stamped with virtual time;
 //! 3. **exporters**: canonical text ([`Snapshot::render_text`]) and
 //!    machine-readable JSON ([`Snapshot::render_json`], [`json::JsonValue`])
-//!    feeding the `BENCH_*.json` perf trajectory.
+//!    feeding the `BENCH_*.json` perf trajectory;
+//! 4. a **diagnosis layer**: latency [`span`]s derived from the trace
+//!    stream (per-stage and per-QoS-class end-to-end histograms with
+//!    p50/p90/p99/max), a per-node [`recorder::FlightRecorder`] that dumps
+//!    deterministic post-mortems, a stall watchdog
+//!    ([`health::HealthMonitor`]) sweeping protocol queue depths, and an
+//!    [`Inspect`] trait for deterministic state reports.
 //!
 //! The crate is dependency-free (serde only) and sits at the bottom of the
 //! workspace DAG so every layer — `psc-codec`, `psc-group`, `psc-dace`,
@@ -38,14 +44,22 @@
 //! ```
 
 mod export;
+pub mod health;
+pub mod inspect;
 pub mod json;
 mod metrics;
+pub mod recorder;
+pub mod span;
 mod trace;
 
 pub use export::Snapshot;
+pub use health::{HealthConfig, HealthMonitor};
+pub use inspect::{Inspect, ReportBuilder};
 pub use metrics::{
     exp_buckets, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
 };
+pub use recorder::{FlightEvent, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
+pub use span::{derive_spans, record_spans, record_tracer_spans, ObventSpan, SpanStage};
 pub use trace::{TraceEvent, TraceId, TraceStage, Tracer, DEFAULT_TRACE_CAPACITY};
 
 use std::sync::OnceLock;

@@ -36,6 +36,9 @@ struct HistogramCell {
     buckets: Vec<AtomicU64>,
     count: AtomicU64,
     sum: AtomicU64,
+    /// Largest observed value — exact, so percentile estimation has a real
+    /// upper edge for the otherwise unbounded overflow bucket.
+    max: AtomicU64,
 }
 
 impl HistogramCell {
@@ -46,6 +49,7 @@ impl HistogramCell {
             buckets,
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
         }
     }
 
@@ -54,6 +58,7 @@ impl HistogramCell {
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
     }
 }
 
@@ -170,6 +175,11 @@ impl Histogram {
     pub fn sum(&self) -> u64 {
         self.cell.sum.load(Ordering::Relaxed)
     }
+
+    /// Largest observation so far (0 before any recording).
+    pub fn max(&self) -> u64 {
+        self.cell.max.load(Ordering::Relaxed)
+    }
 }
 
 /// Point-in-time image of one histogram.
@@ -184,16 +194,55 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of all observed values.
     pub sum: u64,
+    /// Largest observed value (0 with no observations).
+    pub max: u64,
 }
 
 impl HistogramSnapshot {
-    /// Mean observation, or 0 with no observations.
+    /// Mean observation. Defined as 0 for an empty histogram (never
+    /// NaN), and computed from the exact running `sum`, so it is not
+    /// subject to bucket-resolution error — including values that landed
+    /// in the overflow bucket.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
+            return 0.0;
         }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0,1]`, clamped) from the fixed
+    /// buckets.
+    ///
+    /// The estimate is the inclusive upper bound of the bucket holding the
+    /// rank-`⌈q·count⌉` observation — a conservative (never optimistic)
+    /// figure that is exactly reproducible across runs. Two refinements
+    /// keep the tails honest:
+    ///
+    /// - the overflow bucket reports the exact tracked [`max`], not
+    ///   `+inf`;
+    /// - any estimate is capped at [`max`], so a single-bucket histogram
+    ///   reports its real extremum rather than a coarse bound.
+    ///
+    /// Returns 0 for an empty histogram.
+    ///
+    /// [`max`]: HistogramSnapshot::max
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                return match self.bounds.get(i) {
+                    Some(&bound) => bound.min(self.max),
+                    None => self.max, // overflow bucket
+                };
+            }
+        }
+        self.max
     }
 }
 
@@ -339,6 +388,7 @@ impl Registry {
                                 .collect(),
                             count: cell.count.load(Ordering::Relaxed),
                             sum: cell.sum.load(Ordering::Relaxed),
+                            max: cell.max.load(Ordering::Relaxed),
                         },
                     )
                 })

@@ -1,0 +1,192 @@
+//! The flight recorder: a bounded per-node ring of recent happenings
+//! (trace hops, metric deltas, health findings) that can be dumped as a
+//! deterministic post-mortem when an invariant oracle fails.
+//!
+//! Unlike the [`Tracer`](crate::Tracer) — which keeps structured hops for
+//! span derivation — the recorder keeps *rendered* one-liners of anything a
+//! component thinks worth remembering, in arrival order, capped at a fixed
+//! capacity. Dumps are byte-stable across replays of the same seed because
+//! every entry is stamped with virtual time and recorded from the
+//! deterministic event loop.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::json::JsonValue;
+use crate::trace::TraceEvent;
+
+/// Default entry capacity of a [`FlightRecorder`].
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
+
+/// One remembered happening.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Virtual time, microseconds.
+    pub at_us: u64,
+    /// Short category label (`deliver`, `metric`, `health.stall`, …).
+    pub label: String,
+    /// Free-form context.
+    pub detail: String,
+}
+
+impl FlightEvent {
+    /// Canonical one-line rendering.
+    pub fn render(&self) -> String {
+        if self.detail.is_empty() {
+            format!("[{}us] {}", self.at_us, self.label)
+        } else {
+            format!("[{}us] {} {}", self.at_us, self.label, self.detail)
+        }
+    }
+}
+
+/// A bounded ring of [`FlightEvent`]s owned by one node.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    name: String,
+    capacity: usize,
+    ring: Mutex<VecDeque<FlightEvent>>,
+    enabled: AtomicBool,
+    /// Entries evicted from the front of the ring so far.
+    dropped: Mutex<u64>,
+}
+
+impl FlightRecorder {
+    /// A recorder named `name` (shows up in dump headers) holding at most
+    /// `capacity` events, oldest evicted first.
+    pub fn new(name: impl Into<String>, capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            name: name.into(),
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::new()),
+            enabled: AtomicBool::new(true),
+            dropped: Mutex::new(0),
+        }
+    }
+
+    /// The recorder's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Remembers one happening.
+    pub fn record(&self, at_us: u64, label: impl Into<String>, detail: impl Into<String>) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut ring = self.ring.lock().expect("recorder poisoned");
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+            *self.dropped.lock().expect("recorder poisoned") += 1;
+        }
+        ring.push_back(FlightEvent {
+            at_us,
+            label: label.into(),
+            detail: detail.into(),
+        });
+    }
+
+    /// Remembers a trace hop (label = stage name, detail = `t<o>:<s>` plus
+    /// the hop's own detail).
+    pub fn record_trace(&self, event: &TraceEvent) {
+        self.record(
+            event.at_us,
+            event.stage.name(),
+            if event.detail.is_empty() {
+                event.trace.to_string()
+            } else {
+                format!("{} {}", event.trace, event.detail)
+            },
+        );
+    }
+
+    /// Remembers a metric movement (`metric` label, `name +delta` detail).
+    pub fn record_metric(&self, at_us: u64, name: &str, delta: u64) {
+        self.record(at_us, "metric", format!("{name} +{delta}"));
+    }
+
+    /// Everything currently remembered, oldest first.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        self.ring
+            .lock()
+            .expect("recorder poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// The most recent `n` events, oldest of those first.
+    pub fn last(&self, n: usize) -> Vec<FlightEvent> {
+        let ring = self.ring.lock().expect("recorder poisoned");
+        ring.iter().skip(ring.len().saturating_sub(n)).cloned().collect()
+    }
+
+    /// Number of remembered events.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("recorder poisoned").len()
+    }
+
+    /// Whether nothing is remembered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entries evicted so far (ring overflow).
+    pub fn dropped(&self) -> u64 {
+        *self.dropped.lock().expect("recorder poisoned")
+    }
+
+    /// Forgets everything.
+    pub fn clear(&self) {
+        self.ring.lock().expect("recorder poisoned").clear();
+        *self.dropped.lock().expect("recorder poisoned") = 0;
+    }
+
+    /// Deterministic text post-mortem: a header naming the recorder plus
+    /// one line per remembered event.
+    pub fn dump_text(&self) -> String {
+        let events = self.events();
+        let mut out = format!(
+            "flight-recorder {} events={} dropped={}\n",
+            self.name,
+            events.len(),
+            self.dropped()
+        );
+        for event in &events {
+            out.push_str("  ");
+            out.push_str(&event.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Deterministic JSON post-mortem mirroring [`dump_text`].
+    ///
+    /// [`dump_text`]: FlightRecorder::dump_text
+    pub fn dump_json(&self) -> JsonValue {
+        let mut events = JsonValue::arr();
+        for event in self.events() {
+            events = events.push(
+                JsonValue::obj()
+                    .set("at_us", event.at_us)
+                    .set("label", event.label)
+                    .set("detail", event.detail),
+            );
+        }
+        JsonValue::obj()
+            .set("node", self.name.clone())
+            .set("dropped", self.dropped())
+            .set("events", events)
+    }
+}

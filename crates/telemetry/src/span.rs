@@ -1,0 +1,203 @@
+//! Latency spans derived from the causal trace stream.
+//!
+//! The [`Tracer`](crate::Tracer) records *point events* — one hop of one
+//! obvent at one virtual time. This module folds those points back into
+//! **timed spans**: for every trace id, the ordered pipeline
+//! (publish → group hop → route → filter → deliver) with per-stage dwell
+//! times and one end-to-end latency sample per delivery. Samples are
+//! recorded into fixed-bucket histograms:
+//!
+//! - `span.stage.<stage>` — virtual µs spent *reaching* that stage from the
+//!   previous hop of the same trace (e.g. `span.stage.group-deliver` is the
+//!   group-dissemination leg);
+//! - `span.e2e.<class>` — publish→deliver virtual µs, keyed by the
+//!   publish's QoS class (the `sem=<class>` token the DACE publisher puts
+//!   in its `publish` trace detail; `unclassified` when absent).
+//!
+//! Everything here is deterministic: spans derive only from virtual-time
+//! stamps and the derivation sorts by `(time, pipeline position, detail)`,
+//! so two replays of one seed produce identical spans, histograms and
+//! percentile estimates.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::{exp_buckets, Registry};
+use crate::trace::{TraceEvent, TraceId, TraceStage, Tracer};
+
+/// Canonical pipeline position of a stage — the sort key that breaks ties
+/// between hops recorded at the same virtual microsecond (the simulator
+/// runs whole handler activations at one timestamp).
+pub fn stage_order(stage: TraceStage) -> u8 {
+    match stage {
+        TraceStage::Publish => 0,
+        TraceStage::GroupBroadcast => 1,
+        TraceStage::FilterEval => 2,
+        TraceStage::TransmitEnqueue => 3,
+        TraceStage::Brokered => 4,
+        TraceStage::GroupDeliver => 5,
+        TraceStage::Arrive => 6,
+        TraceStage::Expired => 7,
+        TraceStage::Deliver => 8,
+    }
+}
+
+/// One hop inside an [`ObventSpan`], with its dwell time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStage {
+    /// Pipeline position.
+    pub stage: TraceStage,
+    /// Virtual time of the hop, microseconds.
+    pub at_us: u64,
+    /// Microseconds since the previous hop of the same trace (0 for the
+    /// first hop).
+    pub delta_us: u64,
+    /// The hop's free-form detail, verbatim from the trace event.
+    pub detail: String,
+}
+
+/// The reconstructed life of one traced obvent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObventSpan {
+    /// The obvent's identity.
+    pub trace: TraceId,
+    /// QoS class parsed from the publish hop's `sem=<class>` token;
+    /// `"unclassified"` when the publisher did not stamp one.
+    pub class: String,
+    /// Virtual time of the publish hop (of the earliest hop when the
+    /// publish event was evicted from the ring).
+    pub publish_us: u64,
+    /// Every hop, ordered by `(at_us, pipeline position, detail)`.
+    pub hops: Vec<SpanStage>,
+    /// One `(delivering node, publish→deliver µs)` sample per `deliver`
+    /// hop; the node is parsed from the hop's `at=n<id>` token.
+    pub e2e: Vec<(Option<u64>, u64)>,
+}
+
+impl ObventSpan {
+    /// Canonical multi-line rendering (`t0:1 class=reliable-fifo` header,
+    /// one indented line per hop with its `+delta`).
+    pub fn render(&self) -> String {
+        let mut out = format!("{} class={}\n", self.trace, self.class);
+        for hop in &self.hops {
+            out.push_str(&format!(
+                "  [{}us +{}us] {} {}\n",
+                hop.at_us,
+                hop.delta_us,
+                hop.stage.name(),
+                hop.detail
+            ));
+        }
+        out
+    }
+}
+
+/// Pulls `key=<value>` out of a trace detail string (whitespace-separated
+/// tokens).
+pub fn detail_field<'a>(detail: &'a str, key: &str) -> Option<&'a str> {
+    detail
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix(key).and_then(|rest| rest.strip_prefix('=')))
+}
+
+/// Parses the delivering node out of an `at=n<id>` detail token.
+pub fn detail_node(detail: &str) -> Option<u64> {
+    detail_field(detail, "at")
+        .and_then(|v| v.strip_prefix('n'))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Derives one span per trace id from a batch of trace events. Spans are
+/// returned sorted by trace id; hops within a span are sorted by
+/// `(at_us, pipeline position, detail)`, so the derivation is a pure,
+/// deterministic function of the event set.
+pub fn derive_spans(events: &[TraceEvent]) -> Vec<ObventSpan> {
+    let mut by_trace: BTreeMap<TraceId, Vec<&TraceEvent>> = BTreeMap::new();
+    for event in events {
+        by_trace.entry(event.trace).or_default().push(event);
+    }
+    by_trace
+        .into_iter()
+        .map(|(trace, mut hops)| {
+            hops.sort_by(|a, b| {
+                (a.at_us, stage_order(a.stage), a.detail.as_str())
+                    .cmp(&(b.at_us, stage_order(b.stage), b.detail.as_str()))
+            });
+            let publish = hops.iter().find(|e| e.stage == TraceStage::Publish);
+            let class = publish
+                .and_then(|e| detail_field(&e.detail, "sem"))
+                .unwrap_or("unclassified")
+                .to_string();
+            let publish_us = publish
+                .map(|e| e.at_us)
+                .or_else(|| hops.first().map(|e| e.at_us))
+                .unwrap_or(0);
+            let mut staged = Vec::with_capacity(hops.len());
+            let mut e2e = Vec::new();
+            let mut prev_us = None;
+            for hop in hops {
+                let delta_us = hop.at_us.saturating_sub(prev_us.unwrap_or(hop.at_us));
+                prev_us = Some(hop.at_us);
+                if hop.stage == TraceStage::Deliver {
+                    e2e.push((
+                        detail_node(&hop.detail),
+                        hop.at_us.saturating_sub(publish_us),
+                    ));
+                }
+                staged.push(SpanStage {
+                    stage: hop.stage,
+                    at_us: hop.at_us,
+                    delta_us,
+                    detail: hop.detail.clone(),
+                });
+            }
+            ObventSpan {
+                trace,
+                class,
+                publish_us,
+                hops: staged,
+                e2e,
+            }
+        })
+        .collect()
+}
+
+/// The bucket ladder used for span histograms: 64µs … ~2s, doubling.
+pub fn span_buckets() -> Vec<u64> {
+    exp_buckets(64, 2, 16)
+}
+
+/// Records derived spans into `registry`:
+/// `span.stage.<stage>` gets every non-initial hop's dwell time and
+/// `span.e2e.<class>` gets one sample per delivery. Returns the number of
+/// end-to-end samples recorded.
+pub fn record_spans(spans: &[ObventSpan], registry: &Registry) -> u64 {
+    let buckets = span_buckets();
+    let mut recorded = 0u64;
+    for span in spans {
+        let mut first = true;
+        for hop in &span.hops {
+            if first {
+                first = false;
+                continue;
+            }
+            registry
+                .histogram(&format!("span.stage.{}", hop.stage.name()), &buckets)
+                .record(hop.delta_us);
+        }
+        for &(_, latency_us) in &span.e2e {
+            registry
+                .histogram(&format!("span.e2e.{}", span.class), &buckets)
+                .record(latency_us);
+            recorded += 1;
+        }
+    }
+    recorded
+}
+
+/// Convenience: derive spans from everything a tracer holds and record
+/// them, returning the spans for further inspection.
+pub fn record_tracer_spans(tracer: &Tracer, registry: &Registry) -> Vec<ObventSpan> {
+    let spans = derive_spans(&tracer.events());
+    record_spans(&spans, registry);
+    spans
+}

@@ -258,3 +258,222 @@ fn global_registry_starts_disabled() {
     assert_eq!(crate::global().snapshot().counter("tests.global.probe"), 1);
     crate::set_global_enabled(false);
 }
+
+// ---- diagnosis layer ------------------------------------------------------
+
+use crate::health::{HealthConfig, HealthMonitor};
+use crate::recorder::FlightRecorder;
+use crate::span::{derive_spans, record_spans, stage_order};
+
+#[test]
+fn percentile_of_empty_histogram_is_zero() {
+    let registry = Registry::new();
+    registry.histogram("lat", &[10, 100]);
+    let h = registry.snapshot().histogram("lat").unwrap().clone();
+    assert_eq!(h.count, 0);
+    assert_eq!(h.max, 0);
+    assert_eq!(h.percentile(0.5), 0);
+    assert_eq!(h.percentile(1.0), 0);
+    assert_eq!(h.mean(), 0.0);
+}
+
+#[test]
+fn percentile_single_bucket_reports_the_real_extremum() {
+    let registry = Registry::new();
+    let hist = registry.histogram("lat", &[1_000]);
+    hist.record(3);
+    hist.record(7);
+    let h = registry.snapshot().histogram("lat").unwrap().clone();
+    // Both observations sit in the only finite bucket (le 1000); the
+    // estimate is capped at the tracked max instead of the coarse bound.
+    assert_eq!(h.max, 7);
+    assert_eq!(h.percentile(0.5), 7);
+    assert_eq!(h.percentile(0.99), 7);
+    assert_eq!(h.mean(), 5.0);
+}
+
+#[test]
+fn percentile_overflow_bucket_uses_tracked_max() {
+    let registry = Registry::new();
+    let hist = registry.histogram("lat", &[10, 100]);
+    for v in [1, 5, 50, 5_000] {
+        hist.record(v);
+    }
+    let h = registry.snapshot().histogram("lat").unwrap().clone();
+    assert_eq!(h.max, 5_000);
+    assert_eq!(h.percentile(0.25), 10); // rank 1 → first bucket bound
+    assert_eq!(h.percentile(0.5), 10); // rank 2 → still le 10
+    assert_eq!(h.percentile(0.75), 100); // rank 3 → le 100
+    // rank 4 lands in the overflow bucket: the exact max, not +inf.
+    assert_eq!(h.percentile(0.99), 5_000);
+    assert_eq!(h.percentile(1.0), 5_000);
+    // Out-of-range quantiles clamp.
+    assert_eq!(h.percentile(-1.0), 10);
+    assert_eq!(h.percentile(2.0), 5_000);
+}
+
+#[test]
+fn percentiles_appear_in_renderings() {
+    let registry = Registry::new();
+    let hist = registry.histogram("lat", &[10, 100]);
+    hist.record(4);
+    hist.record(90);
+    hist.record(900);
+    let snap = registry.snapshot();
+    let text = snap.render_text();
+    assert!(text.contains("p50=100 p90=900 p99=900 max=900"), "{text}");
+    let json = snap.render_json();
+    assert!(json.contains("\"max\":900"), "{json}");
+    assert!(json.contains("\"p99\":900"), "{json}");
+}
+
+#[test]
+fn json_parse_roundtrips_rendered_documents() {
+    let doc = JsonValue::obj()
+        .set("name", "say \"hi\"\n\t\\")
+        .set("n", 3u64)
+        .set("neg", -4i64)
+        .set("pi", 3.5)
+        .set("ok", true)
+        .set("nothing", JsonValue::Null)
+        .set("row", JsonValue::arr().push(1u64).push("two"));
+    let parsed = JsonValue::parse(&doc.render()).unwrap();
+    assert_eq!(parsed, doc);
+    // Accessors navigate the parsed tree.
+    assert_eq!(parsed.get("n").and_then(|v| v.as_u64()), Some(3));
+    assert_eq!(parsed.get("pi").and_then(|v| v.as_f64()), Some(3.5));
+    assert_eq!(parsed.get("name").and_then(|v| v.as_str()), Some("say \"hi\"\n\t\\"));
+    assert_eq!(parsed.get("row").map(|v| v.items().len()), Some(2));
+}
+
+#[test]
+fn json_parse_rejects_garbage() {
+    assert!(JsonValue::parse("").is_err());
+    assert!(JsonValue::parse("{").is_err());
+    assert!(JsonValue::parse("[1,]").is_err());
+    assert!(JsonValue::parse("42 tail").is_err());
+    assert!(JsonValue::parse("\"unterminated").is_err());
+    // Whitespace tolerance and nested structures.
+    let v = JsonValue::parse(" { \"a\" : [ 1 , 2.5 , { \"b\" : null } ] } ").unwrap();
+    assert_eq!(v.get("a").map(|a| a.items().len()), Some(3));
+}
+
+#[test]
+fn spans_derive_stage_deltas_and_e2e_latency_per_class() {
+    let tracer = Tracer::new(64);
+    let t = TraceId::mint(0, 1);
+    // Out-of-order recording on purpose: derivation must sort by time,
+    // then by canonical pipeline position for equal timestamps.
+    tracer.record(t, 300, TraceStage::Deliver, "at=n2 matched=1");
+    tracer.record(t, 0, TraceStage::Publish, "kind=Q at=n0 sem=reliable-fifo");
+    tracer.record(t, 0, TraceStage::GroupBroadcast, "proto=fifo");
+    tracer.record(t, 120, TraceStage::GroupDeliver, "at=n1");
+    tracer.record(t, 120, TraceStage::Deliver, "at=n1 matched=1");
+    let spans = derive_spans(&tracer.events());
+    assert_eq!(spans.len(), 1);
+    let span = &spans[0];
+    assert_eq!(span.class, "reliable-fifo");
+    assert_eq!(span.publish_us, 0);
+    let stages: Vec<_> = span.hops.iter().map(|h| h.stage).collect();
+    assert_eq!(
+        stages,
+        vec![
+            TraceStage::Publish,
+            TraceStage::GroupBroadcast,
+            TraceStage::GroupDeliver,
+            TraceStage::Deliver,
+            TraceStage::Deliver,
+        ]
+    );
+    // Monotone timestamps and correct hop deltas.
+    assert!(span.hops.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+    assert_eq!(
+        span.hops.iter().map(|h| h.delta_us).collect::<Vec<_>>(),
+        vec![0, 0, 120, 0, 180]
+    );
+    assert_eq!(span.e2e, vec![(Some(1), 120), (Some(2), 300)]);
+
+    let registry = Registry::new();
+    let recorded = record_spans(&spans, &registry);
+    assert_eq!(recorded, 2);
+    let snap = registry.snapshot();
+    let e2e = snap.histogram("span.e2e.reliable-fifo").unwrap();
+    assert_eq!(e2e.count, 2);
+    assert_eq!(e2e.max, 300);
+    assert!(snap.histogram("span.stage.group-deliver").is_some());
+    assert!(snap.histogram("span.e2e.unclassified").is_none());
+}
+
+#[test]
+fn stage_order_is_total_over_the_pipeline() {
+    use TraceStage::*;
+    let stages = [
+        Publish, GroupBroadcast, FilterEval, TransmitEnqueue, Brokered,
+        GroupDeliver, Arrive, Expired, Deliver,
+    ];
+    let mut seen = std::collections::BTreeSet::new();
+    for s in stages {
+        assert!(seen.insert(stage_order(s)), "duplicate order for {s:?}");
+    }
+    assert!(stage_order(Publish) < stage_order(Deliver));
+}
+
+#[test]
+fn flight_recorder_ring_and_deterministic_dumps() {
+    let recorder = FlightRecorder::new("n0", 3);
+    recorder.record(1, "deliver", "t0:1");
+    recorder.record(2, "metric", "group.delivered +1");
+    recorder.record(3, "deliver", "t0:2");
+    recorder.record(4, "deliver", "t0:3"); // evicts [1us]
+    assert_eq!(recorder.len(), 3);
+    assert_eq!(recorder.dropped(), 1);
+    assert_eq!(recorder.last(2).len(), 2);
+    assert_eq!(recorder.last(2)[0].at_us, 3);
+    let text = recorder.dump_text();
+    assert_eq!(text, recorder.dump_text(), "dump must be stable");
+    assert!(text.starts_with("flight-recorder n0 events=3 dropped=1\n"), "{text}");
+    assert!(text.contains("[4us] deliver t0:3\n"), "{text}");
+    let json = recorder.dump_json().render();
+    assert!(json.contains("\"node\":\"n0\""), "{json}");
+    assert_eq!(JsonValue::parse(&json).unwrap().render(), json);
+    recorder.set_enabled(false);
+    recorder.record(9, "ignored", "");
+    assert_eq!(recorder.len(), 3);
+}
+
+#[test]
+fn health_monitor_flags_stalls_and_storms() {
+    let registry = Registry::new();
+    let recorder = std::sync::Arc::new(FlightRecorder::new("n1", 16));
+    let monitor = HealthMonitor::new(
+        registry.clone(),
+        Some(std::sync::Arc::clone(&recorder)),
+        HealthConfig { stall_sweeps: 3, storm_delta: 10 },
+    );
+    // A draining queue never stalls.
+    monitor.observe_depth(100, "fifo.holdback", 5);
+    monitor.observe_depth(200, "fifo.holdback", 2);
+    monitor.observe_depth(300, "fifo.holdback", 0);
+    assert_eq!(registry.snapshot().counter("health.stall.fifo.holdback"), 0);
+    // A stuck queue stalls after three non-draining sweeps.
+    for at in [400, 500, 600, 700] {
+        monitor.observe_depth(at, "fifo.holdback", 4);
+    }
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("health.stall.fifo.holdback"), 2, "sweeps 3 and 4");
+    assert_eq!(snap.gauge("health.queue.fifo.holdback"), 4);
+    assert_eq!(snap.gauge("health.watermark.fifo.holdback"), 5);
+    assert!(recorder
+        .events()
+        .iter()
+        .any(|e| e.label == "health.stall" && e.detail.contains("queue=fifo.holdback")));
+
+    // Retransmit storm: a counter jumping >= storm_delta inside one sweep.
+    let wire = Registry::new();
+    wire.counter("group.reliable.retransmits").add(3);
+    monitor.observe_counters(800, &wire.snapshot());
+    assert_eq!(registry.snapshot().counter("health.retransmit_storm"), 0);
+    wire.counter("group.reliable.retransmits").add(50);
+    monitor.observe_counters(900, &wire.snapshot());
+    assert_eq!(registry.snapshot().counter("health.retransmit_storm"), 1);
+}

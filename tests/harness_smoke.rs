@@ -14,7 +14,7 @@
 
 use std::sync::Arc;
 
-use psc_harness::broken::BrokenFifo;
+use psc_harness::broken::{BrokenFifo, Stalling};
 use psc_harness::runner::{self, ProtoFactory};
 use psc_harness::stack;
 use psc_harness::{Op, ProtocolKind, Scenario, Violation};
@@ -106,6 +106,62 @@ fn broken_fifo_is_caught_and_shrunk_to_a_seed_stamped_counterexample() {
         report.contains("seed=7"),
         "the counterexample must carry its seed:\n{report}"
     );
+}
+
+/// The flight-recorder acceptance check: a protocol that parks every
+/// foreign message forever must (a) trip the completeness oracle, (b) be
+/// flagged by the stall watchdog with the *name* of the stuck queue and the
+/// unprogressed publishes, and (c) produce text + JSON post-mortems that
+/// are byte-stable across two runs of the same seed.
+#[test]
+fn stalling_protocol_yields_byte_stable_post_mortem_naming_the_stuck_queue() {
+    let scenario = Scenario {
+        seed: 11,
+        protocol: ProtocolKind::Reliable,
+        nodes: 3,
+        loss: 0.0,
+        latency_ms: (1, 2),
+        settle_ms: 2_000,
+        ops: vec![
+            Op::Publish { node: 0, at_ms: 10 },
+            Op::Publish { node: 1, at_ms: 20 },
+        ],
+    };
+    let make: ProtoFactory = Arc::new(|| Box::new(Stalling::new()));
+    let first = runner::run_scenario_with(&scenario, Arc::clone(&make));
+    let second = runner::run_scenario_with(&scenario, make);
+
+    assert!(
+        first
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::MissingDelivery { .. })),
+        "parked messages must show as missing deliveries: {}",
+        runner::report(&scenario, &first)
+    );
+    assert!(
+        first
+            .health
+            .iter()
+            .any(|h| h.name == "health.stall.stalling.buffer" && !h.undelivered.is_empty()),
+        "the watchdog must name the stuck queue and the unprogressed publishes: {}",
+        runner::report(&scenario, &first)
+    );
+
+    let dump = runner::post_mortem(&scenario, &first);
+    assert_eq!(
+        dump,
+        runner::post_mortem(&scenario, &second),
+        "text post-mortem must be byte-stable across replays of one seed"
+    );
+    assert_eq!(
+        runner::post_mortem_json(&scenario, &first),
+        runner::post_mortem_json(&scenario, &second),
+        "JSON post-mortem must be byte-stable across replays of one seed"
+    );
+    assert!(dump.contains("health.stall.stalling.buffer"), "{dump}");
+    assert!(dump.contains("undelivered publishes"), "{dump}");
+    assert!(dump.contains("flight-recorder n0"), "{dump}");
 }
 
 #[test]

@@ -9,7 +9,8 @@ use javaps::dace::{DaceConfig, DaceNode};
 use javaps::obvent::builtin::Reliable;
 use javaps::pubsub::{obvent, FilterSpec};
 use javaps::simnet::{Duration, NodeId, SimConfig, SimNet};
-use javaps::telemetry::{Registry, TraceStage, Tracer};
+use javaps::telemetry::span::stage_order;
+use javaps::telemetry::{record_tracer_spans, Registry, TraceStage, Tracer};
 use psc_harness::{run_scenario, Op, ProtocolKind, Scenario};
 
 obvent! {
@@ -83,6 +84,101 @@ fn trace_id_propagates_across_a_three_node_run() {
     assert_eq!(snap.counter("dace.published"), 1);
     assert_eq!(snap.counter("dace.delivered"), 2);
     assert!(snap.counter("group.reliable.broadcasts") >= 1);
+}
+
+/// Spans derived from the trace stream of a 3-node run are well-formed
+/// pipelines — publish first, virtual timestamps monotone, same-instant
+/// hops in pipeline order — and their end-to-end samples agree with the
+/// per-node `group.delivered` counters: one sample per group-layer
+/// delivery, attributed to the right node.
+#[test]
+fn derived_spans_are_ordered_and_match_per_node_delivery_counters() {
+    let mut sim = SimNet::new(SimConfig::with_seed(23));
+    let ids: Vec<NodeId> = (0..3).map(NodeId).collect();
+    let tracer = Arc::new(Tracer::default());
+    // Per-node registries, so `group.delivered` can be read node by node.
+    let registries: Vec<Arc<Registry>> =
+        (0..3).map(|_| Arc::new(Registry::new())).collect();
+    for (i, registry) in registries.iter().enumerate() {
+        sim.add_node(
+            format!("n{i}"),
+            DaceNode::factory_with_telemetry(
+                ids.clone(),
+                DaceConfig::default(),
+                Arc::clone(registry),
+                Arc::clone(&tracer),
+            ),
+        );
+    }
+    for &id in &ids[1..] {
+        DaceNode::drive(&mut sim, id, move |domain| {
+            let sub = domain.subscribe(FilterSpec::accept_all(), move |_e: TracedEvent| {});
+            sub.activate().unwrap();
+            sub.detach();
+        });
+    }
+    sim.run_until(sim.now() + Duration::from_millis(50));
+    for n in 0..3u64 {
+        DaceNode::publish_from(&mut sim, ids[0], TracedEvent::new(n));
+        sim.run_until(sim.now() + Duration::from_millis(5));
+    }
+    sim.run_until(sim.now() + Duration::from_secs(1));
+
+    let span_registry = Registry::new();
+    let spans = record_tracer_spans(&tracer, &span_registry);
+    assert_eq!(spans.len(), 3, "one span per published obvent");
+
+    for span in &spans {
+        assert_eq!(span.class, "reliable", "QoS class from the sem= token");
+        let first = span.hops.first().expect("span has hops");
+        assert_eq!(first.stage, TraceStage::Publish, "publish opens the span");
+        assert_eq!(first.delta_us, 0, "no dwell before the first hop");
+        assert_eq!(first.at_us, span.publish_us);
+        for pair in span.hops.windows(2) {
+            assert!(
+                pair[0].at_us <= pair[1].at_us,
+                "virtual timestamps must be monotone:\n{}",
+                span.render()
+            );
+            if pair[0].at_us == pair[1].at_us {
+                assert!(
+                    stage_order(pair[0].stage) <= stage_order(pair[1].stage),
+                    "same-instant hops must follow pipeline order:\n{}",
+                    span.render()
+                );
+            }
+            assert_eq!(
+                pair[1].delta_us,
+                pair[1].at_us - pair[0].at_us,
+                "dwell is the gap to the previous hop:\n{}",
+                span.render()
+            );
+        }
+    }
+
+    // Every end-to-end sample names its delivering node; per node, the
+    // sample count equals that node's group-layer delivery counter.
+    for (n, registry) in registries.iter().enumerate() {
+        let samples: usize = spans
+            .iter()
+            .flat_map(|s| &s.e2e)
+            .filter(|(node, _)| *node == Some(n as u64))
+            .count();
+        assert_eq!(
+            samples as u64,
+            registry.snapshot().counter("group.delivered"),
+            "node n{n}: span.e2e samples vs group.delivered"
+        );
+    }
+    let total: usize = spans.iter().map(|s| s.e2e.len()).sum();
+    assert_eq!(total, 6, "3 publishes × 2 subscriber nodes");
+    let hist = span_registry.snapshot();
+    let e2e = hist
+        .histogram("span.e2e.reliable")
+        .expect("e2e histogram recorded");
+    assert_eq!(e2e.count, total as u64);
+    assert!(e2e.percentile(0.50) <= e2e.percentile(0.99));
+    assert!(e2e.percentile(0.99) <= e2e.max);
 }
 
 /// The per-protocol wire counters folded into the harness trace agree with

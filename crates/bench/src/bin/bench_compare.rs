@@ -226,6 +226,45 @@ fn compare_fanout(gate: &mut Gate, base: &JsonValue, fresh: &JsonValue) {
     }
 }
 
+fn compare_match_scale(gate: &mut Gate, base: &JsonValue, fresh: &JsonValue) {
+    let file = "BENCH_exp_match_scale.json";
+    let same_scale = base.get("quick").map(|v| v.render()) == fresh.get("quick").map(|v| v.render());
+    let (Some(b), Some(f)) = (base.get("rows"), fresh.get("rows")) else {
+        eprintln!("skip {file}: rows missing");
+        return;
+    };
+    compare_keyed(
+        gate,
+        &format!("{file} rows"),
+        "key",
+        b,
+        f,
+        same_scale,
+        &[
+            Metric {
+                name: "us_per_event",
+                wall: true,
+                extract: |r| field_f64(r, "us_per_event"),
+            },
+            // Probe and candidate counts are deterministic functions of the
+            // seeded workload: losing the attribute index (probes blow up to
+            // the predicate population) or the access-predicate gating
+            // (candidates blow up to the satisfied-filter population) trips
+            // these regardless of machine speed.
+            Metric {
+                name: "probes_per_event",
+                wall: false,
+                extract: |r| field_f64(r, "probes_per_event"),
+            },
+            Metric {
+                name: "candidates_per_event",
+                wall: false,
+                extract: |r| field_f64(r, "candidates_per_event"),
+            },
+        ],
+    );
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(fresh_dir) = args.next() else {
@@ -254,6 +293,12 @@ fn main() -> ExitCode {
         load(&fresh_dir, "BENCH_fanout.json"),
     ) {
         compare_fanout(&mut gate, &base, &fresh);
+    }
+    if let (Some(base), Some(fresh)) = (
+        load(&base_dir, "BENCH_exp_match_scale.json"),
+        load(&fresh_dir, "BENCH_exp_match_scale.json"),
+    ) {
+        compare_match_scale(&mut gate, &base, &fresh);
     }
 
     if gate.compared == 0 {

@@ -98,6 +98,54 @@ pub fn disjoint_filters(seed: u64, n: usize) -> Vec<RemoteFilter> {
         .collect()
 }
 
+/// Symbol vocabulary size for the match-scale workload (events and
+/// filters draw from the same `s0..s999` pool).
+pub const SCALE_VOCAB: usize = 1_000;
+
+/// Deterministic stream of wide property records for the match-scale
+/// experiment: a symbol drawn from a [`SCALE_VOCAB`]-wide vocabulary plus
+/// `attrs` numeric attributes `f0..f{attrs-1}`, uniform in `0..100`.
+pub fn wide_events(seed: u64, n: usize, attrs: usize) -> Vec<Value> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let sym = format!("s{}", rng.gen_range(0..SCALE_VOCAB));
+            Value::record(
+                std::iter::once(("sym".to_string(), Value::from(sym))).chain(
+                    (0..attrs).map(|a| (format!("f{a}"), Value::from(rng.gen_range(0.0..100.0)))),
+                ),
+            )
+        })
+        .collect()
+}
+
+/// A population of `n` subscriptions over `attrs` attributes: each pins
+/// one symbol from the shared vocabulary and adds a narrow numeric band on
+/// one random attribute plus a half-open guard on another. This is the
+/// counting engine's target workload: the equality predicate is the access
+/// gate (hash-bucket probe touches only the ~`n`/[`SCALE_VOCAB`] filters
+/// on the event's symbol), and the wide numeric predicates are verified
+/// only on those candidates instead of being counted across the whole
+/// population.
+pub fn scaled_filters(seed: u64, n: usize, attrs: usize) -> Vec<RemoteFilter> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let sym = format!("s{}", rng.gen_range(0..SCALE_VOCAB));
+            let band_attr = format!("f{}", rng.gen_range(0..attrs));
+            let guard_attr = format!("f{}", rng.gen_range(0..attrs));
+            let lo = rng.gen_range(0.0..95.0);
+            let width = rng.gen_range(0.5..5.0);
+            RemoteFilter::conjunction(vec![
+                Predicate::new("sym", CmpOp::Eq, sym.as_str()),
+                Predicate::new(band_attr.as_str(), CmpOp::Ge, lo),
+                Predicate::new(band_attr.as_str(), CmpOp::Lt, lo + width),
+                Predicate::new(guard_attr.as_str(), CmpOp::Lt, rng.gen_range(5.0..100.0)),
+            ])
+        })
+        .collect()
+}
+
 /// A filter with the given match probability against [`quote_values`]
 /// (price is uniform in 1..200).
 pub fn filter_with_selectivity(selectivity: f64) -> RemoteFilter {

@@ -13,7 +13,7 @@ use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
 
 use psc_codec::WireBytes;
-use psc_filter::{FilterId, FilterIndex, RemoteFilter};
+use psc_filter::{FilterId, FilterIndex, PropertySource, RemoteFilter, Value};
 use psc_group::{
     Causal, Certified, Fifo, GroupIo, Lpbcast, Multicast, Reliable, TimerToken, Total,
 };
@@ -540,6 +540,46 @@ impl DaceNode {
     /// [`DaceNode::drive`] in deterministic tests).
     pub fn domain_of(sim: &mut SimNet, node: NodeId) -> Option<Domain> {
         sim.node_mut::<DaceNode>(node).map(|n| n.domain.clone())
+    }
+
+    /// Cross-checks every channel's matching engine: runs the index's
+    /// structural audit ([`FilterIndex::check_consistency`]) and compares
+    /// counting-indexed [`FilterIndex::matching`] against the differential
+    /// oracle [`FilterIndex::naive_matching`] on `probe`. Returns
+    /// human-readable findings; empty means every channel is healthy. The
+    /// chaos harness samples this mid-storm as its `FilterOracle`.
+    pub fn filter_oracle_findings(&self, probe: &dyn PropertySource) -> Vec<String> {
+        let mut findings = Vec::new();
+        let mut kinds: Vec<KindId> = self.channels.keys().copied().collect();
+        kinds.sort();
+        for kind in kinds {
+            let channel = &self.channels[&kind];
+            if let Err(err) = channel.index.check_consistency() {
+                findings.push(format!(
+                    "channel {}: index audit failed: {err}",
+                    kind_name(kind)
+                ));
+            }
+            let indexed = channel.index.matching(probe);
+            let naive = channel.index.naive_matching(probe);
+            if indexed != naive {
+                findings.push(format!(
+                    "channel {}: indexed matching diverged from naive: {:?} vs {:?}",
+                    kind_name(kind),
+                    indexed,
+                    naive
+                ));
+            }
+        }
+        findings
+    }
+
+    /// Runs [`DaceNode::filter_oracle_findings`] against a live node (empty
+    /// when the node is down — a crashed node has no index to audit).
+    pub fn filter_oracle_of(sim: &mut SimNet, node: NodeId, probe: &Value) -> Vec<String> {
+        sim.node_mut::<DaceNode>(node)
+            .map(|n| n.filter_oracle_findings(probe))
+            .unwrap_or_default()
     }
 
     // ---- internals ----
@@ -1385,12 +1425,16 @@ impl Inspect for DaceNode {
             ));
             let stats = channel.index.stats();
             report.line(format!(
-                "filters={} predicates={} unique={} paths={} shared={}",
+                "filters={} predicates={} unique={} paths={} shared={} counting={} residual={} indexed_preds={} residual_preds={}",
                 stats.filters,
                 stats.total_predicates,
                 stats.unique_predicates,
                 stats.paths,
-                stats.shared_nodes
+                stats.shared_nodes,
+                stats.counting_filters,
+                stats.residual_filters,
+                stats.indexed_preds,
+                stats.residual_preds
             ));
             if let Some(proto) = &channel.proto {
                 for (name, depth) in proto.queue_depths() {

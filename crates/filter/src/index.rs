@@ -6,22 +6,39 @@
 //! improved" (paper §2.3.2, citing [ASS+99]).
 //!
 //! [`FilterIndex`] implements that compound filter in the style of Aguilera
-//! et al.'s counting algorithm:
+//! et al.'s counting algorithm, with per-event cost proportional to the
+//! *event*, not the subscription population:
 //!
 //! 1. **predicate deduplication** — syntactically equal predicates from
 //!    different subscriptions are stored once and evaluated once per obvent;
-//! 2. **shared property fetches** — predicates are grouped by property path,
-//!    so each accessor chain is invoked once per obvent (the shared prefix
-//!    structure of the invocation trees);
-//! 3. **batched comparisons** — equality predicates on a path are resolved
-//!    with one hash lookup, and ordered comparisons (`<`, `<=`, `>`, `>=`)
-//!    with one binary search over the sorted thresholds, so only *satisfied*
-//!    predicates are enumerated;
-//! 4. **counting** — conjunctive filters keep a per-obvent counter of
-//!    satisfied conjuncts and match when the counter reaches their arity;
-//!    filters with general evaluation trees are evaluated over the shared
-//!    truth assignment.
-//!
+//! 2. **attribute-keyed buckets** — predicates are grouped by property path
+//!    into `(attribute, op, value-bucket)` buckets: equality predicates in
+//!    hash buckets keyed by canonicalized operand, ordered comparisons
+//!    (`<`, `<=`, `>`, `>=`) in sorted threshold lists answered by one
+//!    binary search, existence tests in a presence list, and everything
+//!    else (`!=`, string ops, structured operands) in a small residual set
+//!    evaluated individually — still sharing the property fetch;
+//! 3. **O(attrs) probing** — when the event can enumerate its own
+//!    properties ([`PropertySource::visit_properties`]), `matching` walks
+//!    the *event's* attributes and hash-probes the buckets, so the phase-1
+//!    cost is O(event attributes), independent of how many filters are
+//!    stored; non-enumerable sources fall back to one fetch per indexed
+//!    path;
+//! 4. **counting with access-predicate gating** — each satisfied predicate
+//!    bumps a per-filter counter of its posting-list subscribers.
+//!    Conjunctions mixing selective equality predicates with wide-range
+//!    ones post *only the equalities*: a wide threshold predicate is
+//!    satisfied by half the population on every event, so counting it
+//!    would cost O(filters) — instead the narrow hash buckets gate the
+//!    counter and a trigger verifies the remaining predicates directly.
+//!    All-range conjunctions post everything and match at their arity with
+//!    no verification; only predicates some posting list or evaluation DAG
+//!    actually consumes occupy probe buckets at all. General trees carry a
+//!    *trigger threshold* (a lower bound on how many of their predicates
+//!    any satisfying assignment needs) and are only DAG-evaluated when the
+//!    counter reaches it; trees satisfiable with zero true predicates
+//!    (negation-dominated shapes) sit in a residual set evaluated on every
+//!    event, and provably false trees are never evaluated at all;
 //! 5. **sub-expression hash-consing** — general evaluation trees are
 //!    interned into a shared DAG at insert time (commutative operators
 //!    normalized), so identical sub-expressions across subscriptions are
@@ -29,10 +46,18 @@
 //!    evaluations avoided relative to the naive baseline are counted in the
 //!    `filter.factored_evals_saved` telemetry counter.
 //!
+//! Selectivity is observable: `filter.index.probes` counts bucket probes
+//! per call, `filter.index.candidates` counts DAG evaluations actually
+//! performed, and `filter.index.shortcircuits` counts live filters the
+//! engine never touched.
+//!
 //! [`FilterIndex::naive_matching`] provides the unfactored baseline (every
 //! filter evaluated independently, repeating lookups and comparisons); the
-//! benchmark suite measures the gap (experiment E1). Property tests assert
-//! the two are extensionally equal.
+//! benchmark suite measures the gap (experiments E1 and E11). Property
+//! tests assert the two are extensionally equal, and
+//! [`FilterIndex::check_consistency`] audits the posting lists, refcounts
+//! and bucket placement against a from-first-principles reconstruction —
+//! the churn-storm harness calls it mid-chaos.
 //!
 //! [`FilterIndex::matching`] takes `&self`: the generation-stamped scratch
 //! state (predicate truths, conjunction counters, sub-expression memo) lives
@@ -79,7 +104,7 @@ impl Default for IndexOptions {
     }
 }
 
-/// Aggregate statistics about sharing inside the index.
+/// Aggregate statistics about sharing and bucket placement inside the index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IndexStats {
     /// Number of stored filters.
@@ -94,6 +119,63 @@ pub struct IndexStats {
     /// only; a value smaller than the summed tree sizes means cross-filter
     /// sharing).
     pub shared_nodes: usize,
+    /// Filters matched purely by counting triggers (pure conjunctions plus
+    /// threshold-triggered general trees).
+    pub counting_filters: usize,
+    /// Filters whose tree must be evaluated on every event (satisfiable
+    /// with zero true predicates, e.g. negation-dominated shapes).
+    pub residual_filters: usize,
+    /// Distinct predicates answered by batched buckets (equality hash,
+    /// threshold binary search, existence list).
+    pub indexed_preds: usize,
+    /// Distinct predicates in the residual per-path sets, evaluated
+    /// individually when their path is present.
+    pub residual_preds: usize,
+}
+
+/// How `matching` decides a stored filter's fate; fixed at insert time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MatchPlan {
+    /// Pass-all / zero-arity conjunction: matches every event.
+    Unconditional,
+    /// Pure conjunction of `arity` distinct predicates. Ungated, it is
+    /// matched by counting alone — every predicate posts, the counter
+    /// reaching `arity` is the match. Gated, only the filter's selective
+    /// equality predicates ("access predicates") post: the counter reaching
+    /// the gate count makes the filter a *verification candidate*, whose
+    /// remaining wide-range predicates are checked directly instead of
+    /// being counted through threshold buckets that half the population
+    /// satisfies on every event.
+    Conjunction { arity: u32, gated: bool },
+    /// General tree, DAG-evaluated only when at least `threshold` of the
+    /// filter's distinct predicates are satisfied (a sound lower bound on
+    /// any satisfying assignment).
+    CountedTree { threshold: u32, root: u32 },
+    /// General tree satisfiable with zero true predicates: DAG-evaluated on
+    /// every event.
+    ResidualTree { root: u32 },
+    /// Tree that is constant-false after interning: never evaluated.
+    Never { root: u32 },
+}
+
+impl MatchPlan {
+    fn root(self) -> Option<u32> {
+        match self {
+            MatchPlan::CountedTree { root, .. }
+            | MatchPlan::ResidualTree { root }
+            | MatchPlan::Never { root } => Some(root),
+            MatchPlan::Unconditional | MatchPlan::Conjunction { .. } => None,
+        }
+    }
+
+    /// True when the filter subscribes to posting lists (its counter can
+    /// trigger a match or a DAG evaluation).
+    fn counted(self) -> bool {
+        matches!(
+            self,
+            MatchPlan::Conjunction { .. } | MatchPlan::CountedTree { .. }
+        )
+    }
 }
 
 #[derive(Debug)]
@@ -101,14 +183,12 @@ struct StoredFilter {
     filter: RemoteFilter,
     /// Global predicate ids in the order of the filter's own predicate list.
     globals: Vec<usize>,
+    /// The sorted distinct globals this filter posted to (its access
+    /// predicates when gated; all counted predicates otherwise).
+    posted: Vec<usize>,
     /// Dense counter slot.
     slot: usize,
-    /// `Some(arity)` when the evaluation tree is a pure conjunction of
-    /// distinct predicates (counting applies); `None` for general trees.
-    conjunctive_arity: Option<u32>,
-    /// For general trees: root of the filter's hash-consed evaluation DAG
-    /// in [`FilterIndex::shared_nodes`].
-    shared_root: Option<u32>,
+    plan: MatchPlan,
 }
 
 /// Canonical key of one hash-consed sub-expression. `And`/`Or` children are
@@ -125,10 +205,33 @@ enum SharedKey {
     Not(u32),
 }
 
+/// `min_true` sentinel: the node is constant-false (no assignment makes it
+/// true).
+const UNSATISFIABLE: u32 = u32::MAX;
+
+/// `slot_root` sentinel: the slot's filter has no evaluation DAG (pure
+/// conjunction or unconditional).
+const NO_ROOT: u32 = u32::MAX;
+
+/// `slot_target` sentinel: the slot never triggers by counting (it is
+/// unconditional, residual, or constant-false — or vacant).
+const NO_TARGET: u32 = u32::MAX;
+
+/// `slot_root` sentinel: the slot is a gated conjunction — on trigger the
+/// stored filter is verified directly instead of DAG-evaluated.
+const VERIFY: u32 = u32::MAX - 1;
+
 #[derive(Debug)]
 struct SharedNode {
     key: SharedKey,
     refcount: usize,
+    /// Lower bound on the number of *distinct satisfied predicates* any
+    /// assignment making this node true must contain ([`UNSATISFIABLE`] if
+    /// none exists). Sound but conservative: `And` takes the max of its
+    /// children's bounds and its count of direct distinct predicate leaves
+    /// (never the sum — children may share predicates), `Or` the min,
+    /// `Not` claims nothing (0).
+    min_true: u32,
 }
 
 /// Generation-stamped scratch reused across `matching` calls; kept behind a
@@ -144,15 +247,26 @@ struct Scratch {
     /// Per shared DAG node: memoized truth for the current generation.
     node_gen: Vec<u64>,
     node_truth: Vec<bool>,
+    /// Reusable buffers (satisfied predicate ids; counting-triggered slots)
+    /// so the hot path does not allocate per call.
+    satisfied: Vec<usize>,
+    candidates: Vec<usize>,
 }
 
 #[derive(Debug)]
 struct PredEntry {
     pred: Predicate,
     refcount: usize,
-    /// Filters (by slot) whose conjunction contains this predicate, with
-    /// multiplicity 1 (conjunctive filters deduplicate their own leaves).
+    /// Filters (by slot) counting this predicate: gated conjunctions over
+    /// their equality gates, ungated ones over their distinct leaves,
+    /// counted trees over their distinct predicates — with multiplicity 1
+    /// either way.
     postings: Vec<usize>,
+    /// True while the predicate occupies its path group's bucket. Only
+    /// predicates whose per-event truth is consumed — posted somewhere, or
+    /// referenced by a live DAG node — are bucketed and probed; a gated
+    /// conjunction's non-gate predicates cost nothing per event.
+    in_bucket: bool,
 }
 
 #[derive(Debug, Default)]
@@ -180,6 +294,15 @@ impl PathGroup {
             && self.exists.is_empty()
             && self.general.is_empty()
     }
+
+    fn indexed_len(&self) -> usize {
+        self.lt.len()
+            + self.le.len()
+            + self.gt.len()
+            + self.ge.len()
+            + self.eq.values().map(Vec::len).sum::<usize>()
+            + self.exists.len()
+    }
 }
 
 /// The factoring matching index; see the module docs.
@@ -201,13 +324,20 @@ pub struct FilterIndex {
     filters: HashMap<FilterId, StoredFilter>,
     /// slot -> FilterId of the occupant (freed slots go on `free_slots`).
     slots: Vec<Option<FilterId>>,
+    /// slot -> counter value that triggers the slot (arity or threshold);
+    /// [`NO_TARGET`] when counting never triggers it. Dense so the counting
+    /// loop never touches the filter hash map.
+    slot_target: Vec<u32>,
+    /// slot -> evaluation DAG root, [`NO_ROOT`] for counting-only slots.
+    slot_root: Vec<u32>,
     free_slots: Vec<usize>,
     preds: Vec<PredEntry>,
     pred_lookup: HashMap<Predicate, usize>,
     free_preds: Vec<usize>,
     groups: HashMap<PropPath, PathGroup>,
-    /// Filters needing full tree evaluation, by slot.
-    tree_filters: Vec<usize>,
+    /// Slots whose tree must be evaluated on every event (satisfiable with
+    /// zero true predicates).
+    residual_trees: Vec<usize>,
     /// Pass-all / zero-arity filters, by slot.
     unconditional: Vec<usize>,
     /// Hash-consed sub-expression DAG shared by all general-tree filters.
@@ -258,6 +388,14 @@ impl FilterIndex {
             unique_predicates: self.preds.iter().filter(|p| p.refcount > 0).count(),
             paths: self.groups.len(),
             shared_nodes: self.shared_nodes.len() - self.free_nodes.len(),
+            counting_filters: self
+                .filters
+                .values()
+                .filter(|f| f.plan.counted())
+                .count(),
+            residual_filters: self.residual_trees.len(),
+            indexed_preds: self.groups.values().map(PathGroup::indexed_len).sum(),
+            residual_preds: self.groups.values().map(|g| g.general.len()).sum(),
         }
     }
 
@@ -273,6 +411,8 @@ impl FilterIndex {
             }
             None => {
                 self.slots.push(Some(id));
+                self.slot_target.push(NO_TARGET);
+                self.slot_root.push(NO_ROOT);
                 let scratch = self.scratch.get_mut();
                 scratch.counter_gen.push(0);
                 scratch.counters.push(0);
@@ -286,26 +426,72 @@ impl FilterIndex {
             globals.push(self.intern_pred(pred));
         }
 
-        let conjunctive_arity = conjunction_leaves(filter.eval_tree()).map(|leaves| {
-            // Deduplicate leaves within the filter so the counter target is
-            // the number of *distinct* conditions.
-            let mut distinct: Vec<usize> = leaves.iter().map(|&l| globals[l]).collect();
-            distinct.sort_unstable();
-            distinct.dedup();
-            for &g in &distinct {
-                self.preds[g].postings.push(slot);
+        let (plan, posted) = match conjunction_leaves(filter.eval_tree()) {
+            Some(leaves) => {
+                // Deduplicate leaves within the filter so the counter target
+                // is the number of *distinct* conditions.
+                let mut distinct: Vec<usize> = leaves.iter().map(|&l| globals[l]).collect();
+                distinct.sort_unstable();
+                distinct.dedup();
+                if distinct.is_empty() {
+                    (MatchPlan::Unconditional, Vec::new())
+                } else {
+                    // Access-predicate gating: when the conjunction mixes
+                    // selective equality predicates with wide-range ones,
+                    // only the equalities post. Their narrow hash buckets
+                    // gate the counter; a trigger verifies the whole filter
+                    // directly rather than counting range predicates that
+                    // half the population satisfies on every event.
+                    let gates = self.equality_gates(&distinct);
+                    let gated = !gates.is_empty() && gates.len() < distinct.len();
+                    let arity = distinct.len() as u32;
+                    let posted = if gated { gates } else { distinct };
+                    for &g in &posted {
+                        self.preds[g].postings.push(slot);
+                    }
+                    (MatchPlan::Conjunction { arity, gated }, posted)
+                }
             }
-            distinct.len() as u32
-        });
-
-        let mut shared_root = None;
-        match conjunctive_arity {
-            Some(0) => self.unconditional.push(slot),
-            Some(_) => {}
             None => {
-                shared_root = Some(self.intern_node(filter.eval_tree(), &globals));
-                self.tree_filters.push(slot);
+                let root = self.intern_node(filter.eval_tree(), &globals);
+                match self.shared_nodes[root as usize].min_true {
+                    0 => (MatchPlan::ResidualTree { root }, Vec::new()),
+                    UNSATISFIABLE => (MatchPlan::Never { root }, Vec::new()),
+                    threshold => {
+                        // The tree triggers once `threshold` of the filter's
+                        // distinct predicates hold, so every distinct
+                        // predicate posts to this slot.
+                        let mut distinct: Vec<usize> = globals.clone();
+                        distinct.sort_unstable();
+                        distinct.dedup();
+                        for &g in &distinct {
+                            self.preds[g].postings.push(slot);
+                        }
+                        (MatchPlan::CountedTree { threshold, root }, distinct)
+                    }
+                }
             }
+        };
+
+        if let Some(root) = plan.root() {
+            self.slot_root[slot] = root;
+        }
+        match plan {
+            MatchPlan::Unconditional => self.unconditional.push(slot),
+            MatchPlan::Conjunction { arity, gated } => {
+                if gated {
+                    self.slot_target[slot] = posted.len() as u32;
+                    self.slot_root[slot] = VERIFY;
+                } else {
+                    self.slot_target[slot] = arity;
+                }
+            }
+            MatchPlan::CountedTree { threshold, .. } => self.slot_target[slot] = threshold,
+            MatchPlan::ResidualTree { .. } => self.residual_trees.push(slot),
+            MatchPlan::Never { .. } => {}
+        }
+        for &g in &globals {
+            self.sync_pred_bucket(g);
         }
 
         self.filters.insert(
@@ -313,33 +499,56 @@ impl FilterIndex {
             StoredFilter {
                 filter,
                 globals,
+                posted,
                 slot,
-                conjunctive_arity,
-                shared_root,
+                plan,
             },
         );
         id
     }
 
+    /// The subset of `distinct` (sorted global ids) that classify into
+    /// equality hash buckets — the candidate access predicates of a gated
+    /// conjunction.
+    fn equality_gates(&self, distinct: &[usize]) -> Vec<usize> {
+        distinct
+            .iter()
+            .copied()
+            .filter(|&g| {
+                matches!(
+                    classify(&self.preds[g].pred, self.options.batch),
+                    Bucket::Equality(_)
+                )
+            })
+            .collect()
+    }
+
     /// Removes a filter. Returns the filter if it was present.
     pub fn remove(&mut self, id: FilterId) -> Option<RemoteFilter> {
         let stored = self.filters.remove(&id)?;
-        self.slots[stored.slot] = None;
-        self.free_slots.push(stored.slot);
-        match stored.conjunctive_arity {
-            Some(0) => self.unconditional.retain(|&s| s != stored.slot),
-            Some(_) => {
-                let mut distinct: Vec<usize> = stored.globals.clone();
-                distinct.sort_unstable();
-                distinct.dedup();
-                for g in distinct {
-                    self.preds[g].postings.retain(|&s| s != stored.slot);
+        let slot = stored.slot;
+        self.slots[slot] = None;
+        self.slot_target[slot] = NO_TARGET;
+        self.slot_root[slot] = NO_ROOT;
+        self.free_slots.push(slot);
+        match stored.plan {
+            MatchPlan::Unconditional => self.unconditional.retain(|&s| s != slot),
+            MatchPlan::Conjunction { .. } | MatchPlan::CountedTree { .. } => {
+                for &g in &stored.posted {
+                    self.preds[g].postings.retain(|&s| s != slot);
                 }
             }
-            None => self.tree_filters.retain(|&s| s != stored.slot),
+            MatchPlan::ResidualTree { .. } => self.residual_trees.retain(|&s| s != slot),
+            MatchPlan::Never { .. } => {}
         }
-        if let Some(root) = stored.shared_root {
+        if let Some(root) = stored.plan.root() {
             self.release_node(root);
+        }
+        // Postings and DAG references are gone; predicates nobody consumes
+        // per event leave their probe buckets (before the refcounts drop,
+        // while the entries are still live).
+        for &g in &stored.globals {
+            self.sync_pred_bucket(g);
         }
         self.pred_occurrences -= stored.globals.len();
         for &g in &stored.globals {
@@ -397,6 +606,42 @@ impl FilterIndex {
         self.intern_key(key)
     }
 
+    /// The [`SharedNode::min_true`] lower bound for a node with `key`,
+    /// computed from its (already interned) children.
+    fn bound_of_key(&self, key: &SharedKey) -> u32 {
+        match key {
+            SharedKey::True => 0,
+            SharedKey::False => UNSATISFIABLE,
+            SharedKey::Pred(_) => 1,
+            // A negation can hold with nothing satisfied at all.
+            SharedKey::Not(_) => 0,
+            SharedKey::And(children) => {
+                let mut bound = 0u32;
+                let mut pred_children = 0u32;
+                for &c in children {
+                    let child = &self.shared_nodes[c as usize];
+                    if matches!(child.key, SharedKey::Pred(_)) {
+                        pred_children += 1;
+                    }
+                    bound = bound.max(child.min_true);
+                }
+                // Direct predicate children are distinct globals (children
+                // are deduplicated node ids) and must all hold, so their
+                // count is a second sound lower bound.
+                if bound == UNSATISFIABLE {
+                    UNSATISFIABLE
+                } else {
+                    bound.max(pred_children)
+                }
+            }
+            SharedKey::Or(children) => children
+                .iter()
+                .map(|&c| self.shared_nodes[c as usize].min_true)
+                .min()
+                .unwrap_or(UNSATISFIABLE),
+        }
+    }
+
     fn intern_key(&mut self, key: SharedKey) -> u32 {
         if let Some(&id) = self.shared_lookup.get(&key) {
             // The existing node already owns references to its children;
@@ -414,11 +659,13 @@ impl FilterIndex {
             metrics().shared_subexprs.add(1);
             return id;
         }
+        let min_true = self.bound_of_key(&key);
         let id = match self.free_nodes.pop() {
             Some(id) => {
                 self.shared_nodes[id as usize] = SharedNode {
                     key: key.clone(),
                     refcount: 1,
+                    min_true,
                 };
                 id
             }
@@ -426,6 +673,7 @@ impl FilterIndex {
                 self.shared_nodes.push(SharedNode {
                     key: key.clone(),
                     refcount: 1,
+                    min_true,
                 });
                 (self.shared_nodes.len() - 1) as u32
             }
@@ -480,14 +728,65 @@ impl FilterIndex {
         truth
     }
 
+    /// Probes one path group with the value found at its path, appending
+    /// the ids of satisfied predicates: hash lookup for equality, binary
+    /// search over sorted thresholds for ordered comparisons, individual
+    /// evaluation for the residual set.
+    fn probe_group(&self, group: &PathGroup, value: &Value, satisfied: &mut Vec<usize>) {
+        satisfied.extend_from_slice(&group.exists);
+        if let Some(eq_hits) = group.eq.get(&canonical(value)) {
+            satisfied.extend_from_slice(eq_hits);
+        }
+        match exact_f64(value) {
+            Some(x) if !x.is_nan() => {
+                // lt: x < t  ⇔ t > x
+                let start = group.lt.partition_point(|(t, _)| *t <= x);
+                satisfied.extend(group.lt[start..].iter().map(|&(_, p)| p));
+                // le: x <= t ⇔ t >= x
+                let start = group.le.partition_point(|(t, _)| *t < x);
+                satisfied.extend(group.le[start..].iter().map(|&(_, p)| p));
+                // gt: x > t ⇔ t < x
+                let end = group.gt.partition_point(|(t, _)| *t < x);
+                satisfied.extend(group.gt[..end].iter().map(|&(_, p)| p));
+                // ge: x >= t ⇔ t <= x
+                let end = group.ge.partition_point(|(t, _)| *t <= x);
+                satisfied.extend(group.ge[..end].iter().map(|&(_, p)| p));
+            }
+            _ => {
+                // Non-numeric, NaN, or not exactly representable as f64:
+                // fall back to individual evaluation of the threshold
+                // buckets to preserve exact semantics.
+                for &(_, p) in group
+                    .lt
+                    .iter()
+                    .chain(&group.le)
+                    .chain(&group.gt)
+                    .chain(&group.ge)
+                {
+                    let pred = &self.preds[p].pred;
+                    if pred.op.apply(value, &pred.operand) {
+                        satisfied.push(p);
+                    }
+                }
+            }
+        }
+        for &p in &group.general {
+            let pred = &self.preds[p].pred;
+            if pred.op.apply(value, &pred.operand) {
+                satisfied.push(p);
+            }
+        }
+    }
+
     /// Returns the ids of all filters matching `source`, ascending.
     ///
     /// Takes `&self`: the per-call scratch state lives in a `RefCell`, so
     /// the publish hot path can match against a shared index. Not
-    /// re-entrant — `PropertySource::property` implementations must not call
+    /// re-entrant — `PropertySource` implementations must not call
     /// back into the same index (they are plain data accessors).
     pub fn matching(&self, source: &dyn PropertySource) -> Vec<FilterId> {
-        metrics().matching_calls.add(1);
+        let m = metrics();
+        m.matching_calls.add(1);
         let mut scratch = self.scratch.borrow_mut();
         let scratch = &mut *scratch;
         scratch.gen = scratch.gen.wrapping_add(1);
@@ -503,72 +802,57 @@ impl FilterIndex {
         // naive baseline would have repeated.
         let mut saved = (self.pred_occurrences - self.live_preds) as u64;
 
-        // Phase 1: enumerate satisfied predicates, path group by path group.
-        let mut satisfied: Vec<usize> = Vec::new();
-        for (path, group) in &self.groups {
-            let value = match source.property(path) {
-                Some(v) => v,
-                None => continue,
-            };
-            satisfied.extend_from_slice(&group.exists);
-            if let Some(eq_hits) = group.eq.get(&canonical(&value)) {
-                satisfied.extend_from_slice(eq_hits);
+        // Phase 1: enumerate satisfied predicates. Fast path: walk the
+        // *event's* attributes and hash-probe the per-path buckets —
+        // O(attrs) probes, independent of the subscription population.
+        // Sources that cannot enumerate themselves fall back to one fetch
+        // per indexed path.
+        let mut satisfied = std::mem::take(&mut scratch.satisfied);
+        satisfied.clear();
+        let mut probes = 0u64;
+        let enumerated = source.visit_properties(&mut |path, value| {
+            if let Some(group) = self.groups.get(path) {
+                probes += 1;
+                self.probe_group(group, value, &mut satisfied);
             }
-            match exact_f64(&value) {
-                Some(x) if !x.is_nan() => {
-                    // lt: x < t  ⇔ t > x
-                    let start = group.lt.partition_point(|(t, _)| *t <= x);
-                    satisfied.extend(group.lt[start..].iter().map(|&(_, p)| p));
-                    // le: x <= t ⇔ t >= x
-                    let start = group.le.partition_point(|(t, _)| *t < x);
-                    satisfied.extend(group.le[start..].iter().map(|&(_, p)| p));
-                    // gt: x > t ⇔ t < x
-                    let end = group.gt.partition_point(|(t, _)| *t < x);
-                    satisfied.extend(group.gt[..end].iter().map(|&(_, p)| p));
-                    // ge: x >= t ⇔ t <= x
-                    let end = group.ge.partition_point(|(t, _)| *t <= x);
-                    satisfied.extend(group.ge[..end].iter().map(|&(_, p)| p));
-                }
-                _ => {
-                    // Non-numeric, NaN, or not exactly representable as f64:
-                    // fall back to individual evaluation of the threshold
-                    // buckets to preserve exact semantics.
-                    for &(_, p) in group
-                        .lt
-                        .iter()
-                        .chain(&group.le)
-                        .chain(&group.gt)
-                        .chain(&group.ge)
-                    {
-                        let pred = &self.preds[p].pred;
-                        if pred.op.apply(&value, &pred.operand) {
-                            satisfied.push(p);
-                        }
-                    }
-                }
-            }
-            for &p in &group.general {
-                let pred = &self.preds[p].pred;
-                if pred.op.apply(&value, &pred.operand) {
-                    satisfied.push(p);
-                }
+        });
+        if !enumerated {
+            for (path, group) in &self.groups {
+                let Some(value) = source.property(path) else { continue };
+                probes += 1;
+                self.probe_group(group, &value, &mut satisfied);
             }
         }
+        m.index_probes.add(probes);
 
-        // Phase 2: counting for conjunctive filters.
+        // Phase 2: counting. Each satisfied predicate bumps the counters of
+        // its posting slots; a conjunction reaching its arity matches
+        // outright, a counted tree reaching its threshold becomes a DAG
+        // candidate. Dense slot arrays: no hash lookups in the loop.
         let mut matched: Vec<FilterId> = Vec::new();
+        let mut candidates = std::mem::take(&mut scratch.candidates);
+        candidates.clear();
+        let mut touched = 0u64;
         for &p in &satisfied {
+            if scratch.truth_gen[p] == gen {
+                // A source enumerating a path twice must not double-count.
+                continue;
+            }
             scratch.truth_gen[p] = gen;
             for &slot in &self.preds[p].postings {
                 if scratch.counter_gen[slot] != gen {
                     scratch.counter_gen[slot] = gen;
                     scratch.counters[slot] = 0;
+                    touched += 1;
                 }
                 scratch.counters[slot] += 1;
-                if let Some(id) = self.slots[slot] {
-                    let stored = &self.filters[&id];
-                    if stored.conjunctive_arity == Some(scratch.counters[slot]) {
-                        matched.push(id);
+                if scratch.counters[slot] == self.slot_target[slot] {
+                    if self.slot_root[slot] == NO_ROOT {
+                        if let Some(id) = self.slots[slot] {
+                            matched.push(id);
+                        }
+                    } else {
+                        candidates.push(slot);
                     }
                 }
             }
@@ -581,18 +865,33 @@ impl FilterIndex {
             }
         }
 
-        // Phase 4: general evaluation trees over the hash-consed DAG, with
-        // per-generation memoization: a sub-expression shared by several
-        // filters (or appearing twice inside one tree) is evaluated once.
-        for &slot in &self.tree_filters {
+        // Phase 4: counting-triggered candidates plus the residual trees.
+        // Gated conjunctions (all access predicates held) verify the stored
+        // filter directly; everything else walks the hash-consed DAG with
+        // per-generation memoization sharing sub-expression results.
+        m.index_candidates
+            .add((candidates.len() + self.residual_trees.len()) as u64);
+        for &slot in candidates.iter().chain(&self.residual_trees) {
             let Some(id) = self.slots[slot] else { continue };
-            let stored = &self.filters[&id];
-            let root = stored.shared_root.expect("tree filters have a DAG root");
-            if self.eval_shared(scratch, root, &mut saved) {
+            let root = self.slot_root[slot];
+            debug_assert_ne!(root, NO_ROOT, "evaluated slots carry a DAG root");
+            let hit = if root == VERIFY {
+                self.filters[&id].filter.matches(source)
+            } else {
+                self.eval_shared(scratch, root, &mut saved)
+            };
+            if hit {
                 matched.push(id);
             }
         }
-        metrics().factored_evals_saved.add(saved);
+        let evaluated =
+            touched + (self.unconditional.len() + self.residual_trees.len()) as u64;
+        m.index_shortcircuits
+            .add((self.filters.len() as u64).saturating_sub(evaluated));
+        m.factored_evals_saved.add(saved);
+
+        scratch.satisfied = satisfied;
+        scratch.candidates = candidates;
 
         matched.sort_unstable();
         matched.dedup();
@@ -601,8 +900,9 @@ impl FilterIndex {
 
     /// The unfactored baseline: evaluates every stored filter independently.
     /// Extensionally equal to [`FilterIndex::matching`]; exists for
-    /// benchmarking the factoring speedup (experiment E1) and as a test
-    /// oracle.
+    /// benchmarking the indexing speedup (experiments E1, E11) and as the
+    /// differential oracle of the property tests and the churn-storm
+    /// harness.
     pub fn naive_matching(&self, source: &dyn PropertySource) -> Vec<FilterId> {
         let mut matched: Vec<FilterId> = self
             .filters
@@ -612,6 +912,380 @@ impl FilterIndex {
             .collect();
         matched.sort_unstable();
         matched
+    }
+
+    /// Audits the index's internal bookkeeping — posting lists, predicate
+    /// refcounts, bucket placement, DAG refcounts and trigger metadata —
+    /// against a reconstruction from the stored filters. Returns the first
+    /// discrepancy found; `Ok(())` means a from-scratch rebuild would
+    /// produce an equivalent structure.
+    ///
+    /// Cost is O(index); meant for tests and the harness's mid-chaos
+    /// `FilterOracle`, not the hot path.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        if self.slots.len() != self.slot_target.len() || self.slots.len() != self.slot_root.len()
+        {
+            return Err(format!(
+                "slot tables disagree: slots={} targets={} roots={}",
+                self.slots.len(),
+                self.slot_target.len(),
+                self.slot_root.len()
+            ));
+        }
+
+        // Slot occupancy: every stored filter sits in its slot, every
+        // occupied slot is backed by a stored filter, vacancies are on the
+        // free list exactly once.
+        let occupied = self.slots.iter().filter(|s| s.is_some()).count();
+        if occupied != self.filters.len() {
+            return Err(format!(
+                "{} occupied slots but {} stored filters",
+                occupied,
+                self.filters.len()
+            ));
+        }
+        let mut free = self.free_slots.clone();
+        free.sort_unstable();
+        let dup_free = free.windows(2).any(|w| w[0] == w[1]);
+        if dup_free || free.len() != self.slots.len() - occupied {
+            return Err(format!(
+                "free slot list inconsistent: {} entries (dup={}) for {} vacancies",
+                free.len(),
+                dup_free,
+                self.slots.len() - occupied
+            ));
+        }
+        if let Some(&s) = self.free_slots.iter().find(|&&s| self.slots[s].is_some()) {
+            return Err(format!("slot {s} is both free and occupied"));
+        }
+
+        // Per-filter: slot back-pointer, plan metadata mirrored in the
+        // dense arrays, globals resolving to live predicates with the
+        // filter's own predicate content.
+        let mut expected_postings: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut expected_refs: HashMap<usize, usize> = HashMap::new();
+        let mut expected_unconditional = Vec::new();
+        let mut expected_residual = Vec::new();
+        let mut expected_occurrences = 0usize;
+        for (id, stored) in &self.filters {
+            if self.slots.get(stored.slot).copied().flatten() != Some(*id) {
+                return Err(format!(
+                    "filter {} does not occupy its slot {}",
+                    id.as_u64(),
+                    stored.slot
+                ));
+            }
+            if stored.globals.len() != stored.filter.predicates().len() {
+                return Err(format!(
+                    "filter {}: {} globals for {} predicates",
+                    id.as_u64(),
+                    stored.globals.len(),
+                    stored.filter.predicates().len()
+                ));
+            }
+            expected_occurrences += stored.globals.len();
+            for (g, pred) in stored.globals.iter().zip(stored.filter.predicates()) {
+                let entry = self
+                    .preds
+                    .get(*g)
+                    .ok_or_else(|| format!("filter {}: global {g} out of range", id.as_u64()))?;
+                if entry.refcount == 0 {
+                    return Err(format!(
+                        "filter {}: global {g} points at a freed predicate",
+                        id.as_u64()
+                    ));
+                }
+                if entry.pred != *pred {
+                    return Err(format!(
+                        "filter {}: global {g} stores `{}` but the filter says `{pred}`",
+                        id.as_u64(),
+                        entry.pred
+                    ));
+                }
+                *expected_refs.entry(*g).or_default() += 1;
+            }
+
+            let (want_target, want_root) = match stored.plan {
+                MatchPlan::Unconditional => {
+                    expected_unconditional.push(stored.slot);
+                    (NO_TARGET, NO_ROOT)
+                }
+                MatchPlan::Conjunction { arity, gated } => {
+                    if gated {
+                        (stored.posted.len() as u32, VERIFY)
+                    } else {
+                        (arity, NO_ROOT)
+                    }
+                }
+                MatchPlan::CountedTree { threshold, root } => (threshold, root),
+                MatchPlan::ResidualTree { root } => {
+                    expected_residual.push(stored.slot);
+                    (NO_TARGET, root)
+                }
+                MatchPlan::Never { root } => (NO_TARGET, root),
+            };
+            if self.slot_target[stored.slot] != want_target {
+                return Err(format!(
+                    "filter {}: slot target {} != plan target {want_target}",
+                    id.as_u64(),
+                    self.slot_target[stored.slot]
+                ));
+            }
+            if self.slot_root[stored.slot] != want_root {
+                return Err(format!(
+                    "filter {}: slot root {} != plan root {want_root}",
+                    id.as_u64(),
+                    self.slot_root[stored.slot]
+                ));
+            }
+            if stored.plan.counted() {
+                let mut distinct = stored.globals.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                let want_posted = match stored.plan {
+                    MatchPlan::Conjunction { gated, .. } => {
+                        // Conjunctions post their distinct *leaves*; with
+                        // `from_parts` the tree may reference a subset of
+                        // the predicate list.
+                        let leaves = conjunction_leaves(stored.filter.eval_tree())
+                            .ok_or_else(|| {
+                                format!(
+                                    "filter {}: Conjunction plan but tree is not a conjunction",
+                                    id.as_u64()
+                                )
+                            })?;
+                        distinct = leaves.iter().map(|&l| stored.globals[l]).collect();
+                        distinct.sort_unstable();
+                        distinct.dedup();
+                        let gates = self.equality_gates(&distinct);
+                        let want_gated = !gates.is_empty() && gates.len() < distinct.len();
+                        if gated != want_gated {
+                            return Err(format!(
+                                "filter {}: gated={gated} but {} equality gates of {} leaves",
+                                id.as_u64(),
+                                gates.len(),
+                                distinct.len()
+                            ));
+                        }
+                        if gated {
+                            gates
+                        } else {
+                            distinct
+                        }
+                    }
+                    _ => distinct,
+                };
+                if stored.posted != want_posted {
+                    return Err(format!(
+                        "filter {}: posted {:?} but reconstruction says {want_posted:?}",
+                        id.as_u64(),
+                        stored.posted
+                    ));
+                }
+                for &g in &stored.posted {
+                    expected_postings.entry(g).or_default().push(stored.slot);
+                }
+            } else if !stored.posted.is_empty() {
+                return Err(format!(
+                    "filter {}: uncounted plan with posted set {:?}",
+                    id.as_u64(),
+                    stored.posted
+                ));
+            }
+        }
+        if expected_occurrences != self.pred_occurrences {
+            return Err(format!(
+                "pred_occurrences={} but filters hold {expected_occurrences}",
+                self.pred_occurrences
+            ));
+        }
+
+        // Membership lists match the plans exactly.
+        for (name, got, want) in [
+            ("unconditional", &self.unconditional, &mut expected_unconditional),
+            ("residual_trees", &self.residual_trees, &mut expected_residual),
+        ] {
+            let mut got = got.clone();
+            got.sort_unstable();
+            want.sort_unstable();
+            if got != *want {
+                return Err(format!("{name} list {got:?} != expected {want:?}"));
+            }
+        }
+
+        // Predicate table: refcounts and posting lists reconstruct, freed
+        // entries are exactly the free list.
+        let live = self.preds.iter().filter(|p| p.refcount > 0).count();
+        if live != self.live_preds {
+            return Err(format!(
+                "live_preds={} but {live} entries have refcount > 0",
+                self.live_preds
+            ));
+        }
+        let mut free_preds = self.free_preds.clone();
+        free_preds.sort_unstable();
+        let dup = free_preds.windows(2).any(|w| w[0] == w[1]);
+        if dup || free_preds.len() != self.preds.len() - live {
+            return Err(format!(
+                "free pred list inconsistent: {} entries (dup={dup}) for {} freed",
+                free_preds.len(),
+                self.preds.len() - live
+            ));
+        }
+        if let Some(&p) = self.free_preds.iter().find(|&&p| self.preds[p].refcount > 0) {
+            return Err(format!("pred {p} is both free and live"));
+        }
+        for (idx, entry) in self.preds.iter().enumerate() {
+            let want_refs = expected_refs.get(&idx).copied().unwrap_or(0);
+            if entry.refcount != want_refs {
+                return Err(format!(
+                    "pred {idx} `{}`: refcount {} but {want_refs} filter occurrences",
+                    entry.pred, entry.refcount
+                ));
+            }
+            let mut got = entry.postings.clone();
+            got.sort_unstable();
+            let mut want = expected_postings.remove(&idx).unwrap_or_default();
+            want.sort_unstable();
+            if got != want {
+                return Err(format!(
+                    "pred {idx} `{}`: postings {got:?} != expected {want:?}",
+                    entry.pred
+                ));
+            }
+        }
+        if self.options.dedup {
+            if self.pred_lookup.len() != live {
+                return Err(format!(
+                    "pred_lookup has {} entries for {live} live predicates",
+                    self.pred_lookup.len()
+                ));
+            }
+            for (pred, &idx) in &self.pred_lookup {
+                if self.preds.get(idx).map(|e| &e.pred) != Some(pred) {
+                    return Err(format!("pred_lookup maps `{pred}` to mismatched entry {idx}"));
+                }
+            }
+        }
+
+        // Bucket placement: every live predicate whose truth is consumed
+        // per event (posted, or referenced by a live DAG node) sits in
+        // exactly one bucket of its path's group, in the bucket `classify`
+        // chooses; every other predicate sits in none.
+        let mut placements: HashMap<usize, usize> = HashMap::new();
+        for (path, group) in &self.groups {
+            if group.is_empty() {
+                return Err(format!("empty group retained for path `{path}`"));
+            }
+            let members = group
+                .lt
+                .iter()
+                .chain(&group.le)
+                .chain(&group.gt)
+                .chain(&group.ge)
+                .map(|&(_, p)| p)
+                .chain(group.eq.values().flatten().copied())
+                .chain(group.exists.iter().copied())
+                .chain(group.general.iter().copied());
+            for p in members {
+                let entry = self
+                    .preds
+                    .get(p)
+                    .ok_or_else(|| format!("group `{path}` lists out-of-range pred {p}"))?;
+                if entry.refcount == 0 {
+                    return Err(format!("group `{path}` lists freed pred {p}"));
+                }
+                if entry.pred.path != *path {
+                    return Err(format!(
+                        "pred {p} `{}` filed under wrong path `{path}`",
+                        entry.pred
+                    ));
+                }
+                *placements.entry(p).or_default() += 1;
+            }
+        }
+        for (idx, entry) in self.preds.iter().enumerate() {
+            if entry.refcount == 0 {
+                if entry.in_bucket {
+                    return Err(format!("freed pred {idx} still flagged in_bucket"));
+                }
+                continue;
+            }
+            let needed = !entry.postings.is_empty()
+                || self.shared_lookup.contains_key(&SharedKey::Pred(idx));
+            if entry.in_bucket != needed {
+                return Err(format!(
+                    "live pred {idx} `{}`: in_bucket={} but consumption says {needed}",
+                    entry.pred, entry.in_bucket
+                ));
+            }
+            let placed = placements.get(&idx).copied().unwrap_or(0);
+            if placed != usize::from(needed) {
+                return Err(format!(
+                    "live pred {idx} `{}` appears {placed} times across buckets (needed={needed})",
+                    entry.pred
+                ));
+            }
+        }
+
+        // Shared DAG: refcounts reconstruct from plan roots + live parent
+        // edges; lookup covers exactly the live nodes; `min_true` bounds
+        // recompute.
+        let mut node_refs = vec![0usize; self.shared_nodes.len()];
+        for stored in self.filters.values() {
+            if let Some(root) = stored.plan.root() {
+                node_refs[root as usize] += 1;
+            }
+        }
+        for node in &self.shared_nodes {
+            if node.refcount == 0 {
+                continue;
+            }
+            match &node.key {
+                SharedKey::And(children) | SharedKey::Or(children) => {
+                    for &c in children {
+                        node_refs[c as usize] += 1;
+                    }
+                }
+                SharedKey::Not(c) => node_refs[*c as usize] += 1,
+                _ => {}
+            }
+        }
+        for (i, node) in self.shared_nodes.iter().enumerate() {
+            if node.refcount != node_refs[i] {
+                return Err(format!(
+                    "DAG node {i} {:?}: refcount {} but {} references",
+                    node.key, node.refcount, node_refs[i]
+                ));
+            }
+            if node.refcount > 0 {
+                if self.shared_lookup.get(&node.key) != Some(&(i as u32)) {
+                    return Err(format!("DAG node {i} {:?} missing from lookup", node.key));
+                }
+                let bound = self.bound_of_key(&node.key);
+                if node.min_true != bound {
+                    return Err(format!(
+                        "DAG node {i} {:?}: min_true {} but bound recomputes to {bound}",
+                        node.key, node.min_true
+                    ));
+                }
+            }
+        }
+        let live_nodes = self.shared_nodes.iter().filter(|n| n.refcount > 0).count();
+        if self.shared_lookup.len() != live_nodes {
+            return Err(format!(
+                "shared_lookup has {} entries for {live_nodes} live nodes",
+                self.shared_lookup.len()
+            ));
+        }
+        if self.free_nodes.len() != self.shared_nodes.len() - live_nodes {
+            return Err(format!(
+                "free node list has {} entries for {} freed nodes",
+                self.free_nodes.len(),
+                self.shared_nodes.len() - live_nodes
+            ));
+        }
+        Ok(())
     }
 
     fn intern_pred(&mut self, pred: &Predicate) -> usize {
@@ -628,6 +1302,7 @@ impl FilterIndex {
                     pred: pred.clone(),
                     refcount: 1,
                     postings: Vec::new(),
+                    in_bucket: false,
                 };
                 idx
             }
@@ -636,6 +1311,7 @@ impl FilterIndex {
                     pred: pred.clone(),
                     refcount: 1,
                     postings: Vec::new(),
+                    in_bucket: false,
                 });
                 self.preds.len() - 1
             }
@@ -643,7 +1319,6 @@ impl FilterIndex {
         if self.options.dedup {
             self.pred_lookup.insert(pred.clone(), idx);
         }
-        self.index_pred(idx);
         idx
     }
 
@@ -651,14 +1326,36 @@ impl FilterIndex {
         self.preds[idx].refcount -= 1;
         if self.preds[idx].refcount == 0 {
             self.live_preds -= 1;
+            self.sync_pred_bucket(idx);
             let pred = self.preds[idx].pred.clone();
             self.pred_lookup.remove(&pred);
-            self.unindex_pred(idx, &pred);
             self.free_preds.push(idx);
         }
     }
 
+    /// Moves predicate `idx` in or out of its path group's probe bucket
+    /// according to whether its per-event truth is consumed at all: by a
+    /// posting list (counting) or a live DAG node (evaluation). Everything
+    /// else — notably the non-gate predicates of gated conjunctions — stays
+    /// out and costs nothing per event.
+    fn sync_pred_bucket(&mut self, idx: usize) {
+        let entry = &self.preds[idx];
+        let needed = entry.refcount > 0
+            && (!entry.postings.is_empty()
+                || self.shared_lookup.contains_key(&SharedKey::Pred(idx)));
+        if needed == entry.in_bucket {
+            return;
+        }
+        if needed {
+            self.index_pred(idx);
+        } else {
+            let pred = self.preds[idx].pred.clone();
+            self.unindex_pred(idx, &pred);
+        }
+    }
+
     fn index_pred(&mut self, idx: usize) {
+        self.preds[idx].in_bucket = true;
         let pred = self.preds[idx].pred.clone();
         let batch = self.options.batch;
         let group = self.groups.entry(pred.path.clone()).or_default();
@@ -681,6 +1378,7 @@ impl FilterIndex {
     }
 
     fn unindex_pred(&mut self, idx: usize, pred: &Predicate) {
+        self.preds[idx].in_bucket = false;
         let Some(group) = self.groups.get_mut(&pred.path) else {
             return;
         };
@@ -802,12 +1500,16 @@ impl Inspect for FilterIndex {
         let mut report = ReportBuilder::new();
         report.section("filter-index");
         report.line(format!(
-            "filters={} predicates={} unique={} paths={} shared_nodes={}",
+            "filters={} predicates={} unique={} paths={} shared_nodes={} counting={} residual={} indexed_preds={} residual_preds={}",
             stats.filters,
             stats.total_predicates,
             stats.unique_predicates,
             stats.paths,
-            stats.shared_nodes
+            stats.shared_nodes,
+            stats.counting_filters,
+            stats.residual_filters,
+            stats.indexed_preds,
+            stats.residual_preds
         ));
         report.end();
         report.finish()

@@ -22,6 +22,17 @@ pub(crate) struct FilterMetrics {
     /// `filter.shared_subexprs` — hash-cons hits at insert time: a filter's
     /// sub-expression was already present in the index's shared DAG.
     pub shared_subexprs: Counter,
+    /// `filter.index.probes` — attribute buckets probed per `matching` call:
+    /// path groups actually hit by the obvent's properties (the O(attrs)
+    /// work of the counting engine).
+    pub index_probes: Counter,
+    /// `filter.index.candidates` — filters whose evaluation DAG was walked:
+    /// counting-triggered general trees plus the always-evaluated residual
+    /// trees. The gap to the live filter count is work the index skipped.
+    pub index_candidates: Counter,
+    /// `filter.index.shortcircuits` — live filters `matching` never touched:
+    /// no counter increment, no DAG walk, no membership scan.
+    pub index_shortcircuits: Counter,
 }
 
 /// Handles are created once and cached; the hot path never touches the
@@ -34,6 +45,9 @@ pub(crate) fn metrics() -> &'static FilterMetrics {
             factored_evals_saved: global.counter("filter.factored_evals_saved"),
             matching_calls: global.counter("filter.matching_calls"),
             shared_subexprs: global.counter("filter.shared_subexprs"),
+            index_probes: global.counter("filter.index.probes"),
+            index_candidates: global.counter("filter.index.candidates"),
+            index_shortcircuits: global.counter("filter.index.shortcircuits"),
         }
     })
 }

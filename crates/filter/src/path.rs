@@ -96,6 +96,17 @@ impl PropPath {
     }
 }
 
+/// Paths borrow as their segment slice, so hash maps keyed by `PropPath`
+/// can be probed with a `&[String]` built during property enumeration —
+/// no owned path allocation on the matching hot path. The derived `Hash`
+/// of `PropPath` hashes exactly its `segments` vector, which hashes
+/// identically to the slice, as `Borrow` requires.
+impl std::borrow::Borrow<[String]> for PropPath {
+    fn borrow(&self) -> &[String] {
+        &self.segments
+    }
+}
+
 impl fmt::Display for PropPath {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (i, seg) in self.segments.iter().enumerate() {

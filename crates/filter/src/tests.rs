@@ -556,7 +556,35 @@ mod index {
         ]
     }
 
-    fn arb_pred() -> impl Strategy<Value = Predicate> {
+    /// Adversarial operands for the indexed≡naive battery: NaN (hashable
+    /// but incomparable), empty strings, signed zero, and the integer
+    /// boundaries where `f64` conversion goes lossy — each one a known way
+    /// to knock a predicate off the batched fast path or flip a bucket
+    /// comparison. Ordinary operands appear twice as often as edge cases.
+    fn arb_edge_operand() -> impl Strategy<Value = Value> {
+        let edges = proptest::sample::select(vec![
+            Value::Float(f64::NAN),
+            Value::Str(String::new()),
+            Value::Int(i64::MAX),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX - 1),
+            Value::UInt(u64::MAX),
+            Value::Int(0),
+            Value::UInt(0),
+            Value::Float(0.0),
+            Value::Float(-0.0),
+            Value::Float(f64::INFINITY),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Float(1e300),
+            Value::Unit,
+            Value::List(vec![Value::Int(1), Value::Str("a".into())]),
+        ]);
+        prop_oneof![arb_operand(), arb_operand(), edges]
+    }
+
+    fn arb_pred_with(
+        operand: impl Strategy<Value = Value>,
+    ) -> impl Strategy<Value = Predicate> {
         let path = prop_oneof![
             Just(PropPath::parse("p")),
             Just(PropPath::parse("q")),
@@ -571,13 +599,18 @@ mod index {
             Just(CmpOp::Ge),
             Just(CmpOp::Contains),
             Just(CmpOp::StartsWith),
+            Just(CmpOp::EndsWith),
             Just(CmpOp::Exists),
         ];
-        (path, op, arb_operand()).prop_map(|(path, op, operand)| Predicate {
+        (path, op, operand).prop_map(|(path, op, operand)| Predicate {
             path,
             op,
             operand,
         })
+    }
+
+    fn arb_pred() -> impl Strategy<Value = Predicate> {
+        arb_pred_with(arb_operand())
     }
 
     fn arb_filter() -> impl Strategy<Value = RemoteFilter> {
@@ -603,6 +636,64 @@ mod index {
                 ("r", Value::record([("s", s)])),
             ])
         })
+    }
+
+    /// An edge operand three times out of four, absent otherwise.
+    fn arb_maybe_edge() -> impl Strategy<Value = Option<Value>> {
+        prop_oneof![
+            Just(None::<Value>),
+            arb_edge_operand().prop_map(Some),
+            arb_edge_operand().prop_map(Some),
+            arb_edge_operand().prop_map(Some),
+        ]
+    }
+
+    /// Events carrying edge-case values, with each property optionally
+    /// absent so `Exists` and missing-path semantics get exercised too.
+    fn arb_edge_event() -> impl Strategy<Value = Value> {
+        (arb_maybe_edge(), arb_maybe_edge(), arb_maybe_edge())
+            .prop_map(|(p, q, s)| {
+                let mut fields: Vec<(&str, Value)> = Vec::new();
+                if let Some(p) = p {
+                    fields.push(("p", p));
+                }
+                if let Some(q) = q {
+                    fields.push(("q", q));
+                }
+                if let Some(s) = s {
+                    fields.push(("r", Value::record([("s", s)])));
+                }
+                Value::record(fields)
+            })
+    }
+
+    /// General filter shapes over edge predicates: conjunctions,
+    /// disjunctions of conjunctions, and negations — the latter land on the
+    /// always-evaluated residual path of the counting engine.
+    fn arb_edge_filter() -> impl Strategy<Value = RemoteFilter> {
+        let pred = || arb_pred_with(arb_edge_operand());
+        prop_oneof![
+            proptest::collection::vec(pred(), 0..4).prop_map(RemoteFilter::conjunction),
+            (
+                proptest::collection::vec(pred(), 1..3),
+                proptest::collection::vec(pred(), 1..3)
+            )
+                .prop_map(|(a, b)| {
+                    RemoteFilter::conjunction(a).or(RemoteFilter::conjunction(b))
+                }),
+            proptest::collection::vec(pred(), 1..3)
+                .prop_map(|p| RemoteFilter::conjunction(p).negate()),
+        ]
+    }
+
+    /// Wraps a source, hiding its enumeration capability: forces the index
+    /// down the per-path fallback so both phase-1 strategies are compared.
+    struct FetchOnly<'a>(&'a Value);
+
+    impl PropertySource for FetchOnly<'_> {
+        fn property(&self, path: &PropPath) -> Option<Value> {
+            self.0.property(path)
+        }
     }
 
     proptest! {
@@ -640,6 +731,192 @@ mod index {
             }
             prop_assert_eq!(index.matching(&event), index.naive_matching(&event));
         }
+
+        /// The edge-value battery: NaN, empty strings, signed zero,
+        /// integer boundaries past f64 precision, Unit/List operands, and
+        /// non-indexable ops (`!=`, string suffix tests) that fall to the
+        /// residual bucket — the counting engine, the per-path fallback
+        /// (non-enumerable source), and the naive oracle must agree on all
+        /// of it.
+        #[test]
+        fn prop_indexed_equals_naive_on_edge_values(
+            filters in proptest::collection::vec(arb_edge_filter(), 0..12),
+            events in proptest::collection::vec(arb_edge_event(), 1..8),
+        ) {
+            let mut index = FilterIndex::new();
+            for f in filters {
+                index.insert(f);
+            }
+            for event in &events {
+                let fast = index.matching(event);
+                let fallback = index.matching(&FetchOnly(event));
+                let slow = index.naive_matching(event);
+                prop_assert_eq!(&fast, &slow, "enumerated probe diverged from naive");
+                prop_assert_eq!(&fallback, &slow, "per-path fallback diverged from naive");
+            }
+            prop_assert_eq!(index.check_consistency(), Ok(()));
+        }
+
+        /// Random interleavings of insert / remove / matching leave the
+        /// posting lists, refcounts and bucket placement audit-clean after
+        /// every step, and the surviving index statistically identical to
+        /// one rebuilt from scratch from the live filters.
+        #[test]
+        fn prop_interleaved_churn_matches_a_rebuilt_index(
+            script in proptest::collection::vec(
+                prop_oneof![
+                    arb_edge_filter().prop_map(ChurnStep::Insert),
+                    arb_edge_filter().prop_map(ChurnStep::Insert),
+                    arb_edge_filter().prop_map(ChurnStep::Insert),
+                    any::<usize>().prop_map(ChurnStep::Remove),
+                    any::<usize>().prop_map(ChurnStep::Remove),
+                    arb_edge_event().prop_map(ChurnStep::Match),
+                    arb_edge_event().prop_map(ChurnStep::Match),
+                ],
+                1..24,
+            ),
+        ) {
+            let mut index = FilterIndex::new();
+            let mut live: Vec<(crate::FilterId, RemoteFilter)> = Vec::new();
+            for step in script {
+                match step {
+                    ChurnStep::Insert(filter) => {
+                        let id = index.insert(filter.clone());
+                        live.push((id, filter));
+                    }
+                    ChurnStep::Remove(pick) => {
+                        if !live.is_empty() {
+                            let (id, filter) = live.swap_remove(pick % live.len());
+                            let removed = index.remove(id);
+                            prop_assert_eq!(removed, Some(filter));
+                        }
+                    }
+                    ChurnStep::Match(event) => {
+                        prop_assert_eq!(
+                            index.matching(&event),
+                            index.naive_matching(&event)
+                        );
+                    }
+                }
+                prop_assert_eq!(index.check_consistency(), Ok(()));
+            }
+            // A pristine index built from the survivors must agree on every
+            // slot-independent statistic — churn may not leak predicates,
+            // paths, DAG nodes, or bucket entries.
+            let mut rebuilt = FilterIndex::new();
+            for (_, filter) in &live {
+                rebuilt.insert(filter.clone());
+            }
+            prop_assert_eq!(index.stats(), rebuilt.stats());
+            let event = Value::record([("p", Value::Int(1))]);
+            prop_assert_eq!(
+                index.matching(&event).len(),
+                rebuilt.matching(&event).len()
+            );
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum ChurnStep {
+        Insert(RemoteFilter),
+        Remove(usize),
+        Match(Value),
+    }
+
+    #[test]
+    fn non_indexable_predicates_ride_the_residual_bucket() {
+        let mut index = FilterIndex::new();
+        let ne = index.insert(RemoteFilter::conjunction(vec![Predicate::new(
+            "p",
+            CmpOp::Ne,
+            10,
+        )]));
+        let ends = index.insert(RemoteFilter::conjunction(vec![Predicate::new(
+            "q",
+            CmpOp::EndsWith,
+            "co",
+        )]));
+        let stats = index.stats();
+        assert_eq!(stats.residual_preds, 2, "Ne and EndsWith are not batchable");
+        assert_eq!(stats.indexed_preds, 0);
+        for event in [
+            Value::record([("p", Value::Int(3)), ("q", Value::from("Telco"))]),
+            Value::record([("p", Value::Int(10)), ("q", Value::from("Banco"))]),
+            Value::record([("p", Value::from("not a number"))]),
+        ] {
+            assert_eq!(index.matching(&event), index.naive_matching(&event));
+        }
+        assert_eq!(
+            index.matching(&Value::record([
+                ("p", Value::Int(3)),
+                ("q", Value::from("Telco")),
+            ])),
+            vec![ne, ends]
+        );
+        index.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn negations_are_evaluated_residually_and_disjunctions_trigger_by_counting() {
+        let mut index = FilterIndex::new();
+        // ¬(p < 10): satisfiable with zero true predicates → residual.
+        let negated = index.insert(rfilter!(p < 10.0).negate());
+        // (p < 10 && q > 5) || (p > 90 && q < 2): any satisfying assignment
+        // needs ≥ 2 true predicates → counting-triggered.
+        let disjunction = index
+            .insert(rfilter!(p < 10.0 && q > 5).or(rfilter!(p > 90.0 && q < 2)));
+        let stats = index.stats();
+        assert_eq!(stats.residual_filters, 1);
+        assert_eq!(stats.counting_filters, 1);
+
+        let no_props = Value::record([("x", Value::Int(0))]);
+        assert_eq!(index.matching(&no_props), vec![negated]);
+        let left_arm = Value::record([("p", Value::Float(5.0)), ("q", Value::Int(9))]);
+        assert_eq!(index.matching(&left_arm), vec![disjunction]);
+        let one_pred_only = Value::record([("p", Value::Float(5.0)), ("q", Value::Int(3))]);
+        assert_eq!(index.matching(&one_pred_only), Vec::new());
+        for event in [&no_props, &left_arm, &one_pred_only] {
+            assert_eq!(index.matching(event), index.naive_matching(event));
+        }
+        index.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn constant_false_trees_are_never_evaluated_but_stay_accounted() {
+        // `Or([])` interns to the constant-false node: the filter can never
+        // match, and the counting engine knows it without evaluating.
+        let mut index = FilterIndex::new();
+        let never = index.insert(RemoteFilter::from_parts(vec![], EvalNode::Or(vec![])));
+        let live = index.insert(rfilter!(p < 10.0));
+        let event = Value::record([("p", Value::Float(5.0))]);
+        assert_eq!(index.matching(&event), vec![live]);
+        assert_eq!(index.naive_matching(&event), vec![live]);
+        index.check_consistency().unwrap();
+        index.remove(never).unwrap();
+        index.check_consistency().unwrap();
+        assert_eq!(index.stats().shared_nodes, 0);
+    }
+
+    #[test]
+    fn enumerating_and_fetch_only_sources_probe_identically() {
+        let mut index = FilterIndex::new();
+        for f in [
+            rfilter!(p < 10.0),
+            rfilter!(q == "x"),
+            rfilter!(r.s >= 5),
+            rfilter!(p < 10.0).negate(),
+            RemoteFilter::pass_all(),
+        ] {
+            index.insert(f);
+        }
+        let event = Value::record([
+            ("p", Value::Float(3.0)),
+            ("q", Value::from("x")),
+            ("r", Value::record([("s", Value::Int(7))])),
+            ("unindexed", Value::from("ignored")),
+        ]);
+        assert_eq!(index.matching(&event), index.matching(&FetchOnly(&event)));
+        assert_eq!(index.matching(&event), index.naive_matching(&event));
     }
 }
 

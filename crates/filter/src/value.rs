@@ -359,6 +359,36 @@ impl<T: IntoValue> IntoValue for Option<T> {
 pub trait PropertySource {
     /// Looks up the property at `path`, traversing nested records.
     fn property(&self, path: &PropPath) -> Option<Value>;
+
+    /// Enumerates every `(path, value)` pair [`property`](Self::property)
+    /// would answer for, calling `visit` once per path with the path's
+    /// segments in root-to-leaf order.
+    ///
+    /// Returning `true` means the enumeration was exhaustive: the matching
+    /// index may then probe only the *event's* attributes — O(attrs) per
+    /// obvent — instead of fetching every path any filter mentions. The
+    /// default returns `false` without visiting anything, which keeps
+    /// custom sources correct (the index falls back to per-path fetches).
+    ///
+    /// Implementations must uphold: `visit` is called with `(p, v)` exactly
+    /// when `self.property(&p) == Some(v)`, each path at most once.
+    fn visit_properties(&self, visit: &mut dyn FnMut(&[String], &Value)) -> bool {
+        let _ = visit;
+        false
+    }
+}
+
+/// Visits `value` at `prefix`, then descends into record fields (the paths
+/// [`Value::property`] resolves are exactly the record-field chains).
+fn walk_value(value: &Value, prefix: &mut Vec<String>, visit: &mut dyn FnMut(&[String], &Value)) {
+    visit(prefix, value);
+    if let Value::Record(fields) = value {
+        for (name, child) in fields {
+            prefix.push(name.clone());
+            walk_value(child, prefix, visit);
+            prefix.pop();
+        }
+    }
 }
 
 impl PropertySource for Value {
@@ -372,6 +402,13 @@ impl PropertySource for Value {
         }
         Some(current.clone())
     }
+
+    fn visit_properties(&self, visit: &mut dyn FnMut(&[String], &Value)) -> bool {
+        // The root path resolves to the value itself, so the walk starts by
+        // visiting the empty prefix — mirroring `property(&root) == Some(..)`.
+        walk_value(self, &mut Vec::new(), visit);
+        true
+    }
 }
 
 impl PropertySource for BTreeMap<String, Value> {
@@ -383,5 +420,17 @@ impl PropertySource for BTreeMap<String, Value> {
         } else {
             value.property(&rest)
         }
+    }
+
+    fn visit_properties(&self, visit: &mut dyn FnMut(&[String], &Value)) -> bool {
+        // Unlike `Value`, a bare map has no root property (`property` on the
+        // empty path is `None`), so the walk starts at the fields.
+        let mut prefix = Vec::new();
+        for (name, child) in self {
+            prefix.push(name.clone());
+            walk_value(child, &mut prefix, visit);
+            prefix.pop();
+        }
+        true
     }
 }

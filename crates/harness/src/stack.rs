@@ -15,7 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use psc_dace::{DaceConfig, DaceNode};
-use psc_filter::rfilter;
+use psc_filter::{rfilter, Value};
 use psc_obvent::builtin::Reliable;
 use psc_obvent::declare_obvent_model;
 use psc_simnet::{Duration, NodeId, SimConfig, SimNet, SimTime};
@@ -23,7 +23,7 @@ use psc_telemetry::{
     record_tracer_spans, FlightRecorder, HealthConfig, HealthMonitor, Registry, Tracer,
     DEFAULT_FLIGHT_CAPACITY,
 };
-use pubsub_core::FilterSpec;
+use pubsub_core::{FilterSpec, Subscription};
 
 declare_obvent_model! {
     /// Root of the fuzz hierarchy; every publication carries a unique tag
@@ -401,6 +401,367 @@ pub fn check_stack_seed(seed: u64) -> Result<(), String> {
     }
     Err(format!(
         "stack seed {seed}: {} routing violation(s)\n\
+         replay with: HARNESS_SEED={seed} cargo test --test harness_smoke\n{}{}{}",
+        first.violations.len(),
+        scenario.describe(),
+        first.render(),
+        first
+            .violations
+            .iter()
+            .map(|v| format!("  {v}\n"))
+            .collect::<String>(),
+    ))
+}
+
+// ---- churn storms ------------------------------------------------------
+
+/// One transient subscription of a churn storm. It is created (inactive)
+/// at start-up, activated shortly before publish window `join_before`, and
+/// deactivated shortly before window `leave_before` — so the broker-side
+/// filter index is churned by insert/remove bursts *while* publications are
+/// matched through it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnPlan {
+    /// Hosting node.
+    pub node: usize,
+    /// Subscribed kind.
+    pub level: Level,
+    /// Content filter.
+    pub filter: FilterKind,
+    /// Publish window before which the subscription activates.
+    pub join_before: usize,
+    /// Publish window before which it deactivates (`pubs.len()` means it
+    /// stays active through the settle phase).
+    pub leave_before: usize,
+}
+
+/// A stack scenario plus a seed-derived churn storm over it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnScenario {
+    /// The stable part: long-lived subscriptions and the publish workload
+    /// (identical to [`StackScenario::generate`] for the same seed, so the
+    /// exact routing oracle still applies to it).
+    pub stack: StackScenario,
+    /// The transient subscriptions flapping across publish windows.
+    pub churn: Vec<ChurnPlan>,
+}
+
+impl ChurnScenario {
+    /// Samples a churn storm from `seed`: the stable scenario from the same
+    /// seed, plus 3–8 transient subscriptions with random activity windows.
+    pub fn generate(seed: u64) -> ChurnScenario {
+        let stack = StackScenario::generate(seed);
+        // A distinct stream keeps the stable part byte-identical to the
+        // plain stack scenario of the same seed.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc42a_0157_0217_ed11);
+        let windows = stack.pubs.len();
+        let churn = (0..rng.gen_range(3..=8usize))
+            .map(|_| {
+                let join_before = rng.gen_range(0..windows);
+                ChurnPlan {
+                    node: rng.gen_range(0..stack.nodes),
+                    level: Level::ALL[rng.gen_range(0..Level::ALL.len())],
+                    filter: match rng.gen_range(0..4u32) {
+                        0 | 1 => FilterKind::None,
+                        2 => FilterKind::Negative,
+                        _ => FilterKind::Large,
+                    },
+                    join_before,
+                    leave_before: rng.gen_range(join_before..=windows),
+                }
+            })
+            .collect();
+        ChurnScenario { stack, churn }
+    }
+
+    /// Deterministic description used in reports.
+    pub fn describe(&self) -> String {
+        let mut out = self.stack.describe();
+        for (i, c) in self.churn.iter().enumerate() {
+            out.push_str(&format!(
+                "  churn#{i} node={} kind={} filter={} join_before={} leave_before={}\n",
+                c.node,
+                c.level.name(),
+                c.filter.name(),
+                c.join_before,
+                c.leave_before
+            ));
+        }
+        out
+    }
+}
+
+/// What a churn-storm run observed.
+#[derive(Debug, Clone)]
+pub struct ChurnOutcome {
+    /// The stable subscriptions' outcome (exact routing oracle).
+    pub stable: StackOutcome,
+    /// Tags each churn subscription received (sorted).
+    pub churn_got: Vec<Vec<u64>>,
+    /// Churn-integrity and filter-oracle findings, empty on a healthy run.
+    pub violations: Vec<String>,
+    /// Filter-oracle probes executed mid-storm.
+    pub oracle_probes: usize,
+}
+
+impl ChurnOutcome {
+    /// Canonical rendering (the determinism check compares these).
+    pub fn render(&self) -> String {
+        let mut out = self.stable.render();
+        for (i, got) in self.churn_got.iter().enumerate() {
+            out.push_str(&format!("  churn#{i} got={got:?}\n"));
+        }
+        out.push_str(&format!("  oracle_probes={}\n", self.oracle_probes));
+        out
+    }
+}
+
+/// Shared slot for a subscription handle that is activated/deactivated
+/// from later simulation callbacks.
+type SubSlot = Arc<Mutex<Option<Subscription>>>;
+
+fn install_inactive(sim: &mut SimNet, node: NodeId, level: Level, filter: FilterKind) -> (Sink, SubSlot) {
+    let sink: Sink = Arc::new(Mutex::new(Vec::new()));
+    let slot: SubSlot = Arc::new(Mutex::new(None));
+    let recorder = Arc::clone(&sink);
+    let stash = Arc::clone(&slot);
+    DaceNode::drive(sim, node, move |domain| {
+        let sub = match level {
+            Level::Base => domain.subscribe(filter.spec(), move |e: FuzzBase| {
+                recorder.lock().unwrap().push(*e.tag());
+            }),
+            Level::Mid => domain.subscribe(filter.spec(), move |e: FuzzMid| {
+                recorder.lock().unwrap().push(*e.tag());
+            }),
+            Level::Leaf => domain.subscribe(filter.spec(), move |e: FuzzLeaf| {
+                recorder.lock().unwrap().push(*e.tag());
+            }),
+            Level::Side => domain.subscribe(filter.spec(), move |e: FuzzSide| {
+                recorder.lock().unwrap().push(*e.tag());
+            }),
+        };
+        *stash.lock().unwrap() = Some(sub);
+    });
+    (sink, slot)
+}
+
+fn flip_sub(sim: &mut SimNet, node: NodeId, slot: &SubSlot, activate: bool) {
+    let slot = Arc::clone(slot);
+    DaceNode::drive(sim, node, move |_domain| {
+        let guard = slot.lock().unwrap();
+        let sub = guard.as_ref().expect("churn subscription installed");
+        if activate {
+            sub.activate().expect("churn activation");
+        } else {
+            sub.deactivate().expect("churn deactivation");
+        }
+    });
+}
+
+/// Probes the sampled `FilterOracle` on every node: each channel's index
+/// must pass its structural audit and agree with `naive_matching` on the
+/// probe. Returns the number of probes run; findings go into `violations`.
+fn sample_filter_oracle(
+    sim: &mut SimNet,
+    ids: &[NodeId],
+    probes: &[Value],
+    when: &str,
+    violations: &mut Vec<String>,
+) -> usize {
+    let mut ran = 0;
+    for &id in ids {
+        for probe in probes {
+            ran += 1;
+            for finding in DaceNode::filter_oracle_of(sim, id, probe) {
+                violations.push(format!("filter oracle ({when}, node n{}): {finding}", id.0));
+            }
+        }
+    }
+    ran
+}
+
+/// Executes a churn-storm scenario: the stable stack workload with
+/// transient subscriptions flapping between publish windows, the sampled
+/// indexed-vs-naive `FilterOracle` running mid-storm, an exact routing
+/// oracle on the stable subscriptions and an integrity oracle on the
+/// transient ones.
+pub fn run_churn(scenario: &ChurnScenario) -> ChurnOutcome {
+    let stack = &scenario.stack;
+    let _ = (FuzzBase::kind(), FuzzMid::kind(), FuzzLeaf::kind(), FuzzSide::kind());
+
+    let mut sim = SimNet::new(SimConfig::with_seed(stack.seed));
+    let ids: Vec<NodeId> = (0..stack.nodes as u64).map(NodeId).collect();
+    let config = DaceConfig {
+        watchdog: Some(Duration::from_millis(50)),
+        ..DaceConfig::default()
+    };
+    for i in 0..stack.nodes {
+        sim.add_node(format!("c{i}"), DaceNode::factory(ids.clone(), config.clone()));
+    }
+    let sinks: Vec<Sink> = stack
+        .subs
+        .iter()
+        .map(|s| install(&mut sim, ids[s.node], s.level, s.filter))
+        .collect();
+    let churn_slots: Vec<(Sink, SubSlot)> = scenario
+        .churn
+        .iter()
+        .map(|c| install_inactive(&mut sim, ids[c.node], c.level, c.filter))
+        .collect();
+    sim.run_until(SimTime::from_millis(30));
+
+    let mut violations = Vec::new();
+    let mut oracle_probes = 0;
+    let mut at = 50;
+    for (window, plan) in stack.pubs.iter().enumerate() {
+        // Churn burst: flips happen 20 ms before the window's publish, so
+        // (de)activation announcements race real traffic but local handler
+        // state is settled before the next publication is even made.
+        sim.run_until(SimTime::from_millis(at - 20));
+        for (c, (_, slot)) in scenario.churn.iter().zip(&churn_slots) {
+            if c.join_before == window {
+                flip_sub(&mut sim, ids[c.node], slot, true);
+            }
+            if c.leave_before == window {
+                flip_sub(&mut sim, ids[c.node], slot, false);
+            }
+        }
+        sim.run_until(SimTime::from_millis(at));
+        publish(&mut sim, ids[plan.node], plan);
+        // Mid-storm filter oracle: one typical probe mirroring the window's
+        // publication, plus edge probes (NaN content, missing fields)
+        // exercising the index's residual and fallback paths.
+        let probes = [
+            Value::record([
+                ("tag", Value::UInt(plan.tag)),
+                ("value", Value::Int(plan.value)),
+            ]),
+            Value::record([
+                ("tag", Value::UInt(plan.tag)),
+                ("value", Value::Float(f64::NAN)),
+            ]),
+            Value::record([("unrelated", Value::Int(plan.value))]),
+        ];
+        oracle_probes += sample_filter_oracle(
+            &mut sim,
+            &ids,
+            &probes,
+            &format!("window {window}"),
+            &mut violations,
+        );
+        at += 40;
+    }
+    sim.run_until(SimTime::from_millis(at + 800));
+    oracle_probes += sample_filter_oracle(
+        &mut sim,
+        &ids,
+        &[Value::record([("value", Value::Int(0))])],
+        "settled",
+        &mut violations,
+    );
+
+    let mut expected = stack.expected();
+    for tags in &mut expected {
+        tags.sort_unstable();
+    }
+    let got: Vec<Vec<u64>> = sinks
+        .iter()
+        .map(|sink| {
+            let mut tags = sink.lock().unwrap().clone();
+            tags.sort_unstable();
+            tags
+        })
+        .collect();
+    for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+        if g != e {
+            let s = &stack.subs[i];
+            violations.push(format!(
+                "stable sub#{i} (node {}, kind {}, filter {}): got {g:?}, expected {e:?}",
+                s.node,
+                s.level.name(),
+                s.filter.name()
+            ));
+        }
+    }
+
+    // Churn integrity: a transient subscription may miss publications near
+    // its activity boundaries (announcements race the traffic), but every
+    // tag it *did* receive must be unique, must pass its kind and filter,
+    // and cannot come from a window at/after its deactivation point —
+    // deactivation takes local effect strictly before that window's
+    // publication exists.
+    let churn_got: Vec<Vec<u64>> = churn_slots
+        .iter()
+        .map(|(sink, _)| {
+            let mut tags = sink.lock().unwrap().clone();
+            tags.sort_unstable();
+            tags
+        })
+        .collect();
+    for (i, (tags, c)) in churn_got.iter().zip(&scenario.churn).enumerate() {
+        for pair in tags.windows(2) {
+            if pair[0] == pair[1] {
+                violations.push(format!("churn#{i}: duplicate delivery of tag {}", pair[0]));
+            }
+        }
+        for &tag in tags {
+            let plan = &stack.pubs[tag as usize];
+            if !c.level.receives(plan.level) {
+                violations.push(format!(
+                    "churn#{i} (kind {}): ghost delivery of class {} (tag {tag})",
+                    c.level.name(),
+                    plan.level.name()
+                ));
+            }
+            if !c.filter.passes(plan.value) {
+                violations.push(format!(
+                    "churn#{i} (filter {}): delivery violating filter (tag {tag}, value {})",
+                    c.filter.name(),
+                    plan.value
+                ));
+            }
+            if tag as usize >= c.leave_before {
+                violations.push(format!(
+                    "churn#{i}: delivery from window {tag} at/after deactivation before window {}",
+                    c.leave_before
+                ));
+            }
+        }
+    }
+
+    let stable = StackOutcome {
+        expected,
+        got,
+        violations: Vec::new(),
+        spans: 0,
+        e2e_samples: 0,
+    };
+    ChurnOutcome {
+        stable,
+        churn_got,
+        violations,
+        oracle_probes,
+    }
+}
+
+/// Determinism + routing/churn/filter oracles for one churn-storm seed;
+/// `Err` carries a full replayable report.
+pub fn check_churn_seed(seed: u64) -> Result<(), String> {
+    let scenario = ChurnScenario::generate(seed);
+    let first = run_churn(&scenario);
+    let second = run_churn(&scenario);
+    if first.render() != second.render() {
+        return Err(format!(
+            "churn seed {seed}: NONDETERMINISM across identical runs\n{}{}",
+            scenario.describe(),
+            first.render()
+        ));
+    }
+    if first.violations.is_empty() {
+        return Ok(());
+    }
+    Err(format!(
+        "churn seed {seed}: {} violation(s)\n\
          replay with: HARNESS_SEED={seed} cargo test --test harness_smoke\n{}{}{}",
         first.violations.len(),
         scenario.describe(),

@@ -83,4 +83,10 @@ impl PropertySource for ObventView {
     fn property(&self, path: &PropPath) -> Option<Value> {
         self.props.property(path)
     }
+
+    fn visit_properties(&self, visit: &mut dyn FnMut(&[String], &Value)) -> bool {
+        // Delegating keeps the routing hot path on the index's O(attrs)
+        // probe loop: the view's property record enumerates itself.
+        self.props.visit_properties(visit)
+    }
 }

@@ -37,6 +37,15 @@ fn full_stack_routing_smoke_over_25_seeds() {
 }
 
 #[test]
+fn churn_storm_matching_smoke_over_10_seeds() {
+    for seed in runner::smoke_seeds(10) {
+        if let Err(report) = stack::check_churn_seed(seed) {
+            panic!("{report}");
+        }
+    }
+}
+
+#[test]
 fn same_seed_produces_byte_identical_reports() {
     for seed in [3u64, 17, 29, 41] {
         let (s1, o1) = runner::run_seed(seed);

@@ -265,6 +265,80 @@ fn compare_match_scale(gate: &mut Gate, base: &JsonValue, fresh: &JsonValue) {
     );
 }
 
+fn compare_real_wire(gate: &mut Gate, base: &JsonValue, fresh: &JsonValue) {
+    let file = "BENCH_exp_real_wire.json";
+    let same_scale = base.get("quick").map(|v| v.render()) == fresh.get("quick").map(|v| v.render());
+    if let (Some(b), Some(f)) = (base.get("single_process"), fresh.get("single_process")) {
+        compare_keyed(
+            gate,
+            &format!("{file} single_process"),
+            "seed",
+            b,
+            f,
+            same_scale,
+            &[
+                // A baseline of zero mismatches means any fresh mismatch
+                // fails outright: the real wire diverging from the
+                // simulator is a correctness regression, not noise.
+                Metric {
+                    name: "delivery_mismatches",
+                    wall: false,
+                    extract: |r| field_f64(r, "delivery_mismatches"),
+                },
+                // Deterministic functions of the seeded scenario: losing
+                // serialize-once (encodes grow with fan-out) or flooding
+                // the wire (msgs/bytes per publish grow) trips these on
+                // any machine.
+                Metric {
+                    name: "encodes_per_publish",
+                    wall: false,
+                    extract: |r| field_f64(r, "encodes_per_publish"),
+                },
+                Metric {
+                    name: "msgs_per_publish",
+                    wall: false,
+                    extract: |r| field_f64(r, "msgs_per_publish"),
+                },
+                Metric {
+                    name: "bytes_per_publish",
+                    wall: false,
+                    extract: |r| field_f64(r, "bytes_per_publish"),
+                },
+                // The publish window is paced by real sleeps, so its wall
+                // figure is scale-free per publish but still machine-bound:
+                // advisory across scales.
+                Metric {
+                    name: "wall_ms_per_publish",
+                    wall: true,
+                    extract: |r| Some(field_f64(r, "wall_ms")? / field_f64(r, "publishes")?),
+                },
+            ],
+        );
+    }
+    if let (Some(b), Some(f)) = (base.get("multi_process"), fresh.get("multi_process")) {
+        compare_keyed(
+            gate,
+            &format!("{file} multi_process"),
+            "seed",
+            b,
+            f,
+            same_scale,
+            &[
+                Metric {
+                    name: "delivery_mismatches",
+                    wall: false,
+                    extract: |r| field_f64(r, "delivery_mismatches"),
+                },
+                Metric {
+                    name: "wall_ms_per_publish",
+                    wall: true,
+                    extract: |r| Some(field_f64(r, "wall_ms")? / field_f64(r, "publishes")?),
+                },
+            ],
+        );
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(fresh_dir) = args.next() else {
@@ -299,6 +373,12 @@ fn main() -> ExitCode {
         load(&fresh_dir, "BENCH_exp_match_scale.json"),
     ) {
         compare_match_scale(&mut gate, &base, &fresh);
+    }
+    if let (Some(base), Some(fresh)) = (
+        load(&base_dir, "BENCH_exp_real_wire.json"),
+        load(&fresh_dir, "BENCH_exp_real_wire.json"),
+    ) {
+        compare_real_wire(&mut gate, &base, &fresh);
     }
 
     if gate.compared == 0 {

@@ -51,6 +51,13 @@ pub enum CodecError {
         /// Number of bytes left over.
         remaining: usize,
     },
+    /// A checksummed frame's CRC32 did not match its payload.
+    CrcMismatch {
+        /// Checksum claimed by the frame header.
+        expected: u32,
+        /// Checksum computed over the received payload.
+        actual: u32,
+    },
     /// Custom message raised by a `Serialize`/`Deserialize` implementation.
     Message(String),
     /// An underlying writer failed.
@@ -83,6 +90,10 @@ impl fmt::Display for CodecError {
             CodecError::TrailingBytes { remaining } => {
                 write!(f, "{remaining} trailing bytes after value")
             }
+            CodecError::CrcMismatch { expected, actual } => write!(
+                f,
+                "frame crc mismatch: header claims {expected:#010x}, payload hashes to {actual:#010x}"
+            ),
             CodecError::Message(msg) => f.write_str(msg),
             CodecError::Io(msg) => write!(f, "io error: {msg}"),
         }

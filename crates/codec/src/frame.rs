@@ -4,6 +4,13 @@
 //! threaded transport and the RMI substrate move byte streams around; frames
 //! give them message boundaries. A frame is a `u32` little-endian length
 //! followed by that many payload bytes.
+//!
+//! Real sockets additionally want corruption detection at the framing
+//! layer: a flipped length byte otherwise desynchronizes the stream and
+//! every later "frame" is garbage. The checksummed variant
+//! ([`encode_crc`] / [`FrameReassembler`]) prepends
+//! `[len u32le][crc32 u32le]` and verifies the CRC32 (IEEE) of the payload
+//! before handing the frame up.
 
 use crate::CodecError;
 
@@ -123,6 +130,132 @@ impl FrameBuffer {
     }
 }
 
+/// CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the classic
+/// table-driven byte-at-a-time implementation, built once on demand.
+pub fn crc32(data: &[u8]) -> u32 {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            }
+            *entry = crc;
+        }
+        table
+    });
+    let mut crc = !0u32;
+    for &byte in data {
+        crc = table[((crc ^ byte as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Byte length of the checksummed frame header (`len` + `crc`).
+pub const CRC_HEADER_LEN: usize = 8;
+
+/// Appends a checksummed frame (`[len u32le][crc32 u32le][payload]`) to
+/// `out`. The counterpart of [`FrameReassembler`]; the wire format for the
+/// socket transport.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_FRAME_LEN`].
+pub fn encode_crc(payload: &[u8], out: &mut Vec<u8>) {
+    assert!(
+        payload.len() <= MAX_FRAME_LEN,
+        "frame payload of {} bytes exceeds MAX_FRAME_LEN",
+        payload.len()
+    );
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    crate::metrics::metrics().frame_encodes.inc();
+}
+
+/// Incremental decoder for the checksummed frame format, built for socket
+/// readers: feed whatever chunk `read()` returned — a split may land
+/// mid-length-prefix, mid-CRC, or mid-payload — and drain complete,
+/// verified frames.
+///
+/// Errors are sticky: a length overflow or CRC mismatch means the stream
+/// has lost sync and no later byte can be trusted, so every subsequent
+/// [`next_frame`](FrameReassembler::next_frame) call repeats the error and
+/// the connection must be dropped.
+#[derive(Debug, Default)]
+pub struct FrameReassembler {
+    buf: Vec<u8>,
+    cursor: usize,
+    poisoned: Option<CodecError>,
+}
+
+impl FrameReassembler {
+    /// Creates an empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw stream bytes (any split, including mid-header).
+    pub fn extend(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Removes and returns the next complete, CRC-verified frame payload,
+    /// or `None` when the buffered bytes end mid-frame (read more).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::LengthOverflow`] for a corrupt length prefix,
+    /// [`CodecError::CrcMismatch`] when the payload fails its checksum.
+    /// Both poison the reassembler (see type docs).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, CodecError> {
+        if let Some(err) = &self.poisoned {
+            return Err(err.clone());
+        }
+        let pending = &self.buf[self.cursor..];
+        if pending.len() < CRC_HEADER_LEN {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(pending[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_LEN {
+            let err = CodecError::LengthOverflow {
+                claimed: len as u64,
+                remaining: MAX_FRAME_LEN,
+            };
+            self.poisoned = Some(err.clone());
+            return Err(err);
+        }
+        let expected = u32::from_le_bytes(pending[4..8].try_into().expect("4 bytes"));
+        if pending.len() < CRC_HEADER_LEN + len {
+            return Ok(None);
+        }
+        let payload = &pending[CRC_HEADER_LEN..CRC_HEADER_LEN + len];
+        let actual = crc32(payload);
+        if actual != expected {
+            let err = CodecError::CrcMismatch { expected, actual };
+            self.poisoned = Some(err.clone());
+            return Err(err);
+        }
+        let owned = payload.to_vec();
+        self.cursor += CRC_HEADER_LEN + len;
+        crate::metrics::metrics().frame_decodes.inc();
+        if self.cursor > 4096 && self.cursor * 2 > self.buf.len() {
+            self.buf.drain(..self.cursor);
+            self.cursor = 0;
+        }
+        Ok(Some(owned))
+    }
+
+    /// Number of buffered bytes not yet returned as frames. Non-zero after
+    /// the peer closed the stream means it hung up mid-frame (a truncated
+    /// tail).
+    pub fn pending_len(&self) -> usize {
+        self.buf.len() - self.cursor
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +313,70 @@ mod tests {
         }
         assert_eq!(frames, vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()]);
         assert_eq!(fb.pending_len(), 0);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc_frame_roundtrips_byte_at_a_time() {
+        let mut stream = Vec::new();
+        encode_crc(b"", &mut stream);
+        encode_crc(b"hello", &mut stream);
+        encode_crc(&[0xAAu8; 300], &mut stream);
+
+        let mut fr = FrameReassembler::new();
+        let mut frames = Vec::new();
+        for byte in &stream {
+            fr.extend(std::slice::from_ref(byte));
+            while let Some(frame) = fr.next_frame().unwrap() {
+                frames.push(frame);
+            }
+        }
+        assert_eq!(frames, vec![b"".to_vec(), b"hello".to_vec(), vec![0xAAu8; 300]]);
+        assert_eq!(fr.pending_len(), 0);
+    }
+
+    #[test]
+    fn crc_mismatch_is_detected_and_sticky() {
+        let mut stream = Vec::new();
+        encode_crc(b"payload", &mut stream);
+        let last = stream.len() - 1;
+        stream[last] ^= 0x01; // flip one payload bit
+        let mut fr = FrameReassembler::new();
+        fr.extend(&stream);
+        assert!(matches!(fr.next_frame(), Err(CodecError::CrcMismatch { .. })));
+        // Poisoned: the error repeats even after more (valid) bytes arrive.
+        let mut good = Vec::new();
+        encode_crc(b"next", &mut good);
+        fr.extend(&good);
+        assert!(matches!(fr.next_frame(), Err(CodecError::CrcMismatch { .. })));
+    }
+
+    #[test]
+    fn crc_corrupt_length_prefix_is_rejected() {
+        let mut stream = Vec::new();
+        encode_crc(b"x", &mut stream);
+        stream[3] = 0xFF; // high length byte → > MAX_FRAME_LEN
+        let mut fr = FrameReassembler::new();
+        fr.extend(&stream);
+        assert!(matches!(fr.next_frame(), Err(CodecError::LengthOverflow { .. })));
+    }
+
+    #[test]
+    fn crc_truncated_tail_stays_pending() {
+        let mut stream = Vec::new();
+        encode_crc(b"complete", &mut stream);
+        encode_crc(b"cut short", &mut stream);
+        let mut fr = FrameReassembler::new();
+        fr.extend(&stream[..stream.len() - 3]);
+        assert_eq!(fr.next_frame().unwrap().unwrap(), b"complete");
+        assert!(fr.next_frame().unwrap().is_none());
+        assert!(fr.pending_len() > 0); // truncated tail is visible, not silently lost
     }
 
     #[test]

@@ -311,6 +311,134 @@ proptest! {
         prop_assert_eq!(back, s);
         prop_assert_eq!(consumed, encoded_len);
     }
+
+    /// CRC frame streams reassemble byte-exactly when split at EVERY
+    /// position: each single split point lands somewhere — possibly
+    /// mid-length-prefix (offset 1..4) or mid-CRC (offset 4..8) of some
+    /// frame — and the reassembler must not care.
+    #[test]
+    fn prop_crc_stream_every_split_point(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..40), 1..5)
+    ) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            crate::frame::encode_crc(p, &mut stream);
+        }
+        for split in 0..=stream.len() {
+            let mut fr = crate::frame::FrameReassembler::new();
+            let mut frames = Vec::new();
+            fr.extend(&stream[..split]);
+            while let Some(f) = fr.next_frame().unwrap() {
+                frames.push(f);
+            }
+            fr.extend(&stream[split..]);
+            while let Some(f) = fr.next_frame().unwrap() {
+                frames.push(f);
+            }
+            prop_assert_eq!(&frames, &payloads, "split at byte {}", split);
+            prop_assert_eq!(fr.pending_len(), 0);
+        }
+    }
+
+    /// Random multi-way chunkings (including 1-byte chunks) reassemble the
+    /// same frame sequence as a single-shot feed.
+    #[test]
+    fn prop_crc_stream_random_chunking(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64), 1..6),
+        chunk_sizes in proptest::collection::vec(1usize..9, 1..64)
+    ) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            crate::frame::encode_crc(p, &mut stream);
+        }
+        let mut fr = crate::frame::FrameReassembler::new();
+        let mut frames = Vec::new();
+        let mut offset = 0;
+        let mut sizes = chunk_sizes.iter().cycle();
+        while offset < stream.len() {
+            let take = (*sizes.next().unwrap()).min(stream.len() - offset);
+            fr.extend(&stream[offset..offset + take]);
+            offset += take;
+            while let Some(f) = fr.next_frame().unwrap() {
+                frames.push(f);
+            }
+        }
+        prop_assert_eq!(&frames, &payloads);
+        prop_assert_eq!(fr.pending_len(), 0);
+    }
+
+    /// Flipping any single bit in a frame stream is rejected cleanly: every
+    /// intact frame before the damage comes out byte-exact, and the
+    /// damaged region surfaces as an error (never a panic, never a bogus
+    /// frame accepted with a matching checksum).
+    #[test]
+    fn prop_crc_single_bit_corruption_rejected(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..32), 1..4),
+        bit in any::<u64>()
+    ) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            crate::frame::encode_crc(p, &mut stream);
+        }
+        let flip = (bit % (stream.len() as u64 * 8)) as usize;
+        stream[flip / 8] ^= 1 << (flip % 8);
+        let mut fr = crate::frame::FrameReassembler::new();
+        fr.extend(&stream);
+        let mut intact = 0usize;
+        loop {
+            match fr.next_frame() {
+                Ok(Some(f)) => {
+                    prop_assert_eq!(&f, &payloads[intact], "pre-damage frame altered");
+                    intact += 1;
+                }
+                // A flipped length-prefix bit can shrink a frame so the
+                // stream ends mid-frame instead of erroring: that must
+                // leave a visible truncated tail (or desync into a later
+                // CRC failure), never a wrongly-accepted full sequence.
+                Ok(None) => {
+                    prop_assert!(
+                        intact < payloads.len() && fr.pending_len() > 0,
+                        "corruption vanished: {} of {} frames accepted",
+                        intact, payloads.len()
+                    );
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        prop_assert!(intact < payloads.len(), "all frames accepted despite corruption");
+    }
+
+    /// Truncating the stream anywhere strictly inside the final frame
+    /// yields every earlier frame plus a pending (never silently dropped,
+    /// never fabricated) tail.
+    #[test]
+    fn prop_crc_truncated_tail_never_fabricates(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..32), 1..4),
+        cut in any::<u64>()
+    ) {
+        let mut stream = Vec::new();
+        let mut starts = Vec::new();
+        for p in &payloads {
+            starts.push(stream.len());
+            crate::frame::encode_crc(p, &mut stream);
+        }
+        let last_start = *starts.last().unwrap();
+        // Cut strictly inside the last frame.
+        let cut_at = last_start + (cut % (stream.len() - last_start) as u64) as usize;
+        let mut fr = crate::frame::FrameReassembler::new();
+        fr.extend(&stream[..cut_at]);
+        let mut frames = Vec::new();
+        while let Some(f) = fr.next_frame().unwrap() {
+            frames.push(f);
+        }
+        prop_assert_eq!(&frames[..], &payloads[..payloads.len() - 1]);
+        prop_assert_eq!(fr.pending_len(), cut_at - last_start);
+    }
 }
 
 #[test]

@@ -507,6 +507,19 @@ impl DaceNode {
         });
     }
 
+    /// Like [`DaceNode::drive`], but against any driver holding a live
+    /// `Ctx` — the real-transport hook: a socket transport's injection
+    /// path downcasts its hosted node and drives the domain exactly the
+    /// way the simulator does.
+    pub fn drive_ctx(node: &mut dyn Node, ctx: &mut Ctx<'_>, f: impl FnOnce(&Domain)) {
+        let this = node
+            .as_any_mut()
+            .downcast_mut::<DaceNode>()
+            .expect("node is a DaceNode");
+        f(&this.domain);
+        this.flush(ctx);
+    }
+
     /// Publishes an obvent from the node's domain.
     pub fn publish_from<O: Obvent>(sim: &mut SimNet, node: NodeId, obvent: O) {
         DaceNode::drive(sim, node, move |domain| {

@@ -110,7 +110,9 @@ impl FilterKind {
         }
     }
 
-    fn spec<O>(self) -> FilterSpec<O> {
+    /// The reified filter a subscription installs for this kind (public
+    /// so transport-level replays can install identical subscriptions).
+    pub fn spec<O>(self) -> FilterSpec<O> {
         match self {
             FilterKind::None => FilterSpec::accept_all(),
             FilterKind::Negative => FilterSpec::remote(rfilter!(value < 0)),

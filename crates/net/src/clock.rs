@@ -1,0 +1,186 @@
+//! Wall-clock timers for the sans-io cores.
+//!
+//! Under the simulator, `Ctx::set_timer` feeds a virtual-time event queue.
+//! On a real transport the same timers must fire on the wall clock, in the
+//! same relative order — retransmit and heartbeat schedules are protocol
+//! behaviour, not simulation detail. The pieces here keep that mapping
+//! honest:
+//!
+//! - [`Clock`] abstracts "microseconds since the transport epoch" as a
+//!   [`SimTime`], so node code sees the same monotone timeline either way.
+//!   [`WallClock`] is the production implementation; [`MockClock`] lets
+//!   tests replay a schedule deterministically.
+//! - [`TimerDriver`] is a min-heap of pending timers with the simulator's
+//!   exact tie-breaking (deadline, then arm order), so two timers armed for
+//!   the same instant fire in the same sequence under both drivers.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use psc_simnet::{Duration, SimTime, TimerId};
+
+/// A source of "now" on the transport's timeline (µs since its epoch).
+pub trait Clock: Send + Sync {
+    /// Current time.
+    fn now(&self) -> SimTime;
+}
+
+/// Production clock: microseconds elapsed since construction, measured on
+/// the monotonic [`Instant`] clock.
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// Starts a timeline at "now".
+    pub fn new() -> WallClock {
+        WallClock { epoch: Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+}
+
+/// Test clock: time advances only when the test says so.
+#[derive(Debug, Default)]
+pub struct MockClock {
+    now_us: AtomicU64,
+}
+
+impl MockClock {
+    /// Starts at t=0.
+    pub fn new() -> MockClock {
+        MockClock::default()
+    }
+
+    /// Advances the clock by `by`.
+    pub fn advance(&self, by: Duration) {
+        self.now_us.fetch_add(by.as_micros(), Ordering::SeqCst);
+    }
+
+    /// Jumps the clock to `to` (must not move backwards).
+    pub fn set(&self, to: SimTime) {
+        let prev = self.now_us.swap(to.as_micros(), Ordering::SeqCst);
+        assert!(prev <= to.as_micros(), "mock clock moved backwards");
+    }
+}
+
+impl Clock for MockClock {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.now_us.load(Ordering::SeqCst))
+    }
+}
+
+/// Pending-timer queue for one hosted node. `T` is the timer token —
+/// [`TimerId`] for plain node timers, or a transport-private enum that
+/// also carries maintenance ticks.
+///
+/// Ordering matches [`psc_simnet::SimNet`]'s event queue: earliest
+/// deadline first, ties broken by arm order. Cancellation is *not*
+/// tracked here — [`psc_simnet::NodeHost::timer`] suppresses cancelled
+/// ids at fire time, exactly like the simulator does.
+#[derive(Debug)]
+pub struct TimerDriver<T = TimerId> {
+    heap: BinaryHeap<Reverse<(u64, u64, T)>>,
+    seq: u64,
+}
+
+impl<T: Ord> Default for TimerDriver<T> {
+    fn default() -> Self {
+        TimerDriver { heap: BinaryHeap::new(), seq: 0 }
+    }
+}
+
+impl<T: Ord> TimerDriver<T> {
+    /// An empty driver.
+    pub fn new() -> TimerDriver<T> {
+        TimerDriver::default()
+    }
+
+    /// Arms `id` to fire at `at`.
+    pub fn schedule(&mut self, at: SimTime, id: T) {
+        self.seq += 1;
+        self.heap.push(Reverse((at.as_micros(), self.seq, id)));
+    }
+
+    /// The earliest pending deadline, if any timers are armed.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.heap
+            .peek()
+            .map(|Reverse((at, _, _))| SimTime::from_micros(*at))
+    }
+
+    /// Pops the next timer whose deadline is `<= now`, in firing order.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<T> {
+        match self.heap.peek() {
+            Some(Reverse((at, _, _))) if *at <= now.as_micros() => {
+                let Reverse((_, _, id)) = self.heap.pop().expect("peeked");
+                Some(id)
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of armed (possibly already-cancelled) timers.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no timers are armed.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ties_fire_in_arm_order() {
+        let mut d = TimerDriver::new();
+        let t = SimTime::from_millis(5);
+        d.schedule(t, TimerId(3));
+        d.schedule(t, TimerId(1));
+        d.schedule(t, TimerId(2));
+        assert_eq!(d.pop_due(t), Some(TimerId(3)));
+        assert_eq!(d.pop_due(t), Some(TimerId(1)));
+        assert_eq!(d.pop_due(t), Some(TimerId(2)));
+        assert_eq!(d.pop_due(t), None);
+    }
+
+    #[test]
+    fn pop_due_respects_deadlines() {
+        let mut d = TimerDriver::new();
+        d.schedule(SimTime::from_millis(10), TimerId(1));
+        d.schedule(SimTime::from_millis(2), TimerId(2));
+        assert_eq!(d.next_deadline(), Some(SimTime::from_millis(2)));
+        assert_eq!(d.pop_due(SimTime::from_millis(1)), None);
+        assert_eq!(d.pop_due(SimTime::from_millis(2)), Some(TimerId(2)));
+        assert_eq!(d.pop_due(SimTime::from_millis(2)), None);
+        assert_eq!(d.pop_due(SimTime::from_millis(10)), Some(TimerId(1)));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn mock_clock_advances() {
+        let c = MockClock::new();
+        assert_eq!(c.now(), SimTime::from_micros(0));
+        c.advance(Duration::from_millis(3));
+        assert_eq!(c.now(), SimTime::from_millis(3));
+        c.set(SimTime::from_millis(10));
+        assert_eq!(c.now(), SimTime::from_millis(10));
+    }
+}

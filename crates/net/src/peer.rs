@@ -1,0 +1,206 @@
+//! Outbound peer connections: bounded queues, writer threads, reconnect.
+//!
+//! The topology is directed: each process dials one **send-only** TCP
+//! connection to every peer and accepts **receive-only** connections from
+//! them (see [`crate::transport`]). That keeps connection identity trivial
+//! — no simultaneous-dial dedup — at the cost of 2·N(N−1)/2 sockets per
+//! cluster, which is fine at the static-cluster scale this layer targets.
+//!
+//! Each peer owns a bounded queue of [`WireBytes`] handles. The shared
+//! buffer discipline from the serialize-once work carries through: the
+//! event loop clones a `WireBytes` *handle* per destination, and the
+//! writer thread frames the same underlying bytes onto the socket — one
+//! encode, N peer writes, zero payload copies.
+//!
+//! Queue policy under pressure:
+//! - peer **connected**, queue full → the sender blocks until the writer
+//!   drains (backpressure; counted in `net.backpressure_waits`),
+//! - peer **down**, queue full → drop the oldest entry
+//!   (`net.queue.dropped`) so a dead peer costs bounded memory and never
+//!   stalls the protocol loop.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration as StdDuration;
+
+use psc_codec::frame::encode_crc;
+use psc_codec::WireBytes;
+use psc_simnet::NodeId;
+
+use crate::metrics::NetMetrics;
+
+/// How long writer threads sleep between shutdown checks while idle.
+const IDLE_WAIT: StdDuration = StdDuration::from_millis(50);
+
+struct PeerQueue {
+    items: VecDeque<WireBytes>,
+    connected: bool,
+}
+
+/// One outbound peer: queue plus the state its writer thread shares with
+/// the transport.
+pub(crate) struct Peer {
+    /// The peer's node id.
+    pub(crate) id: NodeId,
+    addr: String,
+    capacity: usize,
+    reconnect_base_ms: u64,
+    reconnect_max_ms: u64,
+    queue: Mutex<PeerQueue>,
+    /// Signalled when the queue gains an item (writer waits on this).
+    nonempty: Condvar,
+    /// Signalled when the queue loses an item (backpressured senders wait).
+    space: Condvar,
+    shutdown: Arc<AtomicBool>,
+    metrics: NetMetrics,
+    /// Frame payload prefix identifying the dialing node (hello frame).
+    hello: Vec<u8>,
+}
+
+impl Peer {
+    pub(crate) fn new(
+        id: NodeId,
+        addr: String,
+        self_id: NodeId,
+        config: &crate::NetConfig,
+        shutdown: Arc<AtomicBool>,
+        metrics: NetMetrics,
+    ) -> Arc<Peer> {
+        Arc::new(Peer {
+            id,
+            addr,
+            capacity: config.outbound_capacity.max(1),
+            reconnect_base_ms: config.reconnect_base_ms.max(1),
+            reconnect_max_ms: config.reconnect_max_ms.max(1),
+            queue: Mutex::new(PeerQueue { items: VecDeque::new(), connected: false }),
+            nonempty: Condvar::new(),
+            space: Condvar::new(),
+            shutdown,
+            metrics,
+            hello: crate::transport::hello_payload(self_id),
+        })
+    }
+
+    /// Enqueues `payload` for this peer, applying the pressure policy.
+    pub(crate) fn push(&self, payload: WireBytes) {
+        let mut q = self.queue.lock().expect("peer queue poisoned");
+        while q.items.len() >= self.capacity {
+            if !q.connected || self.shutdown.load(Ordering::Relaxed) {
+                q.items.pop_front();
+                self.metrics.queue_dropped.inc();
+                break;
+            }
+            self.metrics.backpressure_waits.inc();
+            let (next, _) = self
+                .space
+                .wait_timeout(q, IDLE_WAIT)
+                .expect("peer queue poisoned");
+            q = next;
+        }
+        q.items.push_back(payload);
+        drop(q);
+        self.nonempty.notify_one();
+    }
+
+    /// Current queue depth (for gauges / inspect / health sweeps).
+    pub(crate) fn depth(&self) -> usize {
+        self.queue.lock().expect("peer queue poisoned").items.len()
+    }
+
+    /// Whether the writer currently holds a live connection.
+    pub(crate) fn is_connected(&self) -> bool {
+        self.queue.lock().expect("peer queue poisoned").connected
+    }
+
+    /// Wakes any thread blocked on this peer (shutdown path).
+    pub(crate) fn wake_all(&self) {
+        self.nonempty.notify_all();
+        self.space.notify_all();
+    }
+
+    fn set_connected(&self, connected: bool) {
+        let mut q = self.queue.lock().expect("peer queue poisoned");
+        q.connected = connected;
+        drop(q);
+        // A newly-down peer switches blocked senders to drop-oldest mode.
+        self.space.notify_all();
+    }
+
+    /// Blocks until an item is available (front is left in place so a
+    /// failed write can retry it), or returns `None` on shutdown.
+    fn wait_front(&self) -> Option<WireBytes> {
+        let mut q = self.queue.lock().expect("peer queue poisoned");
+        loop {
+            if self.shutdown.load(Ordering::Relaxed) {
+                return None;
+            }
+            if let Some(item) = q.items.front() {
+                return Some(item.clone());
+            }
+            let (next, _) = self
+                .nonempty
+                .wait_timeout(q, IDLE_WAIT)
+                .expect("peer queue poisoned");
+            q = next;
+        }
+    }
+
+    /// Removes the front item after a successful write.
+    fn pop_front(&self) {
+        let mut q = self.queue.lock().expect("peer queue poisoned");
+        q.items.pop_front();
+        drop(q);
+        self.space.notify_one();
+    }
+
+    /// The writer thread body: dial (with capped exponential backoff),
+    /// handshake, then drain the queue onto the socket until it breaks.
+    pub(crate) fn run_writer(self: Arc<Peer>) {
+        let mut backoff_ms = self.reconnect_base_ms;
+        let mut ever_connected = false;
+        let mut frame = Vec::new();
+        while !self.shutdown.load(Ordering::Relaxed) {
+            let mut stream = match TcpStream::connect(&self.addr) {
+                Ok(stream) => stream,
+                Err(_) => {
+                    std::thread::sleep(StdDuration::from_millis(backoff_ms.min(self.reconnect_max_ms)));
+                    backoff_ms = (backoff_ms * 2).min(self.reconnect_max_ms);
+                    continue;
+                }
+            };
+            let _ = stream.set_nodelay(true);
+            // Hello frame first, so the acceptor knows who is talking.
+            frame.clear();
+            encode_crc(&self.hello, &mut frame);
+            if stream.write_all(&frame).is_err() {
+                std::thread::sleep(StdDuration::from_millis(backoff_ms.min(self.reconnect_max_ms)));
+                backoff_ms = (backoff_ms * 2).min(self.reconnect_max_ms);
+                continue;
+            }
+            if ever_connected {
+                self.metrics.reconnects.inc();
+            }
+            ever_connected = true;
+            backoff_ms = self.reconnect_base_ms;
+            self.set_connected(true);
+
+            while let Some(payload) = self.wait_front() {
+                frame.clear();
+                encode_crc(payload.as_ref(), &mut frame);
+                match stream.write_all(&frame) {
+                    Ok(()) => {
+                        self.pop_front();
+                        self.metrics.msgs_sent.inc();
+                        self.metrics.bytes_sent.add(frame.len() as u64);
+                    }
+                    Err(_) => break, // front stays queued; reconnect and retry it
+                }
+            }
+            self.set_connected(false);
+        }
+        self.set_connected(false);
+    }
+}

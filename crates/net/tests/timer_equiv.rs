@@ -1,0 +1,240 @@
+//! The wall-clock timer driver against the simulator's virtual clock.
+//!
+//! The transport promises that a protocol's timer schedule — retransmit
+//! ticks, heartbeats, one-shot deadlines, cancellations — plays out in
+//! the same order under [`TimerDriver`] + [`MockClock`] as under
+//! [`SimNet`]'s event queue. These tests run the *same node* under both
+//! drivers and compare the full `(time, event)` logs byte for byte.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use psc_net::clock::{Clock, MockClock, TimerDriver};
+use psc_simnet::{
+    Ctx, Duration, HostEffect, Node, NodeHost, NodeId, SimConfig, SimNet, SimTime, TimerId,
+};
+
+type Log = Arc<Mutex<Vec<(u64, String)>>>;
+
+/// A node with a protocol-shaped timer mix: a 40ms retransmit tick that
+/// re-arms three times (the reliable protocol's interval), a 200ms
+/// heartbeat that re-arms once (the announce interval), a one-shot that
+/// gets cancelled before it can fire, and a canceller that does the
+/// cancelling — including ties: retransmit #5 (at 200ms) collides with
+/// heartbeat #1.
+struct SchedNode {
+    log: Log,
+    labels: HashMap<TimerId, &'static str>,
+    doomed: Option<TimerId>,
+    retransmits_left: u32,
+    heartbeats_left: u32,
+}
+
+impl SchedNode {
+    fn new(log: Log) -> SchedNode {
+        SchedNode {
+            log,
+            labels: HashMap::new(),
+            doomed: None,
+            retransmits_left: 4,
+            heartbeats_left: 2,
+        }
+    }
+
+    fn arm(&mut self, ctx: &mut Ctx<'_>, after: Duration, label: &'static str) -> TimerId {
+        let id = ctx.set_timer(after);
+        self.labels.insert(id, label);
+        id
+    }
+}
+
+impl Node for SchedNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.arm(ctx, Duration::from_millis(40), "retransmit");
+        self.arm(ctx, Duration::from_millis(200), "heartbeat");
+        let doomed = self.arm(ctx, Duration::from_millis(100), "doomed");
+        self.doomed = Some(doomed);
+        self.arm(ctx, Duration::from_millis(60), "canceller");
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, _payload: &[u8]) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: TimerId) {
+        let label = self.labels.remove(&timer).expect("armed timer");
+        self.log
+            .lock()
+            .unwrap()
+            .push((ctx.now().as_micros(), label.to_string()));
+        match label {
+            "retransmit" if self.retransmits_left > 1 => {
+                self.retransmits_left -= 1;
+                self.arm(ctx, Duration::from_millis(40), "retransmit");
+            }
+            "heartbeat" if self.heartbeats_left > 1 => {
+                self.heartbeats_left -= 1;
+                self.arm(ctx, Duration::from_millis(200), "heartbeat");
+            }
+            "canceller" => {
+                let doomed = self.doomed.take().expect("doomed armed");
+                ctx.cancel_timer(doomed);
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Runs the node under the simulator's virtual clock.
+fn simnet_schedule() -> Vec<(u64, String)> {
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
+    let mut sim = SimNet::new(SimConfig::with_seed(1));
+    let node_log = Arc::clone(&log);
+    sim.add_node("sched", move || Box::new(SchedNode::new(Arc::clone(&node_log))));
+    sim.run_until(SimTime::from_secs(2));
+    let result = log.lock().unwrap().clone();
+    result
+}
+
+/// Runs the same node under the transport's driver: [`NodeHost`] +
+/// [`TimerDriver`], with a [`MockClock`] standing in for the wall clock.
+fn driver_schedule() -> Vec<(u64, String)> {
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
+    let clock = MockClock::new();
+    let mut driver: TimerDriver = TimerDriver::new();
+    let mut host = NodeHost::new(NodeId(0), Box::new(SchedNode::new(Arc::clone(&log))), 1);
+
+    let apply = |effects: Vec<HostEffect>, now: SimTime, driver: &mut TimerDriver| {
+        for effect in effects {
+            match effect {
+                HostEffect::SetTimer { id, after } => driver.schedule(now + after, id),
+                HostEffect::Send { .. } => panic!("SchedNode does not send"),
+            }
+        }
+    };
+
+    let now = clock.now();
+    let effects = host.start(now);
+    apply(effects, now, &mut driver);
+
+    // The event loop, with time warped forward instead of slept through:
+    // exactly what `NetTransport`'s loop does between socket events.
+    while let Some(deadline) = driver.next_deadline() {
+        clock.set(deadline);
+        let now = clock.now();
+        while let Some(id) = driver.pop_due(now) {
+            if let Some(effects) = host.timer(now, id) {
+                apply(effects, now, &mut driver);
+            }
+        }
+    }
+    let result = log.lock().unwrap().clone();
+    result
+}
+
+#[test]
+fn wall_clock_schedule_matches_virtual_time() {
+    let sim = simnet_schedule();
+    let real = driver_schedule();
+    assert!(!sim.is_empty(), "simulator fired timers");
+    assert_eq!(
+        sim, real,
+        "timer driver diverged from the simulator's schedule"
+    );
+    // Sanity on the shape: the doomed timer never fired, and the chains
+    // ran to their configured lengths (retransmits at 40/80/120/160ms,
+    // heartbeats at 200/400ms, the canceller at 60ms).
+    assert!(sim.iter().all(|(_, label)| label != "doomed"));
+    let expected: Vec<(u64, String)> = [
+        (40_000, "retransmit"),
+        (60_000, "canceller"),
+        (80_000, "retransmit"),
+        (120_000, "retransmit"),
+        (160_000, "retransmit"),
+        (200_000, "heartbeat"),
+        (400_000, "heartbeat"),
+    ]
+    .into_iter()
+    .map(|(t, l)| (t, l.to_string()))
+    .collect();
+    assert_eq!(sim, expected, "protocol-shaped schedule");
+}
+
+/// Cancellation races: a timer cancelled *after* its deadline has been
+/// queued (possible when a message callback cancels while the timer is
+/// already due) must be suppressed by the host under both drivers.
+#[test]
+fn late_cancellation_is_suppressed_like_the_simulator() {
+    struct CancelNode {
+        fired: Arc<Mutex<Vec<&'static str>>>,
+        victim: Option<TimerId>,
+    }
+    impl Node for CancelNode {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            // Victim and killer due at the same instant; killer armed
+            // first, so it runs first and cancels the already-queued
+            // victim.
+            let killer = ctx.set_timer(Duration::from_millis(10));
+            let victim = ctx.set_timer(Duration::from_millis(10));
+            self.victim = Some(victim);
+            let _ = killer;
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, _payload: &[u8]) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: TimerId) {
+            match self.victim {
+                Some(victim) if timer != victim => {
+                    self.fired.lock().unwrap().push("killer");
+                    ctx.cancel_timer(victim);
+                }
+                _ => self.fired.lock().unwrap().push("victim"),
+            }
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    // Simulator run.
+    let sim_fired: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut sim = SimNet::new(SimConfig::with_seed(1));
+    let log = Arc::clone(&sim_fired);
+    sim.add_node("cancel", move || {
+        Box::new(CancelNode { fired: Arc::clone(&log), victim: None })
+    });
+    sim.run_until(SimTime::from_secs(1));
+
+    // Driver run.
+    let real_fired: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+    let clock = MockClock::new();
+    let mut driver: TimerDriver = TimerDriver::new();
+    let mut host = NodeHost::new(
+        NodeId(0),
+        Box::new(CancelNode { fired: Arc::clone(&real_fired), victim: None }),
+        1,
+    );
+    let effects = host.start(clock.now());
+    for effect in effects {
+        if let HostEffect::SetTimer { id, after } = effect {
+            driver.schedule(clock.now() + after, id);
+        }
+    }
+    while let Some(deadline) = driver.next_deadline() {
+        clock.set(deadline);
+        while let Some(id) = driver.pop_due(clock.now()) {
+            if let Some(effects) = host.timer(clock.now(), id) {
+                for effect in effects {
+                    if let HostEffect::SetTimer { id, after } = effect {
+                        driver.schedule(clock.now() + after, id);
+                    }
+                }
+            }
+        }
+    }
+
+    let sim_fired = sim_fired.lock().unwrap().clone();
+    let real_fired = real_fired.lock().unwrap().clone();
+    assert_eq!(sim_fired, vec!["killer"], "simulator suppresses the cancelled victim");
+    assert_eq!(real_fired, sim_fired, "host matches the simulator exactly");
+}

@@ -1,0 +1,157 @@
+//! Driving a [`Node`] outside the simulator.
+//!
+//! The sans-io contract says a node is a plain state machine: every
+//! callback receives a [`Ctx`] and queues effects instead of doing I/O.
+//! Inside [`crate::SimNet`] those effects feed the virtual-time event
+//! queue; a *real* transport needs the same callbacks but wants to apply
+//! the effects itself (write sockets, arm wall-clock timers). `Ctx` is
+//! deliberately not constructible from outside this crate, so the bridge
+//! lives here: [`NodeHost`] owns one node plus its stable storage and
+//! RNG, runs callbacks at host-supplied timestamps, and hands the queued
+//! effects back as [`HostEffect`]s for the caller to execute.
+//!
+//! Timer-cancellation semantics match the simulator exactly: a cancelled
+//! timer that is already queued is suppressed *at fire time* (the host
+//! keeps calling [`NodeHost::timer`]; cancelled ids are dropped here), so
+//! a protocol observes the same schedule under both drivers.
+
+use std::any::Any;
+use std::collections::HashSet;
+
+use psc_codec::WireBytes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::node::{Ctx, Effect, Node, NodeId, TimerId};
+use crate::storage::Storage;
+use crate::time::{Duration, SimTime};
+
+/// An effect a hosted node requested from its transport.
+///
+/// Sends and timer arms are returned to the caller; timer *cancels* are
+/// absorbed by the host (see [`NodeHost::timer`]), mirroring the
+/// simulator's fire-time suppression.
+#[derive(Debug)]
+pub enum HostEffect {
+    /// Deliver `payload` to node `to`. `to` may equal the hosted node's
+    /// own id — the simulator loops self-sends back, and transports must
+    /// do the same.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// Shared encoded buffer (clone the handle per destination).
+        payload: WireBytes,
+    },
+    /// Arm a timer to fire `after` the current callback's timestamp.
+    SetTimer {
+        /// Timer id to report back via [`NodeHost::timer`].
+        id: TimerId,
+        /// Delay relative to the callback timestamp.
+        after: Duration,
+    },
+}
+
+/// Hosts one [`Node`] outside the simulator: same callbacks, same effect
+/// semantics, caller-supplied clock.
+pub struct NodeHost {
+    id: NodeId,
+    node: Box<dyn Node>,
+    storage: Storage,
+    rng: StdRng,
+    next_timer: u64,
+    cancelled: HashSet<TimerId>,
+    scratch: Vec<Effect>,
+}
+
+impl NodeHost {
+    /// Creates a host for `node`, identified as `id`, with a seeded RNG
+    /// (deterministic given the same seed and call sequence).
+    pub fn new(id: NodeId, node: Box<dyn Node>, seed: u64) -> NodeHost {
+        NodeHost {
+            id,
+            node,
+            storage: Storage::new(),
+            rng: StdRng::seed_from_u64(seed),
+            next_timer: 0,
+            cancelled: HashSet::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The hosted node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn run(&mut self, now: SimTime, f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>)) -> Vec<HostEffect> {
+        debug_assert!(self.scratch.is_empty());
+        let mut ctx = Ctx {
+            node: self.id,
+            now,
+            effects: &mut self.scratch,
+            storage: &mut self.storage,
+            rng: &mut self.rng,
+            next_timer: &mut self.next_timer,
+        };
+        f(self.node.as_mut(), &mut ctx);
+        let mut out = Vec::with_capacity(self.scratch.len());
+        for effect in self.scratch.drain(..) {
+            match effect {
+                Effect::Send { to, payload, .. } => out.push(HostEffect::Send { to, payload }),
+                Effect::SetTimer { id, after, .. } => {
+                    // Re-arming an id that was cancelled earlier must fire.
+                    self.cancelled.remove(&id);
+                    out.push(HostEffect::SetTimer { id, after });
+                }
+                Effect::CancelTimer { id, .. } => {
+                    self.cancelled.insert(id);
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs `on_start` at `now`.
+    pub fn start(&mut self, now: SimTime) -> Vec<HostEffect> {
+        self.run(now, |node, ctx| node.on_start(ctx))
+    }
+
+    /// Delivers `payload` from `from` at `now`.
+    pub fn message(&mut self, now: SimTime, from: NodeId, payload: &[u8]) -> Vec<HostEffect> {
+        self.run(now, |node, ctx| node.on_message(ctx, from, payload))
+    }
+
+    /// Fires timer `id` at `now`. Returns `None` (and runs nothing) if the
+    /// timer was cancelled since it was armed — the caller does not need
+    /// to track cancellation itself, matching [`crate::SimNet`]'s
+    /// fire-time suppression.
+    pub fn timer(&mut self, now: SimTime, id: TimerId) -> Option<Vec<HostEffect>> {
+        if self.cancelled.remove(&id) {
+            return None;
+        }
+        Some(self.run(now, |node, ctx| node.on_timer(ctx, id)))
+    }
+
+    /// Runs `on_recover` at `now` (the node value itself must already be
+    /// the post-crash rebuild; storage is preserved by this host).
+    pub fn recover(&mut self, now: SimTime) -> Vec<HostEffect> {
+        self.run(now, |node, ctx| node.on_recover(ctx))
+    }
+
+    /// Runs an arbitrary closure against the node with a live `Ctx` —
+    /// the out-of-band injection hook transports use for local API calls
+    /// (publish, subscribe) that must queue effects like any callback.
+    pub fn act(
+        &mut self,
+        now: SimTime,
+        f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>),
+    ) -> Vec<HostEffect> {
+        self.run(now, f)
+    }
+
+    /// Downcasts the hosted node to a concrete type (read/modify without a
+    /// `Ctx`; effects cannot be queued here).
+    pub fn node_mut<T: Any>(&mut self) -> Option<&mut T> {
+        self.node.as_any_mut().downcast_mut::<T>()
+    }
+}

@@ -50,6 +50,7 @@
 //! ```
 
 mod config;
+mod host;
 pub mod inproc;
 mod node;
 mod sim;
@@ -57,6 +58,7 @@ mod storage;
 mod time;
 
 pub use config::{LatencyModel, SimConfig};
+pub use host::{HostEffect, NodeHost};
 pub use node::{Ctx, Node, NodeId, TimerId};
 pub use sim::{NetStats, SimNet};
 pub use storage::{ScopedStorage, Storage};

@@ -14,6 +14,7 @@ pub use psc_simnet as simnet;
 pub mod tuples;
 pub use psc_group as group;
 pub use psc_dace as dace;
+pub use psc_net as net;
 pub use psc_rmi as rmi;
 pub use psc_telemetry as telemetry;
 pub use psc_tuplespace as tuplespace;

@@ -41,6 +41,18 @@ pub struct DaceConfig {
     /// set, the node periodically feeds its transmit/parked/channel queue
     /// depths into a health monitor that emits `health.*` metrics.
     pub watchdog: Option<Duration>,
+    /// Number of channel shards. `1` (the default) keeps today's inline
+    /// single-threaded hot path bit-for-bit unchanged; `N > 1` spawns a
+    /// worker pool where each worker owns the `Channel` state (filter
+    /// index, group protocol, membership) of the kinds hashed to its
+    /// shard, and per-publish matching/encoding runs concurrently with a
+    /// deterministic (shard, sequence) effect merge.
+    pub shards: usize,
+    /// Seed mixed into the shard-assignment hash and the per-shard RNG
+    /// streams. Shard assignment is a pure function of
+    /// `(KindId, shards, shard_seed)`, so two nodes with the same config
+    /// route a kind to the same shard index.
+    pub shard_seed: u64,
 }
 
 impl Default for DaceConfig {
@@ -51,6 +63,8 @@ impl Default for DaceConfig {
             transmit_interval: Duration::from_micros(100),
             announce_interval: Duration::from_millis(200),
             watchdog: None,
+            shards: 1,
+            shard_seed: 0,
         }
     }
 }

@@ -54,8 +54,18 @@ impl Dissemination for BusBackend {
         let Some(bus) = self.bus.upgrade() else {
             return Err(PublishError::Backend("bus is gone".into()));
         };
-        let sinks = bus.sinks.read().expect("bus sinks poisoned");
-        for sink in sinks.iter() {
+        // Snapshot the membership, then deliver with the lock released:
+        // sinks are cheap `Weak` handles, and `deliver` runs inline-mode
+        // handlers synchronously — holding the read guard across them would
+        // let one slow (or bus-reentrant) handler stall every concurrent
+        // `domain`/`prune` that needs the write lock.
+        let sinks: Vec<DeliverySink> = bus
+            .sinks
+            .read()
+            .expect("bus sinks poisoned")
+            .clone();
+        drop(bus);
+        for sink in &sinks {
             sink.deliver(&wire);
         }
         Ok(())

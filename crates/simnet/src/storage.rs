@@ -16,10 +16,24 @@ use serde::Serialize;
 
 use psc_codec::CodecError;
 
+/// One recorded mutation of a journaled [`Storage`]; see
+/// [`Storage::enable_journal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageOp {
+    /// `put_raw`/`put` of the given key and encoded value.
+    Put(String, Vec<u8>),
+    /// `remove` of the given key.
+    Remove(String),
+}
+
 /// A node's crash-surviving key–value store.
 #[derive(Debug, Default, Clone)]
 pub struct Storage {
     entries: BTreeMap<String, Vec<u8>>,
+    /// When present, every mutation is also appended here (in order), so a
+    /// detached fragment — e.g. a shard worker's private copy — can be
+    /// replayed onto an authoritative store. `None` costs nothing.
+    journal: Option<Vec<StorageOp>>,
 }
 
 impl Storage {
@@ -28,9 +42,41 @@ impl Storage {
         Storage::default()
     }
 
+    /// Starts recording every mutation; see [`Storage::take_journal`].
+    pub fn enable_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Vec::new());
+        }
+    }
+
+    /// Drains the mutations recorded since the last call (empty when
+    /// journaling is off). The ops replay in order via [`Storage::apply`].
+    pub fn take_journal(&mut self) -> Vec<StorageOp> {
+        match self.journal.as_mut() {
+            Some(journal) => std::mem::take(journal),
+            None => Vec::new(),
+        }
+    }
+
+    /// Replays journaled mutations (in order) onto this store.
+    pub fn apply(&mut self, ops: Vec<StorageOp>) {
+        for op in ops {
+            match op {
+                StorageOp::Put(key, value) => self.put_raw(key, value),
+                StorageOp::Remove(key) => {
+                    self.remove(&key);
+                }
+            }
+        }
+    }
+
     /// Stores raw bytes under `key`, replacing any previous value.
     pub fn put_raw(&mut self, key: impl Into<String>, value: Vec<u8>) {
-        self.entries.insert(key.into(), value);
+        let key = key.into();
+        if let Some(journal) = self.journal.as_mut() {
+            journal.push(StorageOp::Put(key.clone(), value.clone()));
+        }
+        self.entries.insert(key, value);
     }
 
     /// Reads raw bytes stored under `key`.
@@ -45,7 +91,7 @@ impl Storage {
     /// Propagates serialization failures.
     pub fn put<T: Serialize>(&mut self, key: impl Into<String>, value: &T) -> Result<(), CodecError> {
         let bytes = psc_codec::to_bytes(value)?;
-        self.entries.insert(key.into(), bytes);
+        self.put_raw(key, bytes);
         Ok(())
     }
 
@@ -63,6 +109,9 @@ impl Storage {
 
     /// Removes the entry under `key`, returning whether it existed.
     pub fn remove(&mut self, key: &str) -> bool {
+        if let Some(journal) = self.journal.as_mut() {
+            journal.push(StorageOp::Remove(key.to_string()));
+        }
         self.entries.remove(key).is_some()
     }
 
@@ -72,6 +121,16 @@ impl Storage {
             .range(prefix.to_string()..)
             .take_while(move |(k, _)| k.starts_with(prefix))
             .map(|(k, _)| k.as_str())
+    }
+
+    /// Clones the `(key, value)` pairs under `prefix` (sorted by key) —
+    /// how a detached fragment is seeded from the authoritative store.
+    pub fn entries_with_prefix(&self, prefix: &str) -> Vec<(String, Vec<u8>)> {
+        self.entries
+            .range(prefix.to_string()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
     }
 
     /// Number of stored entries.
@@ -185,6 +244,41 @@ mod tests {
         s.put_raw("meta", vec![0]);
         let keys: Vec<&str> = s.keys_with_prefix("log/").collect();
         assert_eq!(keys, ["log/1", "log/2"]);
+    }
+
+    #[test]
+    fn journal_records_and_replays_in_order() {
+        let mut fragment = Storage::new();
+        fragment.enable_journal();
+        fragment.put("seq", &7u64).unwrap();
+        fragment.put_raw("log/1", vec![1]);
+        fragment.remove("log/1");
+        fragment.put_raw("log/2", vec![2]);
+
+        let ops = fragment.take_journal();
+        assert_eq!(ops.len(), 4);
+        assert!(fragment.take_journal().is_empty());
+
+        let mut authoritative = Storage::new();
+        authoritative.apply(ops);
+        assert_eq!(authoritative.get::<u64>("seq").unwrap(), Some(7));
+        assert_eq!(authoritative.get_raw("log/1"), None);
+        assert_eq!(authoritative.get_raw("log/2"), Some(&[2u8][..]));
+    }
+
+    #[test]
+    fn scoped_mutations_are_journaled_with_full_keys() {
+        let mut s = Storage::new();
+        s.enable_journal();
+        s.scoped("ch/9/").put_raw("state", vec![3]);
+        assert_eq!(
+            s.take_journal(),
+            vec![StorageOp::Put("ch/9/state".to_string(), vec![3])]
+        );
+        assert_eq!(
+            s.entries_with_prefix("ch/"),
+            vec![("ch/9/state".to_string(), vec![3])]
+        );
     }
 
     #[test]

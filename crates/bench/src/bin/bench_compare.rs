@@ -432,6 +432,79 @@ fn compare_parallel_shard(gate: &mut Gate, base: &JsonValue, fresh: &JsonValue) 
     }
 }
 
+fn compare_durable_log(gate: &mut Gate, base: &JsonValue, fresh: &JsonValue) {
+    let file = "BENCH_exp_durable_log.json";
+    let same_scale = base.get("quick").map(|v| v.render()) == fresh.get("quick").map(|v| v.render());
+    if let (Some(b), Some(f)) = (base.get("append"), fresh.get("append")) {
+        compare_keyed(
+            gate,
+            &format!("{file} append"),
+            "wal",
+            b,
+            f,
+            same_scale,
+            &[
+                // The simulated sections run a fixed-size workload in both
+                // quick and full mode, so the per-publish record counts are
+                // deterministic and always gated: appends/pub growing means
+                // the log schema got chattier, syncs/pub growing means the
+                // fsync barrier lost its batching.
+                Metric {
+                    name: "appends_per_publish",
+                    wall: false,
+                    extract: |r| field_f64(r, "appends_per_publish"),
+                },
+                Metric {
+                    name: "syncs_per_publish",
+                    wall: false,
+                    extract: |r| field_f64(r, "syncs_per_publish"),
+                },
+                // Baseline 0: any fresh mismatch is a lost or duplicated
+                // certified delivery, which fails outright.
+                Metric {
+                    name: "delivery_mismatches",
+                    wall: false,
+                    extract: |r| field_f64(r, "delivery_mismatches"),
+                },
+                Metric {
+                    name: "route_us_per_publish",
+                    wall: true,
+                    extract: |r| field_f64(r, "route_us_per_publish"),
+                },
+            ],
+        );
+    }
+    if let (Some(b), Some(f)) = (base.get("recovery"), fresh.get("recovery")) {
+        for (name, wall) in [
+            ("replay_records", false),
+            ("redeliveries", false),
+            ("replay_wall_ms", true),
+        ] {
+            let label = format!("{file} recovery {name}");
+            match (field_f64(b, name), field_f64(f, name)) {
+                (Some(bv), Some(fv)) if wall => gate.check_wall(&label, bv, fv, same_scale),
+                (Some(bv), Some(fv)) => gate.check(&label, bv, fv),
+                _ => eprintln!("skip {label}: missing on one side"),
+            }
+        }
+    }
+    if let (Some(b), Some(f)) = (base.get("fsync"), fresh.get("fsync")) {
+        compare_keyed(
+            gate,
+            &format!("{file} fsync"),
+            "batch",
+            b,
+            f,
+            same_scale,
+            &[Metric {
+                name: "us_per_append",
+                wall: true,
+                extract: |r| field_f64(r, "us_per_append"),
+            }],
+        );
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(fresh_dir) = args.next() else {
@@ -478,6 +551,12 @@ fn main() -> ExitCode {
         load(&fresh_dir, "BENCH_exp_parallel_shard.json"),
     ) {
         compare_parallel_shard(&mut gate, &base, &fresh);
+    }
+    if let (Some(base), Some(fresh)) = (
+        load(&base_dir, "BENCH_exp_durable_log.json"),
+        load(&fresh_dir, "BENCH_exp_durable_log.json"),
+    ) {
+        compare_durable_log(&mut gate, &base, &fresh);
     }
 
     if gate.compared == 0 {

@@ -1,0 +1,306 @@
+//! E14 report — the durable channel write-ahead log: append-path cost,
+//! crash-recovery replay, and real-disk fsync batching.
+//!
+//! Three sections:
+//!
+//! 1. **append** — one publisher bursts certified obvents at a durable
+//!    subscriber, with the WAL off (`DaceConfig::wal = false`, the
+//!    pre-durability baseline) and on. The delta in the route wall is the
+//!    full bookkeeping cost of durability on the publish hot path:
+//!    CRC framing, per-channel log routing, rotation. The WAL rows also
+//!    export the deterministic per-publish record counts — `wal.appends`
+//!    and `wal.syncs` per publish are the fsync-batching figures (one
+//!    barrier per flush, not per record).
+//! 2. **recovery** — the subscriber from the WAL run is crashed
+//!    ([`DiskFault::None`]: the log survives in full) and restarted; the
+//!    first callback of the new incarnation replays its segments. The
+//!    section reports replayed records, replay wall, and — because the
+//!    durable subscription re-attaches under the same identity —
+//!    `redeliveries`, which must be 0: recovery restores the delivered
+//!    set, so nothing is handed to the application twice.
+//! 3. **fsync** — [`psc_net::FileWal`] driven directly on a temp
+//!    directory: N appends per `fsync`, swept over the batch size. This
+//!    is the real-disk half of the fsync-batching story; the simulator
+//!    charges nothing for a sync barrier, a disk charges a lot.
+//!
+//! Run with `cargo run --release -p psc-bench --bin exp_durable_log`; set
+//! `BENCH_QUICK=1` to shrink the (real-disk) fsync sweep. The simulated
+//! sections run the same fixed workload in both modes, so their
+//! deterministic counts are directly comparable across scales.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use psc_bench::{fmt_f, write_bench_json, Table};
+use psc_dace::{DaceConfig, DaceNode};
+use psc_net::FileWal;
+use psc_obvent::builtin::Certified;
+use psc_obvent::declare_obvent_model;
+use psc_simnet::{DiskFault, NodeId, SimConfig, SimNet, SimTime, WalOp};
+use psc_telemetry::json::JsonValue;
+use psc_telemetry::{Registry, Snapshot, Tracer};
+use pubsub_core::FilterSpec;
+
+declare_obvent_model! {
+    /// The durability workload: a certified tick, so every publish crosses
+    /// the WAL (parked for retransmission on the publisher, delivered +
+    /// deduplicated on the subscriber).
+    pub class DurableTick implements [Certified] { n: u64 }
+}
+
+/// Fixed size of the simulated workload (identical in quick and full
+/// runs: the sim costs milliseconds, and fixed size keeps the per-publish
+/// counts exactly comparable for the regression gate).
+const PUBLISHES: u64 = 256;
+const DURABLE_ID: u64 = 0xE14;
+
+fn durable_config(wal: bool) -> DaceConfig {
+    DaceConfig {
+        wal,
+        // Small segments so the burst exercises rotation; compaction held
+        // off so the recovery section replays the full history.
+        wal_segment_bytes: 4 * 1024,
+        wal_compact_threshold: 1 << 20,
+        ..DaceConfig::default()
+    }
+}
+
+fn attach(sim: &mut SimNet, id: NodeId) -> Arc<AtomicU64> {
+    let delivered = Arc::new(AtomicU64::new(0));
+    let counter = Arc::clone(&delivered);
+    DaceNode::drive(sim, id, move |domain| {
+        let sub = domain.subscribe(FilterSpec::accept_all(), move |_t: DurableTick| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        sub.activate_with_id(DURABLE_ID).expect("durable attach");
+        sub.detach();
+    });
+    delivered
+}
+
+struct AppendRun {
+    route_wall_ms: f64,
+    delivered: u64,
+    snapshot: Snapshot,
+    /// Kept alive for the recovery section (WAL run only).
+    sim: SimNet,
+    ids: Vec<NodeId>,
+    registry: Arc<Registry>,
+}
+
+/// The append workload: publisher node 0 bursts `PUBLISHES` certified
+/// ticks at a durable subscriber on node 1, then the network settles.
+fn run_append(wal: bool) -> AppendRun {
+    let mut sim = SimNet::new(SimConfig::with_seed(14));
+    let ids = vec![NodeId(0), NodeId(1)];
+    let registry = Arc::new(Registry::new());
+    let tracer = Arc::new(Tracer::default());
+    tracer.set_enabled(false);
+    for (i, _) in ids.iter().enumerate() {
+        sim.add_node(
+            format!("n{i}"),
+            DaceNode::factory_with_telemetry(
+                ids.clone(),
+                durable_config(wal),
+                Arc::clone(&registry),
+                Arc::clone(&tracer),
+            ),
+        );
+    }
+    let delivered = attach(&mut sim, ids[1]);
+    sim.run_until(SimTime::from_millis(40));
+
+    let route_start = Instant::now();
+    DaceNode::drive(&mut sim, ids[0], move |domain| {
+        for n in 0..PUBLISHES {
+            domain.publish(DurableTick::new(n)).expect("publish tick");
+        }
+    });
+    let route_wall_ms = route_start.elapsed().as_secs_f64() * 1e3;
+    let deadline = sim.now() + psc_simnet::Duration::from_millis(2_000);
+    sim.run_until(deadline);
+
+    AppendRun {
+        route_wall_ms,
+        delivered: delivered.load(Ordering::Relaxed),
+        snapshot: registry.snapshot(),
+        sim,
+        ids,
+        registry,
+    }
+}
+
+fn append_row(wal: bool, r: &AppendRun) -> JsonValue {
+    let mismatches = r.delivered.abs_diff(PUBLISHES);
+    JsonValue::obj()
+        .set("wal", u64::from(wal))
+        .set("publishes", PUBLISHES)
+        .set("route_wall_ms", r.route_wall_ms)
+        .set("route_us_per_publish", r.route_wall_ms * 1e3 / PUBLISHES as f64)
+        .set("deliveries", r.delivered)
+        .set("delivery_mismatches", mismatches)
+        .set("wal_appends", r.snapshot.counter("wal.appends"))
+        .set("wal_bytes", r.snapshot.counter("wal.bytes"))
+        .set("wal_syncs", r.snapshot.counter("wal.syncs"))
+        .set("wal_rotations", r.snapshot.counter("wal.rotations"))
+        .set(
+            "appends_per_publish",
+            r.snapshot.counter("wal.appends") as f64 / PUBLISHES as f64,
+        )
+        .set(
+            "syncs_per_publish",
+            r.snapshot.counter("wal.syncs") as f64 / PUBLISHES as f64,
+        )
+}
+
+/// The recovery workload: crash the WAL run's subscriber with its disk
+/// intact, restart it, and time the first callback of the new incarnation
+/// — that is where the segment replay runs.
+fn run_recovery(r: &mut AppendRun) -> JsonValue {
+    let before = r.registry.snapshot();
+    let delivered_before = r.delivered;
+    r.sim.crash_with_fault(r.ids[1], DiskFault::None);
+    let step = r.sim.now() + psc_simnet::Duration::from_millis(20);
+    r.sim.run_until(step);
+    r.sim.recover(r.ids[1]);
+
+    let replay_start = Instant::now();
+    let delivered = attach(&mut r.sim, r.ids[1]);
+    let replay_wall_ms = replay_start.elapsed().as_secs_f64() * 1e3;
+    let settle = r.sim.now() + psc_simnet::Duration::from_millis(1_000);
+    r.sim.run_until(settle);
+
+    let after = r.registry.snapshot();
+    let records =
+        after.counter("wal.replay.records") - before.counter("wal.replay.records");
+    // The durable identity restored its delivered set from the log, so the
+    // only legitimate post-recovery deliveries are publishes the first
+    // incarnation never saw; anything beyond that is a redelivery.
+    let owed = PUBLISHES.saturating_sub(delivered_before);
+    let redeliveries = delivered.load(Ordering::Relaxed).saturating_sub(owed);
+    println!(
+        "recovery: {records} records replayed in {} ms, {redeliveries} redeliveries\n",
+        fmt_f(replay_wall_ms)
+    );
+    JsonValue::obj()
+        .set("replay_records", records)
+        .set("replay_wall_ms", replay_wall_ms)
+        .set(
+            "replay_records_per_sec",
+            records as f64 / (replay_wall_ms / 1e3).max(1e-9),
+        )
+        .set("replay_torn", after.counter("wal.replay.torn"))
+        .set("replay_corrupt", after.counter("wal.replay.corrupt"))
+        .set("redeliveries", redeliveries)
+}
+
+/// The real-disk fsync curve: `appends` records through [`FileWal`], one
+/// `sync_data` every `batch` appends.
+fn run_fsync(appends: usize, batch: usize, payload: usize) -> JsonValue {
+    let root = std::env::temp_dir()
+        .join(format!("psc-bench-durable-{}-{batch}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let (_, mut wal) = FileWal::open(&root).expect("open bench data dir");
+
+    // Pre-frame one record shape; the op stream reuses it (the bench
+    // measures the disk, not the allocator).
+    let mut framed = Vec::new();
+    psc_codec::frame::encode_crc(&vec![0xE1u8; payload], &mut framed);
+    let append = WalOp::Append { log: "ch/bench".into(), bytes: framed.clone() };
+    let sync = WalOp::Sync { log: "ch/bench".into() };
+
+    let start = Instant::now();
+    for i in 0..appends {
+        wal.apply(std::slice::from_ref(&append)).expect("append");
+        if (i + 1) % batch == 0 {
+            wal.apply(std::slice::from_ref(&sync)).expect("sync");
+        }
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let _ = std::fs::remove_dir_all(&root);
+
+    let bytes = (framed.len() * appends) as f64;
+    JsonValue::obj()
+        .set("batch", batch as u64)
+        .set("appends", appends as u64)
+        .set("record_bytes", framed.len() as u64)
+        .set("wall_ms", wall_ms)
+        .set("us_per_append", wall_ms * 1e3 / appends as f64)
+        .set("mb_per_sec", bytes / 1e6 / (wall_ms / 1e3).max(1e-9))
+}
+
+fn main() {
+    psc_telemetry::set_global_enabled(true);
+    let quick = std::env::var_os("BENCH_QUICK").is_some();
+    let fsync_appends = if quick { 128 } else { 1_024 };
+
+    println!("E14: durable channel WAL — append cost, recovery replay, fsync batching\n");
+
+    let mut table = Table::new(&[
+        "wal",
+        "route ms",
+        "route us/pub",
+        "deliveries",
+        "appends/pub",
+        "syncs/pub",
+        "rotations",
+    ]);
+    let mut append_rows = JsonValue::arr();
+    let mut wal_run = None;
+    for wal in [false, true] {
+        let r = run_append(wal);
+        table.row(&[
+            u64::from(wal).to_string(),
+            fmt_f(r.route_wall_ms),
+            fmt_f(r.route_wall_ms * 1e3 / PUBLISHES as f64),
+            r.delivered.to_string(),
+            fmt_f(r.snapshot.counter("wal.appends") as f64 / PUBLISHES as f64),
+            fmt_f(r.snapshot.counter("wal.syncs") as f64 / PUBLISHES as f64),
+            r.snapshot.counter("wal.rotations").to_string(),
+        ]);
+        append_rows = append_rows.push(append_row(wal, &r));
+        if wal {
+            wal_run = Some(r);
+        }
+    }
+    table.print();
+    println!();
+
+    let recovery = run_recovery(&mut wal_run.expect("wal run present"));
+
+    let mut fsync_table =
+        Table::new(&["batch", "appends", "wall ms", "us/append", "MB/s"]);
+    let mut fsync_rows = JsonValue::arr();
+    for &batch in &[1usize, 8, 64] {
+        let row = run_fsync(fsync_appends, batch, 256);
+        fsync_table.row(&[
+            batch.to_string(),
+            fsync_appends.to_string(),
+            fmt_f(row.get("wall_ms").and_then(JsonValue::as_f64).unwrap_or(0.0)),
+            fmt_f(row.get("us_per_append").and_then(JsonValue::as_f64).unwrap_or(0.0)),
+            fmt_f(row.get("mb_per_sec").and_then(JsonValue::as_f64).unwrap_or(0.0)),
+        ]);
+        fsync_rows = fsync_rows.push(row);
+    }
+    println!("fsync batching ({fsync_appends} x 256B records through FileWal):");
+    fsync_table.print();
+
+    let doc = JsonValue::obj()
+        .set("experiment", "durable_log")
+        .set("quick", quick)
+        .set("publishes", PUBLISHES)
+        .set("append", append_rows)
+        .set("recovery", recovery)
+        .set("fsync", fsync_rows)
+        .set("metrics", psc_telemetry::global().snapshot().to_json());
+    let path = write_bench_json("exp_durable_log", &doc).expect("write BENCH json");
+    println!("\nmetrics snapshot written to {}", path.display());
+    println!(
+        "\nexpected shape: the WAL row pays a bounded per-publish premium over wal=0\n\
+         (CRC framing + log routing); syncs/pub stays a small constant — one barrier\n\
+         per touched log per flush, not one per record; recovery replays every record\n\
+         with 0 redeliveries; the real-disk fsync curve improves steeply with the\n\
+         batch size."
+    );
+}

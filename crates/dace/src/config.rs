@@ -53,6 +53,23 @@ pub struct DaceConfig {
     /// `(KindId, shards, shard_seed)`, so two nodes with the same config
     /// route a kind to the same shard index.
     pub shard_seed: u64,
+    /// Write-ahead logging of durable channel state (default on). Along
+    /// the paper's Fig. 4 lattice, `Certified` delivery implies durability:
+    /// every persisted key of a certified channel — plus durable
+    /// subscriptions and parked obvents — is also appended (CRC-framed) to
+    /// a per-channel append-only log, and recovery replays the log before
+    /// reading anything. Volatile kinds opt out by not being certified.
+    pub wal: bool,
+    /// Issue an fsync barrier after every commit (default on). Turning
+    /// this off deliberately models a broken disk discipline: under a
+    /// disk-fault crash the un-fsynced log suffix is lost, and the
+    /// harness's durability oracle must catch the resulting ghost/dup.
+    pub wal_sync: bool,
+    /// Rotate a log's active segment once it exceeds this many bytes.
+    pub wal_segment_bytes: usize,
+    /// Compact a log (checkpoint the live keyspace into a fresh segment,
+    /// drop the older ones) once its total size exceeds this many bytes.
+    pub wal_compact_threshold: usize,
 }
 
 impl Default for DaceConfig {
@@ -65,6 +82,10 @@ impl Default for DaceConfig {
             watchdog: None,
             shards: 1,
             shard_seed: 0,
+            wal: true,
+            wal_sync: true,
+            wal_segment_bytes: 16 * 1024,
+            wal_compact_threshold: 64 * 1024,
         }
     }
 }

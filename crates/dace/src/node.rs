@@ -9,7 +9,7 @@
 
 use std::any::Any;
 use std::cmp::Ordering as CmpOrdering;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
 
 use psc_codec::WireBytes;
@@ -19,7 +19,7 @@ use psc_group::{
 };
 use psc_obvent::qos::{Delivery, Ordering, QosSpec};
 use psc_obvent::{builtin, KindId, KindRole, Obvent, WireObvent};
-use psc_simnet::{Ctx, Node, NodeId, ScopedStorage, SimNet, SimTime, TimerId};
+use psc_simnet::{Ctx, Node, NodeId, ScopedStorage, SimNet, SimTime, StorageOp, TimerId};
 use psc_telemetry::{
     FlightRecorder, HealthMonitor, Inspect, Registry, ReportBuilder, TraceId, TraceStage, Tracer,
 };
@@ -142,6 +142,37 @@ impl DurableRecord {
 /// Upper bound on obvents parked for not-yet-re-attached durable
 /// subscriptions (oldest dropped beyond this).
 const MAX_PARKED: usize = 1024;
+
+/// One record of a channel write-ahead log ([`DaceConfig::wal`]). Every
+/// record is CRC-framed via `psc_codec::frame::encode_crc` before it hits
+/// a segment, so recovery scans with `scan_crc_frames` and stops cleanly
+/// at a torn tail instead of reading garbage.
+#[derive(Debug, Serialize, Deserialize)]
+enum WalRecord {
+    /// A key–value write of the log's keyspace.
+    Put { key: String, value: Vec<u8> },
+    /// A key removal.
+    Remove { key: String },
+    /// A full snapshot of the log's live keyspace; always the first record
+    /// of the oldest retained segment after compaction, so replay can
+    /// start from it and apply the records that follow.
+    Checkpoint { entries: Vec<(String, Vec<u8>)> },
+}
+
+/// Counters describing one node's WAL activity, mirrored into the
+/// [`Inspect`] report (the report renders from `&self`, without storage
+/// access, so the commit path maintains this copy).
+#[derive(Debug, Default, Clone)]
+struct WalReport {
+    /// Per-log `(segments, total_bytes)` as of the last commit.
+    logs: BTreeMap<String, (u64, u64)>,
+    /// Records replayed during bootstrap.
+    replayed: u64,
+    /// Segments whose tail was torn (truncated mid-record) at replay.
+    torn: u64,
+    /// Records rejected by CRC/decoding at replay.
+    corrupt: u64,
+}
 
 enum DaceTimer {
     Announce,
@@ -322,8 +353,18 @@ pub struct DaceNode {
     /// Durable subscriptions persisted but not yet re-attached (loaded on
     /// recovery), by durable id.
     durable_pending: HashMap<u64, DurableRecord>,
-    /// Obvents held for pending durable subscriptions.
-    parked: VecDeque<WireObvent>,
+    /// Obvents held for pending durable subscriptions, with the stable
+    /// `park/<seq>` storage key each is persisted under.
+    parked: VecDeque<(u64, WireObvent)>,
+    /// Next `park/<seq>` key suffix.
+    park_seq: u64,
+    /// Whether the WAL has been replayed and journaling armed (once per
+    /// node incarnation, on the first callback).
+    wal_bootstrapped: bool,
+    /// Memo of `kind → durable?` (certified delivery ⇒ durable).
+    wal_durable: HashMap<u64, bool>,
+    /// WAL activity mirror for the [`Inspect`] report.
+    wal_report: WalReport,
     stats: DaceStats,
     /// Metrics registry (`dace.*`, `group.*`); externally owned with
     /// [`DaceNode::factory_with_telemetry`] so counters survive crash
@@ -414,6 +455,10 @@ impl DaceNode {
             outbox_order: Vec::new(),
             durable_pending: HashMap::new(),
             parked: VecDeque::new(),
+            park_seq: 0,
+            wal_bootstrapped: false,
+            wal_durable: HashMap::new(),
+            wal_report: WalReport::default(),
             stats: DaceStats::default(),
             telemetry,
             tracer,
@@ -613,7 +658,7 @@ impl DaceNode {
         self.id.expect("node id assigned on first callback")
     }
 
-    fn ensure_id(&mut self, ctx: &Ctx<'_>) {
+    fn ensure_id(&mut self, ctx: &mut Ctx<'_>) {
         if self.id.is_none() {
             self.id = Some(ctx.id());
         }
@@ -625,6 +670,223 @@ impl DaceNode {
                 &self.telemetry,
             ));
         }
+        self.wal_bootstrap(ctx);
+    }
+
+    /// Once per incarnation, before any other storage access: replays the
+    /// write-ahead logs into the key–value map (after a disk-fault crash
+    /// the map is empty and the fsynced log suffix is all that survived;
+    /// after a plain crash the replay is an idempotent re-put), reloads
+    /// durable subscriptions and parked obvents, and arms the storage
+    /// journal that feeds [`DaceNode::wal_commit`].
+    fn wal_bootstrap(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.config.wal || self.wal_bootstrapped {
+            return;
+        }
+        self.wal_bootstrapped = true;
+        ctx.storage().enable_journal();
+        let logs = ctx.storage().wal_logs();
+        let mut replayed = 0u64;
+        let mut torn = 0u64;
+        let mut corrupt = 0u64;
+        for log in &logs {
+            let segments: Vec<Vec<u8>> = ctx
+                .storage()
+                .wal_segments(log)
+                .iter()
+                .map(|s| s.bytes.clone())
+                .collect();
+            for bytes in segments {
+                let (frames, end) = psc_codec::frame::scan_crc_frames(&bytes);
+                match end {
+                    psc_codec::frame::ScanEnd::Clean => {}
+                    psc_codec::frame::ScanEnd::Truncated { .. } => torn += 1,
+                    psc_codec::frame::ScanEnd::Corrupt { .. } => corrupt += 1,
+                }
+                for frame in frames {
+                    let Ok(record) = psc_codec::from_bytes::<WalRecord>(&frame) else {
+                        corrupt += 1;
+                        continue;
+                    };
+                    replayed += 1;
+                    match record {
+                        WalRecord::Put { key, value } => ctx.storage().put_raw(key, value),
+                        WalRecord::Remove { key } => {
+                            ctx.storage().remove(&key);
+                        }
+                        WalRecord::Checkpoint { entries } => {
+                            for (key, value) in entries {
+                                ctx.storage().put_raw(key, value);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Replay writes must not re-journal (they are already in the WAL).
+        ctx.storage().take_journal();
+        self.wal_report.replayed = replayed;
+        self.wal_report.torn = torn;
+        self.wal_report.corrupt = corrupt;
+        for log in &logs {
+            let segments = ctx.storage().wal_segments(log);
+            self.wal_report.logs.insert(
+                log.clone(),
+                (
+                    segments.len() as u64,
+                    segments.iter().map(|s| s.bytes.len() as u64).sum(),
+                ),
+            );
+        }
+        if replayed > 0 {
+            self.telemetry.bump("wal.replay.records", replayed);
+        }
+        if torn > 0 {
+            self.telemetry.bump("wal.replay.torn", torn);
+        }
+        if corrupt > 0 {
+            self.telemetry.bump("wal.replay.corrupt", corrupt);
+        }
+        // Reload durable subscriptions and parked obvents here, not only in
+        // `on_recover`: a real transport restarting a process calls
+        // `on_start`, and the WAL is what makes that a resume.
+        let keys: Vec<String> = ctx
+            .storage()
+            .keys_with_prefix("dursub/")
+            .map(str::to_string)
+            .collect();
+        for key in keys {
+            if let Ok(Some(record)) = ctx.storage().get::<DurableRecord>(&key) {
+                self.durable_pending.insert(record.durable_id, record);
+            }
+        }
+        let park_keys: Vec<String> = ctx
+            .storage()
+            .keys_with_prefix("park/")
+            .map(str::to_string)
+            .collect();
+        for key in park_keys {
+            let Ok(seq) = key["park/".len()..].parse::<u64>() else {
+                continue;
+            };
+            let Some(bytes) = ctx.storage().get_raw(&key) else {
+                continue;
+            };
+            if let Ok(wire) = psc_codec::from_bytes::<WireObvent>(bytes) {
+                self.parked.push_back((seq, wire));
+                self.park_seq = self.park_seq.max(seq + 1);
+            }
+        }
+    }
+
+    /// The write-ahead log a storage key belongs to: durable subscriptions
+    /// and parked obvents go to the node log; a certified channel's keys go
+    /// to its per-channel log; everything else is volatile.
+    fn wal_log_for(&mut self, key: &str) -> Option<String> {
+        if key.starts_with("dursub/") || key.starts_with("park/") {
+            return Some("node".to_string());
+        }
+        let rest = key.strip_prefix("ch/")?;
+        let (kind_hex, _) = rest.split_once('/')?;
+        let raw = u64::from_str_radix(kind_hex, 16).ok()?;
+        let durable = *self.wal_durable.entry(raw).or_insert_with(|| {
+            psc_obvent::registry::lookup(KindId::from_raw(raw))
+                .map(|k| k.qos().delivery == Delivery::Certified)
+                .unwrap_or(false)
+        });
+        durable.then(|| format!("ch/{kind_hex}"))
+    }
+
+    /// End of every callback: drains the storage journal, appends each
+    /// durable mutation to its log as a CRC-framed [`WalRecord`], rotates
+    /// oversized active segments, issues the fsync barrier, and compacts
+    /// logs past the retention threshold. Runs after the effects of the
+    /// callback are queued but before they externalize — so in a healthy
+    /// configuration nothing observable ever precedes its log record.
+    fn wal_commit(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.config.wal || !self.wal_bootstrapped {
+            return;
+        }
+        let ops = ctx.storage().take_journal();
+        if ops.is_empty() {
+            return;
+        }
+        let mut touched: Vec<String> = Vec::new();
+        let mut appends = 0u64;
+        let mut bytes_appended = 0u64;
+        for op in ops {
+            let (log, record) = match op {
+                StorageOp::Put(key, value) => {
+                    (self.wal_log_for(&key), WalRecord::Put { key, value })
+                }
+                StorageOp::Remove(key) => (self.wal_log_for(&key), WalRecord::Remove { key }),
+            };
+            let Some(log) = log else { continue };
+            let encoded = psc_codec::to_bytes(&record).expect("wal records encode");
+            bytes_appended += ctx.storage().wal_append(&log, &encoded) as u64;
+            appends += 1;
+            if !touched.contains(&log) {
+                touched.push(log);
+            }
+        }
+        if appends > 0 {
+            self.telemetry.bump("wal.appends", appends);
+            self.telemetry.bump("wal.bytes", bytes_appended);
+        }
+        for log in touched {
+            let active_len = ctx
+                .storage()
+                .wal_segments(&log)
+                .last()
+                .map(|s| s.bytes.len())
+                .unwrap_or(0);
+            if active_len >= self.config.wal_segment_bytes {
+                ctx.storage().wal_rotate(&log);
+                self.telemetry.bump("wal.rotations", 1);
+            }
+            if self.config.wal_sync {
+                ctx.storage().wal_sync(&log);
+                self.telemetry.bump("wal.syncs", 1);
+            }
+            let total: usize = ctx
+                .storage()
+                .wal_segments(&log)
+                .iter()
+                .map(|s| s.bytes.len())
+                .sum();
+            if total >= self.config.wal_compact_threshold {
+                self.wal_compact(ctx, &log);
+            }
+            let segments = ctx.storage().wal_segments(&log);
+            self.wal_report.logs.insert(
+                log.clone(),
+                (
+                    segments.len() as u64,
+                    segments.iter().map(|s| s.bytes.len() as u64).sum(),
+                ),
+            );
+        }
+    }
+
+    /// Compaction: snapshot the log's live keyspace into a checkpoint
+    /// record at the head of a fresh segment, fsync it (unconditionally —
+    /// dropping history against an undurable checkpoint would lose data
+    /// even with a correct disk), then drop the older segments.
+    fn wal_compact(&mut self, ctx: &mut Ctx<'_>, log: &str) {
+        let entries = if log == "node" {
+            let mut entries = ctx.storage().entries_with_prefix("dursub/");
+            entries.extend(ctx.storage().entries_with_prefix("park/"));
+            entries
+        } else {
+            ctx.storage().entries_with_prefix(&format!("{log}/"))
+        };
+        let record = WalRecord::Checkpoint { entries };
+        let encoded = psc_codec::to_bytes(&record).expect("wal records encode");
+        let index = ctx.storage().wal_rotate(log);
+        ctx.storage().wal_append(log, &encoded);
+        ctx.storage().wal_sync(log);
+        ctx.storage().wal_drop_through(log, index - 1);
+        self.telemetry.bump("wal.checkpoints", 1);
     }
 
     fn flood_control<O: Obvent>(&mut self, _ctx: &mut Ctx<'_>, ctl: &O) {
@@ -691,6 +953,7 @@ impl DaceNode {
             }
         }
         self.flush_outbox(ctx);
+        self.wal_commit(ctx);
     }
 
     fn subscribe_flow(&mut self, ctx: &mut Ctx<'_>, record: SubscriptionRecord) {
@@ -743,10 +1006,14 @@ impl DaceNode {
             self.join_channel(ctx, sub_raw, channel);
         }
         // Re-offer obvents parked while a durable subscription was
-        // detached; anything still unmatched (other pending records) stays.
+        // detached; anything still unmatched (other pending records) is
+        // re-parked by `local_deliver` under a fresh key.
         if !self.parked.is_empty() {
-            let parked: Vec<WireObvent> = self.parked.drain(..).collect();
-            for wire in parked {
+            let parked: Vec<(u64, WireObvent)> = self.parked.drain(..).collect();
+            for (seq, wire) in parked {
+                if self.config.wal {
+                    ctx.storage().remove(&format!("park/{seq:020}"));
+                }
                 self.local_deliver(ctx, &wire);
             }
         }
@@ -1095,12 +1362,24 @@ impl DaceNode {
                 .any(|record| record.matches(wire))
         {
             // A durable subscription exists but its handler has not
-            // re-attached yet (§3.4.1 recovery window): hold the obvent.
+            // re-attached yet (§3.4.1 recovery window): hold the obvent,
+            // durably — a parked-then-crashed obvent is still owed to the
+            // subscriber when it comes back.
             if self.parked.len() >= MAX_PARKED {
-                self.parked.pop_front();
+                if let Some((seq, _)) = self.parked.pop_front() {
+                    if self.config.wal {
+                        ctx.storage().remove(&format!("park/{seq:020}"));
+                    }
+                }
             }
             self.telemetry.bump("dace.parked", 1);
-            self.parked.push_back(wire.clone());
+            let seq = self.park_seq;
+            self.park_seq += 1;
+            if self.config.wal {
+                let bytes = psc_codec::to_bytes(wire).expect("wire obvents encode");
+                ctx.storage().put_raw(format!("park/{seq:020}"), bytes);
+            }
+            self.parked.push_back((seq, wire.clone()));
         }
     }
 
@@ -1678,6 +1957,18 @@ impl Inspect for DaceNode {
             self.parked.len(),
             self.durable_pending.len()
         ));
+        if self.config.wal {
+            report.line(format!(
+                "wal sync={} replayed={} torn={} corrupt={}",
+                self.config.wal_sync,
+                self.wal_report.replayed,
+                self.wal_report.torn,
+                self.wal_report.corrupt
+            ));
+            for (log, (segments, bytes)) in &self.wal_report.logs {
+                report.line(format!("wal log={log} segments={segments} bytes={bytes}"));
+            }
+        }
 
         let mut subs: Vec<(u64, &LocalSub)> =
             self.local_subs.iter().map(|(&id, sub)| (id, sub)).collect();

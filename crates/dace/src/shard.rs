@@ -259,8 +259,12 @@ impl Worker {
         match item {
             WorkItem::Ensure { kind, seed_kvs } => {
                 if !self.channels.contains_key(&kind) {
+                    // Seed without journaling: these keys already live in
+                    // the authoritative store, and mirroring them back
+                    // would re-append them to the node's WAL only in
+                    // sharded runs.
                     for (key, value) in seed_kvs {
-                        self.storage.put_raw(key, value);
+                        self.storage.seed_raw(key, value);
                     }
                     let qos = psc_obvent::registry::lookup(kind)
                         .map(|k| k.qos().clone())

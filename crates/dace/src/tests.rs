@@ -912,3 +912,191 @@ mod sharded {
         }
     }
 }
+
+mod durable_wal {
+    //! The per-channel write-ahead log (`DaceConfig::wal`): a disk-fault
+    //! crash wipes the key–value map, so everything the next incarnation
+    //! knows was replayed from fsynced log segments — and the certified
+    //! stream must still resume exactly-once.
+
+    use super::*;
+    use psc_simnet::DiskFault;
+
+    fn install_certified(sim: &mut SimNet, node: NodeId, durable_id: u64, sink: Seen<u64>) {
+        DaceNode::drive(sim, node, move |domain| {
+            let sub = domain.subscribe(FilterSpec::accept_all(), move |t: CertifiedTick| {
+                sink.lock().unwrap().push(*t.n());
+            });
+            sub.activate_with_id(durable_id).unwrap();
+            sub.detach();
+        });
+    }
+
+    #[test]
+    fn certified_stream_resumes_exactly_once_across_a_disk_fault_restart() {
+        let (mut sim, ids) = cluster(2, SimConfig::default(), DaceConfig::default());
+        let first: Seen<u64> = Arc::new(Mutex::new(Vec::new()));
+        install_certified(&mut sim, ids[1], 42, first.clone());
+        settle(&mut sim, 10);
+        DaceNode::publish_from(&mut sim, ids[0], CertifiedTick::new(1));
+        settle(&mut sim, 100);
+        assert_eq!(*first.lock().unwrap(), vec![1]);
+
+        // Power loss: only fsynced WAL bytes survive; the kv map is gone.
+        sim.crash_with_fault(ids[1], DiskFault::LoseUnsynced);
+        DaceNode::publish_from(&mut sim, ids[0], CertifiedTick::new(2));
+        settle(&mut sim, 300);
+
+        sim.recover(ids[1]);
+        let second: Seen<u64> = Arc::new(Mutex::new(Vec::new()));
+        install_certified(&mut sim, ids[1], 42, second.clone());
+        settle(&mut sim, 2_000);
+        assert_eq!(
+            *first.lock().unwrap(),
+            vec![1],
+            "the pre-crash handler must not fire again"
+        );
+        assert_eq!(
+            *second.lock().unwrap(),
+            vec![2],
+            "resume must deliver the missed obvent once and never re-deliver the acked one"
+        );
+    }
+
+    #[test]
+    fn parked_obvents_survive_a_disk_fault() {
+        let (mut sim, ids) = cluster(2, SimConfig::default(), DaceConfig::default());
+        let first: Seen<u64> = Arc::new(Mutex::new(Vec::new()));
+        install_certified(&mut sim, ids[1], 7, first.clone());
+        settle(&mut sim, 10);
+
+        // Detach via a plain crash; the durable record parks what arrives.
+        sim.crash(ids[1]);
+        sim.recover(ids[1]);
+        DaceNode::publish_from(&mut sim, ids[0], CertifiedTick::new(5));
+        settle(&mut sim, 500);
+
+        // Now the disk fault: the parked obvent was already acked back to
+        // the publisher, so only its park/<seq> WAL record can save it.
+        sim.crash_with_fault(ids[1], DiskFault::LoseUnsynced);
+        sim.recover(ids[1]);
+        let second: Seen<u64> = Arc::new(Mutex::new(Vec::new()));
+        install_certified(&mut sim, ids[1], 7, second.clone());
+        settle(&mut sim, 2_000);
+        assert_eq!(*first.lock().unwrap(), Vec::<u64>::new());
+        assert_eq!(
+            *second.lock().unwrap(),
+            vec![5],
+            "a parked-then-acked obvent is owed to the subscriber across a disk fault"
+        );
+    }
+
+    #[test]
+    fn broken_sync_discipline_loses_an_acked_parked_obvent() {
+        // wal_sync: false deliberately models a broken disk discipline.
+        // A parked obvent is acked back to the publisher (certified
+        // semantics satisfied from its side) and then exists only in the
+        // park/<seq> WAL record — which a disk fault destroys when it was
+        // never fsynced. The subscriber silently loses a delivery the
+        // publisher believes is certified: exactly the violation the
+        // harness's durability oracle exists to catch.
+        let config = DaceConfig {
+            wal_sync: false,
+            ..DaceConfig::default()
+        };
+        let (mut sim, ids) = cluster(2, SimConfig::default(), config);
+        let first: Seen<u64> = Arc::new(Mutex::new(Vec::new()));
+        install_certified(&mut sim, ids[1], 9, first.clone());
+        settle(&mut sim, 10);
+
+        sim.crash(ids[1]);
+        sim.recover(ids[1]);
+        DaceNode::publish_from(&mut sim, ids[0], CertifiedTick::new(5));
+        settle(&mut sim, 500);
+
+        sim.crash_with_fault(ids[1], DiskFault::LoseUnsynced);
+        sim.recover(ids[1]);
+        let second: Seen<u64> = Arc::new(Mutex::new(Vec::new()));
+        install_certified(&mut sim, ids[1], 9, second.clone());
+        settle(&mut sim, 2_000);
+        assert_eq!(
+            *second.lock().unwrap(),
+            Vec::<u64>::new(),
+            "without fsync the parked obvent must be lost (the wal-correct twin of this \
+             scenario, parked_obvents_survive_a_disk_fault, delivers it)"
+        );
+    }
+
+    #[test]
+    fn recovery_is_exact_after_segment_rotation_and_compaction() {
+        // Tiny thresholds force many rotations and checkpoint compactions;
+        // replay must still reconstruct the exact delivered-set.
+        let config = DaceConfig {
+            wal_segment_bytes: 256,
+            wal_compact_threshold: 1024,
+            ..DaceConfig::default()
+        };
+        let (mut sim, ids) = cluster(2, SimConfig::default(), config);
+        let first: Seen<u64> = Arc::new(Mutex::new(Vec::new()));
+        install_certified(&mut sim, ids[1], 11, first.clone());
+        settle(&mut sim, 10);
+        for i in 0..20u64 {
+            DaceNode::publish_from(&mut sim, ids[0], CertifiedTick::new(i));
+        }
+        settle(&mut sim, 1_000);
+        assert_eq!(first.lock().unwrap().len(), 20);
+
+        sim.crash_with_fault(ids[1], DiskFault::LoseUnsynced);
+        sim.recover(ids[1]);
+        let second: Seen<u64> = Arc::new(Mutex::new(Vec::new()));
+        install_certified(&mut sim, ids[1], 11, second.clone());
+        DaceNode::publish_from(&mut sim, ids[0], CertifiedTick::new(100));
+        settle(&mut sim, 2_000);
+        assert_eq!(
+            *second.lock().unwrap(),
+            vec![100],
+            "after rotation+compaction, replay must not lose or re-deliver anything"
+        );
+    }
+
+    #[test]
+    fn sharded_wal_recovers_exactly_once_like_inline() {
+        // WAL bytes differ across shard counts (protocol msg-ids draw from
+        // per-worker RNG streams), but the guarantee must not: either way,
+        // a disk-fault restart resumes the certified stream exactly-once,
+        // and the same logs exist (journal mirroring captures shard-worker
+        // writes as if they were inline).
+        for shards in [1usize, 4] {
+            let config = DaceConfig {
+                shards,
+                ..DaceConfig::default()
+            };
+            let (mut sim, ids) = cluster(2, SimConfig::default(), config);
+            let seen: Seen<u64> = Arc::new(Mutex::new(Vec::new()));
+            install_certified(&mut sim, ids[1], 21, seen.clone());
+            settle(&mut sim, 10);
+            for i in 0..5u64 {
+                DaceNode::publish_from(&mut sim, ids[0], CertifiedTick::new(i));
+            }
+            settle(&mut sim, 1_000);
+            assert_eq!(seen.lock().unwrap().len(), 5, "shards={shards}");
+            let logs = sim.storage(ids[1]).unwrap().wal_logs();
+            assert!(
+                logs.iter().any(|l| l.starts_with("ch/")) && logs.iter().any(|l| l == "node"),
+                "shards={shards}: expected channel + node logs, got {logs:?}"
+            );
+
+            sim.crash_with_fault(ids[1], DiskFault::LoseUnsynced);
+            sim.recover(ids[1]);
+            let second: Seen<u64> = Arc::new(Mutex::new(Vec::new()));
+            install_certified(&mut sim, ids[1], 21, second.clone());
+            DaceNode::publish_from(&mut sim, ids[0], CertifiedTick::new(100));
+            settle(&mut sim, 2_000);
+            assert_eq!(
+                *second.lock().unwrap(),
+                vec![100],
+                "shards={shards}: disk-fault restart must resume exactly-once"
+            );
+        }
+    }
+}

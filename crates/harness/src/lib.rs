@@ -36,7 +36,10 @@
 //! random subscription sets (supertype subscriptions, remote content
 //! filters) against random subtype publications, with a routing oracle.
 //! [`broken`] contains deliberately defective protocols used to prove the
-//! oracles are sensitive, not vacuous.
+//! oracles are sensitive, not vacuous. [`durable`] crash-restarts a
+//! durable certified subscriber **with injected disk faults** (torn tail
+//! writes, lost un-fsynced suffixes, whole-segment loss) and checks the
+//! cross-restart exactly-once oracle over the write-ahead log.
 //!
 //! ```
 //! use psc_harness::{runner, Scenario};
@@ -47,6 +50,7 @@
 //! ```
 
 pub mod broken;
+pub mod durable;
 pub mod oracle;
 pub mod runner;
 pub mod scenario;

@@ -24,7 +24,7 @@ use std::time::Duration as StdDuration;
 use psc_dace::DaceConfig;
 use psc_filter::rfilter;
 use psc_net::{ClusterSpec, DaceEndpoint};
-use psc_obvent::builtin::Reliable;
+use psc_obvent::builtin::{Certified, Reliable};
 use psc_obvent::declare_obvent_model;
 use psc_simnet::{Duration, NodeId};
 use pubsub_core::FilterSpec;
@@ -32,6 +32,11 @@ use pubsub_core::FilterSpec;
 declare_obvent_model! {
     /// The cluster's demo obvent: a tagged value, reliably disseminated.
     pub class NetEvent implements [Reliable] { tag: u64, value: i64 }
+}
+declare_obvent_model! {
+    /// The durable demo obvent: certified delivery, so with `--data-dir`
+    /// a killed and restarted subscriber resumes the stream exactly once.
+    pub class CertEvent implements [Certified] { tag: u64, value: i64 }
 }
 
 struct Args {
@@ -46,6 +51,8 @@ struct Args {
     snapshot: Option<String>,
     inspect: bool,
     interactive: bool,
+    certified: bool,
+    data_dir: Option<String>,
 }
 
 fn usage() -> ! {
@@ -61,7 +68,11 @@ fn usage() -> ! {
            --run-ms <ms>            scripted run length after connect (default 2000)\n\
            --snapshot <path>        write the final telemetry snapshot JSON to <path>\n\
            --inspect                print the node+transport state report at exit\n\
-           --interactive            REPL on stdin: sub | pub <value> | snapshot | inspect | quit"
+           --interactive            REPL on stdin: sub | pub <value> | snapshot | inspect | quit\n\
+           --certified              use certified CertEvents; --subscribe becomes a durable\n\
+                                    subscription (durable id = 100 + node id)\n\
+           --data-dir <path>        persist the write-ahead log under <path>: a killed and\n\
+                                    restarted process resumes its durable channels"
     );
     std::process::exit(2);
 }
@@ -79,6 +90,8 @@ fn parse_args() -> Args {
         snapshot: None,
         inspect: false,
         interactive: false,
+        certified: false,
+        data_dir: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -99,6 +112,8 @@ fn parse_args() -> Args {
             "--snapshot" => args.snapshot = Some(value(&mut it)),
             "--inspect" => args.inspect = true,
             "--interactive" => args.interactive = true,
+            "--certified" => args.certified = true,
+            "--data-dir" => args.data_dir = Some(value(&mut it)),
             _ => usage(),
         }
     }
@@ -133,9 +148,28 @@ fn install_subscription(endpoint: &DaceEndpoint, filter: String) -> Arc<AtomicU6
     delivered
 }
 
-fn publish_one(endpoint: &DaceEndpoint, tag: u64, value: i64) {
+/// Durable subscription to the certified demo class: re-attaching under
+/// the same durable id after a restart resumes the stream exactly once.
+fn install_durable_subscription(endpoint: &DaceEndpoint, durable_id: u64) -> Arc<AtomicU64> {
+    let delivered = Arc::new(AtomicU64::new(0));
+    let counter = Arc::clone(&delivered);
     endpoint.with_domain(move |domain| {
-        domain.publish(NetEvent::new(tag, value)).expect("publish NetEvent");
+        let sub = domain.subscribe(FilterSpec::accept_all(), move |_e: CertEvent| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        sub.activate_with_id(durable_id).expect("activate durable subscription");
+        sub.detach();
+    });
+    delivered
+}
+
+fn publish_one(endpoint: &DaceEndpoint, certified: bool, tag: u64, value: i64) {
+    endpoint.with_domain(move |domain| {
+        if certified {
+            domain.publish(CertEvent::new(tag, value)).expect("publish CertEvent");
+        } else {
+            domain.publish(NetEvent::new(tag, value)).expect("publish NetEvent");
+        }
     });
 }
 
@@ -149,13 +183,14 @@ fn main() {
         }
     };
     let id = NodeId(args.id);
-    let net = match spec.config_for(id) {
+    let mut net = match spec.config_for(id) {
         Ok(net) => net,
         Err(err) => {
             eprintln!("psc-node: {err}");
             std::process::exit(2);
         }
     };
+    net.data_dir = args.data_dir.as_ref().map(std::path::PathBuf::from);
     // Keep the default simulation-tuned intervals: announce anti-entropy
     // every 200ms keeps late joiners converging on a real wire too.
     let dace = DaceConfig {
@@ -175,7 +210,9 @@ fn main() {
         eprintln!("psc-node: peers not reachable after 30s; continuing (reconnect stays on)");
     }
 
-    let delivered = if args.subscribe {
+    let delivered = if args.subscribe && args.certified {
+        Some(install_durable_subscription(&endpoint, 100 + args.id))
+    } else if args.subscribe {
         Some(install_subscription(&endpoint, args.filter.clone()))
     } else {
         None
@@ -189,7 +226,7 @@ fn main() {
     // Let subscription announcements propagate before the first publish.
     std::thread::sleep(StdDuration::from_millis(300));
     for tag in 0..args.publish {
-        publish_one(&endpoint, tag, tag as i64 - 50);
+        publish_one(&endpoint, args.certified, tag, tag as i64 - 50);
         std::thread::sleep(StdDuration::from_millis(args.pub_interval_ms));
     }
     std::thread::sleep(StdDuration::from_millis(args.run_ms));
@@ -227,7 +264,7 @@ fn interactive(endpoint: &DaceEndpoint, delivered: Option<&Arc<AtomicU64>>) {
         match words.next() {
             Some("pub") => {
                 let value: i64 = words.next().and_then(|w| w.parse().ok()).unwrap_or(0);
-                publish_one(endpoint, next_tag, value);
+                publish_one(endpoint, false, next_tag, value);
                 next_tag += 1;
                 println!("published tag={} value={}", next_tag - 1, value);
             }

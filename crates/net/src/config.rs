@@ -42,6 +42,14 @@ pub struct NetConfig {
     pub sweep_interval_ms: u64,
     /// Seed for the hosted node's RNG (deterministic protocol choices).
     pub seed: u64,
+    /// When set, the node's write-ahead log is mirrored to real segment
+    /// files under this directory ([`crate::FileWal`]), and startup
+    /// reloads them — so a killed and restarted process recovers its
+    /// durable channel state (certified sequences, parked obvents,
+    /// durable subscriptions) exactly as a simulated node recovers from
+    /// its stable storage. `None` (the default) keeps state in memory
+    /// only.
+    pub data_dir: Option<std::path::PathBuf>,
 }
 
 impl NetConfig {
@@ -57,6 +65,7 @@ impl NetConfig {
             reconnect_max_ms: 2000,
             sweep_interval_ms: 100,
             seed: 0,
+            data_dir: None,
         }
     }
 }

@@ -22,6 +22,11 @@
 //! - `net.*` telemetry lands in the same [`psc_telemetry::Registry`] the
 //!   rest of the stack records into, with per-peer queue depths fed to
 //!   the [`psc_telemetry::HealthMonitor`] plane.
+//! - With [`NetConfig::data_dir`] set, [`FileWal`] mirrors the node's
+//!   write-ahead log onto real segment files (fsync on the node's own
+//!   sync barriers) and reloads them at startup — a process killed and
+//!   restarted under the same identity recovers its durable channels and
+//!   resumes certified streams exactly once.
 //!
 //! [`DaceEndpoint`] packages the common deployment: one `DaceNode`
 //! cluster member behind a transport, with typed publish/subscribe via
@@ -34,9 +39,11 @@ pub mod clock;
 mod config;
 mod metrics;
 mod peer;
+mod storage;
 mod transport;
 
 pub use config::{ClusterParseError, ClusterSpec, NetConfig, PeerSpec};
+pub use storage::FileWal;
 pub use transport::NetTransport;
 
 use std::io;

@@ -39,6 +39,7 @@ use crate::clock::{Clock, TimerDriver, WallClock};
 use crate::config::NetConfig;
 use crate::metrics::NetMetrics;
 use crate::peer::Peer;
+use crate::storage::FileWal;
 
 /// Wire protocol magic of the hello frame.
 const HELLO_MAGIC: &[u8; 4] = b"PSCN";
@@ -144,7 +145,20 @@ impl NetTransport {
             transport.add_peer(peer.id, &peer.addr);
         }
 
-        let host = NodeHost::new(transport.id, node, transport.config.seed);
+        // With a data directory, the host starts from the storage the file
+        // backend reloaded (the node's own WAL replay then runs against it,
+        // exactly like a post-crash recovery under the simulator) and the
+        // WAL journal is switched on so every mutation reaches the files.
+        let (host, file_wal) = match &transport.config.data_dir {
+            Some(dir) => {
+                let (storage, wal) = FileWal::open(dir)?;
+                let mut host =
+                    NodeHost::with_storage(transport.id, node, transport.config.seed, storage);
+                host.storage_mut().enable_wal_journal();
+                (host, Some(wal))
+            }
+            None => (NodeHost::new(transport.id, node, transport.config.seed), None),
+        };
         let loop_thread = {
             let shutdown = Arc::clone(&transport.shutdown);
             let peers = Arc::clone(&transport.peers);
@@ -154,7 +168,10 @@ impl NetTransport {
             std::thread::Builder::new()
                 .name(format!("psc-net-loop-n{}", transport.id.0))
                 .spawn(move || {
-                    event_loop(host, events_rx, shutdown, peers, metrics, registry, health, sweep)
+                    event_loop(
+                        host, file_wal, events_rx, shutdown, peers, metrics, registry, health,
+                        sweep,
+                    )
                 })?
         };
         let accept_thread = {
@@ -333,10 +350,25 @@ impl Inspect for NetTransport {
     }
 }
 
+/// Drains the WAL mutations a callback journaled into real segment files.
+/// Runs *before* the callback's effects are applied, so nothing observable
+/// (a send, an ack) ever precedes its log record on disk — the same
+/// discipline the simulator's crash model enforces. A write failure is
+/// fail-stop: continuing would silently void the durability contract.
+fn persist_wal(host: &mut NodeHost, wal: &mut Option<FileWal>) {
+    if let Some(wal) = wal {
+        let ops = host.storage_mut().take_wal_journal();
+        if !ops.is_empty() {
+            wal.apply(&ops).expect("WAL file write failed; refusing to run undurable");
+        }
+    }
+}
+
 /// The single thread that owns the hosted node.
 #[allow(clippy::too_many_arguments)]
 fn event_loop(
     mut host: NodeHost,
+    mut file_wal: Option<FileWal>,
     events: Receiver<Event>,
     shutdown: Arc<AtomicBool>,
     peers: Arc<Mutex<HashMap<NodeId, Arc<Peer>>>>,
@@ -377,6 +409,7 @@ fn event_loop(
 
     let now = clock.now();
     let effects = host.start(now);
+    persist_wal(&mut host, &mut file_wal);
     apply(effects, now, &mut timers, &mut loopback);
     timers.schedule(now + sweep_interval, NetTimer::Sweep);
 
@@ -390,6 +423,7 @@ fn event_loop(
         while let Some(payload) = loopback.pop_front() {
             let now = clock.now();
             let effects = host.message(now, self_id, &payload);
+            persist_wal(&mut host, &mut file_wal);
             apply(effects, now, &mut timers, &mut loopback);
         }
 
@@ -399,6 +433,7 @@ fn event_loop(
             match timer {
                 NetTimer::Node(id) => {
                     if let Some(effects) = host.timer(now, id) {
+                        persist_wal(&mut host, &mut file_wal);
                         apply(effects, now, &mut timers, &mut loopback);
                     }
                 }
@@ -434,11 +469,13 @@ fn event_loop(
             Ok(Event::Incoming { from, payload }) => {
                 let now = clock.now();
                 let effects = host.message(now, from, &payload);
+                persist_wal(&mut host, &mut file_wal);
                 apply(effects, now, &mut timers, &mut loopback);
             }
             Ok(Event::Act(f)) => {
                 let now = clock.now();
                 let effects = f(&mut host, now);
+                persist_wal(&mut host, &mut file_wal);
                 apply(effects, now, &mut timers, &mut loopback);
             }
             Ok(Event::Shutdown) => return,

@@ -78,9 +78,24 @@ impl NodeHost {
         }
     }
 
+    /// Creates a host whose stable storage is pre-populated — how a real
+    /// transport hands back state reloaded from disk before the node's
+    /// first callback runs.
+    pub fn with_storage(id: NodeId, node: Box<dyn Node>, seed: u64, storage: Storage) -> NodeHost {
+        let mut host = NodeHost::new(id, node, seed);
+        host.storage = storage;
+        host
+    }
+
     /// The hosted node's id.
     pub fn id(&self) -> NodeId {
         self.id
+    }
+
+    /// The hosted node's stable storage (e.g. to drain the WAL journal a
+    /// file backend mirrors to disk after each callback).
+    pub fn storage_mut(&mut self) -> &mut Storage {
+        &mut self.storage
     }
 
     fn run(&mut self, now: SimTime, f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>)) -> Vec<HostEffect> {

@@ -296,6 +296,18 @@ impl SimNet {
         }
     }
 
+    /// Crashes the node AND applies a disk fault to its stable storage:
+    /// the key–value map is wiped and the write-ahead logs damaged per
+    /// `fault` (see [`crate::DiskFault`]), so recovery must rebuild from
+    /// whatever the fsync barriers actually protected.
+    /// `DiskFault::None` is exactly [`SimNet::crash`].
+    pub fn crash_with_fault(&mut self, id: NodeId, fault: crate::DiskFault) {
+        if let Some(slot) = self.nodes.get_mut(&id) {
+            slot.storage.power_loss(&fault);
+        }
+        self.crash(id);
+    }
+
     /// Schedules a crash at absolute time `time`.
     pub fn crash_at(&mut self, time: SimTime, id: NodeId) {
         assert!(time >= self.now, "cannot schedule in the past");
@@ -333,6 +345,15 @@ impl SimNet {
     /// Removes any partition.
     pub fn heal_partition(&mut self) {
         self.partition = None;
+    }
+
+    /// Changes the message-loss probability mid-run. Fault-injection
+    /// harnesses use this to phase their chaos: a lossless warmup (so
+    /// control traffic converges), a lossy fault window, then a lossless
+    /// settle during which eventual-delivery oracles become sound.
+    pub fn set_drop_probability(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "loss probability out of range");
+        self.config.drop_probability = p;
     }
 
     /// Processes a single event; false when the queue is empty.

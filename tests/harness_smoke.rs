@@ -5,6 +5,8 @@
 //!   compared byte-for-byte (determinism oracle);
 //! - a 25-seed full-stack sweep (DACE routing with supertype subscriptions
 //!   and remote filters);
+//! - a 10-seed durable-restart sweep (certified subscriber crash-restarted
+//!   with injected disk faults; cross-restart exactly-once oracle);
 //! - an oracle-sensitivity proof: a deliberately broken FIFO protocol must
 //!   be caught and shrunk to a readable, seed-stamped counterexample;
 //! - a long fuzz mode gated behind `HARNESS_FUZZ=N` (used by nightly CI).
@@ -16,7 +18,7 @@ use std::sync::Arc;
 
 use psc_harness::broken::{BrokenFifo, Stalling};
 use psc_harness::runner::{self, ProtoFactory};
-use psc_harness::stack;
+use psc_harness::{durable, stack};
 use psc_harness::{Op, ProtocolKind, Scenario, Violation};
 
 #[test]
@@ -67,6 +69,61 @@ fn sharded_stack_delivers_the_same_tags_as_inline_over_10_seeds() {
             sharded.render()
         );
     }
+}
+
+/// Durable-restart sweep: a certified subscriber crash-restarted with
+/// injected disk faults (lost un-fsynced suffixes, torn tails, dropped
+/// segments) must resume its stream exactly once across incarnations, and
+/// each seed must render byte-for-byte identically across two runs.
+#[test]
+fn durable_restart_smoke_over_10_seeds() {
+    for seed in runner::smoke_seeds(10) {
+        if let Err(report) = durable::check_durable_seed(seed) {
+            panic!("{report}");
+        }
+    }
+}
+
+/// Oracle-sensitivity proof for the durability dimension: the same WAL
+/// with the fsync barrier disabled (`wal_sync: false`) must lose acked
+/// certified publishes under a disk-fault restart, the oracle must say so,
+/// and greedy shrinking must keep the counterexample reproducing.
+#[test]
+fn broken_wal_sync_is_caught_and_shrunk_by_the_durability_oracle() {
+    let scenario = durable::DurableScenario::generate(0);
+
+    // Control: the correct fsync discipline sails through this exact
+    // schedule, so any finding below is the injected defect.
+    let healthy = durable::run_durable(&scenario);
+    assert!(
+        healthy.violations.is_empty(),
+        "wal_sync=true must pass seed 0:\n{}{}",
+        scenario.describe(),
+        healthy.render()
+    );
+
+    let broken = durable::run_durable_config(&scenario, false);
+    assert!(
+        broken
+            .violations
+            .iter()
+            .any(|v| v.contains("lost across restarts") || v.contains("exactly-once broken")),
+        "the durability oracle must catch the disabled fsync barrier:\n{}{}",
+        scenario.describe(),
+        broken.render()
+    );
+
+    let shrunk = durable::shrink_durable(&scenario, false);
+    assert!(
+        shrunk.pubs.len() <= scenario.pubs.len() && shrunk.restarts.len() <= scenario.restarts.len(),
+        "shrinking must never grow the schedule"
+    );
+    let shrunk_outcome = durable::run_durable_config(&shrunk, false);
+    assert!(
+        !shrunk_outcome.violations.is_empty(),
+        "the shrunk durable schedule must still reproduce:\n{}",
+        shrunk.describe()
+    );
 }
 
 #[test]
@@ -217,6 +274,13 @@ fn long_fuzz_mode_behind_env_var() {
     // Fan a quarter of the budget into the full-stack fuzzer too.
     for &seed in seeds.iter().take(seeds.len() / 4) {
         if let Err(report) = stack::check_stack_seed(seed) {
+            panic!("{report}");
+        }
+    }
+    // And the whole budget into the disk-fault dimension: durable runs are
+    // cheap (small clusters, short schedules) and the fault space is wide.
+    for &seed in &seeds {
+        if let Err(report) = durable::check_durable_seed(seed) {
             panic!("{report}");
         }
     }

@@ -505,6 +505,58 @@ fn compare_durable_log(gate: &mut Gate, base: &JsonValue, fresh: &JsonValue) {
     }
 }
 
+fn compare_snapshot(gate: &mut Gate, base: &JsonValue, fresh: &JsonValue) {
+    let file = "BENCH_exp_snapshot.json";
+    let same_scale = base.get("quick").map(|v| v.render()) == fresh.get("quick").map(|v| v.render());
+    // Both sections share the row shape, so they share the metric set.
+    // Baselines of zero for `incomplete` and `byte_mismatch` mean any
+    // fresh occurrence fails outright: a wave that stops completing or a
+    // cluster image that stops being byte-stable is a correctness
+    // regression, not noise.
+    let correctness = [
+        Metric {
+            name: "incomplete",
+            wall: false,
+            extract: |r| field_f64(r, "incomplete"),
+        },
+        Metric {
+            name: "byte_mismatch",
+            wall: false,
+            extract: |r| field_f64(r, "byte_mismatch"),
+        },
+        // Deterministic functions of the seeded workload: the marker
+        // flood growing means the wave protocol got chattier; the wave's
+        // virtual completion time growing means markers or fragments
+        // started needing retries they didn't before.
+        Metric {
+            name: "markers_sent",
+            wall: false,
+            extract: |r| field_f64(r, "markers_sent"),
+        },
+        Metric {
+            name: "wave_virtual_ms",
+            wall: false,
+            extract: |r| field_f64(r, "wave_virtual_ms"),
+        },
+        Metric {
+            name: "retries",
+            wall: false,
+            extract: |r| field_f64(r, "retries"),
+        },
+        Metric {
+            name: "capture_wall_ms",
+            wall: true,
+            extract: |r| field_f64(r, "capture_wall_ms"),
+        },
+    ];
+    if let (Some(b), Some(f)) = (base.get("capture"), fresh.get("capture")) {
+        compare_keyed(gate, &format!("{file} capture"), "shards", b, f, same_scale, &correctness);
+    }
+    if let (Some(b), Some(f)) = (base.get("loss"), fresh.get("loss")) {
+        compare_keyed(gate, &format!("{file} loss"), "loss_pct", b, f, same_scale, &correctness);
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(fresh_dir) = args.next() else {
@@ -557,6 +609,12 @@ fn main() -> ExitCode {
         load(&fresh_dir, "BENCH_exp_durable_log.json"),
     ) {
         compare_durable_log(&mut gate, &base, &fresh);
+    }
+    if let (Some(base), Some(fresh)) = (
+        load(&base_dir, "BENCH_exp_snapshot.json"),
+        load(&fresh_dir, "BENCH_exp_snapshot.json"),
+    ) {
+        compare_snapshot(&mut gate, &base, &fresh);
     }
 
     if gate.compared == 0 {

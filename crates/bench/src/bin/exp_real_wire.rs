@@ -146,7 +146,7 @@ fn run_single_process(scenario: &StackScenario) -> SingleRun {
 
     let expected = scenario.expected();
     let before = psc_telemetry::global().snapshot();
-    let net_before: Vec<Snapshot> = endpoints.iter().map(|e| e.snapshot()).collect();
+    let net_before: Vec<Snapshot> = endpoints.iter().map(|e| e.metrics()).collect();
     let start = Instant::now();
     for plan in &scenario.pubs {
         publish(&endpoints[plan.node], plan.level, plan.tag, plan.value);
@@ -166,7 +166,7 @@ fn run_single_process(scenario: &StackScenario) -> SingleRun {
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     std::thread::sleep(StdDuration::from_millis(200)); // catch late duplicates
     let after = psc_telemetry::global().snapshot();
-    let net_after: Vec<Snapshot> = endpoints.iter().map(|e| e.snapshot()).collect();
+    let net_after: Vec<Snapshot> = endpoints.iter().map(|e| e.metrics()).collect();
 
     let got = drain(&sinks);
     let sum = |name: &str| -> u64 {

@@ -70,6 +70,20 @@ pub struct DaceConfig {
     /// Compact a log (checkpoint the live keyspace into a fresh segment,
     /// drop the older ones) once its total size exceeds this many bytes.
     pub wal_compact_threshold: usize,
+    /// Retry period of the snapshot plane: the initiator retransmits
+    /// markers to nodes whose fragment is still missing, and participants
+    /// use the same tick to force-close in-flight recordings whose marker
+    /// never arrives (partitioned or crashed peers), keeping the wave live
+    /// under loss.
+    pub snapshot_retry: Duration,
+    /// Deliberately broken marker discipline for oracle validation: a
+    /// receiver seeing a message tagged with a newer snapshot wave
+    /// *processes it first* and only then captures — the classic
+    /// Chandy–Lamport bug that lets a post-cut send slip into the
+    /// receiver's pre-cut state. The harness's `broken::SkewedMarkers`
+    /// deployment turns this on to prove the snapshot oracles can see the
+    /// resulting ghost.
+    pub snapshot_skew: bool,
 }
 
 impl Default for DaceConfig {
@@ -86,6 +100,8 @@ impl Default for DaceConfig {
             wal_sync: true,
             wal_segment_bytes: 16 * 1024,
             wal_compact_threshold: 64 * 1024,
+            snapshot_retry: Duration::from_millis(25),
+            snapshot_skew: false,
         }
     }
 }

@@ -45,6 +45,7 @@ pub mod control;
 pub mod inproc;
 pub mod node;
 pub mod shard;
+pub(crate) mod snapshot;
 
 pub use config::{DaceConfig, Placement};
 pub use node::{DaceNode, DaceStats};

@@ -20,6 +20,7 @@ use psc_group::{
 use psc_obvent::qos::{Delivery, Ordering, QosSpec};
 use psc_obvent::{builtin, KindId, KindRole, Obvent, WireObvent};
 use psc_simnet::{Ctx, Node, NodeId, ScopedStorage, SimNet, SimTime, StorageOp, TimerId};
+use psc_snapshot::{CausalStamp, ChannelFrag, ClusterCut, MsgRef, NodeFrag};
 use psc_telemetry::{
     FlightRecorder, HealthMonitor, Inspect, Registry, ReportBuilder, TraceId, TraceStage, Tracer,
 };
@@ -34,6 +35,7 @@ use crate::control::{AdvertiseCtl, SubscribeCtl, UnsubscribeCtl};
 use crate::shard::{
     ChannelSnapshot, MatchOutcome, PendingAction, ShardEngine, WorkItem,
 };
+use crate::snapshot::{SnapPlane, FORCE_CLOSE_TICKS, UNKNOWN_INITIATOR};
 
 /// Per-node traffic and delivery counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -55,10 +57,17 @@ pub struct DaceStats {
 pub(crate) enum NodeMsg {
     /// A reflexive control obvent.
     Control(WireObvent),
-    /// Protocol-internal bytes of one multicast class.
-    Data { channel: KindId, bytes: WireBytes },
+    /// Protocol-internal bytes of one multicast class, tagged with the
+    /// sender's snapshot wave at send time (Lai–Yang colouring: a receiver
+    /// on a lower wave captures before processing; see [`SnapPlane`]).
+    Data {
+        channel: KindId,
+        snap: u64,
+        bytes: WireBytes,
+    },
     /// A content-routed obvent on the direct (best-effort) path, with an
-    /// optional expiry deadline (virtual µs).
+    /// optional expiry deadline (virtual µs). Its wave colour is the
+    /// publisher's [`CausalStamp`] riding in the envelope.
     Direct {
         wire: WireObvent,
         deadline: Option<u64>,
@@ -69,6 +78,13 @@ pub(crate) enum NodeMsg {
     /// frame-concatenated encoded [`NodeMsg`]s (see `flush_outbox`). The
     /// receiver splits the frames zero-copy and handles each in order.
     Batch(WireBytes),
+    /// Chandy–Lamport snapshot marker: ignites capture at a receiver that
+    /// has not joined wave `snap` yet, and closes the in-flight recording
+    /// of the link it arrived on. `initiator` is where fragments are sent
+    /// ([`UNKNOWN_INITIATOR`] from participants that joined via a tag).
+    SnapMarker { snap: u64, initiator: u64 },
+    /// One node's finalized [`NodeFrag`] (encoded), sent to the initiator.
+    SnapFrag { snap: u64, bytes: WireBytes },
 }
 
 enum BackendOp {
@@ -180,6 +196,10 @@ enum DaceTimer {
     Channel(KindId, TimerToken),
     /// Periodic stall-watchdog sweep ([`DaceConfig::watchdog`]).
     Watchdog,
+    /// Snapshot liveness tick ([`DaceConfig::snapshot_retry`]): re-floods
+    /// markers while the wave is open and force-closes recordings whose
+    /// marker never arrives.
+    SnapRetry,
 }
 
 struct TransmitItem {
@@ -382,6 +402,9 @@ pub struct DaceNode {
     trace_seq: u64,
     /// Trace id of the most recent local publish (diagnostics).
     last_trace: TraceId,
+    /// Snapshot plane: the causal clock stamped into every publish and
+    /// this node's participation in the current Chandy–Lamport wave.
+    snap: SnapPlane,
     /// Sharded channel execution (`DaceConfig::shards > 1`): channel state
     /// lives in worker threads and `channels` above stays empty; `None`
     /// keeps the single-threaded inline path untouched. Created lazily on
@@ -466,6 +489,7 @@ impl DaceNode {
             health,
             trace_seq: 0,
             last_trace: TraceId::NONE,
+            snap: SnapPlane::default(),
             engine: None,
         }
     }
@@ -1126,6 +1150,14 @@ impl DaceNode {
         let trace = TraceId::mint(self.me().0, self.trace_seq);
         wire.set_trace(trace);
         self.last_trace = trace;
+        // Advance the causal plane and stamp the envelope: the clock lets
+        // the snapshot oracles order the cut, the wave id colours every
+        // relay of this obvent for capture-before-processing.
+        self.snap.clock.tick(self.me().0);
+        wire.set_stamp(CausalStamp {
+            snap: self.snap.wave,
+            clock: self.snap.clock.clone(),
+        });
         let qos = wire.qos();
         if self.telemetry.is_enabled() {
             let kname = kind_name(kind);
@@ -1333,6 +1365,19 @@ impl DaceNode {
     }
 
     fn local_deliver(&mut self, ctx: &mut Ctx<'_>, wire: &WireObvent) {
+        // Belt-and-braces capture: a group protocol can release an obvent
+        // from its hold-back long after the frame that carried it (whose
+        // wave tag was checked on arrival), so re-check the publisher's
+        // stamp at the delivery boundary — capture must precede both the
+        // delivery and the clock merge.
+        let stamp_snap = wire.stamp().snap;
+        if stamp_snap > self.snap.wave && !self.config.snapshot_skew {
+            self.telemetry.bump("snapshot.captures.tagged", 1);
+            self.snapshot_begin(ctx, stamp_snap, UNKNOWN_INITIATOR, false);
+        }
+        if !wire.stamp().clock.is_empty() {
+            self.snap.clock.merge(&wire.stamp().clock);
+        }
         let matched = self.sink.deliver(wire);
         self.stats.delivered += matched as u64;
         if matched > 0
@@ -1435,7 +1480,7 @@ impl DaceNode {
         if !engine.has_pending() {
             return;
         }
-        let (pending, effects) = engine.dispatch(ctx.now(), &self.telemetry);
+        let (pending, effects) = engine.dispatch(ctx.now(), self.snap.wave, &self.telemetry);
         for (item, fx) in pending.into_iter().zip(effects) {
             debug_assert_eq!(item.seq, fx.seq, "merge must align items with effects");
             if !fx.storage.is_empty() {
@@ -1529,6 +1574,7 @@ impl DaceNode {
             let mut io = ChannelIo {
                 ctx,
                 kind,
+                snap: self.snap.wave,
                 members: &channel.members,
                 delivered: &mut delivered,
                 new_timers: &mut new_timers,
@@ -1704,11 +1750,359 @@ impl DaceNode {
         let ctl = AdvertiseCtl::new(kind.as_u64(), name, ancestry);
         self.flood_control(ctx, &ctl);
     }
+
+    // ---- snapshot plane (Chandy–Lamport over non-FIFO links) ----
+
+    /// Snapshot pre-processing of one incoming transport message, *before*
+    /// it is handled. Three cases on the message's wave colour vs ours:
+    ///
+    /// - **higher**: the sender captured before sending, so we must capture
+    ///   before processing (Lai–Yang rule) — ignite the wave here;
+    /// - **equal**: post-cut on both sides, nothing to do;
+    /// - **lower**: a pre-cut message crossing our cut — record it into the
+    ///   in-flight state of the link it arrived on (if still open).
+    ///
+    /// Returns `Some(tag)` instead of igniting when [`DaceConfig::
+    /// snapshot_skew`] deliberately breaks the discipline (the caller then
+    /// processes first and captures after — the bug the oracles must see).
+    fn snapshot_observe(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        msg: &NodeMsg,
+    ) -> Option<u64> {
+        let (tag, channel, id, len) = match msg {
+            NodeMsg::Data {
+                channel,
+                snap,
+                bytes,
+            } => {
+                // Identify the carried obvent when this frame is a data
+                // frame (acks/retransmit-requests have no identity and are
+                // recorded by size only).
+                let id = proto_name_for(*channel)
+                    .and_then(|proto| psc_group::peek_data_id(proto, bytes))
+                    .map(|(origin, epoch, seq)| MsgRef::new(origin, epoch, seq));
+                (*snap, channel.as_u64(), id, bytes.len() as u64)
+            }
+            NodeMsg::Direct { wire, .. } | NodeMsg::Brokered(wire) => {
+                let trace = wire.trace_id();
+                let id = (!trace.is_none())
+                    .then(|| MsgRef::new(trace.origin(), 0, trace.seq()));
+                (
+                    wire.stamp().snap,
+                    wire.kind_id().as_u64(),
+                    id,
+                    wire.wire_len() as u64,
+                )
+            }
+            NodeMsg::Control(wire) => (
+                wire.stamp().snap,
+                wire.kind_id().as_u64(),
+                None,
+                wire.wire_len() as u64,
+            ),
+            // Batches are observed frame-by-frame; markers and fragments
+            // are the protocol itself.
+            NodeMsg::Batch(_) | NodeMsg::SnapMarker { .. } | NodeMsg::SnapFrag { .. } => {
+                return None
+            }
+        };
+        if tag > self.snap.wave {
+            if self.config.snapshot_skew {
+                return Some(tag);
+            }
+            self.telemetry.bump("snapshot.captures.tagged", 1);
+            self.snapshot_begin(ctx, tag, UNKNOWN_INITIATOR, false);
+            return None;
+        }
+        if tag < self.snap.wave && self.snap.record(from.0, channel, id, len) {
+            self.telemetry.bump("snapshot.inflight.recorded", 1);
+        }
+        None
+    }
+
+    /// Initiates a snapshot wave from this node: captures the local state,
+    /// floods markers to every peer, and assembles arriving fragments into
+    /// a [`ClusterCut`] (poll [`DaceNode::snapshot_cut`] for completion).
+    /// Returns the wave id.
+    pub fn snapshot_initiate(&mut self, ctx: &mut Ctx<'_>) -> u64 {
+        self.ensure_id(ctx);
+        let wave = self.snap.wave + 1;
+        self.telemetry.bump("snapshot.initiated", 1);
+        let me = self.me();
+        self.snapshot_begin(ctx, wave, me.0, true);
+        self.flush(ctx);
+        wave
+    }
+
+    /// The highest snapshot wave this node has participated in (0 = never).
+    pub fn snapshot_wave(&self) -> u64 {
+        self.snap.wave
+    }
+
+    /// The completed cluster cut, when this node initiated the most recent
+    /// wave and every node's fragment has arrived.
+    pub fn snapshot_cut(&self) -> Option<&ClusterCut> {
+        self.snap.completed.as_ref()
+    }
+
+    /// Enters wave `wave`: capture first, then open recordings, then flood
+    /// markers. `self.snap.wave` is claimed *before* the capture so that
+    /// any work drained while capturing (staged shard batches can deliver
+    /// obvents) cannot re-enter the ignition path for the same wave.
+    fn snapshot_begin(&mut self, ctx: &mut Ctx<'_>, wave: u64, initiator: u64, initiating: bool) {
+        if wave <= self.snap.wave {
+            return; // stale or re-entrant ignition
+        }
+        self.snap.wave = wave;
+        let mut frag = self.snapshot_capture_frag(ctx);
+        frag.snap = wave;
+        let me = self.me();
+        let peers: Vec<u64> = self
+            .cluster
+            .iter()
+            .map(|n| n.0)
+            .filter(|&n| n != me.0)
+            .collect();
+        self.snap.begin(wave, initiator, initiating, &peers, frag);
+        if initiating {
+            self.snap.cut = Some(ClusterCut::new(wave, me.0));
+        }
+        self.telemetry.bump("snapshot.waves", 1);
+        let marker = encode_node_msg(&NodeMsg::SnapMarker {
+            snap: wave,
+            initiator: self.snap.initiator,
+        });
+        for &peer in &peers {
+            ctx.send(NodeId(peer), marker.clone());
+            self.telemetry.bump("snapshot.markers.sent", 1);
+        }
+        self.arm_snap_retry(ctx);
+        self.snapshot_try_finish(ctx);
+    }
+
+    /// Captures this node's fragment of the cut: causal clock, durable-sub
+    /// table, parked obvents, and every live channel's protocol state —
+    /// read inline or merged from the owning shard workers. Staged shard
+    /// work is drained first so the capture reflects every message
+    /// processed before this point.
+    fn snapshot_capture_frag(&mut self, ctx: &mut Ctx<'_>) -> NodeFrag {
+        self.drain_shard_work(ctx);
+        let me = self.me();
+        let mut dursubs: Vec<u64> = self.durable_pending.keys().copied().collect();
+        dursubs.sort_unstable();
+        let parked: Vec<(u64, u64)> = self
+            .parked
+            .iter()
+            .map(|(_, wire)| {
+                let trace = wire.trace_id();
+                (trace.origin(), trace.seq())
+            })
+            .collect();
+        let mut frag = NodeFrag {
+            node: me.0,
+            snap: 0, // caller stamps the wave
+            at_us: ctx.now().as_micros(),
+            recovered: self.snap.recovered,
+            clock: self.snap.clock.clone(),
+            dursubs,
+            parked,
+            channels: Vec::new(),
+            inflight: Vec::new(),
+        };
+        if let Some(engine) = self.engine.as_mut() {
+            let captures = engine.capture_channels(ctx.now());
+            for (kind, members, capture) in captures {
+                frag.channels.push(ChannelFrag {
+                    kind: kind.as_u64(),
+                    name: kind_name(kind),
+                    members,
+                    capture,
+                });
+            }
+        } else {
+            let mut kinds: Vec<KindId> = self
+                .channels
+                .iter()
+                .filter(|(_, ch)| ch.proto.is_some())
+                .map(|(&kind, _)| kind)
+                .collect();
+            kinds.sort();
+            for kind in kinds {
+                let members: Vec<u64> =
+                    self.channels[&kind].members.iter().map(|n| n.0).collect();
+                let mut cap = None;
+                self.with_channel_proto(ctx, kind, |proto, io| cap = Some(proto.capture(io)));
+                if let Some(capture) = cap {
+                    frag.channels.push(ChannelFrag {
+                        kind: kind.as_u64(),
+                        name: kind_name(kind),
+                        members,
+                        capture,
+                    });
+                }
+            }
+        }
+        frag
+    }
+
+    fn handle_snap_marker(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        snap: u64,
+        initiator: u64,
+    ) {
+        self.telemetry.bump("snapshot.markers.received", 1);
+        if snap > self.snap.wave {
+            self.snapshot_begin(ctx, snap, initiator, false);
+        }
+        if snap != self.snap.wave {
+            return; // stale wave
+        }
+        if !self.snap.initiating
+            && self.snap.initiator == UNKNOWN_INITIATOR
+            && initiator != UNKNOWN_INITIATOR
+        {
+            // Joined via a tagged message; the marker teaches us where
+            // fragments go.
+            self.snap.initiator = initiator;
+        }
+        self.snap.close_link(from.0);
+        // A duplicate marker from the initiator after our fragment went
+        // out means the fragment may have been lost — re-send it.
+        if self.snap.frag_done && from.0 == self.snap.initiator {
+            if let Some(msg) = self.snap.frag_msg.clone() {
+                ctx.send(from, msg);
+                self.telemetry.bump("snapshot.frags.resent", 1);
+            }
+        }
+        self.snapshot_try_finish(ctx);
+    }
+
+    fn handle_snap_frag(&mut self, ctx: &mut Ctx<'_>, snap: u64, bytes: &[u8]) {
+        self.telemetry.bump("snapshot.frags.received", 1);
+        if snap != self.snap.wave || !self.snap.initiating {
+            return;
+        }
+        let Ok(frag) = psc_codec::from_bytes::<NodeFrag>(bytes) else {
+            return;
+        };
+        if let Some(cut) = self.snap.cut.as_mut() {
+            cut.insert(frag);
+        }
+        self.snapshot_try_finish(ctx);
+    }
+
+    /// Finalizes the own fragment once every link's marker has arrived (or
+    /// the retry timer gave up): folds the in-flight recordings in, then
+    /// inserts it into the cut (initiator) or sends it to the initiator.
+    /// On the initiator, also checks whether the cut just completed.
+    fn snapshot_try_finish(&mut self, ctx: &mut Ctx<'_>) {
+        if self.snap.frag_ready() {
+            let mut frag = self.snap.frag.take().expect("fragment captured at wave begin");
+            frag.inflight = self.snap.recording.values().cloned().collect();
+            self.snap.frag_done = true;
+            if self.snap.initiating {
+                if let Some(cut) = self.snap.cut.as_mut() {
+                    cut.insert(frag);
+                }
+            } else {
+                let bytes = psc_codec::to_wire_bytes(&frag).expect("fragments encode");
+                let msg = encode_node_msg(&NodeMsg::SnapFrag {
+                    snap: self.snap.wave,
+                    bytes,
+                });
+                self.snap.frag_msg = Some(msg.clone());
+                ctx.send(NodeId(self.snap.initiator), msg);
+                self.telemetry.bump("snapshot.frags.sent", 1);
+            }
+        }
+        if self.snap.initiating && self.snap.completed.is_none() {
+            let cluster: Vec<u64> = self.cluster.iter().map(|n| n.0).collect();
+            if self.snap.cut.as_ref().is_some_and(|cut| cut.complete(&cluster)) {
+                self.snap.completed = self.snap.cut.take();
+                self.telemetry.bump("snapshot.completed", 1);
+            }
+        }
+    }
+
+    /// One snapshot liveness tick: re-floods the marker (closes freshly
+    /// healed links at peers, re-ignites crashed-and-recovered ones, and —
+    /// from the initiator — doubles as a fragment re-request on duplicate
+    /// receipt), and after [`FORCE_CLOSE_TICKS`] gives up waiting for
+    /// markers from dead or partitioned peers so the cut still completes.
+    fn snapshot_retry(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.snap.in_progress() {
+            return;
+        }
+        self.snap.retry_ticks += 1;
+        self.telemetry.bump("snapshot.retries", 1);
+        if !self.snap.frag_done
+            && !self.snap.forced
+            && self.snap.retry_ticks >= FORCE_CLOSE_TICKS
+            && self.snap.open_links() > 0
+        {
+            self.snap.forced = true;
+            self.telemetry.bump("snapshot.forced", 1);
+        }
+        let me = self.me();
+        let marker = encode_node_msg(&NodeMsg::SnapMarker {
+            snap: self.snap.wave,
+            initiator: self.snap.initiator,
+        });
+        let peers: Vec<NodeId> = self.cluster.iter().copied().filter(|&n| n != me).collect();
+        for peer in peers {
+            ctx.send(peer, marker.clone());
+            self.telemetry.bump("snapshot.markers.sent", 1);
+        }
+        self.snapshot_try_finish(ctx);
+        self.arm_snap_retry(ctx);
+    }
+
+    fn arm_snap_retry(&mut self, ctx: &mut Ctx<'_>) {
+        if self.snap.retry_armed || !self.snap.in_progress() {
+            return;
+        }
+        self.snap.retry_armed = true;
+        let id = ctx.set_timer(self.config.snapshot_retry);
+        self.timer_map.insert(id, DaceTimer::SnapRetry);
+    }
+
+    // ---- static snapshot drivers for tests and experiments ----
+
+    /// Initiates a snapshot wave on `node` (no-op if the node is down).
+    pub fn snapshot_from(sim: &mut SimNet, node: NodeId) {
+        sim.act_now(node, |n, ctx| {
+            let this = n
+                .as_any_mut()
+                .downcast_mut::<DaceNode>()
+                .expect("node is a DaceNode");
+            this.snapshot_initiate(ctx);
+            this.flush(ctx);
+        });
+    }
+
+    /// The completed cut assembled by `node`, if any.
+    pub fn snapshot_cut_of(sim: &mut SimNet, node: NodeId) -> Option<ClusterCut> {
+        sim.node_mut::<DaceNode>(node)
+            .and_then(|n| n.snap.completed.clone())
+    }
+
+    /// The byte-stable rendering of the completed cut assembled by `node`.
+    pub fn snapshot_render_of(sim: &mut SimNet, node: NodeId) -> Option<String> {
+        DaceNode::snapshot_cut_of(sim, node).map(|cut| cut.render())
+    }
 }
 
 struct ChannelIo<'a, 'b> {
     ctx: &'a mut Ctx<'b>,
     kind: KindId,
+    /// The node's snapshot wave, tagged onto every outgoing `Data` frame
+    /// (constant within one protocol callback: captures never run inside
+    /// one).
+    snap: u64,
     members: &'a [NodeId],
     delivered: &'a mut Vec<(NodeId, WireBytes)>,
     new_timers: &'a mut Vec<(psc_simnet::Duration, TimerToken)>,
@@ -1743,6 +2137,7 @@ impl GroupIo for ChannelIo<'_, '_> {
         }
         let encoded = encode_node_msg(&NodeMsg::Data {
             channel: self.kind,
+            snap: self.snap,
             bytes: bytes.clone(),
         });
         self.ctx.send(to, encoded.clone());
@@ -1780,11 +2175,36 @@ impl GroupIo for ChannelIo<'_, '_> {
 
 impl DaceNode {
     /// Dispatches one decoded transport message; [`NodeMsg::Batch`] recurses
-    /// over its zero-copy frames.
+    /// over its zero-copy frames. Snapshot pre-processing runs first: a
+    /// higher wave tag captures the node's state *before* the message is
+    /// processed, and pre-cut messages arriving on a recorded link are
+    /// folded into the cut's in-flight channel state.
     fn handle_node_msg(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: NodeMsg) {
+        match &msg {
+            NodeMsg::Batch(_) | NodeMsg::SnapMarker { .. } | NodeMsg::SnapFrag { .. } => {}
+            _ => {
+                if let Some(tag) = self.snapshot_observe(ctx, from, &msg) {
+                    // snapshot_skew: the deliberately broken discipline —
+                    // process the newer-wave message first, capture after.
+                    self.handle_node_msg_inner(ctx, from, msg);
+                    if tag > self.snap.wave {
+                        self.snapshot_begin(ctx, tag, UNKNOWN_INITIATOR, false);
+                    }
+                    return;
+                }
+            }
+        }
+        self.handle_node_msg_inner(ctx, from, msg);
+    }
+
+    fn handle_node_msg_inner(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: NodeMsg) {
         match msg {
             NodeMsg::Control(wire) => self.handle_control(ctx, &wire),
-            NodeMsg::Data { channel, bytes } => {
+            NodeMsg::Data {
+                channel,
+                snap: _,
+                bytes,
+            } => {
                 self.ensure_channel(ctx, channel);
                 if let Some(engine) = self.engine.as_mut() {
                     engine.stage(
@@ -1852,6 +2272,12 @@ impl DaceNode {
                 self.ensure_channel(ctx, kind);
                 self.direct_publish(ctx, kind, wire, &qos);
             }
+            NodeMsg::SnapMarker { snap, initiator } => {
+                self.handle_snap_marker(ctx, from, snap, initiator);
+            }
+            NodeMsg::SnapFrag { snap, bytes } => {
+                self.handle_snap_frag(ctx, snap, &bytes);
+            }
         }
     }
 }
@@ -1896,6 +2322,10 @@ impl Node for DaceNode {
                 self.watchdog_sweep(ctx.now());
                 self.arm_watchdog(ctx);
             }
+            Some(DaceTimer::SnapRetry) => {
+                self.snap.retry_armed = false;
+                self.snapshot_retry(ctx);
+            }
             None => {}
         }
         self.flush(ctx);
@@ -1903,6 +2333,9 @@ impl Node for DaceNode {
 
     fn on_recover(&mut self, ctx: &mut Ctx<'_>) {
         self.ensure_id(ctx);
+        // This incarnation's in-memory causal clock restarted from zero;
+        // mark the fragment so clock-based cut checks exempt it.
+        self.snap.recovered = true;
         // Reload durable subscriptions: they outlived the crash (§3.4.1);
         // matching obvents are parked until the application re-attaches
         // with `activate_with_id`.
@@ -1968,6 +2401,21 @@ impl Inspect for DaceNode {
             for (log, (segments, bytes)) in &self.wal_report.logs {
                 report.line(format!("wal log={log} segments={segments} bytes={bytes}"));
             }
+        }
+        if self.snap.wave > 0 {
+            report.line(format!(
+                "snapshot wave={} initiator={} clock={} frag_done={} open_links={} completed={}",
+                self.snap.wave,
+                if self.snap.initiator == UNKNOWN_INITIATOR {
+                    "?".to_string()
+                } else {
+                    format!("n{}", self.snap.initiator)
+                },
+                self.snap.clock,
+                u64::from(self.snap.frag_done),
+                self.snap.open_links(),
+                self.snap.completed.as_ref().map(|c| c.snap).unwrap_or(0),
+            ));
         }
 
         let mut subs: Vec<(u64, &LocalSub)> =
@@ -2114,6 +2562,26 @@ pub(crate) fn make_proto(qos: &QosSpec, config: &DaceConfig) -> Option<Box<dyn M
             Delivery::Unreliable => config
                 .gossip
                 .map(|g| Box::new(Lpbcast::new(g)) as Box<dyn Multicast>),
+        },
+    }
+}
+
+/// The `proto_name` of the protocol [`make_proto`] would choose for
+/// `kind`'s QoS — without constructing it. The snapshot in-flight recorder
+/// needs the name to decode frame identities on channels it does not own
+/// (sharded mode keeps channel state in the workers).
+pub(crate) fn proto_name_for(kind: KindId) -> Option<&'static str> {
+    let qos = psc_obvent::registry::lookup(kind)
+        .map(|k| k.qos().clone())
+        .unwrap_or_default();
+    match qos.ordering {
+        Ordering::Total => Some("total"),
+        Ordering::Causal => Some("causal"),
+        Ordering::Fifo => Some("fifo"),
+        Ordering::None => match qos.delivery {
+            Delivery::Certified => Some("certified"),
+            Delivery::Reliable => Some("reliable"),
+            Delivery::Unreliable => None,
         },
     }
 }

@@ -36,6 +36,7 @@ use psc_filter::{IndexStats, RemoteFilter, Value};
 use psc_group::{GroupIo, TimerToken};
 use psc_obvent::{KindId, WireObvent};
 use psc_simnet::{Duration, NodeId, ScopedStorage, SimTime, Storage, StorageOp};
+use psc_snapshot::ProtoCapture;
 use psc_telemetry::Registry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -166,12 +167,16 @@ pub(crate) enum Query {
     QueueDepths,
     Channels,
     FilterOracle(Value),
+    /// Snapshot capture of every protocol channel on this shard (a pure
+    /// read; the worker discards any incidental journal).
+    Capture { now: SimTime },
 }
 
 pub(crate) enum QueryReply {
     QueueDepths(Vec<(KindId, Vec<(&'static str, u64)>)>),
     Channels(Vec<ChannelSnapshot>),
     FilterOracle(Vec<(KindId, Vec<String>)>),
+    Capture(Vec<(KindId, Vec<u64>, ProtoCapture)>),
 }
 
 /// The observable state of one channel, rendered identically by the inline
@@ -187,6 +192,9 @@ pub(crate) struct ChannelSnapshot {
 enum ToWorker {
     Batch {
         now: SimTime,
+        /// The node's snapshot wave at dispatch, tagged onto every `Data`
+        /// frame the batch emits (Lai–Yang colouring; see `SnapPlane`).
+        snap: u64,
         items: Vec<(u64, WorkItem)>,
     },
     Query(Query),
@@ -235,10 +243,10 @@ impl Worker {
         let _ = self.shard;
         loop {
             match rx.recv() {
-                Ok(ToWorker::Batch { now, items }) => {
+                Ok(ToWorker::Batch { now, snap, items }) => {
                     let effects: Vec<ItemEffects> = items
                         .into_iter()
-                        .map(|(seq, item)| self.run_item(now, seq, item))
+                        .map(|(seq, item)| self.run_item(now, snap, seq, item))
                         .collect();
                     if tx.send(FromWorker::Batch(effects)).is_err() {
                         break;
@@ -254,7 +262,7 @@ impl Worker {
         }
     }
 
-    fn run_item(&mut self, now: SimTime, seq: u64, item: WorkItem) -> ItemEffects {
+    fn run_item(&mut self, now: SimTime, snap: u64, seq: u64, item: WorkItem) -> ItemEffects {
         let mut fx = ItemEffects::empty(seq);
         match item {
             WorkItem::Ensure { kind, seed_kvs } => {
@@ -273,7 +281,7 @@ impl Worker {
                     let has_proto = proto.is_some();
                     self.channels.insert(kind, Channel::new(proto));
                     if has_proto {
-                        self.with_proto(now, kind, &mut fx, |proto, io| proto.on_start(io));
+                        self.with_proto(now, snap, kind, &mut fx, |proto, io| proto.on_start(io));
                     }
                 }
             }
@@ -293,15 +301,15 @@ impl Worker {
                 }
             }
             WorkItem::Broadcast { kind, bytes } => {
-                self.with_proto(now, kind, &mut fx, |proto, io| proto.broadcast(io, bytes));
+                self.with_proto(now, snap, kind, &mut fx, |proto, io| proto.broadcast(io, bytes));
             }
             WorkItem::OnMessage { kind, from, bytes } => {
-                self.with_proto(now, kind, &mut fx, |proto, io| {
+                self.with_proto(now, snap, kind, &mut fx, |proto, io| {
                     proto.on_message(io, from, &bytes)
                 });
             }
             WorkItem::OnTimer { kind, token } => {
-                self.with_proto(now, kind, &mut fx, |proto, io| proto.on_timer(io, token));
+                self.with_proto(now, snap, kind, &mut fx, |proto, io| proto.on_timer(io, token));
             }
             WorkItem::Match {
                 kind,
@@ -342,6 +350,7 @@ impl Worker {
     fn with_proto(
         &mut self,
         now: SimTime,
+        snap: u64,
         kind: KindId,
         fx: &mut ItemEffects,
         f: impl FnOnce(&mut dyn psc_group::Multicast, &mut dyn GroupIo),
@@ -355,6 +364,7 @@ impl Worker {
                 kind,
                 self_id: self.self_id,
                 now,
+                snap,
                 members,
                 storage: &mut self.storage,
                 rng: &mut self.rng,
@@ -374,8 +384,35 @@ impl Worker {
         kinds
     }
 
-    fn answer(&self, query: Query) -> QueryReply {
+    fn answer(&mut self, query: Query) -> QueryReply {
         match query {
+            Query::Capture { now } => {
+                let mut out: Vec<(KindId, Vec<u64>, ProtoCapture)> = Vec::new();
+                for kind in self.sorted_kinds() {
+                    if self.channels[&kind].proto.is_none() {
+                        continue;
+                    }
+                    let members: Vec<u64> =
+                        self.channels[&kind].members.iter().map(|n| n.0).collect();
+                    let mut fx = ItemEffects::empty(0);
+                    let mut capture = None;
+                    // Capture runs with the wave tag 0: it is a pure read
+                    // and must emit no sends; the throwaway effects and any
+                    // incidental journal are discarded below.
+                    self.with_proto(now, 0, kind, &mut fx, |proto, io| {
+                        capture = Some(proto.capture(io))
+                    });
+                    let _ = self.storage.take_journal();
+                    debug_assert!(
+                        fx.sends.is_empty() && fx.delivered.is_empty(),
+                        "capture must be a pure read"
+                    );
+                    if let Some(capture) = capture {
+                        out.push((kind, members, capture));
+                    }
+                }
+                QueryReply::Capture(out)
+            }
             Query::QueueDepths => QueryReply::QueueDepths(
                 self.sorted_kinds()
                     .into_iter()
@@ -444,6 +481,8 @@ struct WorkerIo<'a> {
     kind: KindId,
     self_id: NodeId,
     now: SimTime,
+    /// The node's snapshot wave, tagged onto every outgoing `Data` frame.
+    snap: u64,
     members: &'a [NodeId],
     storage: &'a mut Storage,
     rng: &'a mut StdRng,
@@ -479,6 +518,7 @@ impl GroupIo for WorkerIo<'_> {
         }
         let encoded = encode_node_msg(&NodeMsg::Data {
             channel: self.kind,
+            snap: self.snap,
             bytes: bytes.clone(),
         });
         self.sends.push((to, encoded.clone()));
@@ -641,6 +681,7 @@ impl ShardEngine {
     pub(crate) fn dispatch(
         &mut self,
         now: SimTime,
+        snap: u64,
         telemetry: &Registry,
     ) -> (Vec<PendingItem>, Vec<ItemEffects>) {
         let depths: Vec<u64> = self.staged.iter().map(|s| s.len() as u64).collect();
@@ -672,7 +713,11 @@ impl ShardEngine {
             let batch = std::mem::take(items);
             self.pool.workers[idx]
                 .tx
-                .send(ToWorker::Batch { now, items: batch })
+                .send(ToWorker::Batch {
+                    now,
+                    snap,
+                    items: batch,
+                })
                 .expect("shard worker alive");
             dispatched.push(idx);
         }
@@ -747,6 +792,22 @@ impl ShardEngine {
             .collect();
         merged.sort_by_key(|(kind, _)| *kind);
         merged.into_iter().flat_map(|(_, f)| f).collect()
+    }
+
+    /// Snapshot captures of every protocol channel across all shards,
+    /// merged sorted by kind; each entry carries the channel's members as
+    /// raw node ids (what `ChannelFrag` records).
+    pub(crate) fn capture_channels(&self, now: SimTime) -> Vec<(KindId, Vec<u64>, ProtoCapture)> {
+        let mut merged: Vec<(KindId, Vec<u64>, ProtoCapture)> = self
+            .query_all(|| Query::Capture { now })
+            .into_iter()
+            .flat_map(|reply| match reply {
+                QueryReply::Capture(caps) => caps,
+                _ => unreachable!("capture reply"),
+            })
+            .collect();
+        merged.sort_by_key(|(kind, _, _)| *kind);
+        merged
     }
 
     /// Drains the per-shard high-water staged depths (for watchdog sweeps).

@@ -1100,3 +1100,159 @@ mod durable_wal {
         }
     }
 }
+
+mod snapshots {
+    use super::*;
+
+    fn subscribe_certified(sim: &mut SimNet, node: NodeId) -> Seen<u64> {
+        let seen: Seen<u64> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        DaceNode::drive(sim, node, move |domain| {
+            let sub = domain.subscribe(FilterSpec::accept_all(), move |t: CertifiedTick| {
+                sink.lock().unwrap().push(*t.n());
+            });
+            sub.activate().unwrap();
+            sub.detach();
+        });
+        seen
+    }
+
+    /// One full run: warm up, publish a certified stream, snapshot from n0
+    /// while more publishes are in flight, settle, and return the completed
+    /// cut's byte-stable rendering.
+    fn run_once(sim_config: SimConfig, dace_config: DaceConfig) -> String {
+        let (mut sim, ids) = cluster(3, sim_config, dace_config);
+        subscribe_certified(&mut sim, ids[1]);
+        subscribe_certified(&mut sim, ids[2]);
+        settle(&mut sim, 20);
+        for i in 0..5u64 {
+            DaceNode::publish_from(&mut sim, ids[0], CertifiedTick::new(i));
+        }
+        // Snapshot while the certified ack/retransmit machinery is hot,
+        // with more traffic crossing the wave.
+        DaceNode::snapshot_from(&mut sim, ids[0]);
+        for i in 5..8u64 {
+            DaceNode::publish_from(&mut sim, ids[0], CertifiedTick::new(i));
+        }
+        settle(&mut sim, 3_000);
+        let cut = DaceNode::snapshot_cut_of(&mut sim, ids[0]).expect("cut must complete");
+        assert_eq!(cut.snap, 1);
+        assert_eq!(cut.initiator, ids[0].0);
+        assert!(cut.complete(&[0, 1, 2]));
+        assert_eq!(
+            cut.consistency_violations(),
+            Vec::<String>::new(),
+            "a correctly disciplined run must produce a consistent cut"
+        );
+        cut.render()
+    }
+
+    #[test]
+    fn snapshot_mid_traffic_completes_and_replays_byte_identically() {
+        let a = run_once(SimConfig::with_seed(11), DaceConfig::default());
+        let b = run_once(SimConfig::with_seed(11), DaceConfig::default());
+        assert_eq!(a, b, "same seed must render the same cluster image");
+        assert!(a.contains("cluster snapshot #1"), "{a}");
+        for node in ["node n0", "node n1", "node n2"] {
+            assert!(a.contains(node), "missing {node} in:\n{a}");
+        }
+        assert!(a.contains("proto=certified"), "{a}");
+    }
+
+    #[test]
+    fn snapshot_completes_under_heavy_message_loss() {
+        // Markers ride the same lossy links as everything else; liveness
+        // comes from the SnapRetry re-floods.
+        let render = run_once(SimConfig::with_loss(0.3), DaceConfig::default());
+        assert!(render.contains("cluster snapshot #1"));
+    }
+
+    #[test]
+    fn sharded_snapshot_matches_inline_snapshot() {
+        let sharded = DaceConfig {
+            shards: 4,
+            ..DaceConfig::default()
+        };
+        let inline = run_once(SimConfig::with_seed(5), DaceConfig::default());
+        let sharded = run_once(SimConfig::with_seed(5), sharded);
+        // Shard interleaving perturbs timing, so in-flight recordings can
+        // differ; the settled channel state (sequences, watermarks,
+        // delivered sets) must agree line-for-line.
+        let settled = |render: &str| -> Vec<String> {
+            render
+                .lines()
+                .filter(|l| {
+                    l.contains("epoch=") || l.contains("watermark") || l.contains("delivered=")
+                })
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            settled(&inline),
+            settled(&sharded),
+            "inline:\n{inline}\nsharded:\n{sharded}"
+        );
+    }
+
+    #[test]
+    fn second_wave_supersedes_the_first() {
+        let (mut sim, ids) = cluster(3, SimConfig::default(), DaceConfig::default());
+        subscribe_certified(&mut sim, ids[1]);
+        settle(&mut sim, 20);
+        DaceNode::publish_from(&mut sim, ids[0], CertifiedTick::new(1));
+        DaceNode::snapshot_from(&mut sim, ids[0]);
+        settle(&mut sim, 2_000);
+        assert!(DaceNode::snapshot_cut_of(&mut sim, ids[0]).is_some());
+        DaceNode::publish_from(&mut sim, ids[0], CertifiedTick::new(2));
+        DaceNode::snapshot_from(&mut sim, ids[1]);
+        settle(&mut sim, 2_000);
+        let cut = DaceNode::snapshot_cut_of(&mut sim, ids[1]).expect("second wave completes");
+        assert_eq!(cut.snap, 2, "wave ids are monotone across initiators");
+        assert_eq!(cut.initiator, ids[1].0);
+        // n0's completed cut of wave 1 is retired once it joins wave 2.
+        assert!(DaceNode::snapshot_cut_of(&mut sim, ids[0]).is_none());
+        let inspect = DaceNode::inspect_of(&mut sim, ids[2]).expect("node up");
+        assert!(inspect.contains("snapshot wave=2"), "{inspect}");
+    }
+
+    #[test]
+    fn reinitiating_node_retires_its_previous_cut_and_completes_again() {
+        // Regression: the initiator's completed wave-1 cut must not
+        // satisfy wave 2's completion check (it is retired at re-entry).
+        let (mut sim, ids) = cluster(3, SimConfig::default(), DaceConfig::default());
+        subscribe_certified(&mut sim, ids[1]);
+        settle(&mut sim, 20);
+        DaceNode::publish_from(&mut sim, ids[0], CertifiedTick::new(1));
+        DaceNode::snapshot_from(&mut sim, ids[0]);
+        settle(&mut sim, 2_000);
+        assert_eq!(DaceNode::snapshot_cut_of(&mut sim, ids[0]).expect("wave 1").snap, 1);
+        DaceNode::publish_from(&mut sim, ids[0], CertifiedTick::new(2));
+        DaceNode::snapshot_from(&mut sim, ids[0]);
+        settle(&mut sim, 2_000);
+        let cut = DaceNode::snapshot_cut_of(&mut sim, ids[0]).expect("wave 2 completes");
+        assert_eq!(cut.snap, 2, "the re-initiated wave must supersede the first cut");
+    }
+
+    #[test]
+    fn snapshot_completes_while_a_peer_is_crashed() {
+        let (mut sim, ids) = cluster(3, SimConfig::default(), DaceConfig::default());
+        subscribe_certified(&mut sim, ids[1]);
+        subscribe_certified(&mut sim, ids[2]);
+        settle(&mut sim, 20);
+        DaceNode::publish_from(&mut sim, ids[0], CertifiedTick::new(7));
+        settle(&mut sim, 200);
+        sim.crash(ids[2]);
+        DaceNode::snapshot_from(&mut sim, ids[0]);
+        settle(&mut sim, 1_000);
+        // The dead peer cannot contribute a fragment, so the cut stays
+        // open; recover it and the retry re-floods ignite its capture.
+        assert!(DaceNode::snapshot_cut_of(&mut sim, ids[0]).is_none());
+        sim.recover(ids[2]);
+        settle(&mut sim, 3_000);
+        let cut = DaceNode::snapshot_cut_of(&mut sim, ids[0]).expect("cut after recovery");
+        assert!(cut.complete(&[0, 1, 2]));
+        let frag = cut.frags.get(&ids[2].0).expect("recovered fragment");
+        assert!(frag.recovered, "recovered node must flag its fragment");
+        assert_eq!(cut.consistency_violations(), Vec::<String>::new());
+    }
+}

@@ -16,6 +16,22 @@
 //! abandoned incarnation that never arrived are permanently lost in a
 //! volatile protocol, and waiting for them would block the new incarnation
 //! forever.
+//!
+//! ## Bounded duplicate suppression (matrix-clock GC)
+//!
+//! The eager relay needs a `seen` set to stop relay storms and duplicate
+//! deliveries — but kept naively it grows with every message ever
+//! broadcast, which is unbounded retention on a long-lived group. The
+//! classic matrix-clock bound [SES89-style] fixes this: every broadcast
+//! already carries its origin's delivered vector (the `deps`), so each
+//! receipt teaches us a row of the *matrix clock* — what the origin had
+//! delivered when it published. The column-wise minimum over all members
+//! is then a floor: every member has delivered the origin's messages up
+//! to it, so no correct member will ever relay them again, and their
+//! `seen` entries can be dropped. A *watermark guard* in `accept` makes
+//! the GC safe against the bounded number of copies still in flight: any
+//! arrival at or below the delivered watermark (or from a dead
+//! incarnation) is discarded before it can re-deliver or park forever.
 
 use std::collections::{HashMap, HashSet};
 
@@ -23,6 +39,7 @@ use serde::{Deserialize, Serialize};
 
 use psc_codec::WireBytes;
 use psc_simnet::NodeId;
+use psc_snapshot::MatrixClock;
 
 use crate::io::{decode_msg, encode_msg, GroupIo, Multicast};
 use crate::reliable::MsgId;
@@ -57,6 +74,13 @@ pub struct Causal {
     delivered: HashMap<NodeId, (u64, u64)>,
     /// Messages awaiting their causal predecessors.
     pending: Vec<Data>,
+    /// What each member is known to have delivered (its row, learned from
+    /// the dependency vectors its broadcasts carry); the column minimum
+    /// bounds `seen` GC. Entries always refer to the incarnation this node
+    /// currently tracks for the counted process.
+    matrix: MatrixClock,
+    /// Total `seen` entries reclaimed by the matrix-clock bound.
+    gc_reclaimed: u64,
 }
 
 impl Causal {
@@ -70,10 +94,27 @@ impl Causal {
         self.pending.len()
     }
 
+    /// Current size of the duplicate-suppression set (diagnostics; bounded
+    /// by the matrix-clock GC under all-to-all traffic).
+    pub fn seen_len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Total `seen` entries reclaimed so far (diagnostics).
+    pub fn gc_reclaimed(&self) -> u64 {
+        self.gc_reclaimed
+    }
+
     /// Delivered counter for `node`'s *current* known incarnation
     /// (diagnostics / assertions).
     pub fn delivered_count(&self, node: NodeId) -> u64 {
         self.delivered.get(&node).map_or(0, |&(_, c)| c)
+    }
+
+    /// The data-message identity inside `bytes` (snapshot in-flight
+    /// recording; every causal frame is a data frame).
+    pub(crate) fn peek_id(bytes: &[u8]) -> Option<MsgId> {
+        decode_msg::<Data>(bytes).map(|data| data.id)
     }
 
     fn relay(&self, io: &mut dyn GroupIo, data: &Data) {
@@ -107,15 +148,40 @@ impl Causal {
     }
 
     fn accept(&mut self, io: &mut dyn GroupIo, data: Data) {
+        // Watermark duplicate guard: `seen` is GC'd below the matrix-clock
+        // floor, so a straggling relay of an old message can get past the
+        // set again. Anything at or below the delivered watermark (or from
+        // a dead incarnation) was already delivered or is permanently lost
+        // — drop it before it can re-deliver or park in `pending` forever.
+        let (le, lc) = *self.delivered.get(&data.id.origin).unwrap_or(&(0, 0));
+        if data.id.epoch < le || (data.id.epoch == le && data.id.seq <= lc) {
+            io.metric("causal.watermark_drops", 1);
+            return;
+        }
         if !self.deliverable(&data) {
             io.metric("causal.held_back", 1);
         }
         self.pending.push(data);
+        let me = io.self_id();
         // Drain everything that became deliverable, to fixpoint.
         while let Some(pos) = self.pending.iter().position(|d| self.deliverable(d)) {
             let data = self.pending.swap_remove(pos);
-            self.delivered
+            let prev = self
+                .delivered
                 .insert(data.id.origin, (data.id.epoch, data.id.seq));
+            if prev.is_some_and(|(pe, _)| pe != data.id.epoch) {
+                // An incarnation we track changed: matrix entries counting
+                // the old incarnation are now overstatements (the new one
+                // restarted at 1). Start the matrix over from this node's
+                // own delivered state; peers' rows repopulate from their
+                // subsequent traffic.
+                self.matrix = MatrixClock::new();
+                for (&node, &(_, count)) in &self.delivered {
+                    self.matrix.observe_entry(me.0, node.0, count);
+                }
+            } else {
+                self.matrix.observe_entry(me.0, data.id.origin.0, data.id.seq);
+            }
             io.deliver(data.id.origin, data.payload);
         }
         // Drop stragglers of incarnations we have already moved past; they
@@ -126,6 +192,54 @@ impl Causal {
                 .get(&d.id.origin)
                 .is_none_or(|&(le, _)| d.id.epoch >= le)
         });
+        self.gc_seen(io);
+    }
+
+    /// Teaches the matrix `data`'s origin's row: the dependency vector is a
+    /// faithful image of what the origin had delivered when it broadcast.
+    /// Entries are only incorporated when they refer to the incarnation
+    /// this node currently tracks for the counted process — skipping a
+    /// mismatched entry just delays GC, never unsounds it.
+    fn learn(&mut self, data: &Data) {
+        let origin = data.id.origin;
+        let (le, _) = *self.delivered.get(&origin).unwrap_or(&(0, 0));
+        if data.id.epoch == le {
+            self.matrix.observe_entry(origin.0, origin.0, data.id.seq);
+        }
+        for dep in &data.deps {
+            let (le, _) = *self.delivered.get(&dep.node).unwrap_or(&(0, 0));
+            if dep.epoch == le {
+                self.matrix.observe_entry(origin.0, dep.node.0, dep.count);
+            }
+        }
+    }
+
+    /// Reclaims `seen` entries below the matrix-clock floor: an id every
+    /// member is known to have delivered can never be relayed again by a
+    /// correct member, and the watermark guard in [`Causal::accept`]
+    /// swallows the bounded number of copies still in flight.
+    fn gc_seen(&mut self, io: &mut dyn GroupIo) {
+        let members = io.members();
+        if members.is_empty() {
+            return;
+        }
+        let before = self.seen.len();
+        let delivered = &self.delivered;
+        let matrix = &self.matrix;
+        self.seen.retain(|id| {
+            let (le, _) = *delivered.get(&id.origin).unwrap_or(&(0, 0));
+            if id.epoch != le {
+                // Dead incarnations are unconditionally reclaimable (the
+                // guard drops their stragglers); newer ones are kept.
+                return id.epoch > le;
+            }
+            id.seq > matrix.min_entry(id.origin.0, members.iter().map(|n| n.0))
+        });
+        let reclaimed = (before - self.seen.len()) as u64;
+        if reclaimed > 0 {
+            self.gc_reclaimed += reclaimed;
+            io.metric("causal.seen_gced", reclaimed);
+        }
     }
 }
 
@@ -162,6 +276,7 @@ impl Multicast for Causal {
             io.metric("causal.duplicates", 1);
             return;
         }
+        self.learn(&data);
         self.relay(io, &data);
         self.accept(io, data);
     }
@@ -174,12 +289,32 @@ impl Multicast for Causal {
         self.epoch = io.now().as_millis();
     }
 
+    fn capture(&mut self, _io: &mut dyn GroupIo) -> psc_snapshot::ProtoCapture {
+        let mut cap = psc_snapshot::ProtoCapture::new(self.proto_name());
+        cap.epoch = self.epoch;
+        cap.next_seq = self.next_seq;
+        cap.watermarks = self
+            .delivered
+            .iter()
+            .map(|(&node, &(epoch, count))| (node.0, epoch, count))
+            .collect();
+        cap.pending = self.pending_len() as u64;
+        cap.extra.push(("seen".to_string(), self.seen.len() as u64));
+        cap.extra
+            .push(("seen_gced".to_string(), self.gc_reclaimed));
+        cap.normalize();
+        cap
+    }
+
     fn proto_name(&self) -> &'static str {
         "causal"
     }
 
     fn queue_depths(&self) -> Vec<(&'static str, u64)> {
-        vec![("causal.pending", self.pending_len() as u64)]
+        vec![
+            ("causal.pending", self.pending_len() as u64),
+            ("causal.seen", self.seen_len() as u64),
+        ]
     }
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {

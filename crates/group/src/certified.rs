@@ -124,6 +124,15 @@ impl Certified {
         }
     }
 
+    /// The data-message identity inside `bytes`, if it is a `Data` frame
+    /// (snapshot in-flight recording).
+    pub(crate) fn peek_id(bytes: &[u8]) -> Option<MsgId> {
+        match decode_msg::<Msg>(bytes)? {
+            Msg::Data { id, .. } => Some(id),
+            Msg::Ack { .. } => None,
+        }
+    }
+
     fn send_entry(io: &mut dyn GroupIo, entry: &LogEntry) {
         let bytes = encode_msg(&Msg::Data {
             id: entry.id,
@@ -244,6 +253,29 @@ impl Multicast for Certified {
         self.loaded = false;
         self.load(io);
         self.arm_timer(io);
+    }
+
+    fn capture(&mut self, io: &mut dyn GroupIo) -> psc_snapshot::ProtoCapture {
+        self.load(io);
+        let mut cap = psc_snapshot::ProtoCapture::new(self.proto_name());
+        // Constant epoch 0 and a persistent counter; see `broadcast`.
+        cap.next_seq = io.storage().get::<u64>(KEY_SEQ).ok().flatten().unwrap_or(0);
+        cap.delivered = self
+            .delivered
+            .iter()
+            .map(|id| psc_snapshot::MsgRef::new(id.origin.0, id.epoch, id.seq))
+            .collect();
+        cap.retransmit = self
+            .log
+            .values()
+            .map(|entry| psc_snapshot::RetransmitEntry {
+                id: psc_snapshot::MsgRef::new(entry.id.origin.0, entry.id.epoch, entry.id.seq),
+                targets: entry.targets.iter().map(|n| n.0).collect(),
+                acked: entry.acked.iter().map(|n| n.0).collect(),
+            })
+            .collect();
+        cap.normalize();
+        cap
     }
 
     fn proto_name(&self) -> &'static str {

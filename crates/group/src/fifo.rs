@@ -64,6 +64,12 @@ impl Fifo {
         }
     }
 
+    /// The data-message identity inside `bytes` (snapshot in-flight
+    /// recording; every FIFO frame is a data frame).
+    pub(crate) fn peek_id(bytes: &[u8]) -> Option<MsgId> {
+        decode_msg::<Data>(bytes).map(|data| data.id)
+    }
+
     fn accept(&mut self, io: &mut dyn GroupIo, id: MsgId, payload: WireBytes) {
         let (epoch, expected) = self.expected.entry(id.origin).or_insert((id.epoch, 1));
         if id.epoch < *epoch {
@@ -134,6 +140,21 @@ impl Multicast for Fifo {
 
     fn on_recover(&mut self, io: &mut dyn GroupIo) {
         self.epoch = io.now().as_millis();
+    }
+
+    fn capture(&mut self, _io: &mut dyn GroupIo) -> psc_snapshot::ProtoCapture {
+        let mut cap = psc_snapshot::ProtoCapture::new(self.proto_name());
+        cap.epoch = self.epoch;
+        cap.next_seq = self.next_seq;
+        cap.watermarks = self
+            .expected
+            .iter()
+            .map(|(&node, &(epoch, expected))| (node.0, epoch, expected - 1))
+            .collect();
+        cap.pending = self.holdback_len() as u64;
+        cap.extra.push(("seen".to_string(), self.seen.len() as u64));
+        cap.normalize();
+        cap
     }
 
     fn proto_name(&self) -> &'static str {

@@ -81,6 +81,18 @@ pub trait Multicast: Send {
         "multicast"
     }
 
+    /// Captures the protocol's instantaneous state for a global snapshot
+    /// (Chandy–Lamport style): sequence counters, delivery watermarks,
+    /// retransmission sets, pending queues. The capture must be a pure
+    /// read of protocol state — no sends, no delivers, no timer changes —
+    /// so that taking a snapshot never perturbs the run. The default
+    /// returns an empty capture tagged with the protocol name, for
+    /// protocols with no snapshot-relevant state.
+    fn capture(&mut self, io: &mut dyn GroupIo) -> psc_snapshot::ProtoCapture {
+        let _ = io;
+        psc_snapshot::ProtoCapture::new(self.proto_name())
+    }
+
     /// Named depths of the protocol's internal queues, `(name, depth)`
     /// pairs in a stable order. Names are prefixed with the protocol
     /// (`fifo.holdback`, `reliable.unacked`); the stall watchdog turns

@@ -65,5 +65,23 @@ pub use reliable::Reliable;
 pub use sim_host::{GroupNode, Watchdog};
 pub use total::Total;
 
+/// Best-effort decode of a protocol frame's message identity, for the
+/// snapshot plane's in-flight recorder: given the protocol a channel runs
+/// and raw protocol bytes, returns `(origin, epoch, seq)` when the frame
+/// carries an application payload. Control traffic (acks, NACKs,
+/// heartbeats, gossip digests) and undecodable bytes return `None` and are
+/// counted, not identified.
+pub fn peek_data_id(proto: &str, bytes: &[u8]) -> Option<(u64, u64, u64)> {
+    match proto {
+        "certified" => certified::Certified::peek_id(bytes),
+        "reliable" => reliable::Reliable::peek_id(bytes),
+        "fifo" => fifo::Fifo::peek_id(bytes),
+        "causal" => causal::Causal::peek_id(bytes),
+        "total" => total::Total::peek_id(bytes),
+        _ => None,
+    }
+    .map(|id| (id.origin.0, id.epoch, id.seq))
+}
+
 #[cfg(test)]
 mod tests;

@@ -129,6 +129,15 @@ impl Reliable {
             io.set_timer(RETRANSMIT_INTERVAL, RETRANSMIT);
         }
     }
+
+    /// The data-message identity inside `bytes`, if it is a `Data` frame
+    /// (snapshot in-flight recording).
+    pub(crate) fn peek_id(bytes: &[u8]) -> Option<MsgId> {
+        match decode_msg::<Msg>(bytes)? {
+            Msg::Data { id, .. } => Some(id),
+            Msg::Ack { .. } => None,
+        }
+    }
 }
 
 impl Multicast for Reliable {
@@ -221,6 +230,25 @@ impl Multicast for Reliable {
 
     fn on_recover(&mut self, io: &mut dyn GroupIo) {
         self.epoch = io.now().as_millis();
+    }
+
+    fn capture(&mut self, io: &mut dyn GroupIo) -> psc_snapshot::ProtoCapture {
+        let me = io.self_id();
+        let mut cap = psc_snapshot::ProtoCapture::new(self.proto_name());
+        cap.epoch = self.epoch;
+        cap.next_seq = self.next_seq;
+        cap.retransmit = self
+            .outgoing
+            .iter()
+            .map(|(&seq, outgoing)| psc_snapshot::RetransmitEntry {
+                id: psc_snapshot::MsgRef::new(me.0, self.epoch, seq),
+                targets: outgoing.unacked.iter().map(|n| n.0).collect(),
+                acked: Vec::new(),
+            })
+            .collect();
+        cap.extra.push(("seen".to_string(), self.seen.len() as u64));
+        cap.normalize();
+        cap
     }
 
     fn proto_name(&self) -> &'static str {

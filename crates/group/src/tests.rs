@@ -217,6 +217,45 @@ mod causal {
         }
     }
 
+    /// Regression for unbounded `seen` retention: the matrix-clock GC must
+    /// keep the duplicate-suppression set pinned near the in-flight window
+    /// on a long-lived group, instead of growing with every message ever
+    /// broadcast. 120 rounds × 3 publishers = 360 broadcasts; without the
+    /// GC `seen` holds all 360 ids at every node.
+    #[test]
+    fn seen_set_stays_bounded_on_a_long_lived_group() {
+        let (mut sim, ids) = cluster(3, SimConfig::with_seed(13), || Box::new(Causal::new()));
+        let rounds = 120u64;
+        for round in 0..rounds {
+            for (i, &id) in ids.iter().enumerate() {
+                GroupNode::broadcast(&mut sim, id, payload(i as u8, round));
+            }
+            // Let the round propagate so dependency vectors advance the
+            // matrix floor.
+            sim.run_for(Duration::from_millis(5));
+        }
+        sim.run_to_quiescence();
+        for &id in &ids {
+            assert_eq!(
+                GroupNode::delivered(&mut sim, id).len(),
+                (rounds * 3) as usize,
+                "node {id} lost messages"
+            );
+            let (seen, reclaimed) = GroupNode::with_proto::<Causal, (usize, u64)>(
+                &mut sim,
+                id,
+                |c| (c.seen_len(), c.gc_reclaimed()),
+            )
+            .unwrap();
+            assert!(reclaimed > 0, "node {id}: GC never reclaimed anything");
+            assert!(
+                seen <= 24,
+                "node {id}: seen grew to {seen} entries over {rounds} rounds \
+                 — matrix-clock GC is not bounding retention"
+            );
+        }
+    }
+
     /// Randomized: build a random causal history by publishing from random
     /// nodes with partial progress in between; verify causal delivery
     /// everywhere (happens-before never inverted).

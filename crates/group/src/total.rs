@@ -273,6 +273,32 @@ impl Total {
         }
     }
 
+    /// The submission identity inside `bytes`, if it is a payload-carrying
+    /// frame (snapshot in-flight recording). Both the submit leg and the
+    /// ordered leg carry the same `(origin, origin_epoch, local_seq)`
+    /// identity; NACKs and heartbeats are control traffic.
+    pub(crate) fn peek_id(bytes: &[u8]) -> Option<crate::reliable::MsgId> {
+        match decode_msg::<Msg>(bytes)? {
+            Msg::Submit {
+                origin,
+                origin_epoch,
+                local_seq,
+                ..
+            }
+            | Msg::Ordered {
+                origin,
+                origin_epoch,
+                local_seq,
+                ..
+            } => Some(crate::reliable::MsgId {
+                origin,
+                epoch: origin_epoch,
+                seq: local_seq,
+            }),
+            Msg::Nack { .. } | Msg::Heartbeat { .. } => None,
+        }
+    }
+
     fn nack(&self, io: &mut dyn GroupIo, from: u64, to: u64) {
         if let Some(seq_node) = Total::sequencer(io) {
             if seq_node != io.self_id() {
@@ -446,6 +472,19 @@ impl Multicast for Total {
     fn on_recover(&mut self, io: &mut dyn GroupIo) {
         self.epoch = io.now().as_millis();
         self.rejoining = true;
+    }
+
+    fn capture(&mut self, _io: &mut dyn GroupIo) -> psc_snapshot::ProtoCapture {
+        let mut cap = psc_snapshot::ProtoCapture::new(self.proto_name());
+        cap.epoch = self.epoch;
+        cap.next_seq = self.next_local.saturating_sub(1);
+        cap.pending = (self.holdback_len() + self.pending_submits()) as u64;
+        cap.extra.push(("delivered".to_string(), self.delivered_keys.len() as u64));
+        cap.extra.push(("next_deliver".to_string(), self.next_deliver));
+        cap.extra.push(("next_gseq".to_string(), self.next_gseq));
+        cap.extra.push(("seq_epoch".to_string(), self.seq_epoch));
+        cap.normalize();
+        cap
     }
 
     fn proto_name(&self) -> &'static str {

@@ -10,9 +10,30 @@ use std::collections::HashSet;
 use serde::{Deserialize, Serialize};
 
 use psc_codec::WireBytes;
+use psc_dace::DaceConfig;
 use psc_simnet::NodeId;
 
 use psc_group::{GroupIo, Multicast};
+
+/// A deployment with a deliberately broken snapshot-capture discipline:
+/// the Lai–Yang rule ("capture *before* processing a message tagged with
+/// a newer wave") is disabled, so a node captures only when the marker
+/// itself arrives — the classic Chandy–Lamport misuse over non-FIFO
+/// links. Wave-tagged data frames that outrace their marker are processed
+/// into the pre-cut state, and the snapshot oracles must see the result:
+/// a cut-inconsistent clock pair and/or a ghost delivery (`seq >` the
+/// origin's captured `next_seq`).
+#[derive(Debug, Default)]
+pub struct SkewedMarkers;
+
+impl SkewedMarkers {
+    /// The DACE configuration with the capture-before-processing rule
+    /// turned off; pass to
+    /// [`snapshot::run_snapshot_config`](crate::snapshot::run_snapshot_config).
+    pub fn config() -> DaceConfig {
+        DaceConfig { snapshot_skew: true, ..DaceConfig::default() }
+    }
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 struct BrokenId {

@@ -40,6 +40,9 @@
 //! durable certified subscriber **with injected disk faults** (torn tail
 //! writes, lost un-fsynced suffixes, whole-segment loss) and checks the
 //! cross-restart exactly-once oracle over the write-ahead log.
+//! [`snapshot`] takes Chandy–Lamport cuts mid-chaos and checks global
+//! invariants (clock consistency, no ghosts, three-way publish coverage)
+//! over the assembled byte-stable cluster image.
 //!
 //! ```
 //! use psc_harness::{runner, Scenario};
@@ -54,6 +57,7 @@ pub mod durable;
 pub mod oracle;
 pub mod runner;
 pub mod scenario;
+pub mod snapshot;
 pub mod stack;
 pub mod trace;
 

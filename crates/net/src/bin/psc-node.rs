@@ -68,7 +68,9 @@ fn usage() -> ! {
            --run-ms <ms>            scripted run length after connect (default 2000)\n\
            --snapshot <path>        write the final telemetry snapshot JSON to <path>\n\
            --inspect                print the node+transport state report at exit\n\
-           --interactive            REPL on stdin: sub | pub <value> | snapshot | inspect | quit\n\
+           --interactive            REPL on stdin: sub | pub <value> | snapshot | metrics |\n\
+                                    inspect | quit (snapshot = consistent cluster cut,\n\
+                                    metrics = telemetry counters)\n\
            --certified              use certified CertEvents; --subscribe becomes a durable\n\
                                     subscription (durable id = 100 + node id)\n\
            --data-dir <path>        persist the write-ahead log under <path>: a killed and\n\
@@ -235,7 +237,7 @@ fn main() {
         println!("{}", endpoint.inspect());
     }
     if let Some(path) = &args.snapshot {
-        let json = endpoint.snapshot().render_json();
+        let json = endpoint.metrics().render_json();
         if let Err(err) = std::fs::write(path, json) {
             eprintln!("psc-node: snapshot write failed: {err}");
         }
@@ -254,7 +256,9 @@ fn interactive(endpoint: &DaceEndpoint, delivered: Option<&Arc<AtomicU64>>) {
     });
     let stdin = std::io::stdin();
     let mut next_tag = 0u64;
-    eprintln!("psc-node: interactive — sub | pub <value> | snapshot | inspect | quit");
+    eprintln!(
+        "psc-node: interactive — sub | pub <value> | snapshot | metrics | inspect | quit"
+    );
     for line in stdin.lock().lines() {
         let line = match line {
             Ok(line) => line,
@@ -271,7 +275,15 @@ fn interactive(endpoint: &DaceEndpoint, delivered: Option<&Arc<AtomicU64>>) {
             Some("sub") => {
                 println!("delivered so far: {}", counter.load(Ordering::SeqCst));
             }
-            Some("snapshot") => print!("{}", endpoint.snapshot().render_text()),
+            Some("snapshot") => {
+                // A cluster-wide Chandy–Lamport cut: this node initiates
+                // the wave and prints the assembled byte-stable image.
+                match endpoint.snapshot_capture(std::time::Duration::from_secs(5)) {
+                    Some(render) => print!("{render}"),
+                    None => println!("snapshot: wave did not complete within 5s"),
+                }
+            }
+            Some("metrics") => print!("{}", endpoint.metrics().render_text()),
             Some("inspect") => println!("{}", endpoint.inspect()),
             Some("quit") | Some("exit") => break,
             Some(other) => println!("unknown command {other:?}"),

@@ -138,9 +138,53 @@ impl DaceEndpoint {
     }
 
     /// A deterministic snapshot of the endpoint's whole metric plane
-    /// (`dace.*`, `group.*`, `net.*`, …).
-    pub fn snapshot(&self) -> Snapshot {
+    /// (`dace.*`, `group.*`, `net.*`, `snapshot.*`, …).
+    pub fn metrics(&self) -> Snapshot {
         self.registry.snapshot()
+    }
+
+    /// Initiates a cluster-wide Chandy–Lamport snapshot wave from this
+    /// node (it becomes the wave's initiator and assembles the cut);
+    /// returns the wave id. Poll [`DaceEndpoint::snapshot_render`] for
+    /// completion, or use [`DaceEndpoint::snapshot_capture`] to block.
+    pub fn snapshot_initiate(&self) -> u64 {
+        self.transport.act_sync(|node, ctx| {
+            node.as_any_mut()
+                .downcast_mut::<DaceNode>()
+                .expect("endpoint hosts a DaceNode")
+                .snapshot_initiate(ctx)
+        })
+    }
+
+    /// The byte-stable rendering of the completed cut this node assembled
+    /// for wave `wave`, once every fragment has arrived.
+    pub fn snapshot_render(&self, wave: u64) -> Option<String> {
+        self.transport.act_sync(move |node, _ctx| {
+            node.as_any_mut()
+                .downcast_mut::<DaceNode>()
+                .expect("endpoint hosts a DaceNode")
+                .snapshot_cut()
+                .filter(|cut| cut.snap == wave)
+                .map(|cut| cut.render())
+        })
+    }
+
+    /// Initiates a snapshot wave and blocks until the cut completes (the
+    /// marker protocol needs one round trip per peer plus retransmits
+    /// under loss), or `timeout` elapses; returns the byte-stable cluster
+    /// image.
+    pub fn snapshot_capture(&self, timeout: StdDuration) -> Option<String> {
+        let wave = self.snapshot_initiate();
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(render) = self.snapshot_render(wave) {
+                return Some(render);
+            }
+            if std::time::Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(StdDuration::from_millis(20));
+        }
     }
 
     /// The shared registry.

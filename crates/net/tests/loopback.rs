@@ -357,6 +357,6 @@ fn single_node_loopback_delivers_locally() {
     let mut tags = sink.lock().unwrap().clone();
     tags.sort_unstable();
     assert_eq!(tags, vec![0, 1]);
-    assert_eq!(endpoint.snapshot().counter("net.msgs_sent"), 0, "no socket traffic");
+    assert_eq!(endpoint.metrics().counter("net.msgs_sent"), 0, "no socket traffic");
     endpoint.shutdown();
 }

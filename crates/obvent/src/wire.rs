@@ -12,6 +12,7 @@
 //! subclass image (see the `psc-codec` crate docs).
 
 use psc_codec::WireBytes;
+use psc_snapshot::CausalStamp;
 use psc_telemetry::TraceId;
 use serde::{Deserialize, Serialize};
 
@@ -28,11 +29,19 @@ use crate::view::ObventView;
 /// protocols, DACE relays, broker forwarding) so each node's tracer can
 /// attribute its local events to the originating publish. Untraced
 /// envelopes carry [`TraceId::NONE`].
+///
+/// Next to the trace id sits a [`CausalStamp`]: the publisher's snapshot
+/// wave id and vector clock at publish time. The stamp propagates the
+/// Chandy–Lamport cut colouring along every relay path (a receiver
+/// seeing a higher wave captures before processing) and lets the
+/// snapshot oracles order the assembled cut causally. Unstamped
+/// envelopes carry the default (wave 0, empty clock).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WireObvent {
     kind: KindId,
     payload: WireBytes,
     trace: TraceId,
+    stamp: CausalStamp,
 }
 
 impl WireObvent {
@@ -47,6 +56,7 @@ impl WireObvent {
             kind: O::kind_id(),
             payload: psc_codec::to_wire_bytes(obvent)?,
             trace: TraceId::NONE,
+            stamp: CausalStamp::default(),
         })
     }
 
@@ -58,6 +68,7 @@ impl WireObvent {
             kind,
             payload: payload.into(),
             trace: TraceId::NONE,
+            stamp: CausalStamp::default(),
         }
     }
 
@@ -78,6 +89,17 @@ impl WireObvent {
         self
     }
 
+    /// The wire-carried causal stamp (default when unstamped).
+    pub fn stamp(&self) -> &CausalStamp {
+        &self.stamp
+    }
+
+    /// Stamps the envelope with a snapshot wave id and clock (done once at
+    /// the publisher; relays preserve the stamp by cloning the envelope).
+    pub fn set_stamp(&mut self, stamp: CausalStamp) {
+        self.stamp = stamp;
+    }
+
     /// The dynamic kind of the carried obvent.
     pub fn kind_id(&self) -> KindId {
         self.kind
@@ -93,10 +115,10 @@ impl WireObvent {
         &self.payload
     }
 
-    /// Size on the wire (payload plus kind tag and trace id), for bandwidth
-    /// accounting.
+    /// Size on the wire (payload plus kind tag, trace id and causal
+    /// stamp), for bandwidth accounting.
     pub fn wire_len(&self) -> usize {
-        self.payload.len() + 16
+        self.payload.len() + 24 + self.stamp.clock.len() * 16
     }
 
     /// The resolved QoS of the carried obvent's kind; defaults to

@@ -1,0 +1,477 @@
+//! The cut data model: per-node capture fragments and the assembled
+//! cluster cut.
+//!
+//! Everything here is plain serde data — the marker protocol in
+//! `psc-dace` fills it in, ships fragments to the initiator as wire
+//! messages, and the initiator assembles them into a [`ClusterCut`].
+//! Rendering is deliberately austere: sorted iteration everywhere, no
+//! wall-clock, no memory addresses, message ids compressed to per-origin
+//! ranges — so two replays of one seed (or two polls of a quiesced live
+//! cluster) produce byte-identical reports, and the harness can use the
+//! rendering itself as a determinism oracle.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use psc_telemetry::ReportBuilder;
+
+use crate::causal::VClock;
+
+/// A group-layer message identity: `(origin, incarnation epoch, per-origin
+/// sequence number)`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct MsgRef {
+    /// Publishing node.
+    pub origin: u64,
+    /// Publisher incarnation epoch.
+    pub epoch: u64,
+    /// Per-origin sequence number within the epoch.
+    pub seq: u64,
+}
+
+impl MsgRef {
+    /// Builds a message reference.
+    pub fn new(origin: u64, epoch: u64, seq: u64) -> MsgRef {
+        MsgRef { origin, epoch, seq }
+    }
+}
+
+/// One entry of a publisher's retransmission log at capture time: a
+/// certified publish not yet acknowledged by every target.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetransmitEntry {
+    /// The logged message.
+    pub id: MsgRef,
+    /// Members the publish was addressed to.
+    pub targets: Vec<u64>,
+    /// Targets whose acknowledgement had arrived by capture time.
+    pub acked: Vec<u64>,
+}
+
+/// What one group-protocol instance looked like at capture time. Every
+/// field a protocol does not track stays empty — the oracles only reason
+/// over what a protocol claims.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ProtoCapture {
+    /// Protocol name (`certified`, `causal`, …).
+    pub proto: String,
+    /// This node's incarnation epoch on the channel.
+    pub epoch: u64,
+    /// Next local publish sequence number (== publishes so far this
+    /// epoch).
+    pub next_seq: u64,
+    /// Exact delivered/deduplication set, where the protocol keeps one.
+    pub delivered: Vec<MsgRef>,
+    /// Per-origin delivered watermarks `(origin, epoch, count)` for
+    /// protocols that track contiguous prefixes instead of id sets.
+    pub watermarks: Vec<(u64, u64, u64)>,
+    /// Publisher-side retransmission log (certified).
+    pub retransmit: Vec<RetransmitEntry>,
+    /// Messages parked undeliverable (hold-back / dependency queues).
+    pub pending: u64,
+    /// Protocol-specific scalars, sorted by key at capture time.
+    pub extra: Vec<(String, u64)>,
+}
+
+impl ProtoCapture {
+    /// An empty capture for `proto` — the default for protocols that
+    /// keep no introspectable state.
+    pub fn new(proto: &str) -> ProtoCapture {
+        ProtoCapture { proto: proto.to_string(), ..ProtoCapture::default() }
+    }
+
+    /// Canonicalizes field order so captures compare and render
+    /// deterministically regardless of the protocol's internal iteration
+    /// order.
+    pub fn normalize(&mut self) {
+        self.delivered.sort_unstable();
+        self.delivered.dedup();
+        self.watermarks.sort_unstable();
+        self.retransmit.sort_by_key(|e| e.id);
+        for entry in &mut self.retransmit {
+            entry.targets.sort_unstable();
+            entry.acked.sort_unstable();
+        }
+        self.extra.sort();
+    }
+}
+
+/// One channel of a node fragment: the protocol capture plus the
+/// membership it ran against.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelFrag {
+    /// Raw kind id of the multicast class.
+    pub kind: u64,
+    /// Kind name (render key; raw id shown alongside for collisions).
+    pub name: String,
+    /// Channel membership at capture time.
+    pub members: Vec<u64>,
+    /// The protocol state.
+    pub capture: ProtoCapture,
+}
+
+/// One obvent recorded in flight on an incoming link.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct InFlightObvent {
+    /// Raw kind id of the channel the obvent belongs to.
+    pub channel: u64,
+    /// Message identity (trace origin/seq for direct routes, group
+    /// origin/epoch/seq for channel data).
+    pub id: MsgRef,
+}
+
+/// The recording of one incoming link: everything that arrived between
+/// this node's capture and the link's marker, i.e. the messages that were
+/// in the channel when the cut crossed it.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct InFlightRec {
+    /// Sending peer.
+    pub from: u64,
+    /// Whether the link's marker (or the participant's completion
+    /// timeout) closed the recording.
+    pub closed: bool,
+    /// Recorded obvents, capped by the recorder; sorted at capture.
+    pub obvents: Vec<InFlightObvent>,
+    /// Messages recorded past the cap or not carrying an obvent identity
+    /// (control traffic, protocol internals).
+    pub others: u64,
+    /// Total payload bytes that crossed the link while recording.
+    pub bytes: u64,
+}
+
+/// One node's contribution to the cut.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NodeFrag {
+    /// Capturing node.
+    pub node: u64,
+    /// Snapshot wave id.
+    pub snap: u64,
+    /// Capture time in node-local microseconds. Diagnostic only —
+    /// deliberately **excluded from the rendering** (wall-clock breaks
+    /// byte-stability across live runs).
+    pub at_us: u64,
+    /// Whether this node crash-recovered since the wave began (its
+    /// in-memory clock restarted, so clock-based cut checks exempt it).
+    pub recovered: bool,
+    /// The node's vector clock at capture.
+    pub clock: VClock,
+    /// Durable subscription ids present in the table.
+    pub dursubs: Vec<u64>,
+    /// Parked obvents awaiting a durable re-attach, as `(trace origin,
+    /// trace seq)` pairs.
+    pub parked: Vec<(u64, u64)>,
+    /// Per-channel protocol state.
+    pub channels: Vec<ChannelFrag>,
+    /// Per-incoming-link in-flight recordings.
+    pub inflight: Vec<InFlightRec>,
+}
+
+impl NodeFrag {
+    /// Canonicalizes ordering of every collection for deterministic
+    /// comparison and rendering.
+    pub fn normalize(&mut self) {
+        self.dursubs.sort_unstable();
+        self.parked.sort_unstable();
+        self.channels.sort_by(|a, b| (&a.name, a.kind).cmp(&(&b.name, b.kind)));
+        for channel in &mut self.channels {
+            channel.members.sort_unstable();
+            channel.capture.normalize();
+        }
+        self.inflight.sort_by_key(|r| r.from);
+        for rec in &mut self.inflight {
+            rec.obvents.sort_unstable();
+        }
+    }
+
+    /// The channel fragment for `kind`, if captured.
+    pub fn channel(&self, kind: u64) -> Option<&ChannelFrag> {
+        self.channels.iter().find(|c| c.kind == kind)
+    }
+}
+
+/// The assembled global snapshot: one fragment per cluster member.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterCut {
+    /// Snapshot wave id.
+    pub snap: u64,
+    /// Initiating node.
+    pub initiator: u64,
+    /// Fragments keyed by node id.
+    pub frags: BTreeMap<u64, NodeFrag>,
+}
+
+/// Renders a sorted id set as compact per-`(origin, epoch)` ranges:
+/// `o0e0:1-5,7 o2e1:1-3`.
+fn render_msg_refs(ids: &[MsgRef]) -> String {
+    let mut out = String::new();
+    let mut i = 0;
+    while i < ids.len() {
+        let (origin, epoch) = (ids[i].origin, ids[i].epoch);
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(&format!("o{origin}e{epoch}:"));
+        let mut first_in_group = true;
+        while i < ids.len() && ids[i].origin == origin && ids[i].epoch == epoch {
+            let lo = ids[i].seq;
+            let mut hi = lo;
+            while i + 1 < ids.len()
+                && ids[i + 1].origin == origin
+                && ids[i + 1].epoch == epoch
+                && ids[i + 1].seq == hi + 1
+            {
+                hi = ids[i + 1].seq;
+                i += 1;
+            }
+            if !first_in_group {
+                out.push(',');
+            }
+            first_in_group = false;
+            if lo == hi {
+                out.push_str(&lo.to_string());
+            } else {
+                out.push_str(&format!("{lo}-{hi}"));
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+fn render_ids(ids: &[u64]) -> String {
+    let strs: Vec<String> = ids.iter().map(|n| format!("n{n}")).collect();
+    format!("[{}]", strs.join(" "))
+}
+
+impl ClusterCut {
+    /// An empty cut for wave `snap` initiated by `initiator`.
+    pub fn new(snap: u64, initiator: u64) -> ClusterCut {
+        ClusterCut { snap, initiator, frags: BTreeMap::new() }
+    }
+
+    /// Adds (or replaces) a fragment, normalizing it first.
+    pub fn insert(&mut self, mut frag: NodeFrag) {
+        frag.normalize();
+        self.frags.insert(frag.node, frag);
+    }
+
+    /// True once every node of `cluster` has contributed a fragment.
+    pub fn complete(&self, cluster: &[u64]) -> bool {
+        cluster.iter().all(|n| self.frags.contains_key(n))
+    }
+
+    /// Clock-based cut-consistency findings: for a consistent cut, what
+    /// node `i` had observed *about* node `j` at capture can never exceed
+    /// what `j` had observed about itself — an excess means an event
+    /// crossed the cut backwards. Fragments from crash-recovered nodes
+    /// are exempt (their in-memory clocks restarted mid-wave).
+    pub fn consistency_violations(&self) -> Vec<String> {
+        let mut findings = Vec::new();
+        for (i, fi) in &self.frags {
+            if fi.recovered {
+                continue;
+            }
+            for (j, fj) in &self.frags {
+                if i == j || fj.recovered {
+                    continue;
+                }
+                let observed = fi.clock.get(*j);
+                let own = fj.clock.get(*j);
+                if observed > own {
+                    findings.push(format!(
+                        "cut inconsistency: n{i} observed n{j} at {observed} but n{j} \
+                         captured itself at {own}"
+                    ));
+                }
+            }
+        }
+        findings
+    }
+
+    /// Total obvents recorded in flight across all fragments.
+    pub fn inflight_obvents(&self) -> u64 {
+        self.frags
+            .values()
+            .flat_map(|f| f.inflight.iter())
+            .map(|r| r.obvents.len() as u64 + r.others)
+            .sum()
+    }
+
+    /// Total payload bytes recorded in flight across all fragments.
+    pub fn inflight_bytes(&self) -> u64 {
+        self.frags.values().flat_map(|f| f.inflight.iter()).map(|r| r.bytes).sum()
+    }
+
+    /// The deterministic, byte-stable cluster image.
+    pub fn render(&self) -> String {
+        let mut report = ReportBuilder::new();
+        report.section(format!("cluster snapshot #{}", self.snap));
+        report.line(format!("initiator=n{} nodes={}", self.initiator, self.frags.len()));
+        for frag in self.frags.values() {
+            report.section(format!("node n{}", frag.node));
+            report.line(format!(
+                "clock={} recovered={}",
+                frag.clock,
+                u64::from(frag.recovered)
+            ));
+            if !frag.dursubs.is_empty() {
+                let subs: Vec<String> =
+                    frag.dursubs.iter().map(|d| format!("{d:#x}")).collect();
+                report.line(format!("dursubs=[{}]", subs.join(" ")));
+            }
+            if !frag.parked.is_empty() {
+                let parked: Vec<String> =
+                    frag.parked.iter().map(|(o, s)| format!("t{o}:{s}")).collect();
+                report.line(format!("parked=[{}]", parked.join(" ")));
+            }
+            for channel in &frag.channels {
+                report.section(format!(
+                    "channel {} proto={} members={}",
+                    channel.name,
+                    channel.capture.proto,
+                    render_ids(&channel.members)
+                ));
+                let c = &channel.capture;
+                report.line(format!(
+                    "epoch={} next_seq={} pending={}",
+                    c.epoch, c.next_seq, c.pending
+                ));
+                if !c.delivered.is_empty() {
+                    report.line(format!("delivered={}", render_msg_refs(&c.delivered)));
+                }
+                for (origin, epoch, count) in &c.watermarks {
+                    report.line(format!("watermark o{origin}e{epoch}={count}"));
+                }
+                for entry in &c.retransmit {
+                    report.line(format!(
+                        "retransmit o{}e{}:{} targets={} acked={}",
+                        entry.id.origin,
+                        entry.id.epoch,
+                        entry.id.seq,
+                        render_ids(&entry.targets),
+                        render_ids(&entry.acked)
+                    ));
+                }
+                for (key, value) in &c.extra {
+                    report.line(format!("{key}={value}"));
+                }
+                report.end();
+            }
+            for rec in &frag.inflight {
+                let ids = if rec.obvents.is_empty() {
+                    String::new()
+                } else {
+                    let ids: Vec<MsgRef> = rec.obvents.iter().map(|o| o.id).collect();
+                    format!(" obvents={}", render_msg_refs(&ids))
+                };
+                report.line(format!(
+                    "inflight from=n{} closed={} recorded={} others={} bytes={}{}",
+                    rec.from,
+                    u64::from(rec.closed),
+                    rec.obvents.len(),
+                    rec.others,
+                    rec.bytes,
+                    ids
+                ));
+            }
+            report.end();
+        }
+        report.end();
+        report.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frag(node: u64, clock: &[(u64, u64)], recovered: bool) -> NodeFrag {
+        let mut vc = VClock::new();
+        for &(n, c) in clock {
+            vc.set(n, c);
+        }
+        NodeFrag { node, snap: 1, clock: vc, recovered, ..NodeFrag::default() }
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let mut cut = ClusterCut::new(1, 0);
+        let mut f1 = frag(1, &[(0, 2)], false);
+        f1.channels.push(ChannelFrag {
+            kind: 9,
+            name: "Tick".into(),
+            members: vec![2, 0, 1],
+            capture: ProtoCapture {
+                proto: "certified".into(),
+                delivered: vec![
+                    MsgRef::new(0, 0, 3),
+                    MsgRef::new(0, 0, 1),
+                    MsgRef::new(0, 0, 2),
+                    MsgRef::new(2, 0, 5),
+                ],
+                ..ProtoCapture::new("certified")
+            },
+        });
+        f1.at_us = 123_456; // must not appear in the rendering
+        cut.insert(f1);
+        cut.insert(frag(0, &[(0, 4)], false));
+        let text = cut.render();
+        assert!(text.contains("cluster snapshot #1"));
+        assert!(text.contains("delivered=o0e0:1-3 o2e0:5"), "{text}");
+        assert!(text.contains("members=[n0 n1 n2]"), "{text}");
+        assert!(!text.contains("123456"), "wall-clock leaked:\n{text}");
+        // Node order is id order regardless of insertion order.
+        let n0 = text.find("node n0").unwrap();
+        let n1 = text.find("node n1").unwrap();
+        assert!(n0 < n1);
+    }
+
+    #[test]
+    fn consistency_check_fires_on_backward_cut() {
+        let mut cut = ClusterCut::new(1, 0);
+        cut.insert(frag(0, &[(0, 2), (1, 7)], false));
+        cut.insert(frag(1, &[(1, 5)], false));
+        let findings = cut.consistency_violations();
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].contains("n0 observed n1 at 7"), "{findings:?}");
+
+        // The same skew on a recovered node is exempt.
+        let mut cut = ClusterCut::new(1, 0);
+        cut.insert(frag(0, &[(0, 2), (1, 7)], false));
+        cut.insert(frag(1, &[(1, 5)], true));
+        assert!(cut.consistency_violations().is_empty());
+    }
+
+    #[test]
+    fn completion_requires_every_member() {
+        let mut cut = ClusterCut::new(3, 0);
+        cut.insert(frag(0, &[], false));
+        assert!(!cut.complete(&[0, 1]));
+        cut.insert(frag(1, &[], false));
+        assert!(cut.complete(&[0, 1]));
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let mut cut = ClusterCut::new(2, 1);
+        let mut f = frag(1, &[(1, 3)], false);
+        f.inflight.push(InFlightRec {
+            from: 0,
+            closed: true,
+            obvents: vec![InFlightObvent { channel: 9, id: MsgRef::new(0, 0, 4) }],
+            others: 2,
+            bytes: 88,
+        });
+        cut.insert(f);
+        let bytes = psc_codec::to_bytes(&cut).unwrap();
+        let back: ClusterCut = psc_codec::from_bytes(&bytes).unwrap();
+        assert_eq!(back, cut);
+        assert_eq!(back.inflight_obvents(), 3);
+        assert_eq!(back.inflight_bytes(), 88);
+    }
+}

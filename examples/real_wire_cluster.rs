@@ -105,7 +105,7 @@ fn main() {
     );
     println!("subscriber got tags {got:?} — exactly the filtered set, once each");
 
-    let snapshot = a.snapshot();
+    let snapshot = a.metrics();
     assert!(snapshot.counter("net.msgs_sent") > 0, "publisher wrote no frames");
     println!(
         "publisher wire stats: msgs_sent={} bytes_sent={} reconnects={}",

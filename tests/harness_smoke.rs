@@ -7,6 +7,9 @@
 //!   and remote filters);
 //! - a 10-seed durable-restart sweep (certified subscriber crash-restarted
 //!   with injected disk faults; cross-restart exactly-once oracle);
+//! - a 10-seed snapshot sweep (Chandy–Lamport cuts taken mid-chaos;
+//!   byte-stable rendering, clock-consistency / no-ghost / coverage
+//!   oracles over the assembled cluster image);
 //! - an oracle-sensitivity proof: a deliberately broken FIFO protocol must
 //!   be caught and shrunk to a readable, seed-stamped counterexample;
 //! - a long fuzz mode gated behind `HARNESS_FUZZ=N` (used by nightly CI).
@@ -16,9 +19,9 @@
 
 use std::sync::Arc;
 
-use psc_harness::broken::{BrokenFifo, Stalling};
+use psc_harness::broken::{BrokenFifo, SkewedMarkers, Stalling};
 use psc_harness::runner::{self, ProtoFactory};
-use psc_harness::{durable, stack};
+use psc_harness::{durable, snapshot, stack};
 use psc_harness::{Op, ProtocolKind, Scenario, Violation};
 
 #[test]
@@ -122,6 +125,75 @@ fn broken_wal_sync_is_caught_and_shrunk_by_the_durability_oracle() {
     assert!(
         !shrunk_outcome.violations.is_empty(),
         "the shrunk durable schedule must still reproduce:\n{}",
+        shrunk.describe()
+    );
+}
+
+/// Snapshot sweep: a Chandy–Lamport cut taken while certified traffic,
+/// loss and (sometimes) a subscriber outage are in flight must complete,
+/// render byte-for-byte identically across two runs, and satisfy the
+/// global-invariant oracles (clock consistency, no ghosts, three-way
+/// publish coverage, end-state exactly-once).
+#[test]
+fn snapshot_cut_smoke_over_10_seeds() {
+    for seed in runner::smoke_seeds(10) {
+        if let Err(report) = snapshot::check_snapshot_seed(seed) {
+            panic!("{report}");
+        }
+    }
+}
+
+/// Oracle-sensitivity proof for the snapshot dimension: disabling the
+/// Lai–Yang capture-before-processing rule (capture on marker arrival
+/// only — the classic Chandy–Lamport misuse over non-FIFO links) must be
+/// caught by the cut oracles, and greedy shrinking must keep the
+/// counterexample reproducing. The race is probabilistic per schedule, so
+/// the proof sweeps seeds: the correct discipline passes every one, the
+/// broken one must trip on at least one.
+#[test]
+fn skewed_markers_are_caught_and_shrunk_by_the_cut_oracles() {
+    let mut caught = None;
+    for seed in 0..10u64 {
+        let scenario = snapshot::SnapScenario::generate(seed);
+
+        // Control: the correct discipline sails through this exact
+        // schedule, so any finding below is the injected defect.
+        let healthy = snapshot::run_snapshot(&scenario);
+        assert!(
+            healthy.violations.is_empty(),
+            "the correct capture discipline must pass seed {seed}:\n{}{}{}",
+            scenario.describe(),
+            healthy.render(),
+            healthy.violations.join("\n")
+        );
+
+        let skewed = snapshot::run_snapshot_config(&scenario, SkewedMarkers::config());
+        if !skewed.violations.is_empty() && caught.is_none() {
+            caught = Some((scenario, skewed));
+        }
+    }
+    let (scenario, skewed) = caught.expect(
+        "the cut oracles must catch the skewed marker discipline on at least one of 10 seeds",
+    );
+    assert!(
+        skewed
+            .violations
+            .iter()
+            .any(|v| v.contains("cut inconsistency") || v.contains("ghost")),
+        "the defect must manifest as an inconsistent cut or a ghost delivery:\n{}",
+        skewed.violations.join("\n")
+    );
+
+    let shrunk = snapshot::shrink_snapshot(&scenario, &SkewedMarkers::config());
+    assert!(
+        shrunk.pubs.len() <= scenario.pubs.len()
+            && shrunk.crashes.len() <= scenario.crashes.len(),
+        "shrinking must never grow the schedule"
+    );
+    let shrunk_outcome = snapshot::run_snapshot_config(&shrunk, SkewedMarkers::config());
+    assert!(
+        !shrunk_outcome.violations.is_empty(),
+        "the shrunk snapshot schedule must still reproduce:\n{}",
         shrunk.describe()
     );
 }
@@ -281,6 +353,13 @@ fn long_fuzz_mode_behind_env_var() {
     // cheap (small clusters, short schedules) and the fault space is wide.
     for &seed in &seeds {
         if let Err(report) = durable::check_durable_seed(seed) {
+            panic!("{report}");
+        }
+    }
+    // Half the budget into the snapshot dimension: every fuzzed cut is a
+    // fresh race between wave-tagged traffic, markers and outages.
+    for &seed in seeds.iter().take(seeds.len() / 2) {
+        if let Err(report) = snapshot::check_snapshot_seed(seed) {
             panic!("{report}");
         }
     }
